@@ -1,0 +1,313 @@
+//! Interned finite alphabets.
+//!
+//! The paper works with trees labelled over a finite alphabet Γ and with two
+//! serializations: the *markup encoding* over Γ ∪ Γ̄ (matched opening and
+//! closing tags, Section 2) and the *term encoding* over Γ ∪ {◁} (labelled
+//! opening tags, one universal closing tag, Section 4.2).  [`Alphabet`]
+//! interns Γ; [`TagAlphabet`] derives the markup tag alphabet from it.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::AutomataError;
+
+/// An interned symbol of Γ (a node label).
+///
+/// Letters are dense indices into their [`Alphabet`]; all automata in this
+/// workspace index transition tables by `Letter`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Letter(pub u32);
+
+impl Letter {
+    /// The index of this letter in its alphabet.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A finite alphabet Γ of node labels.
+///
+/// Symbols are arbitrary non-empty strings (XML element names, JSON keys),
+/// interned to dense [`Letter`] indices.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Alphabet {
+    symbols: Vec<String>,
+    index: HashMap<String, Letter>,
+}
+
+impl Alphabet {
+    /// Creates an empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an alphabet from the given symbols, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::DuplicateSymbol`] if a symbol repeats and
+    /// [`AutomataError::EmptySymbol`] if a symbol is empty.
+    pub fn from_symbols<I, S>(symbols: I) -> Result<Self, AutomataError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut alphabet = Self::new();
+        for s in symbols {
+            alphabet.intern_new(s.into())?;
+        }
+        Ok(alphabet)
+    }
+
+    /// Convenience constructor: one single-character symbol per character of
+    /// `chars` (e.g. `Alphabet::of_chars("abc")` is Γ = {a, b, c}).
+    pub fn of_chars(chars: &str) -> Self {
+        Self::from_symbols(chars.chars().map(|c| c.to_string()))
+            .expect("characters of a &str are unique only if caller ensures it")
+    }
+
+    fn intern_new(&mut self, s: String) -> Result<Letter, AutomataError> {
+        if s.is_empty() {
+            return Err(AutomataError::EmptySymbol);
+        }
+        if self.index.contains_key(&s) {
+            return Err(AutomataError::DuplicateSymbol(s));
+        }
+        let letter = Letter(self.symbols.len() as u32);
+        self.index.insert(s.clone(), letter);
+        self.symbols.push(s);
+        Ok(letter)
+    }
+
+    /// Interns `s`, returning its letter; reuses the existing letter when `s`
+    /// is already present.
+    pub fn intern(&mut self, s: &str) -> Result<Letter, AutomataError> {
+        if let Some(&l) = self.index.get(s) {
+            return Ok(l);
+        }
+        self.intern_new(s.to_owned())
+    }
+
+    /// Looks up a symbol without interning.
+    pub fn letter(&self, s: &str) -> Option<Letter> {
+        self.index.get(s).copied()
+    }
+
+    /// The symbol behind a letter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the letter does not belong to this alphabet.
+    pub fn symbol(&self, l: Letter) -> &str {
+        &self.symbols[l.index()]
+    }
+
+    /// Number of symbols |Γ|.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether the alphabet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Iterates over all letters in index order.
+    pub fn letters(&self) -> impl Iterator<Item = Letter> + '_ {
+        (0..self.symbols.len() as u32).map(Letter)
+    }
+
+    /// Iterates over `(letter, symbol)` pairs in index order.
+    pub fn entries(&self) -> impl Iterator<Item = (Letter, &str)> + '_ {
+        self.symbols
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Letter(i as u32), s.as_str()))
+    }
+}
+
+impl fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, s) in self.symbols.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A tag of the markup encoding: an opening tag `a ∈ Γ` or a closing tag
+/// `ā ∈ Γ̄` (Section 2 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Tag {
+    /// Opening tag `a` (depth increases by one).
+    Open(Letter),
+    /// Closing tag `ā` (depth decreases by one).
+    Close(Letter),
+}
+
+impl Tag {
+    /// The underlying label.
+    #[inline]
+    pub fn letter(self) -> Letter {
+        match self {
+            Tag::Open(l) | Tag::Close(l) => l,
+        }
+    }
+
+    /// Whether this is an opening tag.
+    #[inline]
+    pub fn is_open(self) -> bool {
+        matches!(self, Tag::Open(_))
+    }
+
+    /// The depth delta of this tag: +1 for opening, −1 for closing.
+    #[inline]
+    pub fn depth_delta(self) -> i64 {
+        if self.is_open() {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// The matching tag with the same label and opposite polarity.
+    #[inline]
+    pub fn matching(self) -> Tag {
+        match self {
+            Tag::Open(l) => Tag::Close(l),
+            Tag::Close(l) => Tag::Open(l),
+        }
+    }
+}
+
+/// The markup tag alphabet Γ ∪ Γ̄ laid out densely: opening tags take indices
+/// `0..n` and closing tags `n..2n`, where `n = |Γ|`.
+///
+/// Automata over the markup encoding (the paper's finite automata and the
+/// finite-state parts of depth-register automata) index their transition
+/// tables by [`TagAlphabet::tag_index`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TagAlphabet {
+    base: Alphabet,
+}
+
+impl TagAlphabet {
+    /// Wraps a base alphabet Γ.
+    pub fn new(base: Alphabet) -> Self {
+        Self { base }
+    }
+
+    /// The underlying Γ.
+    pub fn base(&self) -> &Alphabet {
+        &self.base
+    }
+
+    /// Number of tags, `2·|Γ|`.
+    pub fn len(&self) -> usize {
+        2 * self.base.len()
+    }
+
+    /// Whether Γ is empty.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// Dense index of a tag: `Open(l) ↦ l`, `Close(l) ↦ |Γ| + l`.
+    #[inline]
+    pub fn tag_index(&self, tag: Tag) -> usize {
+        match tag {
+            Tag::Open(l) => l.index(),
+            Tag::Close(l) => self.base.len() + l.index(),
+        }
+    }
+
+    /// Inverse of [`Self::tag_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2·|Γ|`.
+    #[inline]
+    pub fn tag_at(&self, index: usize) -> Tag {
+        let n = self.base.len();
+        if index < n {
+            Tag::Open(Letter(index as u32))
+        } else {
+            assert!(index < 2 * n, "tag index {index} out of range (|Γ| = {n})");
+            Tag::Close(Letter((index - n) as u32))
+        }
+    }
+
+    /// Iterates over all tags, opening tags first.
+    pub fn tags(&self) -> impl Iterator<Item = Tag> + '_ {
+        (0..self.len()).map(|i| self.tag_at(i))
+    }
+
+    /// Renders a tag for diagnostics: `a` or `/a`.
+    pub fn display(&self, tag: Tag) -> String {
+        match tag {
+            Tag::Open(l) => self.base.symbol(l).to_owned(),
+            Tag::Close(l) => format!("/{}", self.base.symbol(l)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_and_lookup() {
+        let mut g = Alphabet::new();
+        let a = g.intern("a").unwrap();
+        let b = g.intern("b").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(g.intern("a").unwrap(), a);
+        assert_eq!(g.letter("b"), Some(b));
+        assert_eq!(g.symbol(a), "a");
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn from_symbols_rejects_duplicates() {
+        let err = Alphabet::from_symbols(["a", "a"]).unwrap_err();
+        assert!(matches!(err, AutomataError::DuplicateSymbol(_)));
+    }
+
+    #[test]
+    fn from_symbols_rejects_empty() {
+        let err = Alphabet::from_symbols([""]).unwrap_err();
+        assert!(matches!(err, AutomataError::EmptySymbol));
+    }
+
+    #[test]
+    fn of_chars_orders_letters() {
+        let g = Alphabet::of_chars("abc");
+        assert_eq!(g.letter("a"), Some(Letter(0)));
+        assert_eq!(g.letter("c"), Some(Letter(2)));
+    }
+
+    #[test]
+    fn tag_index_roundtrip() {
+        let tags = TagAlphabet::new(Alphabet::of_chars("abc"));
+        for i in 0..tags.len() {
+            let t = tags.tag_at(i);
+            assert_eq!(tags.tag_index(t), i);
+        }
+        assert_eq!(tags.display(Tag::Open(Letter(0))), "a");
+        assert_eq!(tags.display(Tag::Close(Letter(2))), "/c");
+    }
+
+    #[test]
+    fn tag_depth_delta_and_matching() {
+        let a = Letter(0);
+        assert_eq!(Tag::Open(a).depth_delta(), 1);
+        assert_eq!(Tag::Close(a).depth_delta(), -1);
+        assert_eq!(Tag::Open(a).matching(), Tag::Close(a));
+        assert_eq!(Tag::Close(a).matching(), Tag::Open(a));
+    }
+}

@@ -1,0 +1,383 @@
+//! Dense-table deterministic finite automata.
+//!
+//! A [`Dfa`] here is always *complete* (total transition function) and its
+//! alphabet is abstract: letters are dense indices `0..n_letters`.  Callers
+//! decide what the letters mean — symbols of Γ for path automata, tags of
+//! Γ ∪ Γ̄ for markup-encoding automata (via
+//! [`TagAlphabet::tag_index`](crate::alphabet::TagAlphabet::tag_index)), or
+//! Γ ∪ {◁} for term-encoding automata.
+
+use crate::error::AutomataError;
+use crate::minimize;
+
+/// A DFA state, a dense index into the transition table.
+pub type State = usize;
+
+/// A complete deterministic finite automaton over letters `0..n_letters`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dfa {
+    n_letters: usize,
+    init: State,
+    accepting: Vec<bool>,
+    /// Row-major table: `delta[s * n_letters + a]`.
+    delta: Vec<State>,
+}
+
+impl Dfa {
+    /// Builds a DFA from explicit rows.
+    ///
+    /// `rows[s]` lists the successor of state `s` for every letter, and must
+    /// have length `n_letters`; `accepting[s]` marks final states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::MalformedTransitions`] when arities disagree
+    /// or a successor index is out of range.
+    pub fn from_rows(
+        n_letters: usize,
+        init: State,
+        accepting: Vec<bool>,
+        rows: Vec<Vec<State>>,
+    ) -> Result<Self, AutomataError> {
+        let n_states = rows.len();
+        if n_states == 0 {
+            return Err(AutomataError::MalformedTransitions {
+                detail: "a DFA needs at least one state".into(),
+            });
+        }
+        if accepting.len() != n_states {
+            return Err(AutomataError::MalformedTransitions {
+                detail: format!(
+                    "{} acceptance flags for {} states",
+                    accepting.len(),
+                    n_states
+                ),
+            });
+        }
+        if init >= n_states {
+            return Err(AutomataError::MalformedTransitions {
+                detail: format!("initial state {init} out of range ({n_states} states)"),
+            });
+        }
+        let mut delta = Vec::with_capacity(n_states * n_letters);
+        for (s, row) in rows.iter().enumerate() {
+            if row.len() != n_letters {
+                return Err(AutomataError::MalformedTransitions {
+                    detail: format!(
+                        "state {s} has {} transitions, expected {n_letters}",
+                        row.len()
+                    ),
+                });
+            }
+            for (a, &t) in row.iter().enumerate() {
+                if t >= n_states {
+                    return Err(AutomataError::MalformedTransitions {
+                        detail: format!("δ({s}, {a}) = {t} out of range ({n_states} states)"),
+                    });
+                }
+                delta.push(t);
+            }
+        }
+        Ok(Self {
+            n_letters,
+            init,
+            accepting,
+            delta,
+        })
+    }
+
+    /// Builds a single-state DFA accepting everything (`accept = true`) or
+    /// nothing (`accept = false`).
+    pub fn trivial(n_letters: usize, accept: bool) -> Self {
+        Self {
+            n_letters,
+            init: 0,
+            accepting: vec![accept],
+            delta: vec![0; n_letters],
+        }
+    }
+
+    /// Number of states.
+    #[inline]
+    pub fn n_states(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// Number of letters.
+    #[inline]
+    pub fn n_letters(&self) -> usize {
+        self.n_letters
+    }
+
+    /// The initial state.
+    #[inline]
+    pub fn init(&self) -> State {
+        self.init
+    }
+
+    /// Whether `s` is accepting.
+    #[inline]
+    pub fn is_accepting(&self, s: State) -> bool {
+        self.accepting[s]
+    }
+
+    /// The successor `s · a`.
+    #[inline]
+    pub fn step(&self, s: State, a: usize) -> State {
+        debug_assert!(a < self.n_letters);
+        self.delta[s * self.n_letters + a]
+    }
+
+    /// Runs the automaton on `word` from `from`, returning the final state
+    /// (the paper's `from · word`).
+    pub fn run_from(&self, from: State, word: &[usize]) -> State {
+        word.iter().fold(from, |s, &a| self.step(s, a))
+    }
+
+    /// Runs from the initial state.
+    pub fn run(&self, word: &[usize]) -> State {
+        self.run_from(self.init, word)
+    }
+
+    /// Whether the automaton accepts `word`.
+    pub fn accepts(&self, word: &[usize]) -> bool {
+        self.is_accepting(self.run(word))
+    }
+
+    /// States reachable from the initial state (including it).
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.n_states()];
+        let mut stack = vec![self.init];
+        seen[self.init] = true;
+        while let Some(s) = stack.pop() {
+            for a in 0..self.n_letters {
+                let t = self.step(s, a);
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        seen
+    }
+
+    /// *Internal* states in the sense of Section 3.1: states reachable from
+    /// the initial state via a **nonempty** word.
+    ///
+    /// If all states are reachable, only the initial state can be
+    /// non-internal, and only when it has no incoming transition.
+    pub fn internal(&self) -> Vec<bool> {
+        let mut internal = vec![false; self.n_states()];
+        let mut stack = Vec::new();
+        // Seed with the one-letter successors of every reachable state's
+        // predecessor role: a state is internal iff it has an in-edge from a
+        // reachable state.
+        let reachable = self.reachable();
+        for (s, &r) in reachable.iter().enumerate() {
+            if !r {
+                continue;
+            }
+            for a in 0..self.n_letters {
+                let t = self.step(s, a);
+                if !internal[t] {
+                    internal[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        // Everything reachable from an internal state stays internal, which
+        // the seeding above already covers (in-edges from reachable states);
+        // the stack is kept for clarity but nothing more to do: a state with
+        // an in-edge from a reachable state is exactly "reachable via a
+        // nonempty word".
+        drop(stack);
+        internal
+    }
+
+    /// Restricts the automaton to its reachable part, renumbering states.
+    /// Returns the new automaton and the old→new state map (`None` for
+    /// removed states).
+    pub fn trim(&self) -> (Dfa, Vec<Option<State>>) {
+        let reachable = self.reachable();
+        let mut map = vec![None; self.n_states()];
+        let mut next = 0usize;
+        for (s, &r) in reachable.iter().enumerate() {
+            if r {
+                map[s] = Some(next);
+                next += 1;
+            }
+        }
+        let mut accepting = vec![false; next];
+        let mut delta = vec![0usize; next * self.n_letters];
+        for (s, &m) in map.iter().enumerate() {
+            let Some(ns) = m else { continue };
+            accepting[ns] = self.accepting[s];
+            for a in 0..self.n_letters {
+                let t = self.step(s, a);
+                delta[ns * self.n_letters + a] =
+                    map[t].expect("successor of a reachable state is reachable");
+            }
+        }
+        (
+            Dfa {
+                n_letters: self.n_letters,
+                init: map[self.init].expect("initial state is reachable"),
+                accepting,
+                delta,
+            },
+            map,
+        )
+    }
+
+    /// Swaps accepting and rejecting states (complement language).
+    pub fn complement(&self) -> Dfa {
+        let mut c = self.clone();
+        for f in &mut c.accepting {
+            *f = !*f;
+        }
+        c
+    }
+
+    /// Myhill–Nerode state-equivalence classes of this automaton (not
+    /// necessarily trimmed): `classes[s]` is the class id of state `s`, and
+    /// two states get the same id iff they accept the same language.
+    pub fn equivalence_classes(&self) -> Vec<usize> {
+        minimize::equivalence_classes(self)
+    }
+
+    /// Same partition as [`Self::equivalence_classes`], computed with
+    /// Hopcroft's worklist algorithm (O(n·|Σ|·log n)); useful for larger
+    /// machine-generated automata and as an independent cross-check.
+    pub fn equivalence_classes_hopcroft(&self) -> Vec<usize> {
+        minimize::equivalence_classes_hopcroft(self)
+    }
+
+    /// The canonical minimal automaton of this DFA's language: trims
+    /// unreachable states and merges equivalent ones.  The result is the
+    /// *minimal automaton* the paper's Definitions 3.4, 3.6, and 3.9 are
+    /// stated over.
+    pub fn minimize(&self) -> Dfa {
+        minimize::minimize(self)
+    }
+
+    /// Renders the automaton in Graphviz DOT format; `letter_name` maps
+    /// letter indices to edge labels (parallel edges are merged).  Handy
+    /// for eyeballing the paper's figures against our minimal automata.
+    pub fn to_dot(&self, letter_name: impl Fn(usize) -> String) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("digraph dfa {\n  rankdir=LR;\n  start [shape=point];\n");
+        for s in 0..self.n_states() {
+            let shape = if self.is_accepting(s) {
+                "doublecircle"
+            } else {
+                "circle"
+            };
+            let _ = writeln!(out, "  {s} [shape={shape}];");
+        }
+        let _ = writeln!(out, "  start -> {};", self.init);
+        for s in 0..self.n_states() {
+            // Merge letters with the same target into one edge label.
+            let mut by_target: std::collections::BTreeMap<State, Vec<String>> =
+                std::collections::BTreeMap::new();
+            for a in 0..self.n_letters {
+                by_target
+                    .entry(self.step(s, a))
+                    .or_default()
+                    .push(letter_name(a));
+            }
+            for (t, names) in by_target {
+                let _ = writeln!(out, "  {s} -> {t} [label=\"{}\"];", names.join(","));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Two states are *almost equivalent* (Section 3.1) iff no **nonempty**
+    /// word distinguishes them, i.e. `p · a` and `q · a` are equivalent for
+    /// every letter `a`.  `classes` must come from
+    /// [`Self::equivalence_classes`].
+    pub fn almost_equivalent(&self, classes: &[usize], p: State, q: State) -> bool {
+        (0..self.n_letters).all(|a| classes[self.step(p, a)] == classes[self.step(q, a)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// DFA over {a=0, b=1} accepting words with an even number of a's.
+    fn even_a() -> Dfa {
+        Dfa::from_rows(2, 0, vec![true, false], vec![vec![1, 0], vec![0, 1]]).unwrap()
+    }
+
+    #[test]
+    fn run_and_accept() {
+        let d = even_a();
+        assert!(d.accepts(&[]));
+        assert!(!d.accepts(&[0]));
+        assert!(d.accepts(&[0, 1, 0]));
+        assert_eq!(d.run(&[0, 0, 0]), 1);
+    }
+
+    #[test]
+    fn from_rows_validates() {
+        assert!(Dfa::from_rows(2, 0, vec![true], vec![vec![0]]).is_err());
+        assert!(Dfa::from_rows(2, 5, vec![true], vec![vec![0, 0]]).is_err());
+        assert!(Dfa::from_rows(2, 0, vec![true], vec![vec![0, 9]]).is_err());
+        assert!(Dfa::from_rows(2, 0, vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn reachable_and_trim() {
+        // State 2 is unreachable.
+        let d = Dfa::from_rows(
+            1,
+            0,
+            vec![false, true, true],
+            vec![vec![1], vec![0], vec![2]],
+        )
+        .unwrap();
+        assert_eq!(d.reachable(), vec![true, true, false]);
+        let (t, map) = d.trim();
+        assert_eq!(t.n_states(), 2);
+        assert_eq!(map, vec![Some(0), Some(1), None]);
+        assert!(t.accepts(&[0]));
+        assert!(!t.accepts(&[0, 0]));
+    }
+
+    #[test]
+    fn internal_states() {
+        // init has no in-edge: 0 -a-> 1 -a-> 1.
+        let d = Dfa::from_rows(1, 0, vec![false, true], vec![vec![1], vec![1]]).unwrap();
+        assert_eq!(d.internal(), vec![false, true]);
+        // A self-loop on init makes it internal.
+        let d2 = Dfa::from_rows(1, 0, vec![false], vec![vec![0]]).unwrap();
+        assert_eq!(d2.internal(), vec![true]);
+    }
+
+    #[test]
+    fn complement_flips() {
+        let d = even_a();
+        let c = d.complement();
+        assert!(!c.accepts(&[]));
+        assert!(c.accepts(&[0]));
+    }
+
+    #[test]
+    fn dot_rendering() {
+        let d = even_a();
+        let dot = d.to_dot(|a| if a == 0 { "a".into() } else { "b".into() });
+        assert!(dot.starts_with("digraph dfa {"));
+        assert!(dot.contains("0 [shape=doublecircle];"));
+        assert!(dot.contains("1 [shape=circle];"));
+        assert!(dot.contains("0 -> 1 [label=\"a\"];"));
+        assert!(dot.contains("0 -> 0 [label=\"b\"];"));
+    }
+
+    #[test]
+    fn trivial_automata() {
+        assert!(Dfa::trivial(3, true).accepts(&[0, 1, 2]));
+        assert!(!Dfa::trivial(3, false).accepts(&[]));
+    }
+}

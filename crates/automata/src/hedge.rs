@@ -1,0 +1,448 @@
+//! Nondeterministic automata over unranked trees (hedge automata).
+//!
+//! Proposition 2.3 of the paper shows restricted depth-register automata
+//! recognize regular tree languages by exhibiting "a nondeterministic tree
+//! automaton that guesses an auxiliary labelling".  This module provides
+//! the target formalism: a bottom-up nondeterministic automaton whose
+//! *horizontal languages* (which state sequences children may form) are
+//! given by word DFAs over the state space.
+//!
+//! A run assigns a state to every node: a node with label `a` may take
+//! state `q` iff the left-to-right sequence of its children's states lies
+//! in the horizontal language `H(q, a)`; the tree is accepted iff the root
+//! can take an accepting state.  Membership is decided bottom-up over
+//! *sets* of possible states; emptiness by a reachability fixpoint.
+
+use std::collections::HashSet;
+
+use crate::dfa::Dfa;
+use crate::error::AutomataError;
+
+/// A bottom-up nondeterministic unranked tree automaton.
+///
+/// States are `0..n_states`; tree labels are `0..n_letters`.  The
+/// horizontal language `H(q, a)` is a [`Dfa`] whose letters are the tree
+/// automaton's **states**.
+#[derive(Clone, Debug)]
+pub struct HedgeAutomaton {
+    n_letters: usize,
+    n_states: usize,
+    accepting: Vec<bool>,
+    /// `horizontal[q * n_letters + a]`.
+    horizontal: Vec<Dfa>,
+}
+
+impl HedgeAutomaton {
+    /// Builds a hedge automaton.
+    ///
+    /// # Errors
+    ///
+    /// [`AutomataError::MalformedTransitions`] if arities disagree or a
+    /// horizontal DFA's alphabet is not the state space.
+    pub fn new(
+        n_letters: usize,
+        n_states: usize,
+        accepting: Vec<bool>,
+        horizontal: Vec<Dfa>,
+    ) -> Result<HedgeAutomaton, AutomataError> {
+        if accepting.len() != n_states {
+            return Err(AutomataError::MalformedTransitions {
+                detail: format!("{} acceptance flags for {n_states} states", accepting.len()),
+            });
+        }
+        if horizontal.len() != n_states * n_letters {
+            return Err(AutomataError::MalformedTransitions {
+                detail: format!(
+                    "{} horizontal languages for {n_states} states × {n_letters} letters",
+                    horizontal.len()
+                ),
+            });
+        }
+        for (i, h) in horizontal.iter().enumerate() {
+            if h.n_letters() != n_states {
+                return Err(AutomataError::MalformedTransitions {
+                    detail: format!(
+                        "horizontal language #{i} reads {} letters, expected the {n_states}-state space",
+                        h.n_letters()
+                    ),
+                });
+            }
+        }
+        Ok(HedgeAutomaton {
+            n_letters,
+            n_states,
+            accepting,
+            horizontal,
+        })
+    }
+
+    /// Number of tree labels.
+    pub fn n_letters(&self) -> usize {
+        self.n_letters
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// The horizontal language of `(state, letter)`.
+    pub fn horizontal(&self, state: usize, letter: usize) -> &Dfa {
+        &self.horizontal[state * self.n_letters + letter]
+    }
+
+    /// Whether the horizontal DFA `h` accepts some word whose i-th letter
+    /// is drawn from `choices[i]` — an NFA-style run over letter sets.
+    fn horizontal_accepts_selection(h: &Dfa, choices: &[&HashSet<usize>]) -> bool {
+        let mut states: HashSet<usize> = HashSet::from([h.init()]);
+        for set in choices {
+            let mut next = HashSet::new();
+            for &s in &states {
+                for &q in set.iter() {
+                    next.insert(h.step(s, q));
+                }
+            }
+            if next.is_empty() {
+                return false;
+            }
+            states = next;
+        }
+        states.iter().any(|&s| h.is_accepting(s))
+    }
+
+    /// The set of states each node of `tree` can take (bottom-up), indexed
+    /// by node id.  `labels[v]` and `children[v]` describe the tree shape —
+    /// this crate does not depend on `st-trees`, so callers pass the
+    /// structure explicitly (the `st-core` wrapper does this).
+    pub fn possible_states(
+        &self,
+        labels: &[usize],
+        children: &[Vec<usize>],
+    ) -> Vec<HashSet<usize>> {
+        let n = labels.len();
+        let mut possible: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+        // Children have larger ids than parents in document order? No —
+        // children always have larger ids in preorder numbering, so a
+        // reverse sweep is bottom-up.
+        for v in (0..n).rev() {
+            let child_sets: Vec<&HashSet<usize>> =
+                children[v].iter().map(|&c| &possible[c]).collect();
+            let mut mine = HashSet::new();
+            for q in 0..self.n_states {
+                let h = self.horizontal(q, labels[v]);
+                if Self::horizontal_accepts_selection(h, &child_sets) {
+                    mine.insert(q);
+                }
+            }
+            possible[v] = mine;
+        }
+        possible
+    }
+
+    /// Membership: does the automaton accept the tree?
+    pub fn accepts(&self, labels: &[usize], children: &[Vec<usize>]) -> bool {
+        if labels.is_empty() {
+            return false;
+        }
+        let possible = self.possible_states(labels, children);
+        possible[0].iter().any(|&q| self.accepting[q])
+    }
+
+    /// Emptiness: is no tree accepted?  Least fixpoint of "state q is
+    /// inhabited iff for some letter a, H(q, a) accepts a word of
+    /// inhabited states".
+    pub fn is_empty(&self) -> bool {
+        let mut inhabited = vec![false; self.n_states];
+        loop {
+            let mut changed = false;
+            for q in 0..self.n_states {
+                if inhabited[q] {
+                    continue;
+                }
+                let ok = (0..self.n_letters)
+                    .any(|a| dfa_accepts_over(self.horizontal(q, a), &inhabited));
+                if ok {
+                    inhabited[q] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        !(0..self.n_states).any(|q| inhabited[q] && self.accepting[q])
+    }
+}
+
+/// Whether `dfa` accepts some word using only letters marked `allowed`.
+fn dfa_accepts_over(dfa: &Dfa, allowed: &[bool]) -> bool {
+    let mut seen = vec![false; dfa.n_states()];
+    let mut stack = vec![dfa.init()];
+    seen[dfa.init()] = true;
+    while let Some(s) = stack.pop() {
+        if dfa.is_accepting(s) {
+            return true;
+        }
+        for (letter, &ok) in allowed.iter().enumerate() {
+            if !ok {
+                continue;
+            }
+            let t = dfa.step(s, letter);
+            if !seen[t] {
+                seen[t] = true;
+                stack.push(t);
+            }
+        }
+    }
+    false
+}
+
+impl HedgeAutomaton {
+    /// *Completes* the automaton: adds a non-accepting catch-all state that
+    /// every node can take, so every tree has at least one run.  Needed
+    /// before an `Or`-product — a union run must exist even in the
+    /// component that rejects the tree.
+    pub fn complete(&self) -> HedgeAutomaton {
+        let n = self.n_states + 1;
+        let mut horizontal = Vec::with_capacity(n * self.n_letters);
+        for q in 0..self.n_states {
+            for a in 0..self.n_letters {
+                horizontal.push(extend_alphabet_rejecting(self.horizontal(q, a)));
+            }
+        }
+        // The dead state accepts any child sequence (including dead ones).
+        for _ in 0..self.n_letters {
+            horizontal.push(Dfa::trivial(n, true));
+        }
+        let mut accepting = self.accepting.clone();
+        accepting.push(false);
+        HedgeAutomaton::new(self.n_letters, n, accepting, horizontal)
+            .expect("completion is well-formed")
+    }
+}
+
+/// Extends a DFA's alphabet by one letter that leads to a fresh rejecting
+/// sink (old words keep their verdicts; words using the new letter are
+/// rejected).
+fn extend_alphabet_rejecting(dfa: &Dfa) -> Dfa {
+    let n = dfa.n_states();
+    let k = dfa.n_letters();
+    let sink = n;
+    let mut rows = Vec::with_capacity(n + 1);
+    for s in 0..n {
+        let mut row: Vec<usize> = (0..k).map(|a| dfa.step(s, a)).collect();
+        row.push(sink);
+        rows.push(row);
+    }
+    rows.push(vec![sink; k + 1]);
+    let mut accepting: Vec<bool> = (0..n).map(|s| dfa.is_accepting(s)).collect();
+    accepting.push(false);
+    Dfa::from_rows(k + 1, dfa.init(), accepting, rows).expect("extension is well-formed")
+}
+
+/// Intersection of two hedge automata (no completion needed: a missing
+/// run already means rejection).
+pub fn intersection(a: &HedgeAutomaton, b: &HedgeAutomaton) -> HedgeAutomaton {
+    product(a, b, HedgeBoolOp::And)
+}
+
+/// Union of two hedge automata; both sides are completed first so the
+/// product run exists whenever either component accepts.
+pub fn union(a: &HedgeAutomaton, b: &HedgeAutomaton) -> HedgeAutomaton {
+    product(&a.complete(), &b.complete(), HedgeBoolOp::Or)
+}
+
+/// How a product combines component acceptance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HedgeBoolOp {
+    /// Accept iff both components accept.
+    And,
+    /// Accept iff either component accepts.
+    Or,
+}
+
+/// Synchronous product of two hedge automata over the same tree alphabet:
+/// product states `(q₁, q₂)` with horizontal languages recognizing the
+/// sequences whose projections both components accept.
+///
+/// # Panics
+///
+/// Panics if the tree alphabets disagree.
+pub fn product(a: &HedgeAutomaton, b: &HedgeAutomaton, op: HedgeBoolOp) -> HedgeAutomaton {
+    assert_eq!(
+        a.n_letters, b.n_letters,
+        "product of hedge automata over different alphabets"
+    );
+    let (na, nb) = (a.n_states, b.n_states);
+    let n = na * nb;
+    let accepting: Vec<bool> = (0..n)
+        .map(|s| {
+            let (fa, fb) = (a.accepting[s / nb], b.accepting[s % nb]);
+            match op {
+                HedgeBoolOp::And => fa && fb,
+                HedgeBoolOp::Or => fa || fb,
+            }
+        })
+        .collect();
+    // Horizontal product: run both horizontal DFAs in lock-step over the
+    // pair letters, projecting each pair letter to its components.
+    let mut horizontal = Vec::with_capacity(n * a.n_letters);
+    for qa in 0..na {
+        for qb in 0..nb {
+            for letter in 0..a.n_letters {
+                let ha = a.horizontal(qa, letter);
+                let hb = b.horizontal(qb, letter);
+                horizontal.push(horizontal_product(ha, hb, nb, n));
+            }
+        }
+    }
+    HedgeAutomaton::new(a.n_letters, n, accepting, horizontal)
+        .expect("hedge product is well-formed")
+}
+
+/// Product of two horizontal DFAs where the joint alphabet is the pair
+/// state space (`pair = qa * nb + qb`).
+fn horizontal_product(ha: &Dfa, hb: &Dfa, nb: usize, n_pairs: usize) -> Dfa {
+    let (ma, mb) = (ha.n_states(), hb.n_states());
+    let mut rows = Vec::with_capacity(ma * mb);
+    for sa in 0..ma {
+        for sb in 0..mb {
+            let mut row = Vec::with_capacity(n_pairs);
+            for pair in 0..n_pairs {
+                let (qa, qb) = (pair / nb, pair % nb);
+                row.push(ha.step(sa, qa) * mb + hb.step(sb, qb));
+            }
+            rows.push(row);
+        }
+    }
+    let accepting: Vec<bool> = (0..ma * mb)
+        .map(|s| ha.is_accepting(s / mb) && hb.is_accepting(s % mb))
+        .collect();
+    Dfa::from_rows(n_pairs, ha.init() * mb + hb.init(), accepting, rows)
+        .expect("horizontal product is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::regex::compile_regex;
+
+    /// Trees over {a=0, b=1} with **all leaves labelled b**: state 0 =
+    /// "subtree ok & root of subtree is anything", expressed with two
+    /// states: 0 = ok node, and horizontal languages: a node is ok iff all
+    /// children are ok and (if it is a leaf) its label is b.
+    fn all_leaves_b() -> HedgeAutomaton {
+        let states = Alphabet::of_chars("xy"); // 0 = ok, 1 = ok-leaf-b? — we
+        let _ = states;
+        // Simpler: one state "ok"; horizontal(ok, a) = nonempty sequences
+        // of ok (an `a` leaf is not ok); horizontal(ok, b) = any sequence
+        // of ok.
+        let state_alpha = Alphabet::of_chars("q");
+        let nonempty = compile_regex("q+", &state_alpha).unwrap();
+        let any = compile_regex("q*", &state_alpha).unwrap();
+        HedgeAutomaton::new(2, 1, vec![true], vec![nonempty, any]).unwrap()
+    }
+
+    #[test]
+    fn membership_all_leaves_b() {
+        let h = all_leaves_b();
+        // b (single leaf): accepted.
+        assert!(h.accepts(&[1], &[vec![]]));
+        // a (single leaf): rejected.
+        assert!(!h.accepts(&[0], &[vec![]]));
+        // a(b, b): accepted.
+        assert!(h.accepts(&[0, 1, 1], &[vec![1, 2], vec![], vec![]]));
+        // a(b, a): rejected.
+        assert!(!h.accepts(&[0, 1, 0], &[vec![1, 2], vec![], vec![]]));
+        // a(b, a(b)): accepted.
+        assert!(h.accepts(&[0, 1, 0, 1], &[vec![1, 2], vec![], vec![3], vec![]]));
+    }
+
+    #[test]
+    fn emptiness() {
+        let h = all_leaves_b();
+        assert!(!h.is_empty());
+        // Make the only state reject: empty.
+        let state_alpha = Alphabet::of_chars("q");
+        let nonempty = compile_regex("q+", &state_alpha).unwrap();
+        let any = compile_regex("q*", &state_alpha).unwrap();
+        let dead = HedgeAutomaton::new(2, 1, vec![false], vec![nonempty, any]).unwrap();
+        assert!(dead.is_empty());
+        // A state whose horizontal languages never accept (q+ needs an
+        // inhabited child, but leaves need ε): empty too.
+        let state_alpha = Alphabet::of_chars("q");
+        let plus1 = compile_regex("q+", &state_alpha).unwrap();
+        let plus2 = compile_regex("q+", &state_alpha).unwrap();
+        let starving = HedgeAutomaton::new(2, 1, vec![true], vec![plus1, plus2]).unwrap();
+        assert!(starving.is_empty());
+    }
+
+    /// Trees with **some** leaf labelled a (0): dual of `all_leaves_b`.
+    fn some_leaf_a() -> HedgeAutomaton {
+        // States: 0 = "subtree contains an a-leaf", 1 = "any subtree".
+        let states = Alphabet::of_chars("st"); // s = 0, t = 1
+                                               // H(0, a): either a leaf (ε) — an `a` leaf IS an a-leaf — or some
+                                               // child in state 0: t* s (s|t)* | ε.
+        let h0a = compile_regex("(t*s[st]*)?", &states).unwrap();
+        // H(0, b): needs a child in state 0: t*s[st]*.
+        let h0b = compile_regex("t*s[st]*", &states).unwrap();
+        // H(1, ·): anything.
+        let h1 = compile_regex("[st]*", &states).unwrap();
+        HedgeAutomaton::new(2, 2, vec![true, false], vec![h0a, h0b, h1.clone(), h1]).unwrap()
+    }
+
+    #[test]
+    fn product_intersection_and_union() {
+        let all_b = all_leaves_b(); // every leaf labelled b
+        let some_a = some_leaf_a(); // some leaf labelled a
+        let both = intersection(&all_b, &some_a);
+        // Contradictory: an a-leaf violates all-leaves-b.
+        assert!(both.is_empty());
+        let either = union(&all_b, &some_a);
+        assert!(!either.is_empty());
+        // b-leaf alone: in the union via all_b.
+        assert!(either.accepts(&[1], &[vec![]]));
+        // a-leaf alone: in the union via some_a.
+        assert!(either.accepts(&[0], &[vec![]]));
+        // a(a-leaf, b-leaf): some_a holds (a leaf), all_b fails → union ok.
+        assert!(either.accepts(&[0, 0, 1], &[vec![1, 2], vec![], vec![]]));
+        // b(b-leaf): all_b holds → union ok.
+        assert!(either.accepts(&[1, 1], &[vec![1], vec![]]));
+        // b(c?)— no c here; b(b) with an inner a: b(a-leaf) → all_b fails,
+        // some_a holds → union ok, intersection not.
+        assert!(either.accepts(&[1, 0], &[vec![1], vec![]]));
+        assert!(!both.accepts(&[1, 0], &[vec![1], vec![]]));
+        // Intersection rejects pure-b trees too (no a-leaf).
+        assert!(!both.accepts(&[1], &[vec![]]));
+    }
+
+    #[test]
+    fn completion_preserves_language() {
+        let h = all_leaves_b();
+        let hc = h.complete();
+        let trees: &[(&[usize], &[Vec<usize>])] = &[
+            (&[1], &[vec![]]),
+            (&[0], &[vec![]]),
+            (&[0, 1, 1], &[vec![1, 2], vec![], vec![]]),
+            (&[0, 1, 0], &[vec![1, 2], vec![], vec![]]),
+        ];
+        for (labels, children) in trees {
+            assert_eq!(h.accepts(labels, children), hc.accepts(labels, children));
+        }
+    }
+
+    #[test]
+    fn constructor_validation() {
+        let state_alpha = Alphabet::of_chars("q");
+        let any = compile_regex("q*", &state_alpha).unwrap();
+        assert!(
+            HedgeAutomaton::new(2, 1, vec![true, false], vec![any.clone(), any.clone()]).is_err()
+        );
+        assert!(HedgeAutomaton::new(2, 1, vec![true], vec![any.clone()]).is_err());
+        let wrong_alpha = compile_regex("qq*", &Alphabet::of_chars("qr")).unwrap();
+        assert!(
+            HedgeAutomaton::new(2, 1, vec![true], vec![wrong_alpha.clone(), wrong_alpha]).is_err()
+        );
+    }
+}

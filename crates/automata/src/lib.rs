@@ -1,0 +1,41 @@
+//! Finite-automata substrate for the *Stackless Processing of Streamed Trees*
+//! reproduction (Barloy, Murlak, Paperman; PODS 2021).
+//!
+//! This crate provides everything the paper assumes about classical word
+//! automata, built from scratch:
+//!
+//! * interned finite alphabets Γ and the derived tag alphabet Γ ∪ Γ̄
+//!   ([`Alphabet`], [`TagAlphabet`]),
+//! * dense-table deterministic finite automata ([`Dfa`]),
+//! * nondeterministic automata with ε-moves and subset construction
+//!   ([`Nfa`]),
+//! * a regular-expression front end ([`Regex`], [`compile_regex`]),
+//! * canonical minimization (Moore partition refinement, [`Dfa::minimize`]),
+//! * boolean operations and language-equivalence testing ([`ops`]),
+//! * Tarjan strongly-connected components and the SCC DAG ([`scc`]),
+//! * the pair-reachability engines used by the paper's syntactic classes:
+//!   *meeting* and *blind meeting* of states ([`pairs`]).
+//!
+//! Everything is deterministic and allocation-conscious; automata are small
+//! (query-sized), documents are large, so the hot paths live in the runner
+//! crates, not here.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod alphabet;
+pub mod dfa;
+pub mod error;
+pub mod hedge;
+mod minimize;
+pub mod nfa;
+pub mod ops;
+pub mod pairs;
+pub mod regex;
+pub mod scc;
+
+pub use alphabet::{Alphabet, Letter, Tag, TagAlphabet};
+pub use dfa::{Dfa, State};
+pub use error::AutomataError;
+pub use nfa::Nfa;
+pub use regex::{compile_regex, Regex};

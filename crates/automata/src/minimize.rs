@@ -1,0 +1,285 @@
+//! DFA minimization via Moore partition refinement.
+//!
+//! The paper's syntactic classes (almost-reversible, HAR, E-flat, A-flat;
+//! Definitions 3.4, 3.6, 3.9) are properties of the **minimal automaton** of
+//! a language, so a canonical minimization is the entry point of every
+//! decision procedure in `st-core`.
+//!
+//! Moore refinement is O(n²·|Σ|) per round, O(n) rounds; our automata are
+//! query-sized (tens of states), so this is simpler and plenty fast compared
+//! to Hopcroft's algorithm.
+
+use crate::dfa::{Dfa, State};
+
+/// Computes language-equivalence classes over **all** states (reachable or
+/// not): `classes[s] == classes[t]` iff states `s` and `t` accept the same
+/// language.  Class ids are dense starting from 0 but otherwise arbitrary.
+pub(crate) fn equivalence_classes(dfa: &Dfa) -> Vec<usize> {
+    let n = dfa.n_states();
+    let k = dfa.n_letters();
+    // Initial partition: accepting vs rejecting.
+    let mut class: Vec<usize> = (0..n).map(|s| usize::from(dfa.is_accepting(s))).collect();
+    let mut n_classes = if class.contains(&1) && class.contains(&0) {
+        2
+    } else {
+        1
+    };
+    if n_classes == 1 {
+        // Normalise: a single class must have id 0.
+        class.iter_mut().for_each(|c| *c = 0);
+    }
+    loop {
+        // Signature of a state: (current class, classes of all successors).
+        let mut signatures: Vec<(usize, Vec<usize>)> = Vec::with_capacity(n);
+        for s in 0..n {
+            let succ: Vec<usize> = (0..k).map(|a| class[dfa.step(s, a)]).collect();
+            signatures.push((class[s], succ));
+        }
+        let mut order: Vec<State> = (0..n).collect();
+        order.sort_by(|&x, &y| signatures[x].cmp(&signatures[y]));
+        let mut new_class = vec![0usize; n];
+        let mut next = 0usize;
+        for (i, &s) in order.iter().enumerate() {
+            if i > 0 && signatures[s] != signatures[order[i - 1]] {
+                next += 1;
+            }
+            new_class[s] = next;
+        }
+        let new_count = next + 1;
+        if new_count == n_classes {
+            return new_class;
+        }
+        n_classes = new_count;
+        class = new_class;
+    }
+}
+
+/// Produces the canonical minimal DFA: reachable states only, equivalent
+/// states merged, states numbered by BFS discovery order from the initial
+/// state (so two equal languages give byte-identical automata).
+pub(crate) fn minimize(dfa: &Dfa) -> Dfa {
+    let (trimmed, _) = dfa.trim();
+    let classes = equivalence_classes(&trimmed);
+    let k = trimmed.n_letters();
+
+    // Map class ids to canonical BFS order.
+    let n_classes = classes.iter().copied().max().unwrap_or(0) + 1;
+    let mut class_to_canon: Vec<Option<usize>> = vec![None; n_classes];
+    let mut canon_repr: Vec<State> = Vec::new(); // canonical id -> representative state
+    let init_class = classes[trimmed.init()];
+    class_to_canon[init_class] = Some(0);
+    canon_repr.push(trimmed.init());
+    let mut queue = std::collections::VecDeque::from([trimmed.init()]);
+    while let Some(s) = queue.pop_front() {
+        for a in 0..k {
+            let t = trimmed.step(s, a);
+            let c = classes[t];
+            if class_to_canon[c].is_none() {
+                class_to_canon[c] = Some(canon_repr.len());
+                canon_repr.push(t);
+                queue.push_back(t);
+            }
+        }
+    }
+
+    let m = canon_repr.len();
+    let mut accepting = vec![false; m];
+    let mut rows = vec![vec![0usize; k]; m];
+    for (id, &repr) in canon_repr.iter().enumerate() {
+        accepting[id] = trimmed.is_accepting(repr);
+        for (a, slot) in rows[id].iter_mut().enumerate() {
+            *slot = class_to_canon[classes[trimmed.step(repr, a)]]
+                .expect("every class reachable from the initial class is numbered");
+        }
+    }
+    Dfa::from_rows(k, 0, accepting, rows).expect("minimization produces a well-formed DFA")
+}
+
+/// Hopcroft's O(n·|Σ|·log n) minimization: computes the same equivalence
+/// classes as [`equivalence_classes`] with the classic "split by smaller
+/// half" worklist.  Kept alongside Moore refinement as a cross-check (the
+/// two are verified against each other by property tests) and for larger
+/// machine-generated automata.
+pub(crate) fn equivalence_classes_hopcroft(dfa: &Dfa) -> Vec<usize> {
+    let n = dfa.n_states();
+    let k = dfa.n_letters();
+
+    // Reverse transitions: rev[a][t] = states s with s·a = t.
+    let mut rev: Vec<Vec<Vec<State>>> = vec![vec![Vec::new(); n]; k];
+    for s in 0..n {
+        for a in 0..k {
+            rev[a][dfa.step(s, a)].push(s);
+        }
+    }
+
+    // Partition as block id per state plus member lists.
+    let mut block_of: Vec<usize> = (0..n).map(|s| usize::from(dfa.is_accepting(s))).collect();
+    let mut blocks: Vec<Vec<State>> = vec![
+        (0..n).filter(|&s| !dfa.is_accepting(s)).collect(),
+        (0..n).filter(|&s| dfa.is_accepting(s)).collect(),
+    ];
+    blocks.retain(|b| !b.is_empty());
+    if blocks.len() == 1 {
+        block_of.iter_mut().for_each(|b| *b = 0);
+    } else {
+        // Re-id after retain: rejecting block may have vanished.
+        for (id, b) in blocks.iter().enumerate() {
+            for &s in b {
+                block_of[s] = id;
+            }
+        }
+    }
+
+    // Worklist of (block id, letter) splitters; seeding with every block
+    // is correct (if unoptimal by half).
+    let mut work: std::collections::VecDeque<(usize, usize)> = (0..blocks.len())
+        .flat_map(|b| (0..k).map(move |a| (b, a)))
+        .collect();
+
+    while let Some((splitter, a)) = work.pop_front() {
+        // Pre-image of the splitter block under letter a.
+        let preimage: Vec<State> = blocks[splitter]
+            .iter()
+            .flat_map(|&t| rev[a][t].iter().copied())
+            .collect();
+        if preimage.is_empty() {
+            continue;
+        }
+        // Group the pre-image by current block.
+        let mut touched: std::collections::HashMap<usize, Vec<State>> =
+            std::collections::HashMap::new();
+        for s in preimage {
+            touched.entry(block_of[s]).or_default().push(s);
+        }
+        for (b, mut inside) in touched {
+            inside.sort_unstable();
+            inside.dedup();
+            if inside.len() == blocks[b].len() {
+                continue; // no split
+            }
+            // Split block b into `inside` and the rest.
+            let rest: Vec<State> = blocks[b]
+                .iter()
+                .copied()
+                .filter(|s| !inside.contains(s))
+                .collect();
+            let new_id = blocks.len();
+            let (small, large) = if inside.len() <= rest.len() {
+                (inside, rest)
+            } else {
+                (rest, inside)
+            };
+            for &s in &small {
+                block_of[s] = new_id;
+            }
+            blocks[b] = large;
+            blocks.push(small);
+            for letter in 0..k {
+                work.push_back((new_id, letter));
+            }
+        }
+    }
+    block_of
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_equivalent_states() {
+        // States 1 and 2 are equivalent (both accepting sinks).
+        let d = Dfa::from_rows(
+            1,
+            0,
+            vec![false, true, true],
+            vec![vec![1], vec![2], vec![1]],
+        )
+        .unwrap();
+        let m = d.minimize();
+        assert_eq!(m.n_states(), 2);
+        assert!(!m.accepts(&[]));
+        assert!(m.accepts(&[0]));
+        assert!(m.accepts(&[0, 0, 0]));
+    }
+
+    #[test]
+    fn minimal_is_fixed_point() {
+        let d = Dfa::from_rows(2, 0, vec![true, false], vec![vec![1, 0], vec![0, 1]]).unwrap();
+        let m = d.minimize();
+        assert_eq!(m, m.minimize());
+        assert_eq!(m.n_states(), 2);
+    }
+
+    #[test]
+    fn canonical_numbering() {
+        // Two differently-numbered automata for "words ending in a" over
+        // {a=0, b=1} minimize to identical tables.
+        let d1 = Dfa::from_rows(2, 0, vec![false, true], vec![vec![1, 0], vec![1, 0]]).unwrap();
+        let d2 = Dfa::from_rows(
+            2,
+            1,
+            vec![true, false, false],
+            vec![vec![0, 1], vec![0, 1], vec![0, 2]],
+        )
+        .unwrap();
+        assert_eq!(d1.minimize(), d2.minimize());
+    }
+
+    #[test]
+    fn empty_and_universal_language() {
+        let never = Dfa::trivial(2, false);
+        assert_eq!(never.minimize().n_states(), 1);
+        let always = Dfa::trivial(2, true);
+        assert_eq!(always.minimize().n_states(), 1);
+        assert_ne!(never.minimize(), always.minimize());
+    }
+
+    /// Same partition from Moore and Hopcroft, on random DFAs.
+    #[test]
+    fn hopcroft_agrees_with_moore() {
+        // Deterministic pseudo-random tables without external crates.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..300 {
+            let n = (next() % 7 + 1) as usize;
+            let k = (next() % 3 + 1) as usize;
+            let rows: Vec<Vec<usize>> = (0..n)
+                .map(|_| (0..k).map(|_| (next() % n as u64) as usize).collect())
+                .collect();
+            let accepting: Vec<bool> = (0..n).map(|_| next() % 2 == 0).collect();
+            let d = Dfa::from_rows(k, 0, accepting, rows).unwrap();
+            let moore = equivalence_classes(&d);
+            let hopcroft = equivalence_classes_hopcroft(&d);
+            for p in 0..n {
+                for q in 0..n {
+                    assert_eq!(
+                        moore[p] == moore[q],
+                        hopcroft[p] == hopcroft[q],
+                        "partitions disagree on ({p}, {q})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equivalence_classes_cover_unreachable_states() {
+        let d = Dfa::from_rows(
+            1,
+            0,
+            vec![true, true, false],
+            vec![vec![0], vec![1], vec![2]],
+        )
+        .unwrap();
+        let c = d.equivalence_classes();
+        // 0 and 1 both accept Σ*, 2 accepts ∅.
+        assert_eq!(c[0], c[1]);
+        assert_ne!(c[0], c[2]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Boolean operations and decision procedures on DFAs.
+//!
+//! Lemma 2.4 of the paper uses closure of registerless/stackless languages
+//! under union, intersection, and complement; on the word-automaton level
+//! those are the classical product constructions implemented here.
+
+use crate::dfa::{Dfa, State};
+
+/// How a product combines component acceptance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoolOp {
+    /// Accept iff both components accept.
+    And,
+    /// Accept iff at least one component accepts.
+    Or,
+    /// Accept iff exactly one component accepts (used for equivalence
+    /// testing: the product is empty iff the languages coincide).
+    Xor,
+}
+
+/// Synchronous product of two DFAs over the same alphabet, restricted to the
+/// reachable pairs.
+///
+/// # Panics
+///
+/// Panics if the alphabets disagree.
+pub fn product(a: &Dfa, b: &Dfa, op: BoolOp) -> Dfa {
+    assert_eq!(
+        a.n_letters(),
+        b.n_letters(),
+        "product of DFAs over different alphabets"
+    );
+    let k = a.n_letters();
+    let mut ids = std::collections::HashMap::new();
+    let mut pairs: Vec<(State, State)> = Vec::new();
+    let start = (a.init(), b.init());
+    ids.insert(start, 0usize);
+    pairs.push(start);
+    let mut rows: Vec<Vec<usize>> = Vec::new();
+    let mut i = 0;
+    while i < pairs.len() {
+        let (p, q) = pairs[i];
+        let mut row = Vec::with_capacity(k);
+        for letter in 0..k {
+            let succ = (a.step(p, letter), b.step(q, letter));
+            let id = *ids.entry(succ).or_insert_with(|| {
+                pairs.push(succ);
+                pairs.len() - 1
+            });
+            row.push(id);
+        }
+        rows.push(row);
+        i += 1;
+    }
+    let accepting = pairs
+        .iter()
+        .map(|&(p, q)| {
+            let (fa, fb) = (a.is_accepting(p), b.is_accepting(q));
+            match op {
+                BoolOp::And => fa && fb,
+                BoolOp::Or => fa || fb,
+                BoolOp::Xor => fa != fb,
+            }
+        })
+        .collect();
+    Dfa::from_rows(k, 0, accepting, rows).expect("product construction is well-formed")
+}
+
+/// Intersection L(a) ∩ L(b).
+pub fn intersection(a: &Dfa, b: &Dfa) -> Dfa {
+    product(a, b, BoolOp::And)
+}
+
+/// Union L(a) ∪ L(b).
+pub fn union(a: &Dfa, b: &Dfa) -> Dfa {
+    product(a, b, BoolOp::Or)
+}
+
+/// Whether the automaton accepts no word (no accepting state reachable).
+pub fn is_empty(a: &Dfa) -> bool {
+    let reachable = a.reachable();
+    !(0..a.n_states()).any(|s| reachable[s] && a.is_accepting(s))
+}
+
+/// Whether two DFAs over the same alphabet accept the same language.
+pub fn equivalent(a: &Dfa, b: &Dfa) -> bool {
+    is_empty(&product(a, b, BoolOp::Xor))
+}
+
+/// Whether L(a) ⊆ L(b).
+pub fn included(a: &Dfa, b: &Dfa) -> bool {
+    is_empty(&intersection(a, &b.complement()))
+}
+
+/// Returns a shortest accepted word, if any (BFS over reachable states).
+pub fn shortest_accepted(a: &Dfa) -> Option<Vec<usize>> {
+    let k = a.n_letters();
+    let n = a.n_states();
+    let mut parent: Vec<Option<(State, usize)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::from([a.init()]);
+    seen[a.init()] = true;
+    if a.is_accepting(a.init()) {
+        return Some(Vec::new());
+    }
+    while let Some(s) = queue.pop_front() {
+        for letter in 0..k {
+            let t = a.step(s, letter);
+            if seen[t] {
+                continue;
+            }
+            seen[t] = true;
+            parent[t] = Some((s, letter));
+            if a.is_accepting(t) {
+                let mut word = Vec::new();
+                let mut cur = t;
+                while let Some((p, l)) = parent[cur] {
+                    word.push(l);
+                    cur = p;
+                }
+                word.reverse();
+                return Some(word);
+            }
+            queue.push_back(t);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::regex::compile_regex;
+
+    fn d(pattern: &str) -> Dfa {
+        compile_regex(pattern, &Alphabet::of_chars("ab")).unwrap()
+    }
+
+    #[test]
+    fn intersection_union_complement() {
+        let has_a = d(".*a.*");
+        let has_b = d(".*b.*");
+        let both = intersection(&has_a, &has_b);
+        assert!(both.accepts(&[0, 1]));
+        assert!(!both.accepts(&[0, 0]));
+        let either = union(&has_a, &has_b);
+        assert!(either.accepts(&[0]));
+        assert!(either.accepts(&[1]));
+        assert!(!either.accepts(&[]));
+        let neither = either.complement();
+        assert!(neither.accepts(&[]));
+        assert!(!neither.accepts(&[0]));
+    }
+
+    #[test]
+    fn equivalence_and_inclusion() {
+        assert!(equivalent(&d("a*"), &d("(a)*")));
+        assert!(!equivalent(&d("a*"), &d("a+")));
+        assert!(included(&d("a+"), &d("a*")));
+        assert!(!included(&d("a*"), &d("a+")));
+        assert!(equivalent(&d("(a|b)*"), &d(".*")));
+    }
+
+    #[test]
+    fn emptiness_and_witness() {
+        assert!(is_empty(&d("[^ab]")));
+        assert!(!is_empty(&d("ab")));
+        assert_eq!(shortest_accepted(&d("ab")), Some(vec![0, 1]));
+        assert_eq!(shortest_accepted(&d("a*")), Some(vec![]));
+        assert_eq!(shortest_accepted(&d("[^ab]")), None);
+    }
+
+    #[test]
+    fn de_morgan_on_automata() {
+        let x = d("a.*");
+        let y = d(".*b");
+        let lhs = intersection(&x, &y).complement();
+        let rhs = union(&x.complement(), &y.complement());
+        assert!(equivalent(&lhs, &rhs));
+    }
+}

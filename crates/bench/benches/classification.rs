@@ -1,0 +1,62 @@
+//! E1: the Example 2.12 table — decision-procedure and compiler cost.
+//!
+//! The paper's classifications are "simple PTIME-testable properties of the
+//! minimal automaton"; this bench verifies they are also *cheap in
+//! practice*: classifying and compiling each table language costs
+//! microseconds, i.e. planning is negligible next to evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use st_core::analysis::Analysis;
+use st_core::planner::CompiledQuery;
+use st_core::{classify, papers};
+
+fn bench_classification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify/table_2_12");
+    for which in [
+        papers::Fig3::A,
+        papers::Fig3::B,
+        papers::Fig3::C,
+        papers::Fig3::D,
+    ] {
+        let dfa = papers::fig3(which);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(which.caption()),
+            &dfa,
+            |b, dfa| {
+                b.iter(|| {
+                    let analysis = Analysis::new(std::hint::black_box(dfa));
+                    std::hint::black_box(classify(&analysis))
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("plan/table_2_12");
+    for which in [
+        papers::Fig3::A,
+        papers::Fig3::B,
+        papers::Fig3::C,
+        papers::Fig3::D,
+    ] {
+        let dfa = papers::fig3(which);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(which.caption()),
+            &dfa,
+            |b, dfa| {
+                b.iter(|| std::hint::black_box(CompiledQuery::compile(std::hint::black_box(dfa))));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1600))
+        .sample_size(20);
+    targets = bench_classification
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E20: depth sweep — where the stack hurts.
+//!
+//! Pure chains of increasing depth, evaluated with the stackless DRA
+//! (constant registers, the whole point of the model) versus the pushdown
+//! baseline (stack growth = document depth).  The *time* gap stays modest
+//! — pushing to a Vec is cheap — but the *memory* gap (registers vs stack
+//! high-water mark) is reported by the `experiments` binary; this bench
+//! pins down the time side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use st_baseline::StackEvaluator;
+use st_bench::{chain_workload, gamma};
+use st_core::analysis::Analysis;
+use st_core::har;
+
+fn bench_depth_sweep(c: &mut Criterion) {
+    let g = gamma();
+    let dfa = st_automata::compile_regex(".*a.*b", &g).unwrap();
+    let analysis = Analysis::new(&dfa);
+    let dra = har::compile_query_markup(&analysis).unwrap();
+
+    let mut group = c.benchmark_group("depth_sweep/.*a.*b");
+    for depth in [1_000usize, 10_000, 100_000, 1_000_000] {
+        let w = chain_workload(depth);
+        group.throughput(Throughput::Elements(w.tags.len() as u64));
+        group.bench_with_input(BenchmarkId::new("stackless", depth), &w.tags, |b, tags| {
+            b.iter(|| dra.count(std::hint::black_box(tags)));
+        });
+        group.bench_with_input(BenchmarkId::new("stack", depth), &w.tags, |b, tags| {
+            b.iter(|| StackEvaluator::count_selected(&analysis.dfa, std::hint::black_box(tags)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1600))
+        .sample_size(20);
+    targets = bench_depth_sweep
+}
+criterion_main!(benches);

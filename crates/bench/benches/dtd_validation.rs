@@ -1,0 +1,78 @@
+//! E4/Section 4.1: weak validation of a path DTD.
+//!
+//! Registerless validation (the Lemma 3.11 synopsis automaton, via its
+//! A-flat dual) versus stack-based validation versus full DOM validation,
+//! over schema-conforming record documents.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use st_automata::Alphabet;
+use st_baseline::StackEvaluator;
+use st_core::dtd::{PathDtd, Production, Repetition};
+use st_core::model::{accepts, TagDfaProgram};
+use st_trees::encode::{markup_decode, markup_encode};
+use st_trees::generate;
+
+/// Fully-recursive document schema (A-flat, hence weakly validatable).
+fn schema() -> PathDtd {
+    let g = Alphabet::from_symbols(["doc", "section", "para"]).unwrap();
+    let l = |s: &str| g.letter(s).unwrap();
+    let all = vec![l("section"), l("para")];
+    let root = l("doc");
+    PathDtd::new(
+        g,
+        root,
+        vec![
+            Production {
+                allowed: all.clone(),
+                repetition: Repetition::Star,
+            },
+            Production {
+                allowed: all,
+                repetition: Repetition::Star,
+            },
+            Production {
+                allowed: vec![],
+                repetition: Repetition::Star,
+            },
+        ],
+    )
+    .unwrap()
+}
+
+fn bench_dtd(c: &mut Criterion) {
+    let dtd = schema();
+    let g = dtd.alphabet().clone();
+    let validator = dtd.compile_validator().unwrap();
+    let prog = TagDfaProgram::new(&validator);
+    let path = dtd.path_dfa();
+
+    let mut group = c.benchmark_group("dtd/weak_validation");
+    for nodes in [5_000usize, 50_000] {
+        let tree = generate::random_attachment(&g, nodes, 0.4, 777);
+        let tags = markup_encode(&tree);
+        group.throughput(Throughput::Elements(tags.len() as u64));
+        group.bench_with_input(BenchmarkId::new("registerless", nodes), &tags, |b, tags| {
+            b.iter(|| accepts(&prog, std::hint::black_box(tags)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("stack", nodes), &tags, |b, tags| {
+            b.iter(|| StackEvaluator::forall_branches(&path, std::hint::black_box(tags)));
+        });
+        group.bench_with_input(BenchmarkId::new("dom", nodes), &tags, |b, tags| {
+            b.iter(|| {
+                let t = markup_decode(std::hint::black_box(tags)).unwrap();
+                dtd.validates(&t)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1600))
+        .sample_size(20);
+    targets = bench_dtd
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E7: descendent-pattern matching (Proposition 2.8) — the stackless
+//! matcher versus parse-then-walk DOM evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use st_bench::{gamma, standard_workloads};
+use st_core::model::accepts;
+use st_core::pattern::{contains, parse_pattern, PatternProgram};
+use st_trees::encode::markup_decode;
+
+fn bench_patterns(c: &mut Criterion) {
+    let g = gamma();
+    let patterns = [
+        ("single", "a{}"),
+        ("chain2", "a{b{}}"),
+        ("fig1a", "b{b{a{}c{}}c{}}"),
+    ];
+    let workloads = standard_workloads(20_000);
+
+    for w in &workloads {
+        let mut group = c.benchmark_group(format!("patterns/{}", w.name));
+        group.throughput(Throughput::Elements(w.tags.len() as u64));
+        for (name, text) in patterns {
+            let pattern = parse_pattern(text, &g).unwrap();
+            let program = PatternProgram::new(&pattern).unwrap();
+            group.bench_with_input(BenchmarkId::new("stackless", name), &w.tags, |b, tags| {
+                b.iter(|| accepts(&program, std::hint::black_box(tags)).unwrap());
+            });
+            group.bench_with_input(BenchmarkId::new("dom", name), &w.tags, |b, tags| {
+                b.iter(|| {
+                    let tree = markup_decode(std::hint::black_box(tags)).unwrap();
+                    contains(&tree, &pattern)
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1600))
+        .sample_size(20);
+    targets = bench_patterns
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! E19: evaluation throughput per strategy — the introduction's Gb/s
+//! discussion, reproduced in shape.
+//!
+//! For each Example 2.12 language and each document shape, measure the
+//! tag-stream throughput of:
+//!
+//! * the **registerless** DFA (when the language permits — Lemma 3.5),
+//! * the **stackless** DRA (when HAR — Lemma 3.8),
+//! * the **stack** baseline (always),
+//! * the raw byte **scan** over the XML serialization (the memchr-style
+//!   ceiling).
+//!
+//! Expected shape (the paper's thesis): scan ≥ registerless ≥ stackless ≫
+//! DOM, with the stack baseline's gap growing on deep documents.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use st_baseline::{scan, StackEvaluator};
+use st_bench::{gamma, standard_workloads};
+use st_core::analysis::Analysis;
+use st_core::model::{preselect, TagDfaProgram};
+use st_core::{har, registerless};
+
+fn bench_throughput(c: &mut Criterion) {
+    let g = gamma();
+    let workloads = standard_workloads(40_000);
+    let patterns = ["a.*b", "ab", ".*a.*b", ".*ab"];
+
+    for w in &workloads {
+        let mut group = c.benchmark_group(format!("throughput/{}", w.name));
+        group.throughput(Throughput::Bytes(w.xml.len() as u64));
+
+        group.bench_with_input(BenchmarkId::new("scan", "count_lt"), &w.xml, |b, xml| {
+            b.iter(|| scan::count_byte(std::hint::black_box(xml), b'<'));
+        });
+        group.bench_with_input(BenchmarkId::new("scan", "depth"), &w.xml, |b, xml| {
+            b.iter(|| scan::max_depth_scan(std::hint::black_box(xml)));
+        });
+
+        for pattern in patterns {
+            let dfa = st_automata::compile_regex(pattern, &g).unwrap();
+            let analysis = Analysis::new(&dfa);
+
+            if let Ok(q) = registerless::compile_query_markup(&analysis) {
+                let prog = TagDfaProgram::new(&q);
+                group.bench_with_input(
+                    BenchmarkId::new("registerless", pattern),
+                    &w.tags,
+                    |b, tags| {
+                        b.iter(|| preselect(&prog, std::hint::black_box(tags)).unwrap().len());
+                    },
+                );
+            }
+            if let Ok(prog) = har::compile_query_markup(&analysis) {
+                group.bench_with_input(
+                    BenchmarkId::new("stackless", pattern),
+                    &w.tags,
+                    |b, tags| {
+                        b.iter(|| prog.count(std::hint::black_box(tags)));
+                    },
+                );
+            }
+            group.bench_with_input(BenchmarkId::new("stack", pattern), &w.tags, |b, tags| {
+                b.iter(|| {
+                    StackEvaluator::count_selected(&analysis.dfa, std::hint::black_box(tags))
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1600))
+        .sample_size(20);
+    targets = bench_throughput
+}
+criterion_main!(benches);

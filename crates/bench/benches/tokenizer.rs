@@ -1,0 +1,70 @@
+//! Tokenizer calibration: the introduction's "parsing dominates" claim.
+//!
+//! Raw byte scan vs XML tokenization vs tokenization + query evaluation,
+//! over the same bytes — reproducing the *shape* of the memchr (20 Gb/s) /
+//! Hyperscan (10 Gb/s) / simdjson (3 Gb/s) ladder from Section 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use st_baseline::scan;
+use st_bench::records_workload;
+use st_core::analysis::Analysis;
+use st_core::har;
+use st_core::model::DraRunner;
+use st_trees::xml::Scanner;
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let w = records_workload(20_000, 12);
+    let g =
+        st_automata::Alphabet::from_symbols(["doc", "record", "name", "value", "item"]).unwrap();
+    // //record//name as a path regex over the record alphabet.
+    let dfa = st_rpq::PathQuery::from_xpath("//record//name", &g)
+        .unwrap()
+        .dfa;
+    let analysis = Analysis::new(&dfa);
+    let dra = har::compile_query_markup(&analysis).unwrap_or_else(|_| {
+        panic!("//record//name is HAR");
+    });
+
+    let mut group = c.benchmark_group("tokenizer/records");
+    group.throughput(Throughput::Bytes(w.xml.len() as u64));
+
+    group.bench_with_input(BenchmarkId::new("scan", "memchr"), &w.xml, |b, xml| {
+        b.iter(|| scan::count_byte(std::hint::black_box(xml), b'<'));
+    });
+    group.bench_with_input(BenchmarkId::new("tokenize", "events"), &w.xml, |b, xml| {
+        b.iter(|| {
+            Scanner::new(std::hint::black_box(xml), &g)
+                .inspect(|e| assert!(e.is_ok(), "workload is well-formed"))
+                .count()
+        });
+    });
+    group.bench_with_input(
+        BenchmarkId::new("tokenize_and_query", "stackless"),
+        &w.xml,
+        |b, xml| {
+            b.iter(|| {
+                let mut runner = DraRunner::new(&dra).unwrap();
+                let mut selected = 0usize;
+                for e in Scanner::new(std::hint::black_box(xml), &g) {
+                    let tag = e.expect("well-formed");
+                    let acc = runner.step(tag);
+                    if tag.is_open() && acc {
+                        selected += 1;
+                    }
+                }
+                selected
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1600))
+        .sample_size(20);
+    targets = bench_tokenizer
+}
+criterion_main!(benches);

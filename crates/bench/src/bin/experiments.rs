@@ -1,0 +1,345 @@
+//! Experiment harness: regenerates every paper artifact as console tables.
+//!
+//! Run with `cargo run --release -p st-bench --bin experiments`; the output
+//! is the source of EXPERIMENTS.md.
+
+use std::time::Instant;
+
+use st_automata::pairs::MeetMode;
+use st_automata::{compile_regex, Alphabet};
+use st_baseline::{scan, StackEvaluator};
+use st_bench::{chain_workload, gamma, records_workload, standard_workloads};
+use st_core::analysis::Analysis;
+use st_core::classify::classify_mode;
+use st_core::model::{preselect, DraProgram, TagDfaProgram};
+use st_core::planner::{CompiledQuery, Strategy};
+use st_core::{classify, dtd, fooling, har, papers, registerless, term};
+
+fn main() {
+    println!("# Stackless Processing of Streamed Trees — experiment harness");
+    println!("# (paper: Barloy, Murlak, Paperman; PODS 2021)");
+    println!();
+    e1_table_2_12();
+    e21_term_table();
+    e2_fig2_gap();
+    e3_fig3_verdicts();
+    e4_fig6_dtd();
+    e8_to_e12_fooling();
+    e18_rpqness();
+    e19_throughput();
+    e20_memory();
+}
+
+fn tick(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no "
+    }
+}
+
+/// E1: Example 2.12's table under the markup encoding.
+fn e1_table_2_12() {
+    println!("## E1 — Example 2.12 (markup encoding)");
+    println!(
+        "{:<10} {:<10} {:<10} {:<14} {:<10}",
+        "XPath", "JSONPath", "RegEx", "registerless", "stackless"
+    );
+    for row in papers::table_2_12() {
+        println!(
+            "{:<10} {:<10} {:<10} {:<14} {:<10}",
+            row.xpath,
+            row.jsonpath,
+            row.regex_display,
+            tick(row.report.query_registerless()),
+            tick(row.report.query_stackless()),
+        );
+    }
+    println!();
+}
+
+/// E21: the same table under the term encoding (Section 4.2).
+fn e21_term_table() {
+    println!("## E21 — Example 2.12 under the term encoding (Section 4.2)");
+    println!(
+        "{:<10} {:<18} {:<14}",
+        "RegEx", "term-registerless", "term-stackless"
+    );
+    for row in papers::table_2_12() {
+        println!(
+            "{:<10} {:<18} {:<14}",
+            row.regex_display,
+            tick(row.report.query_term_registerless()),
+            tick(row.report.query_term_stackless()),
+        );
+    }
+    println!();
+}
+
+/// E2: Fig. 2 / Section 4.2 — the cost of succinctness.
+fn e2_fig2_gap() {
+    println!("## E2 — Fig. 2's language (even number of a's): markup vs term");
+    let analysis = Analysis::new(&papers::fig2());
+    let report = classify(&analysis);
+    println!(
+        "markup:  registerless={} stackless={}",
+        tick(report.query_registerless()),
+        tick(report.query_stackless())
+    );
+    println!(
+        "term:    registerless={} stackless={}   (\"this is the cost of succinctness\")",
+        tick(report.query_term_registerless()),
+        tick(report.query_term_stackless())
+    );
+    println!();
+}
+
+/// E3: Fig. 3's four languages, full verdict matrix.
+fn e3_fig3_verdicts() {
+    println!("## E3 — Fig. 3 verdict matrix (markup)");
+    println!(
+        "{:<10} {:<8} {:<18} {:<8} {:<8} {:<8}",
+        "language", "states", "almost-reversible", "HAR", "E-flat", "A-flat"
+    );
+    for which in [
+        papers::Fig3::A,
+        papers::Fig3::B,
+        papers::Fig3::C,
+        papers::Fig3::D,
+    ] {
+        let dfa = papers::fig3(which);
+        let analysis = Analysis::new(&dfa);
+        let v = classify_mode(&analysis, MeetMode::Synchronous);
+        println!(
+            "{:<10} {:<8} {:<18} {:<8} {:<8} {:<8}",
+            which.caption(),
+            dfa.n_states(),
+            tick(v.almost_reversible.holds),
+            tick(v.har.holds),
+            tick(v.e_flat.holds),
+            tick(v.a_flat.holds),
+        );
+    }
+    println!();
+}
+
+/// E4: Fig. 6 — flatness must be checked after determinization.
+fn e4_fig6_dtd() {
+    println!("## E4 — Fig. 6 specialized DTD");
+    let sdtd = dtd::fig6_dtd();
+    let minimal = sdtd.minimal_path_dfa();
+    let analysis = Analysis::new(&minimal);
+    let v = classify_mode(&analysis, MeetMode::Synchronous);
+    println!(
+        "minimal path automaton: {} states; A-flat after minimization: {}",
+        minimal.n_states(),
+        tick(v.a_flat.holds)
+    );
+    println!("(the raw nondeterministic automaton looks A-flat — Fig. 6's warning)");
+    println!();
+}
+
+/// E8–E12: fooling constructions.
+fn e8_to_e12_fooling() {
+    println!("## E8–E12 — fooling constructions");
+    let g = gamma();
+    let (a, b, c) = (
+        g.letter("a").unwrap(),
+        g.letter("b").unwrap(),
+        g.letter("c").unwrap(),
+    );
+
+    // E10: Fig. 4 (Lemma 3.12) on the non-E-flat language `ab`.
+    let analysis = Analysis::new(&compile_regex("ab", &g).unwrap());
+    let pair = fooling::eflat_fooling_pair(&analysis, 3).expect("ab is not E-flat");
+    println!(
+        "E10 Fig.4 pair for L=ab: |S|={} |S'|={} nodes; S in EL: {}; defeats DFAs with <= {} states",
+        pair.original.len(),
+        pair.pumped.len(),
+        pair.original_in_language,
+        pair.defeats_n_states
+    );
+
+    // E12: Fig. 7 (Appendix B) on Fig. 2's language.
+    let g2 = Alphabet::of_chars("ab");
+    let analysis2 = Analysis::new(&compile_regex("(b*ab*a)*b*", &g2).unwrap());
+    let pair2 = term::blind_eflat_fooling_pair(&analysis2, 3)
+        .expect("Fig. 2's language is not blindly E-flat");
+    println!(
+        "E12 Fig.7 blind pair: |S|={} |S'|={} nodes; S in EL: {}",
+        pair2.original.len(),
+        pair2.pumped.len(),
+        pair2.original_in_language
+    );
+
+    // E8: Example 2.9 — strict patterns fool the non-strict matcher.
+    let fam = fooling::family(fooling::FamilyKind::StrictPattern, 6, a, b, c);
+    let pattern = st_core::pattern::parse_pattern("b{b{a{}c{}}c{}}", &g).unwrap();
+    let program = st_core::pattern::PatternProgram::new(&pattern).unwrap();
+    match fooling::pigeonhole_fool(&program, &fam) {
+        Some(demo) => println!(
+            "E8  Example 2.9: pigeonhole found flags {:?} vs {:?} (flag {}), memberships {:?}, program says {} for both",
+            demo.flags_a, demo.flags_b, demo.differing_flag, demo.in_language, demo.program_verdict
+        ),
+        None => println!("E8  Example 2.9: no collision at this size (increase flags)"),
+    }
+
+    // E9: Example 2.10 — sibling combinations fool a compiled DRA.
+    let fam = fooling::family(fooling::FamilyKind::TripleSiblings, 7, a, b, c);
+    let analysis3 = Analysis::new(&compile_regex(".*a.*b", &g).unwrap());
+    let dra = har::compile_query_markup(&analysis3).unwrap();
+    match fooling::pigeonhole_fool(&dra, &fam) {
+        Some(demo) => println!(
+            "E9  Example 2.10: HAR program ({} registers) conflated docs of {} tags, memberships {:?}",
+            dra.n_registers(),
+            demo.doc_a.len(),
+            demo.in_language
+        ),
+        None => println!("E9  Example 2.10: no collision at this size"),
+    }
+    println!();
+}
+
+/// E18: bounded Proposition 2.13.
+fn e18_rpqness() {
+    println!("## E18 — Proposition 2.13 (bounded RPQ-ness check)");
+    let g = Alphabet::of_chars("ab");
+    let analysis = Analysis::new(&compile_regex(".*a.*b", &g).unwrap());
+    let program = har::compile_query_markup(&analysis).unwrap();
+    let report = st_core::rpqness::bounded_rpq_check(&program, &g, 5);
+    println!(
+        "compiled HAR program for G*aG*b is a path query on all trees with <= {} nodes: {}",
+        report.max_nodes,
+        tick(report.path_query_up_to_bound)
+    );
+    println!();
+}
+
+fn mbps(bytes: usize, elapsed: std::time::Duration) -> f64 {
+    bytes as f64 / elapsed.as_secs_f64() / 1e6
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> (R, std::time::Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// E19: quick throughput ladder (use `cargo bench` for rigorous numbers).
+fn e19_throughput() {
+    println!("## E19 — throughput ladder (MB/s over XML bytes; quick measurement)");
+    let g = gamma();
+    let reps = 8usize;
+    for w in standard_workloads(120_000) {
+        let total = w.xml.len() * reps;
+        let (_, d_scan) = time(|| {
+            let mut acc = 0usize;
+            for _ in 0..reps {
+                acc += scan::count_byte(&w.xml, b'<');
+            }
+            acc
+        });
+        let (_, d_tok) = time(|| {
+            let mut acc = 0usize;
+            for _ in 0..reps {
+                acc += st_trees::xml::Scanner::new(&w.xml, &g)
+                    .inspect(|e| assert!(e.is_ok(), "well-formed"))
+                    .count();
+            }
+            acc
+        });
+        let pattern = ".*a.*b";
+        let analysis = Analysis::new(&compile_regex(pattern, &g).unwrap());
+        let dra = har::compile_query_markup(&analysis).unwrap();
+        let (_, d_dra) = time(|| {
+            let mut acc = 0usize;
+            for _ in 0..reps {
+                acc += dra.count(&w.tags);
+            }
+            acc
+        });
+        let (_, d_stack) = time(|| {
+            let mut acc = 0usize;
+            for _ in 0..reps {
+                acc += StackEvaluator::count_selected(&analysis.dfa, &w.tags);
+            }
+            acc
+        });
+        let ar = Analysis::new(&compile_regex("a.*b", &g).unwrap());
+        let q = registerless::compile_query_markup(&ar).unwrap();
+        let prog = TagDfaProgram::new(&q);
+        let (_, d_dfa) = time(|| {
+            let mut acc = 0usize;
+            for _ in 0..reps {
+                acc += preselect(&prog, &w.tags).unwrap().len();
+            }
+            acc
+        });
+        println!(
+            "{:<6} ({} nodes, depth {:>5}): scan {:>8.1} | tokenize {:>8.1} | DFA(aG*b) {:>8.1} | DRA(G*aG*b) {:>8.1} | stack {:>8.1}",
+            w.name,
+            w.nodes,
+            w.depth,
+            mbps(total, d_scan),
+            mbps(total, d_tok),
+            mbps(total, d_dfa),
+            mbps(total, d_dra),
+            mbps(total, d_stack),
+        );
+    }
+    // Records workload end to end (tokenize + query), the intro's scenario.
+    let w = records_workload(50_000, 12);
+    let galpha = Alphabet::from_symbols(["doc", "record", "name", "value", "item"]).unwrap();
+    let dfa = st_rpq::PathQuery::from_xpath("//record//name", &galpha)
+        .unwrap()
+        .dfa;
+    let analysis = Analysis::new(&dfa);
+    let dra = har::compile_query_markup(&analysis).unwrap();
+    let (selected, d) = time(|| {
+        let mut runner = st_core::model::DraRunner::new(&dra).unwrap();
+        let mut selected = 0usize;
+        for e in st_trees::xml::Scanner::new(&w.xml, &galpha) {
+            let tag = e.expect("well-formed");
+            if runner.step(tag) && tag.is_open() {
+                selected += 1;
+            }
+        }
+        selected
+    });
+    println!(
+        "records ({} nodes): tokenize+query //record//name = {:.1} MB/s, {} nodes selected",
+        w.nodes,
+        mbps(w.xml.len(), d),
+        selected
+    );
+    println!();
+}
+
+/// E20: the memory story — registers vs stack high-water mark.
+fn e20_memory() {
+    println!("## E20 — memory: registers vs stack high-water mark");
+    let g = gamma();
+    let analysis = Analysis::new(&compile_regex(".*a.*b", &g).unwrap());
+    let dra = har::compile_query_markup(&analysis).unwrap();
+    let q = CompiledQuery::compile(&analysis.dfa);
+    assert_eq!(q.strategy(), Strategy::Stackless);
+    println!(
+        "{:>9} {:>16} {:>16}",
+        "depth", "DRA registers", "stack high-water"
+    );
+    for depth in [100usize, 10_000, 1_000_000] {
+        let w = chain_workload(depth);
+        let mut ev = StackEvaluator::new(&analysis.dfa);
+        for &t in &w.tags {
+            ev.step(t);
+        }
+        let _ = preselect(&dra, &w.tags).unwrap();
+        println!(
+            "{:>9} {:>16} {:>16}",
+            depth,
+            dra.n_registers(),
+            ev.max_depth()
+        );
+    }
+    println!();
+}

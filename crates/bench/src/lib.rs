@@ -1,0 +1,88 @@
+//! Shared workload builders for the benchmark suite and the experiment
+//! harness.
+//!
+//! Everything is deterministic (fixed seeds) so that bench runs and
+//! EXPERIMENTS.md numbers are reproducible.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use st_automata::{Alphabet, Tag};
+use st_trees::encode::markup_encode;
+use st_trees::{generate, xml};
+
+/// The Γ = {a, b, c} alphabet of the paper's examples.
+pub fn gamma() -> Alphabet {
+    Alphabet::of_chars("abc")
+}
+
+/// A workload: a materialized tag stream plus its XML serialization.
+pub struct Workload {
+    /// Human-readable name (appears in bench ids).
+    pub name: &'static str,
+    /// Tag events of ⟨T⟩.
+    pub tags: Vec<Tag>,
+    /// The XML bytes the tokenizer benchmarks consume.
+    pub xml: Vec<u8>,
+    /// Document depth.
+    pub depth: u32,
+    /// Node count.
+    pub nodes: usize,
+}
+
+fn workload(name: &'static str, tree: st_trees::Tree, alphabet: &Alphabet) -> Workload {
+    let tags = markup_encode(&tree);
+    let xml = xml::write_document(&tree, alphabet).into_bytes();
+    Workload {
+        name,
+        tags,
+        xml,
+        depth: tree.height(),
+        nodes: tree.len(),
+    }
+}
+
+/// The standard shapes at a given node count: bushy, mixed, and deep.
+pub fn standard_workloads(n_nodes: usize) -> Vec<Workload> {
+    let g = gamma();
+    vec![
+        workload(
+            "bushy",
+            generate::random_attachment(&g, n_nodes, 0.05, 101),
+            &g,
+        ),
+        workload(
+            "mixed",
+            generate::random_attachment(&g, n_nodes, 0.5, 202),
+            &g,
+        ),
+        workload(
+            "deep",
+            generate::random_attachment(&g, n_nodes, 0.95, 303),
+            &g,
+        ),
+    ]
+}
+
+/// A pure chain of the given depth (worst case for stacks).
+pub fn chain_workload(depth: usize) -> Workload {
+    let g = gamma();
+    let letters: Vec<_> = g.letters().collect();
+    workload("chain", generate::chain(&letters, depth), &g)
+}
+
+/// A record-list document (realistic export shape).
+pub fn records_workload(n_records: usize, record_size: usize) -> Workload {
+    let g = Alphabet::from_symbols(["doc", "record", "name", "value", "item"])
+        .expect("distinct symbols");
+    let tree = generate::document_like(&g, n_records, record_size, 404);
+    let tags = markup_encode(&tree);
+    let xml = xml::write_document(&tree, &g).into_bytes();
+    Workload {
+        name: "records",
+        tags,
+        xml,
+        depth: tree.height(),
+        nodes: tree.len(),
+    }
+}

@@ -1,0 +1,363 @@
+//! `stql` — query and validate streamed XML/JSON documents with the
+//! stackless evaluators of *Stackless Processing of Streamed Trees*
+//! (Barloy, Murlak, Paperman; PODS 2021).
+//!
+//! ```text
+//! stql explain <query> [--alphabet a,b,c]
+//! stql select  <query> <file>   [--count]
+//! stql validate <schema> <file>
+//! ```
+//!
+//! * `<query>` — an XPath (`/a//b`), JSONPath (`$.a..b`), or path regex.
+//! * `<file>`  — `.xml` documents use the markup pipeline; `.json` and
+//!   `.term` documents use the term (blind) pipeline.
+//! * `<schema>` — a path-DTD file; see [`schema::parse`] for the format.
+
+use std::process::ExitCode;
+
+mod schema;
+
+use st_automata::Alphabet;
+use st_core::planner::{CompiledQuery, CompiledTermQuery};
+use st_rpq::PathQuery;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("explain") => cmd_explain(&args[1..]),
+        Some("select") => cmd_select(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("extract") => cmd_extract(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("stql: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  stql explain <query> [--alphabet a,b,c] [--dot]
+  stql select  <query> <file.xml|file.json|file.term> [--count]
+  stql validate <schema.dtd> <file.xml>
+  stql stats   <file.xml|file.json|file.term>
+  stql extract <query> <file.xml>";
+
+/// Parses a query in whichever of the three syntaxes it is written.
+fn parse_query(query: &str, alphabet: &Alphabet) -> Result<PathQuery, String> {
+    let parsed = if query.starts_with('/') {
+        PathQuery::from_xpath(query, alphabet)
+    } else if query.starts_with('$') {
+        PathQuery::from_jsonpath(query, alphabet)
+    } else {
+        PathQuery::from_regex(query, alphabet)
+    };
+    parsed.map_err(|e| format!("cannot parse query {query:?}: {e}"))
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let query = args.first().ok_or("explain needs a query")?;
+    let sigma = flag_value(args, "--alphabet").unwrap_or("a,b,c");
+    let alphabet =
+        Alphabet::from_symbols(sigma.split(',')).map_err(|e| format!("bad alphabet: {e}"))?;
+    let q = parse_query(query, &alphabet)?;
+    let markup = CompiledQuery::compile(&q.dfa);
+    let term = CompiledTermQuery::compile(&q.dfa);
+    let report = markup.report();
+    println!("query        : {query}");
+    println!("alphabet     : {alphabet}");
+    println!("minimal DFA  : {} states", markup.minimal_dfa().n_states());
+    println!();
+    println!(
+        "markup (XML) : almost-reversible={} HAR={} E-flat={} A-flat={}",
+        report.markup.almost_reversible.holds,
+        report.markup.har.holds,
+        report.markup.e_flat.holds,
+        report.markup.a_flat.holds
+    );
+    println!(
+        "               strategy {:?}, {} register(s)",
+        markup.strategy(),
+        markup.n_registers()
+    );
+    println!(
+        "term (JSON)  : blindly-AR={} blindly-HAR={}",
+        report.term.almost_reversible.holds, report.term.har.holds
+    );
+    println!("               strategy {:?}", term.strategy());
+    if args.iter().any(|a| a == "--dot") {
+        println!();
+        println!("# minimal automaton of the path language (Graphviz):");
+        print!(
+            "{}",
+            markup
+                .minimal_dfa()
+                .to_dot(|a| alphabet.symbol(st_automata::Letter(a as u32)).to_owned())
+        );
+    }
+    Ok(())
+}
+
+/// The document kinds the pipeline understands.
+enum DocKind {
+    Xml,
+    Json,
+    Term,
+}
+
+fn doc_kind(path: &str) -> Result<DocKind, String> {
+    if path.ends_with(".xml") {
+        Ok(DocKind::Xml)
+    } else if path.ends_with(".json") {
+        Ok(DocKind::Json)
+    } else if path.ends_with(".term") {
+        Ok(DocKind::Term)
+    } else {
+        Err(format!(
+            "cannot tell the encoding of {path:?}; use .xml, .json, or .term"
+        ))
+    }
+}
+
+/// Warns when a tag stream is not a well-formed encoding: the evaluators
+/// follow the paper's weak-validation premise (input is assumed
+/// well-formed), so on unbalanced documents the answer is only meaningful
+/// for the balanced prefix.
+fn warn_if_unbalanced(tags: &[st_automata::Tag]) {
+    let mut depth: i64 = 0;
+    let mut dipped = false;
+    for t in tags {
+        depth += t.depth_delta();
+        dipped |= depth < 0;
+    }
+    if depth != 0 || dipped {
+        eprintln!(
+            "warning: document is not well-formed ({} unclosed element(s)); \
+             results assume the paper's well-formedness premise",
+            depth.max(0)
+        );
+    }
+}
+
+fn cmd_select(args: &[String]) -> Result<(), String> {
+    let query = args.first().ok_or("select needs a query and a file")?;
+    let path = args.get(1).ok_or("select needs a file")?;
+    let count_only = args.iter().any(|a| a == "--count");
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+
+    let kind = doc_kind(path)?;
+    match kind {
+        DocKind::Xml => {
+            let (alphabet, tags) = st_trees::xml::parse_document(&bytes)
+                .map_err(|e| format!("cannot parse {path}: {e}"))?;
+            warn_if_unbalanced(&tags);
+            let q = parse_query(query, &alphabet)?;
+            let plan = CompiledQuery::compile(&q.dfa);
+            eprintln!(
+                "strategy {:?} ({} registers)",
+                plan.strategy(),
+                plan.n_registers()
+            );
+            if count_only {
+                println!("{}", plan.count(&tags));
+            } else {
+                for id in plan.select(&tags) {
+                    println!("{id}");
+                }
+            }
+        }
+        DocKind::Json | DocKind::Term => {
+            let (alphabet, events) = if matches!(kind, DocKind::Json) {
+                st_trees::json::parse_json_document(&bytes)
+            } else {
+                st_trees::json::parse_term_document(&bytes)
+            }
+            .map_err(|e| format!("cannot parse {path}: {e}"))?;
+            let q = parse_query(query, &alphabet)?;
+            let plan = CompiledTermQuery::compile(&q.dfa);
+            eprintln!("strategy {:?} (term encoding)", plan.strategy());
+            let selected = plan.select(&events);
+            if count_only {
+                println!("{}", selected.len());
+            } else {
+                for id in selected {
+                    println!("{id}");
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Extracts the subtree of every outermost selected node as an XML
+/// snippet — the paper's pre-selection payoff (Section 2.3), with one
+/// extra register and no stack.
+fn cmd_extract(args: &[String]) -> Result<(), String> {
+    let query = args.first().ok_or("extract needs a query and a file")?;
+    let path = args.get(1).ok_or("extract needs a file")?;
+    if !matches!(doc_kind(path)?, DocKind::Xml) {
+        return Err("extract currently supports .xml documents".into());
+    }
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let (alphabet, tags) =
+        st_trees::xml::parse_document(&bytes).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    warn_if_unbalanced(&tags);
+    let q = parse_query(query, &alphabet)?;
+    let analysis = st_core::analysis::Analysis::new(&q.dfa);
+    let program = st_core::har::compile_query_markup(&analysis)
+        .map_err(|e| format!("query is not stackless, cannot extract without a stack: {e}"))?;
+    let matches = st_core::extract::extract_subtrees(&program, &tags).map_err(|e| e.to_string())?;
+    for m in &matches {
+        println!("{}", st_trees::xml::write_events(&m.events, &alphabet));
+    }
+    eprintln!("{} match(es)", matches.len());
+    Ok(())
+}
+
+/// Streaming document statistics: everything here is computable with the
+/// depth counter alone — no stack, no tree.
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("stats needs a file")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+
+    let mut depth: i64 = 0;
+    let mut max_depth: i64 = 0;
+    let mut nodes: u64 = 0;
+    let mut leaves: u64 = 0;
+    let mut prev_open = false;
+    let mut per_label: Vec<u64> = Vec::new();
+    let alphabet;
+
+    let kind = doc_kind(path)?;
+    match kind {
+        DocKind::Xml => {
+            let (g, tags) = st_trees::xml::parse_document(&bytes)
+                .map_err(|e| format!("cannot parse {path}: {e}"))?;
+            per_label.resize(g.len(), 0);
+            for tag in tags {
+                match tag {
+                    st_automata::Tag::Open(l) => {
+                        depth += 1;
+                        max_depth = max_depth.max(depth);
+                        nodes += 1;
+                        per_label[l.index()] += 1;
+                        prev_open = true;
+                    }
+                    st_automata::Tag::Close(_) => {
+                        depth -= 1;
+                        if prev_open {
+                            leaves += 1;
+                        }
+                        prev_open = false;
+                    }
+                }
+            }
+            alphabet = g;
+        }
+        DocKind::Json | DocKind::Term => {
+            let (g, events) = if matches!(kind, DocKind::Json) {
+                st_trees::json::parse_json_document(&bytes)
+            } else {
+                st_trees::json::parse_term_document(&bytes)
+            }
+            .map_err(|e| format!("cannot parse {path}: {e}"))?;
+            per_label.resize(g.len(), 0);
+            for event in events {
+                match event {
+                    st_trees::encode::TermEvent::Open(l) => {
+                        depth += 1;
+                        max_depth = max_depth.max(depth);
+                        nodes += 1;
+                        per_label[l.index()] += 1;
+                        prev_open = true;
+                    }
+                    st_trees::encode::TermEvent::Close => {
+                        depth -= 1;
+                        if prev_open {
+                            leaves += 1;
+                        }
+                        prev_open = false;
+                    }
+                }
+            }
+            alphabet = g;
+        }
+    }
+    println!("bytes     : {}", bytes.len());
+    println!("nodes     : {nodes}");
+    println!("leaves    : {leaves}");
+    println!("max depth : {max_depth}");
+    println!("labels    :");
+    for (l, count) in per_label.iter().enumerate() {
+        println!(
+            "  {:<12} {count}",
+            alphabet.symbol(st_automata::Letter(l as u32))
+        );
+    }
+    if depth != 0 {
+        return Err(format!("document is unbalanced ({depth} unclosed)"));
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let schema_path = args.first().ok_or("validate needs a schema and a file")?;
+    let doc_path = args.get(1).ok_or("validate needs a file")?;
+    let schema_text = std::fs::read_to_string(schema_path)
+        .map_err(|e| format!("cannot read {schema_path}: {e}"))?;
+    let dtd = schema::parse(&schema_text)?;
+    let verdicts = dtd.weak_validation_verdicts();
+    eprintln!(
+        "schema: A-flat={} (weakly validatable), HAR={}",
+        verdicts.a_flat.holds, verdicts.har.holds
+    );
+
+    let bytes = std::fs::read(doc_path).map_err(|e| format!("cannot read {doc_path}: {e}"))?;
+    let valid = match dtd.compile_validator() {
+        Ok(validator) => {
+            eprintln!(
+                "mode: streaming (registerless validator, {} states)",
+                validator.n_states()
+            );
+            let program = st_core::model::TagDfaProgram::new(&validator);
+            let mut runner = st_core::model::DraRunner::new(&program).map_err(|e| e.to_string())?;
+            let mut verdict = runner.is_accepting();
+            for event in st_trees::xml::Scanner::new(&bytes, dtd.alphabet()) {
+                let tag = event.map_err(|e| format!("parse error: {e}"))?;
+                verdict = runner.step(tag);
+            }
+            verdict
+        }
+        Err(_) => {
+            eprintln!("mode: DOM fallback (schema not A-flat; no streaming validator exists)");
+            let mut events = Vec::new();
+            for event in st_trees::xml::Scanner::new(&bytes, dtd.alphabet()) {
+                events.push(event.map_err(|e| format!("parse error: {e}"))?);
+            }
+            let tree = st_trees::encode::markup_decode(&events)
+                .map_err(|e| format!("not a well-formed document: {e}"))?;
+            dtd.validates(&tree)
+        }
+    };
+    println!("{}", if valid { "VALID" } else { "INVALID" });
+    if valid {
+        Ok(())
+    } else {
+        Err("document does not satisfy the schema".into())
+    }
+}

@@ -1,0 +1,136 @@
+//! A tiny text format for path DTDs (Section 4.1 of the paper).
+//!
+//! ```text
+//! # comments start with '#'
+//! root html
+//! html -> (div + p)*
+//! div  -> (div + p)*
+//! p    -> ()*
+//! q    -> (p)+          # at least one child
+//! ```
+//!
+//! Every symbol mentioned anywhere must have a production; `root` names
+//! the required root element.
+
+use st_automata::{Alphabet, Letter};
+use st_core::dtd::{PathDtd, Production, Repetition};
+
+/// Parses the schema text into a [`PathDtd`].
+pub fn parse(text: &str) -> Result<PathDtd, String> {
+    let mut root_name: Option<String> = None;
+    let mut raw: Vec<(String, Vec<String>, Repetition)> = Vec::new();
+
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line = raw_line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("line {}: {msg}", lineno + 1);
+        if let Some(rest) = line.strip_prefix("root") {
+            let name = rest.trim();
+            if name.is_empty() {
+                return Err(err("root needs a symbol name"));
+            }
+            if root_name.replace(name.to_owned()).is_some() {
+                return Err(err("root declared twice"));
+            }
+            continue;
+        }
+        let (lhs, rhs) = line
+            .split_once("->")
+            .ok_or_else(|| err("expected `name -> (a + b)*`"))?;
+        let lhs = lhs.trim();
+        let rhs = rhs.trim();
+        let repetition = if let Some(_stripped) = rhs.strip_suffix('*') {
+            Repetition::Star
+        } else if rhs.ends_with('+') {
+            Repetition::Plus
+        } else {
+            return Err(err("production must end with '*' or '+'"));
+        };
+        let inner = rhs[..rhs.len() - 1].trim();
+        let inner = inner
+            .strip_prefix('(')
+            .and_then(|s| s.strip_suffix(')'))
+            .ok_or_else(|| err("production body must be parenthesised"))?;
+        let allowed: Vec<String> = inner
+            .split('+')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_owned)
+            .collect();
+        raw.push((lhs.to_owned(), allowed, repetition));
+    }
+
+    let root_name = root_name.ok_or("no `root <symbol>` line")?;
+
+    // Intern all symbols: production heads first (stable numbering).
+    let mut alphabet = Alphabet::new();
+    for (head, _, _) in &raw {
+        alphabet
+            .intern(head)
+            .map_err(|e| format!("bad symbol {head:?}: {e}"))?;
+    }
+    let lookup = |alphabet: &Alphabet, name: &str| -> Result<Letter, String> {
+        alphabet
+            .letter(name)
+            .ok_or_else(|| format!("symbol {name:?} has no production"))
+    };
+    let root = lookup(&alphabet, &root_name)?;
+    let mut productions = vec![
+        Production {
+            allowed: vec![],
+            repetition: Repetition::Star,
+        };
+        alphabet.len()
+    ];
+    for (head, allowed_names, repetition) in &raw {
+        let head_letter = lookup(&alphabet, head)?;
+        let mut allowed = Vec::with_capacity(allowed_names.len());
+        for name in allowed_names {
+            allowed.push(lookup(&alphabet, name)?);
+        }
+        productions[head_letter.index()] = Production {
+            allowed,
+            repetition: *repetition,
+        };
+    }
+    PathDtd::new(alphabet, root, productions).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "
+# a recursive document schema
+root html
+html -> (div + p)*
+div  -> (div + p)*
+p    -> ()*
+";
+
+    #[test]
+    fn parses_sample() {
+        let dtd = parse(SAMPLE).unwrap();
+        assert_eq!(dtd.alphabet().len(), 3);
+        assert!(dtd.weak_validation_verdicts().a_flat.holds);
+    }
+
+    #[test]
+    fn plus_productions() {
+        let dtd = parse("root a\na -> (b)+\nb -> ()*").unwrap();
+        let path = dtd.path_dfa();
+        assert!(!path.accepts(&[0])); // `a` alone: + forbids leaves
+        assert!(path.accepts(&[0, 1]));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("html -> (div)*").is_err()); // no root
+        assert!(parse("root a\na -> b*").is_err()); // unparenthesised
+        assert!(parse("root a\na -> (b)").is_err()); // no repetition
+        assert!(parse("root a\na -> (b)*").is_err()); // b undeclared
+        assert!(parse("root a\nroot a\na -> ()*").is_err()); // double root
+    }
+}

@@ -1,0 +1,187 @@
+//! Shared structural analysis of a path language's minimal automaton.
+//!
+//! Every decision procedure and every compiler in this crate consumes the
+//! same facts about the minimal automaton A of L ⊆ Γ*:
+//!
+//! * which states are *internal* (reachable via a nonempty word, §3.1),
+//! * which are *acceptive* / *rejective* (can reach an accepting /
+//!   rejecting state, Definition 3.9),
+//! * the SCC decomposition (Definition 3.6),
+//! * the *meet* and *blind-meet* relations (Definition 3.4, Appendix B),
+//! * *almost equivalence* of states (§3.1).
+//!
+//! [`Analysis::new`] computes them once; classifiers and compilers borrow
+//! the analysis.
+
+use st_automata::dfa::{Dfa, State};
+use st_automata::pairs::{MeetAnalysis, MeetMode};
+use st_automata::scc::{scc, SccDecomposition};
+
+/// Precomputed facts about the minimal automaton of a path language.
+#[derive(Debug)]
+pub struct Analysis {
+    /// The canonical **minimal** automaton of the language (over Γ).
+    pub dfa: Dfa,
+    /// `internal[s]`: s is reachable from the initial state via a nonempty
+    /// word.
+    pub internal: Vec<bool>,
+    /// `acceptive[s]`: some accepting state is reachable from s (including
+    /// s itself).
+    pub acceptive: Vec<bool>,
+    /// `rejective[s]`: some rejecting state is reachable from s.
+    pub rejective: Vec<bool>,
+    /// SCC decomposition of the minimal automaton.
+    pub scc: SccDecomposition,
+    sync_meets: MeetAnalysis,
+    blind_meets: MeetAnalysis,
+}
+
+impl Analysis {
+    /// Minimizes `dfa` and computes all derived facts.
+    pub fn new(dfa: &Dfa) -> Analysis {
+        let minimal = dfa.minimize();
+        let internal = minimal.internal();
+        let acceptive = co_reachable(&minimal, true);
+        let rejective = co_reachable(&minimal, false);
+        let components = scc(&minimal);
+        let sync_meets = MeetAnalysis::new(&minimal, MeetMode::Synchronous);
+        let blind_meets = MeetAnalysis::new(&minimal, MeetMode::Blind);
+        Analysis {
+            dfa: minimal,
+            internal,
+            acceptive,
+            rejective,
+            scc: components,
+            sync_meets,
+            blind_meets,
+        }
+    }
+
+    /// Number of states of the minimal automaton.
+    pub fn n_states(&self) -> usize {
+        self.dfa.n_states()
+    }
+
+    /// Almost equivalence (§3.1) in the minimal automaton: no **nonempty**
+    /// word distinguishes `p` and `q` — equivalently, `p · a = q · a` for
+    /// every letter (Lemma 3.3 plus minimality).
+    pub fn almost_equivalent(&self, p: State, q: State) -> bool {
+        p == q || (0..self.dfa.n_letters()).all(|a| self.dfa.step(p, a) == self.dfa.step(q, a))
+    }
+
+    /// The meet relation in the requested mode.
+    pub fn meets(&self, mode: MeetMode, p: State, q: State) -> bool {
+        self.meet_analysis(mode).meets(p, q)
+    }
+
+    /// Whether `p` and `q` meet **in** `r` (Definition 3.4 / Appendix B).
+    pub fn meets_in(&self, mode: MeetMode, p: State, q: State, r: State) -> bool {
+        self.meet_analysis(mode).meets_in(p, q, r)
+    }
+
+    /// The underlying meet analysis.
+    pub fn meet_analysis(&self, mode: MeetMode) -> &MeetAnalysis {
+        match mode {
+            MeetMode::Synchronous => &self.sync_meets,
+            MeetMode::Blind => &self.blind_meets,
+        }
+    }
+
+    /// Whether `(p, q)` is a *split state* (Lemma 3.11): `q` rejective and
+    /// either `p = q`, or `p` internal and `p` meets `q` in `q`.
+    pub fn is_split_state(&self, mode: MeetMode, p: State, q: State) -> bool {
+        self.rejective[q] && (p == q || (self.internal[p] && self.meets_in(mode, p, q, q)))
+    }
+}
+
+/// States from which a state with `accepting == polarity` is reachable.
+fn co_reachable(dfa: &Dfa, polarity: bool) -> Vec<bool> {
+    let n = dfa.n_states();
+    let k = dfa.n_letters();
+    // Reverse adjacency.
+    let mut rev: Vec<Vec<State>> = vec![Vec::new(); n];
+    for s in 0..n {
+        for a in 0..k {
+            rev[dfa.step(s, a)].push(s);
+        }
+    }
+    let mut mark = vec![false; n];
+    let mut stack: Vec<State> = (0..n)
+        .filter(|&s| dfa.is_accepting(s) == polarity)
+        .collect();
+    for &s in &stack {
+        mark[s] = true;
+    }
+    while let Some(s) = stack.pop() {
+        for &p in &rev[s] {
+            if !mark[p] {
+                mark[p] = true;
+                stack.push(p);
+            }
+        }
+    }
+    mark
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_automata::{compile_regex, Alphabet};
+
+    fn analyse(pattern: &str) -> Analysis {
+        let g = Alphabet::of_chars("abc");
+        Analysis::new(&compile_regex(pattern, &g).unwrap())
+    }
+
+    #[test]
+    fn acceptive_and_rejective() {
+        let a = analyse("a.*"); // after a: always acceptive; sink after b/c.
+        let d = &a.dfa;
+        let init = d.init();
+        let good = d.run(&[0]);
+        let dead = d.run(&[1]);
+        assert!(a.acceptive[init] && a.rejective[init]);
+        assert!(a.acceptive[good]);
+        assert!(!a.rejective[good]); // a.* from `good` accepts everything
+        assert!(!a.acceptive[dead] && a.rejective[dead]);
+    }
+
+    #[test]
+    fn internal_flags_on_minimal() {
+        let a = analyse("ab");
+        // Initial state of `ab`'s minimal automaton has no incoming edge.
+        assert!(!a.internal[a.dfa.init()]);
+        let after_a = a.dfa.run(&[0]);
+        assert!(a.internal[after_a]);
+    }
+
+    #[test]
+    fn almost_equivalence_in_ab() {
+        // Minimal automaton of `ab` over {a,b,c}: init ─a→ s1 ─b→ acc, all
+        // else → dead; acc's successors are all dead, dead's too: acc and
+        // dead are almost equivalent but not equivalent.
+        let a = analyse("ab");
+        let acc = a.dfa.run(&[0, 1]);
+        let dead = a.dfa.run(&[2]);
+        assert_ne!(acc, dead);
+        assert!(a.almost_equivalent(acc, dead));
+        assert!(!a.almost_equivalent(a.dfa.init(), dead));
+    }
+
+    #[test]
+    fn split_states_require_rejective_target() {
+        let a = analyse("a.*b");
+        use st_automata::pairs::MeetMode::Synchronous;
+        for q in 0..a.n_states() {
+            if !a.rejective[q] {
+                for p in 0..a.n_states() {
+                    assert!(!a.is_split_state(Synchronous, p, q));
+                }
+            }
+            // (q, q) is a split state whenever q is rejective.
+            if a.rejective[q] {
+                assert!(a.is_split_state(Synchronous, q, q));
+            }
+        }
+    }
+}

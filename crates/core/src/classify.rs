@@ -1,0 +1,348 @@
+//! Decision procedures for the paper's syntactic classes.
+//!
+//! All four classes — and their *blind* variants for the term encoding —
+//! are simple PTIME-testable properties of the minimal automaton
+//! (Definitions 3.4, 3.6, 3.9; Appendix B):
+//!
+//! * **almost-reversible**: every two internal states that meet are almost
+//!   equivalent ⟺ Q_L is registerless (Theorem 3.2 (3));
+//! * **HAR** (hierarchically almost-reversible): every two states of one
+//!   SCC that meet *inside* that SCC are almost equivalent ⟺ Q_L is
+//!   stackless (Theorem 3.1);
+//! * **E-flat**: for every internal `p` and rejective `q`, if `p` meets `q`
+//!   in `q` then they are almost equivalent ⟺ EL is registerless
+//!   (Theorem 3.2 (1));
+//! * **A-flat**: dual with acceptive states ⟺ AL is registerless
+//!   (Theorem 3.2 (2)).
+//!
+//! Failed checks come with witness state pairs, which the fooling-tree
+//! generators in [`crate::fooling`] turn into concrete indistinguishable
+//! documents.
+
+use st_automata::dfa::State;
+use st_automata::pairs::MeetMode;
+
+use crate::analysis::Analysis;
+
+/// Outcome of one class check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Verdict {
+    /// Whether the language belongs to the class.
+    pub holds: bool,
+    /// When it does not: an offending pair of states of the minimal
+    /// automaton (they meet as the definition requires but are not almost
+    /// equivalent).
+    pub witness: Option<(State, State)>,
+}
+
+impl Verdict {
+    fn ok() -> Verdict {
+        Verdict {
+            holds: true,
+            witness: None,
+        }
+    }
+
+    fn fail(p: State, q: State) -> Verdict {
+        Verdict {
+            holds: false,
+            witness: Some((p, q)),
+        }
+    }
+}
+
+/// Verdicts for all four classes under one meet mode (synchronous for the
+/// markup encoding, blind for the term encoding).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClassVerdicts {
+    /// Almost-reversible (Definition 3.4) — Q_L registerless.
+    pub almost_reversible: Verdict,
+    /// Hierarchically almost-reversible (Definition 3.6) — Q_L stackless.
+    pub har: Verdict,
+    /// E-flat (Definition 3.9) — EL registerless.
+    pub e_flat: Verdict,
+    /// A-flat (Definition 3.9) — AL registerless.
+    pub a_flat: Verdict,
+}
+
+/// Full classification of a path language: verdicts under both encodings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClassReport {
+    /// Markup-encoding classes (synchronous meets).
+    pub markup: ClassVerdicts,
+    /// Term-encoding classes (blind meets, Appendix B).
+    pub term: ClassVerdicts,
+}
+
+impl ClassReport {
+    /// Theorem 3.2 (3): Q_L realizable by a plain DFA over Γ ∪ Γ̄.
+    pub fn query_registerless(&self) -> bool {
+        self.markup.almost_reversible.holds
+    }
+
+    /// Theorem 3.1: Q_L realizable by a depth-register automaton.
+    pub fn query_stackless(&self) -> bool {
+        self.markup.har.holds
+    }
+
+    /// Theorem B.1 (3): Q_L realizable by a DFA over Γ ∪ {◁}.
+    pub fn query_term_registerless(&self) -> bool {
+        self.term.almost_reversible.holds
+    }
+
+    /// Theorem B.2: Q_L realizable by a DRA over the term encoding.
+    pub fn query_term_stackless(&self) -> bool {
+        self.term.har.holds
+    }
+}
+
+/// Classifies the language of `analysis` under one meet mode.
+pub fn classify_mode(analysis: &Analysis, mode: MeetMode) -> ClassVerdicts {
+    ClassVerdicts {
+        almost_reversible: check_almost_reversible(analysis, mode),
+        har: check_har(analysis, mode),
+        e_flat: check_e_flat(analysis, mode),
+        a_flat: check_a_flat(analysis, mode),
+    }
+}
+
+/// Classifies a path language given any DFA for it (minimized internally).
+///
+/// ```
+/// use st_automata::{compile_regex, Alphabet};
+/// use st_core::analysis::Analysis;
+/// use st_core::classify::classify;
+///
+/// let gamma = Alphabet::of_chars("abc");
+/// let analysis = Analysis::new(&compile_regex("a.*b", &gamma).unwrap());
+/// let report = classify(&analysis);
+/// assert!(report.query_registerless()); // a Γ*b is almost-reversible
+/// assert!(report.query_stackless());
+/// ```
+pub fn classify(analysis: &Analysis) -> ClassReport {
+    ClassReport {
+        markup: classify_mode(analysis, MeetMode::Synchronous),
+        term: classify_mode(analysis, MeetMode::Blind),
+    }
+}
+
+/// Definition 3.4: every two *internal* states that meet are almost
+/// equivalent.
+pub fn check_almost_reversible(analysis: &Analysis, mode: MeetMode) -> Verdict {
+    let n = analysis.n_states();
+    for p in 0..n {
+        if !analysis.internal[p] {
+            continue;
+        }
+        for q in p + 1..n {
+            if !analysis.internal[q] {
+                continue;
+            }
+            if analysis.meets(mode, p, q) && !analysis.almost_equivalent(p, q) {
+                return Verdict::fail(p, q);
+            }
+        }
+    }
+    Verdict::ok()
+}
+
+/// Definition 3.6: every two states of one SCC that meet inside that SCC
+/// are almost equivalent.
+///
+/// (If `p, q ∈ X` and `p·u = q·u = r ∈ X`, every intermediate state of
+/// either run lies in `X` as well — leaving an SCC is irreversible in a
+/// DFA — so "meet inside X" is exactly "meet in some `r ∈ X`".)
+pub fn check_har(analysis: &Analysis, mode: MeetMode) -> Verdict {
+    for members in &analysis.scc.members {
+        for (i, &p) in members.iter().enumerate() {
+            for &q in &members[i + 1..] {
+                let meet_inside = members.iter().any(|&r| analysis.meets_in(mode, p, q, r));
+                if meet_inside && !analysis.almost_equivalent(p, q) {
+                    return Verdict::fail(p, q);
+                }
+            }
+        }
+    }
+    Verdict::ok()
+}
+
+/// Definition 3.9 (E-flat): for every internal `p` and rejective `q`, if
+/// `p` meets `q` **in** `q` then they are almost equivalent.
+pub fn check_e_flat(analysis: &Analysis, mode: MeetMode) -> Verdict {
+    check_flat(analysis, mode, &analysis.rejective)
+}
+
+/// Definition 3.9 (A-flat): dual, with acceptive targets.
+pub fn check_a_flat(analysis: &Analysis, mode: MeetMode) -> Verdict {
+    check_flat(analysis, mode, &analysis.acceptive)
+}
+
+fn check_flat(analysis: &Analysis, mode: MeetMode, targets: &[bool]) -> Verdict {
+    let n = analysis.n_states();
+    for (q, &is_target) in targets.iter().enumerate() {
+        if !is_target {
+            continue;
+        }
+        for p in 0..n {
+            if !analysis.internal[p] || p == q {
+                continue;
+            }
+            if analysis.meets_in(mode, p, q, q) && !analysis.almost_equivalent(p, q) {
+                return Verdict::fail(p, q);
+            }
+        }
+    }
+    Verdict::ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_automata::{compile_regex, Alphabet, Dfa};
+
+    fn report(pattern: &str) -> ClassReport {
+        let g = Alphabet::of_chars("abc");
+        let d = compile_regex(pattern, &g).unwrap();
+        classify(&Analysis::new(&d))
+    }
+
+    /// Example 2.12's table, the paper's own summary:
+    ///
+    /// | RPQ      | registerless | stackless |
+    /// | a Γ*b    | ✓            | ✓         |
+    /// | a b      | ✗            | ✓         |
+    /// | Γ*a Γ*b  | ✗            | ✓         |
+    /// | Γ*a b    | ✗            | ✗         |
+    #[test]
+    fn example_2_12_table() {
+        let r1 = report("a.*b");
+        assert!(r1.query_registerless());
+        assert!(r1.query_stackless());
+
+        let r2 = report("ab");
+        assert!(!r2.query_registerless());
+        assert!(r2.query_stackless());
+
+        let r3 = report(".*a.*b");
+        assert!(!r3.query_registerless());
+        assert!(r3.query_stackless());
+
+        let r4 = report(".*ab");
+        assert!(!r4.query_registerless());
+        assert!(!r4.query_stackless());
+    }
+
+    /// Section 4.2: the same four RPQs keep their verdicts under the term
+    /// encoding.
+    #[test]
+    fn example_2_12_table_term_encoding() {
+        assert!(report("a.*b").query_term_registerless());
+        assert!(!report("ab").query_term_registerless());
+        assert!(report("ab").query_term_stackless());
+        assert!(!report(".*a.*b").query_term_registerless());
+        assert!(report(".*a.*b").query_term_stackless());
+        assert!(!report(".*ab").query_term_stackless());
+    }
+
+    /// Section 4.2: `(b*a b*a b*)*` (Fig. 2) is reversible — hence
+    /// almost-reversible, hence registerless under the markup encoding —
+    /// but **not even blindly HAR**, so not stackless under the term
+    /// encoding.  "This is the cost of succinctness."
+    #[test]
+    fn fig2_markup_vs_term_gap() {
+        let g = Alphabet::of_chars("ab");
+        // The paper writes (b*a b*a b*)*; the automaton of Fig. 2 accepts
+        // exactly the words with an even number of a's, i.e. (b*ab*a)*b*.
+        let d = compile_regex("(b*ab*a)*b*", &g).unwrap();
+        let r = classify(&Analysis::new(&d));
+        assert!(r.query_registerless());
+        assert!(r.query_stackless());
+        assert!(!r.query_term_stackless());
+        assert!(!r.query_term_registerless());
+    }
+
+    /// Theorem 3.2 / Lemma 3.10: almost-reversible ⟺ E-flat ∧ A-flat, and
+    /// HAR is implied by almost-reversible — spot-checked on the table
+    /// languages.
+    #[test]
+    fn class_inclusions_on_samples() {
+        for pattern in ["a.*b", "ab", ".*a.*b", ".*ab", "a*", ".*", "[^abc]"] {
+            let r = report(pattern);
+            let m = r.markup;
+            assert_eq!(
+                m.almost_reversible.holds,
+                m.e_flat.holds && m.a_flat.holds,
+                "Lemma 3.10 fails on {pattern}"
+            );
+            if m.almost_reversible.holds {
+                assert!(m.har.holds, "AR ⊆ HAR fails on {pattern}");
+            }
+        }
+    }
+
+    /// R-trivial languages (all SCCs trivial) are HAR: `ab` and `abc` are
+    /// finite hence R-trivial.
+    #[test]
+    fn finite_languages_are_har_and_a_flat() {
+        for pattern in ["ab", "abc", "a|bc"] {
+            let r = report(pattern);
+            assert!(r.markup.har.holds, "{pattern}");
+            assert!(r.markup.a_flat.holds, "{pattern}");
+        }
+    }
+
+    /// Co-finite languages are E-flat (Section 3.3).
+    #[test]
+    fn cofinite_languages_are_e_flat() {
+        let g = Alphabet::of_chars("abc");
+        for pattern in ["ab", "abc"] {
+            let d = compile_regex(pattern, &g).unwrap().complement();
+            let r = classify(&Analysis::new(&d));
+            assert!(r.markup.e_flat.holds, "complement of {pattern}");
+        }
+    }
+
+    /// Witnesses are real: the failed pair must meet and not be almost
+    /// equivalent.
+    #[test]
+    fn witnesses_are_sound() {
+        let g = Alphabet::of_chars("abc");
+        let d = compile_regex(".*ab", &g).unwrap();
+        let analysis = Analysis::new(&d);
+        let v = check_har(&analysis, MeetMode::Synchronous);
+        assert!(!v.holds);
+        let (p, q) = v.witness.unwrap();
+        assert!(analysis.scc.same_component(p, q));
+        assert!(!analysis.almost_equivalent(p, q));
+    }
+
+    /// Lemma 3.10 (1): L is A-flat iff Lᶜ is E-flat — on random DFAs.
+    #[test]
+    fn flatness_duality_random() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let n = rng.gen_range(1..=4);
+            let k = 2;
+            let rows: Vec<Vec<usize>> = (0..n)
+                .map(|_| (0..k).map(|_| rng.gen_range(0..n)).collect())
+                .collect();
+            let accepting: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+            let d = Dfa::from_rows(k, 0, accepting, rows).unwrap();
+            let a = Analysis::new(&d);
+            let ac = Analysis::new(&d.complement());
+            let va = classify_mode(&a, MeetMode::Synchronous);
+            let vc = classify_mode(&ac, MeetMode::Synchronous);
+            assert_eq!(va.a_flat.holds, vc.e_flat.holds);
+            assert_eq!(va.e_flat.holds, vc.a_flat.holds);
+            // Lemma 3.10 (2).
+            assert_eq!(
+                va.almost_reversible.holds,
+                va.a_flat.holds && va.e_flat.holds
+            );
+            // Lemma 3.7: HAR closed under complement.
+            assert_eq!(va.har.holds, vc.har.holds);
+        }
+    }
+}

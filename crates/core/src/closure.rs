@@ -1,0 +1,233 @@
+//! Lemma 2.4: closure of stackless (and registerless) tree languages
+//! under intersection, union, and complementation — as executable program
+//! combinators.
+//!
+//! * [`ProductProgram`] runs two depth-register programs synchronously; the
+//!   register files are disjoint (register ids of the second program are
+//!   shifted), matching the synchronous-product construction behind the
+//!   lemma and behind Proposition 2.8's child-matcher product.
+//! * [`NotProgram`] flips acceptance — sound because depth-register
+//!   automata are deterministic and complete.
+
+use std::cmp::Ordering;
+
+use crate::model::{DraProgram, LoadMask};
+
+/// How a product combines component acceptance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Combine {
+    /// Intersection: accept iff both components accept.
+    And,
+    /// Union: accept iff either component accepts.
+    Or,
+}
+
+/// Synchronous product of two depth-register programs over the same input
+/// encoding.
+#[derive(Clone, Debug)]
+pub struct ProductProgram<P, Q> {
+    first: P,
+    second: Q,
+    combine: Combine,
+}
+
+impl<P, Q> ProductProgram<P, Q>
+where
+    P: DraProgram,
+    Q: DraProgram<Input = P::Input>,
+{
+    /// Builds the product; the result uses
+    /// `first.n_registers() + second.n_registers()` registers.
+    pub fn new(first: P, second: Q, combine: Combine) -> Self {
+        Self {
+            first,
+            second,
+            combine,
+        }
+    }
+}
+
+impl<P, Q> DraProgram for ProductProgram<P, Q>
+where
+    P: DraProgram,
+    Q: DraProgram<Input = P::Input>,
+{
+    type Input = P::Input;
+    type State = (P::State, Q::State);
+
+    fn n_registers(&self) -> usize {
+        self.first.n_registers() + self.second.n_registers()
+    }
+
+    fn init_state(&self) -> Self::State {
+        (self.first.init_state(), self.second.init_state())
+    }
+
+    fn is_accepting(&self, state: &Self::State) -> bool {
+        let (a, b) = (
+            self.first.is_accepting(&state.0),
+            self.second.is_accepting(&state.1),
+        );
+        match self.combine {
+            Combine::And => a && b,
+            Combine::Or => a || b,
+        }
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        input: Self::Input,
+        cmps: &[Ordering],
+    ) -> (Self::State, LoadMask) {
+        let split = self.first.n_registers();
+        let (s1, load1) = self.first.step(&state.0, input, &cmps[..split]);
+        let (s2, load2) = self.second.step(&state.1, input, &cmps[split..]);
+        ((s1, s2), load1 | (load2 << split))
+    }
+}
+
+/// Complement of a deterministic program: flips acceptance.
+#[derive(Clone, Debug)]
+pub struct NotProgram<P> {
+    inner: P,
+}
+
+impl<P> NotProgram<P> {
+    /// Wraps a program.
+    pub fn new(inner: P) -> Self {
+        Self { inner }
+    }
+}
+
+impl<P: DraProgram> DraProgram for NotProgram<P> {
+    type Input = P::Input;
+    type State = P::State;
+
+    fn n_registers(&self) -> usize {
+        self.inner.n_registers()
+    }
+
+    fn init_state(&self) -> Self::State {
+        self.inner.init_state()
+    }
+
+    fn is_accepting(&self, state: &Self::State) -> bool {
+        !self.inner.is_accepting(state)
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        input: Self::Input,
+        cmps: &[Ordering],
+    ) -> (Self::State, LoadMask) {
+        self.inner.step(state, input, cmps)
+    }
+}
+
+/// Intersection of two programs (Lemma 2.4).
+pub fn intersection<P, Q>(p: P, q: Q) -> ProductProgram<P, Q>
+where
+    P: DraProgram,
+    Q: DraProgram<Input = P::Input>,
+{
+    ProductProgram::new(p, q, Combine::And)
+}
+
+/// Union of two programs.
+pub fn union<P, Q>(p: P, q: Q) -> ProductProgram<P, Q>
+where
+    P: DraProgram,
+    Q: DraProgram<Input = P::Input>,
+{
+    ProductProgram::new(p, q, Combine::Or)
+}
+
+/// Complement of a program.
+pub fn complement<P: DraProgram>(p: P) -> NotProgram<P> {
+    NotProgram::new(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Analysis;
+    use crate::har;
+    use crate::model::{accepts, ExistsAcceptor};
+    use st_automata::{compile_regex, Alphabet};
+    use st_trees::encode::markup_encode;
+    use st_trees::{generate, oracle};
+
+    /// Lemma 2.4 on concrete stackless languages: EL₁ ∩ EL₂, EL₁ ∪ EL₂ and
+    /// complements all behave pointwise like the boolean combination of
+    /// the member predicates.
+    #[test]
+    fn closure_of_exists_languages() {
+        let g = Alphabet::of_chars("abc");
+        let d1 = compile_regex(".*a.*b", &g).unwrap();
+        let d2 = compile_regex("ab", &g).unwrap();
+        let a1 = Analysis::new(&d1);
+        let a2 = Analysis::new(&d2);
+        let e1 = || ExistsAcceptor::new(har::compile_query_markup(&a1).unwrap());
+        let e2 = || ExistsAcceptor::new(har::compile_query_markup(&a2).unwrap());
+
+        for seed in 0..25 {
+            let t = generate::random_attachment(&g, 60, 0.5, seed);
+            let tags = markup_encode(&t);
+            let in1 = oracle::in_exists(&t, &a1.dfa);
+            let in2 = oracle::in_exists(&t, &a2.dfa);
+            assert_eq!(
+                accepts(&intersection(e1(), e2()), &tags).unwrap(),
+                in1 && in2,
+                "∩ seed {seed}"
+            );
+            assert_eq!(
+                accepts(&union(e1(), e2()), &tags).unwrap(),
+                in1 || in2,
+                "∪ seed {seed}"
+            );
+            assert_eq!(
+                accepts(&complement(e1()), &tags).unwrap(),
+                !in1,
+                "¬ seed {seed}"
+            );
+            // De Morgan, executably.
+            assert_eq!(
+                accepts(&complement(intersection(e1(), e2())), &tags).unwrap(),
+                accepts(&union(complement(e1()), complement(e2())), &tags).unwrap(),
+                "De Morgan seed {seed}"
+            );
+        }
+    }
+
+    /// The product's registers are disjoint: combined programs load and
+    /// compare the right halves.
+    #[test]
+    fn product_register_budget() {
+        let g = Alphabet::of_chars("abc");
+        let a1 = Analysis::new(&compile_regex(".*a.*b", &g).unwrap());
+        let p1 = har::compile_query_markup(&a1).unwrap();
+        let r1 = crate::model::DraProgram::n_registers(&p1);
+        let prod = intersection(p1.clone(), p1);
+        assert_eq!(crate::model::DraProgram::n_registers(&prod), 2 * r1);
+    }
+
+    /// Patterns (Prop. 2.8) compose with closure: "contains π₁ but not
+    /// π₂" is stackless.
+    #[test]
+    fn pattern_difference() {
+        let g = Alphabet::of_chars("abc");
+        let p1 = crate::pattern::parse_pattern("a{b{}}", &g).unwrap();
+        let p2 = crate::pattern::parse_pattern("a{c{}}", &g).unwrap();
+        let m1 = crate::pattern::PatternProgram::new(&p1).unwrap();
+        let m2 = crate::pattern::PatternProgram::new(&p2).unwrap();
+        let diff = intersection(m1, complement(m2));
+        for seed in 0..25 {
+            let t = generate::random_attachment(&g, 50, 0.5, 1_000 + seed);
+            let tags = markup_encode(&t);
+            let want = crate::pattern::contains(&t, &p1) && !crate::pattern::contains(&t, &p2);
+            assert_eq!(accepts(&diff, &tags).unwrap(), want, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,547 @@
+//! Lemma 3.11 + Appendix A: the synopsis automaton for E-flat languages.
+//!
+//! If L is E-flat, the tree language EL ("some branch labelled by a word of
+//! L") is recognized by a *finite* automaton over Γ ∪ Γ̄, even though Q_L
+//! itself may not be registerless.  The automaton maintains a **synopsis**
+//! of the run of the minimal automaton A on the word ŵ labelling the path
+//! to the current node:
+//!
+//! ```text
+//! (r₀,p₀,q₀) ─a₁→ (r₁,p₁,q₁) ─a₂→ … ─aℓ→ (rℓ,pℓ,qℓ)
+//! ```
+//!
+//! where r₀ is A's initial state, each step is a *split transition*, the
+//! qᵢ walk a strictly descending chain of SCCs (so ℓ is bounded by the
+//! depth of the SCC DAG — this is what makes the state space finite), and
+//! the last pair (pℓ,qℓ) brackets the true current state up to the
+//! ambiguity that backward transitions introduce.  E-flatness guarantees
+//! every split state's components are almost equivalent, which keeps
+//! forward steps deterministic.
+//!
+//! Opening tags extend or update the synopsis; closing tags are the four
+//! backtracking cases A–D of Appendix A.  The recognizer moves to an
+//! all-accepting ⊤ when the tracked state becomes non-rejective (every
+//! extension is in L, so some branch certainly is) or when a leaf closes
+//! on an accepting tracked state.
+//!
+//! The A-flat dual, AL, is obtained through the identity
+//! AL = (E(Lᶜ))ᶜ (Theorem 3.2 (2)).
+//!
+//! The blind variants (Theorem B.1, Appendix B) share the construction;
+//! the case split stops looking at the closing label and candidate sets
+//! quantify over all letters.
+
+use std::collections::HashMap;
+
+use st_automata::dfa::{Dfa, State};
+use st_automata::pairs::MeetMode;
+
+use crate::analysis::Analysis;
+use crate::classify::{check_a_flat, check_e_flat};
+use crate::error::CoreError;
+
+/// A synopsis: parallel triples `(rᵢ, pᵢ, qᵢ)` and letters `a₁..aℓ`
+/// (`letters.len() + 1 == triples.len()`).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct Synopsis {
+    triples: Vec<(State, State, State)>,
+    letters: Vec<usize>,
+}
+
+impl Synopsis {
+    fn last(&self) -> (State, State, State) {
+        *self.triples.last().expect("synopsis is never empty")
+    }
+
+    fn replace_last(&self, p: State, q: State) -> Synopsis {
+        let mut s = self.clone();
+        let r = s.triples.last().expect("non-empty").0;
+        *s.triples.last_mut().expect("non-empty") = (r, p, q);
+        s
+    }
+
+    fn push(&self, a: usize, r: State) -> Synopsis {
+        let mut s = self.clone();
+        s.letters.push(a);
+        s.triples.push((r, r, r));
+        s
+    }
+
+    fn pop(&self) -> Synopsis {
+        let mut s = self.clone();
+        s.triples.pop();
+        s.letters.pop();
+        s
+    }
+}
+
+/// A state of the synopsis automaton.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum BState {
+    /// All-accepting sink: EL certainly holds.
+    Top,
+    /// All-rejecting sink.
+    Bottom,
+    /// Live simulation; the flag records "the previous symbol was an
+    /// opening tag and the tracked state pℓ (= qℓ) is accepting in A" —
+    /// a closing tag now would reveal a selected leaf.
+    Live(Synopsis, bool),
+}
+
+struct Builder<'a> {
+    analysis: &'a Analysis,
+}
+
+impl Builder<'_> {
+    fn dfa(&self) -> &Dfa {
+        &self.analysis.dfa
+    }
+
+    fn comp(&self, s: State) -> usize {
+        self.analysis.scc.component[s]
+    }
+
+    fn initial(&self) -> BState {
+        let r0 = self.dfa().init();
+        if self.analysis.rejective[r0] {
+            BState::Live(
+                Synopsis {
+                    triples: vec![(r0, r0, r0)],
+                    letters: vec![],
+                },
+                false,
+            )
+        } else {
+            BState::Top
+        }
+    }
+
+    /// Opening-tag transition of the simulator.
+    fn open(&self, syn: &Synopsis, a: usize) -> BState {
+        let (_, p_l, q_l) = syn.last();
+        let s = self.dfa().step(q_l, a);
+        debug_assert_eq!(
+            s,
+            self.dfa().step(p_l, a),
+            "split-state components must agree on successors"
+        );
+        if !self.analysis.rejective[s] {
+            return BState::Top;
+        }
+        let next = if self.comp(s) == self.comp(q_l) {
+            syn.replace_last(s, s)
+        } else {
+            syn.push(a, s)
+        };
+        BState::Live(next, self.dfa().is_accepting(s))
+    }
+
+    /// The candidate set P of Appendix A: states of `q_l`'s SCC whose
+    /// `a`-successor (any-letter successor in blind mode) lands in
+    /// {pℓ, qℓ}.
+    fn candidates(
+        &self,
+        x_comp: usize,
+        p_l: State,
+        q_l: State,
+        label: Option<usize>,
+    ) -> Vec<State> {
+        let k = self.dfa().n_letters();
+        self.analysis.scc.members[x_comp]
+            .iter()
+            .copied()
+            .filter(|&p| match label {
+                Some(a) => {
+                    let t = self.dfa().step(p, a);
+                    t == p_l || t == q_l
+                }
+                None => (0..k).any(|a| {
+                    let t = self.dfa().step(p, a);
+                    t == p_l || t == q_l
+                }),
+            })
+            .collect()
+    }
+
+    /// Closing-tag transition (cases A–D of Appendix A; primed cases of
+    /// Appendix B when `label` is `None`).
+    fn close(&self, syn: &Synopsis, label: Option<usize>) -> BState {
+        let (r_l, p_l, q_l) = syn.last();
+        let ell = syn.letters.len();
+
+        if !self.analysis.internal[p_l] {
+            // Only possible for the initial synopsis (r₀,r₀,r₀); the input
+            // would have to be exhausted or invalid.
+            return BState::Bottom;
+        }
+
+        let x_comp = self.comp(q_l);
+        let same_scc = self.comp(p_l) == x_comp;
+        let r_matches = r_l == p_l || r_l == q_l;
+        let label_matches = match label {
+            Some(a) => ell > 0 && a == syn.letters[ell - 1],
+            None => true, // blind cases never test the label
+        };
+
+        if same_scc {
+            let prev_internal = ell > 0 && {
+                let (_, p_prev, _) = syn.triples[ell - 1];
+                self.analysis.internal[p_prev]
+            };
+            let case_b = ell > 0 && r_matches && label_matches && prev_internal;
+            let p_set = self.candidates(x_comp, p_l, q_l, label);
+            if !case_b {
+                // Case A: backtrack strictly inside X.
+                if p_set.is_empty() {
+                    return BState::Bottom;
+                }
+                debug_assert!(p_set.len() <= 2, "at most two almost-equivalent states");
+                let p2 = p_set[0];
+                let q2 = *p_set.last().expect("non-empty");
+                BState::Live(syn.replace_last(p2, q2), false)
+            } else {
+                // Case B: may also backtrack out of X.
+                if p_set.is_empty() {
+                    return BState::Live(syn.pop(), false);
+                }
+                let (_, p_prev, q_prev) = syn.triples[ell - 1];
+                debug_assert_eq!(p_prev, q_prev, "Appendix A derives p_{{ℓ-1}} = q_{{ℓ-1}}");
+                debug_assert_eq!(p_set.len(), 1, "Appendix A derives |P| = 1");
+                BState::Live(syn.replace_last(p_prev, p_set[0]), false)
+            }
+        } else {
+            // pℓ outside X: by the synopsis invariant ℓ > 0 and
+            // pℓ = p_{ℓ-1} = q_{ℓ-1}.
+            if ell == 0 {
+                return BState::Bottom;
+            }
+            let case_d = r_matches && label_matches;
+            if case_d {
+                // Case D: the synopsis absorbs the step unchanged.
+                return BState::Live(syn.clone(), false);
+            }
+            // Case C: at most one of the two backward continuations exists.
+            let k = self.dfa().n_letters();
+            let p_exists = (0..self.dfa().n_states()).any(|p| {
+                self.analysis.internal[p]
+                    && match label {
+                        Some(a) => self.dfa().step(p, a) == p_l,
+                        None => (0..k).any(|a| self.dfa().step(p, a) == p_l),
+                    }
+            });
+            if !p_exists {
+                // Continue as if the last pair collapsed to (qℓ, qℓ):
+                // falls into Case A.
+                return self.close(&syn.replace_last(q_l, q_l), label);
+            }
+            let q_exists = self.analysis.scc.members[x_comp]
+                .iter()
+                .any(|&q| match label {
+                    Some(a) => self.dfa().step(q, a) == q_l,
+                    None => (0..k).any(|a| self.dfa().step(q, a) == q_l),
+                });
+            if !q_exists {
+                // Drop the suffix and retry: falls into Case A or B.
+                return self.close(&syn.pop(), label);
+            }
+            debug_assert!(false, "Appendix A shows p and q cannot both exist");
+            BState::Bottom
+        }
+    }
+}
+
+/// Materializes the EL recognizer over the **markup** tag alphabet
+/// (`0..k` opening, `k..2k` closing) for an E-flat language.
+///
+/// # Errors
+///
+/// [`CoreError::ClassMismatch`] if L is not E-flat — by Theorem 3.2 (1)
+/// EL is not registerless then.
+pub fn compile_exists_markup(analysis: &Analysis) -> Result<Dfa, CoreError> {
+    compile_exists(analysis, MeetMode::Synchronous)
+}
+
+/// Materializes the EL recognizer over the **term** alphabet (`0..k`
+/// opening, `k` the universal close) for a blindly E-flat language
+/// (Theorem B.1 (1)).
+///
+/// # Errors
+///
+/// [`CoreError::ClassMismatch`] if L is not blindly E-flat.
+pub fn compile_exists_term(analysis: &Analysis) -> Result<Dfa, CoreError> {
+    compile_exists(analysis, MeetMode::Blind)
+}
+
+fn compile_exists(analysis: &Analysis, mode: MeetMode) -> Result<Dfa, CoreError> {
+    let verdict = check_e_flat(analysis, mode);
+    if !verdict.holds {
+        return Err(CoreError::ClassMismatch {
+            required: match mode {
+                MeetMode::Synchronous => "E-flat",
+                MeetMode::Blind => "blindly E-flat",
+            },
+            witness: verdict.witness,
+        });
+    }
+    // The case analysis derives blindness from the absence of a closing
+    // label; `mode` only decides the alphabet layout in `materialize`.
+    let builder = Builder { analysis };
+    Ok(materialize(&builder, mode))
+}
+
+/// Materializes the AL recognizer via AL = (E(Lᶜ))ᶜ for an A-flat
+/// language (markup encoding).
+///
+/// # Errors
+///
+/// [`CoreError::ClassMismatch`] if L is not A-flat.
+pub fn compile_forall_markup(analysis: &Analysis) -> Result<Dfa, CoreError> {
+    compile_forall(analysis, MeetMode::Synchronous)
+}
+
+/// Term-encoding AL recognizer for a blindly A-flat language
+/// (Theorem B.1 (2)).
+///
+/// # Errors
+///
+/// [`CoreError::ClassMismatch`] if L is not blindly A-flat.
+pub fn compile_forall_term(analysis: &Analysis) -> Result<Dfa, CoreError> {
+    compile_forall(analysis, MeetMode::Blind)
+}
+
+fn compile_forall(analysis: &Analysis, mode: MeetMode) -> Result<Dfa, CoreError> {
+    let verdict = check_a_flat(analysis, mode);
+    if !verdict.holds {
+        return Err(CoreError::ClassMismatch {
+            required: match mode {
+                MeetMode::Synchronous => "A-flat",
+                MeetMode::Blind => "blindly A-flat",
+            },
+            witness: verdict.witness,
+        });
+    }
+    let complement_analysis = Analysis::new(&analysis.dfa.complement());
+    let el_of_complement = compile_exists(&complement_analysis, mode)
+        .expect("Lemma 3.10: Lᶜ is E-flat when L is A-flat");
+    Ok(el_of_complement.complement())
+}
+
+/// BFS closure of the synopsis automaton into a dense DFA.
+fn materialize(builder: &Builder<'_>, mode: MeetMode) -> Dfa {
+    let k = builder.dfa().n_letters();
+    let n_letters = match mode {
+        MeetMode::Synchronous => 2 * k,
+        MeetMode::Blind => k + 1,
+    };
+
+    let mut ids: HashMap<BState, usize> = HashMap::new();
+    let mut states: Vec<BState> = Vec::new();
+    let mut rows: Vec<Vec<usize>> = Vec::new();
+
+    let intern = |s: BState, states: &mut Vec<BState>, ids: &mut HashMap<BState, usize>| {
+        if let Some(&id) = ids.get(&s) {
+            return id;
+        }
+        let id = states.len();
+        ids.insert(s.clone(), id);
+        states.push(s);
+        id
+    };
+
+    let start = builder.initial();
+    intern(start, &mut states, &mut ids);
+    let mut next = 0usize;
+    while next < states.len() {
+        let state = states[next].clone();
+        let mut row = Vec::with_capacity(n_letters);
+        for letter in 0..n_letters {
+            let succ = match &state {
+                BState::Top => BState::Top,
+                BState::Bottom => BState::Bottom,
+                BState::Live(syn, flag) => {
+                    let is_open = letter < k;
+                    if is_open {
+                        builder.open(syn, letter)
+                    } else if *flag {
+                        // A selected leaf just closed: some branch is in L.
+                        BState::Top
+                    } else {
+                        let label = match mode {
+                            MeetMode::Synchronous => Some(letter - k),
+                            MeetMode::Blind => None,
+                        };
+                        builder.close(syn, label)
+                    }
+                }
+            };
+            row.push(intern(succ, &mut states, &mut ids));
+        }
+        rows.push(row);
+        next += 1;
+    }
+
+    let accepting: Vec<bool> = states.iter().map(|s| matches!(s, BState::Top)).collect();
+    Dfa::from_rows(n_letters, 0, accepting, rows)
+        .expect("synopsis automaton is well-formed")
+        .minimize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{accepts, TagDfaProgram, TermDfaProgram};
+    use st_automata::{compile_regex, Alphabet};
+    use st_trees::encode::{markup_encode, term_encode};
+    use st_trees::{generate, oracle};
+
+    fn analysis(pattern: &str, sigma: &str) -> Analysis {
+        let g = Alphabet::of_chars(sigma);
+        Analysis::new(&compile_regex(pattern, &g).unwrap())
+    }
+
+    fn check_el(pattern: &str, sigma: &str, seeds: std::ops::Range<u64>) {
+        let g = Alphabet::of_chars(sigma);
+        let a = analysis(pattern, sigma);
+        let el = compile_exists_markup(&a).unwrap();
+        let prog = TagDfaProgram::new(&el);
+        for seed in seeds {
+            for (nodes, bias) in [(30, 0.3), (80, 0.6), (150, 0.85)] {
+                let t = generate::random_attachment(&g, nodes, bias, seed);
+                let tags = markup_encode(&t);
+                assert_eq!(
+                    accepts(&prog, &tags).unwrap(),
+                    oracle::in_exists(&t, &a.dfa),
+                    "pattern {pattern} seed {seed} bias {bias}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cofinite_languages() {
+        // Co-finite languages are E-flat (Section 3.3).
+        let g = Alphabet::of_chars("ab");
+        for pattern in ["ab", "a|b", "aa"] {
+            let d = compile_regex(pattern, &g).unwrap().complement();
+            let a = Analysis::new(&d);
+            let el = compile_exists_markup(&a).unwrap();
+            let prog = TagDfaProgram::new(&el);
+            for seed in 0..10 {
+                let t = generate::random_attachment(&g, 40, 0.5, seed);
+                let tags = markup_encode(&t);
+                assert_eq!(
+                    accepts(&prog, &tags).unwrap(),
+                    oracle::in_exists(&t, &a.dfa),
+                    "pattern (({pattern}))^c seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn almost_reversible_languages_are_e_flat_el_works() {
+        check_el("a.*b", "abc", 0..6);
+        check_el("(b*ab*a)*b*", "ab", 0..6);
+        check_el(".*", "ab", 0..3);
+    }
+
+    #[test]
+    fn rejects_non_e_flat() {
+        // `ab` over {a,b,c} is finite, A-flat, but NOT E-flat.
+        let a = analysis("ab", "abc");
+        assert!(matches!(
+            compile_exists_markup(&a),
+            Err(CoreError::ClassMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn forall_duality() {
+        // `ab` is A-flat (finite): AL is registerless.
+        let g = Alphabet::of_chars("abc");
+        let a = analysis("ab", "abc");
+        let al = compile_forall_markup(&a).unwrap();
+        let prog = TagDfaProgram::new(&al);
+        for seed in 0..20 {
+            let t = generate::random_attachment(&g, 40, 0.5, seed);
+            let tags = markup_encode(&t);
+            assert_eq!(
+                accepts(&prog, &tags).unwrap(),
+                oracle::in_forall(&t, &a.dfa),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_e_flat_languages_against_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let g = Alphabet::of_chars("ab");
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut tested = 0usize;
+        for _ in 0..600 {
+            let n = rng.gen_range(2..=4);
+            let rows: Vec<Vec<usize>> = (0..n)
+                .map(|_| (0..2).map(|_| rng.gen_range(0..n)).collect())
+                .collect();
+            let accepting: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+            let d = st_automata::Dfa::from_rows(2, 0, accepting, rows).unwrap();
+            let a = Analysis::new(&d);
+            let Ok(el) = compile_exists_markup(&a) else {
+                continue;
+            };
+            tested += 1;
+            let prog = TagDfaProgram::new(&el);
+            for seed in 0..3 {
+                for bias in [0.3, 0.8] {
+                    let t = generate::random_attachment(&g, 60, bias, seed);
+                    let tags = markup_encode(&t);
+                    assert_eq!(
+                        accepts(&prog, &tags).unwrap(),
+                        oracle::in_exists(&t, &a.dfa),
+                        "seed {seed}"
+                    );
+                }
+            }
+        }
+        assert!(tested > 30, "too few E-flat samples ({tested})");
+    }
+
+    #[test]
+    fn term_encoding_el() {
+        // Co-finite languages are blindly E-flat as well.
+        let g = Alphabet::of_chars("ab");
+        let d = compile_regex("ab", &g).unwrap().complement();
+        let a = Analysis::new(&d);
+        let el = compile_exists_term(&a).unwrap();
+        let prog = TermDfaProgram::new(&el);
+        for seed in 0..15 {
+            let t = generate::random_attachment(&g, 50, 0.5, seed);
+            let events = term_encode(&t);
+            assert_eq!(
+                accepts(&prog, &events).unwrap(),
+                oracle::in_exists(&t, &a.dfa),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_small_trees() {
+        // Bounded-exhaustive ground truth on every tree with ≤ 5 nodes.
+        let g = Alphabet::of_chars("ab");
+        let a = analysis("a.*b", "ab");
+        let el = compile_exists_markup(&a).unwrap();
+        let prog = TagDfaProgram::new(&el);
+        for t in generate::enumerate_trees(&g, 5) {
+            let tags = markup_encode(&t);
+            assert_eq!(
+                accepts(&prog, &tags).unwrap(),
+                oracle::in_exists(&t, &a.dfa),
+                "tree {}",
+                t.display(&g)
+            );
+        }
+    }
+}

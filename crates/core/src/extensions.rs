@@ -1,0 +1,331 @@
+//! Section 2.1's model extension, constructively: offset comparisons.
+//!
+//! > "For instance, one could allow testing if the current depth differs
+//! > from the content of a given register by a specified constant; this
+//! > kind of test can be simulated in our model at the cost of using
+//! > additional registers."
+//!
+//! [`OffsetProgram`] is the extended model: each register ξ carries a fixed
+//! offset c_ξ ≥ 0 and the program observes the ordering of η(ξ) + c_ξ
+//! against the current depth.  [`OffsetSimulator`] compiles it back into a
+//! plain [`DraProgram`] — the paper's claimed simulation — using one
+//! *shadow* register per offset register plus a bounded counter in the
+//! control state:
+//!
+//! * while the depth stays within `c` of the anchor (`0 ≤ d − e ≤ c`), the
+//!   simulator tracks `j = d − e` exactly in its state (j is bounded by
+//!   the constant, so the state set stays finite) and answers `c vs j`;
+//! * the moment `j` reaches `c`, the simulator loads the shadow register —
+//!   which then holds `e + c` — and deeper comparisons become ordinary
+//!   register-versus-depth tests;
+//! * below the anchor (`d < e`, detected by the base register comparing
+//!   `Greater`), the answer is always `Greater`, and the counter resyncs
+//!   whenever the base register compares `Equal` (then `j = 0`).
+
+use std::cmp::Ordering;
+
+use crate::model::{DraProgram, LoadMask, StreamSymbol};
+
+/// A depth-register program in the *offset* model: `cmps[ξ]` reports the
+/// ordering of `η(ξ) + offset(ξ)` against the current depth.
+pub trait OffsetProgram {
+    /// The encoding this program reads.
+    type Input: StreamSymbol;
+
+    /// Control state (finite set).
+    type State: Clone + PartialEq + std::fmt::Debug;
+
+    /// The fixed non-negative offset of each register; the slice length is
+    /// the register count.
+    fn offsets(&self) -> &[u32];
+
+    /// Initial state.
+    fn init_state(&self) -> Self::State;
+
+    /// Acceptance.
+    fn is_accepting(&self, state: &Self::State) -> bool;
+
+    /// One transition; loading register ξ stores the **current depth**
+    /// (offsets apply at comparison time, not at load time).
+    fn step(
+        &self,
+        state: &Self::State,
+        input: Self::Input,
+        cmps: &[Ordering],
+    ) -> (Self::State, LoadMask);
+}
+
+/// Where the simulator is relative to one anchor (the depth stored in a
+/// base register).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    /// `0 ≤ d − e ≤ c`: the exact difference is in the state.
+    Tracking(u32),
+    /// `d − e > c`: the shadow register (holding `e + c`) answers.
+    Above,
+    /// `d < e`: the answer is `Greater`; resync at `d = e`.
+    Below,
+}
+
+/// Per-register simulation bookkeeping.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct RegisterSim {
+    phase: Phase,
+}
+
+/// Control state of the simulator: inner state + per-register phases.
+#[derive(Clone, PartialEq, Debug)]
+pub struct OffsetState<S> {
+    inner: S,
+    sims: Vec<RegisterSim>,
+}
+
+/// Compiles an [`OffsetProgram`] into a plain [`DraProgram`] with twice
+/// the registers: base register ξ at index `2ξ`, shadow at `2ξ + 1`.
+#[derive(Clone, Debug)]
+pub struct OffsetSimulator<P> {
+    inner: P,
+}
+
+impl<P: OffsetProgram> OffsetSimulator<P> {
+    /// Wraps an offset program.
+    pub fn new(inner: P) -> Self {
+        Self { inner }
+    }
+}
+
+impl<P: OffsetProgram> DraProgram for OffsetSimulator<P> {
+    type Input = P::Input;
+    type State = OffsetState<P::State>;
+
+    fn n_registers(&self) -> usize {
+        2 * self.inner.offsets().len()
+    }
+
+    fn init_state(&self) -> Self::State {
+        OffsetState {
+            inner: self.inner.init_state(),
+            sims: vec![
+                RegisterSim {
+                    // Registers start at 0 and the counter starts at 0, so
+                    // the anchor is e = 0 with d = 0: tracking from j = 0.
+                    phase: Phase::Tracking(0),
+                };
+                self.inner.offsets().len()
+            ],
+        }
+    }
+
+    fn is_accepting(&self, state: &Self::State) -> bool {
+        self.inner.is_accepting(&state.inner)
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        input: Self::Input,
+        cmps: &[Ordering],
+    ) -> (Self::State, LoadMask) {
+        let offsets = self.inner.offsets();
+        let delta = input.depth_delta();
+        let mut sims = state.sims.clone();
+        let mut shadow_loads: LoadMask = 0;
+        let mut offset_cmps = Vec::with_capacity(offsets.len());
+
+        // Phase update per register (depth changed by `delta`), then
+        // compute the offset comparison the inner program observes.
+        for (xi, sim) in sims.iter_mut().enumerate() {
+            let c = offsets[xi];
+            let base_cmp = cmps[2 * xi]; // η(ξ) vs new depth d
+            let shadow_cmp = cmps[2 * xi + 1]; // shadow vs d
+                                               // Resync / advance the phase.
+            sim.phase = match (sim.phase, base_cmp) {
+                // Exact anchor: d = e.
+                (_, Ordering::Equal) => Phase::Tracking(0),
+                // d < e: below, whatever we thought.
+                (_, Ordering::Greater) => Phase::Below,
+                // d > e.
+                (Phase::Tracking(j), Ordering::Less) => {
+                    let j2 = (j as i64 + delta).max(1);
+                    if j2 as u32 > c {
+                        Phase::Above
+                    } else {
+                        Phase::Tracking(j2 as u32)
+                    }
+                }
+                (Phase::Below, Ordering::Less) => {
+                    // Jumped from below the anchor to strictly above it in
+                    // one step: only possible when e = d − 1 (opening tag),
+                    // i.e. j = 1.
+                    if c == 0 {
+                        Phase::Above
+                    } else {
+                        Phase::Tracking(1)
+                    }
+                }
+                (Phase::Above, Ordering::Less) => Phase::Above,
+            };
+            // Load the shadow exactly when the tracked difference reaches c
+            // (the shadow then holds e + c = current depth).
+            if sim.phase == Phase::Tracking(c) {
+                shadow_loads |= 1 << (2 * xi + 1);
+            }
+            // Answer η(ξ) + c vs d.
+            let answer = match sim.phase {
+                Phase::Below => Ordering::Greater,
+                Phase::Tracking(j) => c.cmp(&j),
+                Phase::Above => shadow_cmp,
+            };
+            offset_cmps.push(answer);
+        }
+
+        let (inner_next, inner_load) = self.inner.step(&state.inner, input, &offset_cmps);
+        // Inner load of register ξ → base register 2ξ; the anchor moves to
+        // the current depth, so tracking restarts at j = 0 and the shadow
+        // must be re-armed (load it too when c = 0).
+        let mut load = shadow_loads;
+        for (xi, sim) in sims.iter_mut().enumerate() {
+            if inner_load >> xi & 1 == 1 {
+                load |= 1 << (2 * xi);
+                sim.phase = Phase::Tracking(0);
+                if offsets[xi] == 0 {
+                    load |= 1 << (2 * xi + 1);
+                }
+            }
+        }
+        (
+            OffsetState {
+                inner: inner_next,
+                sims,
+            },
+            load,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{accepts, DraRunner};
+    use st_automata::{Alphabet, Letter, Tag};
+    use st_trees::encode::markup_encode;
+    use st_trees::generate;
+
+    /// Offset test program: trees over {a, b} containing a `b` whose depth
+    /// is **exactly** `depth(first a) + C` — unverifiable without offsets
+    /// or extra machinery.
+    #[derive(Clone, Debug)]
+    struct BAtOffsetFromFirstA {
+        a: Letter,
+        b: Letter,
+        offsets: Vec<u32>,
+    }
+
+    #[derive(Clone, Copy, PartialEq, Debug)]
+    enum S {
+        Seeking,
+        Armed,
+        Found,
+    }
+
+    impl OffsetProgram for BAtOffsetFromFirstA {
+        type Input = Tag;
+        type State = S;
+
+        fn offsets(&self) -> &[u32] {
+            &self.offsets
+        }
+
+        fn init_state(&self) -> S {
+            S::Seeking
+        }
+
+        fn is_accepting(&self, s: &S) -> bool {
+            *s == S::Found
+        }
+
+        fn step(&self, s: &S, input: Tag, cmps: &[Ordering]) -> (S, LoadMask) {
+            match (*s, input) {
+                (S::Seeking, Tag::Open(l)) if l == self.a => (S::Armed, 1),
+                (S::Armed, Tag::Open(l)) if l == self.b && cmps[0] == Ordering::Equal => {
+                    // η(first-a) + C == current depth: the b we wanted.
+                    (S::Found, 0)
+                }
+                (S::Found, _) => (S::Found, 0),
+                (other, _) => (other, 0),
+            }
+        }
+    }
+
+    /// Ground truth by DOM walk.
+    fn oracle(t: &st_trees::Tree, a: Letter, b: Letter, c: u32) -> bool {
+        let first_a = t.nodes().find(|&v| t.label(v) == a);
+        let Some(anchor) = first_a else { return false };
+        let target = t.depth(anchor) + c;
+        // Only `b`-nodes opened after the anchor count (stream order).
+        t.nodes()
+            .filter(|&v| v.index() > anchor.index())
+            .any(|v| t.label(v) == b && t.depth(v) == target)
+    }
+
+    #[test]
+    fn offset_simulation_matches_oracle() {
+        let g = Alphabet::of_chars("ab");
+        let a = g.letter("a").unwrap();
+        let b = g.letter("b").unwrap();
+        for c in [0u32, 1, 2, 3] {
+            let program = OffsetSimulator::new(BAtOffsetFromFirstA {
+                a,
+                b,
+                offsets: vec![c],
+            });
+            for seed in 0..40 {
+                for bias in [0.3, 0.7] {
+                    let t = generate::random_attachment(&g, 40, bias, seed);
+                    let tags = markup_encode(&t);
+                    assert_eq!(
+                        accepts(&program, &tags).unwrap(),
+                        oracle(&t, a, b, c),
+                        "c={c} seed={seed} bias={bias} tree {}",
+                        t.display(&g)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn offset_simulation_exhaustive_small_trees() {
+        let g = Alphabet::of_chars("ab");
+        let a = g.letter("a").unwrap();
+        let b = g.letter("b").unwrap();
+        for c in [0u32, 1, 2] {
+            let program = OffsetSimulator::new(BAtOffsetFromFirstA {
+                a,
+                b,
+                offsets: vec![c],
+            });
+            for t in generate::enumerate_trees(&g, 5) {
+                let tags = markup_encode(&t);
+                assert_eq!(
+                    accepts(&program, &tags).unwrap(),
+                    oracle(&t, a, b, c),
+                    "c={c} tree {}",
+                    t.display(&g)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simulator_register_budget() {
+        let g = Alphabet::of_chars("ab");
+        let program = OffsetSimulator::new(BAtOffsetFromFirstA {
+            a: g.letter("a").unwrap(),
+            b: g.letter("b").unwrap(),
+            offsets: vec![2],
+        });
+        assert_eq!(program.n_registers(), 2);
+        assert!(DraRunner::new(&program).is_ok());
+    }
+}

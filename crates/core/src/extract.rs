@@ -1,0 +1,168 @@
+//! Subtree extraction under pre-selection — the payoff the paper claims
+//! for pre-selection semantics (Section 2.3):
+//!
+//! > "Pre-selection gives more flexibility in the subsequent stages of
+//! > processing, allowing to return the whole subtree rooted at the
+//! > selected node without additional memory cost."
+//!
+//! [`extract_subtrees`] streams a document through any node-selecting
+//! program and forwards the full event span of each **outermost** selected
+//! node.  The only extra state beyond the evaluator is the depth at which
+//! the current emission started — one more register, no stack, exactly as
+//! promised.
+
+use st_automata::Tag;
+
+use crate::error::CoreError;
+use crate::model::{DraProgram, DraRunner};
+
+/// One extracted match: the selected node's id and its complete event
+/// span (opening tag through matching closing tag).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Match {
+    /// Document-order id of the selected node.
+    pub node: usize,
+    /// The subtree's tag events, starting with the node's opening tag.
+    pub events: Vec<Tag>,
+}
+
+/// Streams `tags` through `program` and extracts the subtree of every
+/// outermost pre-selected node (nested matches are part of their
+/// ancestor's span, as in `grep -o`).
+///
+/// # Errors
+///
+/// Propagates the runner's register-budget error.
+pub fn extract_subtrees<P>(program: &P, tags: &[Tag]) -> Result<Vec<Match>, CoreError>
+where
+    P: DraProgram<Input = Tag>,
+{
+    let mut runner = DraRunner::new(program)?;
+    let mut out: Vec<Match> = Vec::new();
+    let mut node = 0usize;
+    // Depth at which the current emission started (None = not emitting).
+    // This is the "one extra register" of the paper's remark.
+    let mut emitting_above: Option<i64> = None;
+
+    for &tag in tags {
+        let accepting = runner.step(tag);
+        let depth = runner.depth();
+        if let Some(start_depth) = emitting_above {
+            out.last_mut()
+                .expect("emission implies an open match")
+                .events
+                .push(tag);
+            if depth < start_depth {
+                emitting_above = None;
+            }
+        } else if tag.is_open() && accepting {
+            out.push(Match {
+                node,
+                events: vec![tag],
+            });
+            // The subtree ends when the depth drops below the node's
+            // opening depth.
+            emitting_above = Some(depth);
+        }
+        if tag.is_open() {
+            node += 1;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Analysis;
+    use crate::har;
+    use st_automata::{compile_regex, Alphabet};
+    use st_trees::encode::{markup_decode, markup_encode};
+    use st_trees::{generate, oracle};
+
+    #[test]
+    fn extracts_exact_subtree_spans() {
+        let g = Alphabet::of_chars("abc");
+        let analysis = Analysis::new(&compile_regex(".*a", &g).unwrap());
+        let program = har::compile_query_markup(&analysis).unwrap();
+        let (_, t) = {
+            let events: Vec<_> = st_trees::json::TermScanner::new(b"c{a{b{}c{}}b{a{}}}", &g)
+                .map(|e| e.unwrap())
+                .collect();
+            ((), st_trees::encode::term_decode(&events).unwrap())
+        };
+        let tags = markup_encode(&t);
+        let matches = extract_subtrees(&program, &tags).unwrap();
+        // Selected nodes: both a's (ids 1 and 5); they are not nested, so
+        // both are extracted.
+        assert_eq!(matches.len(), 2);
+        assert_eq!(matches[0].node, 1);
+        // First a's subtree: a{b{}c{}} → 6 tags.
+        assert_eq!(matches[0].events.len(), 6);
+        let sub = markup_decode(&matches[0].events).unwrap();
+        assert_eq!(sub.display(&g), "a{b{}c{}}");
+        assert_eq!(matches[1].node, 5);
+        assert_eq!(matches[1].events.len(), 2); // a{}
+    }
+
+    #[test]
+    fn nested_matches_fold_into_the_outermost() {
+        let g = Alphabet::of_chars("ab");
+        // Select every a: nested a's are inside the outermost a's span.
+        let analysis = Analysis::new(&compile_regex(".*a", &g).unwrap());
+        let program = har::compile_query_markup(&analysis).unwrap();
+        let (_, t) = {
+            let events: Vec<_> = st_trees::json::TermScanner::new(b"b{a{a{a{}}}}", &g)
+                .map(|e| e.unwrap())
+                .collect();
+            ((), st_trees::encode::term_decode(&events).unwrap())
+        };
+        let tags = markup_encode(&t);
+        let matches = extract_subtrees(&program, &tags).unwrap();
+        assert_eq!(matches.len(), 1);
+        let sub = markup_decode(&matches[0].events).unwrap();
+        assert_eq!(sub.display(&g), "a{a{a{}}}");
+    }
+
+    #[test]
+    fn spans_are_well_formed_and_cover_selection() {
+        let g = Alphabet::of_chars("abc");
+        let analysis = Analysis::new(&compile_regex(".*a.*b", &g).unwrap());
+        let program = har::compile_query_markup(&analysis).unwrap();
+        for seed in 0..20 {
+            let t = generate::random_attachment(&g, 80, 0.5, seed);
+            let tags = markup_encode(&t);
+            let matches = extract_subtrees(&program, &tags).unwrap();
+            let selected: Vec<usize> = oracle::select(&t, &analysis.dfa)
+                .into_iter()
+                .map(|v| v.index())
+                .collect();
+            // Every match is a selected node and decodes to a tree.
+            for m in &matches {
+                assert!(selected.contains(&m.node), "seed {seed}");
+                let sub = markup_decode(&m.events).unwrap();
+                assert_eq!(sub.len() * 2, m.events.len());
+            }
+            // Matches are exactly the outermost selected nodes.
+            let outermost: Vec<usize> = selected
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    let mut cur = t.parent(st_trees::tree::NodeId(v as u32));
+                    while let Some(u) = cur {
+                        if selected.contains(&u.index()) {
+                            return false;
+                        }
+                        cur = t.parent(u);
+                    }
+                    true
+                })
+                .collect();
+            assert_eq!(
+                matches.iter().map(|m| m.node).collect::<Vec<_>>(),
+                outermost,
+                "seed {seed}"
+            );
+        }
+    }
+}

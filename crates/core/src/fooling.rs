@@ -1,0 +1,642 @@
+//! Inexpressibility gadgets: executable fooling-tree constructions.
+//!
+//! The paper's negative results are pumping arguments that exhibit, for any
+//! candidate automaton with k states and ℓ registers, two documents the
+//! automaton cannot distinguish although exactly one of them belongs to the
+//! target tree language.  This module makes those arguments executable:
+//!
+//! * [`eflat_fooling_pair`] — the Fig. 4 pair of Lemma 3.12: from a
+//!   non-E-flat minimal automaton it extracts witness words `s, t, u, x`
+//!   and builds the trees S, S′ with ⟨S⟩ = s uᴺ x x̄ ūᴺ t t̄ uᴺ x x̄ ūᴺ s̄
+//!   and ⟨S′⟩ the variant with uᴺ inserted below s, which **every** DFA
+//!   over Γ ∪ Γ̄ with at most n states conflates (N = n!).
+//! * [`pigeonhole_fool`] — the generic counting harness behind Examples
+//!   2.9 and 2.10 and Lemma 3.16: feed a program the 2ᵐ descents of a
+//!   fooling *family*, find two that land in the same configuration
+//!   (pigeonhole: 2ᵐ ≫ k·(depth+1)^ℓ), and complete both with the same
+//!   suffix that makes their memberships differ.
+//! * Families ([`family`]): Example 2.9 / Fig. 1 (strict descendent
+//!   patterns over the `Kn` schema) and Example 2.10 (consecutive siblings
+//!   a, b, c).  Lemma 3.16's role — non-HAR languages defeat every DRA —
+//!   is demonstrated by running compiled programs against these families;
+//!   see DESIGN.md for why the literal Fig. 5 gadget is replaced by the
+//!   counting harness.
+
+use st_automata::dfa::{Dfa, State};
+use st_automata::{Letter, Tag};
+use st_trees::tree::Tree;
+
+use crate::analysis::Analysis;
+use crate::classify::check_e_flat;
+use crate::model::{DraProgram, DraRunner};
+
+// ---------------------------------------------------------------------------
+// Word-search helpers on the minimal automaton.
+// ---------------------------------------------------------------------------
+
+/// BFS over an implicit letter-labelled graph; returns a word from `start`
+/// to a goal node (shortest in the common case; when the nonempty-path
+/// search re-reaches `start`, a valid but possibly non-minimal word —
+/// the witnesses only need existence).  The empty word is considered only when
+/// `allow_empty` is set; otherwise the search begins at the one-step
+/// frontier (and may legitimately return to `start`).
+fn bfs_word(
+    n_nodes: usize,
+    start: usize,
+    n_letters: usize,
+    step: impl Fn(usize, usize) -> usize,
+    goal: impl Fn(usize) -> bool,
+    allow_empty: bool,
+) -> Option<Vec<usize>> {
+    if allow_empty && goal(start) {
+        return Some(Vec::new());
+    }
+    let mut parent: Vec<Option<(usize, usize)>> = vec![None; n_nodes];
+    let mut visited = vec![false; n_nodes];
+    let mut queue = std::collections::VecDeque::new();
+    for a in 0..n_letters {
+        let t = step(start, a);
+        if !visited[t] {
+            visited[t] = true;
+            parent[t] = Some((start, a));
+            queue.push_back(t);
+        }
+    }
+    let recover = |g: usize, parent: &[Option<(usize, usize)>]| {
+        let mut word = Vec::new();
+        let mut cur = g;
+        loop {
+            if cur == start && !word.is_empty() {
+                break;
+            }
+            let Some((p, a)) = parent[cur] else { break };
+            word.push(a);
+            cur = p;
+            if cur == start {
+                break;
+            }
+        }
+        word.reverse();
+        word
+    };
+    while let Some(s) = queue.pop_front() {
+        if goal(s) {
+            return Some(recover(s, &parent));
+        }
+        for a in 0..n_letters {
+            let t = step(s, a);
+            if !visited[t] {
+                visited[t] = true;
+                parent[t] = Some((s, a));
+                queue.push_back(t);
+            }
+        }
+    }
+    None
+}
+
+/// Shortest word routing `from` to a state satisfying `goal`.
+fn shortest_word_to(
+    dfa: &Dfa,
+    from: State,
+    goal: impl Fn(State) -> bool,
+    allow_empty: bool,
+) -> Option<Vec<usize>> {
+    bfs_word(
+        dfa.n_states(),
+        from,
+        dfa.n_letters(),
+        |s, a| dfa.step(s, a),
+        goal,
+        allow_empty,
+    )
+}
+
+/// Shortest nonempty word `u` with `p·u = target.0` and `q·u = target.1`.
+fn shortest_pair_word(dfa: &Dfa, p: State, q: State, target: (State, State)) -> Option<Vec<usize>> {
+    let n = dfa.n_states();
+    bfs_word(
+        n * n,
+        p * n + q,
+        dfa.n_letters(),
+        |id, a| dfa.step(id / n, a) * n + dfa.step(id % n, a),
+        |id| (id / n, id % n) == target,
+        false,
+    )
+}
+
+/// Shortest **nonempty** word `t` with `p·t` accepting XOR `q·t` accepting.
+fn distinguishing_word(dfa: &Dfa, p: State, q: State) -> Option<Vec<usize>> {
+    let n = dfa.n_states();
+    bfs_word(
+        n * n,
+        p * n + q,
+        dfa.n_letters(),
+        |id, a| dfa.step(id / n, a) * n + dfa.step(id % n, a),
+        |id| dfa.is_accepting(id / n) != dfa.is_accepting(id % n),
+        false,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4: the Lemma 3.12 fooling pair.
+// ---------------------------------------------------------------------------
+
+/// A pair of trees exactly one of which belongs to the target tree
+/// language, indistinguishable to automata below the stated budget.
+#[derive(Clone, Debug)]
+pub struct FoolingPair {
+    /// The tree from the unpumped side (Fig. 4a).
+    pub original: Tree,
+    /// The pumped variant (Fig. 4b).
+    pub pumped: Tree,
+    /// Whether `original` is the member of the target language (then
+    /// `pumped` is not, and vice versa).
+    pub original_in_language: bool,
+    /// The automaton size n the pair defeats: any DFA over Γ ∪ Γ̄ with at
+    /// most this many states conflates the two trees.
+    pub defeats_n_states: usize,
+}
+
+fn factorial(n: usize) -> usize {
+    (1..=n).product()
+}
+
+fn open_chain(b: &mut st_trees::TreeBuilder, word: &[usize]) {
+    for &a in word {
+        b.open(Letter(a as u32));
+    }
+}
+
+fn close_n(b: &mut st_trees::TreeBuilder, n: usize) {
+    for _ in 0..n {
+        b.close().expect("balanced fooling construction");
+    }
+}
+
+/// Appends a closed chain (a single-branch subtree) as the next child.
+fn chain_child(b: &mut st_trees::TreeBuilder, word: &[usize]) {
+    open_chain(b, word);
+    close_n(b, word.len());
+}
+
+/// Lemma 3.12 / Fig. 4: for a language that is **not** E-flat, produce the
+/// fooling pair (S, S′) defeating every tag-DFA with at most
+/// `n_dfa_states` states.  Returns `None` when the language *is* E-flat.
+///
+/// With witness words `s, t, u ∈ Γ⁺`, `x ∈ Γ*` such that `i·s = p`,
+/// `p·u = q·u = q`, `q·x` rejecting, and `st ∈ L ⇔ suᵏt ∉ L` (k > 0):
+///
+/// * S  = chain s whose deepest node has children ⟨uᴺx⟩, ⟨t⟩, ⟨uᴺx⟩,
+/// * S′ = chain s·uᴺ whose deepest node has the same three children,
+///
+/// so S's distinguished branch reads s·t while S′'s reads s·uᴺ·t; all
+/// x-branches lie in Lᶜ.  An n-state DFA satisfies r·wⁿ! = r·w²·ⁿ! for all
+/// r, w, hence cannot see the inserted uᴺ (N = n!).
+pub fn eflat_fooling_pair(analysis: &Analysis, n_dfa_states: usize) -> Option<FoolingPair> {
+    use st_automata::pairs::MeetMode::Synchronous;
+    let verdict = check_e_flat(analysis, Synchronous);
+    let (p, q) = verdict.witness?;
+    let dfa = &analysis.dfa;
+
+    let s = shortest_word_to(dfa, dfa.init(), |r| r == p, false)
+        .expect("witness p is internal, so a nonempty word reaches it");
+    let u =
+        shortest_pair_word(dfa, p, q, (q, q)).expect("witness pair meets in q via a nonempty word");
+    let x =
+        shortest_word_to(dfa, q, |r| !dfa.is_accepting(r), true).expect("witness q is rejective");
+    let t = distinguishing_word(dfa, p, q)
+        .expect("witness pair is not almost equivalent, so a nonempty word distinguishes");
+
+    let n_exp = factorial(n_dfa_states.max(1));
+
+    let mut u_n_x = Vec::with_capacity(u.len() * n_exp + x.len());
+    for _ in 0..n_exp {
+        u_n_x.extend_from_slice(&u);
+    }
+    u_n_x.extend_from_slice(&x);
+
+    let build = |extra_u_reps: usize| -> Tree {
+        let mut b = st_trees::TreeBuilder::new();
+        open_chain(&mut b, &s);
+        let mut spine_extra = 0usize;
+        for _ in 0..extra_u_reps {
+            open_chain(&mut b, &u);
+            spine_extra += u.len();
+        }
+        chain_child(&mut b, &u_n_x);
+        chain_child(&mut b, &t);
+        chain_child(&mut b, &u_n_x);
+        close_n(&mut b, s.len() + spine_extra);
+        b.finish().expect("fooling tree is well-formed")
+    };
+
+    let s_tree = build(0);
+    let s_prime = build(n_exp);
+
+    // Membership: S's t-branch is labelled s·t, S′'s is s·uᴺ·t.
+    let st_in = dfa.is_accepting(dfa.run(&[s.clone(), t.clone()].concat()));
+    Some(FoolingPair {
+        original: s_tree,
+        pumped: s_prime,
+        original_in_language: st_in,
+        defeats_n_states: n_dfa_states,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Generic pigeonhole fooling harness (Examples 2.9, 2.10; Lemma 3.16 role).
+// ---------------------------------------------------------------------------
+
+/// Builds a descent prefix from a flag vector.
+pub type PrefixBuilder = Box<dyn Fn(&[bool]) -> Vec<Tag>>;
+
+/// Ground-truth membership oracle on a complete document.
+pub type MembershipOracle = Box<dyn Fn(&[Tag]) -> bool>;
+
+/// A fooling family: 2ᵐ descents that a bounded automaton must conflate.
+pub struct FoolingFamily {
+    /// Number of independent boolean choices in the descent.
+    pub n_flags: usize,
+    /// Builds the descent prefix (a tag sequence) for a flag vector.
+    pub prefix: PrefixBuilder,
+    /// Builds the suffix completing the document so that membership hinges
+    /// on flag `i` of the prefix.  Suffixes must not depend on the flags
+    /// (that is the whole point), so all flag-dependent labels live on
+    /// side branches closed during the prefix.
+    pub suffix: Box<dyn Fn(usize) -> Vec<Tag>>,
+    /// Ground-truth membership oracle on a **complete** document.
+    pub in_language: MembershipOracle,
+}
+
+/// The result of a successful pigeonhole attack on a program.
+#[derive(Clone, Debug)]
+pub struct FoolingDemo {
+    /// Flag vector of the first conflated descent.
+    pub flags_a: Vec<bool>,
+    /// Flag vector of the second conflated descent.
+    pub flags_b: Vec<bool>,
+    /// Index where they differ (membership hinges on it).
+    pub differing_flag: usize,
+    /// The first complete document.
+    pub doc_a: Vec<Tag>,
+    /// The second complete document.
+    pub doc_b: Vec<Tag>,
+    /// Ground-truth membership of `doc_a` / `doc_b`.
+    pub in_language: (bool, bool),
+    /// The verdict the program gives to **both** documents.
+    pub program_verdict: bool,
+}
+
+/// Runs the 2ᵐ descents of `family` through `program`, finds two that land
+/// in identical configurations (state, depth, and register file) yet
+/// differ in a membership-relevant flag, and completes both with the same
+/// suffix.  Returns `None` only if the program distinguishes all descents
+/// (m too small for the program's state/register budget).
+pub fn pigeonhole_fool<P>(program: &P, family: &FoolingFamily) -> Option<FoolingDemo>
+where
+    P: DraProgram<Input = Tag>,
+    P::State: PartialEq,
+{
+    let m = family.n_flags;
+    assert!(m <= 20, "2^{m} descents would be excessive");
+    let mut configs: Vec<(P::State, i64, Vec<i64>)> = Vec::with_capacity(1 << m);
+    let mut all_flags: Vec<Vec<bool>> = Vec::with_capacity(1 << m);
+    for bits in 0u32..(1u32 << m) {
+        let flags: Vec<bool> = (0..m).map(|i| bits >> i & 1 == 1).collect();
+        let prefix = (family.prefix)(&flags);
+        let mut runner = DraRunner::new(program).expect("register budget");
+        for tag in prefix {
+            runner.step(tag);
+        }
+        configs.push((
+            runner.state().clone(),
+            runner.depth(),
+            runner.registers().to_vec(),
+        ));
+        all_flags.push(flags);
+    }
+    for i in 0..configs.len() {
+        for j in i + 1..configs.len() {
+            if configs[i] != configs[j] {
+                continue;
+            }
+            // Try every flag where the two descents differ: the suffix
+            // spotlights that flag, and the ground-truth oracle decides
+            // whether the completed memberships actually diverge (they
+            // may not when other flags provide alternative matches).
+            for diff in (0..m).filter(|&f| all_flags[i][f] != all_flags[j][f]) {
+                let suffix = (family.suffix)(diff);
+                let mut doc_a = (family.prefix)(&all_flags[i]);
+                doc_a.extend_from_slice(&suffix);
+                let mut doc_b = (family.prefix)(&all_flags[j]);
+                doc_b.extend_from_slice(&suffix);
+                let in_a = (family.in_language)(&doc_a);
+                let in_b = (family.in_language)(&doc_b);
+                if in_a == in_b {
+                    continue;
+                }
+                let verdict = run_verdict(program, &doc_a);
+                debug_assert_eq!(verdict, run_verdict(program, &doc_b));
+                return Some(FoolingDemo {
+                    flags_a: all_flags[i].clone(),
+                    flags_b: all_flags[j].clone(),
+                    differing_flag: diff,
+                    in_language: (in_a, in_b),
+                    doc_a,
+                    doc_b,
+                    program_verdict: verdict,
+                });
+            }
+        }
+    }
+    None
+}
+
+fn run_verdict<P: DraProgram>(program: &P, doc: &[P::Input]) -> bool {
+    let mut runner = DraRunner::new(program).expect("register budget");
+    let mut acc = runner.is_accepting();
+    for &t in doc {
+        acc = runner.step(t);
+    }
+    acc
+}
+
+/// Selector for [`family`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FamilyKind {
+    /// Example 2.9 / Fig. 1: strict descendent pattern over `Kn`.
+    StrictPattern,
+    /// Example 2.10: consecutive siblings a, b, c.
+    TripleSiblings,
+}
+
+/// Builds a fooling family over letters `a`, `b`, `c` with `n_flags`
+/// independent choices.
+pub fn family(kind: FamilyKind, n_flags: usize, a: Letter, b: Letter, c: Letter) -> FoolingFamily {
+    match kind {
+        FamilyKind::StrictPattern => {
+            // Example 2.9: the Kn schema (Fig. 1b).  Main branch of
+            // n = n_flags + 2 b-nodes; flags choose a-children of internal
+            // nodes 2..n-1; the suffix adds c-children at the neighbours
+            // of the distinguished node, yielding Figs. 1c/1d: the tree
+            // strictly contains Fig. 1a's pattern iff the flag is set.
+            let n = n_flags + 2;
+            FoolingFamily {
+                n_flags,
+                prefix: Box::new(move |flags: &[bool]| {
+                    let mut tags = Vec::new();
+                    for j in 1..=n {
+                        tags.push(Tag::Open(b));
+                        if (2..n).contains(&j) && flags[j - 2] {
+                            tags.push(Tag::Open(a));
+                            tags.push(Tag::Close(a));
+                        }
+                    }
+                    tags
+                }),
+                suffix: Box::new(move |i: usize| {
+                    let pos_mid = i + 2;
+                    let (c_above, c_below) = (pos_mid - 1, pos_mid + 1);
+                    let mut tags = Vec::new();
+                    for j in (1..=n).rev() {
+                        if j == c_above || j == c_below {
+                            tags.push(Tag::Open(c));
+                            tags.push(Tag::Close(c));
+                        }
+                        tags.push(Tag::Close(b));
+                    }
+                    tags
+                }),
+                in_language: Box::new(move |doc: &[Tag]| {
+                    let t = st_trees::encode::markup_decode(doc)
+                        .expect("family documents are well-formed");
+                    let mut pb = st_trees::TreeBuilder::new();
+                    // Fig. 1a's pattern: b{b{a{}c{}}c{}}.
+                    pb.open(b);
+                    pb.open(b);
+                    pb.leaf(a);
+                    pb.leaf(c);
+                    pb.close().expect("balanced");
+                    pb.leaf(c);
+                    pb.close().expect("balanced");
+                    let pattern = crate::pattern::DescendantPattern::new(
+                        pb.finish().expect("pattern well-formed"),
+                    );
+                    crate::pattern::strictly_contains(&t, &pattern)
+                }),
+            }
+        }
+        FamilyKind::TripleSiblings => {
+            // Example 2.10: main branch of c-nodes; flag j gives level j's
+            // node an a-leaf as first child.  The suffix closes down to the
+            // distinguished level (all main-branch labels are c, so the
+            // closing tags are flag-independent) and appends b- and c-leaf
+            // siblings there.  Membership follows Example 2.10's closing
+            // remark — "dropping the assumption that the siblings are
+            // consecutive, or even that they are ordered as written, does
+            // not affect the argument": some node has children labelled
+            // a, b, and c, which at the distinguished node hinges on its
+            // a-flag.
+            FoolingFamily {
+                n_flags,
+                prefix: Box::new(move |flags: &[bool]| {
+                    let mut tags = Vec::new();
+                    for &f in flags {
+                        tags.push(Tag::Open(c));
+                        if f {
+                            tags.push(Tag::Open(a));
+                            tags.push(Tag::Close(a));
+                        }
+                    }
+                    tags
+                }),
+                suffix: Box::new(move |i: usize| {
+                    let mut tags = Vec::new();
+                    // Close levels below the distinguished one (flag
+                    // positions i+1 .. n_flags-1), main labels all c.
+                    for _ in (i + 1)..n_flags {
+                        tags.push(Tag::Close(c));
+                    }
+                    // Append b- and c-leaves at the distinguished node.
+                    tags.push(Tag::Open(b));
+                    tags.push(Tag::Close(b));
+                    tags.push(Tag::Open(c));
+                    tags.push(Tag::Close(c));
+                    // Close the distinguished node and everything above.
+                    for _ in 0..=i {
+                        tags.push(Tag::Close(c));
+                    }
+                    tags
+                }),
+                in_language: Box::new(move |doc: &[Tag]| {
+                    let t = st_trees::encode::markup_decode(doc)
+                        .expect("family documents are well-formed");
+                    t.nodes().any(|v| {
+                        let kids: Vec<_> = t.children(v).map(|ch| t.label(ch)).collect();
+                        kids.contains(&a) && kids.contains(&b) && kids.contains(&c)
+                    })
+                }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::har;
+    use crate::model::TagDfaProgram;
+    use st_automata::{compile_regex, Alphabet};
+    use st_trees::encode::markup_encode;
+    use st_trees::oracle;
+
+    #[test]
+    fn eflat_pair_memberships_differ() {
+        // `ab` over {a, b, c} is not E-flat; Fig. 4's pair must straddle EL.
+        let g = Alphabet::of_chars("abc");
+        let d = compile_regex("ab", &g).unwrap();
+        let analysis = Analysis::new(&d);
+        let pair = eflat_fooling_pair(&analysis, 3).unwrap();
+        let in_s = oracle::in_exists(&pair.original, &analysis.dfa);
+        let in_sp = oracle::in_exists(&pair.pumped, &analysis.dfa);
+        assert_ne!(in_s, in_sp, "exactly one of S, S′ is in EL");
+        assert_eq!(in_s, pair.original_in_language);
+    }
+
+    #[test]
+    fn eflat_pair_confuses_small_dfas() {
+        // Every DFA over Γ ∪ Γ̄ with ≤ n states must conflate S and S′ —
+        // checked against a brigade of random DFAs.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let g = Alphabet::of_chars("abc");
+        let d = compile_regex("ab", &g).unwrap();
+        let analysis = Analysis::new(&d);
+        let n = 3;
+        let pair = eflat_fooling_pair(&analysis, n).unwrap();
+        let tags_s = markup_encode(&pair.original);
+        let tags_sp = markup_encode(&pair.pumped);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..300 {
+            let m = rng.gen_range(1..=n);
+            let rows: Vec<Vec<usize>> = (0..m)
+                .map(|_| (0..6).map(|_| rng.gen_range(0..m)).collect())
+                .collect();
+            let accepting: Vec<bool> = (0..m).map(|_| rng.gen()).collect();
+            let b = Dfa::from_rows(6, 0, accepting, rows).unwrap();
+            let run = |tags: &[Tag]| {
+                let mut s = b.init();
+                for &t in tags {
+                    let letter = match t {
+                        Tag::Open(l) => l.index(),
+                        Tag::Close(l) => 3 + l.index(),
+                    };
+                    s = b.step(s, letter);
+                }
+                b.is_accepting(s)
+            };
+            assert_eq!(run(&tags_s), run(&tags_sp));
+        }
+    }
+
+    #[test]
+    fn eflat_pair_none_for_eflat_languages() {
+        let g = Alphabet::of_chars("abc");
+        let d = compile_regex("a.*b", &g).unwrap();
+        assert!(eflat_fooling_pair(&Analysis::new(&d), 3).is_none());
+    }
+
+    #[test]
+    fn strict_pattern_family_fools_the_nonstrict_matcher() {
+        // Example 2.9: strict containment of Fig. 1a's pattern is not
+        // stackless.  The non-strict PatternProgram is a natural wrong
+        // candidate: the pigeonhole harness finds documents it conflates
+        // although strict membership differs.
+        let g = Alphabet::of_chars("abc");
+        let (a, b, c) = (
+            g.letter("a").unwrap(),
+            g.letter("b").unwrap(),
+            g.letter("c").unwrap(),
+        );
+        let fam = family(FamilyKind::StrictPattern, 6, a, b, c);
+        let pattern = crate::pattern::parse_pattern("b{b{a{}c{}}c{}}", &g).unwrap();
+        let program = crate::pattern::PatternProgram::new(&pattern).unwrap();
+        let demo = pigeonhole_fool(&program, &fam).expect("pigeonhole must bite");
+        assert_ne!(demo.in_language.0, demo.in_language.1);
+        assert!(st_trees::encode::markup_decode(&demo.doc_a).is_ok());
+        assert!(st_trees::encode::markup_decode(&demo.doc_b).is_ok());
+    }
+
+    #[test]
+    fn kn_documents_decode_to_kn_trees() {
+        // The family's documents coincide with generate::kn_tree.
+        let g = Alphabet::of_chars("abc");
+        let (a, b, c) = (
+            g.letter("a").unwrap(),
+            g.letter("b").unwrap(),
+            g.letter("c").unwrap(),
+        );
+        let fam = family(FamilyKind::StrictPattern, 4, a, b, c);
+        let flags = vec![true, false, true, false];
+        let i = 1usize;
+        let mut doc = (fam.prefix)(&flags);
+        doc.extend((fam.suffix)(i));
+        let t = st_trees::encode::markup_decode(&doc).unwrap();
+        // Same shape via the generator: n = 6 main nodes, c-children at
+        // 1-based positions i+1 and i+3.
+        let mut c_child = vec![false; 6];
+        c_child[i + 1 - 1] = true;
+        c_child[i + 3 - 1] = true;
+        let want = st_trees::generate::kn_tree(a, b, c, &flags, &c_child);
+        assert!(t.structurally_equal(&want));
+    }
+
+    #[test]
+    fn triple_siblings_family_fools_har_programs() {
+        // Example 2.10-style: per-node sibling combinations are not
+        // stackless.  Any compiled HAR program is conflated on the family.
+        let g = Alphabet::of_chars("abc");
+        let (a, b, c) = (
+            g.letter("a").unwrap(),
+            g.letter("b").unwrap(),
+            g.letter("c").unwrap(),
+        );
+        let fam = family(FamilyKind::TripleSiblings, 7, a, b, c);
+        let d = compile_regex(".*a.*b", &g).unwrap();
+        let analysis = Analysis::new(&d);
+        let program = har::compile_query_markup(&analysis).unwrap();
+        let demo = pigeonhole_fool(&program, &fam).expect("pigeonhole must bite");
+        assert_ne!(demo.in_language.0, demo.in_language.1);
+        assert!(st_trees::encode::markup_decode(&demo.doc_a).is_ok());
+        assert!(st_trees::encode::markup_decode(&demo.doc_b).is_ok());
+        // Ground truth re-derived independently: membership = "some node
+        // has children carrying all of a, b, c".
+        let has_abc_children = |doc: &[Tag]| {
+            let t = st_trees::encode::markup_decode(doc).unwrap();
+            t.nodes().any(|v| {
+                let kids: Vec<_> = t.children(v).map(|ch| t.label(ch)).collect();
+                kids.contains(&a) && kids.contains(&b) && kids.contains(&c)
+            })
+        };
+        assert_eq!(has_abc_children(&demo.doc_a), demo.in_language.0);
+        assert_eq!(has_abc_children(&demo.doc_b), demo.in_language.1);
+    }
+
+    #[test]
+    fn registerless_dfas_fooled_even_faster() {
+        // A plain DFA (0 registers) collides already with few flags.
+        let g = Alphabet::of_chars("abc");
+        let (a, b, c) = (
+            g.letter("a").unwrap(),
+            g.letter("b").unwrap(),
+            g.letter("c").unwrap(),
+        );
+        let fam = family(FamilyKind::TripleSiblings, 5, a, b, c);
+        let d = compile_regex("a.*b", &g).unwrap();
+        let analysis = Analysis::new(&d);
+        let q = crate::registerless::compile_query_markup(&analysis).unwrap();
+        let program = TagDfaProgram::new(&q);
+        assert!(pigeonhole_fool(&program, &fam).is_some());
+    }
+}

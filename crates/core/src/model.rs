@@ -1,0 +1,625 @@
+//! The depth-register automaton model (Definition 2.1).
+//!
+//! A *depth-register automaton* is a deterministic machine over the markup
+//! alphabet Γ ∪ Γ̄ (or the term alphabet Γ ∪ {◁}) equipped with
+//!
+//! * one **input-driven counter** holding the current depth: +1 on opening
+//!   tags, −1 on closing tags — the machine cannot influence it;
+//! * a bounded set of **registers** holding previously stored depths, whose
+//!   only observable is the *order comparison* of each register against the
+//!   current depth (the sets X≤ and X≥ of Definition 2.1); a transition may
+//!   *load* the current depth into any subset of registers.
+//!
+//! The crate enforces this honesty architecturally: a [`DraProgram`] never
+//! sees depth values.  Its `step` receives the input symbol and one
+//! [`Ordering`] per register (register value vs. the **new** depth dᵢ,
+//! exactly as in Definition 2.1) and returns the next control state plus a
+//! [`LoadMask`] of registers to overwrite with dᵢ.  The [`DraRunner`] owns
+//! the counter and the register file, so no program can smuggle arithmetic
+//! on depths into its control logic.
+
+use std::cmp::Ordering;
+
+use st_automata::{Dfa, Tag};
+use st_trees::encode::TermEvent;
+
+use crate::error::CoreError;
+
+/// Maximum register count supported by [`DraRunner`] (masks are `u64`).
+pub const MAX_REGISTERS: usize = 64;
+
+/// Bitmask of registers to load with the current depth (bit ξ = register ξ).
+pub type LoadMask = u64;
+
+/// An input symbol of a streamed encoding: drives the depth counter.
+pub trait StreamSymbol: Copy {
+    /// +1 for opening tags, −1 for closing tags.
+    fn depth_delta(self) -> i64;
+
+    /// Whether this symbol opens a node (pre-selection happens here).
+    fn is_open(self) -> bool {
+        self.depth_delta() > 0
+    }
+}
+
+impl StreamSymbol for Tag {
+    fn depth_delta(self) -> i64 {
+        Tag::depth_delta(self)
+    }
+}
+
+impl StreamSymbol for TermEvent {
+    fn depth_delta(self) -> i64 {
+        TermEvent::depth_delta(self)
+    }
+}
+
+/// A depth-register automaton, expressed against the honest interface.
+///
+/// Implementations range from explicitly tabulated machines
+/// ([`crate::table::TableDra`]) to the structured programs produced by the
+/// Lemma 3.8 compiler ([`crate::har::HarMarkupProgram`]).  The control-state type
+/// must range over a *finite* set for the implementation to be a genuine
+/// DRA; every implementation in this crate documents its bound.
+pub trait DraProgram {
+    /// The encoding this program reads ([`Tag`] for markup, [`TermEvent`]
+    /// for term).
+    type Input: StreamSymbol;
+
+    /// Control state.  Must range over a finite set.
+    type State: Clone + PartialEq + std::fmt::Debug;
+
+    /// Number of registers Ξ (≤ [`MAX_REGISTERS`]).
+    fn n_registers(&self) -> usize;
+
+    /// The initial control state q_init.
+    fn init_state(&self) -> Self::State;
+
+    /// Whether a control state is accepting.
+    fn is_accepting(&self, state: &Self::State) -> bool;
+
+    /// One transition.  `cmps[ξ]` is the ordering of register ξ's value
+    /// against the **new** depth dᵢ (`Less` ⇔ η(ξ) < dᵢ, i.e. ξ ∈ X≤ \ X≥).
+    /// Returns the next state and the set Y of registers to load with dᵢ.
+    fn step(
+        &self,
+        state: &Self::State,
+        input: Self::Input,
+        cmps: &[Ordering],
+    ) -> (Self::State, LoadMask);
+}
+
+/// Executes a [`DraProgram`], owning the depth counter and register file.
+///
+/// A configuration (q, d, η) of Definition 2.1 is split between the program
+/// state `q` (held here) and the numeric parts `d`, `η` (held here, never
+/// shown to the program).  Registers are initialized to 0 and the counter
+/// starts at 0, matching the paper's initial configuration.
+#[derive(Clone, Debug)]
+pub struct DraRunner<'p, P: DraProgram> {
+    program: &'p P,
+    state: P::State,
+    depth: i64,
+    registers: Vec<i64>,
+    cmps: Vec<Ordering>,
+}
+
+impl<'p, P: DraProgram> DraRunner<'p, P> {
+    /// Starts a run in the initial configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::TooManyRegisters`] if the program wants more than 64.
+    pub fn new(program: &'p P) -> Result<Self, CoreError> {
+        let n = program.n_registers();
+        if n > MAX_REGISTERS {
+            return Err(CoreError::TooManyRegisters { requested: n });
+        }
+        Ok(Self {
+            program,
+            state: program.init_state(),
+            depth: 0,
+            registers: vec![0; n],
+            cmps: vec![Ordering::Equal; n],
+        })
+    }
+
+    /// Processes one symbol; returns whether the new state is accepting.
+    pub fn step(&mut self, input: P::Input) -> bool {
+        self.depth += input.depth_delta();
+        for (c, &r) in self.cmps.iter_mut().zip(&self.registers) {
+            *c = r.cmp(&self.depth);
+        }
+        let (next, load) = self.program.step(&self.state, input, &self.cmps);
+        if load != 0 {
+            for (xi, r) in self.registers.iter_mut().enumerate() {
+                if load >> xi & 1 == 1 {
+                    *r = self.depth;
+                }
+            }
+        }
+        self.state = next;
+        self.program.is_accepting(&self.state)
+    }
+
+    /// Current control state.
+    pub fn state(&self) -> &P::State {
+        &self.state
+    }
+
+    /// Current depth (diagnostics; the *program* never sees this).
+    pub fn depth(&self) -> i64 {
+        self.depth
+    }
+
+    /// Current register values (diagnostics only).
+    pub fn registers(&self) -> &[i64] {
+        &self.registers
+    }
+
+    /// Whether the current configuration is accepting.
+    pub fn is_accepting(&self) -> bool {
+        self.program.is_accepting(&self.state)
+    }
+}
+
+/// Replays a stream through the program and verifies the *restricted*
+/// discipline of Section 2.2 dynamically: every transition must overwrite
+/// all registers whose value strictly exceeds the current depth
+/// (X≥ \ X≤ ⊆ Y).  Returns `false` at the first violating transition.
+///
+/// Restricted depth-register automata recognize only regular tree
+/// languages (Proposition 2.3); the paper conjectures they capture all
+/// regular stackless languages and notes all of its constructions are
+/// restricted — [`crate::har`] and [`crate::pattern`] programs pass this
+/// check by design, while Example 2.2's table automaton does not.
+pub fn check_restricted_run<P: DraProgram>(
+    program: &P,
+    stream: &[P::Input],
+) -> Result<bool, CoreError> {
+    let n = program.n_registers();
+    if n > MAX_REGISTERS {
+        return Err(CoreError::TooManyRegisters { requested: n });
+    }
+    let mut state = program.init_state();
+    let mut depth: i64 = 0;
+    let mut registers = vec![0i64; n];
+    let mut cmps = vec![Ordering::Equal; n];
+    for &sym in stream {
+        depth += sym.depth_delta();
+        for (c, &r) in cmps.iter_mut().zip(&registers) {
+            *c = r.cmp(&depth);
+        }
+        let (next, load) = program.step(&state, sym, &cmps);
+        for (xi, &c) in cmps.iter().enumerate() {
+            if c == Ordering::Greater && load >> xi & 1 == 0 {
+                return Ok(false);
+            }
+        }
+        for (xi, r) in registers.iter_mut().enumerate() {
+            if load >> xi & 1 == 1 {
+                *r = depth;
+            }
+        }
+        state = next;
+    }
+    Ok(true)
+}
+
+/// Runs the program over a full stream and reports final acceptance (the
+/// recognition semantics of Section 2.2).
+pub fn accepts<P: DraProgram>(program: &P, stream: &[P::Input]) -> Result<bool, CoreError> {
+    let mut runner = DraRunner::new(program)?;
+    let mut accepting = runner.is_accepting();
+    for &sym in stream {
+        accepting = runner.step(sym);
+    }
+    Ok(accepting)
+}
+
+/// Runs the program over a full stream with pre-selection semantics
+/// (Section 2.3): returns document-order ids of nodes whose *opening*
+/// symbol left the automaton in an accepting state.
+pub fn preselect<P: DraProgram>(program: &P, stream: &[P::Input]) -> Result<Vec<usize>, CoreError> {
+    let mut runner = DraRunner::new(program)?;
+    let mut selected = Vec::new();
+    let mut node = 0usize;
+    for &sym in stream {
+        let accepting = runner.step(sym);
+        if sym.is_open() {
+            if accepting {
+                selected.push(node);
+            }
+            node += 1;
+        }
+    }
+    Ok(selected)
+}
+
+/// A plain DFA over the markup tag alphabet, viewed as a (register-free)
+/// depth-register automaton.  This is the paper's observation that DRAs
+/// with Ξ = ∅ are just DFAs over Γ ∪ Γ̄.
+#[derive(Clone, Debug)]
+pub struct TagDfaProgram<'a> {
+    dfa: &'a Dfa,
+    n_base_letters: usize,
+}
+
+impl<'a> TagDfaProgram<'a> {
+    /// Wraps a DFA whose letters are tag indices (`0..n` opening, `n..2n`
+    /// closing for `|Γ| = n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DFA's letter count is odd.
+    pub fn new(dfa: &'a Dfa) -> Self {
+        assert!(
+            dfa.n_letters().is_multiple_of(2),
+            "a markup DFA needs an even letter count (Γ ∪ Γ̄)"
+        );
+        Self {
+            dfa,
+            n_base_letters: dfa.n_letters() / 2,
+        }
+    }
+}
+
+impl DraProgram for TagDfaProgram<'_> {
+    type Input = Tag;
+    type State = usize;
+
+    fn n_registers(&self) -> usize {
+        0
+    }
+
+    fn init_state(&self) -> usize {
+        self.dfa.init()
+    }
+
+    fn is_accepting(&self, state: &usize) -> bool {
+        self.dfa.is_accepting(*state)
+    }
+
+    fn step(&self, state: &usize, input: Tag, _cmps: &[Ordering]) -> (usize, LoadMask) {
+        let letter = match input {
+            Tag::Open(l) => l.index(),
+            Tag::Close(l) => self.n_base_letters + l.index(),
+        };
+        (self.dfa.step(*state, letter), 0)
+    }
+}
+
+/// A plain DFA over the term alphabet Γ ∪ {◁} (letters `0..n` opening, `n`
+/// the universal close), viewed as a register-free DRA over term events.
+#[derive(Clone, Debug)]
+pub struct TermDfaProgram<'a> {
+    dfa: &'a Dfa,
+    close_letter: usize,
+}
+
+impl<'a> TermDfaProgram<'a> {
+    /// Wraps a DFA with `|Γ| + 1` letters, the last being ◁.
+    pub fn new(dfa: &'a Dfa) -> Self {
+        assert!(dfa.n_letters() >= 1);
+        Self {
+            dfa,
+            close_letter: dfa.n_letters() - 1,
+        }
+    }
+}
+
+impl DraProgram for TermDfaProgram<'_> {
+    type Input = TermEvent;
+    type State = usize;
+
+    fn n_registers(&self) -> usize {
+        0
+    }
+
+    fn init_state(&self) -> usize {
+        self.dfa.init()
+    }
+
+    fn is_accepting(&self, state: &usize) -> bool {
+        self.dfa.is_accepting(*state)
+    }
+
+    fn step(&self, state: &usize, input: TermEvent, _cmps: &[Ordering]) -> (usize, LoadMask) {
+        let letter = match input {
+            TermEvent::Open(l) => l.index(),
+            TermEvent::Close => self.close_letter,
+        };
+        (self.dfa.step(*state, letter), 0)
+    }
+}
+
+/// Mask of registers comparing `Greater` — the set a *restricted*
+/// transition must reload (Section 2.2).  Sink states use this to keep
+/// wrapped programs restricted.
+fn greater_mask(cmps: &[Ordering]) -> LoadMask {
+    let mut mask: LoadMask = 0;
+    for (xi, &c) in cmps.iter().enumerate() {
+        if c == Ordering::Greater {
+            mask |= 1 << xi;
+        }
+    }
+    mask
+}
+
+/// Wraps a node-selecting program into an acceptor of EL — the Theorem 3.1
+/// "(1) ⇒ (2)" construction: remember whether the previous symbol was an
+/// opening tag that left the inner automaton accepting; if so and a closing
+/// tag arrives (the node was a leaf, its path is in L), jump to an
+/// all-accepting sink.
+#[derive(Clone, Debug)]
+pub struct ExistsAcceptor<P> {
+    inner: P,
+}
+
+/// State of [`ExistsAcceptor`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum ExistsState<S> {
+    /// Still searching; the flag records "previous symbol was an opening
+    /// tag and the inner state is accepting".
+    Running(S, bool),
+    /// Found a selected leaf: accept everything from here on.
+    Found,
+}
+
+impl<P> ExistsAcceptor<P> {
+    /// Wraps an inner pre-selecting program.
+    pub fn new(inner: P) -> Self {
+        Self { inner }
+    }
+}
+
+impl<P: DraProgram> DraProgram for ExistsAcceptor<P> {
+    type Input = P::Input;
+    type State = ExistsState<P::State>;
+
+    fn n_registers(&self) -> usize {
+        self.inner.n_registers()
+    }
+
+    fn init_state(&self) -> Self::State {
+        ExistsState::Running(self.inner.init_state(), false)
+    }
+
+    fn is_accepting(&self, state: &Self::State) -> bool {
+        matches!(state, ExistsState::Found)
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        input: P::Input,
+        cmps: &[Ordering],
+    ) -> (Self::State, LoadMask) {
+        match state {
+            ExistsState::Found => (ExistsState::Found, greater_mask(cmps)),
+            ExistsState::Running(s, leaf_flag) => {
+                if !input.is_open() && *leaf_flag {
+                    return (ExistsState::Found, greater_mask(cmps));
+                }
+                let (next, load) = self.inner.step(s, input, cmps);
+                let flag = input.is_open() && self.inner.is_accepting(&next);
+                (ExistsState::Running(next, flag), load)
+            }
+        }
+    }
+}
+
+/// Wraps a node-selecting program into an acceptor of AL — the dual
+/// Theorem 3.2 construction: if a leaf closes while the inner automaton
+/// rejected its opening, the tree has a branch outside L; jump to an
+/// all-rejecting sink.
+#[derive(Clone, Debug)]
+pub struct ForallAcceptor<P> {
+    inner: P,
+}
+
+/// State of [`ForallAcceptor`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum ForallState<S> {
+    /// No bad leaf yet; the flag records "previous symbol was an opening
+    /// tag and the inner state is rejecting".
+    Running(S, bool),
+    /// Found a rejected leaf: reject everything from here on.
+    Failed,
+}
+
+impl<P> ForallAcceptor<P> {
+    /// Wraps an inner pre-selecting program.
+    pub fn new(inner: P) -> Self {
+        Self { inner }
+    }
+}
+
+impl<P: DraProgram> DraProgram for ForallAcceptor<P> {
+    type Input = P::Input;
+    type State = ForallState<P::State>;
+
+    fn n_registers(&self) -> usize {
+        self.inner.n_registers()
+    }
+
+    fn init_state(&self) -> Self::State {
+        ForallState::Running(self.inner.init_state(), false)
+    }
+
+    fn is_accepting(&self, state: &Self::State) -> bool {
+        !matches!(state, ForallState::Failed)
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        input: P::Input,
+        cmps: &[Ordering],
+    ) -> (Self::State, LoadMask) {
+        match state {
+            ForallState::Failed => (ForallState::Failed, greater_mask(cmps)),
+            ForallState::Running(s, bad_leaf_flag) => {
+                if !input.is_open() && *bad_leaf_flag {
+                    return (ForallState::Failed, greater_mask(cmps));
+                }
+                let (next, load) = self.inner.step(s, input, cmps);
+                let flag = input.is_open() && !self.inner.is_accepting(&next);
+                (ForallState::Running(next, flag), load)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_automata::{Alphabet, Letter};
+    use st_trees::encode::markup_encode;
+    use st_trees::generate;
+
+    /// Example 2.2 as a handwritten program: all `a`-labelled nodes at the
+    /// same depth.  One register; first `a` stores the depth, later `a`s
+    /// compare.  Non-regular, stackless.
+    struct AllAsSameDepth {
+        a: Letter,
+    }
+
+    #[derive(Clone, PartialEq, Debug)]
+    enum S {
+        NoAYet,
+        Tracking,
+        Reject,
+    }
+
+    impl DraProgram for AllAsSameDepth {
+        type Input = Tag;
+        type State = S;
+
+        fn n_registers(&self) -> usize {
+            1
+        }
+
+        fn init_state(&self) -> S {
+            S::NoAYet
+        }
+
+        fn is_accepting(&self, s: &S) -> bool {
+            !matches!(s, S::Reject)
+        }
+
+        fn step(&self, s: &S, input: Tag, cmps: &[Ordering]) -> (S, LoadMask) {
+            match (s, input) {
+                (S::NoAYet, Tag::Open(l)) if l == self.a => (S::Tracking, 1),
+                (S::Tracking, Tag::Open(l)) if l == self.a => {
+                    if cmps[0] == Ordering::Equal {
+                        (S::Tracking, 0)
+                    } else {
+                        (S::Reject, 0)
+                    }
+                }
+                (S::Reject, _) => (S::Reject, 0),
+                (other, _) => (other.clone(), 0),
+            }
+        }
+    }
+
+    fn tags_of(term: &str) -> (Alphabet, Vec<Tag>) {
+        let (g, t) = st_trees::json::parse_term_tree(term.as_bytes()).unwrap();
+        let tags = markup_encode(&t);
+        (g, tags)
+    }
+
+    #[test]
+    fn example_2_2_all_as_same_depth() {
+        let (g, tags) = tags_of("b{a{}b{a{}}}");
+        let p = AllAsSameDepth {
+            a: g.letter("a").unwrap(),
+        };
+        // a's at depths 2 and 3: reject.
+        assert!(!accepts(&p, &tags).unwrap());
+
+        let (g2, tags2) = tags_of("b{a{}b{}a{}}");
+        let p2 = AllAsSameDepth {
+            a: g2.letter("a").unwrap(),
+        };
+        // a's both at depth 2: accept.
+        assert!(accepts(&p2, &tags2).unwrap());
+
+        // No a at all: accept (use a letter that never occurs).
+        let (_, tags3) = tags_of("b{b{}}");
+        let p3 = AllAsSameDepth { a: Letter(99) };
+        assert!(accepts(&p3, &tags3).unwrap());
+    }
+
+    #[test]
+    fn runner_rejects_too_many_registers() {
+        struct Greedy;
+        impl DraProgram for Greedy {
+            type Input = Tag;
+            type State = ();
+            fn n_registers(&self) -> usize {
+                65
+            }
+            fn init_state(&self) {}
+            fn is_accepting(&self, _: &()) -> bool {
+                false
+            }
+            fn step(&self, _: &(), _: Tag, _: &[Ordering]) -> ((), LoadMask) {
+                ((), 0)
+            }
+        }
+        assert!(matches!(
+            DraRunner::new(&Greedy),
+            Err(CoreError::TooManyRegisters { requested: 65 })
+        ));
+    }
+
+    #[test]
+    fn tag_dfa_program_runs_like_the_dfa() {
+        // DFA over Γ ∪ Γ̄ for Γ = {a}: accept iff the last tag read was the
+        // closing ā (letters: 0 = a, 1 = ā).
+        let d = st_automata::Dfa::from_rows(2, 0, vec![false, true], vec![vec![0, 1], vec![0, 1]])
+            .unwrap();
+        let p = TagDfaProgram::new(&d);
+        let g = Alphabet::of_chars("a");
+        let a = g.letter("a").unwrap();
+        let tags = vec![Tag::Open(a), Tag::Open(a), Tag::Close(a), Tag::Close(a)];
+        assert!(accepts(&p, &tags).unwrap());
+        assert!(!accepts(&p, &tags[..2]).unwrap());
+    }
+
+    #[test]
+    fn preselect_counts_nodes_in_document_order() {
+        // Select every node (always-accepting 1-state DFA over tags).
+        let d = st_automata::Dfa::trivial(2, true);
+        let p = TagDfaProgram::new(&d);
+        let g = Alphabet::of_chars("a");
+        let t = generate::wide(g.letter("a").unwrap(), g.letter("a").unwrap(), 3);
+        let tags = markup_encode(&t);
+        assert_eq!(preselect(&p, &tags).unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn exists_and_forall_wrappers() {
+        // Inner: select nodes labelled b (DFA over tags: accept after
+        // reading opening b). Γ = {a, b}: letters 0=a, 1=b, 2=ā, 3=b̄.
+        let d = st_automata::Dfa::from_rows(
+            4,
+            0,
+            vec![false, true],
+            vec![vec![0, 1, 0, 0], vec![0, 1, 0, 0]],
+        )
+        .unwrap();
+        let inner = TagDfaProgram::new(&d);
+        let (g, tags) = tags_of("a{b{a{}}}"); // b is not a leaf
+        assert!(!accepts(&ExistsAcceptor::new(TagDfaProgram::new(&d)), &tags).unwrap());
+        let (_, tags2) = tags_of("a{b{}}"); // b is a leaf
+        assert!(accepts(&ExistsAcceptor::new(TagDfaProgram::new(&d)), &tags2).unwrap());
+        // Forall: leaf a at depth 3 in first tree is not selected → reject.
+        assert!(!accepts(&ForallAcceptor::new(inner), &tags).unwrap());
+        // Second tree: only leaf is b → accept.
+        assert!(accepts(&ForallAcceptor::new(TagDfaProgram::new(&d)), &tags2).unwrap());
+        let _ = g;
+    }
+}

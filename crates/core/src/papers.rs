@@ -1,0 +1,491 @@
+//! Every concrete automaton, language, and example the paper names, as
+//! constructors keyed by figure/example number.  Tests and the experiment
+//! harness refer to these instead of re-deriving them, so the reproduction
+//! index in EXPERIMENTS.md has a single source of truth.
+
+use st_automata::{compile_regex, Alphabet, Dfa};
+
+use crate::analysis::Analysis;
+use crate::classify::{classify, ClassReport};
+
+/// Γ = {a, b, c}, the alphabet of most worked examples.
+pub fn gamma_abc() -> Alphabet {
+    Alphabet::of_chars("abc")
+}
+
+/// Γ = {a, b}, the alphabet of Fig. 2.
+pub fn gamma_ab() -> Alphabet {
+    Alphabet::of_chars("ab")
+}
+
+/// Fig. 2: the reversible two-state automaton over {a, b} — `a` swaps the
+/// states, `b` fixes them; accepts words with an even number of `a`s.
+pub fn fig2() -> Dfa {
+    Dfa::from_rows(2, 0, vec![true, false], vec![vec![1, 0], vec![0, 1]])
+        .expect("Fig. 2 table is well-formed")
+}
+
+/// Which automaton of Fig. 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fig3 {
+    /// (a) `a Γ*b` — almost-reversible.
+    A,
+    /// (b) `ab` — R-trivial, HAR, not almost-reversible.
+    B,
+    /// (c) `Γ*a Γ*b` — HAR, neither almost-reversible nor R-trivial.
+    C,
+    /// (d) `Γ*ab` — not HAR.
+    D,
+}
+
+impl Fig3 {
+    /// The regex the figure caption names (our concrete syntax).
+    pub fn pattern(self) -> &'static str {
+        match self {
+            Fig3::A => "a.*b",
+            Fig3::B => "ab",
+            Fig3::C => ".*a.*b",
+            Fig3::D => ".*ab",
+        }
+    }
+
+    /// The figure's caption text.
+    pub fn caption(self) -> &'static str {
+        match self {
+            Fig3::A => "a Γ*b",
+            Fig3::B => "ab",
+            Fig3::C => "Γ*a Γ*b",
+            Fig3::D => "Γ*ab",
+        }
+    }
+}
+
+/// Fig. 3: the four "languages of increasing hardness" over Γ = {a, b, c},
+/// as canonical minimal automata.
+pub fn fig3(which: Fig3) -> Dfa {
+    compile_regex(which.pattern(), &gamma_abc()).expect("figure patterns parse")
+}
+
+/// One row of the Example 2.12 table.
+#[derive(Clone, Debug)]
+pub struct TableRow {
+    /// The XPath spelling from the paper.
+    pub xpath: &'static str,
+    /// The JSONPath spelling from the paper.
+    pub jsonpath: &'static str,
+    /// The regular-expression spelling (paper notation).
+    pub regex_display: &'static str,
+    /// Our concrete regex syntax.
+    pub pattern: &'static str,
+    /// Full classification (recomputed, not hard-coded).
+    pub report: ClassReport,
+}
+
+/// Example 2.12's table, with verdicts *recomputed* by the decision
+/// procedures (the paper's ✓/✗ row is asserted in tests against these).
+pub fn table_2_12() -> Vec<TableRow> {
+    let g = gamma_abc();
+    let rows: [(&str, &str, &str, &str); 4] = [
+        ("/a//b", "$.a..b", "a Γ*b", "a.*b"),
+        ("/a/b", "$.a.b", "a b", "ab"),
+        ("//a//b", "$..a..b", "Γ*a Γ*b", ".*a.*b"),
+        ("//a/b", "$..a.b", "Γ*a b", ".*ab"),
+    ];
+    rows.into_iter()
+        .map(|(xpath, jsonpath, regex_display, pattern)| {
+            let dfa = compile_regex(pattern, &g).expect("table patterns parse");
+            TableRow {
+                xpath,
+                jsonpath,
+                regex_display,
+                pattern,
+                report: classify(&Analysis::new(&dfa)),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 1a's descendent pattern π: `b{b{a{}c{}}c{}}` over {a, b, c}.
+pub fn fig1a_pattern() -> crate::pattern::DescendantPattern {
+    crate::pattern::parse_pattern("b{b{a{}c{}}c{}}", &gamma_abc()).expect("Fig. 1a pattern parses")
+}
+
+/// Example 2.5's sibling language: H_L for L = Γ*aΓ* ("some child of the
+/// root is labelled a") — stackless but not registerless; here as the
+/// witnessing path language of Example 2.5's discussion, `Γ a Γ*`
+/// ("a branch whose second label is a").
+pub fn example_2_5_language() -> Dfa {
+    compile_regex(".a.*", &gamma_abc()).expect("pattern parses")
+}
+
+/// Example 2.6/2.7's languages: `Γ*a Γ*b` (descendant — stackless) and
+/// `Γ*ab` (child — not stackless).
+pub fn example_2_6_descendant() -> Dfa {
+    fig3(Fig3::C)
+}
+
+/// See [`example_2_6_descendant`].
+pub fn example_2_7_child() -> Dfa {
+    fig3(Fig3::D)
+}
+
+/// Section 4.2's cost-of-succinctness language: even number of `a`s
+/// (Fig. 2's automaton) — registerless under markup, not even stackless
+/// under the term encoding.
+pub fn section_4_2_language() -> Dfa {
+    compile_regex("(b*ab*a)*b*", &gamma_ab()).expect("pattern parses")
+}
+
+/// Example 2.5's construction, executable: the tree language H_L — "the
+/// sequence of labels of the **root's children** forms a word in L" — is
+/// stackless for every regular L.  The program stores depth 1 in its only
+/// register after the first opening tag and simulates the DFA of L over
+/// exactly the closing tags whose depth equals the stored value (in a
+/// valid encoding those are precisely the root's children, left to right).
+#[derive(Clone, Debug)]
+pub struct ChildrenOfRootProgram {
+    dfa: Dfa,
+}
+
+impl ChildrenOfRootProgram {
+    /// Wraps the DFA of the sibling language L ⊆ Γ*.
+    pub fn new(dfa: Dfa) -> Self {
+        Self { dfa }
+    }
+}
+
+/// Control state of [`ChildrenOfRootProgram`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChildrenOfRootState {
+    /// Nothing read yet.
+    Start,
+    /// Register loaded; simulating the sibling DFA (its current state).
+    Running(usize),
+}
+
+impl crate::model::DraProgram for ChildrenOfRootProgram {
+    type Input = st_automata::Tag;
+    type State = ChildrenOfRootState;
+
+    fn n_registers(&self) -> usize {
+        1
+    }
+
+    fn init_state(&self) -> Self::State {
+        ChildrenOfRootState::Start
+    }
+
+    fn is_accepting(&self, state: &Self::State) -> bool {
+        match state {
+            ChildrenOfRootState::Start => self.dfa.is_accepting(self.dfa.init()),
+            ChildrenOfRootState::Running(q) => self.dfa.is_accepting(*q),
+        }
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        input: st_automata::Tag,
+        cmps: &[std::cmp::Ordering],
+    ) -> (Self::State, crate::model::LoadMask) {
+        use std::cmp::Ordering;
+        match *state {
+            ChildrenOfRootState::Start => {
+                // First tag of a valid encoding opens the root at depth 1:
+                // store it.
+                (ChildrenOfRootState::Running(self.dfa.init()), 1)
+            }
+            ChildrenOfRootState::Running(q) => {
+                let next = match input {
+                    st_automata::Tag::Close(l) if cmps[0] == Ordering::Equal => {
+                        self.dfa.step(q, l.index())
+                    }
+                    _ => q,
+                };
+                // Reload on the root's own closing tag (depth 0 < stored 1)
+                // to stay formally restricted; the run is over then anyway.
+                let reload = u64::from(cmps[0] == Ordering::Greater);
+                (ChildrenOfRootState::Running(next), reload)
+            }
+        }
+    }
+}
+
+/// Example 2.10's **positive** half, executable: "even a finite automaton
+/// can check if the streamed tree contains two consecutive siblings with
+/// labels a and b: it suffices to check if the read encoding contains the
+/// closing tag ā followed immediately by the opening tag b."  Returns a
+/// DFA over the markup tag alphabet (`0..k` opens, `k..2k` closes).
+pub fn two_consecutive_siblings_dfa(
+    a: st_automata::Letter,
+    b: st_automata::Letter,
+    k: usize,
+) -> Dfa {
+    // States: 0 = neutral, 1 = just read ā, 2 = accept sink.
+    let close_a = k + a.index();
+    let open_b = b.index();
+    let mut rows = Vec::with_capacity(3);
+    for state in 0..3usize {
+        let mut row = Vec::with_capacity(2 * k);
+        for tag in 0..2 * k {
+            row.push(match state {
+                2 => 2,
+                1 if tag == open_b => 2,
+                _ if tag == close_a => 1,
+                _ => 0,
+            });
+        }
+        rows.push(row);
+    }
+    Dfa::from_rows(2 * k, 0, vec![false, false, true], rows)
+        .expect("sibling detector is well-formed")
+}
+
+/// Example 2.6's first construction, executable: "the **first** a-labelled
+/// node (in document order) has a b-labelled descendent".  One register:
+/// load the depth at the first `a`, then accept iff `b` opens before the
+/// depth drops strictly below the stored value.
+#[derive(Clone, Debug)]
+pub struct FirstAHasBDescendantProgram {
+    /// The label whose first occurrence anchors the search.
+    pub a: st_automata::Letter,
+    /// The label to find below the anchor.
+    pub b: st_automata::Letter,
+}
+
+/// Control state of [`FirstAHasBDescendantProgram`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FirstAState {
+    /// No `a` yet.
+    Seeking,
+    /// Inside the first `a`'s subtree, scanning for `b`.
+    Scanning,
+    /// Verdict reached (sticky).
+    Decided(bool),
+}
+
+impl crate::model::DraProgram for FirstAHasBDescendantProgram {
+    type Input = st_automata::Tag;
+    type State = FirstAState;
+
+    fn n_registers(&self) -> usize {
+        1
+    }
+
+    fn init_state(&self) -> Self::State {
+        FirstAState::Seeking
+    }
+
+    fn is_accepting(&self, state: &Self::State) -> bool {
+        matches!(state, FirstAState::Decided(true))
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        input: st_automata::Tag,
+        cmps: &[std::cmp::Ordering],
+    ) -> (Self::State, crate::model::LoadMask) {
+        use std::cmp::Ordering;
+        let stale = u64::from(cmps[0] == Ordering::Greater);
+        match *state {
+            FirstAState::Seeking => match input {
+                st_automata::Tag::Open(l) if l == self.a => (FirstAState::Scanning, 1),
+                _ => (FirstAState::Seeking, stale),
+            },
+            FirstAState::Scanning => match input {
+                st_automata::Tag::Open(l) if l == self.b => (FirstAState::Decided(true), stale),
+                _ if cmps[0] == Ordering::Greater => (FirstAState::Decided(false), stale),
+                _ => (FirstAState::Scanning, stale),
+            },
+            FirstAState::Decided(v) => (FirstAState::Decided(v), stale),
+        }
+    }
+}
+
+/// Example 2.6's second construction: "**some** a-labelled node has a
+/// b-labelled descendent" — the looped variant that restarts whenever a
+/// candidate's subtree closes unmatched (minimality makes this sound:
+/// ancestors inherit descendants).
+#[derive(Clone, Debug)]
+pub struct SomeAHasBDescendantProgram {
+    /// The anchor label.
+    pub a: st_automata::Letter,
+    /// The label to find below an anchor.
+    pub b: st_automata::Letter,
+}
+
+impl crate::model::DraProgram for SomeAHasBDescendantProgram {
+    type Input = st_automata::Tag;
+    type State = FirstAState;
+
+    fn n_registers(&self) -> usize {
+        1
+    }
+
+    fn init_state(&self) -> Self::State {
+        FirstAState::Seeking
+    }
+
+    fn is_accepting(&self, state: &Self::State) -> bool {
+        matches!(state, FirstAState::Decided(true))
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        input: st_automata::Tag,
+        cmps: &[std::cmp::Ordering],
+    ) -> (Self::State, crate::model::LoadMask) {
+        use std::cmp::Ordering;
+        let stale = u64::from(cmps[0] == Ordering::Greater);
+        match *state {
+            FirstAState::Seeking => match input {
+                st_automata::Tag::Open(l) if l == self.a => (FirstAState::Scanning, 1),
+                _ => (FirstAState::Seeking, stale),
+            },
+            FirstAState::Scanning => match input {
+                st_automata::Tag::Open(l) if l == self.b => (FirstAState::Decided(true), stale),
+                // Candidate closed unmatched: back to the loop.
+                _ if cmps[0] == Ordering::Greater => (FirstAState::Seeking, stale),
+                _ => (FirstAState::Scanning, stale),
+            },
+            FirstAState::Decided(v) => (FirstAState::Decided(v), stale),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_automata::ops::equivalent;
+
+    #[test]
+    fn fig2_is_minimal_and_reversible_shaped() {
+        let d = fig2();
+        assert_eq!(d.minimize().n_states(), 2);
+        // Same language as the regex rendering.
+        assert!(equivalent(&d, &section_4_2_language()));
+    }
+
+    #[test]
+    fn fig3_minimal_sizes_match_the_figures() {
+        // Fig. 3a and 3b draw four states; 3c and 3d draw three.
+        assert_eq!(fig3(Fig3::A).n_states(), 4);
+        assert_eq!(fig3(Fig3::B).n_states(), 4);
+        assert_eq!(fig3(Fig3::C).n_states(), 3);
+        assert_eq!(fig3(Fig3::D).n_states(), 3);
+    }
+
+    #[test]
+    fn table_rows_reproduce_the_paper_verdicts() {
+        let table = table_2_12();
+        let expected = [(true, true), (false, true), (false, true), (false, false)];
+        for (row, (registerless, stackless)) in table.iter().zip(expected) {
+            assert_eq!(
+                row.report.query_registerless(),
+                registerless,
+                "registerless({})",
+                row.regex_display
+            );
+            assert_eq!(
+                row.report.query_stackless(),
+                stackless,
+                "stackless({})",
+                row.regex_display
+            );
+        }
+    }
+
+    #[test]
+    fn example_2_5_children_of_root() {
+        use crate::model::{accepts, check_restricted_run};
+        let g = gamma_abc();
+        // L = Γ*aΓ* — "some child of the root is labelled a"; H_L is
+        // stackless but not registerless (Example 2.5's discussion).
+        let l_dfa = compile_regex(".*a.*", &g).unwrap();
+        let program = ChildrenOfRootProgram::new(l_dfa.clone());
+        for seed in 0..30 {
+            let t = st_trees::generate::random_attachment(&g, 60, 0.4, seed);
+            let tags = st_trees::encode::markup_encode(&t);
+            let children_word: Vec<usize> =
+                t.children(t.root()).map(|c| t.label(c).index()).collect();
+            let want = l_dfa.accepts(&children_word);
+            assert_eq!(accepts(&program, &tags).unwrap(), want, "seed {seed}");
+            assert!(check_restricted_run(&program, &tags).unwrap());
+        }
+    }
+
+    #[test]
+    fn example_2_10_two_consecutive_siblings_registerless() {
+        use crate::model::{accepts, TagDfaProgram};
+        let g = gamma_abc();
+        let a = g.letter("a").unwrap();
+        let b = g.letter("b").unwrap();
+        let d = two_consecutive_siblings_dfa(a, b, g.len());
+        let prog = TagDfaProgram::new(&d);
+        for seed in 0..40 {
+            let t = st_trees::generate::random_attachment(&g, 50, 0.4, 500 + seed);
+            let tags = st_trees::encode::markup_encode(&t);
+            let want = t.nodes().any(|v| {
+                let kids: Vec<_> = t.children(v).map(|c| t.label(c)).collect();
+                kids.windows(2).any(|w| w == [a, b])
+            });
+            assert_eq!(accepts(&prog, &tags).unwrap(), want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn example_2_6_descendant_programs() {
+        use crate::model::{accepts, check_restricted_run};
+        let g = gamma_abc();
+        let a = g.letter("a").unwrap();
+        let b = g.letter("b").unwrap();
+        let first = FirstAHasBDescendantProgram { a, b };
+        let some = SomeAHasBDescendantProgram { a, b };
+        for seed in 0..30 {
+            let t = st_trees::generate::random_attachment(&g, 60, 0.55, 100 + seed);
+            let tags = st_trees::encode::markup_encode(&t);
+
+            // Oracles.
+            let first_a = t.nodes().find(|&v| t.label(v) == a);
+            let has_b_below = |anchor: st_trees::NodeId| {
+                t.nodes().any(|v| {
+                    t.label(v) == b && {
+                        let mut cur = t.parent(v);
+                        loop {
+                            match cur {
+                                Some(u) if u == anchor => break true,
+                                Some(u) => cur = t.parent(u),
+                                None => break false,
+                            }
+                        }
+                    }
+                })
+            };
+            let want_first = first_a.is_some_and(has_b_below);
+            let want_some = t.nodes().filter(|&v| t.label(v) == a).any(has_b_below);
+
+            assert_eq!(
+                accepts(&first, &tags).unwrap(),
+                want_first,
+                "first, seed {seed}"
+            );
+            assert_eq!(
+                accepts(&some, &tags).unwrap(),
+                want_some,
+                "some, seed {seed}"
+            );
+            assert!(check_restricted_run(&first, &tags).unwrap());
+            assert!(check_restricted_run(&some, &tags).unwrap());
+        }
+    }
+
+    #[test]
+    fn fig1a_pattern_shape() {
+        let p = fig1a_pattern();
+        assert_eq!(p.len(), 5);
+        let t = p.tree();
+        assert_eq!(t.children(t.root()).count(), 2);
+    }
+}

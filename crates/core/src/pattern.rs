@@ -1,0 +1,539 @@
+//! Proposition 2.8: descendent patterns are stackless.
+//!
+//! A *descendent pattern* π is a finite tree over Γ; a tree T contains π if
+//! π's nodes map into T preserving labels and sending children to
+//! descendants.  The paper proves containment is stackless by a recursive
+//! construction: search for a **minimal** candidate node for the pattern
+//! root (one without a same-label ancestor candidate), run the child
+//! matchers inside the candidate's subtree, and restart when the candidate
+//! closes unmatched — one register per pattern node remembers its current
+//! candidate's depth.
+//!
+//! [`PatternProgram`] implements that construction against the honest DRA
+//! interface: the control state is the vector of per-pattern-node statuses
+//! (Idle / Scanning / Running / Success — a finite set of size 4^|π|), the
+//! register file holds one candidate depth per pattern node, and the only
+//! depth information used is the comparison of each register against the
+//! current depth (to detect "my candidate just closed").
+//!
+//! [`contains`] is the DOM oracle used to validate the program.
+
+use std::cmp::Ordering;
+
+use st_automata::{Letter, Tag};
+use st_trees::tree::{NodeId, Tree};
+
+use crate::model::{DraProgram, LoadMask};
+
+/// A descendent pattern: a tree over Γ whose edges mean *descendant*.
+#[derive(Clone, Debug)]
+pub struct DescendantPattern {
+    tree: Tree,
+}
+
+impl DescendantPattern {
+    /// Wraps a pattern tree.
+    pub fn new(tree: Tree) -> DescendantPattern {
+        DescendantPattern { tree }
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Number of pattern nodes (= registers of the compiled program).
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Patterns are trees, hence never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// DOM oracle: does `tree` contain the pattern?
+///
+/// Bottom-up DP: for each pattern node u, the set Sᵤ of tree nodes where u
+/// can be matched; a node works for u iff the labels agree and every child
+/// pattern matches at some **strict descendant**.
+pub fn contains(tree: &Tree, pattern: &DescendantPattern) -> bool {
+    let pt = &pattern.tree;
+    let n = tree.len();
+    // Process pattern nodes in reverse document order (children first).
+    let mut matchable: Vec<Vec<bool>> = vec![Vec::new(); pt.len()];
+    for u in pt.nodes().collect::<Vec<_>>().into_iter().rev() {
+        let label = pt.label(u);
+        // has_desc_match[v]: some strict descendant of v is in S_c.
+        let child_sets: Vec<Vec<bool>> = pt
+            .children(u)
+            .map(|c| descendant_closure(tree, &matchable[c.index()]))
+            .collect();
+        let mut s = vec![false; n];
+        for v in tree.nodes() {
+            if tree.label(v) != label {
+                continue;
+            }
+            if child_sets.iter().all(|d| d[v.index()]) {
+                s[v.index()] = true;
+            }
+        }
+        matchable[u.index()] = s;
+    }
+    matchable[pt.root().index()].iter().any(|&b| b)
+}
+
+/// DOM oracle for **strict** containment (Example 2.9): a matching must
+/// additionally reflect descendancy — `h(v)` below `h(u)` forces `v` below
+/// `u` in the pattern.  Strict containment is *not* stackless (Example
+/// 2.9); this oracle is the ground truth for the fooling demonstrations.
+///
+/// Backtracking search over label-compatible assignments with forward
+/// pruning; patterns are small, so this is fine for test-sized trees.
+pub fn strictly_contains(tree: &Tree, pattern: &DescendantPattern) -> bool {
+    let pt = &pattern.tree;
+    let pattern_nodes: Vec<NodeId> = pt.nodes().collect(); // document order
+    let mut assignment: Vec<Option<NodeId>> = vec![None; pt.len()];
+
+    // is_ancestor via root paths: precompute ancestor lists per tree node.
+    let is_strict_desc = |anc: NodeId, desc: NodeId| -> bool {
+        let mut cur = tree.parent(desc);
+        while let Some(u) = cur {
+            if u == anc {
+                return true;
+            }
+            cur = tree.parent(u);
+        }
+        false
+    };
+
+    fn backtrack(
+        idx: usize,
+        pattern_nodes: &[NodeId],
+        pt: &Tree,
+        tree: &Tree,
+        assignment: &mut Vec<Option<NodeId>>,
+        is_strict_desc: &dyn Fn(NodeId, NodeId) -> bool,
+    ) -> bool {
+        if idx == pattern_nodes.len() {
+            return true;
+        }
+        let u = pattern_nodes[idx];
+        for v in tree.nodes() {
+            if tree.label(v) != pt.label(u) {
+                continue;
+            }
+            // Child → strict descendant for the already-assigned parent.
+            if let Some(pu) = pt.parent(u) {
+                let hp = assignment[pu.index()].expect("parents assigned first");
+                if !is_strict_desc(hp, v) {
+                    continue;
+                }
+            }
+            // Reflection: against every assigned node.
+            let mut ok = true;
+            for (w_idx, hw) in assignment.iter().enumerate() {
+                let Some(hw) = hw else { continue };
+                let w = NodeId(w_idx as u32);
+                if is_strict_desc(*hw, v) && !pattern_is_desc(pt, w, u) {
+                    ok = false;
+                    break;
+                }
+                if is_strict_desc(v, *hw) && !pattern_is_desc(pt, u, w) {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                continue;
+            }
+            assignment[u.index()] = Some(v);
+            if backtrack(idx + 1, pattern_nodes, pt, tree, assignment, is_strict_desc) {
+                return true;
+            }
+            assignment[u.index()] = None;
+        }
+        false
+    }
+
+    fn pattern_is_desc(pt: &Tree, anc: NodeId, desc: NodeId) -> bool {
+        let mut cur = pt.parent(desc);
+        while let Some(u) = cur {
+            if u == anc {
+                return true;
+            }
+            cur = pt.parent(u);
+        }
+        false
+    }
+
+    backtrack(
+        0,
+        &pattern_nodes,
+        pt,
+        tree,
+        &mut assignment,
+        &is_strict_desc,
+    )
+}
+
+/// `out[v]` = some strict descendant of `v` satisfies `set`.
+fn descendant_closure(tree: &Tree, set: &[bool]) -> Vec<bool> {
+    let mut out = vec![false; tree.len()];
+    // Nodes in reverse document order: children processed before parents.
+    for v in tree.nodes().collect::<Vec<_>>().into_iter().rev() {
+        let mut any = false;
+        for c in tree.children(v) {
+            if set[c.index()] || out[c.index()] {
+                any = true;
+                break;
+            }
+        }
+        out[v.index()] = any;
+    }
+    out
+}
+
+/// Status of one pattern node's matcher.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum Status {
+    /// Parent has no candidate: not looking.
+    Idle = 0,
+    /// Looking for a minimal candidate with my label.
+    Scanning = 1,
+    /// Candidate found (its depth is in my register); children active.
+    Running = 2,
+    /// Matched; sticky.
+    Success = 3,
+}
+
+/// Maximum pattern size the packed control state supports.
+pub const MAX_PATTERN_NODES: usize = 32;
+
+/// Control state: one [`Status`] per pattern node, packed two bits each
+/// into a word so transitions are branch-plus-mask cheap (the state set
+/// has at most 4^|π| elements — finite, as Proposition 2.8 requires).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PatternState(u64);
+
+impl PatternState {
+    #[inline]
+    fn get(self, u: usize) -> Status {
+        match self.0 >> (2 * u) & 0b11 {
+            0 => Status::Idle,
+            1 => Status::Scanning,
+            2 => Status::Running,
+            _ => Status::Success,
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, u: usize, status: Status) {
+        self.0 = (self.0 & !(0b11 << (2 * u))) | ((status as u64) << (2 * u));
+    }
+}
+
+/// The Proposition 2.8 matcher as a depth-register program.
+#[derive(Clone, Debug)]
+pub struct PatternProgram {
+    /// Pattern labels in pattern-node order.
+    labels: Vec<Letter>,
+    /// Parent of each pattern node.
+    parent: Vec<Option<usize>>,
+    /// Children of each pattern node.
+    children: Vec<Vec<usize>>,
+}
+
+impl PatternProgram {
+    /// Compiles a pattern into its stackless matcher.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::CoreError::MalformedTable`] when the pattern exceeds
+    /// [`MAX_PATTERN_NODES`] nodes (the packed state would overflow).
+    pub fn new(pattern: &DescendantPattern) -> Result<PatternProgram, crate::CoreError> {
+        if pattern.len() > MAX_PATTERN_NODES {
+            return Err(crate::CoreError::MalformedTable {
+                detail: format!(
+                    "pattern has {} nodes; the packed matcher supports {}",
+                    pattern.len(),
+                    MAX_PATTERN_NODES
+                ),
+            });
+        }
+        let pt = pattern.tree();
+        let labels = pt.nodes().map(|v| pt.label(v)).collect();
+        let parent = pt
+            .nodes()
+            .map(|v| pt.parent(v).map(NodeId::index))
+            .collect();
+        let children = pt
+            .nodes()
+            .map(|v| pt.children(v).map(|c| c.index()).collect())
+            .collect();
+        Ok(PatternProgram {
+            labels,
+            parent,
+            children,
+        })
+    }
+
+    fn n_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Marks `u` Success and propagates completion upward.
+    fn propagate_success(&self, statuses: &mut PatternState, mut u: usize) {
+        loop {
+            statuses.set(u, Status::Success);
+            match self.parent[u] {
+                Some(p)
+                    if statuses.get(p) == Status::Running
+                        && self.children[p]
+                            .iter()
+                            .all(|&c| statuses.get(c) == Status::Success) =>
+                {
+                    u = p;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Resets `u` to Scanning and every pattern descendant to Idle.
+    fn reset_subtree(&self, statuses: &mut PatternState, u: usize) {
+        statuses.set(u, Status::Scanning);
+        let mut stack: Vec<usize> = self.children[u].clone();
+        while let Some(v) = stack.pop() {
+            statuses.set(v, Status::Idle);
+            stack.extend(self.children[v].iter().copied());
+        }
+    }
+}
+
+impl DraProgram for PatternProgram {
+    type Input = Tag;
+    type State = PatternState;
+
+    fn n_registers(&self) -> usize {
+        self.n_nodes()
+    }
+
+    fn init_state(&self) -> PatternState {
+        let mut s = PatternState::default();
+        s.set(0, Status::Scanning); // the pattern root is always active
+        s
+    }
+
+    fn is_accepting(&self, state: &PatternState) -> bool {
+        state.get(0) == Status::Success
+    }
+
+    fn step(
+        &self,
+        state: &PatternState,
+        input: Tag,
+        cmps: &[Ordering],
+    ) -> (PatternState, LoadMask) {
+        let mut next = *state;
+        let mut load: LoadMask = 0;
+        match input {
+            Tag::Open(l) => {
+                // Stack discipline for the static restrictedness check:
+                // reload registers above the current depth (never the case
+                // in real runs at opening tags).
+                for (u, &c) in cmps.iter().enumerate().take(self.n_nodes()) {
+                    if c == Ordering::Greater {
+                        load |= 1 << u;
+                    }
+                }
+                // Every matcher that was *already* Scanning adopts the node
+                // as its candidate.  Adoption is decided against the
+                // pre-step statuses: a child activated by its parent in
+                // this very step must not adopt the parent's own candidate
+                // (children match *strict* descendants).
+                for u in 0..self.n_nodes() {
+                    if state.get(u) == Status::Scanning && self.labels[u] == l {
+                        if self.children[u].is_empty() {
+                            self.propagate_success(&mut next, u);
+                        } else {
+                            next.set(u, Status::Running);
+                            load |= 1 << u;
+                            for &c in &self.children[u] {
+                                next.set(c, Status::Scanning);
+                            }
+                        }
+                    }
+                }
+            }
+            Tag::Close(_) => {
+                // A Running candidate whose stored depth is now strictly
+                // above the current depth has closed unmatched: restart it.
+                // Every register above the current depth is reloaded
+                // (stack discipline, Section 2.2): such registers belong
+                // to just-reset or long-inactive matchers, so the reload
+                // is invisible to the matching logic but keeps the
+                // program formally *restricted*.
+                for (u, &c) in cmps.iter().enumerate().take(self.n_nodes()) {
+                    if c == Ordering::Greater {
+                        if next.get(u) == Status::Running {
+                            self.reset_subtree(&mut next, u);
+                        }
+                        load |= 1 << u;
+                    }
+                }
+            }
+        }
+        (next, load)
+    }
+}
+
+/// Parses a pattern from term syntax (e.g. `b{b{a{}c{}}c{}}` for Fig. 1a)
+/// against an existing alphabet.
+///
+/// # Errors
+///
+/// Propagates parse errors; labels must already be in `alphabet`.
+pub fn parse_pattern(
+    text: &str,
+    alphabet: &st_automata::Alphabet,
+) -> Result<DescendantPattern, st_trees::TreeError> {
+    let mut events = Vec::new();
+    for e in st_trees::json::TermScanner::new(text.as_bytes(), alphabet) {
+        events.push(e?);
+    }
+    Ok(DescendantPattern::new(st_trees::encode::term_decode(
+        &events,
+    )?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::accepts;
+    use st_automata::Alphabet;
+    use st_trees::encode::markup_encode;
+    use st_trees::generate;
+
+    fn tree_with(g: &Alphabet, text: &str) -> st_trees::Tree {
+        let events: Vec<_> = st_trees::json::TermScanner::new(text.as_bytes(), g)
+            .map(|e| e.unwrap())
+            .collect();
+        st_trees::encode::term_decode(&events).unwrap()
+    }
+
+    fn check_agreement(pattern_text: &str, sigma: &str, seeds: std::ops::Range<u64>) {
+        let g = Alphabet::of_chars(sigma);
+        let pattern = parse_pattern(pattern_text, &g).unwrap();
+        let program = PatternProgram::new(&pattern).unwrap();
+        for seed in seeds {
+            for (nodes, bias) in [(40, 0.3), (100, 0.6), (160, 0.85)] {
+                let t = generate::random_attachment(&g, nodes, bias, seed);
+                let tags = markup_encode(&t);
+                assert_eq!(
+                    accepts(&program, &tags).unwrap(),
+                    contains(&t, &pattern),
+                    "pattern {pattern_text} seed {seed} bias {bias} tree {}",
+                    t.display(&g)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_pattern() {
+        check_agreement("a{}", "ab", 0..10);
+    }
+
+    #[test]
+    fn chain_patterns() {
+        // Example 2.6: some a-labelled node with a b-labelled descendant.
+        check_agreement("a{b{}}", "abc", 0..10);
+        check_agreement("a{b{c{}}}", "abc", 0..10);
+    }
+
+    #[test]
+    fn branching_patterns() {
+        // Fig. 1a: b with a b-descendant (itself with a and c descendants)
+        // and a c-descendant.
+        check_agreement("b{b{a{}c{}}c{}}", "abc", 0..10);
+        check_agreement("a{b{}c{}}", "abc", 0..10);
+    }
+
+    #[test]
+    fn oracle_on_known_trees() {
+        let g = Alphabet::of_chars("abc");
+        let pattern = parse_pattern("a{b{}}", &g).unwrap();
+        let yes = tree_with(&g, "a{c{b{}}}");
+        assert!(contains(&yes, &pattern));
+        let no = tree_with(&g, "b{a{}b{}}");
+        assert!(!contains(&no, &pattern));
+        // The a-node needs a b *descendant*, not sibling.
+        let sib = tree_with(&g, "c{a{}b{}}");
+        assert!(!contains(&sib, &pattern));
+    }
+
+    #[test]
+    fn restart_after_failed_candidate() {
+        // First a has no b below; second does.  The matcher must restart.
+        let g = Alphabet::of_chars("abc");
+        let pattern = parse_pattern("a{b{}}", &g).unwrap();
+        let program = PatternProgram::new(&pattern).unwrap();
+        let t = tree_with(&g, "c{a{c{}}a{b{}}}");
+        assert!(accepts(&program, &markup_encode(&t)).unwrap());
+        assert!(contains(&t, &pattern));
+    }
+
+    #[test]
+    fn nested_candidates_are_covered_by_minimality() {
+        // Outer a fails only if inner a fails too; matching inside the
+        // inner a must be found by the outer candidate's child scan.
+        let g = Alphabet::of_chars("abc");
+        let pattern = parse_pattern("a{b{}}", &g).unwrap();
+        let program = PatternProgram::new(&pattern).unwrap();
+        let t = tree_with(&g, "a{a{b{}}}");
+        assert!(accepts(&program, &markup_encode(&t)).unwrap());
+    }
+
+    #[test]
+    fn exhaustive_small_trees() {
+        let g = Alphabet::of_chars("ab");
+        let pattern = parse_pattern("a{b{}}", &g).unwrap();
+        let program = PatternProgram::new(&pattern).unwrap();
+        for t in generate::enumerate_trees(&g, 5) {
+            let tags = markup_encode(&t);
+            assert_eq!(
+                accepts(&program, &tags).unwrap(),
+                contains(&t, &pattern),
+                "tree {}",
+                t.display(&g)
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_programs_are_restricted() {
+        use crate::model::check_restricted_run;
+        let g = Alphabet::of_chars("abc");
+        let pattern = parse_pattern("b{b{a{}c{}}c{}}", &g).unwrap();
+        let program = PatternProgram::new(&pattern).unwrap();
+        for seed in 0..10 {
+            let t = generate::random_attachment(&g, 120, 0.7, seed);
+            let tags = markup_encode(&t);
+            assert!(
+                check_restricted_run(&program, &tags).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn register_budget_is_pattern_size() {
+        let g = Alphabet::of_chars("abc");
+        let pattern = parse_pattern("b{b{a{}c{}}c{}}", &g).unwrap();
+        let program = PatternProgram::new(&pattern).unwrap();
+        assert_eq!(program.n_registers(), 5);
+    }
+}

@@ -1,0 +1,283 @@
+//! Lemma 3.5: compiling almost-reversible RPQs to plain finite automata.
+//!
+//! If L is almost-reversible, its query Q_L can be realized by a DFA B over
+//! Γ ∪ Γ̄: on opening tags B follows the minimal automaton A of L; on a
+//! closing tag ā in state p it *rewinds* to the minimal internal state p′
+//! with `p′ · a` almost equivalent to p (falling to a rejecting sink ⊥ when
+//! no such state exists — which never happens on valid encodings).
+//!
+//! The module also provides the Theorem 3.1/3.2 derivations that turn any
+//! node-selecting automaton over tags into acceptors of the boolean tree
+//! languages EL ("some branch in L") and AL ("all branches in L"), and the
+//! blind variant of the compiler for the term encoding (Theorem B.1; the
+//! rewind target ignores the closing label, which is exactly what blind
+//! almost-reversibility licenses).
+
+use st_automata::dfa::{Dfa, State};
+use st_automata::pairs::MeetMode;
+
+use crate::analysis::Analysis;
+use crate::classify::check_almost_reversible;
+use crate::error::CoreError;
+
+/// Compiles Q_L to a DFA over the **markup** tag alphabet (letters
+/// `0..k` = opening tags, `k..2k` = closing tags for `|Γ| = k`).
+///
+/// Pre-selection semantics: a node is selected iff the automaton is in an
+/// accepting state right after its opening tag.
+///
+/// # Errors
+///
+/// [`CoreError::ClassMismatch`] if L is not almost-reversible — by
+/// Theorem 3.2 no finite automaton realizes Q_L then.
+pub fn compile_query_markup(analysis: &Analysis) -> Result<Dfa, CoreError> {
+    let verdict = check_almost_reversible(analysis, MeetMode::Synchronous);
+    if !verdict.holds {
+        return Err(CoreError::ClassMismatch {
+            required: "almost-reversible",
+            witness: verdict.witness,
+        });
+    }
+    Ok(build_rewinder(analysis, RewindMode::Markup))
+}
+
+/// Compiles Q_L to a DFA over the **term** alphabet (letters `0..k` =
+/// opening tags, `k` = the universal closing tag ◁), per Theorem B.1.
+///
+/// # Errors
+///
+/// [`CoreError::ClassMismatch`] if L is not *blindly* almost-reversible.
+pub fn compile_query_term(analysis: &Analysis) -> Result<Dfa, CoreError> {
+    let verdict = check_almost_reversible(analysis, MeetMode::Blind);
+    if !verdict.holds {
+        return Err(CoreError::ClassMismatch {
+            required: "blindly almost-reversible",
+            witness: verdict.witness,
+        });
+    }
+    Ok(build_rewinder(analysis, RewindMode::Term))
+}
+
+enum RewindMode {
+    Markup,
+    Term,
+}
+
+/// The Lemma 3.5 construction.  States `0..m` mirror A; state `m` is ⊥.
+fn build_rewinder(analysis: &Analysis, mode: RewindMode) -> Dfa {
+    let a = &analysis.dfa;
+    let k = a.n_letters();
+    let m = a.n_states();
+    let bottom = m;
+    let n_letters = match mode {
+        RewindMode::Markup => 2 * k,
+        RewindMode::Term => k + 1,
+    };
+
+    // The minimal internal p′ with p′ · a almost equivalent to p; for the
+    // term encoding (blind), any letter may witness the rewind — blind
+    // almost-reversibility makes the choice irrelevant (Theorem B.1).
+    let rewind_target = |p: State, letter: Option<usize>| -> Option<State> {
+        (0..m)
+            .filter(|&p2| analysis.internal[p2])
+            .find(|&p2| match letter {
+                Some(a_letter) => analysis.almost_equivalent(a.step(p2, a_letter), p),
+                None => (0..k).any(|any| analysis.almost_equivalent(a.step(p2, any), p)),
+            })
+    };
+
+    let mut rows: Vec<Vec<State>> = Vec::with_capacity(m + 1);
+    for p in 0..m {
+        let mut row = Vec::with_capacity(n_letters);
+        // Opening letters: follow A.
+        for letter in 0..k {
+            row.push(a.step(p, letter));
+        }
+        // Closing letters: rewind.
+        match mode {
+            RewindMode::Markup => {
+                for letter in 0..k {
+                    row.push(rewind_target(p, Some(letter)).unwrap_or(bottom));
+                }
+            }
+            RewindMode::Term => {
+                row.push(rewind_target(p, None).unwrap_or(bottom));
+            }
+        }
+        rows.push(row);
+    }
+    rows.push(vec![bottom; n_letters]); // ⊥ is a sink.
+
+    let mut accepting: Vec<bool> = (0..m).map(|s| a.is_accepting(s)).collect();
+    accepting.push(false);
+    Dfa::from_rows(n_letters, a.init(), accepting, rows)
+        .expect("rewinder construction is well-formed")
+}
+
+/// Theorem 3.1 "(1) ⇒ (2)": turns a node-selecting DFA into an acceptor of
+/// EL.  `is_open(letter)` tells which letters of the automaton's alphabet
+/// are opening tags.
+///
+/// States are pairs (inner state, "previous letter opened a node that was
+/// selected") plus an all-accepting sink ⊤ entered when a selected node
+/// turns out to be a leaf.
+pub fn exists_acceptor(query: &Dfa, is_open: impl Fn(usize) -> bool) -> Dfa {
+    derive_acceptor(query, is_open, true)
+}
+
+/// Theorem 3.2 dual: acceptor of AL.  Enters an all-rejecting sink ⊥ when
+/// an *unselected* node turns out to be a leaf.
+pub fn forall_acceptor(query: &Dfa, is_open: impl Fn(usize) -> bool) -> Dfa {
+    derive_acceptor(query, is_open, false)
+}
+
+fn derive_acceptor(query: &Dfa, is_open: impl Fn(usize) -> bool, exists: bool) -> Dfa {
+    let k = query.n_letters();
+    let m = query.n_states();
+    // State encoding: 2*s + flag for live states; 2*m = sink.
+    let sink = 2 * m;
+    let mut rows: Vec<Vec<State>> = Vec::with_capacity(sink + 1);
+    for s in 0..m {
+        for flag in 0..2usize {
+            let mut row = Vec::with_capacity(k);
+            for letter in 0..k {
+                if !is_open(letter) && flag == 1 {
+                    row.push(sink);
+                    continue;
+                }
+                let next = query.step(s, letter);
+                // Flag: letter opens a node whose selection status matches
+                // the polarity we are watching for.
+                let selected = query.is_accepting(next);
+                let watch = if exists { selected } else { !selected };
+                let next_flag = usize::from(is_open(letter) && watch);
+                row.push(2 * next + next_flag);
+            }
+            rows.push(row);
+        }
+    }
+    rows.push(vec![sink; k]);
+
+    let mut accepting = vec![!exists; sink];
+    accepting.push(exists);
+    let init = 2 * query.init();
+    Dfa::from_rows(k, init, accepting, rows).expect("acceptor construction is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{preselect, TagDfaProgram, TermDfaProgram};
+    use st_automata::{compile_regex, Alphabet};
+    use st_trees::encode::{markup_encode, term_encode};
+    use st_trees::{generate, oracle};
+
+    fn analysis(pattern: &str, sigma: &str) -> Analysis {
+        let g = Alphabet::of_chars(sigma);
+        Analysis::new(&compile_regex(pattern, &g).unwrap())
+    }
+
+    #[test]
+    fn rejects_non_ar_languages() {
+        let a = analysis("ab", "abc");
+        assert!(matches!(
+            compile_query_markup(&a),
+            Err(CoreError::ClassMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn a_gamma_star_b_realized_correctly() {
+        // Example 2.12 first column: a Γ*b is registerless.
+        let g = Alphabet::of_chars("abc");
+        let a = analysis("a.*b", "abc");
+        let q = compile_query_markup(&a).unwrap();
+        let program = TagDfaProgram::new(&q);
+        for seed in 0..20 {
+            let t = generate::random_attachment(&g, 150, 0.55, seed);
+            let tags = markup_encode(&t);
+            let got = preselect(&program, &tags).unwrap();
+            let want: Vec<usize> = oracle::select(&t, &a.dfa)
+                .into_iter()
+                .map(|v| v.index())
+                .collect();
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn reversible_language_markup() {
+        // Fig. 2's language (even number of a's) is reversible, hence AR.
+        let g = Alphabet::of_chars("ab");
+        let a = analysis("(b*ab*a)*b*", "ab");
+        let q = compile_query_markup(&a).unwrap();
+        let program = TagDfaProgram::new(&q);
+        for seed in 0..20 {
+            let t = generate::random_attachment(&g, 120, 0.6, 1000 + seed);
+            let tags = markup_encode(&t);
+            let got = preselect(&program, &tags).unwrap();
+            let want: Vec<usize> = oracle::select(&t, &a.dfa)
+                .into_iter()
+                .map(|v| v.index())
+                .collect();
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn term_encoding_compiler() {
+        // a Γ*b is blindly almost-reversible too (its merges all happen
+        // into sinks, label-independently).
+        let g = Alphabet::of_chars("abc");
+        let a = analysis("a.*b", "abc");
+        let q = compile_query_term(&a).unwrap();
+        let program = TermDfaProgram::new(&q);
+        for seed in 0..20 {
+            let t = generate::random_attachment(&g, 150, 0.55, 500 + seed);
+            let events = term_encode(&t);
+            let got = preselect(&program, &events).unwrap();
+            let want: Vec<usize> = oracle::select(&t, &a.dfa)
+                .into_iter()
+                .map(|v| v.index())
+                .collect();
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn term_compiler_rejects_markup_only_languages() {
+        // Fig. 2's language is AR but not blindly AR (Section 4.2).
+        let a = analysis("(b*ab*a)*b*", "ab");
+        assert!(compile_query_markup(&a).is_ok());
+        assert!(matches!(
+            compile_query_term(&a),
+            Err(CoreError::ClassMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn exists_and_forall_acceptors() {
+        let g = Alphabet::of_chars("abc");
+        let a = analysis("a.*b", "abc");
+        let q = compile_query_markup(&a).unwrap();
+        let k = a.dfa.n_letters();
+        let el = exists_acceptor(&q, |l| l < k);
+        let al = forall_acceptor(&q, |l| l < k);
+        let el_prog = TagDfaProgram::new(&el);
+        let al_prog = TagDfaProgram::new(&al);
+        for seed in 0..30 {
+            let t = generate::random_attachment(&g, 60, 0.5, 42 + seed);
+            let tags = markup_encode(&t);
+            assert_eq!(
+                crate::model::accepts(&el_prog, &tags).unwrap(),
+                oracle::in_exists(&t, &a.dfa),
+                "EL seed {seed}"
+            );
+            assert_eq!(
+                crate::model::accepts(&al_prog, &tags).unwrap(),
+                oracle::in_forall(&t, &a.dfa),
+                "AL seed {seed}"
+            );
+        }
+    }
+}

@@ -1,0 +1,530 @@
+//! Proposition 2.3: restricted depth-register automata recognize regular
+//! tree languages — constructively.
+//!
+//! The proof labels every node of a run with an *auxiliary label*
+//! describing how the automaton's registers and state evolve around the
+//! node: which registers its opening transition loads and which state it
+//! enters (`(X, p)`), which registers are loaded strictly inside it (`Y`),
+//! and which its closing transition loads and which state it exits to
+//! (`(Z, q)`).  A nondeterministic hedge automaton guesses this labelling
+//! and verifies it locally.  Two observations make the local check work
+//! for **restricted** automata:
+//!
+//! * at every opening tag, all register values are strictly below the new
+//!   depth (the stack discipline never lets a value exceed the depth), so
+//!   opening transitions always fire on the all-`Less` comparison profile;
+//! * at the closing tag of a child, the comparison profile is determined
+//!   by the parent's opening loads, the previous siblings' closing loads
+//!   (`Equal`), and the child's own inside-loads (`Greater`) — all of
+//!   which the auxiliary labels expose.
+//!
+//! [`materialize`] turns any finite-state [`DraProgram`] into an explicit
+//! [`TableDra`] (BFS over discoverable control states), and [`to_hedge`]
+//! builds the Proposition 2.3 hedge automaton from a restricted table.
+//! The construction is exponential in the register count — inherently so,
+//! as in the paper — and is intended for the small worked examples.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use st_automata::hedge::HedgeAutomaton;
+use st_automata::{Dfa, Tag};
+
+use crate::error::CoreError;
+use crate::model::DraProgram;
+use crate::table::{cmp_decode, TableDra, Target};
+
+/// Explores a program's control-state space (BFS over all tags × all
+/// comparison profiles) and tabulates it as a [`TableDra`].
+///
+/// # Errors
+///
+/// [`CoreError::MalformedTable`] when more than `max_states` control
+/// states are discovered (the program may not be finite-state) or the
+/// register count exceeds the table limit.
+pub fn materialize<P>(
+    program: &P,
+    n_base_letters: usize,
+    max_states: usize,
+) -> Result<TableDra, CoreError>
+where
+    P: DraProgram<Input = Tag>,
+{
+    let r = program.n_registers();
+    if r > 10 {
+        return Err(CoreError::MalformedTable {
+            detail: format!("{r} registers: materialization table would have 3^{r} columns"),
+        });
+    }
+    let n_cmp = 3usize.pow(r as u32);
+    let n_tags = 2 * n_base_letters;
+
+    // Discovered states; linear lookup (State: PartialEq only).
+    let mut states: Vec<P::State> = vec![program.init_state()];
+    let mut table: Vec<Target> = Vec::new();
+    let mut next = 0usize;
+    while next < states.len() {
+        let state = states[next].clone();
+        for tag_idx in 0..n_tags {
+            let tag = if tag_idx < n_base_letters {
+                Tag::Open(st_automata::Letter(tag_idx as u32))
+            } else {
+                Tag::Close(st_automata::Letter((tag_idx - n_base_letters) as u32))
+            };
+            for code in 0..n_cmp {
+                let cmps = cmp_decode(code, r);
+                let (succ, load) = program.step(&state, tag, &cmps);
+                let id = match states.iter().position(|s| *s == succ) {
+                    Some(id) => id,
+                    None => {
+                        if states.len() >= max_states {
+                            return Err(CoreError::MalformedTable {
+                                detail: format!("more than {max_states} control states discovered"),
+                            });
+                        }
+                        states.push(succ);
+                        states.len() - 1
+                    }
+                };
+                table.push(Target { load, next: id });
+            }
+        }
+        next += 1;
+    }
+
+    let accepting: Vec<bool> = states.iter().map(|s| program.is_accepting(s)).collect();
+    let n_states = states.len();
+    // Rebuild through TableDra::build so its invariants are enforced.
+    TableDra::build(n_base_letters, n_states, r, 0, accepting, |s, tag, cmps| {
+        let tag_idx = match tag {
+            Tag::Open(l) => l.index(),
+            Tag::Close(l) => n_base_letters + l.index(),
+        };
+        table[(s * n_tags + tag_idx) * n_cmp + crate::table::cmp_code(cmps)]
+    })
+}
+
+/// A register set as a bitmask.
+type RegSet = u32;
+
+/// The auxiliary label of Proposition 2.3, paired with the node's letter
+/// and the state just before the node's closing transition.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct AuxState {
+    letter: usize,
+    /// Registers loaded by the opening transition.
+    x: RegSet,
+    /// State after the opening transition.
+    p: usize,
+    /// Registers loaded strictly inside the node.
+    y: RegSet,
+    /// Registers loaded by the closing transition.
+    z: RegSet,
+    /// State after the closing transition (the exit state).
+    q: usize,
+    /// State just before the closing transition: `p` for leaves, the last
+    /// child's exit state otherwise.
+    q_pre: usize,
+}
+
+/// Wraps table access: run one transition of the table under an explicit
+/// comparison profile given as (greater-set, equal-set); everything else
+/// compares `Less`.
+fn fire(dra: &TableDra, state: usize, tag: Tag, greater: RegSet, equal: RegSet) -> (usize, RegSet) {
+    let r = DraProgram::n_registers(dra);
+    let cmps: Vec<Ordering> = (0..r)
+        .map(|xi| {
+            if greater >> xi & 1 == 1 {
+                Ordering::Greater
+            } else if equal >> xi & 1 == 1 {
+                Ordering::Equal
+            } else {
+                Ordering::Less
+            }
+        })
+        .collect();
+    let (next, load) = dra.step(&state, tag, &cmps);
+    (next, load as RegSet)
+}
+
+/// Builds the Proposition 2.3 hedge automaton for a **restricted** table
+/// DRA: the returned automaton accepts exactly the trees whose markup
+/// encoding the DRA accepts.
+///
+/// # Errors
+///
+/// [`CoreError::MalformedTable`] when the automaton is not restricted (the
+/// construction is unsound then) or the register count makes the state
+/// space excessive.
+pub fn to_hedge(dra: &TableDra, n_base_letters: usize) -> Result<HedgeAutomaton, CoreError> {
+    if !dra.is_restricted() {
+        return Err(CoreError::MalformedTable {
+            detail: "Proposition 2.3 applies to restricted automata only".into(),
+        });
+    }
+    let r = DraProgram::n_registers(dra);
+    if r > 3 {
+        return Err(CoreError::MalformedTable {
+            detail: format!("{r} registers: the auxiliary-label space would be excessive"),
+        });
+    }
+    let n_q = dra.n_states();
+    let full: RegSet = if r == 0 { 0 } else { (1 << r) - 1 };
+
+    // Enumerate plausible auxiliary states: X and p are determined by the
+    // predecessor state (opening transitions fire on all-Less); (Z, q) by
+    // (q_pre, greater = X ∪ Y, equal-context E′ ⊆ Ξ).
+    let mut aux_states: Vec<AuxState> = Vec::new();
+    let mut aux_ids: HashMap<AuxState, usize> = HashMap::new();
+    for letter in 0..n_base_letters {
+        let open_tag = Tag::Open(st_automata::Letter(letter as u32));
+        let close_tag = Tag::Close(st_automata::Letter(letter as u32));
+        for p_pred in 0..n_q {
+            let (p, x) = fire(dra, p_pred, open_tag, 0, 0);
+            for y in 0..=full {
+                let g = x | y;
+                for q_pre in 0..n_q {
+                    // E′ ranges over subsets of Ξ; the profile only sees
+                    // E′ \ G, so iterate the subsets of Ξ \ G (standard
+                    // subset-of-mask walk: s ← (s − m) & m visits each
+                    // subset of m exactly once, ∅ first, m last).
+                    let m = full & !g;
+                    let mut e_prime: RegSet = 0;
+                    loop {
+                        let (q, z) = fire(dra, q_pre, close_tag, g, e_prime);
+                        let aux = AuxState {
+                            letter,
+                            x,
+                            p,
+                            y,
+                            z,
+                            q,
+                            q_pre,
+                        };
+                        if let std::collections::hash_map::Entry::Vacant(e) = aux_ids.entry(aux) {
+                            e.insert(aux_states.len());
+                            aux_states.push(aux);
+                        }
+                        if e_prime == m {
+                            break;
+                        }
+                        e_prime = e_prime.wrapping_sub(m) & m;
+                    }
+                }
+            }
+        }
+    }
+    let n_aux = aux_states.len();
+
+    // Root acceptance: the opening predecessor must be the initial state,
+    // the closing profile is greater = X∪Y, equal = Ξ \ (X∪Y) (untouched
+    // registers still hold the initial value 0 = the final depth), and the
+    // exit state must be accepting.
+    let accepting: Vec<bool> = aux_states
+        .iter()
+        .map(|s| {
+            let open_tag = Tag::Open(st_automata::Letter(s.letter as u32));
+            let close_tag = Tag::Close(st_automata::Letter(s.letter as u32));
+            let (p0, x0) = fire(dra, 0, open_tag, 0, 0);
+            if (p0, x0) != (s.p, s.x) {
+                return false;
+            }
+            let g = s.x | s.y;
+            let (q_root, z_root) = fire(dra, s.q_pre, close_tag, g, full & !g);
+            (q_root, z_root) == (s.q, s.z) && dra.is_accepting(&s.q)
+        })
+        .collect();
+
+    // Horizontal language per (aux state, letter): nonempty only when the
+    // letters agree.  Checker DFA states: (expected predecessor p′,
+    // inside-loads accumulated U, equal-context E) + sink.
+    let reject = Dfa::trivial(n_aux, false);
+    let mut horizontal: Vec<Dfa> = Vec::with_capacity(n_aux * n_base_letters);
+    for s in &aux_states {
+        for letter in 0..n_base_letters {
+            if letter != s.letter {
+                horizontal.push(reject.clone());
+                continue;
+            }
+            horizontal.push(build_checker(dra, s, &aux_states));
+        }
+    }
+
+    HedgeAutomaton::new(n_base_letters, n_aux, accepting, horizontal).map_err(|e| {
+        CoreError::MalformedTable {
+            detail: format!("hedge construction failed: {e}"),
+        }
+    })
+}
+
+/// The horizontal checker of one auxiliary state: validates the children's
+/// auxiliary labels against the Proposition 2.3 recurrences.
+fn build_checker(dra: &TableDra, s: &AuxState, aux_states: &[AuxState]) -> Dfa {
+    let n_aux = aux_states.len();
+
+    #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+    struct H {
+        p_pred: usize,
+        inside: RegSet,
+        equal_ctx: RegSet,
+    }
+    let start = H {
+        p_pred: s.p,
+        inside: 0,
+        equal_ctx: s.x,
+    };
+    let mut ids: HashMap<H, usize> = HashMap::new();
+    let mut hs: Vec<H> = vec![start];
+    ids.insert(start, 0);
+    let mut rows: Vec<Vec<usize>> = Vec::new();
+    let sink = usize::MAX; // patched to a real id below
+
+    let mut next = 0usize;
+    while next < hs.len() {
+        let h = hs[next];
+        let mut row = Vec::with_capacity(n_aux);
+        for t in aux_states {
+            let open_tag = Tag::Open(st_automata::Letter(t.letter as u32));
+            let close_tag = Tag::Close(st_automata::Letter(t.letter as u32));
+            // Condition 2: the child's opening transition.
+            let (p_t, x_t) = fire(dra, h.p_pred, open_tag, 0, 0);
+            if (p_t, x_t) != (t.p, t.x) {
+                row.push(sink);
+                continue;
+            }
+            // Condition 3: the child's closing transition under the
+            // profile induced by this context.
+            let g = t.x | t.y;
+            let (q_t, z_t) = fire(dra, t.q_pre, close_tag, g, h.equal_ctx & !g);
+            if (q_t, z_t) != (t.q, t.z) {
+                row.push(sink);
+                continue;
+            }
+            let inside = h.inside | t.x | t.y | t.z;
+            // Inside-loads can only grow; prune once they leave Y.
+            if inside & !s.y != 0 {
+                row.push(sink);
+                continue;
+            }
+            let succ = H {
+                p_pred: t.q,
+                inside,
+                equal_ctx: h.equal_ctx | t.z,
+            };
+            let id = *ids.entry(succ).or_insert_with(|| {
+                hs.push(succ);
+                hs.len() - 1
+            });
+            row.push(id);
+        }
+        rows.push(row);
+        next += 1;
+    }
+
+    // Patch the sink in.
+    let sink_id = hs.len();
+    for row in &mut rows {
+        for cell in row.iter_mut() {
+            if *cell == sink {
+                *cell = sink_id;
+            }
+        }
+    }
+    rows.push(vec![sink_id; n_aux]);
+
+    // Accepting: all inside-loads accounted for (U = Y) and the last exit
+    // state matches the recorded pre-close state.
+    let mut accepting: Vec<bool> = hs
+        .iter()
+        .map(|h| h.inside == s.y && h.p_pred == s.q_pre)
+        .collect();
+    accepting.push(false);
+
+    Dfa::from_rows(n_aux, 0, accepting, rows).expect("checker DFA is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::accepts;
+    use crate::papers::{FirstAHasBDescendantProgram, SomeAHasBDescendantProgram};
+    use st_automata::Alphabet;
+    use st_trees::encode::markup_encode;
+    use st_trees::generate;
+    use st_trees::tree::Tree;
+
+    fn tree_shape(t: &Tree) -> (Vec<usize>, Vec<Vec<usize>>) {
+        let labels = t.nodes().map(|v| t.label(v).index()).collect();
+        let children = t
+            .nodes()
+            .map(|v| t.children(v).map(|c| c.index()).collect())
+            .collect();
+        (labels, children)
+    }
+
+    fn check_agreement(dra: &TableDra, n_letters: usize, sigma: &str) {
+        let hedge = to_hedge(dra, n_letters).unwrap();
+        let g = Alphabet::of_chars(sigma);
+        // Exhaustive on small trees…
+        for t in generate::enumerate_trees(&g, 4) {
+            let tags = markup_encode(&t);
+            let (labels, children) = tree_shape(&t);
+            assert_eq!(
+                hedge.accepts(&labels, &children),
+                accepts(dra, &tags).unwrap(),
+                "tree {}",
+                t.display(&g)
+            );
+        }
+        // …and random larger ones.
+        for seed in 0..15 {
+            let t = generate::random_attachment(&g, 25, 0.5, seed);
+            let tags = markup_encode(&t);
+            let (labels, children) = tree_shape(&t);
+            assert_eq!(
+                hedge.accepts(&labels, &children),
+                accepts(dra, &tags).unwrap(),
+                "seed {seed} tree {}",
+                t.display(&g)
+            );
+        }
+    }
+
+    #[test]
+    fn materialize_small_program() {
+        let g = Alphabet::of_chars("ab");
+        let program = FirstAHasBDescendantProgram {
+            a: g.letter("a").unwrap(),
+            b: g.letter("b").unwrap(),
+        };
+        let dra = materialize(&program, 2, 64).unwrap();
+        assert!(dra.is_restricted());
+        // The materialized table behaves like the program.
+        for seed in 0..10 {
+            let t = generate::random_attachment(&g, 40, 0.5, seed);
+            let tags = markup_encode(&t);
+            assert_eq!(
+                accepts(&dra, &tags).unwrap(),
+                accepts(&program, &tags).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn prop_2_3_first_a_has_b_descendant() {
+        let g = Alphabet::of_chars("ab");
+        let program = FirstAHasBDescendantProgram {
+            a: g.letter("a").unwrap(),
+            b: g.letter("b").unwrap(),
+        };
+        let dra = materialize(&program, 2, 64).unwrap();
+        check_agreement(&dra, 2, "ab");
+    }
+
+    #[test]
+    fn prop_2_3_some_a_has_b_descendant() {
+        let g = Alphabet::of_chars("ab");
+        let program = SomeAHasBDescendantProgram {
+            a: g.letter("a").unwrap(),
+            b: g.letter("b").unwrap(),
+        };
+        let dra = materialize(&program, 2, 64).unwrap();
+        check_agreement(&dra, 2, "ab");
+    }
+
+    #[test]
+    fn prop_2_3_registerless_case() {
+        // A 0-register table (plain DFA over tags): the construction
+        // degenerates gracefully.
+        let dra = TableDra::build(2, 2, 0, 0, vec![false, true], |state, tag, _| {
+            // Accept iff the document contains an opening `b` (letter 1).
+            match (state, tag) {
+                (0, Tag::Open(l)) if l.index() == 1 => Target { load: 0, next: 1 },
+                (s, _) => Target { load: 0, next: s },
+            }
+        })
+        .unwrap();
+        assert!(dra.is_restricted());
+        check_agreement(&dra, 2, "ab");
+    }
+
+    #[test]
+    fn prop_2_3_on_a_compiled_har_program() {
+        // Full circle: Lemma 3.8 compiles Γ*aΓ*b to a (restricted) DRA;
+        // Proposition 2.3 turns it into a hedge automaton; the hedge
+        // automaton recognizes exactly Q_{Γ*aΓ*b}'s acceptance behaviour —
+        // i.e. the regular tree language behind the stackless program.
+        let g = Alphabet::of_chars("ab");
+        let d = st_automata::compile_regex(".*a.*b", &g).unwrap();
+        let analysis = crate::analysis::Analysis::new(&d);
+        let program = crate::har::compile_query_markup(&analysis).unwrap();
+        // As a boolean acceptor: "the run ends accepting" — combine with
+        // the EL wrapper to get a meaningful tree language.
+        let acceptor = crate::model::ExistsAcceptor::new(program);
+        let dra = materialize(&acceptor, 2, 256).unwrap();
+        assert!(dra.is_restricted());
+        check_agreement(&dra, 2, "ab");
+    }
+
+    #[test]
+    fn prop_2_3_on_random_restricted_tables() {
+        // Generic validation: random restricted 1-register tables over
+        // Γ = {a, b} must agree with their hedge automata everywhere.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let g = Alphabet::of_chars("ab");
+        let mut rng = StdRng::seed_from_u64(23);
+        let trees: Vec<_> = generate::enumerate_trees(&g, 4)
+            .into_iter()
+            .chain((0..8).map(|s| generate::random_attachment(&g, 15, 0.5, s)))
+            .collect();
+        for round in 0..30 {
+            let n_states = rng.gen_range(1..=3);
+            let mut targets: Vec<Target> = Vec::new();
+            for _ in 0..n_states * 4 /* tags */ * 3
+            /* cmp codes */
+            {
+                targets.push(Target {
+                    load: rng.gen_range(0..2),
+                    next: rng.gen_range(0..n_states),
+                });
+            }
+            let accepting: Vec<bool> = (0..n_states).map(|_| rng.gen()).collect();
+            let dra = TableDra::build(2, n_states, 1, 0, accepting, |s, tag, cmps| {
+                let tag_idx = match tag {
+                    Tag::Open(l) => l.index(),
+                    Tag::Close(l) => 2 + l.index(),
+                };
+                let mut t = targets[(s * 4 + tag_idx) * 3 + crate::table::cmp_code(cmps)];
+                // Force the stack discipline: reload Greater registers.
+                if cmps[0] == std::cmp::Ordering::Greater {
+                    t.load |= 1;
+                }
+                t
+            })
+            .unwrap();
+            assert!(dra.is_restricted());
+            let hedge = to_hedge(&dra, 2).unwrap();
+            for t in &trees {
+                let tags = markup_encode(t);
+                let (labels, children) = tree_shape(t);
+                assert_eq!(
+                    hedge.accepts(&labels, &children),
+                    accepts(&dra, &tags).unwrap(),
+                    "round {round} tree {}",
+                    t.display(&g)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn to_hedge_rejects_unrestricted() {
+        let dra = crate::table::example_2_2(0, 2);
+        assert!(matches!(
+            to_hedge(&dra, 2),
+            Err(CoreError::MalformedTable { .. })
+        ));
+    }
+}

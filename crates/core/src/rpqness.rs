@@ -1,0 +1,128 @@
+//! Proposition 2.13 (bounded-exhaustive variant): is the query realized by
+//! a depth-register automaton an RPQ?
+//!
+//! The paper's decision procedure extracts, from a restricted DRA, the
+//! word language L_Q of single-branch behaviours and tests M_Q = M_{L_Q}
+//! by tree-automaton equivalence.  We implement the same criterion
+//! *bounded-exhaustively*: L_Q membership is decided by running the
+//! program on single-branch trees, and M_Q = M_{L_Q} is verified on every
+//! tree with at most `max_nodes` nodes.  This is sound for the tested
+//! radius and exercises exactly the proof's characterization — see
+//! DESIGN.md for why full hedge-automaton equivalence was substituted.
+
+use st_automata::{Alphabet, Tag};
+use st_trees::generate::enumerate_trees;
+use st_trees::tree::Tree;
+
+use crate::model::{preselect, DraProgram};
+
+/// Outcome of the bounded RPQ-ness check.
+#[derive(Clone, Debug)]
+pub struct RpqnessReport {
+    /// Whether the program behaved like a path query on every tree within
+    /// the bound.
+    pub path_query_up_to_bound: bool,
+    /// The bound used (max nodes per tree).
+    pub max_nodes: usize,
+    /// On failure: a tree and a node id where selection disagrees with
+    /// the single-branch language.
+    pub counterexample: Option<(Tree, usize)>,
+}
+
+/// Checks whether `program`'s pre-selection behaviour coincides, on all
+/// trees with ≤ `max_nodes` nodes, with the path query Q_{L_Q} induced by
+/// its own single-branch behaviour (the criterion in the proof of
+/// Proposition 2.13).
+pub fn bounded_rpq_check<P>(program: &P, alphabet: &Alphabet, max_nodes: usize) -> RpqnessReport
+where
+    P: DraProgram<Input = Tag>,
+{
+    // Membership in L_Q: run the program on the branch tree of `word` and
+    // ask whether its deepest node is pre-selected.
+    let in_lq = |word: &[st_automata::Letter]| -> bool {
+        let tree = Tree::branch(word).expect("nonempty path");
+        let tags = st_trees::encode::markup_encode(&tree);
+        let selected = preselect(program, &tags).expect("register budget");
+        selected.contains(&(word.len() - 1))
+    };
+
+    for tree in enumerate_trees(alphabet, max_nodes) {
+        let tags = st_trees::encode::markup_encode(&tree);
+        let selected = preselect(program, &tags).expect("register budget");
+        for v in tree.nodes() {
+            let path = tree.root_path(v);
+            let by_path = in_lq(&path);
+            let by_program = selected.contains(&v.index());
+            if by_path != by_program {
+                return RpqnessReport {
+                    path_query_up_to_bound: false,
+                    max_nodes,
+                    counterexample: Some((tree, v.index())),
+                };
+            }
+        }
+    }
+    RpqnessReport {
+        path_query_up_to_bound: true,
+        max_nodes,
+        counterexample: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Analysis;
+    use crate::har;
+    use crate::model::{DraProgram, LoadMask};
+    use st_automata::{compile_regex, Alphabet};
+    use std::cmp::Ordering;
+
+    #[test]
+    fn compiled_har_programs_are_path_queries() {
+        let g = Alphabet::of_chars("ab");
+        for pattern in ["a.*b", "ab", ".*a.*b"] {
+            let d = compile_regex(pattern, &g).unwrap();
+            let program = har::compile_query_markup(&Analysis::new(&d)).unwrap();
+            let report = bounded_rpq_check(&program, &g, 5);
+            assert!(report.path_query_up_to_bound, "pattern {pattern}");
+        }
+    }
+
+    /// A deliberately non-path query: select every *second* node opened.
+    struct EverySecondNode;
+
+    impl DraProgram for EverySecondNode {
+        type Input = Tag;
+        type State = bool;
+
+        fn n_registers(&self) -> usize {
+            0
+        }
+
+        fn init_state(&self) -> bool {
+            false
+        }
+
+        fn is_accepting(&self, s: &bool) -> bool {
+            *s
+        }
+
+        fn step(&self, s: &bool, input: Tag, _: &[Ordering]) -> (bool, LoadMask) {
+            if input.is_open() {
+                (!*s, 0)
+            } else {
+                (*s, 0)
+            }
+        }
+    }
+
+    #[test]
+    fn parity_selector_is_not_a_path_query() {
+        let g = Alphabet::of_chars("ab");
+        let report = bounded_rpq_check(&EverySecondNode, &g, 4);
+        assert!(!report.path_query_up_to_bound);
+        let (tree, node) = report.counterexample.unwrap();
+        assert!(node < tree.len());
+    }
+}

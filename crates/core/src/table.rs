@@ -1,0 +1,316 @@
+//! Explicitly tabulated depth-register automata.
+//!
+//! [`TableDra`] is the literal Definition 2.1 object: a finite state set, a
+//! register set, and a transition table indexed by state, tag, and the
+//! comparison outcome of every register against the current depth.  It
+//! exists for three reasons:
+//!
+//! * worked examples from the paper are naturally written as small tables;
+//! * the **restricted** check of Section 2.2 (every transition overwrites
+//!   all register values strictly greater than the current depth — the
+//!   stack-discipline condition behind Proposition 2.3) needs the table to
+//!   quantify over;
+//! * tests can enumerate the whole transition space.
+//!
+//! Comparisons are encoded base-3: register ξ contributes `3^ξ · cᵢ` with
+//! `cᵢ = 0` if η(ξ) < d, `1` if η(ξ) = d, `2` if η(ξ) > d.  This is the
+//! meaningful part of Definition 2.1's (X≤, X≥) pair: X≤ ∪ X≥ is always
+//! everything and X≤ ∩ X≥ is the `=` registers.
+
+use std::cmp::Ordering;
+
+use st_automata::Tag;
+
+use crate::error::CoreError;
+use crate::model::{DraProgram, LoadMask};
+
+/// Encodes a full register-comparison vector as a base-3 index.
+pub fn cmp_code(cmps: &[Ordering]) -> usize {
+    let mut code = 0usize;
+    for &c in cmps.iter().rev() {
+        code = code * 3
+            + match c {
+                Ordering::Less => 0,
+                Ordering::Equal => 1,
+                Ordering::Greater => 2,
+            };
+    }
+    code
+}
+
+/// Decodes a base-3 comparison index back into per-register orderings.
+pub fn cmp_decode(mut code: usize, n_registers: usize) -> Vec<Ordering> {
+    let mut out = Vec::with_capacity(n_registers);
+    for _ in 0..n_registers {
+        out.push(match code % 3 {
+            0 => Ordering::Less,
+            1 => Ordering::Equal,
+            _ => Ordering::Greater,
+        });
+        code /= 3;
+    }
+    out
+}
+
+/// One transition target: registers to load and the successor state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Target {
+    /// Registers loaded with the current depth (the set Y of Definition
+    /// 2.1).
+    pub load: LoadMask,
+    /// Successor state.
+    pub next: usize,
+}
+
+/// A depth-register automaton given by its full transition table
+/// (Definition 2.1).
+#[derive(Clone, Debug)]
+pub struct TableDra {
+    n_base_letters: usize,
+    n_states: usize,
+    n_registers: usize,
+    init: usize,
+    accepting: Vec<bool>,
+    /// `delta[((state * n_tags) + tag) * 3^Ξ + cmp_code]`.
+    delta: Vec<Target>,
+}
+
+impl TableDra {
+    /// Builds the table by evaluating `f` on every (state, tag, comparison)
+    /// combination.  `f` receives the tag as [`Tag`] over letters
+    /// `0..n_base_letters`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::MalformedTable`] if `f` returns an out-of-range state
+    /// or loads a register ≥ `n_registers`, or if parameters are senseless.
+    pub fn build(
+        n_base_letters: usize,
+        n_states: usize,
+        n_registers: usize,
+        init: usize,
+        accepting: Vec<bool>,
+        mut f: impl FnMut(usize, Tag, &[Ordering]) -> Target,
+    ) -> Result<TableDra, CoreError> {
+        if n_states == 0 || init >= n_states || accepting.len() != n_states {
+            return Err(CoreError::MalformedTable {
+                detail: "state space or initial state malformed".into(),
+            });
+        }
+        if n_registers > 10 {
+            return Err(CoreError::MalformedTable {
+                detail: format!(
+                    "{n_registers} registers: table would have 3^{n_registers} columns"
+                ),
+            });
+        }
+        let n_tags = 2 * n_base_letters;
+        let n_cmp = 3usize.pow(n_registers as u32);
+        let mut delta = Vec::with_capacity(n_states * n_tags * n_cmp);
+        for state in 0..n_states {
+            for tag_idx in 0..n_tags {
+                let tag = if tag_idx < n_base_letters {
+                    Tag::Open(st_automata::Letter(tag_idx as u32))
+                } else {
+                    Tag::Close(st_automata::Letter((tag_idx - n_base_letters) as u32))
+                };
+                for code in 0..n_cmp {
+                    let cmps = cmp_decode(code, n_registers);
+                    let t = f(state, tag, &cmps);
+                    if t.next >= n_states {
+                        return Err(CoreError::MalformedTable {
+                            detail: format!("successor {} out of range", t.next),
+                        });
+                    }
+                    if n_registers < 64 && t.load >> n_registers != 0 {
+                        return Err(CoreError::MalformedTable {
+                            detail: format!("load mask {:#x} touches unknown registers", t.load),
+                        });
+                    }
+                    delta.push(t);
+                }
+            }
+        }
+        Ok(TableDra {
+            n_base_letters,
+            n_states,
+            n_registers,
+            init,
+            accepting,
+            delta,
+        })
+    }
+
+    /// Number of control states.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// Whether this automaton is **restricted** (Section 2.2): every
+    /// transition overwrites all registers whose value is strictly greater
+    /// than the current depth, i.e. X≥ \ X≤ ⊆ Y.  Restricted DRAs recognize
+    /// only regular tree languages (Proposition 2.3).
+    pub fn is_restricted(&self) -> bool {
+        let n_cmp = 3usize.pow(self.n_registers as u32);
+        let n_tags = 2 * self.n_base_letters;
+        for state in 0..self.n_states {
+            for tag in 0..n_tags {
+                for code in 0..n_cmp {
+                    let cmps = cmp_decode(code, self.n_registers);
+                    let t = self.delta[(state * n_tags + tag) * n_cmp + code];
+                    for (xi, &c) in cmps.iter().enumerate() {
+                        if c == Ordering::Greater && t.load >> xi & 1 == 0 {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl DraProgram for TableDra {
+    type Input = Tag;
+    type State = usize;
+
+    fn n_registers(&self) -> usize {
+        self.n_registers
+    }
+
+    fn init_state(&self) -> usize {
+        self.init
+    }
+
+    fn is_accepting(&self, s: &usize) -> bool {
+        self.accepting[*s]
+    }
+
+    fn step(&self, s: &usize, input: Tag, cmps: &[Ordering]) -> (usize, LoadMask) {
+        let tag_idx = match input {
+            Tag::Open(l) => l.index(),
+            Tag::Close(l) => self.n_base_letters + l.index(),
+        };
+        let n_cmp = 3usize.pow(self.n_registers as u32);
+        let t = self.delta[((*s * 2 * self.n_base_letters) + tag_idx) * n_cmp + cmp_code(cmps)];
+        (t.next, t.load)
+    }
+}
+
+/// Example 2.2 as a table: trees over {a, b} in which all a-labelled nodes
+/// sit at the same depth.  States: 0 = no `a` seen, 1 = tracking, 2 =
+/// reject sink; one register.
+pub fn example_2_2(a_letter: usize, n_base_letters: usize) -> TableDra {
+    TableDra::build(
+        n_base_letters,
+        3,
+        1,
+        0,
+        vec![true, true, false],
+        |state, tag, cmps| match (state, tag) {
+            (0, Tag::Open(l)) if l.index() == a_letter => Target { load: 1, next: 1 },
+            (1, Tag::Open(l)) if l.index() == a_letter => {
+                if cmps[0] == Ordering::Equal {
+                    Target { load: 0, next: 1 }
+                } else {
+                    Target { load: 0, next: 2 }
+                }
+            }
+            (2, _) => Target { load: 0, next: 2 },
+            (s, _) => Target { load: 0, next: s },
+        },
+    )
+    .expect("example 2.2 table is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::accepts;
+    use st_trees::encode::markup_encode;
+
+    #[test]
+    fn cmp_code_roundtrip() {
+        for n in 0..4usize {
+            for code in 0..3usize.pow(n as u32) {
+                assert_eq!(cmp_code(&cmp_decode(code, n)), code);
+            }
+        }
+    }
+
+    #[test]
+    fn example_2_2_runs() {
+        // Labels interned in document order: b = 0, a = 1.
+        let (g, t) = st_trees::json::parse_term_tree(b"b{a{}b{a{}}}").unwrap();
+        assert_eq!(g.letter("a").map(|l| l.index()), Some(1));
+        let dra = example_2_2(1, 2);
+        // a's at depths 2 and 3: reject.
+        assert!(!accepts(&dra, &markup_encode(&t)).unwrap());
+        // a's both at depth 2: accept.
+        let (_, t2) = st_trees::json::parse_term_tree(b"b{a{}b{}a{}}").unwrap();
+        assert!(accepts(&dra, &markup_encode(&t2)).unwrap());
+        // No a at all: accept.
+        let (_, t3) = st_trees::json::parse_term_tree(b"b{b{}}").unwrap();
+        assert!(accepts(&dra, &markup_encode(&t3)).unwrap());
+    }
+
+    #[test]
+    fn example_2_2_is_not_restricted_but_can_be_made_so() {
+        // The raw Example 2.2 table never reloads its register while
+        // tracking, so a register value greater than the current depth can
+        // survive a transition: not restricted.
+        let dra = example_2_2(0, 2);
+        assert!(!dra.is_restricted());
+    }
+
+    #[test]
+    fn example_2_2_violates_restriction_dynamically_too() {
+        use crate::model::check_restricted_run;
+        let dra = example_2_2(0, 2);
+        // A document deep enough to leave the stored depth above the
+        // current one: a{a{}}b{} … the stored depth of the first `a`
+        // survives while we climb past it.
+        let (_, t) = st_trees::json::parse_term_tree(b"b{b{a{}}b{}}").unwrap();
+        // Labels: b = 0, a = 1 → rebuild for a = 1.
+        let dra = {
+            drop(dra);
+            example_2_2(1, 2)
+        };
+        let tags = markup_encode(&t);
+        assert!(!check_restricted_run(&dra, &tags).unwrap());
+    }
+
+    #[test]
+    fn restricted_check_accepts_always_loading_automata() {
+        // An automaton that loads its register on every step is trivially
+        // restricted.
+        let dra = TableDra::build(1, 1, 1, 0, vec![true], |_, _, _| Target {
+            load: 1,
+            next: 0,
+        })
+        .unwrap();
+        assert!(dra.is_restricted());
+    }
+
+    #[test]
+    fn build_validates() {
+        assert!(
+            TableDra::build(1, 0, 0, 0, vec![], |_, _, _| Target { load: 0, next: 0 }).is_err()
+        );
+        assert!(TableDra::build(1, 1, 0, 0, vec![true], |_, _, _| Target {
+            load: 0,
+            next: 5
+        })
+        .is_err());
+        assert!(TableDra::build(1, 1, 1, 0, vec![true], |_, _, _| Target {
+            load: 2,
+            next: 0
+        })
+        .is_err());
+        assert!(TableDra::build(1, 1, 11, 0, vec![true], |_, _, _| Target {
+            load: 0,
+            next: 0
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,363 @@
+//! Section 4.2 / Appendix B: the term encoding and its *blind* classes.
+//!
+//! Under the term encoding `[T]` (JSON-style: labelled opening tags, one
+//! universal closing tag ◁), the characterizations survive with every
+//! syntactic class replaced by its *blind* variant, where two states meet
+//! via possibly different, equal-length words (Theorem B.1, B.2).  The
+//! compilers live next to their markup twins —
+//! [`crate::registerless::compile_query_term`],
+//! [`crate::har::compile_query_term`],
+//! [`crate::eflat::compile_exists_term`] /
+//! [`crate::eflat::compile_forall_term`] — and are re-exported here; this
+//! module adds the Fig. 7 *blind fooling pair* (the Appendix B analogue of
+//! Lemma 3.12) and the cost-of-succinctness helpers.
+
+use st_automata::dfa::{Dfa, State};
+use st_automata::pairs::MeetMode;
+use st_trees::tree::Tree;
+
+pub use crate::eflat::{compile_exists_term, compile_forall_term};
+pub use crate::har::compile_query_term as compile_query_term_stackless;
+pub use crate::registerless::compile_query_term as compile_query_term_registerless;
+
+use crate::analysis::Analysis;
+use crate::classify::check_e_flat;
+use crate::fooling::FoolingPair;
+
+/// Shortest nonempty word from `from` to a goal state (re-implemented here
+/// for the blind gadget; the synchronous variant lives in
+/// [`crate::fooling`]).
+fn shortest_word_to(
+    dfa: &Dfa,
+    from: State,
+    goal: impl Fn(State) -> bool,
+    allow_empty: bool,
+) -> Option<Vec<usize>> {
+    if allow_empty && goal(from) {
+        return Some(Vec::new());
+    }
+    let mut parent: Vec<Option<(State, usize)>> = vec![None; dfa.n_states()];
+    let mut visited = vec![false; dfa.n_states()];
+    let mut queue = std::collections::VecDeque::new();
+    for a in 0..dfa.n_letters() {
+        let t = dfa.step(from, a);
+        if !visited[t] {
+            visited[t] = true;
+            parent[t] = Some((from, a));
+            queue.push_back(t);
+        }
+    }
+    let recover = |g: State, parent: &[Option<(State, usize)>]| {
+        let mut word = Vec::new();
+        let mut cur = g;
+        loop {
+            if cur == from && !word.is_empty() {
+                break;
+            }
+            let Some((p, a)) = parent[cur] else { break };
+            word.push(a);
+            cur = p;
+            if cur == from {
+                break;
+            }
+        }
+        word.reverse();
+        word
+    };
+    let mut bfs: Vec<State> = queue.iter().copied().collect();
+    let mut head = 0;
+    while head < bfs.len() {
+        let s = bfs[head];
+        head += 1;
+        if goal(s) {
+            return Some(recover(s, &parent));
+        }
+        for a in 0..dfa.n_letters() {
+            let t = dfa.step(s, a);
+            if !visited[t] {
+                visited[t] = true;
+                parent[t] = Some((s, a));
+                bfs.push(t);
+            }
+        }
+    }
+    None
+}
+
+/// Shortest nonempty equal-length pair `(u₁, u₂)` with `p·u₁ = target.0`
+/// and `q·u₂ = target.1` — a constructive blind meet.
+fn shortest_blind_pair_words(
+    dfa: &Dfa,
+    p: State,
+    q: State,
+    target: (State, State),
+) -> Option<(Vec<usize>, Vec<usize>)> {
+    let n = dfa.n_states();
+    let k = dfa.n_letters();
+    let idx = |a: State, b: State| a * n + b;
+    let start = idx(p, q);
+    let mut parent: Vec<Option<(usize, usize, usize)>> = vec![None; n * n];
+    let mut visited = vec![false; n * n];
+    let mut queue = std::collections::VecDeque::new();
+    for a in 0..k {
+        for b in 0..k {
+            let t = idx(dfa.step(p, a), dfa.step(q, b));
+            if !visited[t] {
+                visited[t] = true;
+                parent[t] = Some((start, a, b));
+                queue.push_back(t);
+            }
+        }
+    }
+    let goal = idx(target.0, target.1);
+    let recover = |g: usize, parent: &[Option<(usize, usize, usize)>]| {
+        let mut u1 = Vec::new();
+        let mut u2 = Vec::new();
+        let mut cur = g;
+        loop {
+            if cur == start && !u1.is_empty() {
+                break;
+            }
+            let Some((pr, a, b)) = parent[cur] else { break };
+            u1.push(a);
+            u2.push(b);
+            cur = pr;
+            if cur == start {
+                break;
+            }
+        }
+        u1.reverse();
+        u2.reverse();
+        (u1, u2)
+    };
+    if visited[goal] {
+        return Some(recover(goal, &parent));
+    }
+    while let Some(s) = queue.pop_front() {
+        let (sa, sb) = (s / n, s % n);
+        for a in 0..k {
+            for b in 0..k {
+                let t = idx(dfa.step(sa, a), dfa.step(sb, b));
+                if !visited[t] {
+                    visited[t] = true;
+                    parent[t] = Some((s, a, b));
+                    queue.push_back(t);
+                    if t == goal {
+                        return Some(recover(goal, &parent));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Shortest **nonempty** word `t` with `p·t` accepting XOR `q·t` accepting
+/// (both runs read the same `t` — the distinguishing word is shared).
+fn distinguishing_word(dfa: &Dfa, p: State, q: State) -> Option<Vec<usize>> {
+    let n = dfa.n_states();
+    shortest_word_pairgraph(dfa, p * n + q, |id| {
+        dfa.is_accepting(id / n) != dfa.is_accepting(id % n)
+    })
+}
+
+fn shortest_word_pairgraph(
+    dfa: &Dfa,
+    start: usize,
+    goal: impl Fn(usize) -> bool,
+) -> Option<Vec<usize>> {
+    let n = dfa.n_states();
+    let k = dfa.n_letters();
+    let mut parent: Vec<Option<(usize, usize)>> = vec![None; n * n];
+    let mut visited = vec![false; n * n];
+    let mut queue = std::collections::VecDeque::new();
+    let step = |id: usize, a: usize| dfa.step(id / n, a) * n + dfa.step(id % n, a);
+    for a in 0..k {
+        let t = step(start, a);
+        if !visited[t] {
+            visited[t] = true;
+            parent[t] = Some((start, a));
+            queue.push_back(t);
+        }
+    }
+    let recover = |g: usize, parent: &[Option<(usize, usize)>]| {
+        let mut word = Vec::new();
+        let mut cur = g;
+        loop {
+            if cur == start && !word.is_empty() {
+                break;
+            }
+            let Some((p, a)) = parent[cur] else { break };
+            word.push(a);
+            cur = p;
+            if cur == start {
+                break;
+            }
+        }
+        word.reverse();
+        word
+    };
+    while let Some(s) = queue.pop_front() {
+        if goal(s) {
+            return Some(recover(s, &parent));
+        }
+        for a in 0..k {
+            let t = step(s, a);
+            if !visited[t] {
+                visited[t] = true;
+                parent[t] = Some((s, a));
+                queue.push_back(t);
+            }
+        }
+    }
+    None
+}
+
+fn factorial(n: usize) -> usize {
+    (1..=n).product()
+}
+
+/// Appendix B / Fig. 7: the blind fooling pair.  For a language that is
+/// **not** blindly E-flat, builds trees S, S′ such that exactly one lies
+/// in EL yet every DFA over Γ ∪ {◁} with at most `n_dfa_states` states
+/// conflates their term encodings.  Returns `None` when the language *is*
+/// blindly E-flat.
+pub fn blind_eflat_fooling_pair(analysis: &Analysis, n_dfa_states: usize) -> Option<FoolingPair> {
+    let verdict = check_e_flat(analysis, MeetMode::Blind);
+    let (p, q) = verdict.witness?;
+    let dfa = &analysis.dfa;
+
+    let s = shortest_word_to(dfa, dfa.init(), |r| r == p, false).expect("witness p is internal");
+    let (u1, u2) =
+        shortest_blind_pair_words(dfa, p, q, (q, q)).expect("witness pair blindly meets in q");
+    let x =
+        shortest_word_to(dfa, q, |r| !dfa.is_accepting(r), true).expect("witness q is rejective");
+    let t = distinguishing_word(dfa, p, q).expect("witness pair is not almost equivalent");
+
+    // n ≥ 2 so that the pumped spine keeps at least one u₂ block.
+    let n_exp = factorial(n_dfa_states.max(2));
+
+    let st_in = dfa.is_accepting(dfa.run(&[s.clone(), t.clone()].concat()));
+    // If st ∈ L, the uncontrolled rightmost branch must use u₂ instead of
+    // u₁ (Appendix B, end of the proof of Theorem B.1).
+    let right_head: &[usize] = if st_in { &u2 } else { &u1 };
+
+    let chain = |parts: &[&[usize]]| -> Vec<usize> { parts.concat() };
+    let u2_pow =
+        |reps: usize| -> Vec<usize> { (0..reps).flat_map(|_| u2.iter().copied()).collect() };
+
+    // S: spine s; children of its deepest node:
+    //   [u₁ u₂ᴺ x], [t], [right_head u₂ᴺ x].
+    // S′: spine s·u₁·u₂^{N-1}; children:
+    //   [u₂^{N+1} x], [t], [right_head u₂ᴺ x].
+    let build = |spine_tail: &[usize], first_child_head: &[usize]| -> Tree {
+        let mut b = st_trees::TreeBuilder::new();
+        for &a in s.iter().chain(spine_tail) {
+            b.open(st_automata::Letter(a as u32));
+        }
+        let children = [
+            chain(&[first_child_head, &u2_pow(n_exp), &x]),
+            t.clone(),
+            chain(&[right_head, &u2_pow(n_exp), &x]),
+        ];
+        for child in &children {
+            for &a in child {
+                b.open(st_automata::Letter(a as u32));
+            }
+            for _ in child {
+                b.close().expect("balanced");
+            }
+        }
+        for _ in 0..(s.len() + spine_tail.len()) {
+            b.close().expect("balanced");
+        }
+        b.finish().expect("well-formed fooling tree")
+    };
+
+    let s_tree = build(&[], &u1);
+    let spine_tail = chain(&[&u1, &u2_pow(n_exp - 1)]);
+    let s_prime = build(&spine_tail, &u2);
+
+    Some(FoolingPair {
+        original: s_tree,
+        pumped: s_prime,
+        original_in_language: st_in,
+        defeats_n_states: n_dfa_states,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_automata::{compile_regex, Alphabet};
+    use st_trees::encode::{term_encode, TermEvent};
+    use st_trees::oracle;
+
+    #[test]
+    fn blind_pair_memberships_differ() {
+        // Fig. 2's language (even number of a's) is not blindly E-flat.
+        let g = Alphabet::of_chars("ab");
+        let d = compile_regex("(b*ab*a)*b*", &g).unwrap();
+        let analysis = Analysis::new(&d);
+        let pair = blind_eflat_fooling_pair(&analysis, 2).unwrap();
+        let in_s = oracle::in_exists(&pair.original, &analysis.dfa);
+        let in_sp = oracle::in_exists(&pair.pumped, &analysis.dfa);
+        assert_ne!(in_s, in_sp);
+        assert_eq!(in_s, pair.original_in_language);
+    }
+
+    #[test]
+    fn blind_pair_confuses_small_term_dfas() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let g = Alphabet::of_chars("ab");
+        let d = compile_regex("(b*ab*a)*b*", &g).unwrap();
+        let analysis = Analysis::new(&d);
+        let n = 3;
+        let pair = blind_eflat_fooling_pair(&analysis, n).unwrap();
+        let ev_s = term_encode(&pair.original);
+        let ev_sp = term_encode(&pair.pumped);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..300 {
+            let m = rng.gen_range(1..=n);
+            // Term alphabet: a, b, ◁ → 3 letters.
+            let rows: Vec<Vec<usize>> = (0..m)
+                .map(|_| (0..3).map(|_| rng.gen_range(0..m)).collect())
+                .collect();
+            let accepting: Vec<bool> = (0..m).map(|_| rng.gen()).collect();
+            let b = st_automata::Dfa::from_rows(3, 0, accepting, rows).unwrap();
+            let run = |events: &[TermEvent]| {
+                let mut s = b.init();
+                for &e in events {
+                    let letter = match e {
+                        TermEvent::Open(l) => l.index(),
+                        TermEvent::Close => 2,
+                    };
+                    s = b.step(s, letter);
+                }
+                b.is_accepting(s)
+            };
+            assert_eq!(run(&ev_s), run(&ev_sp));
+        }
+    }
+
+    #[test]
+    fn blind_pair_none_for_blindly_eflat() {
+        let g = Alphabet::of_chars("abc");
+        let d = compile_regex("a.*b", &g).unwrap();
+        assert!(blind_eflat_fooling_pair(&Analysis::new(&d), 3).is_none());
+    }
+
+    #[test]
+    fn markup_vs_term_cost_of_succinctness() {
+        // The Section 4.2 punchline, end to end: the Fig. 2 language is
+        // compilable for markup (registerless!) but nothing works for the
+        // term encoding.
+        let g = Alphabet::of_chars("ab");
+        let d = compile_regex("(b*ab*a)*b*", &g).unwrap();
+        let analysis = Analysis::new(&d);
+        assert!(crate::registerless::compile_query_markup(&analysis).is_ok());
+        assert!(compile_query_term_registerless(&analysis).is_err());
+        assert!(compile_query_term_stackless(&analysis).is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! The downward JSONPath subset.
+//!
+//! Grammar (mirroring the paper's Example 2.12 spellings):
+//!
+//! ```text
+//! jsonpath := '$' step+
+//! step     := '.' test      (child)
+//!           | '..' test     (descendant)
+//! test     := name | '*'
+//! ```
+//!
+//! `$.a..b` becomes the path regex `a Γ*b`, exactly like its XPath twin
+//! `/a//b`.
+
+use st_automata::{Alphabet, Regex};
+
+use crate::QueryError;
+
+/// Parses a downward JSONPath into a path regex over Γ.
+///
+/// # Errors
+///
+/// [`QueryError::Parse`] on syntax errors, [`QueryError::UnknownLabel`]
+/// for names outside Γ.
+pub fn parse_jsonpath(expr: &str, alphabet: &Alphabet) -> Result<Regex, QueryError> {
+    let bytes = expr.as_bytes();
+    if bytes.first() != Some(&b'$') {
+        return Err(QueryError::Parse {
+            position: 0,
+            message: "a JSONPath must start with '$'".into(),
+        });
+    }
+    let mut parts: Vec<Regex> = Vec::new();
+    let mut pos = 1usize;
+    if pos == bytes.len() {
+        return Err(QueryError::Parse {
+            position: pos,
+            message: "expected at least one step".into(),
+        });
+    }
+    while pos < bytes.len() {
+        if bytes[pos] != b'.' {
+            return Err(QueryError::Parse {
+                position: pos,
+                message: "expected '.'".into(),
+            });
+        }
+        pos += 1;
+        let descendant = bytes.get(pos) == Some(&b'.');
+        if descendant {
+            pos += 1;
+        }
+        let start = pos;
+        while pos < bytes.len() && bytes[pos] != b'.' {
+            pos += 1;
+        }
+        let test = &expr[start..pos];
+        if test.is_empty() {
+            return Err(QueryError::Parse {
+                position: start,
+                message: "expected a member name or '*'".into(),
+            });
+        }
+        let label = match test {
+            "*" => Regex::any(alphabet),
+            name => {
+                let l = alphabet
+                    .letter(name)
+                    .ok_or_else(|| QueryError::UnknownLabel {
+                        label: name.to_owned(),
+                    })?;
+                Regex::letter(l)
+            }
+        };
+        if descendant {
+            parts.push(Regex::any(alphabet).star());
+        }
+        parts.push(label);
+    }
+    Ok(Regex::Concat(parts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_automata::compile_regex;
+    use st_automata::ops::equivalent;
+
+    fn check(expr: &str, regex: &str) {
+        let g = Alphabet::of_chars("abc");
+        let x = parse_jsonpath(expr, &g).unwrap().to_min_dfa(&g);
+        let r = compile_regex(regex, &g).unwrap();
+        assert!(equivalent(&x, &r), "{expr} vs {regex}");
+    }
+
+    #[test]
+    fn paper_examples() {
+        check("$.a..b", "a.*b");
+        check("$.a.b", "ab");
+        check("$..a..b", ".*a.*b");
+        check("$..a.b", ".*ab");
+    }
+
+    #[test]
+    fn wildcards() {
+        check("$.*", ".");
+        check("$.a.*.b", "a.b");
+    }
+
+    #[test]
+    fn errors() {
+        let g = Alphabet::of_chars("abc");
+        assert!(matches!(
+            parse_jsonpath(".a", &g),
+            Err(QueryError::Parse { position: 0, .. })
+        ));
+        assert!(matches!(
+            parse_jsonpath("$", &g),
+            Err(QueryError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_jsonpath("$.a..", &g),
+            Err(QueryError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_jsonpath("$.nope", &g),
+            Err(QueryError::UnknownLabel { .. })
+        ));
+    }
+}

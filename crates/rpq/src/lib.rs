@@ -1,0 +1,200 @@
+//! Query surface: regular path queries in user syntax.
+//!
+//! The paper treats RPQs as the user-facing query class (Section 2.3):
+//! "RPQs include all XPath queries built up from downward axes (child,
+//! descendent) and label tests".  This crate parses three concrete
+//! syntaxes into one [`PathQuery`]:
+//!
+//! * path regexes over Γ (the paper's own notation, via
+//!   [`st_automata::regex`]),
+//! * the downward-axis **XPath subset** — `/a//b/*` (Example 2.12's first
+//!   row is `/a//b`),
+//! * the downward **JSONPath subset** — `$.a..b.*` (the same row's
+//!   `$.a..b`).
+//!
+//! A [`PathQuery`] owns the minimal automaton of its path language and the
+//! full classification, and hands off to the `st-core` planner for
+//! evaluation.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod jsonpath;
+pub mod xpath;
+
+use st_automata::{Alphabet, Dfa, Regex};
+use st_core::planner::CompiledQuery;
+use st_core::CoreError;
+
+pub use jsonpath::parse_jsonpath;
+pub use xpath::parse_xpath;
+
+/// Errors raised while parsing query syntaxes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// Syntax error with byte position.
+    Parse {
+        /// Byte offset of the error.
+        position: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A label used in the query is not in Γ.
+    UnknownLabel {
+        /// The label as written.
+        label: String,
+    },
+    /// Regex front-end error.
+    Regex(st_automata::AutomataError),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Parse { position, message } => {
+                write!(f, "query parse error at byte {position}: {message}")
+            }
+            QueryError::UnknownLabel { label } => {
+                write!(f, "label {label:?} is not in the alphabet")
+            }
+            QueryError::Regex(e) => write!(f, "regex error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<st_automata::AutomataError> for QueryError {
+    fn from(e: st_automata::AutomataError) -> Self {
+        QueryError::Regex(e)
+    }
+}
+
+/// A regular path query: a path language L ⊆ Γ* with its minimal
+/// automaton; selects the nodes whose root path spells a word of L.
+///
+/// ```
+/// use st_automata::Alphabet;
+/// use st_core::planner::Strategy;
+/// use st_rpq::PathQuery;
+///
+/// let gamma = Alphabet::of_chars("abc");
+/// let query = PathQuery::from_xpath("/a//b", &gamma).unwrap();
+/// assert_eq!(query.plan().strategy(), Strategy::Registerless);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PathQuery {
+    /// The alphabet Γ the query ranges over.
+    pub alphabet: Alphabet,
+    /// The query as written by the user (diagnostics).
+    pub source: String,
+    /// The canonical minimal automaton of L.
+    pub dfa: Dfa,
+}
+
+impl PathQuery {
+    /// Parses the paper's regex notation (see [`st_automata::regex`] for
+    /// the syntax).
+    ///
+    /// # Errors
+    ///
+    /// Propagates regex parse errors.
+    pub fn from_regex(pattern: &str, alphabet: &Alphabet) -> Result<PathQuery, QueryError> {
+        let dfa = st_automata::compile_regex(pattern, alphabet)?;
+        Ok(PathQuery {
+            alphabet: alphabet.clone(),
+            source: pattern.to_owned(),
+            dfa,
+        })
+    }
+
+    /// Parses the XPath subset (`/a//b/*`).
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::Parse`] on syntax errors, [`QueryError::UnknownLabel`]
+    /// for labels outside Γ.
+    pub fn from_xpath(expr: &str, alphabet: &Alphabet) -> Result<PathQuery, QueryError> {
+        let regex = parse_xpath(expr, alphabet)?;
+        Ok(PathQuery {
+            alphabet: alphabet.clone(),
+            source: expr.to_owned(),
+            dfa: regex.to_min_dfa(alphabet),
+        })
+    }
+
+    /// Parses the JSONPath subset (`$.a..b.*`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::from_xpath`].
+    pub fn from_jsonpath(expr: &str, alphabet: &Alphabet) -> Result<PathQuery, QueryError> {
+        let regex = parse_jsonpath(expr, alphabet)?;
+        Ok(PathQuery {
+            alphabet: alphabet.clone(),
+            source: expr.to_owned(),
+            dfa: regex.to_min_dfa(alphabet),
+        })
+    }
+
+    /// Compiles through the `st-core` planner: classification + cheapest
+    /// evaluator.
+    pub fn plan(&self) -> CompiledQuery {
+        CompiledQuery::compile(&self.dfa)
+    }
+
+    /// Convenience: the raw regex AST of a downward XPath, exposed for
+    /// tooling.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::from_xpath`].
+    pub fn xpath_to_regex(expr: &str, alphabet: &Alphabet) -> Result<Regex, QueryError> {
+        parse_xpath(expr, alphabet)
+    }
+}
+
+/// Convenience re-export: classify a query end to end.
+///
+/// # Errors
+///
+/// Propagates planner compilation errors (none today — the stack fallback
+/// is total; the signature leaves room for resource limits).
+pub fn explain(query: &PathQuery) -> Result<st_core::classify::ClassReport, CoreError> {
+    Ok(*query.plan().report())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_core::planner::Strategy;
+
+    #[test]
+    fn example_2_12_spellings_agree() {
+        // Each row of Example 2.12 in all three syntaxes compiles to the
+        // same language.
+        let g = Alphabet::of_chars("abc");
+        let rows = [
+            ("/a//b", "$.a..b", "a.*b"),
+            ("/a/b", "$.a.b", "ab"),
+            ("//a//b", "$..a..b", ".*a.*b"),
+            ("//a/b", "$..a.b", ".*ab"),
+        ];
+        for (xp, jp, re) in rows {
+            let q_x = PathQuery::from_xpath(xp, &g).unwrap();
+            let q_j = PathQuery::from_jsonpath(jp, &g).unwrap();
+            let q_r = PathQuery::from_regex(re, &g).unwrap();
+            assert!(st_automata::ops::equivalent(&q_x.dfa, &q_r.dfa), "{xp}");
+            assert!(st_automata::ops::equivalent(&q_j.dfa, &q_r.dfa), "{jp}");
+        }
+    }
+
+    #[test]
+    fn planner_integration() {
+        let g = Alphabet::of_chars("abc");
+        let q = PathQuery::from_xpath("/a//b", &g).unwrap();
+        assert_eq!(q.plan().strategy(), Strategy::Registerless);
+        let q = PathQuery::from_xpath("//a/b", &g).unwrap();
+        assert_eq!(q.plan().strategy(), Strategy::Stack);
+    }
+}

@@ -1,0 +1,134 @@
+//! The downward-axis XPath subset.
+//!
+//! Grammar (the fragment the paper calls "XPath queries built up from
+//! downward axes and label tests", Section 2.3):
+//!
+//! ```text
+//! xpath := step+
+//! step  := '/' test        (child axis)
+//!        | '//' test       (descendant-or-self::node()/child)
+//! test  := name | '*'
+//! ```
+//!
+//! Semantics as a path regex over Γ: `/t` appends `t`, `//t` appends
+//! `Γ* t`, `*` is the universal label test Γ.  `/a//b` thus becomes
+//! `a Γ*b` — the first row of Example 2.12.
+
+use st_automata::{Alphabet, Regex};
+
+use crate::QueryError;
+
+/// Parses a downward XPath into a path regex over Γ.
+///
+/// # Errors
+///
+/// [`QueryError::Parse`] on syntax errors, [`QueryError::UnknownLabel`]
+/// for names outside Γ.
+pub fn parse_xpath(expr: &str, alphabet: &Alphabet) -> Result<Regex, QueryError> {
+    let bytes = expr.as_bytes();
+    if bytes.is_empty() || bytes[0] != b'/' {
+        return Err(QueryError::Parse {
+            position: 0,
+            message: "an XPath must start with '/' or '//'".into(),
+        });
+    }
+    let mut parts: Vec<Regex> = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if bytes[pos] != b'/' {
+            return Err(QueryError::Parse {
+                position: pos,
+                message: "expected '/'".into(),
+            });
+        }
+        pos += 1;
+        let descendant = bytes.get(pos) == Some(&b'/');
+        if descendant {
+            pos += 1;
+        }
+        let start = pos;
+        while pos < bytes.len() && bytes[pos] != b'/' {
+            pos += 1;
+        }
+        let test = &expr[start..pos];
+        if test.is_empty() {
+            return Err(QueryError::Parse {
+                position: start,
+                message: "expected a name test or '*'".into(),
+            });
+        }
+        let label = match test {
+            "*" => Regex::any(alphabet),
+            name => {
+                let l = alphabet
+                    .letter(name)
+                    .ok_or_else(|| QueryError::UnknownLabel {
+                        label: name.to_owned(),
+                    })?;
+                Regex::letter(l)
+            }
+        };
+        if descendant {
+            parts.push(Regex::any(alphabet).star());
+        }
+        parts.push(label);
+    }
+    Ok(Regex::Concat(parts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_automata::compile_regex;
+    use st_automata::ops::equivalent;
+
+    fn check(expr: &str, regex: &str) {
+        let g = Alphabet::of_chars("abc");
+        let x = parse_xpath(expr, &g).unwrap().to_min_dfa(&g);
+        let r = compile_regex(regex, &g).unwrap();
+        assert!(equivalent(&x, &r), "{expr} vs {regex}");
+    }
+
+    #[test]
+    fn paper_examples() {
+        check("/a//b", "a.*b");
+        check("/a/b", "ab");
+        check("//a//b", ".*a.*b");
+        check("//a/b", ".*ab");
+    }
+
+    #[test]
+    fn wildcards() {
+        check("/*", ".");
+        check("/a/*/b", "a.b");
+        check("//*", ".*.");
+    }
+
+    #[test]
+    fn errors() {
+        let g = Alphabet::of_chars("abc");
+        assert!(matches!(
+            parse_xpath("a/b", &g),
+            Err(QueryError::Parse { position: 0, .. })
+        ));
+        assert!(matches!(
+            parse_xpath("/a//", &g),
+            Err(QueryError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_xpath("/xyz", &g),
+            Err(QueryError::UnknownLabel { .. })
+        ));
+        assert!(matches!(parse_xpath("", &g), Err(QueryError::Parse { .. })));
+    }
+
+    #[test]
+    fn multi_character_names() {
+        let g = Alphabet::from_symbols(["chapter", "section"]).unwrap();
+        let x = parse_xpath("/chapter//section", &g).unwrap().to_min_dfa(&g);
+        // chapter = 0, section = 1.
+        assert!(x.accepts(&[0, 1]));
+        assert!(x.accepts(&[0, 0, 1]));
+        assert!(!x.accepts(&[1, 1]));
+    }
+}

@@ -1,0 +1,280 @@
+//! The two serializations of trees used in the paper.
+//!
+//! * **Markup encoding** (Section 2): ⟨T⟩ = `a ⟨T₁⟩ … ⟨Tₙ⟩ ā` over Γ ∪ Γ̄ —
+//!   every node contributes a labelled opening and a labelled closing tag.
+//!   Events are [`Tag`]s.
+//! * **Term encoding** (Section 4.2): `[T] = a [T₁] … [Tₙ] ◁` over Γ ∪ {◁} —
+//!   closing tags are unlabelled.  Events are [`TermEvent`]s.
+//!
+//! Both decoders validate well-formedness and produce a [`Tree`]; the
+//! markup decoder additionally checks that closing labels match.
+
+use st_automata::{Letter, Tag};
+
+use crate::error::TreeError;
+use crate::tree::{NodeId, Tree, TreeBuilder};
+
+/// An event of the term encoding: a labelled opening tag or the universal
+/// closing tag ◁.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TermEvent {
+    /// Opening tag `a{`.
+    Open(Letter),
+    /// Universal closing tag `}` (the paper's ◁).
+    Close,
+}
+
+impl TermEvent {
+    /// Depth delta: +1 for opening, −1 for closing.
+    #[inline]
+    pub fn depth_delta(self) -> i64 {
+        match self {
+            TermEvent::Open(_) => 1,
+            TermEvent::Close => -1,
+        }
+    }
+}
+
+/// Serializes a tree into its markup encoding ⟨T⟩.
+pub fn markup_encode(tree: &Tree) -> Vec<Tag> {
+    let mut out = Vec::with_capacity(2 * tree.len());
+    markup_encode_into(tree, tree.root(), &mut out);
+    out
+}
+
+/// Appends ⟨subtree of `v`⟩ to `out` (iteratively; documents can be deep).
+pub fn markup_encode_into(tree: &Tree, v: NodeId, out: &mut Vec<Tag>) {
+    // Explicit work list: Enter(v) emits the opening tag and schedules
+    // children; Exit(v) emits the closing tag.
+    enum Step {
+        Enter(NodeId),
+        Exit(NodeId),
+    }
+    let mut work = vec![Step::Enter(v)];
+    while let Some(step) = work.pop() {
+        match step {
+            Step::Enter(u) => {
+                out.push(Tag::Open(tree.label(u)));
+                work.push(Step::Exit(u));
+                let kids: Vec<NodeId> = tree.children(u).collect();
+                for c in kids.into_iter().rev() {
+                    work.push(Step::Enter(c));
+                }
+            }
+            Step::Exit(u) => out.push(Tag::Close(tree.label(u))),
+        }
+    }
+}
+
+/// Decodes a markup encoding into a tree, validating well-formedness
+/// (matching labels, exactly one root, nothing trailing).
+pub fn markup_decode(tags: &[Tag]) -> Result<Tree, TreeError> {
+    let mut builder = TreeBuilder::new();
+    let mut open_labels: Vec<Letter> = Vec::new();
+    for (i, &tag) in tags.iter().enumerate() {
+        match tag {
+            Tag::Open(l) => {
+                if open_labels.is_empty() && builder.open_depth() == 0 && i > 0 {
+                    return Err(TreeError::MultipleRoots { position: i });
+                }
+                builder.open(l);
+                open_labels.push(l);
+            }
+            Tag::Close(l) => {
+                let expected = open_labels
+                    .pop()
+                    .ok_or(TreeError::UnbalancedClose { position: i })?;
+                if expected != l {
+                    return Err(TreeError::MismatchedClose {
+                        expected: format!("letter #{}", expected.0),
+                        found: format!("letter #{}", l.0),
+                        position: i,
+                    });
+                }
+                builder.close()?;
+            }
+        }
+    }
+    builder.finish()
+}
+
+/// Whether `tags` is a valid markup encoding of some tree.
+pub fn is_well_formed_markup(tags: &[Tag]) -> bool {
+    markup_decode(tags).is_ok()
+}
+
+/// Serializes a tree into its term encoding `[T]`.
+pub fn term_encode(tree: &Tree) -> Vec<TermEvent> {
+    markup_encode(tree)
+        .into_iter()
+        .map(|t| match t {
+            Tag::Open(l) => TermEvent::Open(l),
+            Tag::Close(_) => TermEvent::Close,
+        })
+        .collect()
+}
+
+/// Decodes a term encoding into a tree.
+pub fn term_decode(events: &[TermEvent]) -> Result<Tree, TreeError> {
+    let mut builder = TreeBuilder::new();
+    let mut depth = 0usize;
+    for (i, &e) in events.iter().enumerate() {
+        match e {
+            TermEvent::Open(l) => {
+                if depth == 0 && i > 0 {
+                    return Err(TreeError::MultipleRoots { position: i });
+                }
+                builder.open(l);
+                depth += 1;
+            }
+            TermEvent::Close => {
+                if depth == 0 {
+                    return Err(TreeError::UnbalancedClose { position: i });
+                }
+                builder.close()?;
+                depth -= 1;
+            }
+        }
+    }
+    builder.finish()
+}
+
+/// The word ⟨T⟩ written with one character per tag for diagnostics:
+/// opening tags as the symbol, closing tags as `/symbol`, e.g. `a a /a c /c /a`.
+pub fn display_markup(tags: &[Tag], alphabet: &st_automata::Alphabet) -> String {
+    let ta = st_automata::TagAlphabet::new(alphabet.clone());
+    tags.iter()
+        .map(|&t| ta.display(t))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_automata::Alphabet;
+
+    fn paper_tree(g: &Alphabet) -> Tree {
+        // aaācc̄ā: root a with children a and c (paper, Section 2).
+        let l = |s: &str| g.letter(s).unwrap();
+        let mut b = TreeBuilder::new();
+        b.open(l("a"));
+        b.leaf(l("a"));
+        b.leaf(l("c"));
+        b.close().unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn paper_markup_example() {
+        let g = Alphabet::of_chars("ac");
+        let t = paper_tree(&g);
+        let enc = markup_encode(&t);
+        assert_eq!(display_markup(&enc, &g), "a a /a c /c /a");
+    }
+
+    #[test]
+    fn markup_roundtrip() {
+        let g = Alphabet::of_chars("ac");
+        let t = paper_tree(&g);
+        let dec = markup_decode(&markup_encode(&t)).unwrap();
+        assert!(t.structurally_equal(&dec));
+    }
+
+    #[test]
+    fn term_roundtrip() {
+        let g = Alphabet::of_chars("ac");
+        let t = paper_tree(&g);
+        let dec = term_decode(&term_encode(&t)).unwrap();
+        assert!(t.structurally_equal(&dec));
+    }
+
+    #[test]
+    fn term_encoding_is_shorter_in_labels() {
+        // Section 4.2: term encoding drops closing labels.
+        let g = Alphabet::of_chars("abc");
+        let l = |s: &str| g.letter(s).unwrap();
+        let mut b = TreeBuilder::new();
+        b.open(l("a"));
+        b.open(l("b"));
+        b.leaf(l("a"));
+        b.leaf(l("a"));
+        b.close().unwrap();
+        b.leaf(l("c"));
+        b.close().unwrap();
+        let t = b.finish().unwrap();
+        // a{b{a{}a{}}c{}}
+        assert_eq!(t.display(&g), "a{b{a{}a{}}c{}}");
+        let term = term_encode(&t);
+        let closes = term.iter().filter(|e| **e == TermEvent::Close).count();
+        assert_eq!(closes, t.len());
+    }
+
+    #[test]
+    fn decode_rejects_mismatched_close() {
+        let g = Alphabet::of_chars("ab");
+        let a = g.letter("a").unwrap();
+        let b = g.letter("b").unwrap();
+        let bad = vec![Tag::Open(a), Tag::Close(b)];
+        assert!(matches!(
+            markup_decode(&bad),
+            Err(TreeError::MismatchedClose { position: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_unbalanced() {
+        let g = Alphabet::of_chars("a");
+        let a = g.letter("a").unwrap();
+        assert!(matches!(
+            markup_decode(&[Tag::Close(a)]),
+            Err(TreeError::UnbalancedClose { position: 0 })
+        ));
+        assert!(matches!(
+            markup_decode(&[Tag::Open(a)]),
+            Err(TreeError::UnexpectedEnd { open: 1 })
+        ));
+        assert!(matches!(markup_decode(&[]), Err(TreeError::Empty)));
+    }
+
+    #[test]
+    fn decode_rejects_forest() {
+        let g = Alphabet::of_chars("a");
+        let a = g.letter("a").unwrap();
+        let forest = vec![Tag::Open(a), Tag::Close(a), Tag::Open(a), Tag::Close(a)];
+        assert!(matches!(
+            markup_decode(&forest),
+            Err(TreeError::MultipleRoots { position: 2 })
+        ));
+        let term_forest = vec![
+            TermEvent::Open(a),
+            TermEvent::Close,
+            TermEvent::Open(a),
+            TermEvent::Close,
+        ];
+        assert!(matches!(
+            term_decode(&term_forest),
+            Err(TreeError::MultipleRoots { position: 2 })
+        ));
+    }
+
+    #[test]
+    fn well_formedness_predicate() {
+        let g = Alphabet::of_chars("a");
+        let a = g.letter("a").unwrap();
+        assert!(is_well_formed_markup(&[Tag::Open(a), Tag::Close(a)]));
+        assert!(!is_well_formed_markup(&[Tag::Open(a)]));
+    }
+
+    #[test]
+    fn deep_tree_roundtrip_no_recursion_overflow() {
+        let g = Alphabet::of_chars("a");
+        let a = g.letter("a").unwrap();
+        let word = vec![a; 200_000];
+        let t = Tree::branch(&word).unwrap();
+        let enc = markup_encode(&t);
+        assert_eq!(enc.len(), 400_000);
+        let dec = markup_decode(&enc).unwrap();
+        assert_eq!(dec.height(), 200_000);
+    }
+}

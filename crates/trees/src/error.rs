@@ -1,0 +1,85 @@
+//! Error type for tree construction, encoding, and parsing.
+
+use std::fmt;
+
+/// Errors raised by tree builders, decoders, and document parsers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TreeError {
+    /// A closing tag did not match the innermost open node.
+    MismatchedClose {
+        /// What was open.
+        expected: String,
+        /// What was closed.
+        found: String,
+        /// Position (event index or byte offset) of the offence.
+        position: usize,
+    },
+    /// A closing tag appeared with nothing open, or input continued after
+    /// the root closed.
+    UnbalancedClose {
+        /// Position (event index or byte offset).
+        position: usize,
+    },
+    /// The stream ended with nodes still open.
+    UnexpectedEnd {
+        /// How many nodes were still open.
+        open: usize,
+    },
+    /// The stream encodes no tree at all (empty input).
+    Empty,
+    /// The stream encodes a forest, not a single tree.
+    MultipleRoots {
+        /// Position of the second root's opening tag.
+        position: usize,
+    },
+    /// A builder was finished while nodes were still open, or misused.
+    Builder(String),
+    /// A byte-level document parser rejected the input.
+    Parse {
+        /// Byte offset of the error.
+        position: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A label is not in the alphabet the caller fixed.
+    UnknownLabel {
+        /// The label as written.
+        label: String,
+        /// Byte offset or event index.
+        position: usize,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::MismatchedClose {
+                expected,
+                found,
+                position,
+            } => write!(
+                f,
+                "mismatched closing tag at {position}: expected {expected:?}, found {found:?}"
+            ),
+            TreeError::UnbalancedClose { position } => {
+                write!(f, "closing tag at {position} with no open node")
+            }
+            TreeError::UnexpectedEnd { open } => {
+                write!(f, "input ended with {open} node(s) still open")
+            }
+            TreeError::Empty => write!(f, "input encodes no tree"),
+            TreeError::MultipleRoots { position } => {
+                write!(f, "second root opens at {position}: input is a forest")
+            }
+            TreeError::Builder(msg) => write!(f, "tree builder misuse: {msg}"),
+            TreeError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            TreeError::UnknownLabel { label, position } => {
+                write!(f, "label {label:?} at {position} is not in the alphabet")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}

@@ -1,0 +1,445 @@
+//! Deterministic workload generators.
+//!
+//! Streaming evaluators are only interesting on documents with controlled
+//! *shape*: the paper's constructions are sensitive to depth (registers hold
+//! depths), branching (siblings are where finite automata fail), and label
+//! recursion (chains of `a`s defeat child-axis queries, Example 2.7).  The
+//! generators here cover those axes plus the paper's own `Kn` schema
+//! (Example 2.9, Fig. 1b).  Everything is seeded and reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use st_automata::{Alphabet, Letter};
+
+use crate::tree::{NodeId, Tree, TreeBuilder};
+
+/// A complete `branching`-ary tree of the given `height` (height 1 = a
+/// single node), labels cycling through the alphabet by depth.
+pub fn perfect(alphabet: &Alphabet, branching: usize, height: u32) -> Tree {
+    assert!(height >= 1, "height must be at least 1");
+    assert!(!alphabet.is_empty(), "alphabet must be non-empty");
+    let letters: Vec<Letter> = alphabet.letters().collect();
+    let mut b = TreeBuilder::new();
+    // Iterative construction: (depth, children_left) frames.
+    let mut frames: Vec<usize> = Vec::new();
+    b.open(letters[0]);
+    frames.push(if height > 1 { branching } else { 0 });
+    while let Some(top) = frames.last_mut() {
+        if *top == 0 {
+            b.close().expect("balanced by construction");
+            frames.pop();
+            continue;
+        }
+        *top -= 1;
+        let depth = frames.len() as u32 + 1;
+        b.open(letters[(depth as usize - 1) % letters.len()]);
+        frames.push(if depth < height { branching } else { 0 });
+    }
+    b.finish().expect("perfect tree is well-formed")
+}
+
+/// A root with `n` leaf children: the widest, shallowest shape.
+pub fn wide(root: Letter, child: Letter, n: usize) -> Tree {
+    let mut b = TreeBuilder::new();
+    b.open(root);
+    for _ in 0..n {
+        b.leaf(child);
+    }
+    b.close().expect("balanced");
+    b.finish().expect("well-formed")
+}
+
+/// A single chain labelled by cycling through `labels`, `depth` nodes deep:
+/// the deepest, narrowest shape (worst case for stack-based evaluation).
+pub fn chain(labels: &[Letter], depth: usize) -> Tree {
+    assert!(!labels.is_empty() && depth >= 1);
+    let word: Vec<Letter> = (0..depth).map(|i| labels[i % labels.len()]).collect();
+    Tree::branch(&word).expect("depth >= 1")
+}
+
+/// A *comb*: a main branch of `depth` nodes (label `spine`), each carrying
+/// `teeth` leaf children (label `tooth`) — simultaneously deep and wide,
+/// the shape where both stack depth and sibling counts matter.
+pub fn comb(spine: Letter, tooth: Letter, depth: usize, teeth: usize) -> Tree {
+    assert!(depth >= 1);
+    let mut b = TreeBuilder::new();
+    for _ in 0..depth {
+        b.open(spine);
+        for _ in 0..teeth {
+            b.leaf(tooth);
+        }
+    }
+    for _ in 0..depth {
+        b.close().expect("balanced");
+    }
+    b.finish().expect("well-formed")
+}
+
+/// Random tree by preferential attachment with a depth bias.
+///
+/// Node `i` picks its parent among existing nodes: with probability
+/// `depth_bias` the most recently added node (grows chains), otherwise
+/// uniformly at random (grows bushes).  `depth_bias = 0` gives very shallow
+/// trees; `depth_bias` close to 1 gives near-chains.  Labels are uniform
+/// over the alphabet.
+pub fn random_attachment(alphabet: &Alphabet, n_nodes: usize, depth_bias: f64, seed: u64) -> Tree {
+    assert!(n_nodes >= 1 && !alphabet.is_empty());
+    assert!((0.0..=1.0).contains(&depth_bias), "bias must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let letters: Vec<Letter> = alphabet.letters().collect();
+    let rand_letter = |rng: &mut StdRng| letters[rng.gen_range(0..letters.len())];
+
+    // Build parent pointers first, then emit events in document order.
+    let mut parents: Vec<usize> = Vec::with_capacity(n_nodes);
+    for i in 1..n_nodes {
+        let parent = if rng.gen_bool(depth_bias) {
+            i - 1
+        } else {
+            rng.gen_range(0..i)
+        };
+        parents.push(parent);
+    }
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
+    for (i, &p) in parents.iter().enumerate() {
+        children[p].push(i + 1);
+    }
+    let labels: Vec<Letter> = (0..n_nodes).map(|_| rand_letter(&mut rng)).collect();
+
+    let mut b = TreeBuilder::new();
+    // Iterative preorder emission.
+    enum Step {
+        Enter(usize),
+        Exit,
+    }
+    let mut work = vec![Step::Enter(0)];
+    while let Some(step) = work.pop() {
+        match step {
+            Step::Enter(v) => {
+                b.open(labels[v]);
+                work.push(Step::Exit);
+                for &c in children[v].iter().rev() {
+                    work.push(Step::Enter(c));
+                }
+            }
+            Step::Exit => {
+                b.close().expect("balanced");
+            }
+        }
+    }
+    b.finish().expect("well-formed")
+}
+
+/// The `Kn` schema of Example 2.9 (Fig. 1b): a main branch of `n` nodes
+/// labelled `b`; internal node `i` (1-based, `2..n-1`) gets an `a`-labelled
+/// left child iff `a_child[i - 2]`, and node `i` (`1..=n`) gets a
+/// `c`-labelled right child iff `c_child[i - 1]`.
+///
+/// # Panics
+///
+/// Panics unless `n > 2`, `a_child.len() == n - 2`, `c_child.len() == n`.
+pub fn kn_tree(a: Letter, b: Letter, c: Letter, a_child: &[bool], c_child: &[bool]) -> Tree {
+    let n = c_child.len();
+    assert!(n > 2, "Kn needs n > 2");
+    assert_eq!(a_child.len(), n - 2, "a_child covers internal nodes 2..n-1");
+    let mut builder = TreeBuilder::new();
+    for i in 1..=n {
+        builder.open(b);
+        // a-child to the left of the main branch on internal nodes 2..n-1.
+        if (2..n).contains(&i) && a_child[i - 2] {
+            builder.leaf(a);
+        }
+    }
+    // Unwind: at the deepest node first emit its possible c-child, then
+    // close; on the way up add c-children *after* the main-branch child.
+    for i in (1..=n).rev() {
+        if c_child[i - 1] {
+            builder.leaf(c);
+        }
+        builder.close().expect("balanced");
+    }
+    builder.finish().expect("well-formed")
+}
+
+/// Uniformly random `Kn` instance (random a/c child flags).
+pub fn random_kn(a: Letter, b: Letter, c: Letter, n: usize, seed: u64) -> Tree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a_child: Vec<bool> = (0..n - 2).map(|_| rng.gen()).collect();
+    let c_child: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+    kn_tree(a, b, c, &a_child, &c_child)
+}
+
+/// A "document-like" tree: a shallow header section, a long list of
+/// records, each record a small random subtree.  This is the shape of real
+/// exports (DBLP, Wikipedia dumps): wide at the second level, shallow
+/// below.
+pub fn document_like(alphabet: &Alphabet, n_records: usize, record_size: usize, seed: u64) -> Tree {
+    assert!(alphabet.len() >= 2, "need at least two labels");
+    let letters: Vec<Letter> = alphabet.letters().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TreeBuilder::new();
+    b.open(letters[0]); // root, e.g. <doc>
+    for _ in 0..n_records {
+        b.open(letters[1 % letters.len()]); // <record>
+        let mut open = 0usize;
+        for _ in 0..record_size {
+            let l = letters[rng.gen_range(0..letters.len())];
+            if open > 0 && rng.gen_bool(0.5) {
+                b.leaf(l);
+            } else if open < 6 && rng.gen_bool(0.7) {
+                b.open(l);
+                open += 1;
+            } else {
+                b.leaf(l);
+            }
+        }
+        for _ in 0..open {
+            b.close().expect("balanced");
+        }
+        b.close().expect("balanced");
+    }
+    b.close().expect("balanced");
+    b.finish().expect("well-formed")
+}
+
+/// A uniformly random word over the alphabet (for path-language tests).
+pub fn random_word(alphabet: &Alphabet, len: usize, seed: u64) -> Vec<Letter> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let letters: Vec<Letter> = alphabet.letters().collect();
+    (0..len)
+        .map(|_| letters[rng.gen_range(0..letters.len())])
+        .collect()
+}
+
+/// All trees over `alphabet` with at most `max_nodes` nodes, enumerated
+/// deterministically.  Used by bounded-exhaustive checks (the pragmatic
+/// Proposition 2.13 variant) and by tests of the characterization theorems.
+pub fn enumerate_trees(alphabet: &Alphabet, max_nodes: usize) -> Vec<Tree> {
+    // Enumerate tree shapes as balanced bracket sequences with labels.
+    // Recursive enumeration over (remaining node budget).
+    fn shapes(n: usize) -> Vec<Vec<usize>> {
+        // A shape for a tree with exactly n nodes: list of child-subtree
+        // sizes per node in preorder. Represent instead as: for n nodes,
+        // enumerate forests of total size n-1 for the root's children.
+        // We encode a tree as a preorder list of child counts.
+        fn forests(n: usize) -> Vec<Vec<Vec<usize>>> {
+            // All ordered forests with exactly n nodes, each tree encoded
+            // as preorder child-count lists.
+            let mut out = Vec::new();
+            if n == 0 {
+                out.push(Vec::new());
+                return out;
+            }
+            for first in 1..=n {
+                for t in trees_of(first) {
+                    for mut rest in forests(n - first) {
+                        let mut f = vec![t.clone()];
+                        f.append(&mut rest);
+                        out.push(f);
+                    }
+                }
+            }
+            out
+        }
+        fn trees_of(n: usize) -> Vec<Vec<usize>> {
+            // Preorder child-count encoding of all trees with n nodes.
+            let mut out = Vec::new();
+            if n == 0 {
+                return out;
+            }
+            for f in forests(n - 1) {
+                let mut enc = vec![f.len()];
+                for t in &f {
+                    enc.extend_from_slice(t);
+                }
+                out.push(enc);
+            }
+            out
+        }
+        trees_of(n)
+    }
+
+    let letters: Vec<Letter> = alphabet.letters().collect();
+    let mut out = Vec::new();
+    for n in 1..=max_nodes {
+        for shape in shapes(n) {
+            // Assign labels: all |Γ|^n combinations.
+            let combos = letters.len().checked_pow(n as u32).unwrap_or(usize::MAX);
+            for mut combo in 0..combos {
+                let mut labels = Vec::with_capacity(n);
+                for _ in 0..n {
+                    labels.push(letters[combo % letters.len()]);
+                    combo /= letters.len();
+                }
+                out.push(tree_from_shape(&shape, &labels));
+            }
+        }
+    }
+    out
+}
+
+/// Builds a tree from a preorder child-count encoding plus preorder labels.
+fn tree_from_shape(shape: &[usize], labels: &[Letter]) -> Tree {
+    let mut b = TreeBuilder::new();
+    let mut idx = 0usize;
+    // frames: children remaining.
+    let mut frames: Vec<usize> = Vec::new();
+    b.open(labels[idx]);
+    frames.push(shape[idx]);
+    idx += 1;
+    while let Some(top) = frames.last_mut() {
+        if *top == 0 {
+            b.close().expect("balanced");
+            frames.pop();
+            continue;
+        }
+        *top -= 1;
+        b.open(labels[idx]);
+        frames.push(shape[idx]);
+        idx += 1;
+    }
+    b.finish().expect("well-formed")
+}
+
+/// Document-order node count sanity helper used by tests and benches.
+pub fn node_count(tree: &Tree) -> usize {
+    tree.nodes().map(NodeId::index).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Alphabet {
+        Alphabet::of_chars("abc")
+    }
+
+    #[test]
+    fn perfect_tree_size() {
+        let g = abc();
+        let t = perfect(&g, 2, 3); // 1 + 2 + 4 = 7 nodes
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.n_leaves(), 4);
+    }
+
+    #[test]
+    fn perfect_height_one() {
+        let g = abc();
+        let t = perfect(&g, 5, 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn wide_and_chain_shapes() {
+        let g = abc();
+        let a = g.letter("a").unwrap();
+        let b = g.letter("b").unwrap();
+        let w = wide(a, b, 100);
+        assert_eq!(w.len(), 101);
+        assert_eq!(w.height(), 2);
+        let c = chain(&[a, b], 50);
+        assert_eq!(c.len(), 50);
+        assert_eq!(c.height(), 50);
+    }
+
+    #[test]
+    fn comb_shape() {
+        let g = abc();
+        let a = g.letter("a").unwrap();
+        let b = g.letter("b").unwrap();
+        let t = comb(a, b, 10, 3);
+        assert_eq!(t.len(), 10 + 30);
+        assert_eq!(t.height(), 11);
+        // Leaves are exactly the teeth: every spine node, including the
+        // deepest, has tooth children.
+        assert_eq!(t.n_leaves(), 30);
+        let t2 = comb(a, b, 5, 0);
+        assert_eq!(t2.n_leaves(), 1);
+    }
+
+    #[test]
+    fn random_attachment_is_reproducible() {
+        let g = abc();
+        let t1 = random_attachment(&g, 500, 0.5, 42);
+        let t2 = random_attachment(&g, 500, 0.5, 42);
+        assert!(t1.structurally_equal(&t2));
+        let t3 = random_attachment(&g, 500, 0.5, 43);
+        assert!(!t1.structurally_equal(&t3));
+    }
+
+    #[test]
+    fn depth_bias_controls_height() {
+        let g = abc();
+        let shallow = random_attachment(&g, 400, 0.0, 7);
+        let deep = random_attachment(&g, 400, 0.95, 7);
+        assert!(deep.height() > shallow.height() * 2);
+    }
+
+    #[test]
+    fn kn_tree_matches_figure_1b() {
+        let g = abc();
+        let (a, b, c) = (
+            g.letter("a").unwrap(),
+            g.letter("b").unwrap(),
+            g.letter("c").unwrap(),
+        );
+        // n = 4, a-children on both internal nodes, c-children everywhere.
+        let t = kn_tree(a, b, c, &[true, true], &[true, true, true, true]);
+        // Main branch: 4 b's; 2 a-leaves; 4 c-leaves.
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.height(), 5);
+        // Each internal main-branch node i in 2..4 has first child a.
+        let main: Vec<NodeId> = {
+            let mut v = vec![t.root()];
+            loop {
+                let last = *v.last().unwrap();
+                let next = t.children(last).find(|&ch| t.label(ch) == b);
+                match next {
+                    Some(nb) => v.push(nb),
+                    None => break,
+                }
+            }
+            v
+        };
+        assert_eq!(main.len(), 4);
+        // Node 2 and 3 of the main branch: children are [a, b, c].
+        for &v in &main[1..3] {
+            let kids: Vec<Letter> = t.children(v).map(|ch| t.label(ch)).collect();
+            assert_eq!(kids, vec![a, b, c]);
+        }
+        // Deepest main-branch node: only a c child.
+        let kids: Vec<Letter> = t.children(main[3]).map(|ch| t.label(ch)).collect();
+        assert_eq!(kids, vec![c]);
+    }
+
+    #[test]
+    fn enumerate_small_trees_counts() {
+        let g = Alphabet::of_chars("a");
+        // Unlabelled tree shapes: n=1 → 1, n=2 → 1, n=3 → 2 (chain, cherry),
+        // n=4 → 5 (Catalan numbers).
+        let ts = enumerate_trees(&g, 4);
+        let by_size = |k: usize| ts.iter().filter(|t| t.len() == k).count();
+        assert_eq!(by_size(1), 1);
+        assert_eq!(by_size(2), 1);
+        assert_eq!(by_size(3), 2);
+        assert_eq!(by_size(4), 5);
+    }
+
+    #[test]
+    fn enumerate_labelled_trees_counts() {
+        let g = Alphabet::of_chars("ab");
+        let ts = enumerate_trees(&g, 2);
+        // n=1: 2 labelled; n=2: 1 shape × 4 labellings.
+        assert_eq!(ts.len(), 2 + 4);
+    }
+
+    #[test]
+    fn document_like_has_records() {
+        let g = Alphabet::from_symbols(["doc", "record", "x", "y"]).unwrap();
+        let t = document_like(&g, 20, 10, 1);
+        let record = g.letter("record").unwrap();
+        let records = t.children(t.root()).count();
+        assert_eq!(records, 20);
+        assert!(t.children(t.root()).all(|ch| t.label(ch) == record));
+    }
+}

@@ -1,0 +1,457 @@
+//! Term-encoding document formats (Section 4.2 of the paper).
+//!
+//! Two concrete syntaxes map to the term encoding `[T]`:
+//!
+//! * the paper's **term syntax** `a{b{a{}a{}}c{}}` — opening tags `name{`,
+//!   universal closing tag `}`;
+//! * a **JSON mapping** where each node is a one-key object whose value is
+//!   the array of children: `{"a":[{"b":[]},{"c":[]}]}`.  Arrays keep
+//!   sibling order and allow repeated labels, which plain JSON objects do
+//!   not (a point the paper makes in Section 4.3).
+//!
+//! Both parsers stream [`TermEvent`]s; like the XML scanner, the
+//! fixed-alphabet variants allocate nothing per event.
+
+use st_automata::{Alphabet, Letter};
+
+use crate::encode::TermEvent;
+use crate::error::TreeError;
+use crate::tree::Tree;
+
+#[inline]
+fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'-')
+}
+
+/// Streaming tokenizer for the paper's term syntax over a fixed alphabet.
+pub struct TermScanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    alphabet: &'a Alphabet,
+    failed: bool,
+}
+
+impl<'a> TermScanner<'a> {
+    /// Creates a scanner over `bytes` with labels drawn from `alphabet`.
+    pub fn new(bytes: &'a [u8], alphabet: &'a Alphabet) -> Self {
+        Self {
+            bytes,
+            pos: 0,
+            alphabet,
+            failed: false,
+        }
+    }
+
+    fn error(&mut self, message: &str) -> TreeError {
+        self.failed = true;
+        TreeError::Parse {
+            position: self.pos,
+            message: message.to_owned(),
+        }
+    }
+}
+
+impl Iterator for TermScanner<'_> {
+    type Item = Result<TermEvent, TreeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        let &b = self.bytes.get(self.pos)?;
+        if b == b'}' {
+            self.pos += 1;
+            return Some(Ok(TermEvent::Close));
+        }
+        if !is_name_byte(b) {
+            return Some(Err(self.error("expected a label or '}'")));
+        }
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|&b| is_name_byte(b)) {
+            self.pos += 1;
+        }
+        let name = &self.bytes[start..self.pos];
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+        if self.bytes.get(self.pos) != Some(&b'{') {
+            return Some(Err(self.error("expected '{' after label")));
+        }
+        self.pos += 1;
+        let s = std::str::from_utf8(name).expect("name bytes are ASCII");
+        match self.alphabet.letter(s) {
+            Some(l) => Some(Ok(TermEvent::Open(l))),
+            None => {
+                self.failed = true;
+                Some(Err(TreeError::UnknownLabel {
+                    label: s.to_owned(),
+                    position: start,
+                }))
+            }
+        }
+    }
+}
+
+/// Parses a term-syntax document, interning labels into a fresh alphabet.
+pub fn parse_term_document(bytes: &[u8]) -> Result<(Alphabet, Vec<TermEvent>), TreeError> {
+    let mut alphabet = Alphabet::new();
+    // Intern pass.
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if is_name_byte(bytes[pos]) {
+            let start = pos;
+            while pos < bytes.len() && is_name_byte(bytes[pos]) {
+                pos += 1;
+            }
+            let s = std::str::from_utf8(&bytes[start..pos]).expect("ASCII");
+            alphabet.intern(s).map_err(|_| TreeError::Parse {
+                position: start,
+                message: "bad label".into(),
+            })?;
+        } else {
+            pos += 1;
+        }
+    }
+    let mut events = Vec::new();
+    for event in TermScanner::new(bytes, &alphabet) {
+        events.push(event?);
+    }
+    Ok((alphabet, events))
+}
+
+/// Parses a term-syntax document and materializes the tree.
+pub fn parse_term_tree(bytes: &[u8]) -> Result<(Alphabet, Tree), TreeError> {
+    let (alphabet, events) = parse_term_document(bytes)?;
+    let tree = crate::encode::term_decode(&events)?;
+    Ok((alphabet, tree))
+}
+
+/// Serializes a tree in term syntax (`a{b{}c{}}`).
+pub fn write_term_document(tree: &Tree, alphabet: &Alphabet) -> String {
+    let mut out = String::with_capacity(tree.len() * 4);
+    for e in crate::encode::term_encode(tree) {
+        match e {
+            TermEvent::Open(l) => {
+                out.push_str(alphabet.symbol(l));
+                out.push('{');
+            }
+            TermEvent::Close => out.push('}'),
+        }
+    }
+    out
+}
+
+/// Streaming tokenizer for the JSON mapping over a fixed alphabet.
+///
+/// Grammar (whitespace-insensitive):
+/// `node := '{' string ':' '[' (node (',' node)*)? ']' '}'`.
+pub struct JsonScanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    alphabet: &'a Alphabet,
+    /// Parser continuation stack-free state: we track how many closers we
+    /// owe lazily by scanning structure; the grammar is regular-with-counter
+    /// because node boundaries are explicit.
+    ///
+    /// `expect` drives a tiny state machine.
+    expect: JsonExpect,
+    failed: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum JsonExpect {
+    /// At a position where a node `{` must start (document start, after
+    /// `[`, or after `,`).
+    Node,
+    /// After a node's children array closed: expect `}` then `,` `]` or end.
+    AfterChildren,
+}
+
+impl<'a> JsonScanner<'a> {
+    /// Creates a scanner over `bytes` with labels drawn from `alphabet`.
+    pub fn new(bytes: &'a [u8], alphabet: &'a Alphabet) -> Self {
+        Self {
+            bytes,
+            pos: 0,
+            alphabet,
+            expect: JsonExpect::Node,
+            failed: false,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn error(&mut self, message: &str) -> TreeError {
+        self.failed = true;
+        TreeError::Parse {
+            position: self.pos,
+            message: message.to_owned(),
+        }
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), TreeError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(what))
+        }
+    }
+}
+
+impl Iterator for JsonScanner<'_> {
+    type Item = Result<TermEvent, TreeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        self.skip_ws();
+        self.bytes.get(self.pos)?;
+        match self.expect {
+            JsonExpect::Node => {
+                // '{' "label" ':' '['  → Open(label)
+                if let Err(e) = self.eat(b'{', "expected '{'") {
+                    return Some(Err(e));
+                }
+                if let Err(e) = self.eat(b'"', "expected '\"' starting label") {
+                    return Some(Err(e));
+                }
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|&b| b != b'"') {
+                    self.pos += 1;
+                }
+                if self.bytes.get(self.pos) != Some(&b'"') {
+                    return Some(Err(self.error("unterminated label string")));
+                }
+                let name = &self.bytes[start..self.pos];
+                self.pos += 1;
+                if let Err(e) = self.eat(b':', "expected ':'") {
+                    return Some(Err(e));
+                }
+                if let Err(e) = self.eat(b'[', "expected '['") {
+                    return Some(Err(e));
+                }
+                // Peek: empty children array closes immediately next call.
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b']') {
+                    self.pos += 1;
+                    self.expect = JsonExpect::AfterChildren;
+                } else {
+                    self.expect = JsonExpect::Node;
+                }
+                let Ok(s) = std::str::from_utf8(name) else {
+                    return Some(Err(self.error("label is not UTF-8")));
+                };
+                match self.alphabet.letter(s) {
+                    Some(l) => Some(Ok(TermEvent::Open(l))),
+                    None => {
+                        self.failed = true;
+                        Some(Err(TreeError::UnknownLabel {
+                            label: s.to_owned(),
+                            position: start,
+                        }))
+                    }
+                }
+            }
+            JsonExpect::AfterChildren => {
+                // '}' then decide: ',' → next sibling node; ']' → parent's
+                // children done; end → done.
+                if let Err(e) = self.eat(b'}', "expected '}'") {
+                    return Some(Err(e));
+                }
+                self.skip_ws();
+                match self.bytes.get(self.pos) {
+                    Some(&b',') => {
+                        self.pos += 1;
+                        self.expect = JsonExpect::Node;
+                    }
+                    Some(&b']') => {
+                        self.pos += 1;
+                        self.expect = JsonExpect::AfterChildren;
+                    }
+                    _ => {
+                        // Document end (or garbage caught on next call).
+                        self.expect = JsonExpect::Node;
+                    }
+                }
+                Some(Ok(TermEvent::Close))
+            }
+        }
+    }
+}
+
+/// Parses a JSON-mapping document, interning labels into a fresh alphabet.
+pub fn parse_json_document(bytes: &[u8]) -> Result<(Alphabet, Vec<TermEvent>), TreeError> {
+    // Intern pass over quoted strings.
+    let mut alphabet = Alphabet::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if bytes[pos] == b'"' {
+            let start = pos + 1;
+            pos = start;
+            while pos < bytes.len() && bytes[pos] != b'"' {
+                pos += 1;
+            }
+            if pos >= bytes.len() {
+                return Err(TreeError::Parse {
+                    position: start,
+                    message: "unterminated string".into(),
+                });
+            }
+            if let Ok(s) = std::str::from_utf8(&bytes[start..pos]) {
+                if !s.is_empty() {
+                    alphabet.intern(s).map_err(|_| TreeError::Parse {
+                        position: start,
+                        message: "bad label".into(),
+                    })?;
+                }
+            }
+        }
+        pos += 1;
+    }
+    let mut events = Vec::new();
+    for event in JsonScanner::new(bytes, &alphabet) {
+        events.push(event?);
+    }
+    Ok((alphabet, events))
+}
+
+/// Parses a JSON-mapping document and materializes the tree.
+pub fn parse_json_tree(bytes: &[u8]) -> Result<(Alphabet, Tree), TreeError> {
+    let (alphabet, events) = parse_json_document(bytes)?;
+    let tree = crate::encode::term_decode(&events)?;
+    Ok((alphabet, tree))
+}
+
+/// Serializes a tree in the JSON mapping.
+pub fn write_json_document(tree: &Tree, alphabet: &Alphabet) -> String {
+    fn letter_str(alphabet: &Alphabet, l: Letter) -> &str {
+        alphabet.symbol(l)
+    }
+    let mut out = String::with_capacity(tree.len() * 12);
+    let events = crate::encode::term_encode(tree);
+    // Track, per open node, whether a child has been emitted (to place
+    // commas): a small stack is fine — this is a serializer, not a query
+    // evaluator.
+    let mut emitted_child: Vec<bool> = Vec::new();
+    for e in events {
+        match e {
+            TermEvent::Open(l) => {
+                if let Some(top) = emitted_child.last_mut() {
+                    if *top {
+                        out.push(',');
+                    }
+                    *top = true;
+                }
+                out.push_str("{\"");
+                out.push_str(letter_str(alphabet, l));
+                out.push_str("\":[");
+                emitted_child.push(false);
+            }
+            TermEvent::Close => {
+                emitted_child.pop();
+                out.push_str("]}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_term_syntax_example() {
+        // Section 4.2: a{b{a{}a{}}c{}} instead of abaāaāb̄cc̄ā.
+        let (g, tree) = parse_term_tree(b"a{b{a{}a{}}c{}}").unwrap();
+        assert_eq!(tree.display(&g), "a{b{a{}a{}}c{}}");
+        assert_eq!(tree.len(), 5);
+    }
+
+    #[test]
+    fn term_roundtrip() {
+        let (g, tree) = parse_term_tree(b"r{x{y{}}x{}}").unwrap();
+        let doc = write_term_document(&tree, &g);
+        let (_, tree2) = parse_term_tree(doc.as_bytes()).unwrap();
+        assert!(tree.structurally_equal(&tree2));
+    }
+
+    #[test]
+    fn term_whitespace_ok() {
+        let (g, tree) = parse_term_tree(b" a {\n b { } \n c { } } ").unwrap();
+        assert_eq!(tree.display(&g), "a{b{}c{}}");
+    }
+
+    #[test]
+    fn term_errors() {
+        assert!(parse_term_tree(b"a{").is_err());
+        assert!(parse_term_tree(b"a}").is_err());
+        assert!(parse_term_tree(b"{}").is_err());
+        assert!(parse_term_tree(b"a{}b{}").is_err()); // forest
+    }
+
+    #[test]
+    fn json_basic() {
+        let (g, tree) = parse_json_tree(br#"{"a":[{"b":[]},{"c":[]}]}"#).unwrap();
+        assert_eq!(tree.display(&g), "a{b{}c{}}");
+    }
+
+    #[test]
+    fn json_repeated_labels_in_arrays() {
+        let (g, tree) = parse_json_tree(br#"{"a":[{"a":[]},{"a":[]}]}"#).unwrap();
+        assert_eq!(tree.display(&g), "a{a{}a{}}");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let (g, tree) = parse_term_tree(b"a{b{a{}a{}}c{}}").unwrap();
+        let doc = write_json_document(&tree, &g);
+        assert_eq!(doc, r#"{"a":[{"b":[{"a":[]},{"a":[]}]},{"c":[]}]}"#);
+        let (_, tree2) = parse_json_tree(doc.as_bytes()).unwrap();
+        assert!(tree.structurally_equal(&tree2));
+    }
+
+    #[test]
+    fn json_whitespace_ok() {
+        let doc = b"{ \"a\" : [ { \"b\" : [ ] } ] }";
+        let (g, tree) = parse_json_tree(doc).unwrap();
+        assert_eq!(tree.display(&g), "a{b{}}");
+    }
+
+    #[test]
+    fn json_errors() {
+        assert!(parse_json_tree(b"{\"a\":[").is_err());
+        assert!(parse_json_tree(b"[]").is_err());
+        assert!(parse_json_tree(b"{\"a\" []}").is_err());
+    }
+
+    #[test]
+    fn scanners_reject_unknown_labels() {
+        let g = Alphabet::of_chars("ab");
+        let mut s = TermScanner::new(b"a{z{}}", &g);
+        assert!(matches!(s.next(), Some(Ok(TermEvent::Open(_)))));
+        assert!(matches!(
+            s.next(),
+            Some(Err(TreeError::UnknownLabel { .. }))
+        ));
+        assert!(s.next().is_none());
+    }
+}

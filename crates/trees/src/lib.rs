@@ -1,0 +1,31 @@
+//! Tree substrate for the *Stackless Processing of Streamed Trees*
+//! reproduction (Barloy, Murlak, Paperman; PODS 2021).
+//!
+//! The paper models tree-structured data as ordered unranked finite trees
+//! over a finite alphabet Γ, serialized either in the *markup encoding*
+//! ⟨T⟩ over Γ ∪ Γ̄ (XML-style, Section 2) or the *term encoding* `[T]` over
+//! Γ ∪ {◁} (JSON-style, Section 4.2).  This crate provides:
+//!
+//! * arena-allocated trees and builders ([`tree`]),
+//! * both encodings with validating decoders ([`encode`]),
+//! * byte-level XML-lite and JSON/term tokenizers and serializers
+//!   ([`xml`], [`json`]),
+//! * deterministic workload generators, including the paper's fooling
+//!   schemas ([`generate`]),
+//! * a DOM-walk oracle evaluating path DFAs over materialized trees —
+//!   the ground truth for every streaming evaluator ([`oracle`]).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod encode;
+pub mod error;
+pub mod generate;
+pub mod json;
+pub mod oracle;
+pub mod tree;
+pub mod xml;
+
+pub use encode::{markup_decode, markup_encode, term_decode, term_encode, TermEvent};
+pub use error::TreeError;
+pub use tree::{NodeId, Tree, TreeBuilder};

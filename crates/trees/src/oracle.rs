@@ -1,0 +1,127 @@
+//! DOM-walk ground truth for path queries.
+//!
+//! Given the minimal DFA of a path language L ⊆ Γ*, the oracle evaluates on
+//! a **materialized** tree:
+//!
+//! * the unary query Q_L — all nodes whose root path spells a word of L
+//!   (Section 2.3),
+//! * the boolean tree languages EL (*some branch* — i.e. root-to-leaf
+//!   path — in L) and AL (*all branches* in L) from Section 2.3.
+//!
+//! Every streaming evaluator in `st-core` and `st-baseline` is tested
+//! against these functions.
+
+use st_automata::Dfa;
+
+use crate::tree::{NodeId, Tree};
+
+/// DFA states annotated per node: `state[v] = init · (root path of v)`.
+///
+/// Computed once in preorder; all three query semantics read off it.
+pub fn path_states(tree: &Tree, dfa: &Dfa) -> Vec<usize> {
+    let mut state = vec![0usize; tree.len()];
+    // Preorder with explicit stack (documents can be deep).
+    let mut stack = vec![tree.root()];
+    while let Some(v) = stack.pop() {
+        let from = match tree.parent(v) {
+            Some(p) => state[p.index()],
+            None => dfa.init(),
+        };
+        state[v.index()] = dfa.step(from, tree.label(v).index());
+        // Push children (order does not matter for state computation).
+        for c in tree.children(v) {
+            stack.push(c);
+        }
+    }
+    state
+}
+
+/// All nodes selected by Q_L, in document order.
+pub fn select(tree: &Tree, dfa: &Dfa) -> Vec<NodeId> {
+    let states = path_states(tree, dfa);
+    tree.nodes()
+        .filter(|v| dfa.is_accepting(states[v.index()]))
+        .collect()
+}
+
+/// Whether the tree belongs to EL: some branch (root-to-leaf path) is
+/// labelled by a word of L.
+pub fn in_exists(tree: &Tree, dfa: &Dfa) -> bool {
+    let states = path_states(tree, dfa);
+    tree.leaves().any(|v| dfa.is_accepting(states[v.index()]))
+}
+
+/// Whether the tree belongs to AL: all branches are labelled by words of L.
+pub fn in_forall(tree: &Tree, dfa: &Dfa) -> bool {
+    let states = path_states(tree, dfa);
+    tree.leaves().all(|v| dfa.is_accepting(states[v.index()]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeBuilder;
+    use st_automata::{compile_regex, Alphabet};
+
+    fn sample() -> (Alphabet, Tree) {
+        let g = Alphabet::of_chars("abc");
+        let l = |s: &str| g.letter(s).unwrap();
+        // a{b{a{}a{}}c{}}
+        let mut b = TreeBuilder::new();
+        b.open(l("a"));
+        b.open(l("b"));
+        b.leaf(l("a"));
+        b.leaf(l("a"));
+        b.close().unwrap();
+        b.leaf(l("c"));
+        b.close().unwrap();
+        (g.clone(), b.finish().unwrap())
+    }
+
+    #[test]
+    fn select_matches_path_words() {
+        let (g, t) = sample();
+        // /a//a in XPath: a Γ* a … here `a.*a`.
+        let d = compile_regex("a.*a", &g).unwrap();
+        let sel = select(&t, &d);
+        // Paths: a(no), ab(no), aba(yes), aba(yes), ac(no).
+        assert_eq!(sel.len(), 2);
+        for v in sel {
+            assert_eq!(t.label(v), g.letter("a").unwrap());
+            assert_eq!(t.depth(v), 3);
+        }
+    }
+
+    #[test]
+    fn exists_and_forall_on_branches() {
+        let (g, t) = sample();
+        // Branch words: aba, aba, ac.
+        let aba = compile_regex("aba", &g).unwrap();
+        assert!(in_exists(&t, &aba));
+        assert!(!in_forall(&t, &aba));
+        let any = compile_regex(".*", &g).unwrap();
+        assert!(in_forall(&t, &any));
+        let none = compile_regex("[^abc]", &g).unwrap();
+        assert!(!in_exists(&t, &none));
+        // "ends in a or c" covers all branches.
+        let final_ac = compile_regex(".*[ac]", &g).unwrap();
+        assert!(in_forall(&t, &final_ac));
+    }
+
+    #[test]
+    fn root_only_query() {
+        let (g, t) = sample();
+        let just_a = compile_regex("a", &g).unwrap();
+        let sel = select(&t, &just_a);
+        assert_eq!(sel, vec![t.root()]);
+    }
+
+    #[test]
+    fn duality_of_exists_and_forall() {
+        // (AL)^c = E(L^c) — checked pointwise on a sample tree.
+        let (g, t) = sample();
+        let d = compile_regex("a.*b", &g).unwrap();
+        let dc = d.complement();
+        assert_eq!(in_forall(&t, &d), !in_exists(&t, &dc));
+    }
+}

@@ -1,0 +1,450 @@
+//! Ordered unranked finite trees over a finite alphabet Γ.
+//!
+//! Trees are arena-allocated: nodes are dense indices, labels are
+//! [`Letter`]s of some external [`Alphabet`].  The
+//! representation stores parent links, first-child/next-sibling chains, and
+//! per-node depth, which is everything the encodings, the DOM oracle, and
+//! the generators need.
+
+use st_automata::{Alphabet, Letter};
+
+use crate::error::TreeError;
+
+/// A node of a [`Tree`]: a dense index into its arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    label: Letter,
+    parent: Option<NodeId>,
+    first_child: Option<NodeId>,
+    next_sibling: Option<NodeId>,
+    last_child: Option<NodeId>,
+    depth: u32,
+}
+
+/// An ordered unranked finite tree over Γ (Section 2 of the paper).
+///
+/// Node ids are assigned in *document order* (preorder), which is also the
+/// order of opening tags in the markup encoding — so "the first a-labelled
+/// node in document order" (Example 2.6) is simply the a-labelled node with
+/// the smallest id.
+#[derive(Clone, Debug)]
+pub struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    /// A single-node tree.
+    pub fn singleton(label: Letter) -> Tree {
+        Tree {
+            nodes: vec![Node {
+                label,
+                parent: None,
+                first_child: None,
+                next_sibling: None,
+                last_child: None,
+                depth: 1,
+            }],
+        }
+    }
+
+    /// A single-branch tree (a chain) labelled by `word`, root first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::Empty`] when `word` is empty.
+    pub fn branch(word: &[Letter]) -> Result<Tree, TreeError> {
+        let (&root, rest) = word.split_first().ok_or(TreeError::Empty)?;
+        let mut b = TreeBuilder::new();
+        b.open(root);
+        for &l in rest {
+            b.open(l);
+        }
+        for _ in word {
+            b.close()?;
+        }
+        b.finish()
+    }
+
+    /// The root node (always id 0).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Trees are never empty; this always returns false and exists to
+    /// satisfy the `len`/`is_empty` convention.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The label of a node.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> Letter {
+        self.nodes[v.index()].label
+    }
+
+    /// The parent, if `v` is not the root.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.nodes[v.index()].parent
+    }
+
+    /// The depth of a node; the root has depth 1, matching the counter value
+    /// of a depth-register automaton right after reading the root's opening
+    /// tag.
+    #[inline]
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.nodes[v.index()].depth
+    }
+
+    /// Whether `v` has no children.
+    #[inline]
+    pub fn is_leaf(&self, v: NodeId) -> bool {
+        self.nodes[v.index()].first_child.is_none()
+    }
+
+    /// Iterates over the children of `v`, left to right.
+    pub fn children(&self, v: NodeId) -> Children<'_> {
+        Children {
+            tree: self,
+            next: self.nodes[v.index()].first_child,
+        }
+    }
+
+    /// All nodes in document order (preorder).
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// The labels on the path from the root to `v`, inclusive — the word the
+    /// paper's path queries Q_L test for membership in L.
+    pub fn root_path(&self, v: NodeId) -> Vec<Letter> {
+        let mut path = Vec::with_capacity(self.depth(v) as usize);
+        let mut cur = Some(v);
+        while let Some(u) = cur {
+            path.push(self.label(u));
+            cur = self.parent(u);
+        }
+        path.reverse();
+        path
+    }
+
+    /// All leaves in document order.
+    pub fn leaves(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(|&v| self.is_leaf(v))
+    }
+
+    /// The number of leaves (= number of branches).
+    pub fn n_leaves(&self) -> usize {
+        self.leaves().count()
+    }
+
+    /// Maximum depth over all nodes.
+    pub fn height(&self) -> u32 {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// Renders the tree as its term-syntax string, e.g. `a{b{}c{}}`,
+    /// for diagnostics.
+    pub fn display(&self, alphabet: &Alphabet) -> String {
+        fn rec(tree: &Tree, v: NodeId, alphabet: &Alphabet, out: &mut String) {
+            out.push_str(alphabet.symbol(tree.label(v)));
+            out.push('{');
+            for c in tree.children(v) {
+                rec(tree, c, alphabet, out);
+            }
+            out.push('}');
+        }
+        let mut out = String::new();
+        rec(self, self.root(), alphabet, &mut out);
+        out
+    }
+
+    /// Structural equality up to node numbering (labels + shape).  Node ids
+    /// are assigned in document order by every constructor in this crate, so
+    /// this is plain equality of the label/shape vectors.
+    pub fn structurally_equal(&self, other: &Tree) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        self.nodes.iter().zip(&other.nodes).all(|(a, b)| {
+            a.label == b.label
+                && a.parent == b.parent
+                && a.first_child == b.first_child
+                && a.next_sibling == b.next_sibling
+        })
+    }
+}
+
+/// Iterator over a node's children.
+pub struct Children<'a> {
+    tree: &'a Tree,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let v = self.next?;
+        self.next = self.tree.nodes[v.index()].next_sibling;
+        Some(v)
+    }
+}
+
+/// Incremental tree construction in document order: `open(label)` starts a
+/// node, `close()` finishes the innermost open node, `finish()` returns the
+/// tree.
+///
+/// ```
+/// use st_automata::Alphabet;
+/// use st_trees::TreeBuilder;
+///
+/// let gamma = Alphabet::of_chars("ac");
+/// let a = gamma.letter("a").unwrap();
+/// let c = gamma.letter("c").unwrap();
+/// // The paper's example encoding: a a ā c c̄ ā.
+/// let mut builder = TreeBuilder::new();
+/// builder.open(a);
+/// builder.leaf(a);
+/// builder.leaf(c);
+/// builder.close().unwrap();
+/// let tree = builder.finish().unwrap();
+/// assert_eq!(tree.display(&gamma), "a{a{}c{}}");
+/// ```
+///
+/// This is exactly the event interface of a streaming parser, so decoders
+/// and document parsers all funnel through it.
+#[derive(Debug, Default)]
+pub struct TreeBuilder {
+    nodes: Vec<Node>,
+    /// Stack of open nodes (the builder may use a stack — it *materializes*
+    /// documents; the whole point of the paper is that query evaluators
+    /// must not).
+    open: Vec<NodeId>,
+}
+
+impl TreeBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a node labelled `label` as the next child of the innermost
+    /// open node (or as the root).
+    ///
+    /// After the root has closed, opening another node is an error
+    /// ([`TreeError::MultipleRoots`]) surfaced at [`Self::finish`]; we track
+    /// it eagerly here.
+    pub fn open(&mut self, label: Letter) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let parent = self.open.last().copied();
+        let depth = parent.map_or(1, |p| self.nodes[p.index()].depth + 1);
+        self.nodes.push(Node {
+            label,
+            parent,
+            first_child: None,
+            next_sibling: None,
+            last_child: None,
+            depth,
+        });
+        if let Some(p) = parent {
+            let p = p.index();
+            if let Some(last) = self.nodes[p].last_child {
+                self.nodes[last.index()].next_sibling = Some(id);
+            } else {
+                self.nodes[p].first_child = Some(id);
+            }
+            self.nodes[p].last_child = Some(id);
+        }
+        self.open.push(id);
+        id
+    }
+
+    /// Closes the innermost open node, returning it.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::UnbalancedClose`] if nothing is open.
+    pub fn close(&mut self) -> Result<NodeId, TreeError> {
+        self.open.pop().ok_or(TreeError::UnbalancedClose {
+            position: self.nodes.len(),
+        })
+    }
+
+    /// Opens and immediately closes a leaf.
+    pub fn leaf(&mut self, label: Letter) -> NodeId {
+        let id = self.open(label);
+        self.close().expect("leaf close always balanced");
+        id
+    }
+
+    /// Number of currently open nodes.
+    pub fn open_depth(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Errors
+    ///
+    /// * [`TreeError::Empty`] if nothing was built,
+    /// * [`TreeError::UnexpectedEnd`] if nodes are still open,
+    /// * [`TreeError::MultipleRoots`] if more than one root was opened.
+    pub fn finish(self) -> Result<Tree, TreeError> {
+        if !self.open.is_empty() {
+            return Err(TreeError::UnexpectedEnd {
+                open: self.open.len(),
+            });
+        }
+        if self.nodes.is_empty() {
+            return Err(TreeError::Empty);
+        }
+        // A forest shows as a later node with no parent.
+        if let Some(second_root) = self.nodes.iter().skip(1).position(|n| n.parent.is_none()) {
+            return Err(TreeError::MultipleRoots {
+                position: second_root + 1,
+            });
+        }
+        Ok(Tree { nodes: self.nodes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_automata::Alphabet;
+
+    fn letters(alphabet: &Alphabet, s: &str) -> Vec<Letter> {
+        s.chars()
+            .map(|c| alphabet.letter(&c.to_string()).unwrap())
+            .collect()
+    }
+
+    /// The paper's running example: `a a ā c c̄ ā` encodes a root `a` with
+    /// children `a` and `c`.
+    fn paper_tree(alphabet: &Alphabet) -> Tree {
+        let l = |s: &str| alphabet.letter(s).unwrap();
+        let mut b = TreeBuilder::new();
+        b.open(l("a"));
+        b.leaf(l("a"));
+        b.leaf(l("c"));
+        b.close().unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let g = Alphabet::of_chars("ac");
+        let t = paper_tree(&g);
+        assert_eq!(t.len(), 3);
+        let root = t.root();
+        assert_eq!(g.symbol(t.label(root)), "a");
+        let kids: Vec<_> = t.children(root).collect();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(g.symbol(t.label(kids[0])), "a");
+        assert_eq!(g.symbol(t.label(kids[1])), "c");
+        assert_eq!(t.depth(root), 1);
+        assert_eq!(t.depth(kids[1]), 2);
+        assert!(t.is_leaf(kids[0]));
+        assert!(!t.is_leaf(root));
+        assert_eq!(t.parent(kids[0]), Some(root));
+        assert_eq!(t.parent(root), None);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.n_leaves(), 2);
+        assert_eq!(t.display(&g), "a{a{}c{}}");
+    }
+
+    #[test]
+    fn root_path_words() {
+        let g = Alphabet::of_chars("abc");
+        let t = Tree::branch(&letters(&g, "abc")).unwrap();
+        let leaf = t.leaves().next().unwrap();
+        assert_eq!(t.root_path(leaf), letters(&g, "abc"));
+        assert_eq!(t.root_path(t.root()), letters(&g, "a"));
+    }
+
+    #[test]
+    fn branch_of_empty_word_fails() {
+        assert!(matches!(Tree::branch(&[]), Err(TreeError::Empty)));
+    }
+
+    #[test]
+    fn builder_detects_unbalanced_close() {
+        let mut b = TreeBuilder::new();
+        assert!(matches!(b.close(), Err(TreeError::UnbalancedClose { .. })));
+    }
+
+    #[test]
+    fn builder_detects_unclosed() {
+        let g = Alphabet::of_chars("a");
+        let mut b = TreeBuilder::new();
+        b.open(g.letter("a").unwrap());
+        assert!(matches!(
+            b.finish(),
+            Err(TreeError::UnexpectedEnd { open: 1 })
+        ));
+    }
+
+    #[test]
+    fn builder_detects_forest() {
+        let g = Alphabet::of_chars("a");
+        let a = g.letter("a").unwrap();
+        let mut b = TreeBuilder::new();
+        b.leaf(a);
+        b.leaf(a);
+        assert!(matches!(b.finish(), Err(TreeError::MultipleRoots { .. })));
+    }
+
+    #[test]
+    fn builder_detects_empty() {
+        assert!(matches!(TreeBuilder::new().finish(), Err(TreeError::Empty)));
+    }
+
+    #[test]
+    fn structural_equality() {
+        let g = Alphabet::of_chars("ac");
+        let t1 = paper_tree(&g);
+        let t2 = paper_tree(&g);
+        assert!(t1.structurally_equal(&t2));
+        let t3 = Tree::singleton(g.letter("a").unwrap());
+        assert!(!t1.structurally_equal(&t3));
+    }
+
+    #[test]
+    fn document_order_ids() {
+        let g = Alphabet::of_chars("ab");
+        let a = g.letter("a").unwrap();
+        let b_letter = g.letter("b").unwrap();
+        let mut b = TreeBuilder::new();
+        b.open(a); // id 0
+        b.open(b_letter); // id 1
+        b.leaf(a); // id 2
+        b.close().unwrap();
+        b.leaf(b_letter); // id 3
+        b.close().unwrap();
+        let t = b.finish().unwrap();
+        let order: Vec<u32> = t.nodes().map(|n| n.0).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        // First b-labelled node in document order is id 1.
+        let first_b = t.nodes().find(|&v| t.label(v) == b_letter).unwrap();
+        assert_eq!(first_b, NodeId(1));
+    }
+}

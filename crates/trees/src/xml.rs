@@ -1,0 +1,394 @@
+//! Byte-level XML-lite tokenizer and serializer.
+//!
+//! The paper's setting is streams of SAX-like tag events over XML documents
+//! (Section 1).  This module turns raw bytes into markup-encoding events
+//! ([`Tag`]) without materializing the document:
+//!
+//! * element tags `<name …>` and `</name>`; attributes are skipped
+//!   (quote-aware), self-closing `<name/>` produces Open + Close;
+//! * text content, comments `<!-- … -->`, processing instructions
+//!   `<? … ?>`, and declarations `<! … >` are skipped — the theory only
+//!   sees the tag skeleton;
+//! * names are `[A-Za-z_:][A-Za-z0-9_.:-]*`.
+//!
+//! Two entry points: [`parse_document`] interns labels into a fresh
+//! alphabet and collects events; [`Scanner`] streams events against a
+//! caller-fixed alphabet with zero allocation per event — this is the form
+//! the benchmarks drive at full speed.
+
+use st_automata::{Alphabet, Letter, Tag};
+
+use crate::error::TreeError;
+use crate::tree::Tree;
+
+#[inline]
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b':'
+}
+
+#[inline]
+fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b':' | b'-')
+}
+
+/// A streaming tokenizer over a fixed alphabet.
+///
+/// Yields `Result<Tag, TreeError>`; unknown element names are an error
+/// (the paper fixes Γ up front — a document using labels outside Γ is not
+/// an instance of the problem).
+pub struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Byte-keyed label table (alphabets are small, so a linear scan with
+    /// a first-byte filter beats hashing on the per-event hot path).
+    labels: Vec<(Box<[u8]>, Letter)>,
+    /// Pending Close after a self-closing element.
+    pending_close: Option<Letter>,
+    failed: bool,
+}
+
+impl<'a> Scanner<'a> {
+    /// Creates a scanner over `bytes` with labels drawn from `alphabet`.
+    pub fn new(bytes: &'a [u8], alphabet: &'a Alphabet) -> Self {
+        let labels = alphabet
+            .entries()
+            .map(|(l, s)| (s.as_bytes().to_vec().into_boxed_slice(), l))
+            .collect();
+        Self {
+            bytes,
+            pos: 0,
+            labels,
+            pending_close: None,
+            failed: false,
+        }
+    }
+
+    /// Current byte offset (diagnostics).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn error(&mut self, message: &str) -> TreeError {
+        self.failed = true;
+        TreeError::Parse {
+            position: self.pos,
+            message: message.to_owned(),
+        }
+    }
+
+    /// Scans forward to the next `<`, returning false at end of input.
+    #[inline]
+    fn seek_tag_start(&mut self) -> bool {
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'<' {
+                return true;
+            }
+            self.pos += 1;
+        }
+        false
+    }
+
+    /// Skips `<!-- … -->`, `<!…>`, `<?…?>`; `self.pos` is at `<`.
+    fn skip_markup_misc(&mut self) -> Result<(), TreeError> {
+        if self.bytes[self.pos + 1..].starts_with(b"!--") {
+            // Comment: find -->
+            let mut i = self.pos + 4;
+            while i + 2 < self.bytes.len() + 1 {
+                if self.bytes[i..].starts_with(b"-->") {
+                    self.pos = i + 3;
+                    return Ok(());
+                }
+                i += 1;
+            }
+            Err(self.error("unterminated comment"))
+        } else {
+            // <!DOCTYPE …> or <?xml …?>: find matching '>' (quote-aware).
+            let mut i = self.pos + 1;
+            let mut quote: Option<u8> = None;
+            while i < self.bytes.len() {
+                let b = self.bytes[i];
+                match quote {
+                    Some(q) if b == q => quote = None,
+                    Some(_) => {}
+                    None if b == b'"' || b == b'\'' => quote = Some(b),
+                    None if b == b'>' => {
+                        self.pos = i + 1;
+                        return Ok(());
+                    }
+                    None => {}
+                }
+                i += 1;
+            }
+            Err(self.error("unterminated declaration"))
+        }
+    }
+
+    fn next_event(&mut self) -> Option<Result<Tag, TreeError>> {
+        if self.failed {
+            return None;
+        }
+        if let Some(l) = self.pending_close.take() {
+            return Some(Ok(Tag::Close(l)));
+        }
+        loop {
+            if !self.seek_tag_start() {
+                return None;
+            }
+            let after = self.bytes.get(self.pos + 1).copied();
+            match after {
+                None => {
+                    return Some(Err(self.error("dangling '<' at end of input")));
+                }
+                Some(b'!') | Some(b'?') => {
+                    if let Err(e) = self.skip_markup_misc() {
+                        return Some(Err(e));
+                    }
+                    continue;
+                }
+                Some(b'/') => {
+                    // Closing tag.
+                    let name_start = self.pos + 2;
+                    let mut i = name_start;
+                    while i < self.bytes.len() && is_name_byte(self.bytes[i]) {
+                        i += 1;
+                    }
+                    if i == name_start {
+                        return Some(Err(self.error("empty closing tag name")));
+                    }
+                    let name = &self.bytes[name_start..i];
+                    // Skip whitespace then expect '>'.
+                    while i < self.bytes.len() && self.bytes[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    if self.bytes.get(i) != Some(&b'>') {
+                        return Some(Err(self.error("expected '>' after closing tag name")));
+                    }
+                    self.pos = i + 1;
+                    return Some(self.lookup(name).map(Tag::Close));
+                }
+                Some(b) if is_name_start(b) => {
+                    // Opening tag.
+                    let name_start = self.pos + 1;
+                    let mut i = name_start + 1;
+                    while i < self.bytes.len() && is_name_byte(self.bytes[i]) {
+                        i += 1;
+                    }
+                    let name_end = i;
+                    // Skip attributes, quote-aware, until '>' or '/>'.
+                    let mut quote: Option<u8> = None;
+                    let self_closing;
+                    loop {
+                        let Some(&b) = self.bytes.get(i) else {
+                            return Some(Err(self.error("unterminated opening tag")));
+                        };
+                        match quote {
+                            Some(q) if b == q => quote = None,
+                            Some(_) => {}
+                            None if b == b'"' || b == b'\'' => quote = Some(b),
+                            None if b == b'>' => {
+                                self_closing = i > name_end && self.bytes[i - 1] == b'/';
+                                i += 1;
+                                break;
+                            }
+                            None => {}
+                        }
+                        i += 1;
+                    }
+                    let name = &self.bytes[name_start..name_end];
+                    self.pos = i;
+                    return Some(self.lookup(name).map(|l| {
+                        if self_closing {
+                            self.pending_close = Some(l);
+                        }
+                        Tag::Open(l)
+                    }));
+                }
+                Some(_) => {
+                    return Some(Err(self.error("invalid character after '<'")));
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn lookup(&mut self, name: &[u8]) -> Result<Letter, TreeError> {
+        for (bytes, letter) in &self.labels {
+            if bytes.len() == name.len() && bytes[0] == name[0] && bytes[..] == *name {
+                return Ok(*letter);
+            }
+        }
+        self.failed = true;
+        Err(TreeError::UnknownLabel {
+            label: String::from_utf8_lossy(name).into_owned(),
+            position: self.pos,
+        })
+    }
+}
+
+impl Iterator for Scanner<'_> {
+    type Item = Result<Tag, TreeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_event()
+    }
+}
+
+/// Parses a whole document, interning element names into a fresh alphabet.
+/// Returns the alphabet and the event sequence (validated for balance by
+/// the caller if needed — use [`parse_tree`] for a materialized tree).
+pub fn parse_document(bytes: &[u8]) -> Result<(Alphabet, Vec<Tag>), TreeError> {
+    // First pass interns names so the Scanner can run against a fixed
+    // alphabet; we do it in one pass by interleaving interning.
+    let mut alphabet = Alphabet::new();
+    let mut events = Vec::new();
+    // Use a private scanner-alike that interns: reuse Scanner by pre-seeding
+    // the alphabet with all names found in a cheap scan.
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if bytes[pos] != b'<' {
+            pos += 1;
+            continue;
+        }
+        let mut i = pos + 1;
+        if bytes.get(i) == Some(&b'/') {
+            i += 1;
+        }
+        if bytes.get(i).is_some_and(|&b| is_name_start(b)) {
+            let start = i;
+            while i < bytes.len() && is_name_byte(bytes[i]) {
+                i += 1;
+            }
+            if let Ok(s) = std::str::from_utf8(&bytes[start..i]) {
+                alphabet.intern(s).map_err(|_| TreeError::Parse {
+                    position: start,
+                    message: "bad element name".into(),
+                })?;
+            }
+        }
+        pos = i.max(pos + 1);
+    }
+    for event in Scanner::new(bytes, &alphabet) {
+        events.push(event?);
+    }
+    Ok((alphabet, events))
+}
+
+/// Parses a document and materializes the tree.
+pub fn parse_tree(bytes: &[u8]) -> Result<(Alphabet, Tree), TreeError> {
+    let (alphabet, events) = parse_document(bytes)?;
+    let tree = crate::encode::markup_decode(&events)?;
+    Ok((alphabet, tree))
+}
+
+/// Serializes a tree as an XML document (pure tag skeleton).
+pub fn write_document(tree: &Tree, alphabet: &Alphabet) -> String {
+    let mut out = String::with_capacity(tree.len() * 8);
+    for tag in crate::encode::markup_encode(tree) {
+        match tag {
+            Tag::Open(l) => {
+                out.push('<');
+                out.push_str(alphabet.symbol(l));
+                out.push('>');
+            }
+            Tag::Close(l) => {
+                out.push_str("</");
+                out.push_str(alphabet.symbol(l));
+                out.push('>');
+            }
+        }
+    }
+    out
+}
+
+/// Serializes raw events as an XML document.
+pub fn write_events(events: &[Tag], alphabet: &Alphabet) -> String {
+    let mut out = String::with_capacity(events.len() * 8);
+    for &tag in events {
+        match tag {
+            Tag::Open(l) => {
+                out.push('<');
+                out.push_str(alphabet.symbol(l));
+                out.push('>');
+            }
+            Tag::Close(l) => {
+                out.push_str("</");
+                out.push_str(alphabet.symbol(l));
+                out.push('>');
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::display_markup;
+
+    #[test]
+    fn basic_document() {
+        let (g, events) = parse_document(b"<a><b></b><c/></a>").unwrap();
+        assert_eq!(display_markup(&events, &g), "a b /b c /c /a");
+    }
+
+    #[test]
+    fn attributes_text_comments_skipped() {
+        let doc = br#"<?xml version="1.0"?>
+<!DOCTYPE a>
+<a id="1" note="x > y">
+  hello <!-- <b> not a tag --> world
+  <b class='q/"z'/>
+</a>"#;
+        let (g, events) = parse_document(doc).unwrap();
+        assert_eq!(display_markup(&events, &g), "a b /b /a");
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let (g, events) = parse_document(b"<r><x></x><x><y/></x></r>").unwrap();
+        let tree = crate::encode::markup_decode(&events).unwrap();
+        let doc = write_document(&tree, &g);
+        let (_, events2) = parse_document(doc.as_bytes()).unwrap();
+        assert_eq!(events, events2);
+    }
+
+    #[test]
+    fn scanner_against_fixed_alphabet_rejects_unknown() {
+        let g = Alphabet::of_chars("ab");
+        let mut s = Scanner::new(b"<a><z/></a>", &g);
+        assert!(matches!(s.next(), Some(Ok(Tag::Open(_)))));
+        assert!(matches!(
+            s.next(),
+            Some(Err(TreeError::UnknownLabel { .. }))
+        ));
+        // Scanner fuses after an error.
+        assert!(s.next().is_none());
+    }
+
+    #[test]
+    fn parse_tree_materializes() {
+        let (g, tree) = parse_tree(b"<a><a/><c/></a>").unwrap();
+        assert_eq!(tree.display(&g), "a{a{}c{}}");
+    }
+
+    #[test]
+    fn errors_on_malformed_tags() {
+        assert!(parse_document(b"<a><").is_err());
+        assert!(parse_document(b"< a></a>").is_err());
+        assert!(parse_document(b"<a></ >").is_err());
+        assert!(parse_document(b"<a><!-- never closed").is_err());
+    }
+
+    #[test]
+    fn self_closing_emits_both_events() {
+        let (g, events) = parse_document(b"<a/>").unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(display_markup(&events, &g), "a /a");
+    }
+
+    #[test]
+    fn mismatched_document_is_caught_at_decode() {
+        let (_, events) = parse_document(b"<a><b></a></b>").unwrap();
+        assert!(crate::encode::markup_decode(&events).is_err());
+    }
+}

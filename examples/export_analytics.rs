@@ -1,0 +1,107 @@
+//! The introduction's motivating scenario: exploratory analytics over a
+//! large semi-structured export, where parsing and stack maintenance
+//! dominate.  We generate a DBLP-style record dump, run the same query
+//! with every strategy, and report throughput and memory.
+//!
+//! ```sh
+//! cargo run --release --example export_analytics
+//! ```
+
+use std::time::Instant;
+
+use stackless_streamed_trees::automata::Alphabet;
+use stackless_streamed_trees::baseline::stack::StackEvaluator;
+use stackless_streamed_trees::baseline::{dom, scan};
+use stackless_streamed_trees::core::analysis::Analysis;
+use stackless_streamed_trees::core::har;
+use stackless_streamed_trees::rpq::PathQuery;
+use stackless_streamed_trees::trees::encode::markup_encode;
+use stackless_streamed_trees::trees::{generate, xml};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let alphabet = Alphabet::from_symbols(["dblp", "article", "author", "title", "year"])?;
+    println!("generating a record export …");
+    let tree = generate::document_like(&alphabet, 100_000, 10, 7);
+    let tags = markup_encode(&tree);
+    let bytes = xml::write_document(&tree, &alphabet).into_bytes();
+    println!(
+        "{} nodes, {} tag events, {:.1} MiB of XML, depth {}",
+        tree.len(),
+        tags.len(),
+        bytes.len() as f64 / (1 << 20) as f64,
+        tree.height()
+    );
+
+    let query = PathQuery::from_xpath("//article//author", &alphabet)?;
+    let analysis = Analysis::new(&query.dfa);
+    let dra = har::compile_query_markup(&analysis)?;
+
+    let mb = |d: std::time::Duration| bytes.len() as f64 / d.as_secs_f64() / 1e6;
+
+    let t0 = Instant::now();
+    let n_lt = scan::count_byte(&bytes, b'<');
+    let d_scan = t0.elapsed();
+    println!(
+        "raw byte scan          : {:8.1} MB/s  ({n_lt} '<' bytes)",
+        mb(d_scan)
+    );
+
+    let t0 = Instant::now();
+    let n_events = xml::Scanner::new(&bytes, &alphabet)
+        .inspect(|e| assert!(e.is_ok(), "well-formed"))
+        .count();
+    let d_tok = t0.elapsed();
+    println!(
+        "tokenize only          : {:8.1} MB/s  ({n_events} events)",
+        mb(d_tok)
+    );
+
+    let t0 = Instant::now();
+    let n_sel = dra.count(&tags);
+    let d_dra = t0.elapsed();
+    println!(
+        "stackless query (DRA)  : {:8.1} MB/s  ({n_sel} authors, {} registers)",
+        mb(d_dra),
+        dra.n_registers_public()
+    );
+
+    let t0 = Instant::now();
+    let n_stack = StackEvaluator::count_selected(&analysis.dfa, &tags);
+    let d_stack = t0.elapsed();
+    let mut ev = StackEvaluator::new(&analysis.dfa);
+    for &t in &tags {
+        ev.step(t);
+    }
+    println!(
+        "pushdown query (stack) : {:8.1} MB/s  ({n_stack} authors, stack high-water {})",
+        mb(d_stack),
+        ev.max_depth()
+    );
+
+    let t0 = Instant::now();
+    let dom_result = dom::evaluate(&analysis.dfa, &tags)?;
+    let d_dom = t0.elapsed();
+    println!(
+        "parse-then-walk (DOM)  : {:8.1} MB/s  ({} authors, {} nodes materialized)",
+        mb(d_dom),
+        dom_result.selected.len(),
+        dom_result.n_nodes
+    );
+
+    assert_eq!(n_sel, n_stack);
+    assert_eq!(n_sel, dom_result.selected.len());
+    Ok(())
+}
+
+/// Tiny extension trait so the example can print the register budget
+/// without reaching into crate internals.
+trait Registers {
+    fn n_registers_public(&self) -> usize;
+}
+
+impl Registers for har::HarMarkupProgram {
+    fn n_registers_public(&self) -> usize {
+        use stackless_streamed_trees::core::model::DraProgram;
+        self.n_registers()
+    }
+}

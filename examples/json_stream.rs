@@ -1,0 +1,48 @@
+//! Section 4.2 in practice: the term encoding (JSON-style) and its blind
+//! classes — including the "cost of succinctness": a query that streams
+//! fine over XML can be impossible over JSON.
+//!
+//! ```sh
+//! cargo run --example json_stream
+//! ```
+
+use stackless_streamed_trees::automata::Alphabet;
+use stackless_streamed_trees::core::analysis::Analysis;
+use stackless_streamed_trees::core::model::preselect;
+use stackless_streamed_trees::core::term;
+use stackless_streamed_trees::rpq::PathQuery;
+use stackless_streamed_trees::trees::json::JsonScanner;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let g = Alphabet::from_symbols(["orders", "order", "item", "sku"])?;
+
+    // $.orders..item — HAR, hence stackless under the term encoding too.
+    let query = PathQuery::from_jsonpath("$.orders..item", &g)?;
+    let analysis = Analysis::new(&query.dfa);
+    let program = term::compile_query_term_stackless(&analysis)?;
+
+    let doc = br#"{"orders":[
+        {"order":[{"item":[{"sku":[]}]},{"item":[]}]},
+        {"order":[{"item":[]}]}
+    ]}"#;
+    let events: Result<Vec<_>, _> = JsonScanner::new(doc, &g).collect();
+    let events = events?;
+    let selected = preselect(&program, &events)?;
+    println!("{} → selected node ids {:?}", query.source, selected);
+    assert_eq!(selected.len(), 3);
+
+    // The cost of succinctness: "even number of a's" is registerless over
+    // XML but not even stackless over JSON (Fig. 2 / Section 4.2).
+    let g2 = Alphabet::of_chars("ab");
+    let parity = PathQuery::from_regex("(b*ab*a)*b*", &g2)?;
+    let analysis2 = Analysis::new(&parity.dfa);
+    println!(
+        "\nparity query over markup:  registerless compile: {}",
+        stackless_streamed_trees::core::registerless::compile_query_markup(&analysis2).is_ok()
+    );
+    match term::compile_query_term_stackless(&analysis2) {
+        Ok(_) => unreachable!("the paper proves this impossible"),
+        Err(e) => println!("parity query over term:    {e}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Quickstart: parse an XPath, let the planner pick an evaluator, stream
+//! an XML document, print the selected nodes.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use stackless_streamed_trees::automata::Alphabet;
+use stackless_streamed_trees::rpq::PathQuery;
+use stackless_streamed_trees::trees::xml::Scanner;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Fix the alphabet Γ of node labels your documents use.
+    let alphabet = Alphabet::from_symbols(["library", "shelf", "book", "title"])?;
+
+    // 2. Write a downward-axis XPath (or JSONPath, or a path regex).
+    let query = PathQuery::from_xpath("/library//book", &alphabet)?;
+
+    // 3. The planner classifies the path language (Theorems 3.1/3.2 of the
+    //    paper) and compiles the cheapest streaming evaluator.
+    let plan = query.plan();
+    println!("query: {}", query.source);
+    println!(
+        "classification: registerless={} stackless={} → strategy {:?}, {} depth register(s)",
+        plan.report().query_registerless(),
+        plan.report().query_stackless(),
+        plan.strategy(),
+        plan.n_registers(),
+    );
+
+    // 4. Stream a document: bytes → tags → selection, no tree materialized.
+    let doc = br#"
+        <library>
+          <shelf>
+            <book><title/></book>
+            <book><title/></book>
+          </shelf>
+          <shelf>
+            <book><title/></book>
+          </shelf>
+        </library>"#;
+    let tags: Result<Vec<_>, _> = Scanner::new(doc, &alphabet).collect();
+    let tags = tags?;
+    let selected = plan.select(&tags);
+    println!("selected node ids (document order): {selected:?}");
+    assert_eq!(selected.len(), 3);
+    Ok(())
+}

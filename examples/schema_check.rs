@@ -1,0 +1,75 @@
+//! Section 4.1 in practice: weak validation of a streamed document against
+//! a path DTD — when the schema is A-flat, a plain finite automaton does
+//! it in constant memory.
+//!
+//! ```sh
+//! cargo run --example schema_check
+//! ```
+
+use stackless_streamed_trees::automata::Alphabet;
+use stackless_streamed_trees::core::dtd::{PathDtd, Production, Repetition};
+use stackless_streamed_trees::core::model::{DraRunner, TagDfaProgram};
+use stackless_streamed_trees::trees::xml::Scanner;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // html → (div + p)*, div → (div + p)*, p → ∅*  — fully recursive, the
+    // Segoufin–Vianu class where weak validation is always possible.
+    let g = Alphabet::from_symbols(["html", "div", "p"])?;
+    let l = |s: &str| g.letter(s).expect("known symbol");
+    let body = vec![l("div"), l("p")];
+    let root = l("html");
+    let dtd = PathDtd::new(
+        g.clone(),
+        root,
+        vec![
+            Production {
+                allowed: body.clone(),
+                repetition: Repetition::Star,
+            },
+            Production {
+                allowed: body,
+                repetition: Repetition::Star,
+            },
+            Production {
+                allowed: vec![],
+                repetition: Repetition::Star,
+            },
+        ],
+    )?;
+
+    let verdicts = dtd.weak_validation_verdicts();
+    println!(
+        "schema classification: A-flat={} (weakly validatable), HAR={}",
+        verdicts.a_flat.holds, verdicts.har.holds
+    );
+    let validator = dtd.compile_validator()?;
+    println!(
+        "compiled validator: {} DFA states, zero registers",
+        validator.n_states()
+    );
+
+    for (name, doc) in [
+        ("good", &b"<html><div><p/><div><p/></div></div></html>"[..]),
+        ("bad: div inside p", &b"<html><p><div/></p></html>"[..]),
+        ("bad: p at top level", &b"<p/>"[..]),
+    ] {
+        let program = TagDfaProgram::new(&validator);
+        let mut runner = DraRunner::new(&program)?;
+        let mut verdict = runner.is_accepting();
+        let mut parse_ok = true;
+        for event in Scanner::new(doc, &g) {
+            match event {
+                Ok(tag) => verdict = runner.step(tag),
+                Err(e) => {
+                    println!("{name}: parse error: {e}");
+                    parse_ok = false;
+                    break;
+                }
+            }
+        }
+        if parse_ok {
+            println!("{name}: {}", if verdict { "VALID" } else { "INVALID" });
+        }
+    }
+    Ok(())
+}

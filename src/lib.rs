@@ -1,0 +1,26 @@
+//! Umbrella crate for the *Stackless Processing of Streamed Trees*
+//! reproduction (Barloy, Murlak, Paperman; PODS 2021).
+//!
+//! Re-exports the workspace crates under stable names so that examples and
+//! downstream users can depend on a single package:
+//!
+//! * [`automata`] — word-automata substrate (DFA/NFA/regex/minimization/SCC),
+//! * [`trees`] — trees, markup/term encodings, XML/JSON tokenizers,
+//!   generators, DOM oracle,
+//! * [`core`] — the paper: depth-register automata, the four syntactic
+//!   classes and their decision procedures, the compilers of Lemmas 3.5,
+//!   3.8, 3.11, descendent patterns, fooling constructions, path DTDs,
+//! * [`rpq`] — query surface: path regexes, XPath and JSONPath subsets,
+//! * [`baseline`] — what the paper argues against: stack-based and DOM
+//!   evaluation, plus raw-scan calibration.
+//!
+//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
+//! the paper-artifact-by-artifact reproduction index.
+
+#![forbid(unsafe_code)]
+
+pub use st_automata as automata;
+pub use st_baseline as baseline;
+pub use st_core as core;
+pub use st_rpq as rpq;
+pub use st_trees as trees;

@@ -1,0 +1,195 @@
+//! The characterization theorems, fuzzed end to end on random DFAs.
+//!
+//! For every random path language L:
+//!
+//! * Theorem 3.2 (3): Q_L registerless ⟺ almost-reversible — when the
+//!   check says yes, the Lemma 3.5 compiler must produce an evaluator that
+//!   agrees with the DOM oracle everywhere.
+//! * Theorem 3.1: Q_L stackless ⟺ HAR — same with the Lemma 3.8 compiler.
+//! * Theorem 3.2 (1)/(2): EL/AL registerless ⟺ E-flat/A-flat — same with
+//!   the Lemma 3.11 synopsis automaton.
+//! * Lemma 3.10: the flatness dualities.
+//! * Consistency: AR ⊆ HAR; AR = E-flat ∩ A-flat.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stackless_streamed_trees::automata::pairs::MeetMode;
+use stackless_streamed_trees::automata::{Alphabet, Dfa};
+use stackless_streamed_trees::core::analysis::Analysis;
+use stackless_streamed_trees::core::classify::classify_mode;
+use stackless_streamed_trees::core::model::{accepts, preselect, TagDfaProgram};
+use stackless_streamed_trees::core::{eflat, har, registerless};
+use stackless_streamed_trees::trees::encode::markup_encode;
+use stackless_streamed_trees::trees::{generate, oracle};
+
+fn random_dfa(rng: &mut StdRng, max_states: usize, letters: usize) -> Dfa {
+    let n = rng.gen_range(1..=max_states);
+    let rows: Vec<Vec<usize>> = (0..n)
+        .map(|_| (0..letters).map(|_| rng.gen_range(0..n)).collect())
+        .collect();
+    let accepting: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+    Dfa::from_rows(letters, 0, accepting, rows).unwrap()
+}
+
+#[test]
+fn compilers_track_the_classifier() {
+    let g = Alphabet::of_chars("ab");
+    let mut rng = StdRng::seed_from_u64(20210620); // PODS'21 opening day
+    let mut n_ar = 0usize;
+    let mut n_har = 0usize;
+    let mut n_eflat = 0usize;
+    for round in 0..300 {
+        let d = random_dfa(&mut rng, 4, 2);
+        let analysis = Analysis::new(&d);
+        let v = classify_mode(&analysis, MeetMode::Synchronous);
+
+        // Compiler availability ⟺ classification.
+        assert_eq!(
+            registerless::compile_query_markup(&analysis).is_ok(),
+            v.almost_reversible.holds
+        );
+        assert_eq!(har::compile_query_markup(&analysis).is_ok(), v.har.holds);
+        assert_eq!(
+            eflat::compile_exists_markup(&analysis).is_ok(),
+            v.e_flat.holds
+        );
+        assert_eq!(
+            eflat::compile_forall_markup(&analysis).is_ok(),
+            v.a_flat.holds
+        );
+
+        // Class inclusions.
+        if v.almost_reversible.holds {
+            assert!(v.har.holds, "AR ⊆ HAR (round {round})");
+            assert!(
+                v.e_flat.holds && v.a_flat.holds,
+                "Lemma 3.10 (round {round})"
+            );
+        }
+        if v.e_flat.holds && v.a_flat.holds {
+            assert!(
+                v.almost_reversible.holds,
+                "Lemma 3.10 converse (round {round})"
+            );
+        }
+
+        // Behavioural validation on random documents.
+        let trees: Vec<_> = (0..3)
+            .map(|i| generate::random_attachment(&g, 80, 0.3 * i as f64 + 0.2, round * 7 + i))
+            .collect();
+        if let Ok(q) = registerless::compile_query_markup(&analysis) {
+            n_ar += 1;
+            let prog = TagDfaProgram::new(&q);
+            for t in &trees {
+                let tags = markup_encode(t);
+                let want: Vec<usize> = oracle::select(t, &analysis.dfa)
+                    .into_iter()
+                    .map(|v| v.index())
+                    .collect();
+                assert_eq!(preselect(&prog, &tags).unwrap(), want);
+            }
+        }
+        if let Ok(p) = har::compile_query_markup(&analysis) {
+            n_har += 1;
+            for t in &trees {
+                let tags = markup_encode(t);
+                let want: Vec<usize> = oracle::select(t, &analysis.dfa)
+                    .into_iter()
+                    .map(|v| v.index())
+                    .collect();
+                assert_eq!(p.select(&tags), want);
+            }
+        }
+        if let Ok(el) = eflat::compile_exists_markup(&analysis) {
+            n_eflat += 1;
+            let prog = TagDfaProgram::new(&el);
+            for t in &trees {
+                let tags = markup_encode(t);
+                assert_eq!(
+                    accepts(&prog, &tags).unwrap(),
+                    oracle::in_exists(t, &analysis.dfa)
+                );
+            }
+        }
+        if let Ok(al) = eflat::compile_forall_markup(&analysis) {
+            let prog = TagDfaProgram::new(&al);
+            for t in &trees {
+                let tags = markup_encode(t);
+                assert_eq!(
+                    accepts(&prog, &tags).unwrap(),
+                    oracle::in_forall(t, &analysis.dfa)
+                );
+            }
+        }
+    }
+    // The fuzz must actually have exercised all three compilers.
+    assert!(
+        n_ar > 10 && n_har > 20 && n_eflat > 20,
+        "{n_ar}/{n_har}/{n_eflat}"
+    );
+}
+
+#[test]
+fn blind_classes_are_stricter() {
+    // Appendix B: every blind class is contained in its plain counterpart.
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..300 {
+        let d = random_dfa(&mut rng, 4, 2);
+        let analysis = Analysis::new(&d);
+        let plain = classify_mode(&analysis, MeetMode::Synchronous);
+        let blind = classify_mode(&analysis, MeetMode::Blind);
+        if blind.almost_reversible.holds {
+            assert!(plain.almost_reversible.holds);
+        }
+        if blind.har.holds {
+            assert!(plain.har.holds);
+        }
+        if blind.e_flat.holds {
+            assert!(plain.e_flat.holds);
+        }
+        if blind.a_flat.holds {
+            assert!(plain.a_flat.holds);
+        }
+    }
+}
+
+#[test]
+fn exhaustive_small_documents_per_compiler() {
+    // Bounded-exhaustive cross-validation: every tree with ≤ 5 nodes over
+    // {a, b}, for a representative language per class.
+    let g = Alphabet::of_chars("ab");
+    let trees = generate::enumerate_trees(&g, 5);
+    let cases = [
+        ("a.*b", true, true),
+        ("ab", false, true),
+        ("(b*ab*a)*b*", true, true),
+        (".*a.*b", false, true),
+    ];
+    for (pattern, is_ar, is_har) in cases {
+        let d = stackless_streamed_trees::automata::compile_regex(pattern, &g).unwrap();
+        let analysis = Analysis::new(&d);
+        if is_ar {
+            let q = registerless::compile_query_markup(&analysis).unwrap();
+            let prog = TagDfaProgram::new(&q);
+            for t in &trees {
+                let tags = markup_encode(t);
+                let want: Vec<usize> = oracle::select(t, &analysis.dfa)
+                    .into_iter()
+                    .map(|v| v.index())
+                    .collect();
+                assert_eq!(preselect(&prog, &tags).unwrap(), want, "{pattern}");
+            }
+        }
+        if is_har {
+            let p = har::compile_query_markup(&analysis).unwrap();
+            for t in &trees {
+                let tags = markup_encode(t);
+                let want: Vec<usize> = oracle::select(t, &analysis.dfa)
+                    .into_iter()
+                    .map(|v| v.index())
+                    .collect();
+                assert_eq!(p.select(&tags), want, "{pattern}");
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! E1/E21 end to end: Example 2.12's table through the query surface, the
+//! planner, and every evaluator, validated against the DOM oracle.
+
+use stackless_streamed_trees::automata::Alphabet;
+use stackless_streamed_trees::core::planner::Strategy;
+use stackless_streamed_trees::rpq::PathQuery;
+use stackless_streamed_trees::trees::encode::markup_encode;
+use stackless_streamed_trees::trees::{generate, oracle};
+
+struct Row {
+    xpath: &'static str,
+    jsonpath: &'static str,
+    registerless: bool,
+    stackless: bool,
+    strategy: Strategy,
+}
+
+fn table() -> [Row; 4] {
+    [
+        Row {
+            xpath: "/a//b",
+            jsonpath: "$.a..b",
+            registerless: true,
+            stackless: true,
+            strategy: Strategy::Registerless,
+        },
+        Row {
+            xpath: "/a/b",
+            jsonpath: "$.a.b",
+            registerless: false,
+            stackless: true,
+            strategy: Strategy::Stackless,
+        },
+        Row {
+            xpath: "//a//b",
+            jsonpath: "$..a..b",
+            registerless: false,
+            stackless: true,
+            strategy: Strategy::Stackless,
+        },
+        Row {
+            xpath: "//a/b",
+            jsonpath: "$..a.b",
+            registerless: false,
+            stackless: false,
+            strategy: Strategy::Stack,
+        },
+    ]
+}
+
+#[test]
+fn verdicts_match_the_paper() {
+    let g = Alphabet::of_chars("abc");
+    for row in table() {
+        let q = PathQuery::from_xpath(row.xpath, &g).unwrap();
+        let plan = q.plan();
+        assert_eq!(
+            plan.report().query_registerless(),
+            row.registerless,
+            "{}",
+            row.xpath
+        );
+        assert_eq!(
+            plan.report().query_stackless(),
+            row.stackless,
+            "{}",
+            row.xpath
+        );
+        assert_eq!(plan.strategy(), row.strategy, "{}", row.xpath);
+        // JSONPath spelling gives the same plan.
+        let qj = PathQuery::from_jsonpath(row.jsonpath, &g).unwrap();
+        assert_eq!(qj.plan().strategy(), row.strategy, "{}", row.jsonpath);
+    }
+}
+
+#[test]
+fn every_row_evaluates_correctly_on_every_shape() {
+    let g = Alphabet::of_chars("abc");
+    for row in table() {
+        let q = PathQuery::from_xpath(row.xpath, &g).unwrap();
+        let plan = q.plan();
+        for (bias, seed) in [(0.1, 1u64), (0.5, 2), (0.9, 3)] {
+            let t = generate::random_attachment(&g, 400, bias, seed);
+            let tags = markup_encode(&t);
+            let want: Vec<usize> = oracle::select(&t, &q.dfa)
+                .into_iter()
+                .map(|v| v.index())
+                .collect();
+            assert_eq!(plan.select(&tags), want, "{} bias {bias}", row.xpath);
+            assert_eq!(plan.count(&tags), want.len());
+            assert_eq!(plan.exists_branch(&tags), oracle::in_exists(&t, &q.dfa));
+            assert_eq!(plan.forall_branches(&tags), oracle::in_forall(&t, &q.dfa));
+        }
+    }
+}
+
+#[test]
+fn xml_bytes_to_selection_pipeline() {
+    // End to end: serialize a tree to XML, re-scan it, evaluate.
+    let g = Alphabet::of_chars("abc");
+    let t = generate::random_attachment(&g, 300, 0.6, 77);
+    let xml = stackless_streamed_trees::trees::xml::write_document(&t, &g);
+    let q = PathQuery::from_xpath("//a//b", &g).unwrap();
+    let plan = q.plan();
+    let tags: Vec<_> = stackless_streamed_trees::trees::xml::Scanner::new(xml.as_bytes(), &g)
+        .map(|e| e.unwrap())
+        .collect();
+    let want: Vec<usize> = oracle::select(&t, &q.dfa)
+        .into_iter()
+        .map(|v| v.index())
+        .collect();
+    assert_eq!(plan.select(&tags), want);
+}

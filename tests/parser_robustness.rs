@@ -1,0 +1,79 @@
+//! Parser robustness: arbitrary bytes must never panic any tokenizer —
+//! they either produce events or a positioned error.  (Streaming systems
+//! meet hostile input before anything else does.)
+
+use proptest::prelude::*;
+use stackless_streamed_trees::automata::Alphabet;
+use stackless_streamed_trees::trees::{json, xml};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn xml_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = xml::parse_document(&bytes);
+    }
+
+    #[test]
+    fn xml_scanner_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let g = Alphabet::of_chars("abc");
+        for event in xml::Scanner::new(&bytes, &g) {
+            if event.is_err() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn json_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = json::parse_json_document(&bytes);
+    }
+
+    #[test]
+    fn term_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = json::parse_term_document(&bytes);
+    }
+
+    /// Structured-ish garbage: sequences of plausible XML fragments.
+    #[test]
+    fn xml_fragment_soup_never_panics(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("<a>".to_string()),
+                Just("</a>".to_string()),
+                Just("<b x='1'>".to_string()),
+                Just("</b >".to_string()),
+                Just("<c/>".to_string()),
+                Just("<!-- hmm -->".to_string()),
+                Just("<?pi?>".to_string()),
+                Just("text".to_string()),
+                Just("<".to_string()),
+                Just(">".to_string()),
+                Just("</".to_string()),
+            ],
+            0..30,
+        )
+    ) {
+        let doc = parts.concat();
+        if let Ok((_, events)) = xml::parse_document(doc.as_bytes()) {
+            // Whatever parses must at least be decodable or cleanly
+            // rejected as unbalanced.
+            let _ = stackless_streamed_trees::trees::encode::markup_decode(&events);
+        }
+    }
+
+    /// The regex parser never panics on arbitrary ASCII patterns.
+    #[test]
+    fn regex_parser_never_panics(pattern in "[ -~]{0,40}") {
+        let g = Alphabet::of_chars("abc");
+        let _ = stackless_streamed_trees::automata::compile_regex(&pattern, &g);
+    }
+
+    /// The XPath/JSONPath parsers never panic either.
+    #[test]
+    fn query_parsers_never_panic(expr in "[ -~]{0,40}") {
+        let g = Alphabet::of_chars("abc");
+        let _ = stackless_streamed_trees::rpq::parse_xpath(&expr, &g);
+        let _ = stackless_streamed_trees::rpq::parse_jsonpath(&expr, &g);
+    }
+}

@@ -1,0 +1,137 @@
+//! Appendix B end to end: the term (JSON-style) encoding, fuzzed.
+//!
+//! For random path languages, compiler availability must track the blind
+//! classifications exactly (Theorems B.1 and B.2), compiled evaluators
+//! must agree with the DOM oracle, and every blind class must be contained
+//! in its markup counterpart.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stackless_streamed_trees::automata::pairs::MeetMode;
+use stackless_streamed_trees::automata::{Alphabet, Dfa};
+use stackless_streamed_trees::core::analysis::Analysis;
+use stackless_streamed_trees::core::classify::classify_mode;
+use stackless_streamed_trees::core::model::{accepts, preselect, TermDfaProgram};
+use stackless_streamed_trees::core::{eflat, har, registerless};
+use stackless_streamed_trees::trees::encode::term_encode;
+use stackless_streamed_trees::trees::{generate, oracle};
+
+fn random_dfa(rng: &mut StdRng, max_states: usize, letters: usize) -> Dfa {
+    let n = rng.gen_range(1..=max_states);
+    let rows: Vec<Vec<usize>> = (0..n)
+        .map(|_| (0..letters).map(|_| rng.gen_range(0..n)).collect())
+        .collect();
+    let accepting: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+    Dfa::from_rows(letters, 0, accepting, rows).unwrap()
+}
+
+#[test]
+fn blind_compilers_track_the_blind_classifier() {
+    let g = Alphabet::of_chars("ab");
+    let mut rng = StdRng::seed_from_u64(20020603); // Segoufin–Vianu's PODS'02
+    let mut n_blind_ar = 0usize;
+    let mut n_blind_har = 0usize;
+    for round in 0..300u64 {
+        let d = random_dfa(&mut rng, 4, 2);
+        let analysis = Analysis::new(&d);
+        let blind = classify_mode(&analysis, MeetMode::Blind);
+
+        assert_eq!(
+            registerless::compile_query_term(&analysis).is_ok(),
+            blind.almost_reversible.holds
+        );
+        assert_eq!(har::compile_query_term(&analysis).is_ok(), blind.har.holds);
+        assert_eq!(
+            eflat::compile_exists_term(&analysis).is_ok(),
+            blind.e_flat.holds
+        );
+        assert_eq!(
+            eflat::compile_forall_term(&analysis).is_ok(),
+            blind.a_flat.holds
+        );
+
+        let trees: Vec<_> = (0..3)
+            .map(|i| generate::random_attachment(&g, 70, 0.25 * i as f64 + 0.2, round * 11 + i))
+            .collect();
+
+        if let Ok(q) = registerless::compile_query_term(&analysis) {
+            n_blind_ar += 1;
+            let prog = TermDfaProgram::new(&q);
+            for t in &trees {
+                let events = term_encode(t);
+                let want: Vec<usize> = oracle::select(t, &analysis.dfa)
+                    .into_iter()
+                    .map(|v| v.index())
+                    .collect();
+                assert_eq!(preselect(&prog, &events).unwrap(), want, "round {round}");
+            }
+        }
+        if let Ok(p) = har::compile_query_term(&analysis) {
+            n_blind_har += 1;
+            for t in &trees {
+                let events = term_encode(t);
+                let want: Vec<usize> = oracle::select(t, &analysis.dfa)
+                    .into_iter()
+                    .map(|v| v.index())
+                    .collect();
+                assert_eq!(preselect(&p, &events).unwrap(), want, "round {round}");
+            }
+        }
+        if let Ok(el) = eflat::compile_exists_term(&analysis) {
+            let prog = TermDfaProgram::new(&el);
+            for t in &trees {
+                let events = term_encode(t);
+                assert_eq!(
+                    accepts(&prog, &events).unwrap(),
+                    oracle::in_exists(t, &analysis.dfa),
+                    "round {round}"
+                );
+            }
+        }
+    }
+    assert!(
+        n_blind_ar > 5 && n_blind_har > 10,
+        "{n_blind_ar}/{n_blind_har}"
+    );
+}
+
+#[test]
+fn json_pipeline_end_to_end() {
+    // Bytes → JSON scanner → blind planner → selection, against the oracle.
+    use stackless_streamed_trees::core::planner::CompiledTermQuery;
+    let g = Alphabet::of_chars("abc");
+    let q = stackless_streamed_trees::rpq::PathQuery::from_jsonpath("$.a..b", &g).unwrap();
+    let plan = CompiledTermQuery::compile(&q.dfa);
+    for seed in 0..15 {
+        let t = generate::random_attachment(&g, 200, 0.5, seed);
+        let doc = stackless_streamed_trees::trees::json::write_json_document(&t, &g);
+        let events: Result<Vec<_>, _> =
+            stackless_streamed_trees::trees::json::JsonScanner::new(doc.as_bytes(), &g).collect();
+        let events = events.unwrap();
+        let want: Vec<usize> = oracle::select(&t, &q.dfa)
+            .into_iter()
+            .map(|v| v.index())
+            .collect();
+        assert_eq!(plan.select(&events), want, "seed {seed}");
+    }
+}
+
+#[test]
+fn cost_of_succinctness_is_one_directional() {
+    // Markup classes never lose to blind ones: whatever streams over JSON
+    // streams over XML, but not conversely (Fig. 2's language).
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut strict_gap_seen = false;
+    for _ in 0..400 {
+        let d = random_dfa(&mut rng, 4, 2);
+        let analysis = Analysis::new(&d);
+        let plain = classify_mode(&analysis, MeetMode::Synchronous);
+        let blind = classify_mode(&analysis, MeetMode::Blind);
+        assert!(!blind.har.holds || plain.har.holds);
+        assert!(!blind.almost_reversible.holds || plain.almost_reversible.holds);
+        if plain.har.holds && !blind.har.holds {
+            strict_gap_seen = true;
+        }
+    }
+    assert!(strict_gap_seen, "the inclusion should be strict somewhere");
+}

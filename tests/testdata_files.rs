@@ -1,0 +1,91 @@
+//! End-to-end runs over the checked-in sample documents in `testdata/`.
+
+use stackless_streamed_trees::core::planner::{CompiledQuery, CompiledTermQuery};
+use stackless_streamed_trees::rpq::PathQuery;
+use stackless_streamed_trees::trees::{json, xml};
+
+#[test]
+fn library_xml_queries() {
+    let bytes = std::fs::read("testdata/library.xml").unwrap();
+    let (alphabet, tags) = xml::parse_document(&bytes).unwrap();
+    let count = |expr: &str| {
+        let q = PathQuery::from_xpath(expr, &alphabet).unwrap();
+        CompiledQuery::compile(&q.dfa).count(&tags)
+    };
+    assert_eq!(count("/library//book"), 4);
+    assert_eq!(count("//book/author"), 4);
+    assert_eq!(count("/library/shelf/book"), 3); // the boxed book is deeper
+    assert_eq!(count("//box//book//title"), 1);
+}
+
+#[test]
+fn orders_json_queries() {
+    let bytes = std::fs::read("testdata/orders.json").unwrap();
+    let (alphabet, events) = json::parse_json_document(&bytes).unwrap();
+    let count = |expr: &str| {
+        let q = PathQuery::from_jsonpath(expr, &alphabet).unwrap();
+        CompiledTermQuery::compile(&q.dfa).select(&events).len()
+    };
+    assert_eq!(count("$.orders..item"), 3);
+    assert_eq!(count("$..sku"), 3);
+    assert_eq!(count("$.orders.order"), 3);
+}
+
+#[test]
+fn library_schema_validates_library_xml() {
+    // The shipped schema must accept the shipped document, streamed.
+    let schema = std::fs::read_to_string("testdata/library.dtd").unwrap();
+    // Reuse the CLI's schema parser via its crate? It is a binary; parse
+    // with the core DTD type through the same grammar the docs show.
+    // (The format is exercised by st-cli's unit tests; here we rebuild the
+    // DTD by hand to keep the dependency graph acyclic.)
+    let _ = schema;
+    use stackless_streamed_trees::automata::Alphabet;
+    use stackless_streamed_trees::core::dtd::{PathDtd, Production, Repetition};
+    let g = Alphabet::from_symbols(["library", "shelf", "box", "book", "title", "author"]).unwrap();
+    let l = |s: &str| g.letter(s).unwrap();
+    let root = l("library");
+    let dtd = PathDtd::new(
+        g.clone(),
+        root,
+        vec![
+            Production {
+                allowed: vec![l("shelf")],
+                repetition: Repetition::Star,
+            },
+            Production {
+                allowed: vec![l("book"), l("box")],
+                repetition: Repetition::Star,
+            },
+            Production {
+                allowed: vec![l("book")],
+                repetition: Repetition::Star,
+            },
+            Production {
+                allowed: vec![l("title"), l("author")],
+                repetition: Repetition::Plus,
+            },
+            Production {
+                allowed: vec![],
+                repetition: Repetition::Star,
+            },
+            Production {
+                allowed: vec![],
+                repetition: Repetition::Star,
+            },
+        ],
+    )
+    .unwrap();
+    let bytes = std::fs::read("testdata/library.xml").unwrap();
+    let events: Result<Vec<_>, _> = xml::Scanner::new(&bytes, &g).collect();
+    let tree = stackless_streamed_trees::trees::encode::markup_decode(&events.unwrap()).unwrap();
+    assert!(dtd.validates(&tree));
+    // This schema is not A-flat (book's children differ from shelf's), so
+    // the paper predicts no streaming validator — check the verdict is
+    // consistent either way.
+    let verdicts = dtd.weak_validation_verdicts();
+    match dtd.compile_validator() {
+        Ok(_) => assert!(verdicts.a_flat.holds),
+        Err(_) => assert!(!verdicts.a_flat.holds),
+    }
+}
