@@ -16,19 +16,29 @@ pub fn find_byte(haystack: &[u8], needle: u8) -> Option<usize> {
     haystack.iter().position(|&b| b == needle)
 }
 
-/// Tag-counting scan: counts `<` bytes outside quotes — a rough proxy for
-/// "how many events would a tokenizer emit", used to calibrate tokenizer
-/// overhead against the raw byte scan.
+/// Tag-counting scan: counts `<` bytes that start a tag — a rough proxy
+/// for "how many events would a tokenizer emit", used to calibrate
+/// tokenizer overhead against the raw byte scan.
+///
+/// Quotes are only meaningful *inside* a tag (attribute values), exactly
+/// as in the tokenizer: a `'` or `"` in text content is plain text and
+/// must not swallow the following tags.
 pub fn count_tag_starts(doc: &[u8]) -> usize {
     let mut count = 0usize;
+    let mut in_tag = false;
     let mut quote: Option<u8> = None;
     for &b in doc {
-        match quote {
-            Some(q) if b == q => quote = None,
-            Some(_) => {}
-            None if b == b'"' || b == b'\'' => quote = Some(b),
-            None if b == b'<' => count += 1,
-            None => {}
+        if in_tag {
+            match quote {
+                Some(q) if b == q => quote = None,
+                Some(_) => {}
+                None if b == b'"' || b == b'\'' => quote = Some(b),
+                None if b == b'>' => in_tag = false,
+                None => {}
+            }
+        } else if b == b'<' {
+            count += 1;
+            in_tag = true;
         }
     }
     count
@@ -71,6 +81,17 @@ mod tests {
     #[test]
     fn tag_starts_respect_quotes() {
         let doc = br#"<a x="<y>"><b/></a>"#;
+        assert_eq!(count_tag_starts(doc), 3);
+    }
+
+    #[test]
+    fn tag_starts_ignore_quotes_in_text() {
+        // A quote in text content is plain text; it must not desync the
+        // scan and swallow the tags that follow it.
+        let doc = br#"<a>it's text <b></b></a>"#;
+        assert_eq!(count_tag_starts(doc), 4);
+        // Unbalanced double quote in text, then quoted '<' in a tag.
+        let doc = br#"<a>5" disk<b q='<'/></a>"#;
         assert_eq!(count_tag_starts(doc), 3);
     }
 

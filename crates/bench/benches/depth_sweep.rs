@@ -12,12 +12,14 @@ use st_baseline::StackEvaluator;
 use st_bench::{chain_workload, gamma};
 use st_core::analysis::Analysis;
 use st_core::har;
+use st_core::planner::CompiledQuery;
 
 fn bench_depth_sweep(c: &mut Criterion) {
     let g = gamma();
     let dfa = st_automata::compile_regex(".*a.*b", &g).unwrap();
     let analysis = Analysis::new(&dfa);
     let dra = har::compile_query_markup(&analysis).unwrap();
+    let fused = CompiledQuery::compile(&dfa).fused(&g).unwrap();
 
     let mut group = c.benchmark_group("depth_sweep/.*a.*b");
     for depth in [1_000usize, 10_000, 100_000, 1_000_000] {
@@ -28,6 +30,11 @@ fn bench_depth_sweep(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("stack", depth), &w.tags, |b, tags| {
             b.iter(|| StackEvaluator::count_selected(&analysis.dfa, std::hint::black_box(tags)));
+        });
+        // The fused DRA starts from raw bytes and still keeps constant
+        // memory — same event count, so Elements throughput is comparable.
+        group.bench_with_input(BenchmarkId::new("fused", depth), &w.xml, |b, xml| {
+            b.iter(|| fused.count_bytes(std::hint::black_box(xml)).unwrap());
         });
     }
     group.finish();

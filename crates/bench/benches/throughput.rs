@@ -7,18 +7,27 @@
 //! * the **registerless** DFA (when the language permits — Lemma 3.5),
 //! * the **stackless** DRA (when HAR — Lemma 3.8),
 //! * the **stack** baseline (always),
+//! * the **fused** byte engine (tag lexer × evaluator, single pass over
+//!   raw XML bytes — `st_core::engine`),
+//! * the full **pipeline** from bytes (tokenize, then evaluate events) —
+//!   the apples-to-apples baseline for the fused series,
 //! * the raw byte **scan** over the XML serialization (the memchr-style
 //!   ceiling).
 //!
-//! Expected shape (the paper's thesis): scan ≥ registerless ≥ stackless ≫
-//! DOM, with the stack baseline's gap growing on deep documents.
+//! Expected shape (the paper's thesis): scan ≥ fused ≥ registerless ≥
+//! stackless ≫ DOM, with the stack baseline's gap growing on deep
+//! documents and the fused series beating the pipeline by the cost of
+//! event materialization.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use st_automata::Tag;
 use st_baseline::{scan, StackEvaluator};
 use st_bench::{gamma, standard_workloads};
 use st_core::analysis::Analysis;
 use st_core::model::{preselect, TagDfaProgram};
+use st_core::planner::CompiledQuery;
 use st_core::{har, registerless};
+use st_trees::xml::Scanner;
 
 fn bench_throughput(c: &mut Criterion) {
     let g = gamma();
@@ -62,6 +71,22 @@ fn bench_throughput(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new("stack", pattern), &w.tags, |b, tags| {
                 b.iter(|| {
                     StackEvaluator::count_selected(&analysis.dfa, std::hint::black_box(tags))
+                });
+            });
+
+            // From raw bytes: the fused single-pass engine vs the
+            // tokenize-then-evaluate pipeline it replaces.
+            let plan = CompiledQuery::compile(&dfa);
+            let fused = plan.fused(&g).expect("query-sized composite");
+            group.bench_with_input(BenchmarkId::new("fused", pattern), &w.xml, |b, xml| {
+                b.iter(|| fused.count_bytes(std::hint::black_box(xml)).unwrap());
+            });
+            group.bench_with_input(BenchmarkId::new("pipeline", pattern), &w.xml, |b, xml| {
+                b.iter(|| {
+                    let tags: Vec<Tag> = Scanner::new(std::hint::black_box(xml), &g)
+                        .collect::<Result<_, _>>()
+                        .unwrap();
+                    plan.count(&tags)
                 });
             });
         }

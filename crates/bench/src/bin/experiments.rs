@@ -1,12 +1,15 @@
 //! Experiment harness: regenerates every paper artifact as console tables.
 //!
 //! Run with `cargo run --release -p st-bench --bin experiments`; the output
-//! is the source of EXPERIMENTS.md.
+//! is the source of EXPERIMENTS.md.  With `--json [path]` it instead runs
+//! the throughput matrix (fixed seeds) and writes it as JSON (default
+//! `BENCH_throughput.json`) — the machine-readable artifact CI uploads.
 
+use std::hint::black_box;
 use std::time::Instant;
 
 use st_automata::pairs::MeetMode;
-use st_automata::{compile_regex, Alphabet};
+use st_automata::{compile_regex, Alphabet, Tag};
 use st_baseline::{scan, StackEvaluator};
 use st_bench::{chain_workload, gamma, records_workload, standard_workloads};
 use st_core::analysis::Analysis;
@@ -14,8 +17,19 @@ use st_core::classify::classify_mode;
 use st_core::model::{preselect, DraProgram, TagDfaProgram};
 use st_core::planner::{CompiledQuery, Strategy};
 use st_core::{classify, dtd, fooling, har, papers, registerless, term};
+use st_trees::xml::Scanner;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        let path = args
+            .get(i + 1)
+            .filter(|p| !p.starts_with('-'))
+            .map(String::as_str)
+            .unwrap_or("BENCH_throughput.json");
+        write_throughput_json(path);
+        return;
+    }
     println!("# Stackless Processing of Streamed Trees — experiment harness");
     println!("# (paper: Barloy, Murlak, Paperman; PODS 2021)");
     println!();
@@ -28,6 +42,119 @@ fn main() {
     e18_rpqness();
     e19_throughput();
     e20_memory();
+}
+
+/// Throughput of one operation in gigabits per second over `bytes` of
+/// input: warm once, then repeat until the measurement budget elapses.
+fn gbit_per_s(bytes: usize, mut f: impl FnMut()) -> f64 {
+    let budget = std::time::Duration::from_millis(200);
+    f();
+    let start = Instant::now();
+    let mut reps = 0u32;
+    loop {
+        f();
+        reps += 1;
+        let elapsed = start.elapsed();
+        if elapsed >= budget && reps >= 3 {
+            return (bytes as f64 * f64::from(reps) * 8.0) / elapsed.as_secs_f64() / 1e9;
+        }
+    }
+}
+
+fn strategy_slug(s: Strategy) -> &'static str {
+    match s {
+        Strategy::Registerless => "registerless",
+        Strategy::Stackless => "stackless",
+        Strategy::Stack => "stack",
+    }
+}
+
+/// The machine-readable throughput matrix: every strategy × workload in
+/// gigabits per second, both the event pipeline from bytes (tokenize,
+/// then evaluate) and the fused single-pass byte engines, under fixed
+/// seeds so successive runs are comparable.
+fn write_throughput_json(path: &str) {
+    let g = gamma();
+    let patterns = ["a.*b", "ab", ".*a.*b", ".*ab"];
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut workload_objects: Vec<String> = Vec::new();
+    let mut measure_workload = |name: &str, nodes: usize, depth: u32, xml: &[u8]| {
+        let mut series: Vec<(String, f64)> = Vec::new();
+        series.push((
+            "scan".to_owned(),
+            gbit_per_s(xml.len(), || {
+                black_box(scan::count_byte(black_box(xml), b'<'));
+            }),
+        ));
+        series.push((
+            "tokenize".to_owned(),
+            gbit_per_s(xml.len(), || {
+                let mut events = 0usize;
+                for e in Scanner::new(black_box(xml), &g) {
+                    e.unwrap();
+                    events += 1;
+                }
+                black_box(events);
+            }),
+        ));
+        for pattern in patterns {
+            let dfa = compile_regex(pattern, &g).unwrap();
+            let plan = CompiledQuery::compile(&dfa);
+            let fused = plan.fused(&g).unwrap();
+            let slug = strategy_slug(plan.strategy());
+            series.push((
+                format!("events_{slug}/{pattern}"),
+                gbit_per_s(xml.len(), || {
+                    let tags: Vec<Tag> = Scanner::new(black_box(xml), &g)
+                        .collect::<Result<_, _>>()
+                        .unwrap();
+                    black_box(plan.count(&tags));
+                }),
+            ));
+            series.push((
+                format!("fused_{slug}/{pattern}"),
+                gbit_per_s(xml.len(), || {
+                    black_box(fused.count_bytes(black_box(xml)).unwrap());
+                }),
+            ));
+            if fused.byte_dfa().is_some() && threads > 1 {
+                series.push((
+                    format!("fused_parallel_{slug}/{pattern}"),
+                    gbit_per_s(xml.len(), || {
+                        black_box(fused.count_bytes_parallel(black_box(xml), threads).unwrap());
+                    }),
+                ));
+            }
+        }
+        let rates = series
+            .iter()
+            .map(|(k, v)| format!("        \"{k}\": {v:.4}"))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let gbit = format!("      \"gbit_per_s\": {{\n{rates}\n      }}");
+        workload_objects.push(format!(
+            "    {{\n      \"workload\": \"{name}\",\n      \"bytes\": {bytes},\n      \"nodes\": {nodes},\n      \"depth\": {depth},\n{gbit}\n    }}",
+            bytes = xml.len(),
+        ));
+    };
+
+    // ~40 KB standard shapes (fixed seeds 101/202/303 in st-bench).
+    for w in standard_workloads(6_000) {
+        measure_workload(w.name, w.nodes, w.depth, &w.xml);
+    }
+    // The deep chain where stack memory hurts; fused DRA stays constant.
+    let chain = chain_workload(100_000);
+    measure_workload("deep_chain", chain.nodes, chain.depth, &chain.xml);
+
+    let json = format!(
+        "{{\n  \"experiment\": \"throughput\",\n  \"unit\": \"gigabits per second of XML input\",\n  \"threads\": {threads},\n  \"workload_seeds\": [101, 202, 303],\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        workload_objects.join(",\n")
+    );
+    std::fs::write(path, &json).expect("write throughput json");
+    eprintln!("wrote {path}");
 }
 
 fn tick(b: bool) -> &'static str {
@@ -275,18 +402,46 @@ fn e19_throughput() {
             }
             acc
         });
+        // Fused byte engines: one pass over the raw XML, no event
+        // materialization — the E19 columns the fused engine competes in.
+        let fused_dfa = CompiledQuery::compile(&compile_regex("a.*b", &g).unwrap())
+            .fused(&g)
+            .unwrap();
+        let (_, d_fused_dfa) = time(|| {
+            let mut acc = 0usize;
+            for _ in 0..reps {
+                acc += fused_dfa.count_bytes(&w.xml).unwrap();
+            }
+            acc
+        });
+        let fused_dra = CompiledQuery::compile(&compile_regex(pattern, &g).unwrap())
+            .fused(&g)
+            .unwrap();
+        let (_, d_fused_dra) = time(|| {
+            let mut acc = 0usize;
+            for _ in 0..reps {
+                acc += fused_dra.count_bytes(&w.xml).unwrap();
+            }
+            acc
+        });
         println!(
-            "{:<6} ({} nodes, depth {:>5}): scan {:>8.1} | tokenize {:>8.1} | DFA(aG*b) {:>8.1} | DRA(G*aG*b) {:>8.1} | stack {:>8.1}",
+            "{:<6} ({} nodes, depth {:>5}): scan {:>8.1} | tokenize {:>8.1} | DFA(aG*b) {:>8.1} | fused-DFA {:>8.1} | DRA(G*aG*b) {:>8.1} | fused-DRA {:>8.1} | stack {:>8.1}",
             w.name,
             w.nodes,
             w.depth,
             mbps(total, d_scan),
             mbps(total, d_tok),
             mbps(total, d_dfa),
+            mbps(total, d_fused_dfa),
             mbps(total, d_dra),
+            mbps(total, d_fused_dra),
             mbps(total, d_stack),
         );
     }
+    println!(
+        "(DFA/DRA/stack columns step pre-tokenized tags; fused columns are end-to-end \
+         from raw bytes — compare them against the tokenize∘automaton serial composition)"
+    );
     // Records workload end to end (tokenize + query), the intro's scenario.
     let w = records_workload(50_000, 12);
     let galpha = Alphabet::from_symbols(["doc", "record", "name", "value", "item"]).unwrap();
@@ -323,9 +478,10 @@ fn e20_memory() {
     let dra = har::compile_query_markup(&analysis).unwrap();
     let q = CompiledQuery::compile(&analysis.dfa);
     assert_eq!(q.strategy(), Strategy::Stackless);
+    let fused = q.fused(&g).unwrap();
     println!(
-        "{:>9} {:>16} {:>16}",
-        "depth", "DRA registers", "stack high-water"
+        "{:>9} {:>16} {:>16} {:>16} {:>16}",
+        "depth", "DRA registers", "stack high-water", "fused-DRA MB/s", "ev.stack MB/s"
     );
     for depth in [100usize, 10_000, 1_000_000] {
         let w = chain_workload(depth);
@@ -334,11 +490,22 @@ fn e20_memory() {
             ev.step(t);
         }
         let _ = preselect(&dra, &w.tags).unwrap();
+        // Time side of the same story, from raw bytes: the fused DRA in a
+        // single pass vs tokenizing and feeding the pushdown baseline.
+        let (_, d_fused) = time(|| fused.count_bytes(&w.xml).unwrap());
+        let (_, d_stack) = time(|| {
+            let tags: Vec<_> = st_trees::xml::Scanner::new(&w.xml, &g)
+                .collect::<Result<_, _>>()
+                .unwrap();
+            StackEvaluator::count_selected(&analysis.dfa, &tags)
+        });
         println!(
-            "{:>9} {:>16} {:>16}",
+            "{:>9} {:>16} {:>16} {:>16.1} {:>16.1}",
             depth,
             dra.n_registers(),
-            ev.max_depth()
+            ev.max_depth(),
+            mbps(w.xml.len(), d_fused),
+            mbps(w.xml.len(), d_stack),
         );
     }
     println!();

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! stql explain <query> [--alphabet a,b,c]
-//! stql select  <query> <file>   [--count]
+//! stql select  <query> <file>   [--count] [--fused]
 //! stql validate <schema> <file>
 //! ```
 //!
@@ -46,7 +46,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   stql explain <query> [--alphabet a,b,c] [--dot]
-  stql select  <query> <file.xml|file.json|file.term> [--count]
+  stql select  <query> <file.xml|file.json|file.term> [--count] [--fused]
   stql validate <schema.dtd> <file.xml>
   stql stats   <file.xml|file.json|file.term>
   stql extract <query> <file.xml>";
@@ -158,6 +158,7 @@ fn cmd_select(args: &[String]) -> Result<(), String> {
     let query = args.first().ok_or("select needs a query and a file")?;
     let path = args.get(1).ok_or("select needs a file")?;
     let count_only = args.iter().any(|a| a == "--count");
+    let fused = args.iter().any(|a| a == "--fused");
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
 
     let kind = doc_kind(path)?;
@@ -169,11 +170,25 @@ fn cmd_select(args: &[String]) -> Result<(), String> {
             let q = parse_query(query, &alphabet)?;
             let plan = CompiledQuery::compile(&q.dfa);
             eprintln!(
-                "strategy {:?} ({} registers)",
+                "strategy {:?} ({} registers){}",
                 plan.strategy(),
-                plan.n_registers()
+                plan.n_registers(),
+                if fused { ", fused byte engine" } else { "" }
             );
-            if count_only {
+            if fused {
+                // Single pass over the raw bytes — no event buffer.
+                let engine = plan
+                    .fused(&alphabet)
+                    .map_err(|e| format!("cannot fuse query: {e}"))?;
+                if count_only {
+                    let n = engine.count_bytes(&bytes).map_err(|e| e.to_string())?;
+                    println!("{n}");
+                } else {
+                    for id in engine.select_bytes(&bytes).map_err(|e| e.to_string())? {
+                        println!("{id}");
+                    }
+                }
+            } else if count_only {
                 println!("{}", plan.count(&tags));
             } else {
                 for id in plan.select(&tags) {
@@ -182,6 +197,9 @@ fn cmd_select(args: &[String]) -> Result<(), String> {
             }
         }
         DocKind::Json | DocKind::Term => {
+            if fused {
+                return Err("--fused currently supports .xml documents".into());
+            }
             let (alphabet, events) = if matches!(kind, DocKind::Json) {
                 st_trees::json::parse_json_document(&bytes)
             } else {

@@ -9,9 +9,7 @@
 //! * [`NotProgram`] flips acceptance — sound because depth-register
 //!   automata are deterministic and complete.
 
-use std::cmp::Ordering;
-
-use crate::model::{DraProgram, LoadMask};
+use crate::model::{DraProgram, LoadMask, RegCmps};
 
 /// How a product combines component acceptance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -78,11 +76,12 @@ where
         &self,
         state: &Self::State,
         input: Self::Input,
-        cmps: &[Ordering],
+        cmps: RegCmps,
     ) -> (Self::State, LoadMask) {
         let split = self.first.n_registers();
-        let (s1, load1) = self.first.step(&state.0, input, &cmps[..split]);
-        let (s2, load2) = self.second.step(&state.1, input, &cmps[split..]);
+        let (lo, hi) = cmps.split_at(split);
+        let (s1, load1) = self.first.step(&state.0, input, lo);
+        let (s2, load2) = self.second.step(&state.1, input, hi);
         ((s1, s2), load1 | (load2 << split))
     }
 }
@@ -120,7 +119,7 @@ impl<P: DraProgram> DraProgram for NotProgram<P> {
         &self,
         state: &Self::State,
         input: Self::Input,
-        cmps: &[Ordering],
+        cmps: RegCmps,
     ) -> (Self::State, LoadMask) {
         self.inner.step(state, input, cmps)
     }

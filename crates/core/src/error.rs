@@ -25,6 +25,12 @@ pub enum CoreError {
         /// Human-readable description of the defect.
         detail: String,
     },
+    /// The fused byte engine's composite table (tag lexer × query DFA)
+    /// would exceed its `u16` state budget.
+    FusedTooLarge {
+        /// The composite state count that was requested.
+        states: usize,
+    },
     /// A DTD was malformed (e.g. a production references an unknown
     /// symbol).
     MalformedDtd {
@@ -50,6 +56,12 @@ impl fmt::Display for CoreError {
                 )
             }
             CoreError::MalformedTable { detail } => write!(f, "malformed table DRA: {detail}"),
+            CoreError::FusedTooLarge { states } => {
+                write!(
+                    f,
+                    "fused byte engine needs {states} composite states; the dense table caps at 65536"
+                )
+            }
             CoreError::MalformedDtd { detail } => write!(f, "malformed DTD: {detail}"),
         }
     }

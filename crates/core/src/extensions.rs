@@ -24,10 +24,10 @@
 
 use std::cmp::Ordering;
 
-use crate::model::{DraProgram, LoadMask, StreamSymbol};
+use crate::model::{DraProgram, LoadMask, RegCmps, StreamSymbol};
 
-/// A depth-register program in the *offset* model: `cmps[ξ]` reports the
-/// ordering of `η(ξ) + offset(ξ)` against the current depth.
+/// A depth-register program in the *offset* model: register ξ of `cmps`
+/// reports the ordering of `η(ξ) + offset(ξ)` against the current depth.
 pub trait OffsetProgram {
     /// The encoding this program reads.
     type Input: StreamSymbol;
@@ -51,7 +51,7 @@ pub trait OffsetProgram {
         &self,
         state: &Self::State,
         input: Self::Input,
-        cmps: &[Ordering],
+        cmps: RegCmps,
     ) -> (Self::State, LoadMask);
 }
 
@@ -124,21 +124,21 @@ impl<P: OffsetProgram> DraProgram for OffsetSimulator<P> {
         &self,
         state: &Self::State,
         input: Self::Input,
-        cmps: &[Ordering],
+        cmps: RegCmps,
     ) -> (Self::State, LoadMask) {
         let offsets = self.inner.offsets();
         let delta = input.depth_delta();
         let mut sims = state.sims.clone();
         let mut shadow_loads: LoadMask = 0;
-        let mut offset_cmps = Vec::with_capacity(offsets.len());
+        let mut offset_cmps = RegCmps::EMPTY;
 
         // Phase update per register (depth changed by `delta`), then
         // compute the offset comparison the inner program observes.
         for (xi, sim) in sims.iter_mut().enumerate() {
             let c = offsets[xi];
-            let base_cmp = cmps[2 * xi]; // η(ξ) vs new depth d
-            let shadow_cmp = cmps[2 * xi + 1]; // shadow vs d
-                                               // Resync / advance the phase.
+            let base_cmp = cmps.ordering(2 * xi); // η(ξ) vs new depth d
+            let shadow_cmp = cmps.ordering(2 * xi + 1); // shadow vs d
+                                                        // Resync / advance the phase.
             sim.phase = match (sim.phase, base_cmp) {
                 // Exact anchor: d = e.
                 (_, Ordering::Equal) => Phase::Tracking(0),
@@ -176,10 +176,10 @@ impl<P: OffsetProgram> DraProgram for OffsetSimulator<P> {
                 Phase::Tracking(j) => c.cmp(&j),
                 Phase::Above => shadow_cmp,
             };
-            offset_cmps.push(answer);
+            offset_cmps = offset_cmps.with(xi, answer);
         }
 
-        let (inner_next, inner_load) = self.inner.step(&state.inner, input, &offset_cmps);
+        let (inner_next, inner_load) = self.inner.step(&state.inner, input, offset_cmps);
         // Inner load of register ξ → base register 2ξ; the anchor moves to
         // the current depth, so tracking restarts at j = 0 and the shadow
         // must be re-armed (load it too when c = 0).
@@ -244,10 +244,10 @@ mod tests {
             *s == S::Found
         }
 
-        fn step(&self, s: &S, input: Tag, cmps: &[Ordering]) -> (S, LoadMask) {
+        fn step(&self, s: &S, input: Tag, cmps: RegCmps) -> (S, LoadMask) {
             match (*s, input) {
                 (S::Seeking, Tag::Open(l)) if l == self.a => (S::Armed, 1),
-                (S::Armed, Tag::Open(l)) if l == self.b && cmps[0] == Ordering::Equal => {
+                (S::Armed, Tag::Open(l)) if l == self.b && cmps.is_equal(0) => {
                     // η(first-a) + C == current depth: the b we wanted.
                     (S::Found, 0)
                 }

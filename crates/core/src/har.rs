@@ -33,8 +33,6 @@
 //! `a` has `p′·a` in the SCC and almost equivalent to `p` — blind HAR makes
 //! the choice of letter irrelevant.
 
-use std::cmp::Ordering;
-
 use st_automata::dfa::{Dfa, State};
 use st_automata::pairs::MeetMode;
 use st_automata::Tag;
@@ -43,7 +41,7 @@ use st_trees::encode::TermEvent;
 use crate::analysis::Analysis;
 use crate::classify::check_har;
 use crate::error::CoreError;
-use crate::model::{DraProgram, LoadMask};
+use crate::model::{DraProgram, LoadMask, RegCmps};
 
 /// Shared core of the markup and term HAR programs.
 #[derive(Clone, Debug)]
@@ -137,6 +135,21 @@ impl HarCore {
         }
     }
 
+    /// The simulated minimal automaton (fused byte engine).
+    pub(crate) fn dfa(&self) -> &Dfa {
+        &self.dfa
+    }
+
+    /// SCC id per state (fused byte engine).
+    pub(crate) fn component(&self) -> &[usize] {
+        &self.component
+    }
+
+    /// The markup rewind table (fused byte engine).
+    pub(crate) fn rewind_markup(&self) -> &[Option<State>] {
+        &self.rewind_markup
+    }
+
     /// The register budget.
     pub fn n_registers(&self) -> usize {
         self.n_registers
@@ -156,7 +169,7 @@ impl HarCore {
     }
 
     #[inline]
-    fn step_open(&self, s: &HarState, letter: usize, cmps: &[Ordering]) -> (HarState, LoadMask) {
+    fn step_open(&self, s: &HarState, letter: usize, cmps: RegCmps) -> (HarState, LoadMask) {
         // In a real run, opening tags never see `Greater` registers; the
         // stale mask matters only for the static restrictedness check over
         // the full transition table.
@@ -186,14 +199,8 @@ impl HarCore {
     /// restricted, backing the paper's conjecture that restricted DRAs
     /// suffice for all its constructions.
     #[inline]
-    fn stale_mask(&self, cmps: &[Ordering]) -> LoadMask {
-        let mut mask: LoadMask = 0;
-        for (xi, &c) in cmps.iter().enumerate().take(self.n_registers) {
-            if c == Ordering::Greater {
-                mask |= 1 << xi;
-            }
-        }
-        mask
+    fn stale_mask(&self, cmps: RegCmps) -> LoadMask {
+        cmps.greater()
     }
 
     #[inline]
@@ -201,7 +208,7 @@ impl HarCore {
         &self,
         s: &HarState,
         letter: Option<usize>,
-        cmps: &[Ordering],
+        cmps: RegCmps,
     ) -> (HarState, LoadMask) {
         let stale = self.stale_mask(cmps);
         if s.dead {
@@ -210,7 +217,7 @@ impl HarCore {
         let mut ns = *s;
         if let Some(top) = s.top() {
             let reg = s.chain_len as usize - 1;
-            if cmps[reg] == Ordering::Greater {
+            if cmps.is_greater(reg) {
                 // Climbed above the depth where the top SCC was left: pop.
                 ns.chain_len -= 1;
                 ns.current = top as u16;
@@ -332,7 +339,7 @@ impl DraProgram for HarMarkupProgram {
         self.core.is_accepting(s)
     }
 
-    fn step(&self, s: &HarState, input: Tag, cmps: &[Ordering]) -> (HarState, LoadMask) {
+    fn step(&self, s: &HarState, input: Tag, cmps: RegCmps) -> (HarState, LoadMask) {
         match input {
             Tag::Open(l) => self.core.step_open(s, l.index(), cmps),
             Tag::Close(l) => self.core.step_close(s, Some(l.index()), cmps),
@@ -362,7 +369,7 @@ impl DraProgram for HarTermProgram {
         self.core.is_accepting(s)
     }
 
-    fn step(&self, s: &HarState, input: TermEvent, cmps: &[Ordering]) -> (HarState, LoadMask) {
+    fn step(&self, s: &HarState, input: TermEvent, cmps: RegCmps) -> (HarState, LoadMask) {
         match input {
             TermEvent::Open(l) => self.core.step_open(s, l.index(), cmps),
             TermEvent::Close => self.core.step_close(s, None, cmps),

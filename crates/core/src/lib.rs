@@ -28,6 +28,11 @@
 //! * [`rpqness`] — Proposition 2.13 (bounded-exhaustive variant).
 //! * [`planner`] — the database face: classify a query, pick the cheapest
 //!   evaluator, run it.
+//! * [`engine`] — the fused byte→automaton streaming engine: the
+//!   tokenizer composed with the planned evaluator into one machine, so a
+//!   single pass over raw XML bytes evaluates the query
+//!   ([`planner::CompiledQuery::fused`]); registerless queries also get a
+//!   data-parallel chunked path.
 //! * [`papers`] — every automaton, language, and example the paper names,
 //!   as constructors keyed by figure/example number.
 //!
@@ -61,6 +66,7 @@ pub mod classify;
 pub mod closure;
 pub mod dtd;
 pub mod eflat;
+pub mod engine;
 pub mod error;
 pub mod extensions;
 pub mod extract;
@@ -78,6 +84,7 @@ pub mod term;
 
 pub use analysis::Analysis;
 pub use classify::{classify, ClassReport, Verdict};
+pub use engine::{ByteDfa, FusedQuery, TagLexer};
 pub use error::CoreError;
 pub use model::{DraProgram, DraRunner, LoadMask, StreamSymbol};
 pub use planner::{CompiledQuery, CompiledTermQuery, Strategy};

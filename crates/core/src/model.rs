@@ -11,12 +11,13 @@
 //!   *load* the current depth into any subset of registers.
 //!
 //! The crate enforces this honesty architecturally: a [`DraProgram`] never
-//! sees depth values.  Its `step` receives the input symbol and one
-//! [`Ordering`] per register (register value vs. the **new** depth dᵢ,
-//! exactly as in Definition 2.1) and returns the next control state plus a
-//! [`LoadMask`] of registers to overwrite with dᵢ.  The [`DraRunner`] owns
-//! the counter and the register file, so no program can smuggle arithmetic
-//! on depths into its control logic.
+//! sees depth values.  Its `step` receives the input symbol and a
+//! [`RegCmps`] — the pair of register sets (X≤, X≥) of Definition 2.1 as
+//! two bitmasks, i.e. the comparison of every register against the **new**
+//! depth dᵢ — and returns the next control state plus a [`LoadMask`] of
+//! registers to overwrite with dᵢ.  The [`DraRunner`] owns the counter and
+//! the register file, so no program can smuggle arithmetic on depths into
+//! its control logic.
 
 use std::cmp::Ordering;
 
@@ -28,8 +29,174 @@ use crate::error::CoreError;
 /// Maximum register count supported by [`DraRunner`] (masks are `u64`).
 pub const MAX_REGISTERS: usize = 64;
 
+/// Register count kept in [`DraRunner`]'s fixed-size register file; programs
+/// with at most this many registers run without any heap traffic per step.
+pub const SMALL_REGISTERS: usize = 8;
+
 /// Bitmask of registers to load with the current depth (bit ξ = register ξ).
 pub type LoadMask = u64;
+
+/// The register-comparison observation of Definition 2.1, as bitmasks.
+///
+/// Bit ξ of `le` is set iff η(ξ) ≤ dᵢ (ξ ∈ X≤); bit ξ of `ge` is set iff
+/// η(ξ) ≥ dᵢ (ξ ∈ X≥).  Every register is in at least one of the two sets,
+/// and X≤ ∩ X≥ is exactly the registers equal to the current depth.  Two
+/// words replace the per-step `Vec<Ordering>` the runner used to
+/// materialize: computing them is branchless and the whole observation
+/// stays in two machine registers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RegCmps {
+    /// X≤: registers with value ≤ current depth.
+    pub le: u64,
+    /// X≥: registers with value ≥ current depth.
+    pub ge: u64,
+}
+
+impl RegCmps {
+    /// No registers at all (the observation of a register-free program).
+    pub const EMPTY: RegCmps = RegCmps { le: 0, ge: 0 };
+
+    /// Compares every register value against `depth`.
+    #[inline]
+    pub fn compute(registers: &[i64], depth: i64) -> RegCmps {
+        let mut le = 0u64;
+        let mut ge = 0u64;
+        for (xi, &r) in registers.iter().enumerate() {
+            le |= u64::from(r <= depth) << xi;
+            ge |= u64::from(r >= depth) << xi;
+        }
+        RegCmps { le, ge }
+    }
+
+    /// The [`Ordering`] of register ξ's value against the current depth.
+    #[inline]
+    pub fn ordering(self, xi: usize) -> Ordering {
+        let le = self.le >> xi & 1 == 1;
+        let ge = self.ge >> xi & 1 == 1;
+        match (le, ge) {
+            (true, true) => Ordering::Equal,
+            (false, true) => Ordering::Greater,
+            _ => Ordering::Less,
+        }
+    }
+
+    /// Whether η(ξ) = dᵢ.
+    #[inline]
+    pub fn is_equal(self, xi: usize) -> bool {
+        (self.le & self.ge) >> xi & 1 == 1
+    }
+
+    /// Whether η(ξ) > dᵢ.
+    #[inline]
+    pub fn is_greater(self, xi: usize) -> bool {
+        (self.ge & !self.le) >> xi & 1 == 1
+    }
+
+    /// Whether η(ξ) < dᵢ.
+    #[inline]
+    pub fn is_less(self, xi: usize) -> bool {
+        (self.le & !self.ge) >> xi & 1 == 1
+    }
+
+    /// Mask of registers strictly greater than the current depth
+    /// (X≥ \ X≤ — what a *restricted* transition must reload).
+    #[inline]
+    pub fn greater(self) -> LoadMask {
+        self.ge & !self.le
+    }
+
+    /// Mask of registers strictly less than the current depth.
+    #[inline]
+    pub fn less(self) -> LoadMask {
+        self.le & !self.ge
+    }
+
+    /// Mask of registers equal to the current depth (X≤ ∩ X≥).
+    #[inline]
+    pub fn equal(self) -> LoadMask {
+        self.le & self.ge
+    }
+
+    /// Returns a copy with register ξ's comparison replaced.
+    #[inline]
+    pub fn with(mut self, xi: usize, ord: Ordering) -> RegCmps {
+        let bit = 1u64 << xi;
+        self.le &= !bit;
+        self.ge &= !bit;
+        match ord {
+            Ordering::Less => self.le |= bit,
+            Ordering::Equal => {
+                self.le |= bit;
+                self.ge |= bit;
+            }
+            Ordering::Greater => self.ge |= bit,
+        }
+        self
+    }
+
+    /// Builds the observation from explicit per-register orderings.
+    pub fn from_orderings(cmps: &[Ordering]) -> RegCmps {
+        let mut out = RegCmps::EMPTY;
+        for (xi, &c) in cmps.iter().enumerate() {
+            out = out.with(xi, c);
+        }
+        out
+    }
+
+    /// Expands the first `n` registers back into explicit orderings.
+    pub fn to_orderings(self, n: usize) -> Vec<Ordering> {
+        (0..n).map(|xi| self.ordering(xi)).collect()
+    }
+
+    /// Splits into the observations of the first `n` registers and of the
+    /// rest (shifted down) — the synchronous-product decomposition.
+    #[inline]
+    pub fn split_at(self, n: usize) -> (RegCmps, RegCmps) {
+        let mask = if n >= 64 { !0 } else { (1u64 << n) - 1 };
+        (
+            RegCmps {
+                le: self.le & mask,
+                ge: self.ge & mask,
+            },
+            RegCmps {
+                le: self.le >> n,
+                ge: self.ge >> n,
+            },
+        )
+    }
+
+    /// Base-3 code over the first `n` registers (digit ξ has weight 3^ξ:
+    /// 0 = less, 1 = equal, 2 = greater) — the [`crate::table`] indexing.
+    pub fn to_code(self, n: usize) -> usize {
+        let mut code = 0usize;
+        for xi in (0..n).rev() {
+            code = code * 3
+                + match self.ordering(xi) {
+                    Ordering::Less => 0,
+                    Ordering::Equal => 1,
+                    Ordering::Greater => 2,
+                };
+        }
+        code
+    }
+
+    /// Inverse of [`RegCmps::to_code`].
+    pub fn from_code(mut code: usize, n: usize) -> RegCmps {
+        let mut out = RegCmps::EMPTY;
+        for xi in 0..n {
+            out = out.with(
+                xi,
+                match code % 3 {
+                    0 => Ordering::Less,
+                    1 => Ordering::Equal,
+                    _ => Ordering::Greater,
+                },
+            );
+            code /= 3;
+        }
+        out
+    }
+}
 
 /// An input symbol of a streamed encoding: drives the depth counter.
 pub trait StreamSymbol: Copy {
@@ -78,14 +245,14 @@ pub trait DraProgram {
     /// Whether a control state is accepting.
     fn is_accepting(&self, state: &Self::State) -> bool;
 
-    /// One transition.  `cmps[ξ]` is the ordering of register ξ's value
-    /// against the **new** depth dᵢ (`Less` ⇔ η(ξ) < dᵢ, i.e. ξ ∈ X≤ \ X≥).
+    /// One transition.  `cmps` carries the ordering of every register's
+    /// value against the **new** depth dᵢ as the (X≤, X≥) bitmask pair.
     /// Returns the next state and the set Y of registers to load with dᵢ.
     fn step(
         &self,
         state: &Self::State,
         input: Self::Input,
-        cmps: &[Ordering],
+        cmps: RegCmps,
     ) -> (Self::State, LoadMask);
 }
 
@@ -95,13 +262,21 @@ pub trait DraProgram {
 /// state `q` (held here) and the numeric parts `d`, `η` (held here, never
 /// shown to the program).  Registers are initialized to 0 and the counter
 /// starts at 0, matching the paper's initial configuration.
+///
+/// Programs with at most [`SMALL_REGISTERS`] registers (every construction
+/// in this crate, in practice) run entirely out of a fixed-size array: the
+/// per-step comparison is a fixed-trip branchless loop producing the two
+/// [`RegCmps`] words, so the whole configuration lives in machine
+/// registers/L1 — the paper's "very low CPU cost" hypothesis.  Larger
+/// programs (up to [`MAX_REGISTERS`]) spill to a heap-allocated file.
 #[derive(Clone, Debug)]
 pub struct DraRunner<'p, P: DraProgram> {
     program: &'p P,
     state: P::State,
     depth: i64,
-    registers: Vec<i64>,
-    cmps: Vec<Ordering>,
+    n_registers: usize,
+    regs: [i64; SMALL_REGISTERS],
+    spill: Vec<i64>,
 }
 
 impl<'p, P: DraProgram> DraRunner<'p, P> {
@@ -119,24 +294,64 @@ impl<'p, P: DraProgram> DraRunner<'p, P> {
             program,
             state: program.init_state(),
             depth: 0,
-            registers: vec![0; n],
-            cmps: vec![Ordering::Equal; n],
+            n_registers: n,
+            regs: [0; SMALL_REGISTERS],
+            spill: if n > SMALL_REGISTERS {
+                vec![0; n]
+            } else {
+                Vec::new()
+            },
         })
     }
 
-    /// Processes one symbol; returns whether the new state is accepting.
-    pub fn step(&mut self, input: P::Input) -> bool {
-        self.depth += input.depth_delta();
-        for (c, &r) in self.cmps.iter_mut().zip(&self.registers) {
-            *c = r.cmp(&self.depth);
+    /// The (X≤, X≥) observation of the current register file.
+    #[inline]
+    fn compare(&self) -> RegCmps {
+        if self.n_registers <= SMALL_REGISTERS {
+            let d = self.depth;
+            let mut le = 0u64;
+            let mut ge = 0u64;
+            // Fixed-trip loop over the whole array: branchless, unrollable.
+            for xi in 0..SMALL_REGISTERS {
+                le |= u64::from(self.regs[xi] <= d) << xi;
+                ge |= u64::from(self.regs[xi] >= d) << xi;
+            }
+            let mask = (1u64 << self.n_registers) - 1;
+            RegCmps {
+                le: le & mask,
+                ge: ge & mask,
+            }
+        } else {
+            RegCmps::compute(&self.spill, self.depth)
         }
-        let (next, load) = self.program.step(&self.state, input, &self.cmps);
-        if load != 0 {
-            for (xi, r) in self.registers.iter_mut().enumerate() {
+    }
+
+    #[inline]
+    fn apply_load(&mut self, load: LoadMask) {
+        let d = self.depth;
+        if self.n_registers <= SMALL_REGISTERS {
+            for xi in 0..SMALL_REGISTERS {
                 if load >> xi & 1 == 1 {
-                    *r = self.depth;
+                    self.regs[xi] = d;
                 }
             }
+        } else {
+            for (xi, r) in self.spill.iter_mut().enumerate() {
+                if load >> xi & 1 == 1 {
+                    *r = d;
+                }
+            }
+        }
+    }
+
+    /// Processes one symbol; returns whether the new state is accepting.
+    #[inline]
+    pub fn step(&mut self, input: P::Input) -> bool {
+        self.depth += input.depth_delta();
+        let cmps = self.compare();
+        let (next, load) = self.program.step(&self.state, input, cmps);
+        if load != 0 {
+            self.apply_load(load);
         }
         self.state = next;
         self.program.is_accepting(&self.state)
@@ -154,7 +369,11 @@ impl<'p, P: DraProgram> DraRunner<'p, P> {
 
     /// Current register values (diagnostics only).
     pub fn registers(&self) -> &[i64] {
-        &self.registers
+        if self.n_registers <= SMALL_REGISTERS {
+            &self.regs[..self.n_registers]
+        } else {
+            &self.spill
+        }
     }
 
     /// Whether the current configuration is accepting.
@@ -184,17 +403,12 @@ pub fn check_restricted_run<P: DraProgram>(
     let mut state = program.init_state();
     let mut depth: i64 = 0;
     let mut registers = vec![0i64; n];
-    let mut cmps = vec![Ordering::Equal; n];
     for &sym in stream {
         depth += sym.depth_delta();
-        for (c, &r) in cmps.iter_mut().zip(&registers) {
-            *c = r.cmp(&depth);
-        }
-        let (next, load) = program.step(&state, sym, &cmps);
-        for (xi, &c) in cmps.iter().enumerate() {
-            if c == Ordering::Greater && load >> xi & 1 == 0 {
-                return Ok(false);
-            }
+        let cmps = RegCmps::compute(&registers, depth);
+        let (next, load) = program.step(&state, sym, cmps);
+        if cmps.greater() & !load != 0 {
+            return Ok(false);
         }
         for (xi, r) in registers.iter_mut().enumerate() {
             if load >> xi & 1 == 1 {
@@ -280,7 +494,7 @@ impl DraProgram for TagDfaProgram<'_> {
         self.dfa.is_accepting(*state)
     }
 
-    fn step(&self, state: &usize, input: Tag, _cmps: &[Ordering]) -> (usize, LoadMask) {
+    fn step(&self, state: &usize, input: Tag, _cmps: RegCmps) -> (usize, LoadMask) {
         let letter = match input {
             Tag::Open(l) => l.index(),
             Tag::Close(l) => self.n_base_letters + l.index(),
@@ -324,26 +538,13 @@ impl DraProgram for TermDfaProgram<'_> {
         self.dfa.is_accepting(*state)
     }
 
-    fn step(&self, state: &usize, input: TermEvent, _cmps: &[Ordering]) -> (usize, LoadMask) {
+    fn step(&self, state: &usize, input: TermEvent, _cmps: RegCmps) -> (usize, LoadMask) {
         let letter = match input {
             TermEvent::Open(l) => l.index(),
             TermEvent::Close => self.close_letter,
         };
         (self.dfa.step(*state, letter), 0)
     }
-}
-
-/// Mask of registers comparing `Greater` — the set a *restricted*
-/// transition must reload (Section 2.2).  Sink states use this to keep
-/// wrapped programs restricted.
-fn greater_mask(cmps: &[Ordering]) -> LoadMask {
-    let mut mask: LoadMask = 0;
-    for (xi, &c) in cmps.iter().enumerate() {
-        if c == Ordering::Greater {
-            mask |= 1 << xi;
-        }
-    }
-    mask
 }
 
 /// Wraps a node-selecting program into an acceptor of EL — the Theorem 3.1
@@ -389,17 +590,13 @@ impl<P: DraProgram> DraProgram for ExistsAcceptor<P> {
         matches!(state, ExistsState::Found)
     }
 
-    fn step(
-        &self,
-        state: &Self::State,
-        input: P::Input,
-        cmps: &[Ordering],
-    ) -> (Self::State, LoadMask) {
+    fn step(&self, state: &Self::State, input: P::Input, cmps: RegCmps) -> (Self::State, LoadMask) {
         match state {
-            ExistsState::Found => (ExistsState::Found, greater_mask(cmps)),
+            // Sink states reload X≥ \ X≤ to stay restricted (Section 2.2).
+            ExistsState::Found => (ExistsState::Found, cmps.greater()),
             ExistsState::Running(s, leaf_flag) => {
                 if !input.is_open() && *leaf_flag {
-                    return (ExistsState::Found, greater_mask(cmps));
+                    return (ExistsState::Found, cmps.greater());
                 }
                 let (next, load) = self.inner.step(s, input, cmps);
                 let flag = input.is_open() && self.inner.is_accepting(&next);
@@ -451,17 +648,12 @@ impl<P: DraProgram> DraProgram for ForallAcceptor<P> {
         !matches!(state, ForallState::Failed)
     }
 
-    fn step(
-        &self,
-        state: &Self::State,
-        input: P::Input,
-        cmps: &[Ordering],
-    ) -> (Self::State, LoadMask) {
+    fn step(&self, state: &Self::State, input: P::Input, cmps: RegCmps) -> (Self::State, LoadMask) {
         match state {
-            ForallState::Failed => (ForallState::Failed, greater_mask(cmps)),
+            ForallState::Failed => (ForallState::Failed, cmps.greater()),
             ForallState::Running(s, bad_leaf_flag) => {
                 if !input.is_open() && *bad_leaf_flag {
-                    return (ForallState::Failed, greater_mask(cmps));
+                    return (ForallState::Failed, cmps.greater());
                 }
                 let (next, load) = self.inner.step(s, input, cmps);
                 let flag = input.is_open() && !self.inner.is_accepting(&next);
@@ -508,11 +700,11 @@ mod tests {
             !matches!(s, S::Reject)
         }
 
-        fn step(&self, s: &S, input: Tag, cmps: &[Ordering]) -> (S, LoadMask) {
+        fn step(&self, s: &S, input: Tag, cmps: RegCmps) -> (S, LoadMask) {
             match (s, input) {
                 (S::NoAYet, Tag::Open(l)) if l == self.a => (S::Tracking, 1),
                 (S::Tracking, Tag::Open(l)) if l == self.a => {
-                    if cmps[0] == Ordering::Equal {
+                    if cmps.is_equal(0) {
                         (S::Tracking, 0)
                     } else {
                         (S::Reject, 0)
@@ -522,6 +714,74 @@ mod tests {
                 (other, _) => (other.clone(), 0),
             }
         }
+    }
+
+    #[test]
+    fn reg_cmps_roundtrips() {
+        use Ordering::{Equal, Greater, Less};
+        let all = [Less, Equal, Greater];
+        for &a in &all {
+            for &b in &all {
+                for &c in &all {
+                    let v = [a, b, c];
+                    let r = RegCmps::from_orderings(&v);
+                    assert_eq!(r.to_orderings(3), v);
+                    assert_eq!((r.ordering(0), r.ordering(1), r.ordering(2)), (a, b, c));
+                    assert_eq!(RegCmps::from_code(r.to_code(3), 3), r);
+                    let (lo, hi) = r.split_at(1);
+                    assert_eq!(lo.ordering(0), a);
+                    assert_eq!((hi.ordering(0), hi.ordering(1)), (b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reg_cmps_masks_agree_with_compute() {
+        let regs = [3i64, 5, 7, 5, 0];
+        let r = RegCmps::compute(&regs, 5);
+        assert_eq!(r.equal(), 0b01010);
+        assert_eq!(r.greater(), 0b00100);
+        assert_eq!(r.less(), 0b10001);
+        assert!(r.is_less(0) && r.is_equal(1) && r.is_greater(2));
+    }
+
+    #[test]
+    fn runner_spills_past_small_register_file() {
+        // A program with 12 registers: loads register 11 at the root, then
+        // requires it to compare Equal at every later depth-1 opening.
+        struct WideTracker;
+        impl DraProgram for WideTracker {
+            type Input = Tag;
+            type State = (bool, bool);
+            fn n_registers(&self) -> usize {
+                12
+            }
+            fn init_state(&self) -> (bool, bool) {
+                (false, true)
+            }
+            fn is_accepting(&self, s: &(bool, bool)) -> bool {
+                s.1
+            }
+            fn step(
+                &self,
+                s: &(bool, bool),
+                input: Tag,
+                cmps: RegCmps,
+            ) -> ((bool, bool), LoadMask) {
+                match (s, input) {
+                    ((false, ok), Tag::Open(_)) => ((true, *ok), 1 << 11),
+                    ((true, ok), Tag::Open(_)) => ((true, *ok && cmps.is_less(11)), 0),
+                    (s, _) => (*s, 0),
+                }
+            }
+        }
+        let g = Alphabet::of_chars("a");
+        let a = g.letter("a").unwrap();
+        let deep = vec![Tag::Open(a), Tag::Open(a), Tag::Close(a), Tag::Close(a)];
+        assert!(accepts(&WideTracker, &deep).unwrap());
+        let wide = vec![Tag::Open(a), Tag::Close(a), Tag::Open(a), Tag::Close(a)];
+        assert!(!accepts(&WideTracker, &wide).unwrap());
     }
 
     fn tags_of(term: &str) -> (Alphabet, Vec<Tag>) {
@@ -565,7 +825,7 @@ mod tests {
             fn is_accepting(&self, _: &()) -> bool {
                 false
             }
-            fn step(&self, _: &(), _: Tag, _: &[Ordering]) -> ((), LoadMask) {
+            fn step(&self, _: &(), _: Tag, _: RegCmps) -> ((), LoadMask) {
                 ((), 0)
             }
         }

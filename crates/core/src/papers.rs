@@ -186,9 +186,8 @@ impl crate::model::DraProgram for ChildrenOfRootProgram {
         &self,
         state: &Self::State,
         input: st_automata::Tag,
-        cmps: &[std::cmp::Ordering],
+        cmps: crate::model::RegCmps,
     ) -> (Self::State, crate::model::LoadMask) {
-        use std::cmp::Ordering;
         match *state {
             ChildrenOfRootState::Start => {
                 // First tag of a valid encoding opens the root at depth 1:
@@ -197,14 +196,12 @@ impl crate::model::DraProgram for ChildrenOfRootProgram {
             }
             ChildrenOfRootState::Running(q) => {
                 let next = match input {
-                    st_automata::Tag::Close(l) if cmps[0] == Ordering::Equal => {
-                        self.dfa.step(q, l.index())
-                    }
+                    st_automata::Tag::Close(l) if cmps.is_equal(0) => self.dfa.step(q, l.index()),
                     _ => q,
                 };
                 // Reload on the root's own closing tag (depth 0 < stored 1)
                 // to stay formally restricted; the run is over then anyway.
-                let reload = u64::from(cmps[0] == Ordering::Greater);
+                let reload = u64::from(cmps.is_greater(0));
                 (ChildrenOfRootState::Running(next), reload)
             }
         }
@@ -284,10 +281,9 @@ impl crate::model::DraProgram for FirstAHasBDescendantProgram {
         &self,
         state: &Self::State,
         input: st_automata::Tag,
-        cmps: &[std::cmp::Ordering],
+        cmps: crate::model::RegCmps,
     ) -> (Self::State, crate::model::LoadMask) {
-        use std::cmp::Ordering;
-        let stale = u64::from(cmps[0] == Ordering::Greater);
+        let stale = u64::from(cmps.is_greater(0));
         match *state {
             FirstAState::Seeking => match input {
                 st_automata::Tag::Open(l) if l == self.a => (FirstAState::Scanning, 1),
@@ -295,7 +291,7 @@ impl crate::model::DraProgram for FirstAHasBDescendantProgram {
             },
             FirstAState::Scanning => match input {
                 st_automata::Tag::Open(l) if l == self.b => (FirstAState::Decided(true), stale),
-                _ if cmps[0] == Ordering::Greater => (FirstAState::Decided(false), stale),
+                _ if cmps.is_greater(0) => (FirstAState::Decided(false), stale),
                 _ => (FirstAState::Scanning, stale),
             },
             FirstAState::Decided(v) => (FirstAState::Decided(v), stale),
@@ -335,10 +331,9 @@ impl crate::model::DraProgram for SomeAHasBDescendantProgram {
         &self,
         state: &Self::State,
         input: st_automata::Tag,
-        cmps: &[std::cmp::Ordering],
+        cmps: crate::model::RegCmps,
     ) -> (Self::State, crate::model::LoadMask) {
-        use std::cmp::Ordering;
-        let stale = u64::from(cmps[0] == Ordering::Greater);
+        let stale = u64::from(cmps.is_greater(0));
         match *state {
             FirstAState::Seeking => match input {
                 st_automata::Tag::Open(l) if l == self.a => (FirstAState::Scanning, 1),
@@ -347,7 +342,7 @@ impl crate::model::DraProgram for SomeAHasBDescendantProgram {
             FirstAState::Scanning => match input {
                 st_automata::Tag::Open(l) if l == self.b => (FirstAState::Decided(true), stale),
                 // Candidate closed unmatched: back to the loop.
-                _ if cmps[0] == Ordering::Greater => (FirstAState::Seeking, stale),
+                _ if cmps.is_greater(0) => (FirstAState::Seeking, stale),
                 _ => (FirstAState::Scanning, stale),
             },
             FirstAState::Decided(v) => (FirstAState::Decided(v), stale),

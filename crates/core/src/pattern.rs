@@ -18,12 +18,10 @@
 //!
 //! [`contains`] is the DOM oracle used to validate the program.
 
-use std::cmp::Ordering;
-
 use st_automata::{Letter, Tag};
 use st_trees::tree::{NodeId, Tree};
 
-use crate::model::{DraProgram, LoadMask};
+use crate::model::{DraProgram, LoadMask, RegCmps};
 
 /// A descendent pattern: a tree over Γ whose edges mean *descendant*.
 #[derive(Clone, Debug)]
@@ -331,12 +329,7 @@ impl DraProgram for PatternProgram {
         state.get(0) == Status::Success
     }
 
-    fn step(
-        &self,
-        state: &PatternState,
-        input: Tag,
-        cmps: &[Ordering],
-    ) -> (PatternState, LoadMask) {
+    fn step(&self, state: &PatternState, input: Tag, cmps: RegCmps) -> (PatternState, LoadMask) {
         let mut next = *state;
         let mut load: LoadMask = 0;
         match input {
@@ -344,11 +337,7 @@ impl DraProgram for PatternProgram {
                 // Stack discipline for the static restrictedness check:
                 // reload registers above the current depth (never the case
                 // in real runs at opening tags).
-                for (u, &c) in cmps.iter().enumerate().take(self.n_nodes()) {
-                    if c == Ordering::Greater {
-                        load |= 1 << u;
-                    }
-                }
+                load |= cmps.greater();
                 // Every matcher that was *already* Scanning adopts the node
                 // as its candidate.  Adoption is decided against the
                 // pre-step statuses: a child activated by its parent in
@@ -376,12 +365,13 @@ impl DraProgram for PatternProgram {
                 // to just-reset or long-inactive matchers, so the reload
                 // is invisible to the matching logic but keeps the
                 // program formally *restricted*.
-                for (u, &c) in cmps.iter().enumerate().take(self.n_nodes()) {
-                    if c == Ordering::Greater {
-                        if next.get(u) == Status::Running {
-                            self.reset_subtree(&mut next, u);
-                        }
-                        load |= 1 << u;
+                let mut stale = cmps.greater();
+                load |= stale;
+                while stale != 0 {
+                    let u = stale.trailing_zeros() as usize;
+                    stale &= stale - 1;
+                    if next.get(u) == Status::Running {
+                        self.reset_subtree(&mut next, u);
                     }
                 }
             }

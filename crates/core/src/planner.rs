@@ -19,6 +19,7 @@ use st_baseline::stack::StackEvaluator;
 
 use crate::analysis::Analysis;
 use crate::classify::{classify, ClassReport};
+use crate::engine::FusedQuery;
 use crate::har::{self, HarMarkupProgram};
 use crate::model::{preselect, DraProgram, DraRunner, TagDfaProgram};
 use crate::registerless;
@@ -98,6 +99,25 @@ impl CompiledQuery {
         match &self.backend {
             Backend::Stackless(p) => p.n_registers(),
             _ => 0,
+        }
+    }
+
+    /// Fuses the chosen evaluator with the byte lexer of `alphabet`,
+    /// yielding an engine that evaluates directly over raw document
+    /// bytes in a single pass (no intermediate event stream) — see
+    /// [`crate::engine`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::CoreError::FusedTooLarge`] if the registerless composite
+    /// table would exceed its state budget, and
+    /// [`crate::CoreError::MalformedTable`] if `alphabet` does not match
+    /// the query's tag alphabet.
+    pub fn fused(&self, alphabet: &st_automata::Alphabet) -> Result<FusedQuery, crate::CoreError> {
+        match &self.backend {
+            Backend::Registerless(dfa) => FusedQuery::registerless(dfa, alphabet),
+            Backend::Stackless(program) => Ok(FusedQuery::stackless(program.clone(), alphabet)),
+            Backend::Stack => Ok(FusedQuery::stack(&self.analysis.dfa, alphabet)),
         }
     }
 

@@ -24,15 +24,14 @@
 //! The construction is exponential in the register count — inherently so,
 //! as in the paper — and is intended for the small worked examples.
 
-use std::cmp::Ordering;
 use std::collections::HashMap;
 
 use st_automata::hedge::HedgeAutomaton;
 use st_automata::{Dfa, Tag};
 
 use crate::error::CoreError;
-use crate::model::DraProgram;
-use crate::table::{cmp_decode, TableDra, Target};
+use crate::model::{DraProgram, RegCmps};
+use crate::table::{TableDra, Target};
 
 /// Explores a program's control-state space (BFS over all tags × all
 /// comparison profiles) and tabulates it as a [`TableDra`].
@@ -72,8 +71,8 @@ where
                 Tag::Close(st_automata::Letter((tag_idx - n_base_letters) as u32))
             };
             for code in 0..n_cmp {
-                let cmps = cmp_decode(code, r);
-                let (succ, load) = program.step(&state, tag, &cmps);
+                let cmps = RegCmps::from_code(code, r);
+                let (succ, load) = program.step(&state, tag, cmps);
                 let id = match states.iter().position(|s| *s == succ) {
                     Some(id) => id,
                     None => {
@@ -132,18 +131,13 @@ struct AuxState {
 /// compares `Less`.
 fn fire(dra: &TableDra, state: usize, tag: Tag, greater: RegSet, equal: RegSet) -> (usize, RegSet) {
     let r = DraProgram::n_registers(dra);
-    let cmps: Vec<Ordering> = (0..r)
-        .map(|xi| {
-            if greater >> xi & 1 == 1 {
-                Ordering::Greater
-            } else if equal >> xi & 1 == 1 {
-                Ordering::Equal
-            } else {
-                Ordering::Less
-            }
-        })
-        .collect();
-    let (next, load) = dra.step(&state, tag, &cmps);
+    let mask = if r >= 64 { !0 } else { (1u64 << r) - 1 };
+    // X≥ is greater ∪ equal, X≤ is everything not strictly greater.
+    let cmps = RegCmps {
+        le: !(greater as u64) & mask,
+        ge: (greater as u64 | equal as u64) & mask,
+    };
+    let (next, load) = dra.step(&state, tag, cmps);
     (next, load as RegSet)
 }
 

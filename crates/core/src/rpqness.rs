@@ -74,9 +74,8 @@ mod tests {
     use super::*;
     use crate::analysis::Analysis;
     use crate::har;
-    use crate::model::{DraProgram, LoadMask};
+    use crate::model::{DraProgram, LoadMask, RegCmps};
     use st_automata::{compile_regex, Alphabet};
-    use std::cmp::Ordering;
 
     #[test]
     fn compiled_har_programs_are_path_queries() {
@@ -108,7 +107,7 @@ mod tests {
             *s
         }
 
-        fn step(&self, s: &bool, input: Tag, _: &[Ordering]) -> (bool, LoadMask) {
+        fn step(&self, s: &bool, input: Tag, _: RegCmps) -> (bool, LoadMask) {
             if input.is_open() {
                 (!*s, 0)
             } else {

@@ -22,7 +22,7 @@ use std::cmp::Ordering;
 use st_automata::Tag;
 
 use crate::error::CoreError;
-use crate::model::{DraProgram, LoadMask};
+use crate::model::{DraProgram, LoadMask, RegCmps};
 
 /// Encodes a full register-comparison vector as a base-3 index.
 pub fn cmp_code(cmps: &[Ordering]) -> usize {
@@ -186,13 +186,14 @@ impl DraProgram for TableDra {
         self.accepting[*s]
     }
 
-    fn step(&self, s: &usize, input: Tag, cmps: &[Ordering]) -> (usize, LoadMask) {
+    fn step(&self, s: &usize, input: Tag, cmps: RegCmps) -> (usize, LoadMask) {
         let tag_idx = match input {
             Tag::Open(l) => l.index(),
             Tag::Close(l) => self.n_base_letters + l.index(),
         };
         let n_cmp = 3usize.pow(self.n_registers as u32);
-        let t = self.delta[((*s * 2 * self.n_base_letters) + tag_idx) * n_cmp + cmp_code(cmps)];
+        let code = cmps.to_code(self.n_registers);
+        let t = self.delta[((*s * 2 * self.n_base_letters) + tag_idx) * n_cmp + code];
         (t.next, t.load)
     }
 }
@@ -234,6 +235,9 @@ mod tests {
         for n in 0..4usize {
             for code in 0..3usize.pow(n as u32) {
                 assert_eq!(cmp_code(&cmp_decode(code, n)), code);
+                // The bitmask observation uses the same base-3 indexing.
+                let r = crate::model::RegCmps::from_orderings(&cmp_decode(code, n));
+                assert_eq!(r.to_code(n), code);
             }
         }
     }

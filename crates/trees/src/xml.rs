@@ -39,9 +39,12 @@ fn is_name_byte(b: u8) -> bool {
 pub struct Scanner<'a> {
     bytes: &'a [u8],
     pos: usize,
-    /// Byte-keyed label table (alphabets are small, so a linear scan with
-    /// a first-byte filter beats hashing on the per-event hot path).
+    /// Label table sorted by first byte; `buckets` dispatches a scanned
+    /// name to the run of same-initial candidates, so the per-event
+    /// lookup only compares labels that could actually match.
     labels: Vec<(Box<[u8]>, Letter)>,
+    /// `buckets[b]` = `(start, len)` of the labels beginning with `b`.
+    buckets: [(u32, u32); 256],
     /// Pending Close after a self-closing element.
     pending_close: Option<Letter>,
     failed: bool,
@@ -50,14 +53,24 @@ pub struct Scanner<'a> {
 impl<'a> Scanner<'a> {
     /// Creates a scanner over `bytes` with labels drawn from `alphabet`.
     pub fn new(bytes: &'a [u8], alphabet: &'a Alphabet) -> Self {
-        let labels = alphabet
+        let mut labels: Vec<(Box<[u8]>, Letter)> = alphabet
             .entries()
             .map(|(l, s)| (s.as_bytes().to_vec().into_boxed_slice(), l))
             .collect();
+        labels.sort_by_key(|(bytes, _)| bytes.first().copied().unwrap_or(0));
+        let mut buckets = [(0u32, 0u32); 256];
+        for (i, (bytes, _)) in labels.iter().enumerate() {
+            let b = bytes.first().copied().unwrap_or(0) as usize;
+            if buckets[b].1 == 0 {
+                buckets[b].0 = i as u32;
+            }
+            buckets[b].1 += 1;
+        }
         Self {
             bytes,
             pos: 0,
             labels,
+            buckets,
             pending_close: None,
             failed: false,
         }
@@ -212,8 +225,9 @@ impl<'a> Scanner<'a> {
 
     #[inline]
     fn lookup(&mut self, name: &[u8]) -> Result<Letter, TreeError> {
-        for (bytes, letter) in &self.labels {
-            if bytes.len() == name.len() && bytes[0] == name[0] && bytes[..] == *name {
+        let (start, len) = self.buckets[name[0] as usize];
+        for (bytes, letter) in &self.labels[start as usize..(start + len) as usize] {
+            if bytes[..] == *name {
                 return Ok(*letter);
             }
         }
@@ -350,6 +364,62 @@ mod tests {
         let doc = write_document(&tree, &g);
         let (_, events2) = parse_document(doc.as_bytes()).unwrap();
         assert_eq!(events, events2);
+    }
+
+    /// Reference lookup for the dispatch-table test: the linear scan the
+    /// `buckets` table replaced.
+    fn linear_lookup(alphabet: &Alphabet, name: &[u8]) -> Option<Letter> {
+        alphabet
+            .entries()
+            .find(|(_, s)| s.as_bytes() == name)
+            .map(|(l, _)| l)
+    }
+
+    #[test]
+    fn bucket_dispatch_matches_linear_lookup() {
+        // Labels sharing first bytes, plus one the documents never use.
+        let g = Alphabet::from_symbols(["item", "it", "id", "index", "x"]).unwrap();
+        let corpus: [&[u8]; 6] = [
+            b"<item><it/><id></id></item>",
+            b"<index><item x='1'>text</item><x/></index>",
+            b"<it><it><it/></it></it>",
+            b"<x/>",
+            b"<item><izzz/></item>",  // unknown label sharing a bucket
+            b"<item><items/></item>", // extends past a known label
+        ];
+        // Same labels in a different entry order: the bucket layout
+        // changes, the event stream must not.
+        let g2 = Alphabet::from_symbols(["x", "index", "id", "it", "item"]).unwrap();
+        for doc in corpus {
+            let scanned: Vec<Result<Tag, TreeError>> = Scanner::new(doc, &g).collect();
+            // Every resolved label agrees with the plain linear lookup the
+            // dispatch table replaced…
+            for step in scanned.iter().flatten() {
+                let l = match step {
+                    Tag::Open(l) | Tag::Close(l) => *l,
+                };
+                assert_eq!(linear_lookup(&g, g.symbol(l).as_bytes()), Some(l));
+            }
+            // …and the stream is identical (as symbols / error positions)
+            // under the permuted alphabet.
+            let scanned2: Vec<Result<Tag, TreeError>> = Scanner::new(doc, &g2).collect();
+            assert_eq!(scanned.len(), scanned2.len());
+            for (a, b) in scanned.iter().zip(&scanned2) {
+                match (a, b) {
+                    (Ok(ta), Ok(tb)) => {
+                        let (sa, sb) = match (ta, tb) {
+                            (Tag::Open(la), Tag::Open(lb)) | (Tag::Close(la), Tag::Close(lb)) => {
+                                (g.symbol(*la), g2.symbol(*lb))
+                            }
+                            _ => panic!("open/close mismatch on {doc:?}"),
+                        };
+                        assert_eq!(sa, sb);
+                    }
+                    (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+                    _ => panic!("ok/err mismatch on {doc:?}"),
+                }
+            }
+        }
     }
 
     #[test]

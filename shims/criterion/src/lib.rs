@@ -1,0 +1,384 @@
+//! Minimal, dependency-free stand-in for the parts of `criterion` this
+//! workspace's benches use. The build environment has no registry
+//! access, so the workspace vendors the needed surface: `Criterion`
+//! with `warm_up_time`/`measurement_time`/`sample_size`, benchmark
+//! groups with `throughput`/`bench_with_input`/`finish`, `BenchmarkId`,
+//! `Throughput`, `black_box`, and the `criterion_group!`/
+//! `criterion_main!` macros.
+//!
+//! It really measures: each `Bencher::iter` warms up, sizes samples
+//! from the warm-up rate, runs timed samples, and prints mean/best
+//! per-iteration time plus derived throughput. There are no HTML
+//! reports, statistics beyond mean/best, or saved baselines — benches
+//! print one line per benchmark and exit.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Config {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_millis(2000),
+            sample_size: 20,
+        }
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+    /// Substring filters from the CLI; empty means run everything.
+    filters: Vec<String>,
+}
+
+impl Criterion {
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Pick up CLI filters the way `cargo bench <filter>` passes them:
+    /// positional args are substring filters, flags are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        self.filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_with_input(BenchmarkId::from_parameter(&name), &(), {
+            let mut f = f;
+            move |b, _| f(b)
+        });
+        group.finish();
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_id.contains(f.as_str()))
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.config.sample_size = n;
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id.id);
+        if !self.criterion.matches(&full_id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            config: self.criterion.config.clone(),
+            sample: None,
+        };
+        f(&mut bencher, input);
+        report(&full_id, bencher.sample, self.throughput);
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut f = f;
+        self.bench_with_input(id.into_benchmark_id(), &(), move |b, _| f(b));
+    }
+
+    pub fn finish(self) {}
+}
+
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId::from_parameter(self)
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId::from_parameter(self)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    mean_ns: f64,
+    best_ns: f64,
+}
+
+pub struct Bencher {
+    config: Config,
+    sample: Option<Sample>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses, estimating the
+        // per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter_ns =
+            (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+
+        // Measurement: split the budget into sample_size timed batches.
+        let budget_ns = self.config.measurement.as_nanos() as f64;
+        let total_iters =
+            ((budget_ns / per_iter_ns).ceil() as u64).max(self.config.sample_size as u64);
+        let iters_per_sample = (total_iters / self.config.sample_size as u64).max(1);
+        let mut total_ns = 0.0;
+        let mut total_done: u64 = 0;
+        let mut best_ns = f64::INFINITY;
+        for _ in 0..self.config.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64;
+            total_ns += ns;
+            total_done += iters_per_sample;
+            best_ns = best_ns.min(ns / iters_per_sample as f64);
+        }
+        self.sample = Some(Sample {
+            mean_ns: total_ns / total_done as f64,
+            best_ns,
+        });
+    }
+
+    /// `iter_batched`-lite: setup excluded from timing per batch.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut f: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // One input per timed call keeps setup out of the measurement.
+        let mut warm_iters: u64 = 0;
+        let mut spent = Duration::ZERO;
+        while spent < self.config.warm_up {
+            let input = setup();
+            let t = Instant::now();
+            black_box(f(input));
+            spent += t.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter_ns = (spent.as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+        let budget_ns = self.config.measurement.as_nanos() as f64;
+        let total_iters =
+            ((budget_ns / per_iter_ns).ceil() as u64).max(self.config.sample_size as u64);
+        let iters_per_sample = (total_iters / self.config.sample_size as u64).max(1);
+        let mut total_ns = 0.0;
+        let mut total_done: u64 = 0;
+        let mut best_ns = f64::INFINITY;
+        for _ in 0..self.config.sample_size {
+            let mut ns = 0.0;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let t = Instant::now();
+                black_box(f(input));
+                ns += t.elapsed().as_nanos() as f64;
+            }
+            total_ns += ns;
+            total_done += iters_per_sample;
+            best_ns = best_ns.min(ns / iters_per_sample as f64);
+        }
+        self.sample = Some(Sample {
+            mean_ns: total_ns / total_done as f64,
+            best_ns,
+        });
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+}
+
+fn report(full_id: &str, sample: Option<Sample>, throughput: Option<Throughput>) {
+    let Some(s) = sample else {
+        println!("{full_id:<60} (no measurement)");
+        return;
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            // bytes per nanosecond == GB/s (decimal).
+            format!("  {:>9.3} GB/s", n as f64 / s.mean_ns)
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>9.3} Melem/s", n as f64 / s.mean_ns * 1e3)
+        }
+        None => String::new(),
+    };
+    println!(
+        "{full_id:<60} {:>12} /iter (best {}){rate}",
+        fmt_ns(s.mean_ns),
+        fmt_ns(s.best_ns)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// `criterion_group!`: both the struct-ish form with `name`/`config`/
+/// `targets` and the positional form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(2)
+    }
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = tiny();
+        let mut group = c.benchmark_group("shim/test");
+        group.throughput(Throughput::Bytes(1024));
+        let data = vec![1u8; 1024];
+        group.bench_with_input(BenchmarkId::new("sum", 1024), &data, |b, d| {
+            b.iter(|| d.iter().map(|&x| x as u64).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filters_skip_non_matching() {
+        let mut c = tiny();
+        c.filters = vec!["nonexistent-filter".to_string()];
+        let mut group = c.benchmark_group("shim/filtered");
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &(), |_b, _| {
+            ran = true;
+        });
+        group.finish();
+        assert!(!ran, "filtered benchmark must not run");
+    }
+}
