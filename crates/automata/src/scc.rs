@@ -44,16 +44,19 @@ impl SccDecomposition {
     /// depth-register automaton; Lemma 3.11 as the synopsis length bound.
     pub fn dag_depth(&self, dfa: &Dfa) -> usize {
         let n_sccs = self.len();
-        // Longest path in DAG by processing ids in topological order.
+        // Component ids are a topological order of the condensation (edges
+        // go from lower to higher ids), so relaxing each component's
+        // out-edges in id order finalizes `depth[c]` before it is read.
+        // Relaxing in *state* order instead would silently underestimate
+        // whenever state numbering disagrees with the condensation order.
         let mut depth = vec![1usize; n_sccs];
-        let mut order: Vec<usize> = (0..n_sccs).collect();
-        order.sort_unstable();
-        for s in 0..dfa.n_states() {
-            for a in 0..dfa.n_letters() {
-                let t = dfa.step(s, a);
-                let (cs, ct) = (self.component[s], self.component[t]);
-                if cs != ct {
-                    depth[ct] = depth[ct].max(depth[cs] + 1);
+        for c in 0..n_sccs {
+            for &s in &self.members[c] {
+                for a in 0..dfa.n_letters() {
+                    let ct = self.component[dfa.step(s, a)];
+                    if c != ct {
+                        depth[ct] = depth[ct].max(depth[c] + 1);
+                    }
                 }
             }
         }
@@ -189,6 +192,25 @@ mod tests {
         let s = scc(&d);
         assert_eq!(s.len(), 1);
         assert_eq!(s.dag_depth(&d), 1);
+    }
+
+    #[test]
+    fn dag_depth_is_independent_of_state_numbering() {
+        // Chain 0 -> 2 -> 1 -> 3 -> 3: four singleton SCCs, but the state
+        // ids are not in topological order.  Relaxing edges in state order
+        // would visit 1 -> 3 before 2 -> 1 and report depth 3; the true
+        // longest path has 4 components.  Found by the conformance fuzzer
+        // (pattern "ca|a" panicked with "chain exceeds SCC-DAG depth").
+        let d = Dfa::from_rows(
+            1,
+            0,
+            vec![false, false, false, true],
+            vec![vec![2], vec![3], vec![1], vec![3]],
+        )
+        .unwrap();
+        let s = scc(&d);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.dag_depth(&d), 4);
     }
 
     #[test]

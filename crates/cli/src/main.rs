@@ -29,6 +29,7 @@ fn main() -> ExitCode {
         Some("validate") => cmd_validate(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("extract") => cmd_extract(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -49,7 +50,9 @@ const USAGE: &str = "usage:
   stql select  <query> <file.xml|file.json|file.term> [--count] [--fused]
   stql validate <schema.dtd> <file.xml>
   stql stats   <file.xml|file.json|file.term>
-  stql extract <query> <file.xml>";
+  stql extract <query> <file.xml>
+  stql fuzz    [--seed N] [--iters M] [--max-depth D] [--max-nodes K]
+               [--corpus DIR] [--mutation NAME] [--replay FILE.case]";
 
 /// Parses a query in whichever of the three syntaxes it is written.
 fn parse_query(query: &str, alphabet: &Alphabet) -> Result<PathQuery, String> {
@@ -331,6 +334,81 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         return Err(format!("document is unbalanced ({depth} unclosed)"));
     }
     Ok(())
+}
+
+/// Differential conformance fuzzing (see `st_conform`): generates seeded
+/// tree/pattern cases, runs every evaluation path on each, and fails on
+/// any divergence in match sets, boolean verdicts, or error classes.
+/// Divergences are delta-debugged to minimal reproducers and, with
+/// `--corpus`, persisted for the tier-1 replay test.
+fn cmd_fuzz(args: &[String]) -> Result<(), String> {
+    if let Some(path) = flag_value(args, "--replay") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let case = st_conform::corpus::parse_entry(&text).map_err(|e| format!("{path}: {e}"))?;
+        let outcome = st_conform::run_case(&case, st_conform::Mutation::None);
+        for (engine, result) in &outcome.outcomes {
+            println!("{engine:<14} {result:?}");
+        }
+        return match outcome.divergence {
+            None => {
+                println!("agreement: all paths concur");
+                Ok(())
+            }
+            Some(d) => Err(format!("divergence: {d}")),
+        };
+    }
+
+    let parse_num = |flag: &str, default: u64| -> Result<u64, String> {
+        match flag_value(args, flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("bad {flag} {v:?}: {e}")),
+        }
+    };
+    let seed = parse_num("--seed", 42)?;
+    let iters = parse_num("--iters", 1000)?;
+    let mut gen = st_conform::GenConfig::default();
+    gen.max_depth = parse_num("--max-depth", gen.max_depth as u64)? as usize;
+    gen.max_nodes = parse_num("--max-nodes", gen.max_nodes as u64)? as usize;
+    let mutation = match flag_value(args, "--mutation") {
+        None => st_conform::Mutation::None,
+        Some(name) => st_conform::Mutation::parse(name).ok_or_else(|| {
+            let known: Vec<&str> = st_conform::Mutation::ALL.iter().map(|(n, _)| *n).collect();
+            format!("unknown mutation {name:?}; known: {}", known.join(", "))
+        })?,
+    };
+    let cfg = st_conform::FuzzConfig {
+        seed,
+        iters,
+        gen,
+        corpus_dir: flag_value(args, "--corpus").map(Into::into),
+        mutation,
+        max_failures: 5,
+    };
+    let report = st_conform::fuzz(&cfg);
+    eprintln!(
+        "fuzz: seed {seed}, {} iteration(s); {} tokenizable, {} well-formed",
+        report.iters_run, report.tokenizable, report.well_formed
+    );
+    if report.clean() {
+        println!("agreement: zero divergences across all evaluation paths");
+        return Ok(());
+    }
+    for f in &report.failures {
+        eprintln!("--- divergence at iteration {} ---", f.iter);
+        eprintln!("  {}", f.detail);
+        eprintln!(
+            "  shrunk: pattern {:?}, alphabet {:?}, {} byte(s), chunks {:?}",
+            f.shrunk.pattern,
+            f.shrunk.alphabet,
+            f.shrunk.doc.len(),
+            f.shrunk.chunk_sizes
+        );
+        eprintln!("  doc: {}", String::from_utf8_lossy(&f.shrunk.doc));
+        if let Some(p) = &f.corpus_path {
+            eprintln!("  corpus: {}", p.display());
+        }
+    }
+    Err(format!("{} divergence(s) found", report.failures.len()))
 }
 
 fn cmd_validate(args: &[String]) -> Result<(), String> {

@@ -1,0 +1,541 @@
+//! The cross-engine oracle runner: one case, every evaluation path.
+//!
+//! Five paths answer the same query:
+//!
+//! 1. **DOM oracle** — decode the tag stream to a materialized tree and
+//!    evaluate by root paths (`st_baseline::dom`).  Ground truth on
+//!    well-formed input; rejects everything else.
+//! 2. **Stack baseline** — the classical pushdown evaluator
+//!    (`st_baseline::stack`).
+//! 3. **Event plan** — `CompiledQuery` over the scanned tag stream, using
+//!    whichever backend the classifier picked (registerless DFA, HAR
+//!    register program, or stack).
+//! 4. **Fused** — the single-pass byte→automaton engine
+//!    ([`st_core::engine`]), which must also reproduce the `Scanner`'s
+//!    error diagnostics byte-for-byte.
+//! 5. **Chunked** — the speculative data-parallel path at each requested
+//!    chunk size (registerless strategy only; other strategies have no
+//!    chunked path and are skipped).
+//!
+//! Comparison groups:
+//!
+//! * **Tokenizable input** (the `Scanner` yields a tag stream): event plan,
+//!   fused, and every chunked variant must return identical match sets —
+//!   even when the stream is not a well-formed tree.
+//! * **Well-formed input** (the tag stream decodes to a tree): all five
+//!   paths must agree with the DOM oracle on the match set, and the
+//!   boolean EL/AL verdicts (`exists_branch`/`forall_branches`) must agree
+//!   across the DOM oracle, the event plan, and the stack baseline.
+//! * **Malformed input**: the fused and chunked paths must reject with
+//!   exactly the `Scanner`'s diagnostic.
+//!
+//! Panics in any engine are caught and treated as an outcome class of
+//! their own, so a `debug_assert` tripping inside an engine is reported
+//! as a divergence instead of aborting the fuzz run.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use st_automata::{compile_regex, Alphabet, Dfa, Tag};
+use st_baseline::{dom, stack::StackEvaluator};
+use st_core::planner::CompiledQuery;
+use st_trees::{encode::markup_decode, xml::Scanner, TreeError};
+
+use crate::gen::Case;
+
+/// Interior cut positions for "cut every `size` bytes", capped at 16 cuts
+/// so pathological sizes (1 on a multi-kilobyte document) don't spawn a
+/// thread per byte.  The interesting behaviour is at the boundaries, and
+/// 16 adversarial boundaries exercise it fully.
+pub fn cuts_for(size: usize, len: usize) -> Vec<usize> {
+    if size == 0 {
+        return Vec::new();
+    }
+    (1..=16usize)
+        .map(|i| i * size)
+        .take_while(|&c| c < len)
+        .collect()
+}
+
+/// Which evaluation path produced an outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineId {
+    /// `st_baseline::dom`.
+    DomOracle,
+    /// `st_baseline::stack`.
+    StackBaseline,
+    /// `CompiledQuery` over the scanned tag stream.
+    EventPlan,
+    /// The fused byte engine, sequential.
+    Fused,
+    /// The data-parallel byte engine at this chunk size.
+    Chunked(usize),
+}
+
+impl std::fmt::Display for EngineId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineId::DomOracle => write!(f, "dom-oracle"),
+            EngineId::StackBaseline => write!(f, "stack-baseline"),
+            EngineId::EventPlan => write!(f, "event-plan"),
+            EngineId::Fused => write!(f, "fused"),
+            EngineId::Chunked(s) => write!(f, "chunked({s})"),
+        }
+    }
+}
+
+/// What an engine said about a case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Selected node ids in document order.
+    Matches(Vec<usize>),
+    /// The engine rejected the input with this diagnostic (the
+    /// `TreeError`'s debug form, so error *classes and positions* are
+    /// compared, not just prose).
+    Rejected(String),
+    /// The engine panicked.
+    Panicked(String),
+}
+
+impl Outcome {
+    fn from_result(r: Result<Vec<usize>, TreeError>) -> Outcome {
+        match r {
+            Ok(v) => Outcome::Matches(v),
+            Err(e) => Outcome::Rejected(format!("{e:?}")),
+        }
+    }
+}
+
+/// A disagreement between two paths, with enough context to read.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// One side.
+    pub left: (EngineId, Outcome),
+    /// The other.
+    pub right: (EngineId, Outcome),
+    /// Which comparison group tripped.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} -> {:?} vs {} -> {:?}",
+            self.detail, self.left.0, self.left.1, self.right.0, self.right.1
+        )
+    }
+}
+
+/// Deliberately injected engine bugs, used by the harness's own mutation
+/// tests to prove the oracle catches and shrinks real divergences.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Mutation {
+    /// Production engines only.
+    #[default]
+    None,
+    /// The stack baseline pushes the *post-transition* state at opens, so
+    /// every close restores the wrong state — the classic stack-discipline
+    /// off-by-one.
+    StackPushesSuccessor,
+    /// The event plan drops its first match — a minimal emission bug.
+    PlanDropsFirstMatch,
+}
+
+impl Mutation {
+    /// Parses a CLI name.
+    pub fn parse(name: &str) -> Option<Mutation> {
+        match name {
+            "none" => Some(Mutation::None),
+            "stack-pushes-successor" => Some(Mutation::StackPushesSuccessor),
+            "plan-drops-first-match" => Some(Mutation::PlanDropsFirstMatch),
+            _ => None,
+        }
+    }
+
+    /// All injectable faults, for `--help` text and self-tests.
+    pub const ALL: &'static [(&'static str, Mutation)] = &[
+        ("stack-pushes-successor", Mutation::StackPushesSuccessor),
+        ("plan-drops-first-match", Mutation::PlanDropsFirstMatch),
+    ];
+}
+
+/// Boolean EL/AL verdicts per path; the event-plan and stack entries are
+/// panic-wrapped because the register programs are exercised through
+/// acceptor adapters here.
+struct Verdicts {
+    dom: (bool, bool),
+    plan: Result<(bool, bool), String>,
+    stack: Result<(bool, bool), String>,
+}
+
+/// Everything observed while running one case.
+#[derive(Clone, Debug)]
+pub struct CaseOutcome {
+    /// Per-engine outcomes, in the order the paths ran.
+    pub outcomes: Vec<(EngineId, Outcome)>,
+    /// The first disagreement found, if any.
+    pub divergence: Option<Divergence>,
+    /// Whether the `Scanner` tokenized the document.
+    pub tokenizable: bool,
+    /// Whether the tag stream decoded to a well-formed tree.
+    pub well_formed: bool,
+}
+
+fn scanner_tags(bytes: &[u8], g: &Alphabet) -> Result<Vec<Tag>, TreeError> {
+    Scanner::new(bytes, g).collect()
+}
+
+fn catching<T>(f: impl FnOnce() -> T + std::panic::UnwindSafe) -> Result<T, String> {
+    catch_unwind(f).map_err(|e| {
+        if let Some(s) = e.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = e.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_owned()
+        }
+    })
+}
+
+/// The intentionally broken pushdown evaluator behind
+/// [`Mutation::StackPushesSuccessor`]: structurally the same loop as
+/// `StackEvaluator::select_indices`, except opens push the successor
+/// state instead of the current one.
+fn buggy_stack_select(dfa: &Dfa, tags: &[Tag]) -> Vec<usize> {
+    let mut state = dfa.init();
+    let mut stack = Vec::new();
+    let mut out = Vec::new();
+    let mut node = 0usize;
+    for &tag in tags {
+        match tag {
+            Tag::Open(l) => {
+                let next = dfa.step(state, l.0 as usize);
+                stack.push(next); // BUG: should push `state`.
+                state = next;
+                if dfa.is_accepting(state) {
+                    out.push(node);
+                }
+                node += 1;
+            }
+            Tag::Close(_) => {
+                state = stack.pop().unwrap_or_else(|| dfa.init());
+            }
+        }
+    }
+    out
+}
+
+/// Runs every evaluation path on `case` and cross-checks the comparison
+/// groups described in the module docs.  `mutation` injects a deliberate
+/// engine fault (or [`Mutation::None`] for production behaviour).
+pub fn run_case(case: &Case, mutation: Mutation) -> CaseOutcome {
+    let g = Alphabet::of_chars(&case.alphabet);
+    let mut outcomes: Vec<(EngineId, Outcome)> = Vec::new();
+
+    let Ok(dfa) = compile_regex(&case.pattern, &g) else {
+        // Patterns are generated to compile; an uncompilable corpus entry
+        // is inert rather than a divergence.
+        return CaseOutcome {
+            outcomes,
+            divergence: None,
+            tokenizable: false,
+            well_formed: false,
+        };
+    };
+    let plan = CompiledQuery::compile(&dfa);
+
+    let scanned = scanner_tags(&case.doc, &g);
+    let tokenizable = scanned.is_ok();
+
+    // --- Byte-level paths -------------------------------------------------
+    let fused = match plan.fused(&g) {
+        Ok(f) => f,
+        Err(_) => {
+            // Composite table over budget: byte paths are unavailable by
+            // design, nothing to differentiate.
+            return CaseOutcome {
+                outcomes,
+                divergence: None,
+                tokenizable,
+                well_formed: false,
+            };
+        }
+    };
+    let fused_sel = match catching(AssertUnwindSafe(|| fused.select_bytes(&case.doc))) {
+        Ok(r) => Outcome::from_result(r),
+        Err(m) => Outcome::Panicked(m),
+    };
+    let fused_cnt = catching(AssertUnwindSafe(|| fused.count_bytes(&case.doc)));
+    outcomes.push((EngineId::Fused, fused_sel.clone()));
+
+    let byte_dfa = fused.byte_dfa();
+    let mut chunked: Vec<(usize, Outcome)> = Vec::new();
+    if let Some(bd) = byte_dfa {
+        for &s in &case.chunk_sizes {
+            let cuts = cuts_for(s, case.doc.len());
+            let o = match catching(AssertUnwindSafe(|| {
+                bd.select_bytes_chunked_at(&case.doc, &cuts)
+            })) {
+                Ok(r) => Outcome::from_result(r),
+                Err(m) => Outcome::Panicked(m),
+            };
+            outcomes.push((EngineId::Chunked(s), o.clone()));
+            chunked.push((s, o));
+        }
+    }
+
+    // --- Event-level paths ------------------------------------------------
+    let mut plan_sel: Option<Outcome> = None;
+    let mut stack_sel: Option<Outcome> = None;
+    let mut dom_out: Option<Outcome> = None;
+    let mut well_formed = false;
+    let mut verdicts: Option<Verdicts> = None;
+
+    if let Ok(tags) = &scanned {
+        let p = match catching(AssertUnwindSafe(|| plan.select(tags))) {
+            Ok(mut v) => {
+                if mutation == Mutation::PlanDropsFirstMatch && !v.is_empty() {
+                    v.remove(0);
+                }
+                Outcome::Matches(v)
+            }
+            Err(m) => Outcome::Panicked(m),
+        };
+        outcomes.push((EngineId::EventPlan, p.clone()));
+        plan_sel = Some(p);
+
+        match markup_decode(tags) {
+            Ok(_) => {
+                well_formed = true;
+                let s = match catching(AssertUnwindSafe(|| {
+                    if mutation == Mutation::StackPushesSuccessor {
+                        buggy_stack_select(&dfa, tags)
+                    } else {
+                        StackEvaluator::select_indices(&dfa, tags)
+                    }
+                })) {
+                    Ok(v) => Outcome::Matches(v),
+                    Err(m) => Outcome::Panicked(m),
+                };
+                outcomes.push((EngineId::StackBaseline, s.clone()));
+                stack_sel = Some(s);
+
+                let d = match catching(AssertUnwindSafe(|| dom::evaluate(&dfa, tags))) {
+                    Ok(Ok(r)) => {
+                        verdicts = Some(Verdicts {
+                            dom: (r.exists_branch, r.forall_branches),
+                            plan: catching(AssertUnwindSafe(|| {
+                                (plan.exists_branch(tags), plan.forall_branches(tags))
+                            })),
+                            stack: catching(AssertUnwindSafe(|| {
+                                (
+                                    StackEvaluator::exists_branch(&dfa, tags),
+                                    StackEvaluator::forall_branches(&dfa, tags),
+                                )
+                            })),
+                        });
+                        Outcome::Matches(r.selected)
+                    }
+                    Ok(Err(e)) => Outcome::Rejected(format!("{e:?}")),
+                    Err(m) => Outcome::Panicked(m),
+                };
+                outcomes.push((EngineId::DomOracle, d.clone()));
+                dom_out = Some(d);
+            }
+            Err(_) => {
+                // Ill-formed tag stream: the stack baseline's underflow
+                // semantics intentionally differ from the registerless
+                // closure, and the DOM oracle rejects.  Only the byte/event
+                // agreement group applies.
+            }
+        }
+    }
+
+    let divergence = diff(
+        &scanned,
+        &fused_sel,
+        fused_cnt,
+        &chunked,
+        plan_sel.as_ref(),
+        stack_sel.as_ref(),
+        dom_out.as_ref(),
+        verdicts,
+    );
+
+    CaseOutcome {
+        outcomes,
+        divergence,
+        tokenizable,
+        well_formed,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn diff(
+    scanned: &Result<Vec<Tag>, TreeError>,
+    fused_sel: &Outcome,
+    fused_cnt: Result<Result<usize, TreeError>, String>,
+    chunked: &[(usize, Outcome)],
+    plan_sel: Option<&Outcome>,
+    stack_sel: Option<&Outcome>,
+    dom_out: Option<&Outcome>,
+    verdicts: Option<Verdicts>,
+) -> Option<Divergence> {
+    let mk = |detail: &str, l: (EngineId, &Outcome), r: (EngineId, &Outcome)| {
+        Some(Divergence {
+            left: (l.0, l.1.clone()),
+            right: (r.0, r.1.clone()),
+            detail: detail.to_owned(),
+        })
+    };
+
+    match scanned {
+        Err(e) => {
+            // Malformed: fused must reject with the Scanner's diagnostic.
+            let want = Outcome::Rejected(format!("{e:?}"));
+            if *fused_sel != want {
+                return mk(
+                    "error-class: fused vs scanner",
+                    (EngineId::Fused, fused_sel),
+                    (EngineId::DomOracle, &want),
+                );
+            }
+            for (s, o) in chunked {
+                if *o != want {
+                    return mk(
+                        "error-class: chunked vs scanner",
+                        (EngineId::Chunked(*s), o),
+                        (EngineId::Fused, &want),
+                    );
+                }
+            }
+        }
+        Ok(_) => {
+            // Tokenizable: the event plan is the reference for the whole
+            // byte family.
+            if let Some(p) = plan_sel {
+                if fused_sel != p {
+                    return mk(
+                        "match-set: fused vs event-plan",
+                        (EngineId::Fused, fused_sel),
+                        (EngineId::EventPlan, p),
+                    );
+                }
+                for (s, o) in chunked {
+                    if o != fused_sel {
+                        return mk(
+                            "match-set: chunked vs fused",
+                            (EngineId::Chunked(*s), o),
+                            (EngineId::Fused, fused_sel),
+                        );
+                    }
+                }
+                // Count/select consistency on the fused path.
+                if let Outcome::Matches(v) = fused_sel {
+                    match fused_cnt {
+                        Ok(Ok(n)) if n == v.len() => {}
+                        other => {
+                            let o = match other {
+                                Ok(Ok(n)) => Outcome::Matches(vec![n]),
+                                Ok(Err(e)) => Outcome::Rejected(format!("{e:?}")),
+                                Err(m) => Outcome::Panicked(m),
+                            };
+                            return mk(
+                                "count: fused count_bytes vs select_bytes length",
+                                (EngineId::Fused, &o),
+                                (EngineId::Fused, fused_sel),
+                            );
+                        }
+                    }
+                }
+            }
+            if let (Some(s), Some(p)) = (stack_sel, plan_sel) {
+                if s != p {
+                    return mk(
+                        "match-set: stack vs event-plan",
+                        (EngineId::StackBaseline, s),
+                        (EngineId::EventPlan, p),
+                    );
+                }
+            }
+            if let (Some(d), Some(p)) = (dom_out, plan_sel) {
+                if d != p {
+                    return mk(
+                        "match-set: dom-oracle vs event-plan",
+                        (EngineId::DomOracle, d),
+                        (EngineId::EventPlan, p),
+                    );
+                }
+            }
+            if let Some(v) = verdicts {
+                let show = |r: &Result<(bool, bool), String>| match r {
+                    Ok((e, a)) => Outcome::Rejected(format!("exists={e} forall={a}")),
+                    Err(m) => Outcome::Panicked(m.clone()),
+                };
+                let want = Ok(v.dom);
+                for (id, got) in [
+                    (EngineId::EventPlan, &v.plan),
+                    (EngineId::StackBaseline, &v.stack),
+                ] {
+                    if *got != want {
+                        return mk(
+                            "verdict: exists/forall branches",
+                            (id, &show(got)),
+                            (EngineId::DomOracle, &show(&want)),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(pattern: &str, alphabet: &str, doc: &str, chunk_sizes: &[usize]) -> Case {
+        Case {
+            pattern: pattern.to_owned(),
+            alphabet: alphabet.to_owned(),
+            doc: doc.as_bytes().to_vec(),
+            chunk_sizes: chunk_sizes.to_vec(),
+        }
+    }
+
+    #[test]
+    fn clean_engines_agree_on_a_simple_case() {
+        let c = case("a.*b", "ab", "<a><b/><a><b/></a></a>", &[1, 3]);
+        let r = run_case(&c, Mutation::None);
+        assert!(r.divergence.is_none(), "{:?}", r.divergence);
+        assert!(r.tokenizable && r.well_formed);
+    }
+
+    #[test]
+    fn malformed_inputs_reject_consistently() {
+        for doc in ["<a><b></a>", "<a", "</a>", "<a zz=>", "<a><!-- x</a>"] {
+            let c = case("ab", "ab", doc, &[1]);
+            let r = run_case(&c, Mutation::None);
+            assert!(r.divergence.is_none(), "doc {doc:?}: {:?}", r.divergence);
+        }
+    }
+
+    #[test]
+    fn injected_stack_bug_is_caught() {
+        let c = case("ab", "ab", "<a><b/><b/></a>", &[]);
+        let r = run_case(&c, Mutation::StackPushesSuccessor);
+        assert!(
+            r.divergence.is_some(),
+            "mutation survived: {:?}",
+            r.outcomes
+        );
+    }
+
+    #[test]
+    fn injected_plan_bug_is_caught() {
+        let c = case("a.*b", "ab", "<a><b/></a>", &[]);
+        let r = run_case(&c, Mutation::PlanDropsFirstMatch);
+        assert!(r.divergence.is_some());
+    }
+}

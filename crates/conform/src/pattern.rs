@@ -1,0 +1,238 @@
+//! Random RPQ patterns as a shrinkable AST.
+//!
+//! The fuzzer generates patterns structurally, keeps the AST around for
+//! delta-debugging, and renders to the `compile_regex` surface syntax
+//! (single-char letters, `.`, `[..]`, `[^..]`, `|`, `*`, `+`, `?`,
+//! parentheses) only at the boundary.  The rendered string is the
+//! replayable, corpus-persisted form.
+
+use rand::prelude::*;
+
+/// A regular-expression pattern over single-character labels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Pat {
+    /// One letter of the alphabet.
+    Letter(char),
+    /// The wildcard `.` (any letter).
+    Any,
+    /// Character class `[..]`; the flag marks negation (`[^..]`).
+    Class(Vec<char>, bool),
+    /// Concatenation of one or more factors.
+    Concat(Vec<Pat>),
+    /// Alternation of two or more arms.
+    Alt(Vec<Pat>),
+    /// Kleene star.
+    Star(Box<Pat>),
+    /// One-or-more.
+    Plus(Box<Pat>),
+    /// Zero-or-one.
+    Opt(Box<Pat>),
+}
+
+impl Pat {
+    /// Renders to `compile_regex` syntax.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Pat::Letter(c) => out.push(*c),
+            Pat::Any => out.push('.'),
+            Pat::Class(cs, neg) => {
+                out.push('[');
+                if *neg {
+                    out.push('^');
+                }
+                for c in cs {
+                    out.push(*c);
+                }
+                out.push(']');
+            }
+            Pat::Concat(ps) => {
+                for p in ps {
+                    p.write_atomic(out);
+                }
+            }
+            Pat::Alt(ps) => {
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        out.push('|');
+                    }
+                    p.write(out);
+                }
+            }
+            Pat::Star(p) => {
+                p.write_atomic(out);
+                out.push('*');
+            }
+            Pat::Plus(p) => {
+                p.write_atomic(out);
+                out.push('+');
+            }
+            Pat::Opt(p) => {
+                p.write_atomic(out);
+                out.push('?');
+            }
+        }
+    }
+
+    /// Writes `self` parenthesized unless it already binds tightest.
+    fn write_atomic(&self, out: &mut String) {
+        match self {
+            Pat::Letter(_) | Pat::Any | Pat::Class(..) => self.write(out),
+            _ => {
+                out.push('(');
+                self.write(out);
+                out.push(')');
+            }
+        }
+    }
+
+    /// Complexity weight (letters are simplest, classes heaviest among
+    /// leaves); the shrinker only accepts strictly smaller candidates,
+    /// which guarantees termination.
+    pub fn size(&self) -> usize {
+        match self {
+            Pat::Letter(_) => 1,
+            Pat::Any => 2,
+            Pat::Class(cs, _) => 2 + cs.len(),
+            Pat::Concat(ps) | Pat::Alt(ps) => 1 + ps.iter().map(Pat::size).sum::<usize>(),
+            Pat::Star(p) | Pat::Plus(p) | Pat::Opt(p) => 1 + p.size(),
+        }
+    }
+
+    /// Draws a random pattern of bounded height over `chars`.
+    pub fn random(rng: &mut StdRng, chars: &[char], depth: usize) -> Pat {
+        if depth == 0 || rng.gen_bool(0.4) {
+            return Pat::random_leaf(rng, chars);
+        }
+        match rng.gen_range(0u8..6) {
+            0 => Pat::Star(Box::new(Pat::random(rng, chars, depth - 1))),
+            1 => Pat::Plus(Box::new(Pat::random(rng, chars, depth - 1))),
+            2 => Pat::Opt(Box::new(Pat::random(rng, chars, depth - 1))),
+            3 => {
+                let n = rng.gen_range(2usize..=3);
+                Pat::Alt((0..n).map(|_| Pat::random(rng, chars, depth - 1)).collect())
+            }
+            _ => {
+                let n = rng.gen_range(2usize..=4);
+                Pat::Concat((0..n).map(|_| Pat::random(rng, chars, depth - 1)).collect())
+            }
+        }
+    }
+
+    fn random_leaf(rng: &mut StdRng, chars: &[char]) -> Pat {
+        match rng.gen_range(0u8..6) {
+            0 => Pat::Any,
+            1 if chars.len() >= 2 => {
+                // A proper nonempty subset keeps negated classes nonempty.
+                let keep = rng.gen_range(1..chars.len());
+                let start = rng.gen_range(0..chars.len());
+                let cs: Vec<char> = (0..keep)
+                    .map(|i| chars[(start + i) % chars.len()])
+                    .collect();
+                Pat::Class(cs, rng.gen_bool(0.35))
+            }
+            _ => Pat::Letter(chars[rng.gen_range(0..chars.len())]),
+        }
+    }
+
+    /// Strictly simpler candidate patterns for delta-debugging: every
+    /// immediate subterm, container-with-one-child-removed variants, and
+    /// one-level recursive rewrites.
+    pub fn shrink_candidates(&self) -> Vec<Pat> {
+        let mut out = Vec::new();
+        match self {
+            Pat::Letter(_) => {}
+            Pat::Any => out.push(Pat::Letter('a')),
+            Pat::Class(cs, neg) => {
+                if let Some(&c) = cs.first() {
+                    if !neg {
+                        out.push(Pat::Letter(c));
+                    }
+                }
+                if *neg {
+                    out.push(Pat::Any);
+                }
+            }
+            Pat::Concat(ps) | Pat::Alt(ps) => {
+                let alt = matches!(self, Pat::Alt(_));
+                for p in ps {
+                    out.push(p.clone());
+                }
+                if ps.len() > 2 || (!alt && ps.len() > 1) {
+                    for i in 0..ps.len() {
+                        let mut rest = ps.clone();
+                        rest.remove(i);
+                        out.push(if rest.len() == 1 {
+                            rest.pop().expect("nonempty")
+                        } else if alt {
+                            Pat::Alt(rest)
+                        } else {
+                            Pat::Concat(rest)
+                        });
+                    }
+                }
+                for i in 0..ps.len() {
+                    for cand in ps[i].shrink_candidates() {
+                        let mut next = ps.clone();
+                        next[i] = cand;
+                        out.push(if alt {
+                            Pat::Alt(next)
+                        } else {
+                            Pat::Concat(next)
+                        });
+                    }
+                }
+            }
+            Pat::Star(p) | Pat::Plus(p) | Pat::Opt(p) => {
+                out.push((**p).clone());
+                for cand in p.shrink_candidates() {
+                    out.push(match self {
+                        Pat::Star(_) => Pat::Star(Box::new(cand)),
+                        Pat::Plus(_) => Pat::Plus(Box::new(cand)),
+                        _ => Pat::Opt(Box::new(cand)),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use st_automata::{compile_regex, Alphabet};
+
+    #[test]
+    fn random_patterns_compile() {
+        let g = Alphabet::of_chars("abc");
+        let chars: Vec<char> = "abc".chars().collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            let p = Pat::random(&mut rng, &chars, 3);
+            let rendered = p.render();
+            assert!(
+                compile_regex(&rendered, &g).is_ok(),
+                "pattern {rendered:?} failed to compile"
+            );
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_are_strictly_smaller() {
+        let chars: Vec<char> = "ab".chars().collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let p = Pat::random(&mut rng, &chars, 3);
+            for c in p.shrink_candidates() {
+                assert!(c.size() < p.size(), "{c:?} not smaller than {p:?}");
+            }
+        }
+    }
+}

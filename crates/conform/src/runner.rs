@@ -1,0 +1,119 @@
+//! The fuzzing loop: generate, run, shrink, persist.
+
+use std::path::PathBuf;
+
+use crate::corpus;
+use crate::engines::{run_case, Mutation};
+use crate::gen::{case_rng, gen_case, Case, GenConfig};
+use crate::shrink::shrink;
+
+/// Configuration for one fuzzing run.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Base seed; each iteration derives its own stream from
+    /// `(seed, iter)` so corpus filenames are self-describing.
+    pub seed: u64,
+    /// Number of cases to generate.
+    pub iters: u64,
+    /// Generator tunables.
+    pub gen: GenConfig,
+    /// Where to persist shrunk reproducers; `None` disables persistence.
+    pub corpus_dir: Option<PathBuf>,
+    /// Injected engine fault ([`Mutation::None`] for production).
+    pub mutation: Mutation,
+    /// Stop after this many divergences (0 means run all iterations).
+    pub max_failures: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 42,
+            iters: 1000,
+            gen: GenConfig::default(),
+            corpus_dir: None,
+            mutation: Mutation::None,
+            max_failures: 5,
+        }
+    }
+}
+
+/// One divergence found by the loop, before and after shrinking.
+#[derive(Clone, Debug)]
+pub struct FuzzFailure {
+    /// Iteration that produced the case (regenerate with
+    /// [`case_rng`]`(seed, iter)`).
+    pub iter: u64,
+    /// The generated input.
+    pub case: Case,
+    /// The delta-debugged minimal reproducer.
+    pub shrunk: Case,
+    /// Human-readable description of the first disagreement.
+    pub detail: String,
+    /// Corpus file written, when persistence is on.
+    pub corpus_path: Option<PathBuf>,
+}
+
+/// Aggregate statistics of a fuzzing run.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    /// Iterations actually executed.
+    pub iters_run: u64,
+    /// Cases whose documents tokenized.
+    pub tokenizable: u64,
+    /// Cases whose documents decoded to well-formed trees.
+    pub well_formed: u64,
+    /// All divergences found.
+    pub failures: Vec<FuzzFailure>,
+}
+
+impl FuzzReport {
+    /// True when no divergence was found.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs the differential fuzzing loop described in the crate docs.
+pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    for iter in 0..cfg.iters {
+        let mut rng = case_rng(cfg.seed, iter);
+        let (case, pat) = gen_case(&mut rng, &cfg.gen);
+        let outcome = run_case(&case, cfg.mutation);
+        report.iters_run += 1;
+        report.tokenizable += outcome.tokenizable as u64;
+        report.well_formed += outcome.well_formed as u64;
+        let Some(div) = outcome.divergence else {
+            continue;
+        };
+        let shrunk = shrink(&case, Some(&pat), cfg.mutation);
+        let detail = div.to_string();
+        let corpus_path = cfg.corpus_dir.as_ref().and_then(|dir| {
+            corpus::write_entry(dir, &corpus::entry_name(cfg.seed, iter), &shrunk, &detail).ok()
+        });
+        report.failures.push(FuzzFailure {
+            iter,
+            case,
+            shrunk,
+            detail,
+            corpus_path,
+        });
+        if cfg.max_failures > 0 && report.failures.len() >= cfg.max_failures {
+            break;
+        }
+    }
+    report
+}
+
+/// Replays every corpus entry under `dir` with production engines;
+/// returns the diverging entries (path, divergence description).
+pub fn replay_corpus(dir: &std::path::Path) -> Result<Vec<(PathBuf, String)>, String> {
+    let mut bad = Vec::new();
+    for (path, case) in corpus::load_corpus(dir)? {
+        if let Some(div) = run_case(&case, Mutation::None).divergence {
+            bad.push((path, div.to_string()));
+        }
+    }
+    Ok(bad)
+}

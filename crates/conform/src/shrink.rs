@@ -1,0 +1,267 @@
+//! Delta-debugging a diverging case to a minimal reproducer.
+//!
+//! Greedy, budgeted minimization over four axes, repeated to a fixpoint:
+//!
+//! 1. **Tree structure** — when the document decodes to a tree, the
+//!    decoration is first normalized away (plain skeleton re-render),
+//!    then whole subtrees are deleted or promoted to the root, which is
+//!    where most of the reduction happens.
+//! 2. **Raw bytes** — window deletion at halving granularity, the only
+//!    axis available for inputs that don't tokenize (and it also trims
+//!    leftover text/declarations from tree-shaped cases).
+//! 3. **Chunk-size list** — drop sizes that aren't needed to reproduce.
+//! 4. **Pattern** — structural shrinking over the generator's AST
+//!    ([`Pat::shrink_candidates`]), kept from the generating run; corpus
+//!    replays have no AST and skip this axis.
+//!
+//! Every adoption strictly decreases a finite measure (tag count, byte
+//! length, list length, or pattern weight), and a global budget bounds
+//! the number of oracle invocations, so shrinking always terminates.
+
+use st_automata::{compile_regex, Alphabet, Tag};
+use st_trees::{encode::markup_decode, xml};
+
+use crate::engines::{run_case, Mutation};
+use crate::gen::Case;
+use crate::pattern::Pat;
+
+/// Number of tree nodes (opening events) in the case's document, if it
+/// tokenizes.  The harness's own acceptance tests use this to assert
+/// reproducer size.
+pub fn tree_nodes(case: &Case) -> Option<usize> {
+    let g = Alphabet::of_chars(&case.alphabet);
+    let tags: Result<Vec<Tag>, _> = xml::Scanner::new(&case.doc, &g).collect();
+    tags.ok()
+        .map(|ts| ts.iter().filter(|t| matches!(t, Tag::Open(_))).count())
+}
+
+struct Oracle {
+    mutation: Mutation,
+    budget: usize,
+}
+
+impl Oracle {
+    fn diverges(&mut self, case: &Case) -> bool {
+        if self.budget == 0 {
+            return false;
+        }
+        self.budget -= 1;
+        run_case(case, self.mutation).divergence.is_some()
+    }
+}
+
+/// Minimizes `case` while it keeps diverging under `mutation`.  `pat` is
+/// the generating pattern AST when available.  Returns the original case
+/// unchanged if it does not diverge (nothing to minimize).
+pub fn shrink(case: &Case, pat: Option<&Pat>, mutation: Mutation) -> Case {
+    let mut oracle = Oracle {
+        mutation,
+        budget: 800,
+    };
+    if !oracle.diverges(case) {
+        return case.clone();
+    }
+    let mut best = case.clone();
+    let mut cur_pat = pat.cloned();
+    loop {
+        let mut any = false;
+        any |= shrink_structural(&mut best, &mut oracle);
+        any |= shrink_bytes(&mut best, &mut oracle);
+        any |= shrink_chunks(&mut best, &mut oracle);
+        if let Some(p) = cur_pat.as_mut() {
+            any |= shrink_pattern(&mut best, p, &mut oracle);
+        }
+        if !any || oracle.budget == 0 {
+            break;
+        }
+    }
+    best
+}
+
+/// Tokenizes the current document; `None` when the scanner rejects it.
+fn tags_of(case: &Case, g: &Alphabet) -> Option<Vec<Tag>> {
+    xml::Scanner::new(&case.doc, g)
+        .collect::<Result<Vec<_>, _>>()
+        .ok()
+}
+
+/// Axis 1: decoration normalization, subtree deletion, subtree promotion.
+fn shrink_structural(best: &mut Case, oracle: &mut Oracle) -> bool {
+    let g = Alphabet::of_chars(&best.alphabet);
+    let mut any = false;
+
+    // Normalize decoration first so later candidates re-render cleanly.
+    if let Some(tags) = tags_of(best, &g) {
+        if markup_decode(&tags).is_err() {
+            return false;
+        }
+        let plain = xml::write_events(&tags, &g).into_bytes();
+        if plain.len() < best.doc.len() {
+            let cand = Case {
+                doc: plain,
+                ..best.clone()
+            };
+            if oracle.diverges(&cand) {
+                *best = cand;
+                any = true;
+            }
+        }
+    } else {
+        return false;
+    }
+
+    let mut progress = true;
+    while progress && oracle.budget > 0 {
+        progress = false;
+        let Some(tags) = tags_of(best, &g) else { break };
+        if markup_decode(&tags).is_err() {
+            break;
+        }
+        let n_nodes = tags.iter().filter(|t| matches!(t, Tag::Open(_))).count();
+        // Deleting a subtree removes the most at once; promotion handles
+        // the case where only a deep fragment matters.
+        'nodes: for node in (0..n_nodes).rev() {
+            let Some((start, end)) = node_span(&tags, node) else {
+                continue;
+            };
+            let deleted: Vec<Tag> = tags[..start]
+                .iter()
+                .chain(&tags[end + 1..])
+                .copied()
+                .collect();
+            let promoted: Vec<Tag> = tags[start..=end].to_vec();
+            for cand_tags in [deleted, promoted] {
+                if cand_tags.is_empty() || cand_tags.len() >= tags.len() {
+                    continue;
+                }
+                let cand = Case {
+                    doc: xml::write_events(&cand_tags, &g).into_bytes(),
+                    ..best.clone()
+                };
+                if oracle.diverges(&cand) {
+                    *best = cand;
+                    any = true;
+                    progress = true;
+                    break 'nodes;
+                }
+            }
+        }
+    }
+    any
+}
+
+/// The inclusive tag index range `[open, close]` of node `node` (in
+/// document order) inside a balanced tag stream.
+fn node_span(tags: &[Tag], node: usize) -> Option<(usize, usize)> {
+    let mut seen = 0usize;
+    let mut start = None;
+    for (i, t) in tags.iter().enumerate() {
+        if matches!(t, Tag::Open(_)) {
+            if seen == node {
+                start = Some(i);
+                break;
+            }
+            seen += 1;
+        }
+    }
+    let start = start?;
+    let mut depth = 0i64;
+    for (i, t) in tags.iter().enumerate().skip(start) {
+        depth += match t {
+            Tag::Open(_) => 1,
+            Tag::Close(_) => -1,
+        };
+        if depth == 0 {
+            return Some((start, i));
+        }
+    }
+    None
+}
+
+/// Axis 2: byte-window deletion at halving granularity.
+fn shrink_bytes(best: &mut Case, oracle: &mut Oracle) -> bool {
+    let mut any = false;
+    let mut w = best.doc.len() / 2;
+    while w >= 1 && oracle.budget > 0 {
+        let mut i = 0usize;
+        while i + w <= best.doc.len() && oracle.budget > 0 {
+            let mut cand = best.clone();
+            cand.doc.drain(i..i + w);
+            if oracle.diverges(&cand) {
+                *best = cand;
+                any = true;
+            } else {
+                i += w;
+            }
+        }
+        w /= 2;
+    }
+    any
+}
+
+/// Axis 3: drop chunk sizes not needed to reproduce.
+fn shrink_chunks(best: &mut Case, oracle: &mut Oracle) -> bool {
+    let mut any = false;
+    let mut i = 0usize;
+    while i < best.chunk_sizes.len() && oracle.budget > 0 {
+        let mut cand = best.clone();
+        cand.chunk_sizes.remove(i);
+        if oracle.diverges(&cand) {
+            *best = cand;
+            any = true;
+        } else {
+            i += 1;
+        }
+    }
+    any
+}
+
+/// Axis 4: structural pattern shrinking over the generator's AST.
+fn shrink_pattern(best: &mut Case, cur: &mut Pat, oracle: &mut Oracle) -> bool {
+    let g = Alphabet::of_chars(&best.alphabet);
+    let mut any = false;
+    let mut progress = true;
+    while progress && oracle.budget > 0 {
+        progress = false;
+        for cand_pat in cur.shrink_candidates() {
+            let rendered = cand_pat.render();
+            if compile_regex(&rendered, &g).is_err() {
+                continue;
+            }
+            let cand = Case {
+                pattern: rendered,
+                ..best.clone()
+            };
+            if oracle.diverges(&cand) {
+                *best = cand;
+                *cur = cand_pat;
+                any = true;
+                progress = true;
+                break;
+            }
+        }
+    }
+    any
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injected_stack_bug_shrinks_to_a_tiny_tree() {
+        let case = Case {
+            pattern: "ab".to_owned(),
+            alphabet: "ab".to_owned(),
+            doc: b"<a><a><b/><b></b></a><b/><a/><b><a/></b></a>".to_vec(),
+            chunk_sizes: vec![3],
+        };
+        let mutation = Mutation::StackPushesSuccessor;
+        assert!(run_case(&case, mutation).divergence.is_some());
+        let small = shrink(&case, None, mutation);
+        assert!(run_case(&small, mutation).divergence.is_some());
+        let nodes = tree_nodes(&small).expect("shrunk case still tokenizes");
+        assert!(nodes <= 20, "shrunk to {nodes} nodes: {small:?}");
+        assert!(small.doc.len() <= case.doc.len());
+    }
+}

@@ -826,15 +826,81 @@ impl ByteDfa {
         let Some(cuts) = self.chunk_plan(bytes, n_threads) else {
             return self.count_bytes(bytes);
         };
-        let summaries = self.summarize_parallel(bytes, &cuts);
-        let Some((entry_q, _)) = self.compose(&summaries) else {
+        match self.count_with_cuts(bytes, &cuts) {
+            Some(n) => Ok(n),
+            None => self.count_bytes(bytes),
+        }
+    }
+
+    /// Speculative count over an explicit cut vector; `None` when the
+    /// summaries fail to certify (caller falls back to sequential).
+    fn count_with_cuts(&self, bytes: &[u8], cuts: &[usize]) -> Option<usize> {
+        let summaries = self.summarize_parallel(bytes, cuts);
+        let (entry_q, _) = self.compose(&summaries)?;
+        Some(
+            summaries
+                .iter()
+                .zip(&entry_q)
+                .map(|(s, &q)| s.counts[q as usize])
+                .sum(),
+        )
+    }
+
+    /// Normalizes caller-supplied interior cut positions into a full cut
+    /// vector `[0, c₁, …, len]`: entries that are out of range, duplicate,
+    /// or non-monotone are dropped.  `None` when no interior cut survives
+    /// (the input would be a single chunk).
+    fn normalize_cuts(len: usize, interior: &[usize]) -> Option<Vec<usize>> {
+        let mut cuts = vec![0usize];
+        for &c in interior {
+            if c > *cuts.last().unwrap() && c < len {
+                cuts.push(c);
+            }
+        }
+        cuts.push(len);
+        if cuts.len() < 3 {
+            None
+        } else {
+            Some(cuts)
+        }
+    }
+
+    /// Like [`Self::count_bytes_chunked`] but with caller-chosen interior
+    /// cut positions (byte offsets), so harnesses can force boundaries
+    /// mid-tag, mid-text, or mid-quote.  Speculation that cannot be
+    /// certified falls back to the sequential path, so the result is exact
+    /// for *any* cut vector.
+    ///
+    /// # Errors
+    ///
+    /// The `Scanner`'s diagnostic if the document is malformed.
+    pub fn count_bytes_chunked_at(
+        &self,
+        bytes: &[u8],
+        interior_cuts: &[usize],
+    ) -> Result<usize, TreeError> {
+        let Some(cuts) = Self::normalize_cuts(bytes.len(), interior_cuts) else {
             return self.count_bytes(bytes);
         };
-        Ok(summaries
-            .iter()
-            .zip(&entry_q)
-            .map(|(s, &q)| s.counts[q as usize])
-            .sum())
+        match self.count_with_cuts(bytes, &cuts) {
+            Some(n) => Ok(n),
+            None => self.count_bytes(bytes),
+        }
+    }
+
+    /// Whether the speculative chunk summaries for the given interior cuts
+    /// certify — every chunk ends with the lexer back in text state and
+    /// none hits a lexical error — i.e. whether the data-parallel path
+    /// would commit its speculation rather than fall back to sequential.
+    /// Diagnostic hook for the chunk-boundary conformance suite.
+    pub fn chunks_certify(&self, bytes: &[u8], interior_cuts: &[usize]) -> bool {
+        match Self::normalize_cuts(bytes.len(), interior_cuts) {
+            Some(cuts) => {
+                let summaries = self.summarize_parallel(bytes, &cuts);
+                self.compose(&summaries).is_some()
+            }
+            None => false,
+        }
     }
 
     /// Concrete (non-speculative) run over one chunk from a known query
@@ -892,10 +958,37 @@ impl ByteDfa {
         let Some(cuts) = self.chunk_plan(bytes, n_threads) else {
             return self.select_bytes(bytes);
         };
-        let summaries = self.summarize_parallel(bytes, &cuts);
-        let Some((entry_q, offsets)) = self.compose(&summaries) else {
+        match self.select_with_cuts(bytes, &cuts) {
+            Some(out) => Ok(out),
+            None => self.select_bytes(bytes),
+        }
+    }
+
+    /// Like [`Self::select_bytes_chunked`] but with caller-chosen interior
+    /// cut positions; see [`Self::count_bytes_chunked_at`].
+    ///
+    /// # Errors
+    ///
+    /// The `Scanner`'s diagnostic if the document is malformed.
+    pub fn select_bytes_chunked_at(
+        &self,
+        bytes: &[u8],
+        interior_cuts: &[usize],
+    ) -> Result<Vec<usize>, TreeError> {
+        let Some(cuts) = Self::normalize_cuts(bytes.len(), interior_cuts) else {
             return self.select_bytes(bytes);
         };
+        match self.select_with_cuts(bytes, &cuts) {
+            Some(out) => Ok(out),
+            None => self.select_bytes(bytes),
+        }
+    }
+
+    /// Speculative two-pass select over an explicit cut vector; `None`
+    /// when the summaries fail to certify.
+    fn select_with_cuts(&self, bytes: &[u8], cuts: &[usize]) -> Option<Vec<usize>> {
+        let summaries = self.summarize_parallel(bytes, cuts);
+        let (entry_q, offsets) = self.compose(&summaries)?;
         let per_chunk: Vec<Vec<usize>> = std::thread::scope(|scope| {
             let handles: Vec<_> = cuts
                 .windows(2)
@@ -910,7 +1003,7 @@ impl ByteDfa {
                 .map(|h| h.join().expect("chunk worker panicked"))
                 .collect()
         });
-        Ok(per_chunk.concat())
+        Some(per_chunk.concat())
     }
 }
 

@@ -60,9 +60,14 @@ impl CompiledQuery {
                     .expect("classification guarantees almost-reversibility"),
             )
         } else if report.markup.har.holds {
-            Backend::Stackless(
-                har::compile_query_markup(&analysis).expect("classification guarantees HAR"),
-            )
+            // HAR guarantees a finite register budget, but the compiled
+            // chain is capped at `har::MAX_CHAIN`; deeper SCC-DAGs are
+            // legal languages that simply exceed this engine's capacity,
+            // so they take the pushdown fallback rather than failing.
+            match har::compile_query_markup(&analysis) {
+                Ok(program) => Backend::Stackless(program),
+                Err(_) => Backend::Stack,
+            }
         } else {
             Backend::Stack
         };
@@ -213,10 +218,13 @@ impl CompiledTermQuery {
                     .expect("classification guarantees blind almost-reversibility"),
             )
         } else if report.term.har.holds {
-            TermBackend::Stackless(
-                crate::har::compile_query_term(&analysis)
-                    .expect("classification guarantees blind HAR"),
-            )
+            // Same capacity fallback as the markup planner: a blind-HAR
+            // language whose register budget exceeds `har::MAX_CHAIN`
+            // still evaluates correctly on the stack baseline.
+            match crate::har::compile_query_term(&analysis) {
+                Ok(program) => TermBackend::Stackless(program),
+                Err(_) => TermBackend::Stack,
+            }
         } else {
             TermBackend::Stack
         };
@@ -343,6 +351,26 @@ mod tests {
                 assert_eq!(q.select(&events), want, "{pattern} seed {seed}");
             }
         }
+    }
+
+    #[test]
+    fn har_beyond_register_capacity_falls_back_to_stack() {
+        // "a"^20 is R-trivial (hence HAR) but its minimal DFA is a chain
+        // of singleton SCCs whose depth exceeds MAX_CHAIN, so the planner
+        // must take the pushdown fallback instead of panicking.
+        let g = Alphabet::of_chars("ab");
+        let pattern = "a".repeat(20);
+        let d = compile_regex(&pattern, &g).unwrap();
+        let q = CompiledQuery::compile(&d);
+        assert_eq!(q.strategy(), Strategy::Stack);
+        assert!(q.report().markup.har.holds);
+        let t = generate::chain(&[g.letter("a").unwrap(); 25], 25);
+        let tags = markup_encode(&t);
+        let want: Vec<usize> = oracle::select(&t, q.minimal_dfa())
+            .into_iter()
+            .map(|v| v.index())
+            .collect();
+        assert_eq!(q.select(&tags), want);
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //!   3.8, 3.11, descendent patterns, fooling constructions, path DTDs,
 //! * [`rpq`] — query surface: path regexes, XPath and JSONPath subsets,
 //! * [`baseline`] — what the paper argues against: stack-based and DOM
-//!   evaluation, plus raw-scan calibration.
+//!   evaluation, plus raw-scan calibration,
+//! * [`conform`] — the differential conformance harness: a structure-aware
+//!   fuzzer, a cross-engine oracle runner, delta-debugging shrinker, and
+//!   the persistent reproducer corpus under `testdata/corpus/`.
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
 //! the paper-artifact-by-artifact reproduction index.
@@ -21,6 +24,7 @@
 
 pub use st_automata as automata;
 pub use st_baseline as baseline;
+pub use st_conform as conform;
 pub use st_core as core;
 pub use st_rpq as rpq;
 pub use st_trees as trees;

@@ -10,40 +10,70 @@ use stackless_streamed_trees::trees::{generate, oracle};
 struct Row {
     xpath: &'static str,
     jsonpath: &'static str,
+    /// Path regex over Γ as the paper writes the language.
+    regex: &'static str,
     registerless: bool,
     stackless: bool,
     strategy: Strategy,
+    /// Markup-encoding class verdicts (AR, HAR, E-flat, A-flat).
+    markup: (bool, bool, bool, bool),
+    /// Blind (term-encoding) class verdicts (AR, HAR).
+    blind: (bool, bool),
+    /// Depth registers the Stackless evaluator allocates (0 otherwise).
+    n_registers: usize,
 }
 
 fn table() -> [Row; 4] {
     [
+        // aΓ*b: almost-reversible, hence everything below it too.
         Row {
             xpath: "/a//b",
             jsonpath: "$.a..b",
+            regex: "a.*b",
             registerless: true,
             stackless: true,
             strategy: Strategy::Registerless,
+            markup: (true, true, true, true),
+            blind: (true, true),
+            n_registers: 0,
         },
+        // ab: HAR but not almost-reversible (A-flat, not E-flat); its
+        // minimal DFA is a 4-chain of singleton SCCs → 3 registers.
         Row {
             xpath: "/a/b",
             jsonpath: "$.a.b",
+            regex: "ab",
             registerless: false,
             stackless: true,
             strategy: Strategy::Stackless,
+            markup: (false, true, false, true),
+            blind: (false, true),
+            n_registers: 3,
         },
+        // Γ*aΓ*b: HAR but neither E-flat nor A-flat; the two live states
+        // past the start form one SCC → a single register.
         Row {
             xpath: "//a//b",
             jsonpath: "$..a..b",
+            regex: ".*a.*b",
             registerless: false,
             stackless: true,
             strategy: Strategy::Stackless,
+            markup: (false, true, false, false),
+            blind: (false, true),
+            n_registers: 1,
         },
+        // Γ*ab: not HAR — the pushdown fallback is required.
         Row {
             xpath: "//a/b",
             jsonpath: "$..a.b",
+            regex: ".*ab",
             registerless: false,
             stackless: false,
             strategy: Strategy::Stack,
+            markup: (false, false, false, false),
+            blind: (false, false),
+            n_registers: 0,
         },
     ]
 }
@@ -71,6 +101,100 @@ fn verdicts_match_the_paper() {
         let qj = PathQuery::from_jsonpath(row.jsonpath, &g).unwrap();
         assert_eq!(qj.plan().strategy(), row.strategy, "{}", row.jsonpath);
     }
+}
+
+/// Every column of Example 2.12's table, row by row: the four class
+/// verdicts over the markup encoding, the two blind verdicts over the
+/// term encoding (Appendix B), and the register budget the Stackless
+/// evaluator actually allocates.
+#[test]
+fn full_class_verdict_columns_match_the_paper() {
+    use stackless_streamed_trees::automata::{compile_regex, ops};
+    let g = Alphabet::of_chars("abc");
+    for row in table() {
+        let q = PathQuery::from_xpath(row.xpath, &g).unwrap();
+        // The XPath row denotes the same path language as the paper's
+        // regex spelling.
+        let rx = compile_regex(row.regex, &g).unwrap();
+        assert!(
+            ops::equivalent(&q.dfa, &rx),
+            "{} vs {}",
+            row.xpath,
+            row.regex
+        );
+        let plan = q.plan();
+        let m = &plan.report().markup;
+        assert_eq!(
+            (
+                m.almost_reversible.holds,
+                m.har.holds,
+                m.e_flat.holds,
+                m.a_flat.holds
+            ),
+            row.markup,
+            "{} markup verdicts",
+            row.regex
+        );
+        let t = &plan.report().term;
+        assert_eq!(
+            (t.almost_reversible.holds, t.har.holds),
+            row.blind,
+            "{} blind verdicts",
+            row.regex
+        );
+        assert_eq!(
+            plan.n_registers(),
+            row.n_registers,
+            "{} registers",
+            row.regex
+        );
+    }
+}
+
+/// The table above is *complete*: it contains exactly the four languages
+/// of Example 2.12, pairwise inequivalent, and together they witness
+/// every verdict combination the example demonstrates — each strategy
+/// tier occupied, and the two Stackless rows separated by their E♭/A♭
+/// verdicts.
+#[test]
+fn table_covers_every_row_of_example_2_12() {
+    use stackless_streamed_trees::automata::{compile_regex, ops};
+    let g = Alphabet::of_chars("abc");
+    let rows = table();
+    assert_eq!(rows.len(), 4, "Example 2.12 has exactly four rows");
+    let dfas: Vec<_> = rows
+        .iter()
+        .map(|r| compile_regex(r.regex, &g).unwrap())
+        .collect();
+    for i in 0..dfas.len() {
+        for j in i + 1..dfas.len() {
+            assert!(
+                !ops::equivalent(&dfas[i], &dfas[j]),
+                "rows {} and {} denote the same language",
+                rows[i].regex,
+                rows[j].regex
+            );
+        }
+    }
+    // All three strategy tiers appear.
+    for s in [Strategy::Registerless, Strategy::Stackless, Strategy::Stack] {
+        assert!(
+            rows.iter().any(|r| r.strategy == s),
+            "no row exercises {s:?}"
+        );
+    }
+    // The verdict lattice the example walks: registerless ⊂ stackless,
+    // with both proper inclusions witnessed.
+    assert!(rows.iter().any(|r| r.registerless && r.stackless));
+    assert!(rows.iter().any(|r| !r.registerless && r.stackless));
+    assert!(rows.iter().any(|r| !r.registerless && !r.stackless));
+    // The two Stackless rows are distinguished by the A-flat column.
+    let stackless: Vec<_> = rows
+        .iter()
+        .filter(|r| r.strategy == Strategy::Stackless)
+        .collect();
+    assert_eq!(stackless.len(), 2);
+    assert_ne!(stackless[0].markup.3, stackless[1].markup.3);
 }
 
 #[test]

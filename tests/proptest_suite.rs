@@ -156,6 +156,50 @@ proptest! {
         prop_assert_eq!(q.forall_branches(&tags), oracle::in_forall(&t, q.minimal_dfa()));
     }
 
+    /// Appendix B: the *blind* planner over the term encoding agrees with
+    /// the DOM oracle and with the term-level pushdown baseline — for
+    /// arbitrary languages and trees, whatever blind class the planner
+    /// lands in.
+    #[test]
+    fn term_planner_always_correct(d in arb_dfa(3, 4), t in arb_tree(3, 50)) {
+        use stackless_streamed_trees::baseline::stack::TermStackEvaluator;
+        use stackless_streamed_trees::core::planner::CompiledTermQuery;
+        let q = CompiledTermQuery::compile(&d);
+        let events = term_encode(&t);
+        let want: Vec<usize> = oracle::select(&t, q.minimal_dfa())
+            .into_iter()
+            .map(|v| v.index())
+            .collect();
+        prop_assert_eq!(&q.select(&events), &want);
+        prop_assert_eq!(
+            q.select(&events),
+            TermStackEvaluator::select_indices(q.minimal_dfa(), &events)
+        );
+    }
+
+    /// The blind pipeline end-to-end over raw JSON bytes: serialize the
+    /// tree, scan it back to term events, evaluate — the result must match
+    /// both the DOM oracle and the markup-encoding planner on the same
+    /// tree (the two encodings answer the same query).
+    #[test]
+    fn json_byte_path_matches_markup_path(d in arb_dfa(3, 4), t in arb_tree(3, 40)) {
+        use stackless_streamed_trees::core::planner::CompiledTermQuery;
+        use stackless_streamed_trees::trees::json;
+        let g = Alphabet::of_chars("abc");
+        let tq = CompiledTermQuery::compile(&d);
+        let mq = CompiledQuery::compile(&d);
+        let doc = json::write_json_document(&t, &g);
+        let events: Vec<_> = json::JsonScanner::new(doc.as_bytes(), &g)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let want: Vec<usize> = oracle::select(&t, tq.minimal_dfa())
+            .into_iter()
+            .map(|v| v.index())
+            .collect();
+        prop_assert_eq!(&tq.select(&events), &want);
+        prop_assert_eq!(mq.select(&markup_encode(&t)), want);
+    }
+
     /// Boolean-operation laws on random DFAs, checked both algebraically
     /// (language equivalence) and pointwise (membership on random words).
     #[test]
