@@ -42,6 +42,44 @@ pub fn evaluate(dfa: &Dfa, tags: &[Tag]) -> Result<DomResult, TreeError> {
     })
 }
 
+/// [`evaluate`] behind a nesting budget: a cheap O(n) depth pre-scan over
+/// the tag stream rejects adversarial million-deep inputs with
+/// [`TreeError::TooDeep`] *before* the tree is materialized, so the
+/// buffering oracle path never sees them.
+///
+/// # Errors
+///
+/// [`TreeError::TooDeep`] over the budget (position is the event index of
+/// the offending open), plus everything [`evaluate`] can raise.
+pub fn evaluate_limited(dfa: &Dfa, tags: &[Tag], max_depth: usize) -> Result<DomResult, TreeError> {
+    let mut depth = 0usize;
+    for (i, t) in tags.iter().enumerate() {
+        match t {
+            Tag::Open(_) => {
+                depth += 1;
+                if depth > max_depth {
+                    return Err(TreeError::TooDeep {
+                        depth,
+                        limit: max_depth,
+                        position: i,
+                    });
+                }
+            }
+            Tag::Close(_) => depth = depth.saturating_sub(1),
+        }
+    }
+    let tree = markup_decode(tags)?;
+    Ok(DomResult {
+        selected: oracle::select(&tree, dfa)
+            .into_iter()
+            .map(|v| v.index())
+            .collect(),
+        exists_branch: oracle::in_exists(&tree, dfa),
+        forall_branches: oracle::in_forall(&tree, dfa),
+        n_nodes: tree.len(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,5 +110,27 @@ mod tests {
         let a = g.letter("a").unwrap();
         let d = compile_regex("a*", &g).unwrap();
         assert!(evaluate(&d, &[Tag::Open(a)]).is_err());
+    }
+
+    #[test]
+    fn guarded_dom_rejects_deep_chains_without_materializing() {
+        let g = Alphabet::of_chars("a");
+        let a = g.letter("a").unwrap();
+        let d = compile_regex("a*", &g).unwrap();
+        let mut tags = vec![Tag::Open(a); 1000];
+        tags.extend(vec![Tag::Close(a); 1000]);
+        match evaluate_limited(&d, &tags, 64) {
+            Err(TreeError::TooDeep {
+                depth,
+                limit,
+                position,
+            }) => {
+                assert_eq!((depth, limit, position), (65, 64, 64));
+            }
+            other => panic!("expected TooDeep, got {other:?}"),
+        }
+        // Within budget, the guard is invisible.
+        let dom = evaluate_limited(&d, &tags, 1000).unwrap();
+        assert_eq!(dom, evaluate(&d, &tags).unwrap());
     }
 }

@@ -116,6 +116,44 @@ impl<'a> StackEvaluator<'a> {
         out
     }
 
+    /// [`Self::select_indices`] behind a nesting budget: the pushdown's
+    /// working memory is O(depth) (the very weakness the paper's
+    /// depth-register automata avoid), so an adversarial million-deep
+    /// stream can exhaust memory through the stack itself.  The guard
+    /// rejects with [`TooDeep`](st_trees::error::TreeError::TooDeep) the
+    /// moment the stack would cross the budget.
+    ///
+    /// # Errors
+    ///
+    /// [`TooDeep`](st_trees::error::TreeError::TooDeep) with the event
+    /// index of the offending opening tag.
+    pub fn select_indices_limited(
+        dfa: &Dfa,
+        tags: &[Tag],
+        max_depth: usize,
+    ) -> Result<Vec<usize>, st_trees::error::TreeError> {
+        let mut ev = StackEvaluator::new(dfa);
+        let mut out = Vec::new();
+        let mut node = 0usize;
+        for (i, &t) in tags.iter().enumerate() {
+            if t.is_open() && ev.depth() >= max_depth {
+                return Err(st_trees::error::TreeError::TooDeep {
+                    depth: ev.depth() + 1,
+                    limit: max_depth,
+                    position: i,
+                });
+            }
+            let o = ev.step(t);
+            if t.is_open() {
+                if o.selected {
+                    out.push(node);
+                }
+                node += 1;
+            }
+        }
+        Ok(out)
+    }
+
     /// Streaming count of pre-selected nodes (no id materialization) —
     /// the aggregate fast path mirrored by the stackless evaluators.
     pub fn count_selected(dfa: &Dfa, tags: &[Tag]) -> usize {
@@ -288,6 +326,27 @@ mod tests {
                 .collect();
             assert_eq!(got, want, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn guarded_select_rejects_deep_chains_and_agrees_otherwise() {
+        let g = Alphabet::of_chars("a");
+        let a = g.letter("a").unwrap();
+        let d = compile_regex("a*", &g).unwrap();
+        let t = generate::chain(&[a], 500);
+        let tags = markup_encode(&t);
+        match StackEvaluator::select_indices_limited(&d, &tags, 100) {
+            Err(st_trees::error::TreeError::TooDeep {
+                depth,
+                limit,
+                position,
+            }) => assert_eq!((depth, limit, position), (101, 100, 100)),
+            other => panic!("expected TooDeep, got {other:?}"),
+        }
+        assert_eq!(
+            StackEvaluator::select_indices_limited(&d, &tags, 500).unwrap(),
+            StackEvaluator::select_indices(&d, &tags)
+        );
     }
 
     #[test]

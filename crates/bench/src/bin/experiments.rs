@@ -41,6 +41,7 @@ fn main() {
     e8_to_e12_fooling();
     e18_rpqness();
     e19_throughput();
+    e19_limits_overhead();
     e20_memory();
 }
 
@@ -467,6 +468,64 @@ fn e19_throughput() {
         mbps(w.xml.len(), d),
         selected
     );
+    println!();
+}
+
+/// E19b: resource guards on the fused hot loop.  The session layer
+/// checks byte/time budgets once per 64 KiB window and depth/imbalance
+/// only on tag events, so the guarded loop must track the unguarded one
+/// within noise (the acceptance bar is a ≤2% regression).
+fn e19_limits_overhead() {
+    println!("## E19b — fused throughput with resource guards (MB/s; overhead vs unguarded)");
+    let g = gamma();
+    let reps = 8usize;
+    // Roomy budgets: every guard is armed, none ever fires.
+    let limits = st_core::session::Limits::none()
+        .with_max_depth(1 << 24)
+        .with_max_bytes(1 << 40)
+        .with_max_imbalance(1 << 24);
+    for w in standard_workloads(120_000) {
+        let total = w.xml.len() * reps;
+        for (name, pattern) in [("fused-DFA", "a.*b"), ("fused-DRA", ".*a.*b")] {
+            let fused = CompiledQuery::compile(&compile_regex(pattern, &g).unwrap())
+                .fused(&g)
+                .unwrap();
+            // Alternate the two measurements and keep the best of several
+            // trials each: the quick harness runs on shared machines, and
+            // a single pair is dominated by scheduler noise.
+            let mut d_plain = std::time::Duration::MAX;
+            let mut d_guarded = std::time::Duration::MAX;
+            for _ in 0..7 {
+                let (plain_n, d1) = time(|| {
+                    let mut acc = 0usize;
+                    for _ in 0..reps {
+                        acc += fused.count_bytes(&w.xml).unwrap();
+                    }
+                    acc
+                });
+                let (guarded_n, d2) = time(|| {
+                    let mut acc = 0usize;
+                    for _ in 0..reps {
+                        acc += fused.count_bytes_limited(&w.xml, &limits).unwrap();
+                    }
+                    acc
+                });
+                assert_eq!(plain_n, guarded_n, "guards must not change answers");
+                d_plain = d_plain.min(d1);
+                d_guarded = d_guarded.min(d2);
+            }
+            let plain = mbps(total, d_plain);
+            let guarded = mbps(total, d_guarded);
+            println!(
+                "{:<6} {:<9}: unguarded {:>8.1} | guarded {:>8.1} | overhead {:>+6.2}%",
+                w.name,
+                name,
+                plain,
+                guarded,
+                (plain / guarded - 1.0) * 100.0,
+            );
+        }
+    }
     println!();
 }
 

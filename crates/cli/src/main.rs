@@ -48,11 +48,22 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   stql explain <query> [--alphabet a,b,c] [--dot]
   stql select  <query> <file.xml|file.json|file.term> [--count] [--fused]
+               [--max-depth D] [--max-bytes B] [--time-budget MS]
+               [--checkpoint-out FILE] [--resume FILE]
+               [--recover] [--alphabet a,b,c]
   stql validate <schema.dtd> <file.xml>
   stql stats   <file.xml|file.json|file.term>
   stql extract <query> <file.xml>
   stql fuzz    [--seed N] [--iters M] [--max-depth D] [--max-nodes K]
-               [--corpus DIR] [--mutation NAME] [--replay FILE.case]";
+               [--corpus DIR] [--mutation NAME] [--faults]
+               [--replay FILE.case]
+
+select resource guards and sessions (.xml only, fused engine):
+  --max-depth/--max-bytes/--time-budget abort with a typed limit error;
+  --checkpoint-out serializes the session state after the input instead
+  of finishing, --resume reopens one and continues on the given bytes;
+  --recover scans leniently, printing matches plus diagnostics (needs
+  --alphabet when the document is too broken to infer one).";
 
 /// Parses a query in whichever of the three syntaxes it is written.
 fn parse_query(query: &str, alphabet: &Alphabet) -> Result<PathQuery, String> {
@@ -157,14 +168,168 @@ fn warn_if_unbalanced(tags: &[st_automata::Tag]) {
     }
 }
 
+/// Collects the `--max-depth`/`--max-bytes`/`--time-budget` guard flags
+/// of `stql select` into a [`Limits`](st_core::session::Limits).
+fn select_limits(args: &[String]) -> Result<st_core::session::Limits, String> {
+    let parse = |flag: &str| -> Result<Option<u64>, String> {
+        match flag_value(args, flag) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|e| format!("bad {flag} {v:?}: {e}")),
+        }
+    };
+    let mut limits = st_core::session::Limits::none();
+    if let Some(d) = parse("--max-depth")? {
+        limits = limits.with_max_depth(d as usize);
+    }
+    if let Some(b) = parse("--max-bytes")? {
+        limits = limits.with_max_bytes(b as usize);
+    }
+    if let Some(ms) = parse("--time-budget")? {
+        limits = limits.with_time_budget(std::time::Duration::from_millis(ms));
+    }
+    Ok(limits)
+}
+
+/// Emits the match ids (or count) accumulated by a session so far and,
+/// with `--checkpoint-out`, serializes the live state instead of
+/// finishing; without it the session is finished strictly.
+fn finish_session(
+    session: st_core::session::EngineSession<'_>,
+    checkpoint_out: Option<&str>,
+    count_only: bool,
+) -> Result<(), String> {
+    let emit = |ids: &[usize]| {
+        if count_only {
+            println!("{}", ids.len());
+        } else {
+            for id in ids {
+                println!("{id}");
+            }
+        }
+    };
+    match checkpoint_out {
+        Some(out) => {
+            let cp = session.checkpoint().map_err(|e| e.to_string())?;
+            std::fs::write(out, cp.to_bytes()).map_err(|e| format!("cannot write {out}: {e}"))?;
+            eprintln!("checkpoint written to {out} at byte {}", session.offset());
+            emit(session.matches());
+        }
+        None => {
+            let outcome = session.finish().map_err(|e| e.to_string())?;
+            emit(&outcome.matches);
+        }
+    }
+    Ok(())
+}
+
+/// Streaming-session variant of `select` (fused engine): resource guards,
+/// checkpoint capture, resume, and lenient recovery.
+fn select_session(
+    query: &str,
+    bytes: &[u8],
+    args: &[String],
+    count_only: bool,
+) -> Result<(), String> {
+    let limits = select_limits(args)?;
+    let checkpoint_out = flag_value(args, "--checkpoint-out");
+    let recover = args.iter().any(|a| a == "--recover");
+
+    if let Some(cp_path) = flag_value(args, "--resume") {
+        // The checkpoint carries the alphabet, so the query is recompiled
+        // over exactly the fingerprinted automaton — no document scan.
+        let cp_bytes = std::fs::read(cp_path).map_err(|e| format!("cannot read {cp_path}: {e}"))?;
+        let cp = st_core::session::EngineCheckpoint::from_bytes(&cp_bytes)
+            .map_err(|e| format!("{cp_path}: {e}"))?;
+        let alphabet = Alphabet::from_symbols(cp.alphabet_symbols().iter().map(String::as_str))
+            .map_err(|e| format!("{cp_path}: bad alphabet: {e}"))?;
+        let q = parse_query(query, &alphabet)?;
+        let plan = CompiledQuery::compile(&q.dfa);
+        let engine = plan
+            .fused(&alphabet)
+            .map_err(|e| format!("cannot fuse query: {e}"))?;
+        let mut session = engine.resume(&cp, limits).map_err(|e| e.to_string())?;
+        eprintln!(
+            "resumed {:?} session at byte {}",
+            plan.strategy(),
+            session.offset()
+        );
+        session.feed(bytes).map_err(|e| e.to_string())?;
+        return finish_session(session, checkpoint_out, count_only);
+    }
+
+    // Fresh session: the alphabet comes from --alphabet, or from a strict
+    // scan of the document (which a --recover target may well fail).
+    let alphabet = match flag_value(args, "--alphabet") {
+        Some(sigma) => {
+            Alphabet::from_symbols(sigma.split(',')).map_err(|e| format!("bad alphabet: {e}"))?
+        }
+        None => {
+            st_trees::xml::parse_document(bytes)
+                .map_err(|e| {
+                    format!("cannot infer alphabet: {e} (pass --alphabet for broken documents)")
+                })?
+                .0
+        }
+    };
+    let q = parse_query(query, &alphabet)?;
+    let plan = CompiledQuery::compile(&q.dfa);
+    let engine = plan
+        .fused(&alphabet)
+        .map_err(|e| format!("cannot fuse query: {e}"))?;
+    eprintln!(
+        "strategy {:?} ({} registers), fused session engine",
+        plan.strategy(),
+        plan.n_registers()
+    );
+
+    if recover {
+        let rec = engine.select_bytes_recovering(bytes);
+        for d in &rec.diagnostics {
+            eprintln!(
+                "diagnostic: {:?} at byte {} (depth {})",
+                d.class, d.offset, d.depth
+            );
+        }
+        if rec.suppressed > 0 {
+            eprintln!("... {} further diagnostic(s) suppressed", rec.suppressed);
+        }
+        if count_only {
+            println!("{}", rec.matches.len());
+        } else {
+            for id in rec.matches {
+                println!("{id}");
+            }
+        }
+        return Ok(());
+    }
+
+    let mut session = engine.session(limits);
+    session.feed(bytes).map_err(|e| e.to_string())?;
+    finish_session(session, checkpoint_out, count_only)
+}
+
 fn cmd_select(args: &[String]) -> Result<(), String> {
     let query = args.first().ok_or("select needs a query and a file")?;
     let path = args.get(1).ok_or("select needs a file")?;
     let count_only = args.iter().any(|a| a == "--count");
     let fused = args.iter().any(|a| a == "--fused");
+    let limits = select_limits(args)?;
+    let session_mode = !limits.is_unbounded()
+        || flag_value(args, "--resume").is_some()
+        || flag_value(args, "--checkpoint-out").is_some()
+        || args.iter().any(|a| a == "--recover");
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
 
     let kind = doc_kind(path)?;
+    if session_mode {
+        if !matches!(kind, DocKind::Xml) {
+            return Err("sessions (limits/checkpoints/recovery) support .xml documents".into());
+        }
+        return select_session(query, &bytes, args, count_only);
+    }
     match kind {
         DocKind::Xml => {
             let (alphabet, tags) = st_trees::xml::parse_document(&bytes)
@@ -369,6 +534,7 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
     let mut gen = st_conform::GenConfig::default();
     gen.max_depth = parse_num("--max-depth", gen.max_depth as u64)? as usize;
     gen.max_nodes = parse_num("--max-nodes", gen.max_nodes as u64)? as usize;
+    gen.faults = args.iter().any(|a| a == "--faults");
     let mutation = match flag_value(args, "--mutation") {
         None => st_conform::Mutation::None,
         Some(name) => st_conform::Mutation::parse(name).ok_or_else(|| {

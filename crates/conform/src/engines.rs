@@ -37,7 +37,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use st_automata::{compile_regex, Alphabet, Dfa, Tag};
 use st_baseline::{dom, stack::StackEvaluator};
+use st_core::engine::FusedQuery;
 use st_core::planner::CompiledQuery;
+use st_core::session::{EngineCheckpoint, Limits, SessionError, SessionOutcome};
 use st_trees::{encode::markup_decode, xml::Scanner, TreeError};
 
 use crate::gen::Case;
@@ -69,6 +71,12 @@ pub enum EngineId {
     Fused,
     /// The data-parallel byte engine at this chunk size.
     Chunked(usize),
+    /// The fused engine run through the resilient session layer in one
+    /// uninterrupted feed (the reference for the resumed runs).
+    Session,
+    /// The fused engine driven through checkpoint/serialize/resume at
+    /// every cut of this chunk size.
+    Resumed(usize),
 }
 
 impl std::fmt::Display for EngineId {
@@ -79,6 +87,24 @@ impl std::fmt::Display for EngineId {
             EngineId::EventPlan => write!(f, "event-plan"),
             EngineId::Fused => write!(f, "fused"),
             EngineId::Chunked(s) => write!(f, "chunked({s})"),
+            EngineId::Session => write!(f, "session"),
+            EngineId::Resumed(s) => write!(f, "resumed({s})"),
+        }
+    }
+}
+
+/// Whether an evaluation path supports byte-level checkpoint/resume.
+/// The fused family carries O(1) (or O(depth), for the pushdown
+/// fallback) session state and resumes; the buffered paths — DOM oracle,
+/// stack baseline, event plan — evaluate whole materialized inputs and
+/// return the documented typed error.
+pub fn resume_support(id: EngineId) -> Result<(), SessionError> {
+    match id {
+        EngineId::Fused | EngineId::Chunked(_) | EngineId::Session | EngineId::Resumed(_) => Ok(()),
+        EngineId::DomOracle | EngineId::StackBaseline | EngineId::EventPlan => {
+            Err(SessionError::ResumeUnsupported {
+                engine: id.to_string(),
+            })
         }
     }
 }
@@ -100,6 +126,18 @@ impl Outcome {
     fn from_result(r: Result<Vec<usize>, TreeError>) -> Outcome {
         match r {
             Ok(v) => Outcome::Matches(v),
+            Err(e) => Outcome::Rejected(format!("{e:?}")),
+        }
+    }
+
+    /// Maps a session-layer result: parse errors keep the inner
+    /// `TreeError`'s debug form so error classes and positions stay
+    /// comparable with the sequential paths; other session errors
+    /// (worker failures, limits) keep their own debug form.
+    fn from_session_result(r: Result<Vec<usize>, SessionError>) -> Outcome {
+        match r {
+            Ok(v) => Outcome::Matches(v),
+            Err(SessionError::Parse(e)) => Outcome::Rejected(format!("{e:?}")),
             Err(e) => Outcome::Rejected(format!("{e:?}")),
         }
     }
@@ -139,6 +177,9 @@ pub enum Mutation {
     StackPushesSuccessor,
     /// The event plan drops its first match — a minimal emission bug.
     PlanDropsFirstMatch,
+    /// The checkpoint/resume driver drops the first byte after the first
+    /// resume seam — the classic off-by-one a handoff protocol can make.
+    ResumeSkipsByte,
 }
 
 impl Mutation {
@@ -148,6 +189,7 @@ impl Mutation {
             "none" => Some(Mutation::None),
             "stack-pushes-successor" => Some(Mutation::StackPushesSuccessor),
             "plan-drops-first-match" => Some(Mutation::PlanDropsFirstMatch),
+            "resume-skips-byte" => Some(Mutation::ResumeSkipsByte),
             _ => None,
         }
     }
@@ -156,6 +198,7 @@ impl Mutation {
     pub const ALL: &'static [(&'static str, Mutation)] = &[
         ("stack-pushes-successor", Mutation::StackPushesSuccessor),
         ("plan-drops-first-match", Mutation::PlanDropsFirstMatch),
+        ("resume-skips-byte", Mutation::ResumeSkipsByte),
     ];
 }
 
@@ -225,6 +268,54 @@ fn buggy_stack_select(dfa: &Dfa, tags: &[Tag]) -> Vec<usize> {
     out
 }
 
+/// Maps a session run to an [`Outcome`]: the session layer's own typed
+/// errors are compared verbatim (debug form), since the resumed run must
+/// reproduce the uninterrupted session's error exactly — same variant,
+/// same absolute offset.
+fn session_outcome(r: Result<SessionOutcome, SessionError>) -> Outcome {
+    match r {
+        Ok(o) => Outcome::Matches(o.matches),
+        Err(e) => Outcome::Rejected(format!("{e:?}")),
+    }
+}
+
+/// Drives `doc` through the session layer with a full checkpoint
+/// round-trip (serialize + deserialize) at every cut, concatenating the
+/// per-segment match sets.  Under [`Mutation::ResumeSkipsByte`] the first
+/// resume seam drops one byte — the off-by-one this harness must catch.
+fn run_resumed(
+    fused: &FusedQuery,
+    doc: &[u8],
+    cuts: &[usize],
+    mutation: Mutation,
+) -> Result<SessionOutcome, SessionError> {
+    let mut matches = Vec::new();
+    let mut session = fused.session(Limits::none());
+    let mut prev = 0usize;
+    let mut first_seam = true;
+    for &cut in cuts {
+        if cut <= prev || cut > doc.len() {
+            continue;
+        }
+        session.feed(&doc[prev..cut])?;
+        let frozen = EngineCheckpoint::from_bytes(&session.checkpoint()?.to_bytes())?;
+        matches.extend_from_slice(session.matches());
+        session = fused.resume(&frozen, Limits::none())?;
+        prev = cut;
+        if first_seam && mutation == Mutation::ResumeSkipsByte && cut < doc.len() {
+            prev = cut + 1; // BUG under test: a byte falls into the seam.
+            first_seam = false;
+        }
+    }
+    session.feed(&doc[prev..])?;
+    let tail = session.finish()?;
+    matches.extend_from_slice(&tail.matches);
+    Ok(SessionOutcome {
+        matches,
+        nodes: tail.nodes,
+    })
+}
+
 /// Runs every evaluation path on `case` and cross-checks the comparison
 /// groups described in the module docs.  `mutation` injects a deliberate
 /// engine fault (or [`Mutation::None`] for production behaviour).
@@ -276,12 +367,36 @@ pub fn run_case(case: &Case, mutation: Mutation) -> CaseOutcome {
             let o = match catching(AssertUnwindSafe(|| {
                 bd.select_bytes_chunked_at(&case.doc, &cuts)
             })) {
-                Ok(r) => Outcome::from_result(r),
+                Ok(r) => Outcome::from_session_result(r),
                 Err(m) => Outcome::Panicked(m),
             };
             outcomes.push((EngineId::Chunked(s), o.clone()));
             chunked.push((s, o));
         }
+    }
+
+    // --- Resilient session paths ------------------------------------------
+    // The uninterrupted session is the reference; each chunk size drives
+    // the same document through checkpoint → serialize → deserialize →
+    // resume at every cut, and must reproduce it exactly.
+    let session_sel = match catching(AssertUnwindSafe(|| {
+        fused.run_session(&case.doc, &Limits::none())
+    })) {
+        Ok(r) => session_outcome(r),
+        Err(m) => Outcome::Panicked(m),
+    };
+    outcomes.push((EngineId::Session, session_sel.clone()));
+    let mut resumed: Vec<(usize, Outcome)> = Vec::new();
+    for &s in &case.chunk_sizes {
+        let cuts = cuts_for(s, case.doc.len());
+        let o = match catching(AssertUnwindSafe(|| {
+            run_resumed(&fused, &case.doc, &cuts, mutation)
+        })) {
+            Ok(r) => session_outcome(r),
+            Err(m) => Outcome::Panicked(m),
+        };
+        outcomes.push((EngineId::Resumed(s), o.clone()));
+        resumed.push((s, o));
     }
 
     // --- Event-level paths ------------------------------------------------
@@ -351,16 +466,18 @@ pub fn run_case(case: &Case, mutation: Mutation) -> CaseOutcome {
         }
     }
 
-    let divergence = diff(
-        &scanned,
-        &fused_sel,
+    let divergence = diff(DiffInput {
+        scanned: &scanned,
+        fused_sel: &fused_sel,
         fused_cnt,
-        &chunked,
-        plan_sel.as_ref(),
-        stack_sel.as_ref(),
-        dom_out.as_ref(),
+        chunked: &chunked,
+        session_sel: &session_sel,
+        resumed: &resumed,
+        plan_sel: plan_sel.as_ref(),
+        stack_sel: stack_sel.as_ref(),
+        dom_out: dom_out.as_ref(),
         verdicts,
-    );
+    });
 
     CaseOutcome {
         outcomes,
@@ -370,17 +487,34 @@ pub fn run_case(case: &Case, mutation: Mutation) -> CaseOutcome {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn diff(
-    scanned: &Result<Vec<Tag>, TreeError>,
-    fused_sel: &Outcome,
+/// Everything [`diff`] cross-checks, gathered so the comparison logic
+/// reads as one function of one record.
+struct DiffInput<'a> {
+    scanned: &'a Result<Vec<Tag>, TreeError>,
+    fused_sel: &'a Outcome,
     fused_cnt: Result<Result<usize, TreeError>, String>,
-    chunked: &[(usize, Outcome)],
-    plan_sel: Option<&Outcome>,
-    stack_sel: Option<&Outcome>,
-    dom_out: Option<&Outcome>,
+    chunked: &'a [(usize, Outcome)],
+    session_sel: &'a Outcome,
+    resumed: &'a [(usize, Outcome)],
+    plan_sel: Option<&'a Outcome>,
+    stack_sel: Option<&'a Outcome>,
+    dom_out: Option<&'a Outcome>,
     verdicts: Option<Verdicts>,
-) -> Option<Divergence> {
+}
+
+fn diff(input: DiffInput<'_>) -> Option<Divergence> {
+    let DiffInput {
+        scanned,
+        fused_sel,
+        fused_cnt,
+        chunked,
+        session_sel,
+        resumed,
+        plan_sel,
+        stack_sel,
+        dom_out,
+        verdicts,
+    } = input;
     let mk = |detail: &str, l: (EngineId, &Outcome), r: (EngineId, &Outcome)| {
         Some(Divergence {
             left: (l.0, l.1.clone()),
@@ -388,6 +522,41 @@ fn diff(
             detail: detail.to_owned(),
         })
     };
+
+    // Resume invariant: every resumed run must reproduce the
+    // uninterrupted session exactly — same matches, or the same typed
+    // error at the same absolute offset.
+    for (s, o) in resumed {
+        if o != session_sel {
+            return mk(
+                "resume: resumed vs uninterrupted session",
+                (EngineId::Resumed(*s), o),
+                (EngineId::Session, session_sel),
+            );
+        }
+    }
+    // The session layer must agree with the fused engine on the match
+    // set, and on *whether* the input is acceptable.  (Diagnostics are
+    // not compared across the two: the session reports its own
+    // structural error, the fused path re-scans for the Scanner's.)
+    match (session_sel, fused_sel) {
+        (Outcome::Matches(a), Outcome::Matches(b)) if a != b => {
+            return mk(
+                "match-set: session vs fused",
+                (EngineId::Session, session_sel),
+                (EngineId::Fused, fused_sel),
+            );
+        }
+        (Outcome::Matches(_), Outcome::Rejected(_))
+        | (Outcome::Rejected(_), Outcome::Matches(_)) => {
+            return mk(
+                "error-class: session vs fused accept/reject",
+                (EngineId::Session, session_sel),
+                (EngineId::Fused, fused_sel),
+            );
+        }
+        _ => {}
+    }
 
     match scanned {
         Err(e) => {
@@ -537,5 +706,46 @@ mod tests {
         let c = case("a.*b", "ab", "<a><b/></a>", &[]);
         let r = run_case(&c, Mutation::PlanDropsFirstMatch);
         assert!(r.divergence.is_some());
+    }
+
+    #[test]
+    fn injected_resume_bug_is_caught() {
+        // The first seam lands right after the `<` of the first `<b/>`;
+        // dropping the `b` leaves `</...` — a malformed close — so the
+        // resumed run errors where the uninterrupted session matches.
+        let c = case("a.*b", "ab", "<a><b/><b/></a>", &[4]);
+        let r = run_case(&c, Mutation::ResumeSkipsByte);
+        assert!(
+            r.divergence.is_some(),
+            "mutation survived: {:?}",
+            r.outcomes
+        );
+    }
+
+    #[test]
+    fn resumed_paths_match_session_on_clean_and_malformed_input() {
+        for doc in ["<a><b/><a><b/></a></a>", "<a><b></a>", "<a", "<a zz=>"] {
+            let c = case("a.*b", "ab", doc, &[1, 3, 5]);
+            let r = run_case(&c, Mutation::None);
+            assert!(r.divergence.is_none(), "doc {doc:?}: {:?}", r.divergence);
+        }
+    }
+
+    #[test]
+    fn buffered_paths_report_resume_unsupported() {
+        for id in [
+            EngineId::DomOracle,
+            EngineId::StackBaseline,
+            EngineId::EventPlan,
+        ] {
+            match resume_support(id) {
+                Err(SessionError::ResumeUnsupported { engine }) => {
+                    assert_eq!(engine, id.to_string());
+                }
+                other => panic!("{id}: expected ResumeUnsupported, got {other:?}"),
+            }
+        }
+        assert!(resume_support(EngineId::Fused).is_ok());
+        assert!(resume_support(EngineId::Chunked(4)).is_ok());
     }
 }

@@ -23,6 +23,11 @@ pub struct GenConfig {
     pub max_nodes: usize,
     /// Upper bound on chain/comb depth.
     pub max_depth: usize,
+    /// Fault-injection mode: *every* case gets a malformed-adjacent byte
+    /// mutation (truncation, corruption, metacharacter insertion, …)
+    /// instead of the default 25% of cases.  Used by the CI
+    /// fault-injection smoke job.
+    pub faults: bool,
 }
 
 impl Default for GenConfig {
@@ -30,6 +35,7 @@ impl Default for GenConfig {
         GenConfig {
             max_nodes: 80,
             max_depth: 24,
+            faults: false,
         }
     }
 }
@@ -75,7 +81,7 @@ pub fn gen_case(rng: &mut StdRng, cfg: &GenConfig) -> (Case, Pat) {
 
     let tree = gen_tree(rng, cfg, &g, &dfa);
     let mut doc = render_doc(rng, &tree, &g);
-    if rng.gen_bool(0.25) {
+    if cfg.faults || rng.gen_bool(0.25) {
         mutate_bytes(rng, &mut doc);
     }
     let chunk_sizes = pick_chunk_sizes(rng, doc.len());

@@ -39,7 +39,7 @@ pub mod pattern;
 pub mod runner;
 pub mod shrink;
 
-pub use engines::{run_case, CaseOutcome, Divergence, EngineId, Mutation, Outcome};
+pub use engines::{resume_support, run_case, CaseOutcome, Divergence, EngineId, Mutation, Outcome};
 pub use gen::{Case, GenConfig};
 pub use pattern::Pat;
 pub use runner::{fuzz, replay_corpus, FuzzConfig, FuzzFailure, FuzzReport};

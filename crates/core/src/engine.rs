@@ -47,6 +47,35 @@ use st_trees::xml::Scanner;
 
 use crate::error::CoreError;
 use crate::har::{HarMarkupProgram, MAX_CHAIN};
+use crate::session::SessionError;
+
+/// Converts a panic payload caught at `JoinHandle::join` into
+/// [`CoreError::WorkerFailed`].
+fn worker_failed(payload: Box<dyn std::any::Any + Send>) -> CoreError {
+    let detail = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_owned());
+    CoreError::WorkerFailed { detail }
+}
+
+/// Joins every handle (so the scope cannot re-raise an unobserved panic)
+/// and either returns all results or the first worker failure.
+fn join_all<T>(handles: Vec<std::thread::ScopedJoinHandle<'_, T>>) -> Result<Vec<T>, CoreError> {
+    let mut out = Vec::with_capacity(handles.len());
+    let mut failed = None;
+    for h in handles {
+        match h.join() {
+            Ok(v) => out.push(v),
+            Err(payload) => failed = Some(worker_failed(payload)),
+        }
+    }
+    match failed {
+        None => Ok(out),
+        Some(e) => Err(e),
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Byte classes (must mirror `st_trees::xml`)
@@ -68,7 +97,7 @@ fn is_name_byte(b: u8) -> bool {
 /// `bytes.len()` if there is none.  This is the memchr-style fast path
 /// the engines use while the lexer sits in its text state.
 #[inline]
-fn find_lt(bytes: &[u8], from: usize) -> usize {
+pub(crate) fn find_lt(bytes: &[u8], from: usize) -> usize {
     const LO: u64 = 0x0101_0101_0101_0101;
     const HI: u64 = 0x8080_8080_8080_8080;
     const NEEDLE: u64 = 0x3C3C_3C3C_3C3C_3C3C; // b'<' broadcast
@@ -104,9 +133,9 @@ fn find_lt(bytes: &[u8], from: usize) -> usize {
 /// Lexer state ids fixed across all alphabets.  `TEXT` must be 0 so that
 /// composite states `lexer * m + q` of a [`ByteDfa`] satisfy
 /// `state < m ⇔ lexer in TEXT` — the test the skip loop uses.
-const TEXT: u16 = 0;
+pub(crate) const TEXT: u16 = 0;
 const LEX_ERROR: u16 = 1;
-const LT: u16 = 2;
+pub(crate) const LT: u16 = 2;
 const BANG: u16 = 3;
 const BANG_DASH: u16 = 4;
 const COMMENT: u16 = 5;
@@ -416,11 +445,54 @@ impl TagLexer {
             Err(())
         }
     }
+
+    /// [`Self::scan`] with a controllable callback: `on_event` returns
+    /// `false` to stop the scan early (the guarded engines use this to
+    /// bail out the moment a resource budget is breached, before the
+    /// evaluator allocates anything proportional to the excess).  An
+    /// early stop is `Ok` — the caller owns the breach flag and decides
+    /// what it means; `Err(())` still means malformed input.
+    #[inline]
+    #[allow(clippy::result_unit_err)]
+    pub(crate) fn scan_ctl(
+        &self,
+        bytes: &[u8],
+        mut on_event: impl FnMut(u16) -> bool,
+    ) -> Result<(), ()> {
+        let n = bytes.len();
+        let mut s = TEXT;
+        let mut i = 0usize;
+        while i < n {
+            if s == TEXT {
+                i = find_lt(bytes, i);
+                if i >= n {
+                    break;
+                }
+            }
+            let idx = ((s as usize) << 8) | bytes[i] as usize;
+            let ev = self.event[idx];
+            s = self.next[idx];
+            if ev != EV_NONE {
+                if ev == EV_ERROR {
+                    return Err(());
+                }
+                if !on_event(ev) {
+                    return Ok(());
+                }
+            }
+            i += 1;
+        }
+        if s == TEXT {
+            Ok(())
+        } else {
+            Err(())
+        }
+    }
 }
 
 /// Reproduces the `Scanner`'s diagnostic for an input the fused engines
 /// rejected (cold path: errors are not the throughput case).
-fn rescan_error(bytes: &[u8], alphabet: &Alphabet) -> TreeError {
+pub(crate) fn rescan_error(bytes: &[u8], alphabet: &Alphabet) -> TreeError {
     for event in Scanner::new(bytes, alphabet) {
         if let Err(e) = event {
             return e;
@@ -445,6 +517,10 @@ pub const FLAG_OPEN: u8 = 1;
 pub const FLAG_SELECTED: u8 = 2;
 /// Flag bit: the transition detected malformed input.
 pub const FLAG_ERROR: u8 = 4;
+/// Flag bit: the transition closed a node (set together with
+/// [`FLAG_OPEN`] on self-closing elements).  The resource-guarded loops
+/// use it to keep a depth counter without a second table.
+pub const FLAG_CLOSE: u8 = 8;
 
 /// The fully fused byte engine for registerless (Lemma 3.5) queries: the
 /// product of a [`TagLexer`] with a query DFA over the tag alphabet,
@@ -452,20 +528,20 @@ pub const FLAG_ERROR: u8 = 4;
 /// flags.  One table lookup per byte tokenizes *and* evaluates.
 pub struct ByteDfa {
     /// Query-DFA state count; composite states are `lexer * m + q`.
-    m: usize,
+    pub(crate) m: usize,
     k: usize,
-    start: u16,
+    pub(crate) start: u16,
     /// `table[s * 256 + b]`: successor state in the low 16 bits, the
     /// transition's flags in bits 16.. — one cache load per byte.  Padded
     /// to a power-of-two length so the hot loops can index through a mask,
     /// which lets the compiler drop the per-byte bounds check.
-    table: Vec<u32>,
+    pub(crate) table: Vec<u32>,
     lexer: TagLexer,
     /// Query transitions `qnext[q * 2k + t]`, kept factored for the
     /// chunk-summary (all-states) pass.
-    qnext: Vec<u16>,
-    accepting: Vec<bool>,
-    alphabet: Alphabet,
+    pub(crate) qnext: Vec<u16>,
+    pub(crate) accepting: Vec<bool>,
+    pub(crate) alphabet: Alphabet,
 }
 
 /// Speculative summary of one chunk, computed assuming the lexer starts
@@ -541,7 +617,7 @@ impl ByteDfa {
                             let f = if t < k {
                                 FLAG_OPEN | if accepting[q2] { FLAG_SELECTED } else { 0 }
                             } else {
-                                0
+                                FLAG_CLOSE
                             };
                             (q2, f)
                         }
@@ -550,7 +626,9 @@ impl ByteDfa {
                             let l = ev as usize - 1 - 2 * k;
                             let q1 = qnext[q * 2 * k + l] as usize;
                             let q2 = qnext[q1 * 2 * k + k + l] as usize;
-                            let f = FLAG_OPEN | if accepting[q1] { FLAG_SELECTED } else { 0 };
+                            let f = FLAG_OPEN
+                                | FLAG_CLOSE
+                                | if accepting[q1] { FLAG_SELECTED } else { 0 };
                             (q2, f)
                         }
                     };
@@ -629,6 +707,134 @@ impl ByteDfa {
             Ok(count)
         } else {
             Err(rescan_error(bytes, &self.alphabet))
+        }
+    }
+
+    /// [`Self::count_bytes`] with the depth/imbalance budgets tracked
+    /// inline from the open/close flags the composite table already
+    /// carries — the O(1)-state engine has no depth of its own, so the
+    /// guard rides in the flag-dispatch branch that only event bytes
+    /// take.  Returns `None` on a breach *or* a parse error; the caller
+    /// re-runs the windowed session cold to reproduce the exact
+    /// diagnostic (neither is the throughput case).  `inline(never)`
+    /// keeps the loop out of the caller's multi-backend dispatch body.
+    #[inline(never)]
+    pub(crate) fn count_bytes_guarded(
+        &self,
+        bytes: &[u8],
+        max_depth: i64,
+        min_depth: i64,
+    ) -> Option<usize> {
+        let n = bytes.len();
+        let m = self.m;
+        let table = self.table.as_slice();
+        let mask = table.len() - 1;
+        let mut s = self.start as usize;
+        let mut count = 0usize;
+        let mut depth: i64 = 0;
+        let mut i = 0usize;
+        while i < n {
+            if s < m {
+                i = find_lt(bytes, i);
+                if i >= n {
+                    break;
+                }
+                s += LT as usize * m;
+                i += 1;
+                if i >= n {
+                    break;
+                }
+            }
+            let p = table[((s << 8) | bytes[i] as usize) & mask];
+            s = (p & 0xFFFF) as usize;
+            if p >> 16 != 0 {
+                let f = (p >> 16) as u8;
+                if f & FLAG_ERROR != 0 {
+                    return None;
+                }
+                if f & FLAG_OPEN != 0 {
+                    depth += 1;
+                    if depth > max_depth {
+                        return None;
+                    }
+                }
+                count += (f >> 1) as usize & 1;
+                if f & FLAG_CLOSE != 0 {
+                    depth -= 1;
+                    if depth < min_depth {
+                        return None;
+                    }
+                }
+            }
+            i += 1;
+        }
+        if s < m {
+            Some(count)
+        } else {
+            None
+        }
+    }
+
+    /// Guarded variant of [`Self::select_bytes`]; see
+    /// [`Self::count_bytes_guarded`] for the contract.
+    #[inline(never)]
+    pub(crate) fn select_bytes_guarded(
+        &self,
+        bytes: &[u8],
+        max_depth: i64,
+        min_depth: i64,
+    ) -> Option<Vec<usize>> {
+        let n = bytes.len();
+        let m = self.m;
+        let table = self.table.as_slice();
+        let mask = table.len() - 1;
+        let mut s = self.start as usize;
+        let mut out = Vec::new();
+        let mut node = 0usize;
+        let mut depth: i64 = 0;
+        let mut i = 0usize;
+        while i < n {
+            if s < m {
+                i = find_lt(bytes, i);
+                if i >= n {
+                    break;
+                }
+                s += LT as usize * m;
+                i += 1;
+                if i >= n {
+                    break;
+                }
+            }
+            let p = table[((s << 8) | bytes[i] as usize) & mask];
+            s = (p & 0xFFFF) as usize;
+            if p >> 16 != 0 {
+                let f = (p >> 16) as u8;
+                if f & FLAG_ERROR != 0 {
+                    return None;
+                }
+                if f & FLAG_OPEN != 0 {
+                    depth += 1;
+                    if depth > max_depth {
+                        return None;
+                    }
+                }
+                if f & FLAG_SELECTED != 0 {
+                    out.push(node);
+                }
+                node += f as usize & 1;
+                if f & FLAG_CLOSE != 0 {
+                    depth -= 1;
+                    if depth < min_depth {
+                        return None;
+                    }
+                }
+            }
+            i += 1;
+        }
+        if s < m {
+            Some(out)
+        } else {
+            None
         }
     }
 
@@ -775,8 +981,14 @@ impl ByteDfa {
         }
     }
 
-    /// Runs all chunk summaries on scoped threads.
-    fn summarize_parallel(&self, bytes: &[u8], cuts: &[usize]) -> Vec<ChunkSummary> {
+    /// Runs all chunk summaries on scoped threads.  A worker panic is
+    /// caught at the join and surfaces as [`CoreError::WorkerFailed`];
+    /// it never unwinds through (or aborts) the caller.
+    fn summarize_parallel(
+        &self,
+        bytes: &[u8],
+        cuts: &[usize],
+    ) -> Result<Vec<ChunkSummary>, CoreError> {
         std::thread::scope(|scope| {
             let handles: Vec<_> = cuts
                 .windows(2)
@@ -785,10 +997,7 @@ impl ByteDfa {
                     scope.spawn(move || self.summarize_chunk(chunk))
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("chunk worker panicked"))
-                .collect()
+            join_all(handles)
         })
     }
 
@@ -821,29 +1030,38 @@ impl ByteDfa {
     ///
     /// # Errors
     ///
-    /// The `Scanner`'s diagnostic if the document is malformed.
-    pub fn count_bytes_chunked(&self, bytes: &[u8], n_threads: usize) -> Result<usize, TreeError> {
+    /// [`SessionError::Parse`] with the `Scanner`'s diagnostic if the
+    /// document is malformed; [`SessionError::Engine`] (worker failure)
+    /// if a chunk worker panicked — a worker panic is an engine bug, so
+    /// it is *not* papered over by the sequential fallback.
+    pub fn count_bytes_chunked(
+        &self,
+        bytes: &[u8],
+        n_threads: usize,
+    ) -> Result<usize, SessionError> {
         let Some(cuts) = self.chunk_plan(bytes, n_threads) else {
-            return self.count_bytes(bytes);
+            return self.count_bytes(bytes).map_err(SessionError::Parse);
         };
-        match self.count_with_cuts(bytes, &cuts) {
+        match self.count_with_cuts(bytes, &cuts)? {
             Some(n) => Ok(n),
-            None => self.count_bytes(bytes),
+            None => self.count_bytes(bytes).map_err(SessionError::Parse),
         }
     }
 
-    /// Speculative count over an explicit cut vector; `None` when the
+    /// Speculative count over an explicit cut vector; `Ok(None)` when the
     /// summaries fail to certify (caller falls back to sequential).
-    fn count_with_cuts(&self, bytes: &[u8], cuts: &[usize]) -> Option<usize> {
-        let summaries = self.summarize_parallel(bytes, cuts);
-        let (entry_q, _) = self.compose(&summaries)?;
-        Some(
+    fn count_with_cuts(&self, bytes: &[u8], cuts: &[usize]) -> Result<Option<usize>, CoreError> {
+        let summaries = self.summarize_parallel(bytes, cuts)?;
+        let Some((entry_q, _)) = self.compose(&summaries) else {
+            return Ok(None);
+        };
+        Ok(Some(
             summaries
                 .iter()
                 .zip(&entry_q)
                 .map(|(s, &q)| s.counts[q as usize])
                 .sum(),
-        )
+        ))
     }
 
     /// Normalizes caller-supplied interior cut positions into a full cut
@@ -873,18 +1091,18 @@ impl ByteDfa {
     ///
     /// # Errors
     ///
-    /// The `Scanner`'s diagnostic if the document is malformed.
+    /// As for [`Self::count_bytes_chunked`].
     pub fn count_bytes_chunked_at(
         &self,
         bytes: &[u8],
         interior_cuts: &[usize],
-    ) -> Result<usize, TreeError> {
+    ) -> Result<usize, SessionError> {
         let Some(cuts) = Self::normalize_cuts(bytes.len(), interior_cuts) else {
-            return self.count_bytes(bytes);
+            return self.count_bytes(bytes).map_err(SessionError::Parse);
         };
-        match self.count_with_cuts(bytes, &cuts) {
+        match self.count_with_cuts(bytes, &cuts)? {
             Some(n) => Ok(n),
-            None => self.count_bytes(bytes),
+            None => self.count_bytes(bytes).map_err(SessionError::Parse),
         }
     }
 
@@ -893,13 +1111,17 @@ impl ByteDfa {
     /// none hits a lexical error — i.e. whether the data-parallel path
     /// would commit its speculation rather than fall back to sequential.
     /// Diagnostic hook for the chunk-boundary conformance suite.
-    pub fn chunks_certify(&self, bytes: &[u8], interior_cuts: &[usize]) -> bool {
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::WorkerFailed`] if a summary worker panicked.
+    pub fn chunks_certify(&self, bytes: &[u8], interior_cuts: &[usize]) -> Result<bool, CoreError> {
         match Self::normalize_cuts(bytes.len(), interior_cuts) {
             Some(cuts) => {
-                let summaries = self.summarize_parallel(bytes, &cuts);
-                self.compose(&summaries).is_some()
+                let summaries = self.summarize_parallel(bytes, &cuts)?;
+                Ok(self.compose(&summaries).is_some())
             }
-            None => false,
+            None => Ok(false),
         }
     }
 
@@ -949,18 +1171,18 @@ impl ByteDfa {
     ///
     /// # Errors
     ///
-    /// The `Scanner`'s diagnostic if the document is malformed.
+    /// As for [`Self::count_bytes_chunked`].
     pub fn select_bytes_chunked(
         &self,
         bytes: &[u8],
         n_threads: usize,
-    ) -> Result<Vec<usize>, TreeError> {
+    ) -> Result<Vec<usize>, SessionError> {
         let Some(cuts) = self.chunk_plan(bytes, n_threads) else {
-            return self.select_bytes(bytes);
+            return self.select_bytes(bytes).map_err(SessionError::Parse);
         };
-        match self.select_with_cuts(bytes, &cuts) {
+        match self.select_with_cuts(bytes, &cuts)? {
             Some(out) => Ok(out),
-            None => self.select_bytes(bytes),
+            None => self.select_bytes(bytes).map_err(SessionError::Parse),
         }
     }
 
@@ -969,27 +1191,33 @@ impl ByteDfa {
     ///
     /// # Errors
     ///
-    /// The `Scanner`'s diagnostic if the document is malformed.
+    /// As for [`Self::count_bytes_chunked`].
     pub fn select_bytes_chunked_at(
         &self,
         bytes: &[u8],
         interior_cuts: &[usize],
-    ) -> Result<Vec<usize>, TreeError> {
+    ) -> Result<Vec<usize>, SessionError> {
         let Some(cuts) = Self::normalize_cuts(bytes.len(), interior_cuts) else {
-            return self.select_bytes(bytes);
+            return self.select_bytes(bytes).map_err(SessionError::Parse);
         };
-        match self.select_with_cuts(bytes, &cuts) {
+        match self.select_with_cuts(bytes, &cuts)? {
             Some(out) => Ok(out),
-            None => self.select_bytes(bytes),
+            None => self.select_bytes(bytes).map_err(SessionError::Parse),
         }
     }
 
-    /// Speculative two-pass select over an explicit cut vector; `None`
+    /// Speculative two-pass select over an explicit cut vector; `Ok(None)`
     /// when the summaries fail to certify.
-    fn select_with_cuts(&self, bytes: &[u8], cuts: &[usize]) -> Option<Vec<usize>> {
-        let summaries = self.summarize_parallel(bytes, cuts);
-        let (entry_q, offsets) = self.compose(&summaries)?;
-        let per_chunk: Vec<Vec<usize>> = std::thread::scope(|scope| {
+    fn select_with_cuts(
+        &self,
+        bytes: &[u8],
+        cuts: &[usize],
+    ) -> Result<Option<Vec<usize>>, CoreError> {
+        let summaries = self.summarize_parallel(bytes, cuts)?;
+        let Some((entry_q, offsets)) = self.compose(&summaries) else {
+            return Ok(None);
+        };
+        let per_chunk: Result<Vec<Vec<usize>>, CoreError> = std::thread::scope(|scope| {
             let handles: Vec<_> = cuts
                 .windows(2)
                 .zip(entry_q.iter().zip(&offsets))
@@ -998,12 +1226,19 @@ impl ByteDfa {
                     scope.spawn(move || self.select_chunk(chunk, q, off))
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("chunk worker panicked"))
-                .collect()
+            join_all(handles)
         });
-        Some(per_chunk.concat())
+        Ok(Some(per_chunk?.concat()))
+    }
+
+    /// Test hook: truncates the factored query-transition table that only
+    /// the chunk-summary workers read, so the next chunked call panics
+    /// inside those workers and nowhere else — the fault-injection suite
+    /// uses it to prove worker panics surface as a clean
+    /// [`CoreError::WorkerFailed`] instead of an abort.
+    #[doc(hidden)]
+    pub fn poison_chunk_workers_for_tests(&mut self) {
+        self.qnext.truncate(1);
     }
 }
 
@@ -1015,9 +1250,9 @@ impl ByteDfa {
 /// counter, register file, and SCC chain live in locals, and the only
 /// per-event work beyond the DFA step is one register comparison — the
 /// paper's "transitions at very low CPU cost", now starting from bytes.
-struct FusedHar {
-    lexer: TagLexer,
-    program: HarMarkupProgram,
+pub(crate) struct FusedHar {
+    pub(crate) lexer: TagLexer,
+    pub(crate) program: HarMarkupProgram,
 }
 
 impl FusedHar {
@@ -1082,16 +1317,109 @@ impl FusedHar {
             }
         })
     }
+
+    /// [`Self::run`] with the depth and imbalance budgets checked inline.
+    /// Returns `Ok(true)` on a clean complete pass, `Ok(false)` the
+    /// moment a budget is breached — the scan stops before the evaluator
+    /// does any further work, and the caller re-runs the windowed session
+    /// cold to reproduce the exact diagnostic (breaches are not the
+    /// throughput case).  `Err(())` still means malformed input.
+    ///
+    /// Structured exactly like [`Self::run`]: the scan-closure shape is
+    /// what keeps the register file and depth counter in machine
+    /// registers, and the two extra compares per *event* (not per byte)
+    /// are in the noise next to the DFA step.  `inline(never)` keeps the
+    /// loop out of the caller's multi-backend dispatch body, where the
+    /// combined register pressure would spill the hot state.
+    #[inline(never)]
+    pub(crate) fn run_guarded(
+        &self,
+        bytes: &[u8],
+        max_depth: i64,
+        min_depth: i64,
+        mut on_open: impl FnMut(usize, bool),
+    ) -> Result<bool, ()> {
+        let core = self.program.core();
+        let dfa = core.dfa();
+        let component = core.component();
+        let rewind = core.rewind_markup();
+        let k = self.lexer.k();
+        let k2 = 2 * k;
+
+        let mut regs = [0i64; MAX_CHAIN];
+        let mut chain = [0u16; MAX_CHAIN];
+        let mut chain_len = 0usize;
+        let mut current = dfa.init();
+        let mut dead = false;
+        let mut depth: i64 = 0;
+        let mut node = 0usize;
+        let mut breached = false;
+
+        self.lexer
+            .scan_ctl(bytes, |ev| {
+                let (open_l, close_l) = if (ev as usize) <= k2 {
+                    let t = ev as usize - 1;
+                    if t < k {
+                        (Some(t), None)
+                    } else {
+                        (None, Some(t - k))
+                    }
+                } else {
+                    let l = ev as usize - 1 - k2;
+                    (Some(l), Some(l))
+                };
+                if let Some(l) = open_l {
+                    depth += 1;
+                    if depth > max_depth {
+                        breached = true;
+                        return false;
+                    }
+                    if !dead {
+                        let next = dfa.step(current, l);
+                        if component[next] != component[current] {
+                            chain[chain_len] = current as u16;
+                            regs[chain_len] = depth;
+                            chain_len += 1;
+                        }
+                        current = next;
+                        on_open(node, dfa.is_accepting(current));
+                    } else {
+                        on_open(node, false);
+                    }
+                    node += 1;
+                }
+                if let Some(l) = close_l {
+                    depth -= 1;
+                    if depth < min_depth {
+                        breached = true;
+                        return false;
+                    }
+                    if !dead {
+                        if chain_len > 0 && regs[chain_len - 1] > depth {
+                            chain_len -= 1;
+                            current = chain[chain_len] as usize;
+                        } else {
+                            match rewind[current * k + l] {
+                                Some(p2) => current = p2,
+                                None => dead = true,
+                            }
+                        }
+                    }
+                }
+                true
+            })
+            .map(|()| !breached)
+    }
 }
 
 /// The pushdown fallback driven directly by the byte lexer: push the DFA
 /// state at opens, pop at closes — same visible behaviour as
 /// `st_baseline::stack::StackEvaluator` over scanned events, minus the
 /// event stream.
-struct FusedStack {
-    lexer: TagLexer,
+pub(crate) struct FusedStack {
+    pub(crate) lexer: TagLexer,
     /// The minimal automaton of L (over Γ, `k` letters).
-    dfa: Dfa,
+    pub(crate) dfa: Dfa,
 }
 
 impl FusedStack {
@@ -1124,9 +1452,64 @@ impl FusedStack {
             }
         })
     }
+
+    /// Guarded variant of [`Self::run`]; see [`FusedHar::run_guarded`]
+    /// for the contract.  The depth check fires *before* the push, so a
+    /// breach caps the pushdown stack at `max_depth` entries — the guard
+    /// protects the very allocation this engine is named for.
+    #[inline(never)]
+    pub(crate) fn run_guarded(
+        &self,
+        bytes: &[u8],
+        max_depth: i64,
+        min_depth: i64,
+        mut on_open: impl FnMut(usize, bool),
+    ) -> Result<bool, ()> {
+        let k = self.lexer.k();
+        let k2 = 2 * k;
+        let mut stack: Vec<usize> = Vec::new();
+        let mut current = self.dfa.init();
+        let mut node = 0usize;
+        let mut depth: i64 = 0;
+        let mut breached = false;
+        self.lexer
+            .scan_ctl(bytes, |ev| {
+                let (open_l, close) = if (ev as usize) <= k2 {
+                    let t = ev as usize - 1;
+                    if t < k {
+                        (Some(t), false)
+                    } else {
+                        (None, true)
+                    }
+                } else {
+                    (Some(ev as usize - 1 - k2), true)
+                };
+                if let Some(l) = open_l {
+                    depth += 1;
+                    if depth > max_depth {
+                        breached = true;
+                        return false;
+                    }
+                    stack.push(current);
+                    current = self.dfa.step(current, l);
+                    on_open(node, self.dfa.is_accepting(current));
+                    node += 1;
+                }
+                if close {
+                    depth -= 1;
+                    if depth < min_depth {
+                        breached = true;
+                        return false;
+                    }
+                    current = stack.pop().unwrap_or(current);
+                }
+                true
+            })
+            .map(|()| !breached)
+    }
 }
 
-enum FusedBackend {
+pub(crate) enum FusedBackend {
     Registerless(ByteDfa),
     Stackless(FusedHar),
     Stack(FusedStack),
@@ -1138,8 +1521,8 @@ enum FusedBackend {
 ///
 /// Built by [`crate::planner::CompiledQuery::fused`].
 pub struct FusedQuery {
-    alphabet: Alphabet,
-    backend: FusedBackend,
+    pub(crate) alphabet: Alphabet,
+    pub(crate) backend: FusedBackend,
 }
 
 impl FusedQuery {
@@ -1256,11 +1639,15 @@ impl FusedQuery {
     ///
     /// # Errors
     ///
-    /// The `Scanner`'s diagnostic if the document is malformed.
-    pub fn count_bytes_parallel(&self, bytes: &[u8], n_threads: usize) -> Result<usize, TreeError> {
+    /// As for [`ByteDfa::count_bytes_chunked`].
+    pub fn count_bytes_parallel(
+        &self,
+        bytes: &[u8],
+        n_threads: usize,
+    ) -> Result<usize, SessionError> {
         match &self.backend {
             FusedBackend::Registerless(b) => b.count_bytes_chunked(bytes, n_threads),
-            _ => self.count_bytes(bytes),
+            _ => self.count_bytes(bytes).map_err(SessionError::Parse),
         }
     }
 
@@ -1269,15 +1656,15 @@ impl FusedQuery {
     ///
     /// # Errors
     ///
-    /// The `Scanner`'s diagnostic if the document is malformed.
+    /// As for [`ByteDfa::select_bytes_chunked`].
     pub fn select_bytes_parallel(
         &self,
         bytes: &[u8],
         n_threads: usize,
-    ) -> Result<Vec<usize>, TreeError> {
+    ) -> Result<Vec<usize>, SessionError> {
         match &self.backend {
             FusedBackend::Registerless(b) => b.select_bytes_chunked(bytes, n_threads),
-            _ => self.select_bytes(bytes),
+            _ => self.select_bytes(bytes).map_err(SessionError::Parse),
         }
     }
 }

@@ -79,6 +79,7 @@ pub mod planner;
 pub mod registerless;
 pub mod restricted;
 pub mod rpqness;
+pub mod session;
 pub mod table;
 pub mod term;
 
@@ -88,3 +89,7 @@ pub use engine::{ByteDfa, FusedQuery, TagLexer};
 pub use error::CoreError;
 pub use model::{DraProgram, DraRunner, LoadMask, StreamSymbol};
 pub use planner::{CompiledQuery, CompiledTermQuery, Strategy};
+pub use session::{
+    check_event_limits, CheckpointState, Diagnostic, EngineCheckpoint, EngineSession, ErrorClass,
+    LimitExceeded, LimitKind, Limits, RecoveryOutcome, SessionError, SessionOutcome,
+};

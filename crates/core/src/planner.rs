@@ -138,6 +138,35 @@ impl CompiledQuery {
         }
     }
 
+    /// [`Self::select`] behind the structural resource guards of
+    /// [`Limits`](crate::session::Limits): a cheap pre-pass enforces the
+    /// depth and imbalance budgets before the evaluator runs, so even the
+    /// pushdown fallback (whose working memory is O(depth)) never sees an
+    /// input over budget.  The byte and wall-clock budgets guard *byte*
+    /// sessions ([`FusedQuery::run_session`]) and are ignored here, where
+    /// the event stream is already materialized.
+    ///
+    /// Note on resume: the event-level paths are buffered evaluators —
+    /// they hold the whole tag stream and carry no byte-granular session
+    /// state, so there is nothing meaningful to checkpoint mid-stream.
+    /// Checkpoint/resume lives on the fused byte engines
+    /// ([`FusedQuery::run_with_checkpoints`] / [`FusedQuery::resume_from`]);
+    /// asking a buffered path to resume yields the typed
+    /// [`SessionError::ResumeUnsupported`](crate::session::SessionError::ResumeUnsupported).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Limit`](crate::session::SessionError::Limit) with
+    /// the violated budget and the offending event index.
+    pub fn select_guarded(
+        &self,
+        tags: &[Tag],
+        limits: &crate::session::Limits,
+    ) -> Result<Vec<usize>, crate::session::SessionError> {
+        crate::session::check_event_limits(tags, limits)?;
+        Ok(self.select(tags))
+    }
+
     /// Streaming count of selected nodes without materializing ids — the
     /// common aggregate fast path.
     pub fn count(&self, tags: &[Tag]) -> usize {

@@ -1,0 +1,1682 @@
+//! Resilient streaming sessions: checkpoint/resume, resource guards, and
+//! panic-free recovery for the fused byte engines.
+//!
+//! The paper's headline property — registerless/stackless evaluation
+//! needs only O(1) state: a DFA state, a depth counter, and a bounded
+//! register file (Theorems 3.1/3.2) — is exactly what makes streaming
+//! evaluation *interruptible and resumable for free*.  This module turns
+//! that observation into an API:
+//!
+//! * [`EngineSession`] — an incremental run of a [`FusedQuery`] that
+//!   accepts the document in arbitrary byte segments ([`EngineSession::feed`]),
+//!   can be frozen at **any byte boundary** into an [`EngineCheckpoint`]
+//!   (even mid-tag: the lexer component of the state is part of the
+//!   snapshot), and reopened later with [`FusedQuery::resume`].  The
+//!   differential invariant `resume(checkpoint(prefix), rest) ≡
+//!   run(whole)` is enforced by the conformance suite at every cut
+//!   position.
+//! * [`EngineCheckpoint`] — a compact, versioned, serializable snapshot:
+//!   lexer state + query state + depth + register file for the
+//!   depth-register engines (O(1) bytes), or the frame stack for the
+//!   pushdown fallback (O(depth) bytes) — the size gap is Theorem
+//!   3.1/3.2 made visible on the wire.
+//! * [`Limits`] — resource guards (max depth, max document bytes, max
+//!   open-tag imbalance, wall-clock budget) enforced with amortized
+//!   checks: depth and imbalance ride the per-event flag branch the hot
+//!   loops already take, byte and time budgets are checked once per
+//!   64 KiB window, so guarded throughput stays within noise of the
+//!   unguarded fused loops.  Violations surface as typed
+//!   [`LimitExceeded`] values with the exact byte offset.
+//! * Recovery mode ([`FusedQuery::select_bytes_recovering`]) — a lenient
+//!   pass that, instead of aborting on the first malformed byte, records
+//!   a structured [`Diagnostic`] (offset, depth, error class),
+//!   resynchronizes at the next tag start, and keeps collecting matches;
+//!   the query and depth state survive the skip, so one corrupt tag does
+//!   not void the rest of the document.
+//!
+//! Error handling across the chunked engines is unified under
+//! [`SessionError`]; worker panics in the data-parallel path are caught
+//! at the join and surface as [`CoreError::WorkerFailed`] — see
+//! [`crate::engine`].
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use st_automata::{Alphabet, Tag};
+use st_trees::error::TreeError;
+
+use crate::engine::{
+    find_lt, rescan_error, FusedBackend, FusedQuery, TagLexer, EV_ERROR, EV_NONE, FLAG_CLOSE,
+    FLAG_ERROR, FLAG_OPEN, FLAG_SELECTED, LT, TEXT,
+};
+use crate::error::CoreError;
+use crate::har::{HarCore, MAX_CHAIN};
+use crate::planner::Strategy;
+
+/// Bytes processed between amortized byte-budget / wall-clock checks.
+const WINDOW: usize = 64 << 10;
+
+/// Cap on recorded recovery diagnostics; further errors are only counted.
+const MAX_DIAGNOSTICS: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Limits
+// ---------------------------------------------------------------------------
+
+/// Resource budgets for a streaming evaluation.  All fields default to
+/// unbounded; construct with [`Limits::none`] and tighten with the
+/// builder methods.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum tree depth (open-tag nesting) the document may reach.
+    pub max_depth: Option<usize>,
+    /// Maximum number of document bytes the session will consume.
+    pub max_bytes: Option<usize>,
+    /// Maximum number of unmatched closing tags tolerated (the scanner
+    /// itself tokenizes forests and stray closes; this bounds the drift).
+    pub max_imbalance: Option<usize>,
+    /// Wall-clock budget for the whole session, checked once per 64 KiB.
+    pub time_budget: Option<Duration>,
+}
+
+impl Limits {
+    /// No limits: identical behaviour to the unguarded engines.
+    pub fn none() -> Limits {
+        Limits::default()
+    }
+
+    /// Sets the maximum tree depth.
+    pub fn with_max_depth(mut self, depth: usize) -> Limits {
+        self.max_depth = Some(depth);
+        self
+    }
+
+    /// Sets the maximum number of document bytes.
+    pub fn with_max_bytes(mut self, bytes: usize) -> Limits {
+        self.max_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the maximum unmatched-close drift.
+    pub fn with_max_imbalance(mut self, imbalance: usize) -> Limits {
+        self.max_imbalance = Some(imbalance);
+        self
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn with_time_budget(mut self, budget: Duration) -> Limits {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Whether every budget is unbounded.
+    pub fn is_unbounded(&self) -> bool {
+        self.max_depth.is_none()
+            && self.max_bytes.is_none()
+            && self.max_imbalance.is_none()
+            && self.time_budget.is_none()
+    }
+}
+
+/// Which budget a [`LimitExceeded`] violated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LimitKind {
+    /// [`Limits::max_depth`].
+    Depth,
+    /// [`Limits::max_bytes`].
+    Bytes,
+    /// [`Limits::max_imbalance`].
+    Imbalance,
+    /// [`Limits::time_budget`].
+    Time,
+}
+
+impl fmt::Display for LimitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LimitKind::Depth => "depth",
+            LimitKind::Bytes => "byte",
+            LimitKind::Imbalance => "imbalance",
+            LimitKind::Time => "time",
+        })
+    }
+}
+
+/// A typed resource-guard violation, with the byte offset at which the
+/// budget was crossed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LimitExceeded {
+    /// The violated budget.
+    pub kind: LimitKind,
+    /// The budget in force (bytes, levels, unmatched closes, or
+    /// milliseconds, depending on `kind`).
+    pub limit: u64,
+    /// Absolute byte offset of the violation: the byte whose processing
+    /// crossed the budget.
+    pub offset: usize,
+}
+
+impl fmt::Display for LimitExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} budget of {} exceeded at byte {}",
+            self.kind, self.limit, self.offset
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SessionError
+// ---------------------------------------------------------------------------
+
+/// Unified error type of the resilient session layer and the chunked
+/// data-parallel engines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// The document is malformed; carries the parse diagnostic.
+    Parse(TreeError),
+    /// An engine failure — notably [`CoreError::WorkerFailed`] when a
+    /// data-parallel chunk worker panicked.
+    Engine(CoreError),
+    /// A resource budget was exceeded.
+    Limit(LimitExceeded),
+    /// The evaluation path has no byte-level session state to snapshot
+    /// (the buffered DOM / stack-baseline / event-plan paths).
+    ResumeUnsupported {
+        /// Name of the engine that cannot resume.
+        engine: String,
+    },
+    /// A checkpoint could not be serialized, deserialized, or applied
+    /// (corrupt bytes, version/fingerprint mismatch, wrong engine).
+    Checkpoint {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Parse(e) => write!(f, "{e}"),
+            SessionError::Engine(e) => write!(f, "{e}"),
+            SessionError::Limit(e) => write!(f, "{e}"),
+            SessionError::ResumeUnsupported { engine } => {
+                write!(f, "the {engine} path does not support checkpoint/resume")
+            }
+            SessionError::Checkpoint { detail } => write!(f, "bad checkpoint: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<TreeError> for SessionError {
+    fn from(e: TreeError) -> SessionError {
+        SessionError::Parse(e)
+    }
+}
+
+impl From<CoreError> for SessionError {
+    fn from(e: CoreError) -> SessionError {
+        SessionError::Engine(e)
+    }
+}
+
+impl From<LimitExceeded> for SessionError {
+    fn from(e: LimitExceeded) -> SessionError {
+        SessionError::Limit(e)
+    }
+}
+
+fn corrupt(detail: impl Into<String>) -> SessionError {
+    SessionError::Checkpoint {
+        detail: detail.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event-level structural guards (planner plumbing)
+// ---------------------------------------------------------------------------
+
+/// Enforces the structural budgets (depth, imbalance) over a buffered tag
+/// stream in one cheap pre-pass.  The byte and wall-clock budgets do not
+/// apply to event streams — they guard byte sessions — so they are
+/// ignored here.  Used by the planner to protect the event-level
+/// evaluators (including the pushdown fallback, whose stack is O(depth))
+/// before they allocate.
+///
+/// # Errors
+///
+/// The first [`LimitExceeded`] in stream order; its offset is the event
+/// index.
+pub fn check_event_limits(tags: &[Tag], limits: &Limits) -> Result<(), LimitExceeded> {
+    if limits.max_depth.is_none() && limits.max_imbalance.is_none() {
+        return Ok(());
+    }
+    let mut depth: i64 = 0;
+    for (i, t) in tags.iter().enumerate() {
+        if t.is_open() {
+            depth += 1;
+            if let Some(md) = limits.max_depth {
+                if depth > md as i64 {
+                    return Err(LimitExceeded {
+                        kind: LimitKind::Depth,
+                        limit: md as u64,
+                        offset: i,
+                    });
+                }
+            }
+        } else {
+            depth -= 1;
+            if let Some(mi) = limits.max_imbalance {
+                if depth < -(mi as i64) {
+                    return Err(LimitExceeded {
+                        kind: LimitKind::Imbalance,
+                        limit: mi as u64,
+                        offset: i,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint
+// ---------------------------------------------------------------------------
+
+/// Version tag written into every serialized checkpoint.
+pub const CHECKPOINT_VERSION: u16 = 1;
+
+const CHECKPOINT_MAGIC: [u8; 4] = *b"STCK";
+
+/// The engine-specific portion of a checkpoint.  The registerless and
+/// depth-register variants are O(1); only the pushdown fallback carries
+/// an O(depth) payload — Theorems 3.1/3.2 on the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointState {
+    /// Composite lexer × query-DFA state of the registerless byte engine.
+    Registerless {
+        /// The composite state `lexer * m + q`.
+        composite: u16,
+    },
+    /// Lexer state plus the Lemma 3.8 run: current DFA state, dead flag,
+    /// and the SCC chain with its depth registers (≤ [`MAX_CHAIN`]).
+    Stackless {
+        /// Lexer state (mid-tag checkpoints are legal).
+        lex: u16,
+        /// Current DFA state.
+        current: u16,
+        /// Whether the run already fell off the rewind relation.
+        dead: bool,
+        /// `(state, register)` pairs of the active SCC chain.
+        chain: Vec<(u16, i64)>,
+    },
+    /// Lexer state plus the pushdown frames — O(depth).
+    Stack {
+        /// Lexer state.
+        lex: u16,
+        /// Current DFA state.
+        current: u16,
+        /// The saved DFA states, bottom of stack first.
+        frames: Vec<u16>,
+    },
+}
+
+/// A compact, versioned snapshot of an [`EngineSession`] at a byte
+/// boundary.  Serialize with [`EngineCheckpoint::to_bytes`], restore with
+/// [`EngineCheckpoint::from_bytes`] + [`FusedQuery::resume`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineCheckpoint {
+    /// Fingerprint of the query automaton + alphabet the session ran;
+    /// resume refuses a checkpoint minted by a different query.
+    fingerprint: u64,
+    /// The alphabet symbols in letter order, so a consumer can recompile
+    /// the query without re-parsing any document prefix.
+    alphabet: Vec<String>,
+    /// Absolute byte offset the session had consumed.
+    offset: u64,
+    /// Document-order id the next opened node will get.
+    node: u64,
+    /// Current depth (opens minus closes; may be negative on unbalanced
+    /// but tokenizable inputs).
+    depth: i64,
+    /// Engine-specific state.
+    state: CheckpointState,
+}
+
+impl EngineCheckpoint {
+    /// The strategy of the engine that minted this checkpoint.
+    pub fn strategy(&self) -> Strategy {
+        match self.state {
+            CheckpointState::Registerless { .. } => Strategy::Registerless,
+            CheckpointState::Stackless { .. } => Strategy::Stackless,
+            CheckpointState::Stack { .. } => Strategy::Stack,
+        }
+    }
+
+    /// Absolute byte offset at which the session was frozen.
+    pub fn offset(&self) -> usize {
+        self.offset as usize
+    }
+
+    /// Document-order id the next opened node will receive.
+    pub fn next_node(&self) -> usize {
+        self.node as usize
+    }
+
+    /// Depth (opens minus closes) at the checkpoint.
+    pub fn depth(&self) -> i64 {
+        self.depth
+    }
+
+    /// The alphabet symbols of the query, in letter order — enough to
+    /// recompile the query on the resuming side.
+    pub fn alphabet_symbols(&self) -> &[String] {
+        &self.alphabet
+    }
+
+    /// Serializes the checkpoint (little-endian, versioned, magic-tagged).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Vec::with_capacity(64);
+        w.extend_from_slice(&CHECKPOINT_MAGIC);
+        put_u16(&mut w, CHECKPOINT_VERSION);
+        put_u64(&mut w, self.fingerprint);
+        put_u16(&mut w, self.alphabet.len() as u16);
+        for s in &self.alphabet {
+            put_u16(&mut w, s.len() as u16);
+            w.extend_from_slice(s.as_bytes());
+        }
+        put_u64(&mut w, self.offset);
+        put_u64(&mut w, self.node);
+        put_i64(&mut w, self.depth);
+        match &self.state {
+            CheckpointState::Registerless { composite } => {
+                w.push(0);
+                put_u16(&mut w, *composite);
+            }
+            CheckpointState::Stackless {
+                lex,
+                current,
+                dead,
+                chain,
+            } => {
+                w.push(1);
+                put_u16(&mut w, *lex);
+                put_u16(&mut w, *current);
+                w.push(*dead as u8);
+                w.push(chain.len() as u8);
+                for (s, r) in chain {
+                    put_u16(&mut w, *s);
+                    put_i64(&mut w, *r);
+                }
+            }
+            CheckpointState::Stack {
+                lex,
+                current,
+                frames,
+            } => {
+                w.push(2);
+                put_u16(&mut w, *lex);
+                put_u16(&mut w, *current);
+                put_u32(&mut w, frames.len() as u32);
+                for s in frames {
+                    put_u16(&mut w, *s);
+                }
+            }
+        }
+        w
+    }
+
+    /// Deserializes a checkpoint produced by [`Self::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Checkpoint`] on truncated, corrupt, or
+    /// wrong-version input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<EngineCheckpoint, SessionError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        let magic = r.take(4)?;
+        if magic != CHECKPOINT_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let version = r.u16()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(corrupt(format!(
+                "version {version} (this build reads {CHECKPOINT_VERSION})"
+            )));
+        }
+        let fingerprint = r.u64()?;
+        let n_symbols = r.u16()? as usize;
+        let mut alphabet = Vec::with_capacity(n_symbols.min(256));
+        for _ in 0..n_symbols {
+            let len = r.u16()? as usize;
+            let raw = r.take(len)?;
+            let s = std::str::from_utf8(raw).map_err(|_| corrupt("non-UTF-8 symbol"))?;
+            alphabet.push(s.to_owned());
+        }
+        let offset = r.u64()?;
+        let node = r.u64()?;
+        let depth = r.i64()?;
+        let state = match r.u8()? {
+            0 => CheckpointState::Registerless {
+                composite: r.u16()?,
+            },
+            1 => {
+                let lex = r.u16()?;
+                let current = r.u16()?;
+                let dead = r.u8()? != 0;
+                let chain_len = r.u8()? as usize;
+                if chain_len > MAX_CHAIN {
+                    return Err(corrupt(format!("chain of {chain_len} registers")));
+                }
+                let mut chain = Vec::with_capacity(chain_len);
+                for _ in 0..chain_len {
+                    let s = r.u16()?;
+                    let reg = r.i64()?;
+                    chain.push((s, reg));
+                }
+                CheckpointState::Stackless {
+                    lex,
+                    current,
+                    dead,
+                    chain,
+                }
+            }
+            2 => {
+                let lex = r.u16()?;
+                let current = r.u16()?;
+                let n_frames = r.u32()? as usize;
+                // Sanity-bound the allocation before trusting the count.
+                if n_frames > bytes.len() {
+                    return Err(corrupt(format!("{n_frames} frames in a short buffer")));
+                }
+                let mut frames = Vec::with_capacity(n_frames);
+                for _ in 0..n_frames {
+                    frames.push(r.u16()?);
+                }
+                CheckpointState::Stack {
+                    lex,
+                    current,
+                    frames,
+                }
+            }
+            tag => return Err(corrupt(format!("unknown engine tag {tag}"))),
+        };
+        if r.pos != bytes.len() {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok(EngineCheckpoint {
+            fingerprint,
+            alphabet,
+            offset,
+            node,
+            depth,
+            state,
+        })
+    }
+}
+
+fn put_u16(w: &mut Vec<u8>, v: u16) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(w: &mut Vec<u8>, v: u32) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(w: &mut Vec<u8>, v: u64) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+fn put_i64(w: &mut Vec<u8>, v: i64) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SessionError> {
+        if self.pos + n > self.buf.len() {
+            return Err(corrupt("truncated"));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, SessionError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, SessionError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, SessionError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, SessionError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, SessionError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query fingerprint
+// ---------------------------------------------------------------------------
+
+fn fnv_bytes(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+fn fnv_usize(h: &mut u64, v: usize) {
+    fnv_bytes(h, &(v as u64).to_le_bytes());
+}
+
+fn alphabet_symbols(alphabet: &Alphabet) -> Vec<String> {
+    let mut entries: Vec<(usize, String)> = alphabet
+        .entries()
+        .map(|(l, s)| (l.index(), s.to_owned()))
+        .collect();
+    entries.sort_by_key(|(i, _)| *i);
+    entries.into_iter().map(|(_, s)| s).collect()
+}
+
+/// A stable hash of the query automaton and alphabet, written into every
+/// checkpoint so a resume against a different query fails loudly.
+fn query_fingerprint(query: &FusedQuery) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for s in alphabet_symbols(&query.alphabet) {
+        fnv_usize(&mut h, s.len());
+        fnv_bytes(&mut h, s.as_bytes());
+    }
+    match &query.backend {
+        FusedBackend::Registerless(b) => {
+            fnv_usize(&mut h, 0);
+            fnv_usize(&mut h, b.m);
+            fnv_usize(&mut h, b.start as usize);
+            for &q in &b.qnext {
+                fnv_usize(&mut h, q as usize);
+            }
+            for &a in &b.accepting {
+                fnv_usize(&mut h, a as usize);
+            }
+        }
+        FusedBackend::Stackless(e) => {
+            fnv_usize(&mut h, 1);
+            fnv_dfa(&mut h, e.program.core().dfa());
+        }
+        FusedBackend::Stack(e) => {
+            fnv_usize(&mut h, 2);
+            fnv_dfa(&mut h, &e.dfa);
+        }
+    }
+    h
+}
+
+fn fnv_dfa(h: &mut u64, dfa: &st_automata::Dfa) {
+    fnv_usize(h, dfa.n_states());
+    fnv_usize(h, dfa.n_letters());
+    fnv_usize(h, dfa.init());
+    for s in 0..dfa.n_states() {
+        fnv_usize(h, dfa.is_accepting(s) as usize);
+        for l in 0..dfa.n_letters() {
+            fnv_usize(h, dfa.step(s, l));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session state
+// ---------------------------------------------------------------------------
+
+/// The Lemma 3.8 run state in session form (mirrors the locals of the
+/// fused HAR loop in `engine.rs`).
+struct HarRun {
+    current: usize,
+    dead: bool,
+    chain: [u16; MAX_CHAIN],
+    regs: [i64; MAX_CHAIN],
+    chain_len: usize,
+}
+
+impl HarRun {
+    /// Applies an open event; returns the pre-selection verdict.
+    #[inline]
+    fn open(&mut self, core: &HarCore, l: usize, depth: i64) -> bool {
+        if self.dead {
+            return false;
+        }
+        let dfa = core.dfa();
+        let next = dfa.step(self.current, l);
+        if core.component()[next] != core.component()[self.current] {
+            self.chain[self.chain_len] = self.current as u16;
+            self.regs[self.chain_len] = depth;
+            self.chain_len += 1;
+        }
+        self.current = next;
+        dfa.is_accepting(self.current)
+    }
+
+    /// Applies a close event; `depth` is the depth *after* the close.
+    #[inline]
+    fn close(&mut self, core: &HarCore, l: usize, depth: i64) {
+        if self.dead {
+            return;
+        }
+        if self.chain_len > 0 && self.regs[self.chain_len - 1] > depth {
+            self.chain_len -= 1;
+            self.current = self.chain[self.chain_len] as usize;
+        } else {
+            match core.rewind_markup()[self.current * core.dfa().n_letters() + l] {
+                Some(p2) => self.current = p2,
+                None => self.dead = true,
+            }
+        }
+    }
+}
+
+enum SessState {
+    /// Composite fused-table state of the registerless byte engine.
+    Registerless { s: usize },
+    /// Lexer state + HAR run.
+    Stackless { lex: u16, run: HarRun },
+    /// Lexer state + pushdown frames.
+    Stack {
+        lex: u16,
+        current: usize,
+        stack: Vec<u16>,
+    },
+}
+
+/// Decodes a lexer event code into `(open_letter, close_letter)`.
+#[inline]
+fn decode_event(ev: u16, k: usize) -> (Option<usize>, Option<usize>) {
+    if (ev as usize) <= 2 * k {
+        let t = ev as usize - 1;
+        if t < k {
+            (Some(t), None)
+        } else {
+            (None, Some(t - k))
+        }
+    } else {
+        let l = ev as usize - 1 - 2 * k;
+        (Some(l), Some(l))
+    }
+}
+
+/// The final tallies of a completed session run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SessionOutcome {
+    /// Document-order ids of the selected nodes *opened during this
+    /// session* (a resumed session reports the tail's matches; node ids
+    /// stay global, so concatenating prefix + tail matches reproduces
+    /// the uninterrupted run).
+    pub matches: Vec<usize>,
+    /// Total nodes opened from the start of the document.
+    pub nodes: usize,
+}
+
+/// An incremental, checkpointable run of a [`FusedQuery`] under a set of
+/// [`Limits`].  Feed the document in arbitrary segments; freeze at any
+/// byte boundary with [`Self::checkpoint`]; close with [`Self::finish`].
+pub struct EngineSession<'q> {
+    query: &'q FusedQuery,
+    limits: Limits,
+    started: Instant,
+    offset: usize,
+    node: usize,
+    depth: i64,
+    matches: Vec<usize>,
+    state: SessState,
+    failed: Option<SessionError>,
+}
+
+impl<'q> EngineSession<'q> {
+    fn fresh(query: &'q FusedQuery, limits: Limits) -> EngineSession<'q> {
+        let state = match &query.backend {
+            FusedBackend::Registerless(b) => SessState::Registerless {
+                s: b.start as usize,
+            },
+            FusedBackend::Stackless(e) => SessState::Stackless {
+                lex: TEXT,
+                run: HarRun {
+                    current: e.program.core().dfa().init(),
+                    dead: false,
+                    chain: [0; MAX_CHAIN],
+                    regs: [0; MAX_CHAIN],
+                    chain_len: 0,
+                },
+            },
+            FusedBackend::Stack(e) => SessState::Stack {
+                lex: TEXT,
+                current: e.dfa.init(),
+                stack: Vec::new(),
+            },
+        };
+        EngineSession {
+            query,
+            limits,
+            started: Instant::now(),
+            offset: 0,
+            node: 0,
+            depth: 0,
+            matches: Vec::new(),
+            state,
+            failed: None,
+        }
+    }
+
+    /// Absolute byte offset consumed so far.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Total nodes opened so far (document-order id of the next open).
+    pub fn node_count(&self) -> usize {
+        self.node
+    }
+
+    /// Current depth (opens minus closes).
+    pub fn depth(&self) -> i64 {
+        self.depth
+    }
+
+    /// Ids of selected nodes opened during this session so far.
+    pub fn matches(&self) -> &[usize] {
+        &self.matches
+    }
+
+    /// Feeds the next segment of the document.  Errors are sticky: once a
+    /// feed fails, the session stays failed.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Parse`] at the first malformed byte (absolute
+    /// offset; the message is the session layer's structural diagnostic,
+    /// since a mid-stream session cannot re-scan bytes it no longer
+    /// holds) or [`SessionError::Limit`] when a budget is crossed.
+    pub fn feed(&mut self, segment: &[u8]) -> Result<(), SessionError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        let mut pos = 0usize;
+        while pos < segment.len() {
+            let mut end = (pos + WINDOW).min(segment.len());
+            if let Some(mb) = self.limits.max_bytes {
+                if self.offset >= mb {
+                    return self.fail(SessionError::Limit(LimitExceeded {
+                        kind: LimitKind::Bytes,
+                        limit: mb as u64,
+                        offset: mb,
+                    }));
+                }
+                end = end.min(pos + (mb - self.offset));
+            }
+            if let Some(tb) = self.limits.time_budget {
+                if self.started.elapsed() > tb {
+                    return self.fail(SessionError::Limit(LimitExceeded {
+                        kind: LimitKind::Time,
+                        limit: tb.as_millis() as u64,
+                        offset: self.offset,
+                    }));
+                }
+            }
+            if let Err(e) = self.run_window(&segment[pos..end]) {
+                return self.fail(e);
+            }
+            self.offset += end - pos;
+            pos = end;
+        }
+        Ok(())
+    }
+
+    fn fail(&mut self, e: SessionError) -> Result<(), SessionError> {
+        self.failed = Some(e.clone());
+        Err(e)
+    }
+
+    /// Processes one window; `self.offset` is the absolute offset of
+    /// `w[0]` and is only advanced by the caller afterwards.
+    ///
+    /// Every piece of hot state (lexer/query state, depth, node counter)
+    /// is hoisted into locals for the duration of the window and written
+    /// back once at the end — through `&mut self` the compiler would
+    /// spill them on every byte, which is where the guarded loop would
+    /// lose to the unguarded engines.
+    fn run_window(&mut self, w: &[u8]) -> Result<(), SessionError> {
+        let max_depth = self.limits.max_depth.map(|d| d as i64).unwrap_or(i64::MAX);
+        let min_depth = self
+            .limits
+            .max_imbalance
+            .map(|d| -(d as i64))
+            .unwrap_or(i64::MIN);
+        let base = self.offset;
+        let mut depth = self.depth;
+        let mut node = self.node;
+        let matches = &mut self.matches;
+        let n = w.len();
+        let res = match &mut self.state {
+            SessState::Registerless { s } => {
+                let FusedBackend::Registerless(b) = &self.query.backend else {
+                    unreachable!("state/backend agree by construction");
+                };
+                let m = b.m;
+                let table = b.table.as_slice();
+                let mask = table.len() - 1;
+                let mut st = *s;
+                let mut i = 0usize;
+                let res = 'scan: {
+                    while i < n {
+                        if st < m {
+                            i = find_lt(w, i);
+                            if i >= n {
+                                break;
+                            }
+                            st += LT as usize * m;
+                            i += 1;
+                            if i >= n {
+                                break;
+                            }
+                        }
+                        let p = table[((st << 8) | w[i] as usize) & mask];
+                        st = (p & 0xFFFF) as usize;
+                        if p >> 16 != 0 {
+                            let f = (p >> 16) as u8;
+                            if f & FLAG_ERROR != 0 {
+                                break 'scan Err(parse_error(base + i));
+                            }
+                            if f & FLAG_OPEN != 0 {
+                                depth += 1;
+                                if depth > max_depth {
+                                    break 'scan Err(depth_error(max_depth, base + i));
+                                }
+                                if f & FLAG_SELECTED != 0 {
+                                    matches.push(node);
+                                }
+                                node += 1;
+                            }
+                            if f & FLAG_CLOSE != 0 {
+                                depth -= 1;
+                                if depth < min_depth {
+                                    break 'scan Err(imbalance_error(min_depth, base + i));
+                                }
+                            }
+                        }
+                        i += 1;
+                    }
+                    Ok(())
+                };
+                *s = st;
+                res
+            }
+            SessState::Stackless { lex, run } => {
+                let FusedBackend::Stackless(e) = &self.query.backend else {
+                    unreachable!("state/backend agree by construction");
+                };
+                let core = e.program.core();
+                let lexer = &e.lexer;
+                let k = lexer.k();
+                let dfa = core.dfa();
+                let component = core.component();
+                let rewind = core.rewind_markup();
+                let mut lx = *lex;
+                // The HAR run mirrors `HarRun::open`/`close` with the
+                // scalars in locals (the chain arrays stay in place —
+                // they are touched once per SCC change, not per event).
+                let mut current = run.current;
+                let mut dead = run.dead;
+                let mut chain_len = run.chain_len;
+                let mut i = 0usize;
+                let res = 'scan: {
+                    while i < n {
+                        if lx == TEXT {
+                            i = find_lt(w, i);
+                            if i >= n {
+                                break;
+                            }
+                        }
+                        let (lex2, ev) = lexer.step(lx, w[i]);
+                        lx = lex2;
+                        if ev != EV_NONE {
+                            if ev == EV_ERROR {
+                                break 'scan Err(parse_error(base + i));
+                            }
+                            let (open_l, close_l) = decode_event(ev, k);
+                            if let Some(l) = open_l {
+                                depth += 1;
+                                if depth > max_depth {
+                                    break 'scan Err(depth_error(max_depth, base + i));
+                                }
+                                if !dead {
+                                    let next = dfa.step(current, l);
+                                    if component[next] != component[current] {
+                                        run.chain[chain_len] = current as u16;
+                                        run.regs[chain_len] = depth;
+                                        chain_len += 1;
+                                    }
+                                    current = next;
+                                    if dfa.is_accepting(current) {
+                                        matches.push(node);
+                                    }
+                                }
+                                node += 1;
+                            }
+                            if let Some(l) = close_l {
+                                depth -= 1;
+                                if depth < min_depth {
+                                    break 'scan Err(imbalance_error(min_depth, base + i));
+                                }
+                                if !dead {
+                                    if chain_len > 0 && run.regs[chain_len - 1] > depth {
+                                        chain_len -= 1;
+                                        current = run.chain[chain_len] as usize;
+                                    } else {
+                                        match rewind[current * k + l] {
+                                            Some(p2) => current = p2,
+                                            None => dead = true,
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        i += 1;
+                    }
+                    Ok(())
+                };
+                *lex = lx;
+                run.current = current;
+                run.dead = dead;
+                run.chain_len = chain_len;
+                res
+            }
+            SessState::Stack {
+                lex,
+                current,
+                stack,
+            } => {
+                let FusedBackend::Stack(e) = &self.query.backend else {
+                    unreachable!("state/backend agree by construction");
+                };
+                let lexer = &e.lexer;
+                let dfa = &e.dfa;
+                let k = lexer.k();
+                let mut lx = *lex;
+                let mut cur = *current;
+                let mut i = 0usize;
+                let res = 'scan: {
+                    while i < n {
+                        if lx == TEXT {
+                            i = find_lt(w, i);
+                            if i >= n {
+                                break;
+                            }
+                        }
+                        let (lex2, ev) = lexer.step(lx, w[i]);
+                        lx = lex2;
+                        if ev != EV_NONE {
+                            if ev == EV_ERROR {
+                                break 'scan Err(parse_error(base + i));
+                            }
+                            let (open_l, close_l) = decode_event(ev, k);
+                            if let Some(l) = open_l {
+                                depth += 1;
+                                if depth > max_depth {
+                                    break 'scan Err(depth_error(max_depth, base + i));
+                                }
+                                stack.push(cur as u16);
+                                cur = dfa.step(cur, l);
+                                if dfa.is_accepting(cur) {
+                                    matches.push(node);
+                                }
+                                node += 1;
+                            }
+                            if close_l.is_some() {
+                                depth -= 1;
+                                if depth < min_depth {
+                                    break 'scan Err(imbalance_error(min_depth, base + i));
+                                }
+                                // Underflowing pop keeps the state, like
+                                // the baseline evaluator.
+                                if let Some(s) = stack.pop() {
+                                    cur = s as usize;
+                                }
+                            }
+                        }
+                        i += 1;
+                    }
+                    Ok(())
+                };
+                *lex = lx;
+                *current = cur;
+                res
+            }
+        };
+        self.depth = depth;
+        self.node = node;
+        res
+    }
+
+    /// Freezes the session at the current byte boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Checkpoint`] if the session has already failed —
+    /// a failed run has no resumable state.
+    pub fn checkpoint(&self) -> Result<EngineCheckpoint, SessionError> {
+        if let Some(e) = &self.failed {
+            return Err(corrupt(format!("session already failed: {e}")));
+        }
+        let state = match &self.state {
+            SessState::Registerless { s } => CheckpointState::Registerless {
+                composite: *s as u16,
+            },
+            SessState::Stackless { lex, run } => CheckpointState::Stackless {
+                lex: *lex,
+                current: run.current as u16,
+                dead: run.dead,
+                chain: (0..run.chain_len)
+                    .map(|i| (run.chain[i], run.regs[i]))
+                    .collect(),
+            },
+            SessState::Stack {
+                lex,
+                current,
+                stack,
+            } => CheckpointState::Stack {
+                lex: *lex,
+                current: *current as u16,
+                frames: stack.clone(),
+            },
+        };
+        Ok(EngineCheckpoint {
+            fingerprint: query_fingerprint(self.query),
+            alphabet: alphabet_symbols(&self.query.alphabet),
+            offset: self.offset as u64,
+            node: self.node as u64,
+            depth: self.depth,
+            state,
+        })
+    }
+
+    /// Declares end-of-input and returns the session's tallies.
+    ///
+    /// # Errors
+    ///
+    /// The sticky error if the session already failed, or
+    /// [`SessionError::Parse`] if the input ended inside markup.
+    pub fn finish(self) -> Result<SessionOutcome, SessionError> {
+        if let Some(e) = self.failed {
+            return Err(e);
+        }
+        let in_text = match &self.state {
+            SessState::Registerless { s } => {
+                let FusedBackend::Registerless(b) = &self.query.backend else {
+                    unreachable!("state/backend agree by construction");
+                };
+                *s < b.m
+            }
+            SessState::Stackless { lex, .. } => *lex == TEXT,
+            SessState::Stack { lex, .. } => *lex == TEXT,
+        };
+        if !in_text {
+            return Err(SessionError::Parse(TreeError::Parse {
+                position: self.offset,
+                message: "input ended inside markup".to_owned(),
+            }));
+        }
+        Ok(SessionOutcome {
+            matches: self.matches,
+            nodes: self.node,
+        })
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn parse_error(offset: usize) -> SessionError {
+    SessionError::Parse(TreeError::Parse {
+        position: offset,
+        message: "malformed markup or unknown label".to_owned(),
+    })
+}
+
+#[cold]
+#[inline(never)]
+fn depth_error(max_depth: i64, offset: usize) -> SessionError {
+    SessionError::Limit(LimitExceeded {
+        kind: LimitKind::Depth,
+        limit: max_depth as u64,
+        offset,
+    })
+}
+
+#[cold]
+#[inline(never)]
+fn imbalance_error(min_depth: i64, offset: usize) -> SessionError {
+    SessionError::Limit(LimitExceeded {
+        kind: LimitKind::Imbalance,
+        limit: (-min_depth) as u64,
+        offset,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Recovery mode
+// ---------------------------------------------------------------------------
+
+/// How a recovered error manifested.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// A byte inside markup that no well-formed continuation allows
+    /// (unknown label, stray metacharacter, bad tag syntax).
+    Malformed,
+    /// The input ended inside a tag, comment, or declaration.
+    Truncated,
+}
+
+impl fmt::Display for ErrorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ErrorClass::Malformed => "malformed",
+            ErrorClass::Truncated => "truncated",
+        })
+    }
+}
+
+/// One recovered error: where it was, how deep the document was, and
+/// what kind of defect it looked like.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Absolute byte offset of the offending byte (or end of input).
+    pub offset: usize,
+    /// Depth (opens minus closes) at the point of the error.
+    pub depth: i64,
+    /// Error class.
+    pub class: ErrorClass,
+}
+
+/// The partial results of a lenient (recovering) pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryOutcome {
+    /// Document-order ids of selected nodes across all recovered regions.
+    pub matches: Vec<usize>,
+    /// Total nodes opened across all recovered regions.
+    pub nodes: usize,
+    /// Recorded diagnostics, in offset order (capped at 64).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Diagnostics beyond the cap: counted, not recorded.
+    pub suppressed: usize,
+}
+
+/// Per-backend query state for the recovery stepper (the lenient pass is
+/// not a throughput path, so every backend runs the factored per-event
+/// loop here).
+enum RecQuery<'q> {
+    Registerless {
+        qnext: &'q [u16],
+        accepting: &'q [bool],
+        k2: usize,
+        q: usize,
+    },
+    Stackless {
+        core: &'q HarCore,
+        run: HarRun,
+    },
+    Stack {
+        dfa: &'q st_automata::Dfa,
+        current: usize,
+        stack: Vec<u16>,
+    },
+}
+
+impl RecQuery<'_> {
+    fn open(&mut self, l: usize, depth: i64) -> bool {
+        match self {
+            RecQuery::Registerless {
+                qnext,
+                accepting,
+                k2,
+                q,
+            } => {
+                *q = qnext[*q * *k2 + l] as usize;
+                accepting[*q]
+            }
+            RecQuery::Stackless { core, run } => run.open(core, l, depth),
+            RecQuery::Stack {
+                dfa,
+                current,
+                stack,
+            } => {
+                stack.push(*current as u16);
+                *current = dfa.step(*current, l);
+                dfa.is_accepting(*current)
+            }
+        }
+    }
+
+    fn close(&mut self, l: usize, depth: i64) {
+        match self {
+            RecQuery::Registerless { qnext, k2, q, .. } => {
+                *q = qnext[*q * *k2 + (*k2 / 2) + l] as usize;
+            }
+            RecQuery::Stackless { core, run } => run.close(core, l, depth),
+            RecQuery::Stack { current, stack, .. } => {
+                if let Some(s) = stack.pop() {
+                    *current = s as usize;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FusedQuery session API
+// ---------------------------------------------------------------------------
+
+impl FusedQuery {
+    /// The tag lexer of the chosen backend.
+    pub(crate) fn tag_lexer(&self) -> &TagLexer {
+        match &self.backend {
+            FusedBackend::Registerless(b) => b.lexer(),
+            FusedBackend::Stackless(e) => &e.lexer,
+            FusedBackend::Stack(e) => &e.lexer,
+        }
+    }
+
+    /// Opens a fresh resilient session under `limits`.
+    pub fn session(&self, limits: Limits) -> EngineSession<'_> {
+        EngineSession::fresh(self, limits)
+    }
+
+    /// Reopens a session from a checkpoint minted by the *same* query
+    /// (verified by fingerprint).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Checkpoint`] on a strategy or fingerprint
+    /// mismatch.
+    pub fn resume(
+        &self,
+        checkpoint: &EngineCheckpoint,
+        limits: Limits,
+    ) -> Result<EngineSession<'_>, SessionError> {
+        if checkpoint.strategy() != self.strategy() {
+            return Err(corrupt(format!(
+                "checkpoint is for a {:?} engine; this query plans {:?}",
+                checkpoint.strategy(),
+                self.strategy()
+            )));
+        }
+        if checkpoint.fingerprint != query_fingerprint(self) {
+            return Err(corrupt(
+                "checkpoint was minted by a different query or alphabet",
+            ));
+        }
+        let mut session = EngineSession::fresh(self, limits);
+        session.offset = checkpoint.offset as usize;
+        session.node = checkpoint.node as usize;
+        session.depth = checkpoint.depth;
+        session.state = match (&checkpoint.state, &self.backend) {
+            (CheckpointState::Registerless { composite }, FusedBackend::Registerless(b)) => {
+                let s = *composite as usize;
+                if s >= b.n_states() {
+                    return Err(corrupt(format!("composite state {s} out of range")));
+                }
+                SessState::Registerless { s }
+            }
+            (
+                CheckpointState::Stackless {
+                    lex,
+                    current,
+                    dead,
+                    chain,
+                },
+                FusedBackend::Stackless(e),
+            ) => {
+                let dfa = e.program.core().dfa();
+                if *current as usize >= dfa.n_states() || chain.len() > MAX_CHAIN {
+                    return Err(corrupt("stackless state out of range"));
+                }
+                let mut run = HarRun {
+                    current: *current as usize,
+                    dead: *dead,
+                    chain: [0; MAX_CHAIN],
+                    regs: [0; MAX_CHAIN],
+                    chain_len: chain.len(),
+                };
+                for (i, (s, r)) in chain.iter().enumerate() {
+                    run.chain[i] = *s;
+                    run.regs[i] = *r;
+                }
+                SessState::Stackless { lex: *lex, run }
+            }
+            (
+                CheckpointState::Stack {
+                    lex,
+                    current,
+                    frames,
+                },
+                FusedBackend::Stack(e),
+            ) => {
+                if *current as usize >= e.dfa.n_states() {
+                    return Err(corrupt("stack state out of range"));
+                }
+                SessState::Stack {
+                    lex: *lex,
+                    current: *current as usize,
+                    stack: frames.clone(),
+                }
+            }
+            _ => unreachable!("strategy equality checked above"),
+        };
+        let lexer_states = self.tag_lexer().n_states() as u16;
+        let lex_ok = match &session.state {
+            SessState::Registerless { .. } => true,
+            SessState::Stackless { lex, .. } | SessState::Stack { lex, .. } => *lex < lexer_states,
+        };
+        if !lex_ok {
+            return Err(corrupt("lexer state out of range"));
+        }
+        Ok(session)
+    }
+
+    /// Runs the whole document through a session in one call.
+    ///
+    /// # Errors
+    ///
+    /// As for [`EngineSession::feed`] / [`EngineSession::finish`].
+    pub fn run_session(
+        &self,
+        bytes: &[u8],
+        limits: &Limits,
+    ) -> Result<SessionOutcome, SessionError> {
+        let mut session = self.session(limits.clone());
+        session.feed(bytes)?;
+        session.finish()
+    }
+
+    /// Runs the document, freezing a checkpoint at each cut offset (out
+    /// of range or unordered cuts are ignored).  Returns the final
+    /// tallies and the checkpoints, one per surviving cut in order.
+    ///
+    /// # Errors
+    ///
+    /// As for [`EngineSession::feed`] / [`EngineSession::finish`].
+    pub fn run_with_checkpoints(
+        &self,
+        bytes: &[u8],
+        cuts: &[usize],
+        limits: &Limits,
+    ) -> Result<(SessionOutcome, Vec<EngineCheckpoint>), SessionError> {
+        let mut session = self.session(limits.clone());
+        let mut checkpoints = Vec::new();
+        let mut prev = 0usize;
+        for &cut in cuts {
+            if cut < prev || cut > bytes.len() {
+                continue;
+            }
+            session.feed(&bytes[prev..cut])?;
+            checkpoints.push(session.checkpoint()?);
+            prev = cut;
+        }
+        session.feed(&bytes[prev..])?;
+        Ok((session.finish()?, checkpoints))
+    }
+
+    /// Resumes from `checkpoint` and runs the remainder of the document.
+    /// The outcome's matches are those of the tail; node ids are global.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::resume`] / [`EngineSession::feed`] /
+    /// [`EngineSession::finish`].
+    pub fn resume_from(
+        &self,
+        checkpoint: &EngineCheckpoint,
+        rest: &[u8],
+        limits: &Limits,
+    ) -> Result<SessionOutcome, SessionError> {
+        let mut session = self.resume(checkpoint, limits.clone())?;
+        session.feed(rest)?;
+        session.finish()
+    }
+
+    /// Whether the one-shot guarded fast path applies: the whole
+    /// document is in memory, so the byte budget degenerates to a length
+    /// check and only the wall-clock budget still needs the windowed
+    /// loop's amortized clock reads.
+    fn fast_guard_applies(&self, bytes: &[u8], limits: &Limits) -> bool {
+        limits.time_budget.is_none() && limits.max_bytes.is_none_or(|mb| bytes.len() <= mb)
+    }
+
+    /// Resource-guarded select over a whole in-memory document.  With
+    /// unbounded limits this is exactly [`Self::select_bytes`].  With
+    /// structural limits the depth/imbalance compares ride inline in the
+    /// engines' own scan-closure loops (one compare per *event*, not per
+    /// byte); only a wall-clock budget, an already-blown byte budget, or
+    /// any detected breach or parse error falls back to the windowed
+    /// session loop, which reproduces the exact diagnostic cold.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Parse`] or [`SessionError::Limit`].
+    pub fn select_bytes_limited(
+        &self,
+        bytes: &[u8],
+        limits: &Limits,
+    ) -> Result<Vec<usize>, SessionError> {
+        if limits.is_unbounded() {
+            return self.select_bytes(bytes).map_err(SessionError::Parse);
+        }
+        if self.fast_guard_applies(bytes, limits) {
+            let max_depth = limits.max_depth.map(|d| d as i64).unwrap_or(i64::MAX);
+            let min_depth = limits
+                .max_imbalance
+                .map(|d| -(d as i64))
+                .unwrap_or(i64::MIN);
+            match &self.backend {
+                FusedBackend::Registerless(b) => {
+                    // The O(1)-state engine has no depth of its own;
+                    // with only a (satisfied) byte budget the guarded
+                    // run IS the unguarded run, and structural limits
+                    // ride on the open/close flags in the composite
+                    // table.
+                    if limits.max_depth.is_none() && limits.max_imbalance.is_none() {
+                        if let Ok(out) = self.select_bytes(bytes) {
+                            return Ok(out);
+                        }
+                    } else if let Some(out) = b.select_bytes_guarded(bytes, max_depth, min_depth) {
+                        return Ok(out);
+                    }
+                }
+                FusedBackend::Stackless(e) => {
+                    let mut out = Vec::new();
+                    if let Ok(true) = e.run_guarded(bytes, max_depth, min_depth, |node, sel| {
+                        if sel {
+                            out.push(node);
+                        }
+                    }) {
+                        return Ok(out);
+                    }
+                }
+                FusedBackend::Stack(e) => {
+                    let mut out = Vec::new();
+                    if let Ok(true) = e.run_guarded(bytes, max_depth, min_depth, |node, sel| {
+                        if sel {
+                            out.push(node);
+                        }
+                    }) {
+                        return Ok(out);
+                    }
+                }
+            }
+        }
+        match self.run_session(bytes, limits) {
+            Ok(outcome) => Ok(outcome.matches),
+            Err(SessionError::Parse(_)) => {
+                Err(SessionError::Parse(rescan_error(bytes, &self.alphabet)))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Resource-guarded count; see [`Self::select_bytes_limited`].
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Parse`] or [`SessionError::Limit`].
+    pub fn count_bytes_limited(
+        &self,
+        bytes: &[u8],
+        limits: &Limits,
+    ) -> Result<usize, SessionError> {
+        if limits.is_unbounded() {
+            return self.count_bytes(bytes).map_err(SessionError::Parse);
+        }
+        if self.fast_guard_applies(bytes, limits) {
+            let max_depth = limits.max_depth.map(|d| d as i64).unwrap_or(i64::MAX);
+            let min_depth = limits
+                .max_imbalance
+                .map(|d| -(d as i64))
+                .unwrap_or(i64::MIN);
+            match &self.backend {
+                FusedBackend::Registerless(b) => {
+                    if limits.max_depth.is_none() && limits.max_imbalance.is_none() {
+                        if let Ok(n) = self.count_bytes(bytes) {
+                            return Ok(n);
+                        }
+                    } else if let Some(n) = b.count_bytes_guarded(bytes, max_depth, min_depth) {
+                        return Ok(n);
+                    }
+                }
+                FusedBackend::Stackless(e) => {
+                    let mut n = 0usize;
+                    if let Ok(true) = e.run_guarded(bytes, max_depth, min_depth, |_, sel| {
+                        n += sel as usize;
+                    }) {
+                        return Ok(n);
+                    }
+                }
+                FusedBackend::Stack(e) => {
+                    let mut n = 0usize;
+                    if let Ok(true) = e.run_guarded(bytes, max_depth, min_depth, |_, sel| {
+                        n += sel as usize;
+                    }) {
+                        return Ok(n);
+                    }
+                }
+            }
+        }
+        match self.run_session(bytes, limits) {
+            Ok(outcome) => Ok(outcome.matches.len()),
+            Err(SessionError::Parse(_)) => {
+                Err(SessionError::Parse(rescan_error(bytes, &self.alphabet)))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Lenient evaluation: instead of aborting at the first malformed
+    /// byte, records a [`Diagnostic`] (offset, depth, error class), skips
+    /// to the next `<`, and keeps evaluating with the query and depth
+    /// state intact.  Strictly increasing skip positions guarantee
+    /// termination; at most 64 diagnostics are recorded (the rest are
+    /// counted in [`RecoveryOutcome::suppressed`]).  Infallible by
+    /// design — the partial result is the point.
+    pub fn select_bytes_recovering(&self, bytes: &[u8]) -> RecoveryOutcome {
+        let lexer = self.tag_lexer();
+        let k = lexer.k();
+        let mut query = match &self.backend {
+            FusedBackend::Registerless(b) => RecQuery::Registerless {
+                qnext: &b.qnext,
+                accepting: &b.accepting,
+                k2: 2 * k,
+                q: (b.start as usize) % b.m,
+            },
+            FusedBackend::Stackless(e) => RecQuery::Stackless {
+                core: e.program.core(),
+                run: HarRun {
+                    current: e.program.core().dfa().init(),
+                    dead: false,
+                    chain: [0; MAX_CHAIN],
+                    regs: [0; MAX_CHAIN],
+                    chain_len: 0,
+                },
+            },
+            FusedBackend::Stack(e) => RecQuery::Stack {
+                dfa: &e.dfa,
+                current: e.dfa.init(),
+                stack: Vec::new(),
+            },
+        };
+        let mut out = RecoveryOutcome::default();
+        let record = |out: &mut RecoveryOutcome, d: Diagnostic| {
+            if out.diagnostics.len() < MAX_DIAGNOSTICS {
+                out.diagnostics.push(d);
+            } else {
+                out.suppressed += 1;
+            }
+        };
+        let mut depth: i64 = 0;
+        let mut lex = TEXT;
+        let n = bytes.len();
+        let mut i = 0usize;
+        while i < n {
+            if lex == TEXT {
+                i = find_lt(bytes, i);
+                if i >= n {
+                    break;
+                }
+            }
+            let (lex2, ev) = lexer.step(lex, bytes[i]);
+            lex = lex2;
+            if ev != EV_NONE {
+                if ev == EV_ERROR {
+                    record(
+                        &mut out,
+                        Diagnostic {
+                            offset: i,
+                            depth,
+                            class: ErrorClass::Malformed,
+                        },
+                    );
+                    // Resynchronize at the next candidate tag start; the
+                    // query/depth state survives the skipped region.
+                    i = find_lt(bytes, i + 1);
+                    lex = TEXT;
+                    continue;
+                }
+                let (open_l, close_l) = decode_event(ev, k);
+                if let Some(l) = open_l {
+                    depth += 1;
+                    if query.open(l, depth) {
+                        out.matches.push(out.nodes);
+                    }
+                    out.nodes += 1;
+                }
+                if let Some(l) = close_l {
+                    depth -= 1;
+                    query.close(l, depth);
+                }
+            }
+            i += 1;
+        }
+        if lex != TEXT {
+            record(
+                &mut out,
+                Diagnostic {
+                    offset: n,
+                    depth,
+                    class: ErrorClass::Truncated,
+                },
+            );
+        }
+        out
+    }
+}

@@ -48,6 +48,18 @@ pub enum TreeError {
         /// Byte offset or event index.
         position: usize,
     },
+    /// The document nests deeper than the caller's (or the default)
+    /// depth budget — the guard that keeps adversarial million-deep
+    /// inputs from exhausting memory in the buffering oracle paths.
+    TooDeep {
+        /// The depth that was reached when the guard fired.
+        depth: usize,
+        /// The budget in force.
+        limit: usize,
+        /// Position (event index or byte offset) of the opening tag that
+        /// crossed the budget.
+        position: usize,
+    },
 }
 
 impl fmt::Display for TreeError {
@@ -77,6 +89,16 @@ impl fmt::Display for TreeError {
             }
             TreeError::UnknownLabel { label, position } => {
                 write!(f, "label {label:?} at {position} is not in the alphabet")
+            }
+            TreeError::TooDeep {
+                depth,
+                limit,
+                position,
+            } => {
+                write!(
+                    f,
+                    "document nests to depth {depth} at {position}, over the budget of {limit}"
+                )
             }
         }
     }

@@ -247,10 +247,28 @@ impl Iterator for Scanner<'_> {
     }
 }
 
+/// Default nesting budget for [`parse_document`] / [`parse_tree`]: deep
+/// enough for any real document (and for the paper's million-node chain
+/// *benchmarks*, which bypass parsing), shallow enough that an
+/// adversarial `<a><a><a>…` stream cannot drive the buffering paths into
+/// unbounded recursion or allocation.  Use
+/// [`parse_document_with_limit`] to override.
+pub const DEFAULT_MAX_DEPTH: usize = 262_144;
+
 /// Parses a whole document, interning element names into a fresh alphabet.
 /// Returns the alphabet and the event sequence (validated for balance by
 /// the caller if needed — use [`parse_tree`] for a materialized tree).
+/// Nesting beyond [`DEFAULT_MAX_DEPTH`] is rejected with
+/// [`TreeError::TooDeep`].
 pub fn parse_document(bytes: &[u8]) -> Result<(Alphabet, Vec<Tag>), TreeError> {
+    parse_document_with_limit(bytes, DEFAULT_MAX_DEPTH)
+}
+
+/// [`parse_document`] with an explicit nesting budget.
+pub fn parse_document_with_limit(
+    bytes: &[u8],
+    max_depth: usize,
+) -> Result<(Alphabet, Vec<Tag>), TreeError> {
     // First pass interns names so the Scanner can run against a fixed
     // alphabet; we do it in one pass by interleaving interning.
     let mut alphabet = Alphabet::new();
@@ -281,15 +299,41 @@ pub fn parse_document(bytes: &[u8]) -> Result<(Alphabet, Vec<Tag>), TreeError> {
         }
         pos = i.max(pos + 1);
     }
+    let mut depth = 0usize;
     for event in Scanner::new(bytes, &alphabet) {
-        events.push(event?);
+        let event = event?;
+        match event {
+            Tag::Open(_) => {
+                depth += 1;
+                if depth > max_depth {
+                    return Err(TreeError::TooDeep {
+                        depth,
+                        limit: max_depth,
+                        position: events.len(),
+                    });
+                }
+            }
+            Tag::Close(_) => depth = depth.saturating_sub(1),
+        }
+        events.push(event);
     }
     Ok((alphabet, events))
 }
 
-/// Parses a document and materializes the tree.
+/// Parses a document and materializes the tree.  Nesting beyond
+/// [`DEFAULT_MAX_DEPTH`] is rejected with [`TreeError::TooDeep`].
 pub fn parse_tree(bytes: &[u8]) -> Result<(Alphabet, Tree), TreeError> {
     let (alphabet, events) = parse_document(bytes)?;
+    let tree = crate::encode::markup_decode(&events)?;
+    Ok((alphabet, tree))
+}
+
+/// [`parse_tree`] with an explicit nesting budget.
+pub fn parse_tree_with_limit(
+    bytes: &[u8],
+    max_depth: usize,
+) -> Result<(Alphabet, Tree), TreeError> {
+    let (alphabet, events) = parse_document_with_limit(bytes, max_depth)?;
     let tree = crate::encode::markup_decode(&events)?;
     Ok((alphabet, tree))
 }
@@ -355,6 +399,31 @@ mod tests {
 </a>"#;
         let (g, events) = parse_document(doc).unwrap();
         assert_eq!(display_markup(&events, &g), "a b /b /a");
+    }
+
+    #[test]
+    fn adversarial_million_deep_input_is_rejected_not_materialized() {
+        // One million unclosed opens: without the guard this would build a
+        // million-event buffer and (in the DOM paths downstream) a
+        // million-frame tree.  The default budget rejects it early.
+        let doc: Vec<u8> = b"<a>".iter().copied().cycle().take(3_000_000).collect();
+        match parse_document(&doc) {
+            Err(TreeError::TooDeep { depth, limit, .. }) => {
+                assert_eq!(limit, DEFAULT_MAX_DEPTH);
+                assert_eq!(depth, DEFAULT_MAX_DEPTH + 1);
+            }
+            other => panic!("expected TooDeep, got {other:?}"),
+        }
+        // An explicit budget overrides the default.
+        match parse_document_with_limit(b"<a><a><a></a></a></a>", 2) {
+            Err(TreeError::TooDeep {
+                depth,
+                limit,
+                position,
+            }) => assert_eq!((depth, limit, position), (3, 2, 2)),
+            other => panic!("expected TooDeep, got {other:?}"),
+        }
+        assert!(parse_tree_with_limit(b"<a><a><a></a></a></a>", 3).is_ok());
     }
 
     #[test]

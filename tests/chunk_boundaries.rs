@@ -70,7 +70,7 @@ fn mid_text_cut_certifies_and_matches() {
     let engine = fused.byte_dfa().unwrap();
     let cut = cut_at(&doc, "hello world", 6); // between "hello " and "world"
     assert!(
-        engine.chunks_certify(&doc, &[cut]),
+        engine.chunks_certify(&doc, &[cut]).unwrap(),
         "a cut inside a text run leaves the lexer in text state"
     );
     assert_eq!(
@@ -85,7 +85,7 @@ fn mid_tag_cut_falls_back_and_matches() {
     let engine = fused.byte_dfa().unwrap();
     let cut = cut_at(&doc, "<a q=", 2); // inside the open tag
     assert!(
-        !engine.chunks_certify(&doc, &[cut]),
+        !engine.chunks_certify(&doc, &[cut]).unwrap(),
         "a mid-tag cut must not certify"
     );
     assert_eq!(
@@ -102,7 +102,7 @@ fn mid_quote_cut_falls_back_and_matches() {
     // would misread the quoted `>` as a tag close.
     let cut = cut_at(&doc, "x<y>z", 2);
     assert!(
-        !engine.chunks_certify(&doc, &[cut]),
+        !engine.chunks_certify(&doc, &[cut]).unwrap(),
         "a mid-quote cut must not certify"
     );
     assert_eq!(
@@ -116,7 +116,9 @@ fn malformed_document_errors_identically_at_any_cut() {
     let (fused, _) = engine_and_doc();
     let engine = fused.byte_dfa().unwrap();
     let doc = b"<a><b>text</b".to_vec(); // truncated close tag
-    let want = engine.select_bytes(&doc).unwrap_err();
+    let want = stackless_streamed_trees::core::session::SessionError::Parse(
+        engine.select_bytes(&doc).unwrap_err(),
+    );
     for cut in 1..doc.len() {
         let got = engine.select_bytes_chunked_at(&doc, &[cut]).unwrap_err();
         assert_eq!(

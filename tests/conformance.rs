@@ -6,7 +6,8 @@
 use std::path::Path;
 
 use stackless_streamed_trees::conform::{
-    fuzz, replay_corpus, run_case, tree_nodes, Case, FuzzConfig, Mutation,
+    corpus::load_corpus, fuzz, replay_corpus, run_case, tree_nodes, Case, FuzzConfig, Mutation,
+    Outcome,
 };
 
 /// Every committed reproducer must replay cleanly: these are inputs on
@@ -92,6 +93,49 @@ fn injected_fault_is_caught_and_shrunk() {
     );
     if let Some(nodes) = tree_nodes(&failure.shrunk) {
         assert!(nodes <= 20, "reproducer not minimal: {nodes} nodes");
+    }
+}
+
+/// Truncation determinism: every byte-prefix of every corpus document,
+/// through every engine path the harness knows (scanner, fused select
+/// and count, chunked, session, resumed-at-cuts, event plan, stack and
+/// DOM baselines).  A truncated stream must be rejected with the same
+/// error class by all byte-level engines — the harness's divergence
+/// check enforces the cross-engine agreement — and the verdict must be
+/// bit-for-bit deterministic run to run (stable error offsets).
+#[test]
+fn truncation_at_every_prefix_is_deterministic() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata/corpus");
+    let corpus = load_corpus(&dir).expect("corpus parses");
+    assert!(!corpus.is_empty());
+    for (path, case) in &corpus {
+        for cut in 0..case.doc.len() {
+            let truncated = Case {
+                doc: case.doc[..cut].to_vec(),
+                ..case.clone()
+            };
+            let outcome = run_case(&truncated, Mutation::None);
+            assert!(
+                outcome.divergence.is_none(),
+                "{} truncated at {cut}: {:?}",
+                path.display(),
+                outcome.divergence
+            );
+            for (id, o) in &outcome.outcomes {
+                assert!(
+                    !matches!(o, Outcome::Panicked(_)),
+                    "{} truncated at {cut}: {id} panicked",
+                    path.display()
+                );
+            }
+            let again = run_case(&truncated, Mutation::None);
+            assert_eq!(
+                format!("{:?}", outcome.outcomes),
+                format!("{:?}", again.outcomes),
+                "{} truncated at {cut}: error offsets must be deterministic",
+                path.display()
+            );
+        }
     }
 }
 

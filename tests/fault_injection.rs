@@ -1,0 +1,271 @@
+//! Fault injection: the panic-free guarantee under hostile conditions.
+//!
+//! Three fault families, per the robustness contract:
+//!
+//! * **Worker panics** — a panic inside a data-parallel chunk worker must
+//!   surface as a clean [`CoreError::WorkerFailed`] through every chunked
+//!   entry point, never an unwind or abort of the caller.
+//! * **Hostile bytes** — mid-stream corruption at every position of a
+//!   document must leave all engines in agreement (typed errors with
+//!   deterministic offsets, or identical match sets), with zero panics.
+//! * **Limit boundaries** — documents sitting exactly at, one under, and
+//!   one over each resource budget must flip between success and the
+//!   typed [`LimitExceeded`] exactly at the boundary.
+//!
+//! Recovery mode rides along: on the same hostile inputs the lenient
+//! scanner must return partial matches plus structured diagnostics
+//! instead of an error.
+
+use stackless_streamed_trees::automata::{compile_regex, Alphabet};
+use stackless_streamed_trees::conform::gen::{case_rng, gen_case};
+use stackless_streamed_trees::conform::{run_case, Case, GenConfig, Mutation, Outcome};
+use stackless_streamed_trees::core::registerless;
+use stackless_streamed_trees::core::session::{ErrorClass, LimitKind, Limits, SessionError};
+use stackless_streamed_trees::core::{Analysis, ByteDfa, CompiledQuery, CoreError};
+
+fn poisoned_byte_dfa() -> ByteDfa {
+    let g = Alphabet::of_chars("ab");
+    let dfa = compile_regex("a.*b", &g).unwrap();
+    let markup = registerless::compile_query_markup(&Analysis::new(&dfa)).unwrap();
+    let mut bd = ByteDfa::new(&markup, &g).unwrap();
+    bd.poison_chunk_workers_for_tests();
+    bd
+}
+
+/// Runs `f` with panic output silenced (the poisoned workers *do* panic;
+/// that is the point — but their backtraces are noise in test logs).
+fn quietly<T>(f: impl FnOnce() -> T) -> T {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+/// Satellite: both former `.expect("chunk worker panicked")` join sites,
+/// exercised through every chunked entry point with a table poisoned so
+/// that **only** the chunk workers' factored automaton walk panics (the
+/// sequential paths never read `qnext`).
+#[test]
+fn chunk_worker_panic_is_a_clean_error_not_an_abort() {
+    let bd = poisoned_byte_dfa();
+    // Large enough that the auto-chunking wrappers actually split
+    // (they decline below 8 KiB and would run sequentially).
+    let mut doc = b"<a>".to_vec();
+    for _ in 0..1000 {
+        doc.extend_from_slice(b"<b>some text</b>");
+    }
+    doc.extend_from_slice(b"</a>");
+    // The sequential paths are untouched by the poison.
+    let want = bd.select_bytes(&doc).unwrap();
+    assert!(!want.is_empty());
+
+    let cuts = vec![700, 1400, 2100];
+    let (sel_at, cnt_at, sel_auto, cnt_auto) = quietly(|| {
+        (
+            bd.select_bytes_chunked_at(&doc, &cuts),
+            bd.count_bytes_chunked_at(&doc, &cuts),
+            // The auto-chunking wrappers go through the same join.
+            bd.select_bytes_chunked(&doc, 8),
+            bd.count_bytes_chunked(&doc, 8),
+        )
+    });
+    match sel_at {
+        Err(SessionError::Engine(CoreError::WorkerFailed { detail })) => {
+            assert!(!detail.is_empty(), "panic payload is carried along");
+        }
+        other => panic!("select_bytes_chunked_at: expected WorkerFailed, got {other:?}"),
+    }
+    match cnt_at {
+        Err(SessionError::Engine(CoreError::WorkerFailed { .. })) => {}
+        other => panic!("count_bytes_chunked_at: expected WorkerFailed, got {other:?}"),
+    }
+    match sel_auto {
+        Err(SessionError::Engine(CoreError::WorkerFailed { .. })) => {}
+        other => panic!("select_bytes_chunked: expected WorkerFailed, got {other:?}"),
+    }
+    match cnt_auto {
+        Err(SessionError::Engine(CoreError::WorkerFailed { .. })) => {}
+        other => panic!("count_bytes_chunked: expected WorkerFailed, got {other:?}"),
+    }
+}
+
+/// Mid-stream corruption sweep: every byte of the document, replaced by
+/// each of a handful of hostile bytes, through all engine paths — no
+/// panics, no cross-engine divergence.
+#[test]
+fn corruption_at_every_position_never_panics_or_diverges() {
+    let doc = b"<a q=\"x<y>\"><b>text</b><b><a/></b></a>".to_vec();
+    for pos in 0..doc.len() {
+        for &bad in b"<>/\"z\0" {
+            let mut mutated = doc.clone();
+            mutated[pos] = bad;
+            let case = Case {
+                pattern: "a.*b".to_owned(),
+                alphabet: "ab".to_owned(),
+                doc: mutated,
+                chunk_sizes: vec![3, 11],
+            };
+            let outcome = run_case(&case, Mutation::None);
+            assert!(
+                outcome.divergence.is_none(),
+                "corrupt byte {bad:#x} at {pos}: {:?}",
+                outcome.divergence
+            );
+            for (id, o) in &outcome.outcomes {
+                assert!(
+                    !matches!(o, Outcome::Panicked(_)),
+                    "corrupt byte {bad:#x} at {pos}: {id} panicked: {o:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Fault-mode fuzz: 200 generated cases with a guaranteed
+/// malformed-adjacent mutation each (the CI smoke job runs the same
+/// configuration through `stql fuzz --faults`).
+#[test]
+fn fault_mode_fuzz_runs_clean() {
+    let cfg = GenConfig {
+        faults: true,
+        ..GenConfig::default()
+    };
+    let mut rejected = 0usize;
+    for iter in 0..200u64 {
+        let (case, _) = gen_case(&mut case_rng(77, iter), &cfg);
+        let outcome = run_case(&case, Mutation::None);
+        assert!(
+            outcome.divergence.is_none(),
+            "iter {iter}: {:?}",
+            outcome.divergence
+        );
+        for (id, o) in &outcome.outcomes {
+            assert!(
+                !matches!(o, Outcome::Panicked(_)),
+                "iter {iter}: {id} panicked"
+            );
+            if matches!(o, Outcome::Rejected(_)) {
+                rejected += 1;
+            }
+        }
+    }
+    assert!(rejected > 50, "fault mode should actually produce errors");
+}
+
+/// Limit-boundary documents: one under, exactly at, and one over each
+/// budget; the typed error must appear exactly when the boundary is
+/// crossed.
+#[test]
+fn limit_boundaries_are_exact() {
+    let g = Alphabet::of_chars("ab");
+    let fused = CompiledQuery::compile(&compile_regex("a.*b", &g).unwrap())
+        .fused(&g)
+        .unwrap();
+
+    // Depth: a chain nesting exactly `d` deep.
+    let chain = |d: usize| -> Vec<u8> {
+        let mut doc = Vec::with_capacity(d * 7);
+        for _ in 0..d {
+            doc.extend_from_slice(b"<a>");
+        }
+        for _ in 0..d {
+            doc.extend_from_slice(b"</a>");
+        }
+        doc
+    };
+    for budget in [1usize, 7, 64] {
+        let limits = Limits::none().with_max_depth(budget);
+        assert!(fused.run_session(&chain(budget - 1), &limits).is_ok());
+        assert!(fused.run_session(&chain(budget), &limits).is_ok());
+        match fused.run_session(&chain(budget + 1), &limits) {
+            Err(SessionError::Limit(e)) => {
+                assert_eq!(e.kind, LimitKind::Depth);
+                assert_eq!(e.limit, budget as u64);
+            }
+            other => panic!("depth budget {budget}: expected limit error, got {other:?}"),
+        }
+    }
+
+    // Bytes: a document of exactly the budget length passes; one byte
+    // more fails at offset == budget.
+    let doc = b"<a><b></b></a>".to_vec();
+    let exact = Limits::none().with_max_bytes(doc.len());
+    assert!(fused.run_session(&doc, &exact).is_ok());
+    let mut over = doc.clone();
+    over.push(b' ');
+    match fused.run_session(&over, &exact) {
+        Err(SessionError::Limit(e)) => {
+            assert_eq!(e.kind, LimitKind::Bytes);
+            assert_eq!(e.offset, doc.len());
+        }
+        other => panic!("expected byte limit, got {other:?}"),
+    }
+}
+
+/// Recovery mode: partial matches plus structured diagnostics on inputs
+/// that abort the strict engines.
+#[test]
+fn recovery_mode_returns_partial_matches_and_diagnostics() {
+    let g = Alphabet::of_chars("ab");
+    for pattern in ["a.*b", ".*a.*b", ".*ab"] {
+        let fused = CompiledQuery::compile(&compile_regex(pattern, &g).unwrap())
+            .fused(&g)
+            .unwrap();
+
+        // Clean input: recovery is exactly the strict run.
+        let clean = b"<a><b></b><b><a/></b></a>";
+        let strict = fused.select_bytes(clean).unwrap();
+        let rec = fused.select_bytes_recovering(clean);
+        assert_eq!(rec.matches, strict, "pattern {pattern}");
+        assert!(rec.diagnostics.is_empty() && rec.suppressed == 0);
+
+        // One corrupt tag mid-document: the strict path aborts, the
+        // lenient path records the offset/depth/class and keeps going —
+        // the second <b> subtree still matches.
+        let hostile = b"<a><b></b><zz!><b><a/></b></a>";
+        assert!(fused.select_bytes(hostile).is_err());
+        let rec = fused.select_bytes_recovering(hostile);
+        assert_eq!(rec.diagnostics.len(), 1, "pattern {pattern}: {rec:?}");
+        let d = &rec.diagnostics[0];
+        assert_eq!(d.class, ErrorClass::Malformed);
+        assert_eq!(d.depth, 1, "error sits under the root");
+        assert!(
+            (10..15).contains(&d.offset),
+            "inside <zz!>, got {}",
+            d.offset
+        );
+        assert!(
+            rec.matches.len() >= strict.len().min(1),
+            "pattern {pattern}: matches after the corrupt tag survive: {rec:?}"
+        );
+
+        // Truncation inside markup: a Truncated diagnostic at end of input.
+        let truncated = b"<a><b></b><b";
+        let rec = fused.select_bytes_recovering(truncated);
+        assert_eq!(
+            rec.diagnostics.last().map(|d| d.class),
+            Some(ErrorClass::Truncated)
+        );
+        assert_eq!(rec.diagnostics.last().unwrap().offset, truncated.len());
+    }
+}
+
+/// Diagnostics are capped, not unbounded: a document that is one long
+/// error storm reports 64 and counts the rest.
+#[test]
+fn recovery_diagnostics_are_capped() {
+    let g = Alphabet::of_chars("ab");
+    let fused = CompiledQuery::compile(&compile_regex("a.*b", &g).unwrap())
+        .fused(&g)
+        .unwrap();
+    let mut doc = Vec::new();
+    for _ in 0..200 {
+        // `z` is not in the query alphabet, so every tag is malformed.
+        doc.extend_from_slice(b"<z>x");
+    }
+    let rec = fused.select_bytes_recovering(&doc);
+    assert_eq!(rec.diagnostics.len(), 64);
+    assert_eq!(rec.suppressed, 200 - 64);
+    assert!(rec.matches.is_empty());
+}
