@@ -16,6 +16,7 @@
 use std::process::ExitCode;
 
 mod schema;
+mod serving;
 
 use st_automata::Alphabet;
 use st_core::planner::{CompiledQuery, CompiledTermQuery};
@@ -28,6 +29,8 @@ fn main() -> ExitCode {
         Some("select") => cmd_select(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("serve") => serving::cmd_serve(&args[1..]),
+        Some("batch") => serving::cmd_batch(&args[1..]),
         Some("extract") => cmd_extract(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("--help") | Some("-h") | None => {
@@ -54,6 +57,14 @@ const USAGE: &str = "usage:
   stql validate <schema.dtd> <file.xml>
   stql stats   <file.xml|file.json|file.term>
   stql extract <query> <file.xml>
+  stql serve   <query> <file.xml>... [--count] [--workers N] [--queue N]
+               [--cadence BYTES] [--retries N] [--max-in-flight BYTES]
+               [--max-depth D] [--max-bytes B] [--time-budget MS]
+  stql serve   --chaos [--seed N] [--requests N] [--workers N]
+               [--cadence BYTES] [--retries N] [--panic PM] [--stall PM]
+               [--corrupt PM] [--stall-ms MS] [--stall-timeout MS]
+               [--reproducer FILE]
+  stql batch   <query> <file.xml>... [serve pool flags]
   stql fuzz    [--seed N] [--iters M] [--max-depth D] [--max-nodes K]
                [--corpus DIR] [--mutation NAME] [--faults]
                [--replay FILE.case]
@@ -63,7 +74,13 @@ select resource guards and sessions (.xml only, fused engine):
   --checkpoint-out serializes the session state after the input instead
   of finishing, --resume reopens one and continues on the given bytes;
   --recover scans leniently, printing matches plus diagnostics (needs
-  --alphabet when the document is too broken to infer one).";
+  --alphabet when the document is too broken to infer one).
+
+serve/batch run documents through the supervised worker pool (worker
+panics and stalls fail over via checkpoints; full queues shed with a
+typed error); batch prints one `count<TAB>file` line per document.
+serve --chaos runs the seeded fault-injection soak and exits non-zero
+on any divergence from the recovery contract.";
 
 /// Parses a query in whichever of the three syntaxes it is written.
 fn parse_query(query: &str, alphabet: &Alphabet) -> Result<PathQuery, String> {

@@ -90,6 +90,7 @@ pub use error::CoreError;
 pub use model::{DraProgram, DraRunner, LoadMask, StreamSymbol};
 pub use planner::{CompiledQuery, CompiledTermQuery, Strategy};
 pub use session::{
-    check_event_limits, CheckpointState, Diagnostic, EngineCheckpoint, EngineSession, ErrorClass,
-    LimitExceeded, LimitKind, Limits, RecoveryOutcome, SessionError, SessionOutcome,
+    check_event_limits, monotonic_clock, CheckpointState, ClockFn, Diagnostic, EngineCheckpoint,
+    EngineSession, ErrorClass, LimitExceeded, LimitKind, Limits, RecoveryOutcome, SessionError,
+    SessionOutcome, DEFAULT_MAX_DIAGNOSTICS,
 };

@@ -40,6 +40,7 @@
 //! [`crate::engine`].
 
 use std::fmt;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use st_automata::{Alphabet, Tag};
@@ -56,8 +57,23 @@ use crate::planner::Strategy;
 /// Bytes processed between amortized byte-budget / wall-clock checks.
 const WINDOW: usize = 64 << 10;
 
-/// Cap on recorded recovery diagnostics; further errors are only counted.
-const MAX_DIAGNOSTICS: usize = 64;
+/// Default cap on recorded recovery diagnostics; further errors are only
+/// counted.  Override with [`Limits::with_max_diagnostics`].
+pub const DEFAULT_MAX_DIAGNOSTICS: usize = 64;
+
+/// A monotonic time source: "now" as a [`Duration`] since an arbitrary
+/// but fixed epoch.  [`Limits::time_budget`] breaches are decided by
+/// comparing two reads of this function, so any monotone function works —
+/// including a test clock backed by an atomic counter, which makes
+/// deadline tests deterministic instead of sleep-based.
+pub type ClockFn = fn() -> Duration;
+
+/// The default [`ClockFn`]: elapsed time since a process-wide
+/// [`Instant`] epoch.
+pub fn monotonic_clock() -> Duration {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed()
+}
 
 // ---------------------------------------------------------------------------
 // Limits
@@ -66,7 +82,7 @@ const MAX_DIAGNOSTICS: usize = 64;
 /// Resource budgets for a streaming evaluation.  All fields default to
 /// unbounded; construct with [`Limits::none`] and tighten with the
 /// builder methods.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct Limits {
     /// Maximum tree depth (open-tag nesting) the document may reach.
     pub max_depth: Option<usize>,
@@ -77,6 +93,14 @@ pub struct Limits {
     pub max_imbalance: Option<usize>,
     /// Wall-clock budget for the whole session, checked once per 64 KiB.
     pub time_budget: Option<Duration>,
+    /// Cap on recorded recovery diagnostics
+    /// ([`FusedQuery::select_bytes_recovering_limited`]); further errors
+    /// are only counted.  `None` means [`DEFAULT_MAX_DIAGNOSTICS`].
+    pub max_diagnostics: Option<usize>,
+    /// Time source for the [`Self::time_budget`] check.  `None` means
+    /// [`monotonic_clock`]; tests inject a fake clock to make deadline
+    /// breaches deterministic.
+    pub clock: Option<ClockFn>,
 }
 
 impl Limits {
@@ -109,7 +133,32 @@ impl Limits {
         self
     }
 
-    /// Whether every budget is unbounded.
+    /// Sets the recovery diagnostics cap (default
+    /// [`DEFAULT_MAX_DIAGNOSTICS`]).
+    pub fn with_max_diagnostics(mut self, cap: usize) -> Limits {
+        self.max_diagnostics = Some(cap);
+        self
+    }
+
+    /// Sets the time source used by the wall-clock budget check.
+    pub fn with_clock(mut self, clock: ClockFn) -> Limits {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Reads the configured clock (or the default monotonic clock).
+    pub fn now(&self) -> Duration {
+        (self.clock.unwrap_or(monotonic_clock))()
+    }
+
+    /// The recovery diagnostics cap in force.
+    pub fn diagnostics_cap(&self) -> usize {
+        self.max_diagnostics.unwrap_or(DEFAULT_MAX_DIAGNOSTICS)
+    }
+
+    /// Whether every budget is unbounded.  The diagnostics cap and the
+    /// clock are not budgets — they never fail a run — so they do not
+    /// count.
     pub fn is_unbounded(&self) -> bool {
         self.max_depth.is_none()
             && self.max_bytes.is_none()
@@ -117,6 +166,22 @@ impl Limits {
             && self.time_budget.is_none()
     }
 }
+
+impl PartialEq for Limits {
+    /// Equality covers the budgets and the diagnostics cap.  The clock is
+    /// excluded: function pointers have no stable addresses to compare,
+    /// and two `Limits` that enforce the same budgets are the same limits
+    /// regardless of which clock measures them.
+    fn eq(&self, other: &Limits) -> bool {
+        self.max_depth == other.max_depth
+            && self.max_bytes == other.max_bytes
+            && self.max_imbalance == other.max_imbalance
+            && self.time_budget == other.time_budget
+            && self.max_diagnostics == other.max_diagnostics
+    }
+}
+
+impl Eq for Limits {}
 
 /// Which budget a [`LimitExceeded`] violated.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -539,11 +604,18 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], SessionError> {
-        if self.pos + n > self.buf.len() {
+        // Hostile length fields can be anything up to `u32::MAX`;
+        // checked arithmetic keeps even `usize`-overflow-adjacent lies
+        // a typed error rather than a wrap-around.
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| corrupt("truncated"))?;
+        if end > self.buf.len() {
             return Err(corrupt("truncated"));
         }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
         Ok(out)
     }
     fn u8(&mut self) -> Result<u8, SessionError> {
@@ -728,7 +800,8 @@ pub struct SessionOutcome {
 pub struct EngineSession<'q> {
     query: &'q FusedQuery,
     limits: Limits,
-    started: Instant,
+    /// Clock reading at session start (in the limits' clock).
+    started: Duration,
     offset: usize,
     node: usize,
     depth: i64,
@@ -759,10 +832,11 @@ impl<'q> EngineSession<'q> {
                 stack: Vec::new(),
             },
         };
+        let started = limits.now();
         EngineSession {
             query,
             limits,
-            started: Instant::now(),
+            started,
             offset: 0,
             node: 0,
             depth: 0,
@@ -819,7 +893,7 @@ impl<'q> EngineSession<'q> {
                 end = end.min(pos + (mb - self.offset));
             }
             if let Some(tb) = self.limits.time_budget {
-                if self.started.elapsed() > tb {
+                if self.limits.now().saturating_sub(self.started) > tb {
                     return self.fail(SessionError::Limit(LimitExceeded {
                         kind: LimitKind::Time,
                         limit: tb.as_millis() as u64,
@@ -1208,7 +1282,8 @@ pub struct RecoveryOutcome {
     pub matches: Vec<usize>,
     /// Total nodes opened across all recovered regions.
     pub nodes: usize,
-    /// Recorded diagnostics, in offset order (capped at 64).
+    /// Recorded diagnostics, in offset order (capped at the configured
+    /// [`Limits::max_diagnostics`], default [`DEFAULT_MAX_DIAGNOSTICS`]).
     pub diagnostics: Vec<Diagnostic>,
     /// Diagnostics beyond the cap: counted, not recorded.
     pub suppressed: usize,
@@ -1317,6 +1392,22 @@ impl FusedQuery {
             return Err(corrupt(
                 "checkpoint was minted by a different query or alphabet",
             ));
+        }
+        // Plausibility bounds on the positional fields.  A checkpoint is
+        // untrusted wire input: a lying `offset`/`node`/`depth` would
+        // otherwise overflow the session counters on the next feed.  Every
+        // node costs bytes and every depth change costs a tag, so both are
+        // bounded by the bytes consumed; the offset itself is capped at an
+        // exabyte-scale stream no real session reaches.
+        const MAX_STREAM_OFFSET: u64 = 1 << 60;
+        if checkpoint.offset > MAX_STREAM_OFFSET {
+            return Err(corrupt("stream offset implausibly large"));
+        }
+        if checkpoint.node > checkpoint.offset {
+            return Err(corrupt("node counter exceeds bytes consumed"));
+        }
+        if checkpoint.depth.unsigned_abs() > checkpoint.offset {
+            return Err(corrupt("depth exceeds bytes consumed"));
         }
         let mut session = EngineSession::fresh(self, limits);
         session.offset = checkpoint.offset as usize;
@@ -1586,10 +1677,24 @@ impl FusedQuery {
     /// byte, records a [`Diagnostic`] (offset, depth, error class), skips
     /// to the next `<`, and keeps evaluating with the query and depth
     /// state intact.  Strictly increasing skip positions guarantee
-    /// termination; at most 64 diagnostics are recorded (the rest are
-    /// counted in [`RecoveryOutcome::suppressed`]).  Infallible by
-    /// design — the partial result is the point.
+    /// termination; at most [`DEFAULT_MAX_DIAGNOSTICS`] diagnostics are
+    /// recorded (the rest are counted in
+    /// [`RecoveryOutcome::suppressed`]).  Infallible by design — the
+    /// partial result is the point.
     pub fn select_bytes_recovering(&self, bytes: &[u8]) -> RecoveryOutcome {
+        self.select_bytes_recovering_limited(bytes, &Limits::none())
+    }
+
+    /// Like [`Self::select_bytes_recovering`] with the diagnostics cap
+    /// taken from `limits` ([`Limits::max_diagnostics`], default
+    /// [`DEFAULT_MAX_DIAGNOSTICS`]).  The budgets in `limits` do not
+    /// apply here — recovery is infallible by design.
+    pub fn select_bytes_recovering_limited(
+        &self,
+        bytes: &[u8],
+        limits: &Limits,
+    ) -> RecoveryOutcome {
+        let cap = limits.diagnostics_cap();
         let lexer = self.tag_lexer();
         let k = lexer.k();
         let mut query = match &self.backend {
@@ -1617,7 +1722,7 @@ impl FusedQuery {
         };
         let mut out = RecoveryOutcome::default();
         let record = |out: &mut RecoveryOutcome, d: Diagnostic| {
-            if out.diagnostics.len() < MAX_DIAGNOSTICS {
+            if out.diagnostics.len() < cap {
                 out.diagnostics.push(d);
             } else {
                 out.suppressed += 1;

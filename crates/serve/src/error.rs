@@ -1,0 +1,161 @@
+//! Typed errors of the serving runtime.
+//!
+//! Every way a request can end short of success has a variant here, so
+//! callers can tell load shedding from budget rejection from a request
+//! that genuinely failed — and for failures, *why* the final attempt
+//! failed and how many attempts were spent.
+
+use std::fmt;
+
+use st_core::session::SessionError;
+
+/// Why one attempt at a request failed.  Retryable causes send the
+/// request back to the queue (with exponential backoff, resuming from
+/// its last checkpoint); terminal causes fail it immediately.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureCause {
+    /// The worker thread running the request panicked and died.
+    WorkerPanic {
+        /// The panic payload, when it carried a message.
+        detail: String,
+    },
+    /// The worker stopped heartbeating past the supervisor's stall
+    /// deadline and was abandoned.
+    WorkerStall {
+        /// How long the worker had been silent when it was abandoned.
+        stalled_ms: u64,
+    },
+    /// A document segment failed its transport integrity check (the
+    /// chaos harness injects these; a production transport would detect
+    /// them with a checksum).
+    SegmentCorrupted {
+        /// Byte offset of the corrupt segment.
+        offset: usize,
+    },
+    /// The engine returned a typed error: a parse error, a resource
+    /// budget breach, or an engine-internal failure.
+    Engine(SessionError),
+}
+
+impl FailureCause {
+    /// Whether this cause warrants another attempt.
+    ///
+    /// Worker deaths, stalls, and corrupt segments are transient-fault
+    /// shaped: the next attempt resumes from the last checkpoint on a
+    /// healthy worker.  Parse errors are retried too — the runtime
+    /// cannot distinguish a corrupted read from a genuinely malformed
+    /// document, and the retry bound keeps the deterministic case
+    /// cheap.  Budget breaches ([`SessionError::Limit`]) and checkpoint
+    /// misuse are deterministic and fail immediately.
+    pub fn retryable(&self) -> bool {
+        match self {
+            FailureCause::WorkerPanic { .. }
+            | FailureCause::WorkerStall { .. }
+            | FailureCause::SegmentCorrupted { .. } => true,
+            FailureCause::Engine(e) => {
+                matches!(e, SessionError::Parse(_) | SessionError::Engine(_))
+            }
+        }
+    }
+
+    /// A short, stable class name (used by the determinism harness to
+    /// compare error classes across runs without comparing offsets or
+    /// payload text).
+    pub fn class(&self) -> &'static str {
+        match self {
+            FailureCause::WorkerPanic { .. } => "worker-panic",
+            FailureCause::WorkerStall { .. } => "worker-stall",
+            FailureCause::SegmentCorrupted { .. } => "segment-corrupted",
+            FailureCause::Engine(SessionError::Parse(_)) => "engine-parse",
+            FailureCause::Engine(SessionError::Limit(_)) => "engine-limit",
+            FailureCause::Engine(SessionError::Engine(_)) => "engine-internal",
+            FailureCause::Engine(_) => "engine-other",
+        }
+    }
+}
+
+impl fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureCause::WorkerPanic { detail } => write!(f, "worker panicked: {detail}"),
+            FailureCause::WorkerStall { stalled_ms } => {
+                write!(f, "worker stalled for {stalled_ms} ms and was abandoned")
+            }
+            FailureCause::SegmentCorrupted { offset } => {
+                write!(f, "segment at byte {offset} failed its integrity check")
+            }
+            FailureCause::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// Errors of the serving runtime, as seen by submitters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Load shed: the bounded submission queue is full.  Back off and
+    /// resubmit, or use [`crate::ServeRuntime::submit_blocking`].
+    Overloaded {
+        /// Submissions waiting when this one was shed.
+        queue_len: usize,
+        /// The queue's capacity.
+        capacity: usize,
+    },
+    /// Admission control refused the request before queueing it (e.g. it
+    /// would blow the service-level in-flight byte budget).
+    Rejected {
+        /// Why admission control said no.
+        reason: String,
+    },
+    /// The runtime is shutting down and accepts no new work.
+    ShuttingDown,
+    /// Terminal failure: the request was attempted `attempts` times and
+    /// the last attempt failed with `last`.  Retryable causes exhaust
+    /// the retry budget; terminal causes (budget breaches) report
+    /// `attempts: 1`.
+    Failed {
+        /// Total attempts spent (1 + retries).
+        attempts: u32,
+        /// The failure that ended the request.
+        last: FailureCause,
+    },
+    /// The job id is unknown to this runtime.
+    UnknownJob {
+        /// The offending id.
+        id: u64,
+    },
+}
+
+impl ServeError {
+    /// A short, stable class name; see [`FailureCause::class`].
+    pub fn class(&self) -> String {
+        match self {
+            ServeError::Overloaded { .. } => "overloaded".to_owned(),
+            ServeError::Rejected { .. } => "rejected".to_owned(),
+            ServeError::ShuttingDown => "shutting-down".to_owned(),
+            ServeError::Failed { last, .. } => format!("failed({})", last.class()),
+            ServeError::UnknownJob { .. } => "unknown-job".to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded {
+                queue_len,
+                capacity,
+            } => write!(
+                f,
+                "overloaded: submission queue is full ({queue_len}/{capacity})"
+            ),
+            ServeError::Rejected { reason } => write!(f, "rejected: {reason}"),
+            ServeError::ShuttingDown => write!(f, "runtime is shutting down"),
+            ServeError::Failed { attempts, last } => {
+                write!(f, "failed after {attempts} attempt(s): {last}")
+            }
+            ServeError::UnknownJob { id } => write!(f, "unknown job id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

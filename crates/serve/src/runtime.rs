@@ -1,0 +1,1049 @@
+//! The supervised serving runtime: a fixed worker pool multiplexing many
+//! concurrent streaming query sessions, with checkpoint failover.
+//!
+//! # Architecture
+//!
+//! ```text
+//!              submit / submit_blocking          wait
+//!                   │   (admission control:        ▲
+//!                   │    bounded queue, byte       │ JobReport
+//!                   ▼    budget → shed/reject)     │
+//!            ┌─────────────┐                ┌──────┴──────┐
+//!            │ submission  │   dispatch     │  jobs map   │
+//!            │ queue (VecD)│──────────────▶ │ id → state  │
+//!            └─────────────┘                └─────────────┘
+//!                   ▲                               ▲
+//!        requeue    │        ┌──────────┐           │ complete /
+//!        (backoff,  └────────│supervisor│           │ checkpoint /
+//!         from last          │(dispatch,│           │ fail
+//!         checkpoint)        │ monitor) │           │
+//!                            └──────────┘           │
+//!                             │  │  │  respawn      │
+//!                             ▼  ▼  ▼               │
+//!                        ┌────┐┌────┐┌────┐         │
+//!                        │ w0 ││ w1 ││ w2 │─────────┘
+//!                        └────┘└────┘└────┘
+//! ```
+//!
+//! Workers feed each document through an
+//! [`EngineSession`](st_core::session::EngineSession) in
+//! cadence-sized segments, minting an [`EngineCheckpoint`] after each —
+//! the O(1)/O(depth) snapshot of Theorems 3.1/3.2 is exactly what makes
+//! a session *migratable*: when a worker panics or stalls, the
+//! supervisor requeues the victim's request with its last checkpoint and
+//! a healthy worker resumes from that byte offset, not from zero.
+//! Retries back off exponentially and are bounded; the terminal error is
+//! typed ([`ServeError::Failed`]) and carries the full failure history.
+//!
+//! The degradation ladder under pressure: data-parallel chunked path →
+//! sequential guarded session path → load shedding at the queue.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use st_core::engine::FusedQuery;
+use st_core::planner::Strategy;
+use st_core::session::{EngineCheckpoint, Limits};
+
+use crate::chaos::Fault;
+use crate::config::ServeConfig;
+use crate::error::{FailureCause, ServeError};
+
+/// Locks a mutex, riding through poisoning: the runtime's own invariants
+/// are epoch-guarded, and a worker that panicked mid-update is exactly
+/// the fault this runtime exists to absorb.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Identifier of a submitted request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// One request: a compiled query and the document to run it over.
+#[derive(Clone)]
+pub struct JobSpec {
+    /// The fused engine to evaluate (shared across requests).
+    pub query: Arc<FusedQuery>,
+    /// The document bytes (shared with retries and checkpoint resumes).
+    pub doc: Arc<Vec<u8>>,
+    /// Per-session limits; `None` inherits
+    /// [`crate::ServiceBudget::session_limits`].
+    pub limits: Option<Limits>,
+}
+
+impl JobSpec {
+    /// A request with inherited service-level limits.
+    pub fn new(query: Arc<FusedQuery>, doc: impl Into<Arc<Vec<u8>>>) -> JobSpec {
+        JobSpec {
+            query,
+            doc: doc.into(),
+            limits: None,
+        }
+    }
+
+    /// Overrides the inherited limits for this request.
+    pub fn with_limits(mut self, limits: Limits) -> JobSpec {
+        self.limits = Some(limits);
+        self
+    }
+}
+
+/// Which evaluation path ultimately served a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PathTaken {
+    /// The data-parallel chunked byte engine (fast path).
+    Chunked,
+    /// The sequential guarded session path with checkpoint cadence.
+    Session,
+}
+
+/// The final record of one request.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// The request's id.
+    pub id: JobId,
+    /// Match set (document-order node ids) or the typed terminal error.
+    pub result: Result<Vec<usize>, ServeError>,
+    /// Attempts spent (1 + retries).
+    pub attempts: u32,
+    /// Checkpoint resumes performed (a resume means a later attempt
+    /// continued mid-document instead of restarting).
+    pub resumes: u32,
+    /// The path that produced the result.
+    pub path: PathTaken,
+    /// Whether queue/memory pressure degraded this request from the
+    /// chunked path to the session path.
+    pub degraded: bool,
+    /// Every non-terminal failure absorbed along the way, oldest first.
+    pub failures: Vec<FailureCause>,
+}
+
+/// Counters exposed by [`ServeRuntime::stats`] / [`ServeRuntime::shutdown`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests admitted.
+    pub submitted: u64,
+    /// Requests completed with a match set.
+    pub completed: u64,
+    /// Requests that ended in a typed terminal error.
+    pub failed: u64,
+    /// Submissions shed with [`ServeError::Overloaded`].
+    pub shed: u64,
+    /// Submissions refused with [`ServeError::Rejected`].
+    pub rejected: u64,
+    /// Attempts requeued for retry.
+    pub retries: u64,
+    /// Checkpoint resumes (mid-document failovers).
+    pub resumes: u64,
+    /// Worker panics absorbed.
+    pub panics: u64,
+    /// Worker stalls detected and abandoned.
+    pub stalls: u64,
+    /// Corrupt segments detected.
+    pub corruptions: u64,
+    /// Requests degraded from the chunked to the session path.
+    pub degraded: u64,
+    /// Checkpoints minted.
+    pub checkpoints: u64,
+    /// Worker threads spawned (initial pool + replacements).
+    pub workers_spawned: u64,
+}
+
+impl std::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "submitted {} completed {} failed {} shed {} rejected {} | \
+             retries {} resumes {} panics {} stalls {} corruptions {} | \
+             degraded {} checkpoints {} workers-spawned {}",
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.shed,
+            self.rejected,
+            self.retries,
+            self.resumes,
+            self.panics,
+            self.stalls,
+            self.corruptions,
+            self.degraded,
+            self.checkpoints,
+            self.workers_spawned
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Internal state
+// ---------------------------------------------------------------------------
+
+enum Status {
+    Queued,
+    Running,
+    Done(Result<Vec<usize>, ServeError>),
+}
+
+/// The last good checkpoint of a request, with the matches accumulated
+/// up to it (node ids are global, so prefix + tail concatenation
+/// reproduces the uninterrupted run — the session layer's contract).
+#[derive(Clone)]
+struct ResumePoint {
+    checkpoint: EngineCheckpoint,
+    matches: Vec<usize>,
+}
+
+struct JobState {
+    spec: Arc<JobSpec>,
+    /// Current attempt number (1-based).  Writes from older attempts —
+    /// a stalled worker waking up, a panicking worker's final report
+    /// racing the supervisor — are discarded by comparing against this.
+    attempt: u32,
+    resume: Option<ResumePoint>,
+    resumes: u32,
+    failures: Vec<FailureCause>,
+    status: Status,
+    path: PathTaken,
+    degraded: bool,
+}
+
+struct Pending {
+    id: u64,
+    /// Earliest dispatch time (ms since runtime epoch); retries carry
+    /// their exponential backoff here.
+    not_before_ms: u64,
+}
+
+struct QueueState {
+    q: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+struct WorkerSlot {
+    /// Cleared by a drop sentinel when the worker thread dies.
+    alive: AtomicBool,
+    /// Set by the supervisor when it gives up on a stalled worker; the
+    /// zombie's slot is replaced and its late writes are epoch-guarded.
+    abandoned: AtomicBool,
+    /// The assignment this worker currently runs.
+    busy: Mutex<Option<(u64, u32)>>,
+    /// Last liveness signal (ms since runtime epoch); ticks once per
+    /// checkpoint cadence.
+    heartbeat_ms: AtomicU64,
+}
+
+struct Assignment {
+    job: u64,
+    attempt: u32,
+}
+
+struct WorkerHandle {
+    slot: Arc<WorkerSlot>,
+    tx: Option<Sender<Assignment>>,
+    join: Option<JoinHandle<()>>,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    epoch: Instant,
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+    jobs: Mutex<HashMap<u64, JobState>>,
+    jobs_cv: Condvar,
+    in_flight_bytes: AtomicUsize,
+    next_id: AtomicU64,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    retries: AtomicU64,
+    resumes: AtomicU64,
+    panics: AtomicU64,
+    stalls: AtomicU64,
+    corruptions: AtomicU64,
+    degraded: AtomicU64,
+    checkpoints: AtomicU64,
+    workers_spawned: AtomicU64,
+}
+
+impl Inner {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn stats(&self) -> ServeStats {
+        ServeStats {
+            submitted: self.submitted.load(Ordering::SeqCst),
+            completed: self.completed.load(Ordering::SeqCst),
+            failed: self.failed.load(Ordering::SeqCst),
+            shed: self.shed.load(Ordering::SeqCst),
+            rejected: self.rejected.load(Ordering::SeqCst),
+            retries: self.retries.load(Ordering::SeqCst),
+            resumes: self.resumes.load(Ordering::SeqCst),
+            panics: self.panics.load(Ordering::SeqCst),
+            stalls: self.stalls.load(Ordering::SeqCst),
+            corruptions: self.corruptions.load(Ordering::SeqCst),
+            degraded: self.degraded.load(Ordering::SeqCst),
+            checkpoints: self.checkpoints.load(Ordering::SeqCst),
+            workers_spawned: self.workers_spawned.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Whether the degradation ladder should step down from the chunked
+    /// to the session path: queue occupancy at/over the configured
+    /// fraction, or the in-flight byte budget half consumed.
+    fn pressure_high(&self) -> bool {
+        let qlen = lock(&self.queue).q.len();
+        if qlen * 100 >= self.cfg.queue_capacity * self.cfg.degrade_at_percent {
+            return true;
+        }
+        if let Some(mb) = self.cfg.budget.max_in_flight_bytes {
+            if self.in_flight_bytes.load(Ordering::SeqCst) * 2 >= mb {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Records a successful completion for `(job, attempt)`.  A stale
+    /// attempt (superseded by failover) is discarded.
+    fn complete(&self, job: u64, attempt: u32, matches: Vec<usize>, path: PathTaken) {
+        let bytes;
+        {
+            let mut jobs = lock(&self.jobs);
+            let Some(st) = jobs.get_mut(&job) else { return };
+            if st.attempt != attempt || matches!(st.status, Status::Done(_)) {
+                return;
+            }
+            st.status = Status::Done(Ok(matches));
+            st.path = path;
+            bytes = st.spec.doc.len();
+        }
+        self.in_flight_bytes.fetch_sub(bytes, Ordering::SeqCst);
+        self.completed.fetch_add(1, Ordering::SeqCst);
+        self.jobs_cv.notify_all();
+        self.queue_cv.notify_all();
+    }
+
+    /// Stores the latest good checkpoint (and the matches up to it) so a
+    /// failover can resume mid-document.
+    fn store_resume(&self, job: u64, attempt: u32, cp: EngineCheckpoint, matches: Vec<usize>) {
+        let mut jobs = lock(&self.jobs);
+        let Some(st) = jobs.get_mut(&job) else { return };
+        if st.attempt != attempt || matches!(st.status, Status::Done(_)) {
+            return;
+        }
+        st.resume = Some(ResumePoint {
+            checkpoint: cp,
+            matches,
+        });
+        self.checkpoints.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn note_resume(&self, job: u64, attempt: u32) {
+        let mut jobs = lock(&self.jobs);
+        if let Some(st) = jobs.get_mut(&job) {
+            if st.attempt == attempt {
+                st.resumes += 1;
+            }
+        }
+        self.resumes.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn mark_degraded(&self, job: u64, attempt: u32) {
+        let mut jobs = lock(&self.jobs);
+        if let Some(st) = jobs.get_mut(&job) {
+            if st.attempt == attempt {
+                st.degraded = true;
+            }
+        }
+        self.degraded.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Records a failed attempt: requeues with exponential backoff when
+    /// the cause is retryable and the retry budget allows, otherwise
+    /// finalizes the request with a typed [`ServeError::Failed`].
+    fn record_attempt_failure(&self, job: u64, attempt: u32, cause: FailureCause) {
+        let mut requeue_backoff = None;
+        {
+            let mut jobs = lock(&self.jobs);
+            let Some(st) = jobs.get_mut(&job) else { return };
+            if st.attempt != attempt || matches!(st.status, Status::Done(_)) {
+                return;
+            }
+            // Count the fault only once it is attributed to the live
+            // attempt; stale duplicates (the reap backstop re-reporting a
+            // death the worker already recorded, a zombie's late fault)
+            // returned above and must not inflate the counters.
+            match &cause {
+                FailureCause::WorkerPanic { .. } => self.panics.fetch_add(1, Ordering::SeqCst),
+                FailureCause::WorkerStall { .. } => self.stalls.fetch_add(1, Ordering::SeqCst),
+                FailureCause::SegmentCorrupted { .. } => {
+                    self.corruptions.fetch_add(1, Ordering::SeqCst)
+                }
+                FailureCause::Engine(_) => 0,
+            };
+            let retry = cause.retryable() && st.attempt <= self.cfg.max_retries;
+            st.failures.push(cause.clone());
+            if retry {
+                st.attempt += 1;
+                st.status = Status::Queued;
+                let exp = (attempt - 1).min(16);
+                requeue_backoff = Some(self.cfg.backoff_base * 2u32.pow(exp));
+                self.retries.fetch_add(1, Ordering::SeqCst);
+            } else {
+                st.status = Status::Done(Err(ServeError::Failed {
+                    attempts: st.attempt,
+                    last: cause,
+                }));
+                let bytes = st.spec.doc.len();
+                self.in_flight_bytes.fetch_sub(bytes, Ordering::SeqCst);
+                self.failed.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        match requeue_backoff {
+            Some(backoff) => {
+                let due = self.now_ms() + backoff.as_millis() as u64;
+                lock(&self.queue).q.push_back(Pending {
+                    id: job,
+                    not_before_ms: due,
+                });
+                self.queue_cv.notify_all();
+            }
+            None => {
+                self.jobs_cv.notify_all();
+                self.queue_cv.notify_all();
+            }
+        }
+    }
+
+    fn report_of(&self, id: u64, st: &JobState) -> Option<JobReport> {
+        match &st.status {
+            Status::Done(result) => Some(JobReport {
+                id: JobId(id),
+                result: result.clone(),
+                attempts: st.attempt,
+                resumes: st.resumes,
+                path: st.path,
+                degraded: st.degraded,
+                failures: st.failures.clone(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+/// Sets `alive = false` when the worker thread exits — by any route,
+/// including a panic unwinding through `worker_main`.
+struct Sentinel(Arc<WorkerSlot>);
+
+impl Drop for Sentinel {
+    fn drop(&mut self) {
+        self.0.alive.store(false, Ordering::SeqCst);
+    }
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+fn worker_main(inner: Arc<Inner>, slot: Arc<WorkerSlot>, rx: Receiver<Assignment>) {
+    let _sentinel = Sentinel(slot.clone());
+    while let Ok(a) = rx.recv() {
+        match catch_unwind(AssertUnwindSafe(|| {
+            run_job(&inner, &slot, a.job, a.attempt)
+        })) {
+            Ok(()) => *lock(&slot.busy) = None,
+            Err(payload) => {
+                // Report the death against the request (so failover
+                // starts immediately instead of waiting for the
+                // supervisor's sweep), then die authentically: the
+                // supervisor replaces the thread.  `busy` stays set
+                // through the death — clearing it here would open a
+                // window where the dispatcher assigns a request to this
+                // still-`alive`, already-unwinding thread, burning one
+                // of its attempts on a worker that will never run it.
+                let detail = payload_message(payload.as_ref());
+                inner.record_attempt_failure(
+                    a.job,
+                    a.attempt,
+                    FailureCause::WorkerPanic { detail },
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Runs one attempt of one request on this worker.
+fn run_job(inner: &Arc<Inner>, slot: &WorkerSlot, job: u64, attempt: u32) {
+    let (spec, resume) = {
+        let jobs = lock(&inner.jobs);
+        match jobs.get(&job) {
+            Some(st) if st.attempt == attempt && matches!(st.status, Status::Running) => {
+                (st.spec.clone(), st.resume.clone())
+            }
+            _ => return,
+        }
+    };
+    let cfg = &inner.cfg;
+    let doc: &[u8] = spec.doc.as_slice();
+    let limits = spec
+        .limits
+        .clone()
+        .unwrap_or_else(|| cfg.budget.session_limits.clone());
+
+    // Fast path: the data-parallel chunked engine, for large registerless
+    // documents on a fresh, guard-free, chaos-free attempt.  Under
+    // pressure the degradation ladder steps down to the session path.
+    let chunk_eligible = cfg.chaos.is_none()
+        && attempt == 1
+        && resume.is_none()
+        && doc.len() >= cfg.parallel_threshold
+        && spec.query.strategy() == Strategy::Registerless
+        && limits.is_unbounded();
+    if chunk_eligible {
+        if inner.pressure_high() {
+            inner.mark_degraded(job, attempt);
+        } else {
+            slot.heartbeat_ms.store(inner.now_ms(), Ordering::SeqCst);
+            match spec.query.select_bytes_parallel(doc, cfg.chunk_threads) {
+                Ok(m) => return inner.complete(job, attempt, m, PathTaken::Chunked),
+                Err(e) => {
+                    return inner.record_attempt_failure(job, attempt, FailureCause::Engine(e))
+                }
+            }
+        }
+    }
+
+    // Guarded session path with checkpoint cadence.
+    let prefix = resume
+        .as_ref()
+        .map(|r| r.matches.clone())
+        .unwrap_or_default();
+    let mut session = match &resume {
+        Some(r) => match spec.query.resume(&r.checkpoint, limits) {
+            Ok(s) => {
+                inner.note_resume(job, attempt);
+                s
+            }
+            Err(e) => return inner.record_attempt_failure(job, attempt, FailureCause::Engine(e)),
+        },
+        None => spec.query.session(limits),
+    };
+    let cadence = cfg.checkpoint_every.max(1);
+    let mut off = session.offset();
+    while off < doc.len() {
+        let end = (off + cadence).min(doc.len());
+        let fault = cfg.chaos.as_ref().map_or(Fault::None, |c| {
+            c.roll(job, attempt, (off / cadence) as u64)
+        });
+        match fault {
+            Fault::Panic => {
+                panic!("chaos: injected worker panic (job {job}, attempt {attempt}, offset {off})")
+            }
+            Fault::Corrupt => {
+                return inner.record_attempt_failure(
+                    job,
+                    attempt,
+                    FailureCause::SegmentCorrupted { offset: off },
+                );
+            }
+            Fault::Stall => {
+                // Sleep through the supervisor's deadline; by the time
+                // this worker wakes, it has been abandoned and all its
+                // further writes are stale no-ops.
+                std::thread::sleep(Duration::from_millis(
+                    cfg.chaos.as_ref().map_or(0, |c| c.stall_ms),
+                ));
+            }
+            Fault::None => {}
+        }
+        if let Err(e) = session.feed(&doc[off..end]) {
+            return inner.record_attempt_failure(job, attempt, FailureCause::Engine(e));
+        }
+        off = end;
+        slot.heartbeat_ms.store(inner.now_ms(), Ordering::SeqCst);
+        match session.checkpoint() {
+            Ok(cp) => {
+                let mut upto = prefix.clone();
+                upto.extend_from_slice(session.matches());
+                inner.store_resume(job, attempt, cp, upto);
+            }
+            Err(e) => return inner.record_attempt_failure(job, attempt, FailureCause::Engine(e)),
+        }
+    }
+    match session.finish() {
+        Ok(out) => {
+            let mut all = prefix;
+            all.extend_from_slice(&out.matches);
+            inner.complete(job, attempt, all, PathTaken::Session);
+        }
+        Err(e) => inner.record_attempt_failure(job, attempt, FailureCause::Engine(e)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor
+// ---------------------------------------------------------------------------
+
+fn spawn_worker(inner: &Arc<Inner>, index: usize) -> WorkerHandle {
+    let (tx, rx) = channel::<Assignment>();
+    let slot = Arc::new(WorkerSlot {
+        alive: AtomicBool::new(true),
+        abandoned: AtomicBool::new(false),
+        busy: Mutex::new(None),
+        heartbeat_ms: AtomicU64::new(inner.now_ms()),
+    });
+    inner.workers_spawned.fetch_add(1, Ordering::SeqCst);
+    let inner2 = inner.clone();
+    let slot2 = slot.clone();
+    let join = std::thread::Builder::new()
+        .name(format!("st-serve-worker-{index}"))
+        .spawn(move || worker_main(inner2, slot2, rx))
+        .expect("spawn worker thread");
+    WorkerHandle {
+        slot,
+        tx: Some(tx),
+        join: Some(join),
+    }
+}
+
+/// Detects dead and stalled workers; recovers their in-flight requests
+/// and replaces them.
+fn reap_and_replace(inner: &Arc<Inner>, workers: &mut [WorkerHandle], now_ms: u64) {
+    let stall_ms = inner.cfg.stall_timeout.as_millis() as u64;
+    for (i, worker) in workers.iter_mut().enumerate() {
+        if !worker.slot.alive.load(Ordering::SeqCst) {
+            // Dead (panic).  The panic path normally reported already;
+            // this sweep is the backstop for a worker that died without
+            // reporting.
+            let victim = lock(&worker.slot.busy).take();
+            if let Some((job, attempt)) = victim {
+                inner.record_attempt_failure(
+                    job,
+                    attempt,
+                    FailureCause::WorkerPanic {
+                        detail: "worker thread died".to_owned(),
+                    },
+                );
+            }
+            if let Some(h) = worker.join.take() {
+                let _ = h.join(); // reap; Err(panic payload) is expected
+            }
+            *worker = spawn_worker(inner, i);
+            continue;
+        }
+        // Stalled?  Only a busy worker owes heartbeats.
+        let victim = *lock(&worker.slot.busy);
+        if let Some((job, attempt)) = victim {
+            let hb = worker.slot.heartbeat_ms.load(Ordering::SeqCst);
+            let silent = now_ms.saturating_sub(hb);
+            if silent > stall_ms {
+                worker.slot.abandoned.store(true, Ordering::SeqCst);
+                *lock(&worker.slot.busy) = None;
+                inner.record_attempt_failure(
+                    job,
+                    attempt,
+                    FailureCause::WorkerStall { stalled_ms: silent },
+                );
+                // Replace the slot; dropping the old sender lets the
+                // zombie exit once it wakes, and dropping the handle
+                // detaches it (joining a sleeping zombie would block
+                // shutdown).
+                let replacement = spawn_worker(inner, i);
+                let _zombie = std::mem::replace(worker, replacement);
+            }
+        }
+    }
+}
+
+/// Hands one pending entry to an idle worker.  Returns `false` if it
+/// must go back to the queue (no healthy idle worker took it).
+fn try_assign(inner: &Arc<Inner>, workers: &[WorkerHandle], p: &Pending, now_ms: u64) -> bool {
+    let attempt = {
+        let mut jobs = lock(&inner.jobs);
+        match jobs.get_mut(&p.id) {
+            Some(st) if matches!(st.status, Status::Queued) => {
+                st.status = Status::Running;
+                st.attempt
+            }
+            // Vanished or already terminal: the entry is stale; drop it.
+            _ => return true,
+        }
+    };
+    for w in workers {
+        let healthy = w.slot.alive.load(Ordering::SeqCst)
+            && !w.slot.abandoned.load(Ordering::SeqCst)
+            && w.tx.is_some();
+        if !healthy {
+            continue;
+        }
+        let mut busy = lock(&w.slot.busy);
+        if busy.is_some() {
+            continue;
+        }
+        *busy = Some((p.id, attempt));
+        drop(busy);
+        w.slot.heartbeat_ms.store(now_ms, Ordering::SeqCst);
+        let sent =
+            w.tx.as_ref()
+                .expect("healthy worker has a sender")
+                .send(Assignment { job: p.id, attempt });
+        if sent.is_ok() {
+            return true;
+        }
+        // The worker died between the liveness check and the send; the
+        // reaper will replace it.  Roll back and keep looking.
+        *lock(&w.slot.busy) = None;
+    }
+    // No healthy idle worker: back to the queue.
+    let mut jobs = lock(&inner.jobs);
+    if let Some(st) = jobs.get_mut(&p.id) {
+        if st.attempt == attempt && matches!(st.status, Status::Running) {
+            st.status = Status::Queued;
+        }
+    }
+    false
+}
+
+fn dispatcher_main(inner: Arc<Inner>) {
+    let mut workers: Vec<WorkerHandle> = (0..inner.cfg.workers.max(1))
+        .map(|i| spawn_worker(&inner, i))
+        .collect();
+    let poll = (inner.cfg.stall_timeout / 4)
+        .min(Duration::from_millis(10))
+        .max(Duration::from_millis(1));
+    loop {
+        let now_ms = inner.now_ms();
+        reap_and_replace(&inner, &mut workers, now_ms);
+
+        // Pull due entries (retries wait out their backoff).
+        let mut due: Vec<Pending> = Vec::new();
+        let mut next_due_ms: Option<u64> = None;
+        {
+            let mut q = lock(&inner.queue);
+            let mut keep = VecDeque::with_capacity(q.q.len());
+            while let Some(p) = q.q.pop_front() {
+                if p.not_before_ms <= now_ms {
+                    due.push(p);
+                } else {
+                    next_due_ms =
+                        Some(next_due_ms.map_or(p.not_before_ms, |m| m.min(p.not_before_ms)));
+                    keep.push_back(p);
+                }
+            }
+            q.q = keep;
+        }
+        let mut leftovers: Vec<Pending> = Vec::new();
+        for p in due {
+            if !try_assign(&inner, &workers, &p, now_ms) {
+                leftovers.push(p);
+            }
+        }
+        if !leftovers.is_empty() {
+            let mut q = lock(&inner.queue);
+            for p in leftovers.into_iter().rev() {
+                q.q.push_front(p);
+            }
+            drop(q);
+        }
+
+        // Graceful drain: exit only when no request is still open.
+        let open = inner.submitted.load(Ordering::SeqCst)
+            - inner.completed.load(Ordering::SeqCst)
+            - inner.failed.load(Ordering::SeqCst);
+        let shutting_down = lock(&inner.queue).shutdown;
+        if shutting_down && open == 0 {
+            break;
+        }
+
+        let mut timeout = poll;
+        if let Some(nd) = next_due_ms {
+            timeout = timeout.min(
+                Duration::from_millis(nd.saturating_sub(now_ms)).max(Duration::from_millis(1)),
+            );
+        }
+        let guard = lock(&inner.queue);
+        let _ = inner
+            .queue_cv
+            .wait_timeout(guard, timeout)
+            .map(|(g, _)| drop(g));
+    }
+    // Drop senders so idle workers exit, then join the live ones.
+    for w in &mut workers {
+        w.tx = None;
+    }
+    for mut w in workers {
+        if let Some(h) = w.join.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public handle
+// ---------------------------------------------------------------------------
+
+/// A running supervised serving runtime.  See the module docs for the
+/// architecture; construct with [`ServeRuntime::start`], submit with
+/// [`ServeRuntime::submit`], collect with [`ServeRuntime::wait`], and
+/// drain with [`ServeRuntime::shutdown`].
+pub struct ServeRuntime {
+    inner: Arc<Inner>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl ServeRuntime {
+    /// Starts the pool and the supervisor.
+    pub fn start(cfg: ServeConfig) -> ServeRuntime {
+        if cfg.chaos.is_some() {
+            silence_chaos_panics();
+        }
+        let inner = Arc::new(Inner {
+            cfg,
+            epoch: Instant::now(),
+            queue: Mutex::new(QueueState {
+                q: VecDeque::new(),
+                shutdown: false,
+            }),
+            queue_cv: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            jobs_cv: Condvar::new(),
+            in_flight_bytes: AtomicUsize::new(0),
+            next_id: AtomicU64::new(1),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            resumes: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+            corruptions: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            workers_spawned: AtomicU64::new(0),
+        });
+        let inner2 = inner.clone();
+        let dispatcher = std::thread::Builder::new()
+            .name("st-serve-supervisor".to_owned())
+            .spawn(move || dispatcher_main(inner2))
+            .expect("spawn supervisor thread");
+        ServeRuntime {
+            inner,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    fn admit(&self, spec: JobSpec, block: bool) -> Result<JobId, ServeError> {
+        let doc_len = spec.doc.len();
+        let spec = Arc::new(spec);
+        loop {
+            {
+                // Lock order everywhere: jobs before queue.
+                let mut jobs = lock(&self.inner.jobs);
+                let mut q = lock(&self.inner.queue);
+                if q.shutdown {
+                    return Err(ServeError::ShuttingDown);
+                }
+                if q.q.len() < self.inner.cfg.queue_capacity {
+                    if let Some(mb) = self.inner.cfg.budget.max_in_flight_bytes {
+                        let cur = self.inner.in_flight_bytes.load(Ordering::SeqCst);
+                        if cur + doc_len > mb {
+                            self.inner.rejected.fetch_add(1, Ordering::SeqCst);
+                            return Err(ServeError::Rejected {
+                                reason: format!(
+                                    "in-flight byte budget: {cur} held + {doc_len} requested > {mb}"
+                                ),
+                            });
+                        }
+                    }
+                    let id = self.inner.next_id.fetch_add(1, Ordering::SeqCst);
+                    jobs.insert(
+                        id,
+                        JobState {
+                            spec: spec.clone(),
+                            attempt: 1,
+                            resume: None,
+                            resumes: 0,
+                            failures: Vec::new(),
+                            status: Status::Queued,
+                            path: PathTaken::Session,
+                            degraded: false,
+                        },
+                    );
+                    self.inner
+                        .in_flight_bytes
+                        .fetch_add(doc_len, Ordering::SeqCst);
+                    q.q.push_back(Pending {
+                        id,
+                        not_before_ms: 0,
+                    });
+                    self.inner.submitted.fetch_add(1, Ordering::SeqCst);
+                    drop(q);
+                    drop(jobs);
+                    self.inner.queue_cv.notify_all();
+                    return Ok(JobId(id));
+                }
+                if !block {
+                    self.inner.shed.fetch_add(1, Ordering::SeqCst);
+                    return Err(ServeError::Overloaded {
+                        queue_len: q.q.len(),
+                        capacity: self.inner.cfg.queue_capacity,
+                    });
+                }
+            }
+            // Blocking submit: wait for space (jobs lock released).
+            let q = lock(&self.inner.queue);
+            if q.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            let _ = self
+                .inner
+                .queue_cv
+                .wait_timeout(q, Duration::from_millis(10))
+                .map(|(g, _)| drop(g));
+        }
+    }
+
+    /// Submits a request.  Admission control applies: a full queue sheds
+    /// with [`ServeError::Overloaded`], a blown service byte budget
+    /// refuses with [`ServeError::Rejected`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`], [`ServeError::Rejected`], or
+    /// [`ServeError::ShuttingDown`].
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, ServeError> {
+        self.admit(spec, false)
+    }
+
+    /// Like [`Self::submit`] but waits for queue space instead of
+    /// shedding.  Byte-budget rejection still applies.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] or [`ServeError::ShuttingDown`].
+    pub fn submit_blocking(&self, spec: JobSpec) -> Result<JobId, ServeError> {
+        self.admit(spec, true)
+    }
+
+    /// Blocks until the request finishes (completes, or fails its typed
+    /// terminal error) and returns its report.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`] for an id this runtime never issued.
+    pub fn wait(&self, id: JobId) -> Result<JobReport, ServeError> {
+        let mut jobs = lock(&self.inner.jobs);
+        loop {
+            let Some(st) = jobs.get(&id.0) else {
+                return Err(ServeError::UnknownJob { id: id.0 });
+            };
+            if let Some(report) = self.inner.report_of(id.0, st) {
+                return Ok(report);
+            }
+            jobs = self
+                .inner
+                .jobs_cv
+                .wait_timeout(jobs, Duration::from_millis(50))
+                .unwrap_or_else(|p| p.into_inner())
+                .0;
+        }
+    }
+
+    /// The report of a finished request, or `None` while it is still
+    /// queued or running.
+    pub fn try_report(&self, id: JobId) -> Option<JobReport> {
+        let jobs = lock(&self.inner.jobs);
+        jobs.get(&id.0)
+            .and_then(|st| self.inner.report_of(id.0, st))
+    }
+
+    /// A snapshot of the runtime counters.
+    pub fn stats(&self) -> ServeStats {
+        self.inner.stats()
+    }
+
+    /// Closes admission without blocking: subsequent submissions get
+    /// [`ServeError::ShuttingDown`], while already-admitted requests keep
+    /// running and can still be `wait`ed on.  [`Self::shutdown`] completes
+    /// the drain.
+    pub fn begin_drain(&self) {
+        self.begin_shutdown();
+    }
+
+    /// Stops accepting work, drains every in-flight request (completing
+    /// or failing each one — none are lost), stops the pool, and returns
+    /// the final counters.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.begin_shutdown();
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        self.inner.stats()
+    }
+
+    fn begin_shutdown(&self) {
+        lock(&self.inner.queue).shutdown = true;
+        self.inner.queue_cv.notify_all();
+    }
+}
+
+impl Drop for ServeRuntime {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Installs (once, chained) a panic hook that silences the chaos
+/// harness's own injected panics — they are the test, not noise — while
+/// passing every other panic through to the previous hook.
+pub fn silence_chaos_panics() {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let is_chaos = payload
+                .downcast_ref::<String>()
+                .map(|s| s.starts_with("chaos:"))
+                .or_else(|| {
+                    payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.starts_with("chaos:"))
+                })
+                .unwrap_or(false);
+            if !is_chaos {
+                prev(info);
+            }
+        }));
+    });
+}

@@ -15,7 +15,10 @@
 //!   evaluation, plus raw-scan calibration,
 //! * [`conform`] — the differential conformance harness: a structure-aware
 //!   fuzzer, a cross-engine oracle runner, delta-debugging shrinker, and
-//!   the persistent reproducer corpus under `testdata/corpus/`.
+//!   the persistent reproducer corpus under `testdata/corpus/`,
+//! * [`serve`] — the supervised serving runtime: a worker pool with
+//!   checkpoint failover, admission control and backpressure, and a
+//!   deterministic chaos-soak harness.
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
 //! the paper-artifact-by-artifact reproduction index.
@@ -27,4 +30,5 @@ pub use st_baseline as baseline;
 pub use st_conform as conform;
 pub use st_core as core;
 pub use st_rpq as rpq;
+pub use st_serve as serve;
 pub use st_trees as trees;

@@ -269,3 +269,51 @@ fn recovery_diagnostics_are_capped() {
     assert_eq!(rec.suppressed, 200 - 64);
     assert!(rec.matches.is_empty());
 }
+
+/// The cap is configurable through [`Limits::with_max_diagnostics`], with
+/// exact behaviour at the boundary: a storm of `cap` errors fills the
+/// buffer with nothing suppressed, and one more error suppresses exactly
+/// one — for the default cap and for custom caps on either side of it.
+#[test]
+fn recovery_diagnostics_cap_is_configurable_with_exact_boundaries() {
+    use stackless_streamed_trees::core::DEFAULT_MAX_DIAGNOSTICS;
+
+    let g = Alphabet::of_chars("ab");
+    let fused = CompiledQuery::compile(&compile_regex("a.*b", &g).unwrap())
+        .fused(&g)
+        .unwrap();
+    let storm = |errors: usize| -> Vec<u8> {
+        let mut doc = Vec::new();
+        for _ in 0..errors {
+            doc.extend_from_slice(b"<z>x");
+        }
+        doc
+    };
+
+    for cap in [1, 3, DEFAULT_MAX_DIAGNOSTICS, 200] {
+        let limits = Limits::none().with_max_diagnostics(cap);
+        // Exactly at the cap: every diagnostic retained, none suppressed.
+        let at = fused.select_bytes_recovering_limited(&storm(cap), &limits);
+        assert_eq!(at.diagnostics.len(), cap, "cap {cap}: at-cap storm");
+        assert_eq!(at.suppressed, 0, "cap {cap}: nothing suppressed at cap");
+        // One over: the buffer stays at the cap and one error is counted.
+        let over = fused.select_bytes_recovering_limited(&storm(cap + 1), &limits);
+        assert_eq!(over.diagnostics.len(), cap, "cap {cap}: buffer is capped");
+        assert_eq!(over.suppressed, 1, "cap {cap}: exactly one suppressed");
+        // Retained diagnostics are the *first* cap errors, in order.
+        assert!(over
+            .diagnostics
+            .windows(2)
+            .all(|w| w[0].offset < w[1].offset));
+    }
+
+    // The default-cap path and an explicit default-sized cap agree.
+    let doc = storm(DEFAULT_MAX_DIAGNOSTICS + 1);
+    let implicit = fused.select_bytes_recovering(&doc);
+    let explicit = fused.select_bytes_recovering_limited(
+        &doc,
+        &Limits::none().with_max_diagnostics(DEFAULT_MAX_DIAGNOSTICS),
+    );
+    assert_eq!(implicit.diagnostics.len(), explicit.diagnostics.len());
+    assert_eq!(implicit.suppressed, explicit.suppressed);
+}

@@ -1,0 +1,364 @@
+//! End-to-end tests of the supervised serving runtime: checkpoint
+//! failover under injected worker panics and stalls, admission control
+//! (shedding and budget rejection), graceful degradation, and typed
+//! terminal errors.
+//!
+//! The recovery contract under test: a request either completes with
+//! exactly the match set an uninterrupted run produces, or fails with a
+//! typed error that names why — no silent corruption, no lost sessions.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use stackless_streamed_trees::automata::{compile_regex, Alphabet};
+use stackless_streamed_trees::core::engine::FusedQuery;
+use stackless_streamed_trees::core::planner::CompiledQuery;
+use stackless_streamed_trees::core::session::Limits;
+use stackless_streamed_trees::serve::{
+    ChaosConfig, FailureCause, JobSpec, PathTaken, ServeConfig, ServeError, ServeRuntime,
+    ServiceBudget,
+};
+
+/// Compiles `pattern` over `alphabet` down to the fused byte engine.
+fn fused(pattern: &str, alphabet: &str) -> Arc<FusedQuery> {
+    let g = Alphabet::of_chars(alphabet);
+    let dfa = compile_regex(pattern, &g).expect("pattern compiles");
+    Arc::new(CompiledQuery::compile(&dfa).fused(&g).expect("fusable"))
+}
+
+/// A well-formed document with `n` matchable leaves: `<a><b/>…<b/></a>`.
+fn doc_with_leaves(n: usize) -> Vec<u8> {
+    let mut d = b"<a>".to_vec();
+    for _ in 0..n {
+        d.extend_from_slice(b"<b></b>");
+    }
+    d.extend_from_slice(b"</a>");
+    d
+}
+
+/// Chaos with only the selected fault family armed.
+fn only(seed: u64, panic: u16, stall: u16, corrupt: u16, stall_ms: u64) -> ChaosConfig {
+    ChaosConfig {
+        seed,
+        panic_per_mille: panic,
+        stall_per_mille: stall,
+        corrupt_per_mille: corrupt,
+        stall_ms,
+    }
+}
+
+#[test]
+fn clean_pool_serves_many_requests_correctly() {
+    let q = fused("a.*b", "ab");
+    let serve = ServeRuntime::start(ServeConfig::default().with_workers(3));
+    let docs: Vec<Vec<u8>> = (1..=24).map(doc_with_leaves).collect();
+    let ids: Vec<_> = docs
+        .iter()
+        .map(|d| serve.submit(JobSpec::new(q.clone(), d.clone())).unwrap())
+        .collect();
+    for (d, id) in docs.iter().zip(ids) {
+        let report = serve.wait(id).unwrap();
+        let clean = q.select_bytes(d).unwrap();
+        assert_eq!(report.result.as_ref().unwrap(), &clean);
+        assert_eq!(report.attempts, 1);
+        assert!(report.failures.is_empty());
+    }
+    let stats = serve.shutdown();
+    assert_eq!(stats.submitted, 24);
+    assert_eq!(stats.completed, 24);
+    assert_eq!(stats.failed + stats.shed + stats.rejected + stats.panics, 0);
+}
+
+#[test]
+fn panic_failover_resumes_from_checkpoints_with_oracle_equal_matches() {
+    let q = fused("a.*b", "ab");
+    // Small cadence so every document spans many segments, and a panic
+    // rate high enough that most requests lose at least one worker.
+    let cfg = ServeConfig::default()
+        .with_workers(2)
+        .with_checkpoint_every(16)
+        .with_max_retries(25)
+        .with_chaos(only(0xFA11, 60, 0, 0, 0));
+    let serve = ServeRuntime::start(cfg);
+    let docs: Vec<Vec<u8>> = (8..=28).map(doc_with_leaves).collect();
+    let ids: Vec<_> = docs
+        .iter()
+        .map(|d| serve.submit(JobSpec::new(q.clone(), d.clone())).unwrap())
+        .collect();
+    let mut total_attempts = 0u32;
+    let mut total_resumes = 0u32;
+    for (d, id) in docs.iter().zip(ids) {
+        let report = serve.wait(id).unwrap();
+        let clean = q.select_bytes(d).unwrap();
+        assert_eq!(
+            report.result.as_ref().unwrap(),
+            &clean,
+            "failover must reproduce the clean run (attempts {}, resumes {})",
+            report.attempts,
+            report.resumes
+        );
+        for f in &report.failures {
+            assert!(matches!(f, FailureCause::WorkerPanic { .. }), "{f}");
+        }
+        total_attempts += report.attempts;
+        total_resumes += report.resumes;
+    }
+    let stats = serve.shutdown();
+    assert!(stats.panics > 0, "chaos rate should have killed workers");
+    assert!(
+        total_resumes > 0,
+        "at least one retry must resume mid-document from a checkpoint \
+         (attempts {total_attempts}, panics {})",
+        stats.panics
+    );
+    assert!(
+        stats.workers_spawned > 2,
+        "dead workers must be replaced (spawned {})",
+        stats.workers_spawned
+    );
+    assert_eq!(
+        stats.failed, 0,
+        "retry budget of 25 should absorb all chaos"
+    );
+}
+
+#[test]
+fn stall_detection_abandons_the_worker_and_recovers() {
+    let q = fused("a.*b", "ab");
+    let cfg = ServeConfig::default()
+        .with_workers(2)
+        .with_checkpoint_every(16)
+        .with_max_retries(30)
+        .with_stall_timeout(Duration::from_millis(40))
+        // Stalls sleep 250ms >> the 40ms deadline, so the supervisor
+        // always wins the race and the outcome is deterministic.
+        .with_chaos(only(0x57A11, 0, 80, 0, 250));
+    let serve = ServeRuntime::start(cfg);
+    let docs: Vec<Vec<u8>> = (10..=18).map(doc_with_leaves).collect();
+    let ids: Vec<_> = docs
+        .iter()
+        .map(|d| serve.submit(JobSpec::new(q.clone(), d.clone())).unwrap())
+        .collect();
+    for (d, id) in docs.iter().zip(ids) {
+        let report = serve.wait(id).unwrap();
+        let clean = q.select_bytes(d).unwrap();
+        assert_eq!(report.result.as_ref().unwrap(), &clean);
+        for f in &report.failures {
+            assert!(matches!(f, FailureCause::WorkerStall { .. }), "{f}");
+        }
+    }
+    let stats = serve.shutdown();
+    assert!(
+        stats.stalls > 0,
+        "stall rate should have tripped the deadline"
+    );
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn corrupt_segments_exhaust_retries_into_a_typed_terminal_error() {
+    let q = fused("a.*b", "ab");
+    // Every segment is corrupt: every attempt fails immediately, so the
+    // request deterministically burns 1 + max_retries attempts.
+    let cfg = ServeConfig::default()
+        .with_workers(1)
+        .with_checkpoint_every(8)
+        .with_max_retries(3)
+        .with_chaos(only(1, 0, 0, 1000, 0));
+    let serve = ServeRuntime::start(cfg);
+    let id = serve
+        .submit(JobSpec::new(q.clone(), doc_with_leaves(6)))
+        .unwrap();
+    let report = serve.wait(id).unwrap();
+    match &report.result {
+        Err(ServeError::Failed { attempts, last }) => {
+            assert_eq!(*attempts, 4, "1 initial + 3 retries");
+            assert!(matches!(last, FailureCause::SegmentCorrupted { offset: 0 }));
+        }
+        other => panic!("expected typed terminal failure, got {other:?}"),
+    }
+    assert_eq!(
+        report.result.unwrap_err().class(),
+        "failed(segment-corrupted)"
+    );
+    assert_eq!(report.failures.len(), 4);
+    let stats = serve.shutdown();
+    assert_eq!((stats.failed, stats.completed), (1, 0));
+}
+
+#[test]
+fn limit_breaches_fail_fast_without_retries() {
+    let q = fused("a.*b", "ab");
+    // The service-level budget caps every inherited session at 64 bytes;
+    // the document is far larger, so the breach is deterministic — and
+    // being a typed engine limit, it must not burn retries.
+    let budget = ServiceBudget {
+        max_in_flight_bytes: None,
+        session_limits: Limits::none().with_max_bytes(64),
+    };
+    let cfg = ServeConfig::default()
+        .with_max_retries(5)
+        .with_budget(budget);
+    let serve = ServeRuntime::start(cfg);
+    let id = serve
+        .submit(JobSpec::new(q.clone(), doc_with_leaves(40)))
+        .unwrap();
+    let report = serve.wait(id).unwrap();
+    match &report.result {
+        Err(e @ ServeError::Failed { attempts, .. }) => {
+            assert_eq!(*attempts, 1, "limit breaches are not retryable");
+            assert_eq!(e.class(), "failed(engine-limit)");
+        }
+        other => panic!("expected limit failure, got {other:?}"),
+    }
+    // A per-job override loosens the inherited budget back to unbounded.
+    let id = serve
+        .submit(JobSpec::new(q.clone(), doc_with_leaves(40)).with_limits(Limits::none()))
+        .unwrap();
+    let report = serve.wait(id).unwrap();
+    assert_eq!(
+        report.result.unwrap(),
+        q.select_bytes(&doc_with_leaves(40)).unwrap()
+    );
+    serve.shutdown();
+}
+
+#[test]
+fn parse_errors_are_typed_after_the_retry_budget() {
+    let q = fused("a.*b", "ab");
+    let cfg = ServeConfig::default().with_max_retries(2);
+    let serve = ServeRuntime::start(cfg);
+    // A truncated document: the byte lexer rejects it deterministically.
+    let id = serve
+        .submit(JobSpec::new(q, b"<a><b></b".to_vec()))
+        .unwrap();
+    let report = serve.wait(id).unwrap();
+    let err = report.result.unwrap_err();
+    assert_eq!(err.class(), "failed(engine-parse)");
+    serve.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_with_a_typed_error_and_loses_no_admitted_session() {
+    let q = fused("a.*b", "ab");
+    // One worker, tiny queue, slow jobs (big documents, small cadence):
+    // most submissions must shed, and every admitted one must finish.
+    let cfg = ServeConfig::default()
+        .with_workers(1)
+        .with_queue_capacity(2)
+        .with_checkpoint_every(64)
+        .with_chaos(only(7, 0, 0, 0, 0)); // force the (slow) session path
+    let serve = ServeRuntime::start(cfg);
+    let doc = doc_with_leaves(4000);
+    let clean = q.select_bytes(&doc).unwrap();
+    let mut admitted = Vec::new();
+    let mut shed = 0usize;
+    for _ in 0..40 {
+        match serve.submit(JobSpec::new(q.clone(), doc.clone())) {
+            Ok(id) => admitted.push(id),
+            Err(ServeError::Overloaded { capacity, .. }) => {
+                assert_eq!(capacity, 2);
+                shed += 1;
+            }
+            Err(other) => panic!("unexpected admission error: {other}"),
+        }
+    }
+    assert!(
+        shed > 0,
+        "40 instant submissions into a 2-deep queue must shed"
+    );
+    assert!(!admitted.is_empty());
+    for id in &admitted {
+        let report = serve.wait(*id).unwrap();
+        assert_eq!(report.result.as_ref().unwrap(), &clean);
+    }
+    let stats = serve.shutdown();
+    assert_eq!(stats.shed as usize, shed);
+    assert_eq!(stats.completed as usize, admitted.len());
+}
+
+#[test]
+fn byte_budget_rejects_oversized_submissions_deterministically() {
+    let q = fused("a.*b", "ab");
+    let budget = ServiceBudget {
+        max_in_flight_bytes: Some(100),
+        session_limits: Limits::none(),
+    };
+    let serve = ServeRuntime::start(ServeConfig::default().with_budget(budget));
+    let small = doc_with_leaves(2); // 17 bytes, fits
+    let big = doc_with_leaves(50); // 357 bytes, can never fit
+    let id = serve
+        .submit(JobSpec::new(q.clone(), small.clone()))
+        .unwrap();
+    match serve.submit(JobSpec::new(q.clone(), big.clone())) {
+        Err(e @ ServeError::Rejected { .. }) => assert_eq!(e.class(), "rejected"),
+        other => panic!("expected byte-budget rejection, got {other:?}"),
+    }
+    assert_eq!(
+        serve.wait(id).unwrap().result.unwrap(),
+        q.select_bytes(&small).unwrap()
+    );
+    let stats = serve.shutdown();
+    assert_eq!(stats.rejected, 1);
+}
+
+#[test]
+fn pressure_degrades_chunked_requests_to_the_session_path() {
+    let q = fused("a.*b", "ab");
+    assert!(q.byte_dfa().is_some(), "registerless pattern expected");
+    let doc = doc_with_leaves(200); // > the 1KiB parallel threshold below
+    let clean = q.select_bytes(&doc).unwrap();
+
+    // Control: no pressure → the chunked fast path serves the request.
+    let calm = ServeConfig::default().with_queue_capacity(64);
+    let calm = ServeConfig {
+        parallel_threshold: 1 << 10,
+        degrade_at_percent: 100,
+        ..calm
+    };
+    let serve = ServeRuntime::start(calm);
+    let id = serve.submit(JobSpec::new(q.clone(), doc.clone())).unwrap();
+    let report = serve.wait(id).unwrap();
+    assert_eq!(report.result.as_ref().unwrap(), &clean);
+    assert_eq!(report.path, PathTaken::Chunked);
+    assert!(!report.degraded);
+    serve.shutdown();
+
+    // Pressure: a zero degrade threshold marks the pool permanently
+    // under pressure, so the same request degrades to the session path.
+    let pressed = ServeConfig {
+        parallel_threshold: 1 << 10,
+        degrade_at_percent: 0,
+        ..ServeConfig::default()
+    };
+    let serve = ServeRuntime::start(pressed);
+    let id = serve.submit(JobSpec::new(q.clone(), doc.clone())).unwrap();
+    let report = serve.wait(id).unwrap();
+    assert_eq!(report.result.as_ref().unwrap(), &clean);
+    assert_eq!(report.path, PathTaken::Session);
+    assert!(report.degraded);
+    let stats = serve.shutdown();
+    assert_eq!(stats.degraded, 1);
+}
+
+#[test]
+fn shutdown_drains_and_then_refuses_new_work() {
+    let q = fused("a.*b", "ab");
+    let serve = ServeRuntime::start(ServeConfig::default());
+    let doc = doc_with_leaves(10);
+    let id = serve.submit(JobSpec::new(q.clone(), doc.clone())).unwrap();
+    // Waiting first keeps the test deterministic; shutdown must still
+    // report the completed request in its final counters.
+    let report = serve.wait(id).unwrap();
+    assert!(report.result.is_ok());
+    let stats = serve.shutdown();
+    assert_eq!((stats.submitted, stats.completed), (1, 1));
+
+    let serve = ServeRuntime::start(ServeConfig::default());
+    serve.begin_drain();
+    match serve.submit(JobSpec::new(q, doc)) {
+        Err(ServeError::ShuttingDown) => {}
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+    serve.shutdown();
+}

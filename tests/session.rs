@@ -352,13 +352,36 @@ fn imbalance_limit_fires_on_stray_closes() {
 
 #[test]
 fn time_budget_fires_between_windows() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    // An injected clock instead of real sleeps: the test advances time by
+    // fiat, so the deadline breach is deterministic and instant.
+    static FAKE_MS: AtomicU64 = AtomicU64::new(0);
+    fn fake_clock() -> Duration {
+        Duration::from_millis(FAKE_MS.load(Ordering::SeqCst))
+    }
+
     let (fused, doc) = demo_query();
-    let mut session = fused.session(Limits::none().with_time_budget(Duration::from_millis(1)));
-    std::thread::sleep(Duration::from_millis(20));
-    match session.feed(&doc) {
-        Err(SessionError::Limit(e)) => assert_eq!(e.kind, LimitKind::Time),
+    let limits = Limits::none()
+        .with_time_budget(Duration::from_millis(5))
+        .with_clock(fake_clock);
+    let mut session = fused.session(limits.clone());
+    // Within budget: the same clock reading as at session start.
+    session.feed(&doc[..2]).expect("no time has passed");
+    // Cross the deadline between windows and the next feed must fail.
+    FAKE_MS.store(20, Ordering::SeqCst);
+    match session.feed(&doc[2..]) {
+        Err(SessionError::Limit(e)) => {
+            assert_eq!(e.kind, LimitKind::Time);
+            assert_eq!(e.limit, 5, "diagnostic reports the budget in ms");
+        }
         other => panic!("expected time limit, got {other:?}"),
     }
+    // The breach is sticky, like every session error.
+    assert!(matches!(
+        session.feed(b"<a>"),
+        Err(SessionError::Limit(e)) if e.kind == LimitKind::Time
+    ));
 }
 
 #[test]
