@@ -18,9 +18,10 @@ use std::process::ExitCode;
 mod schema;
 mod serving;
 
-use st_automata::Alphabet;
-use st_core::planner::{CompiledQuery, CompiledTermQuery};
-use st_rpq::PathQuery;
+use st_core::planner::CompiledTermQuery;
+use stackless_streamed_trees::prelude::{
+    Alphabet, CompiledQuery, Limits, ObsHandle, PathQuery, Query,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,17 +54,18 @@ const USAGE: &str = "usage:
   stql select  <query> <file.xml|file.json|file.term> [--count] [--fused]
                [--max-depth D] [--max-bytes B] [--time-budget MS]
                [--checkpoint-out FILE] [--resume FILE]
-               [--recover] [--alphabet a,b,c]
+               [--recover] [--alphabet a,b,c] [--stats]
   stql validate <schema.dtd> <file.xml>
   stql stats   <file.xml|file.json|file.term>
   stql extract <query> <file.xml>
   stql serve   <query> <file.xml>... [--count] [--workers N] [--queue N]
                [--cadence BYTES] [--retries N] [--max-in-flight BYTES]
                [--max-depth D] [--max-bytes B] [--time-budget MS]
+               [--metrics-out FILE] [--metrics-every MS]
   stql serve   --chaos [--seed N] [--requests N] [--workers N]
                [--cadence BYTES] [--retries N] [--panic PM] [--stall PM]
                [--corrupt PM] [--stall-ms MS] [--stall-timeout MS]
-               [--reproducer FILE]
+               [--reproducer FILE] [--metrics-out FILE]
   stql batch   <query> <file.xml>... [serve pool flags]
   stql fuzz    [--seed N] [--iters M] [--max-depth D] [--max-nodes K]
                [--corpus DIR] [--mutation NAME] [--faults]
@@ -74,13 +76,18 @@ select resource guards and sessions (.xml only, fused engine):
   --checkpoint-out serializes the session state after the input instead
   of finishing, --resume reopens one and continues on the given bytes;
   --recover scans leniently, printing matches plus diagnostics (needs
-  --alphabet when the document is too broken to infer one).
+  --alphabet when the document is too broken to infer one);
+  --stats prints the per-run metrics report (counters, gauges,
+  histogram totals) to stderr after the run.
 
 serve/batch run documents through the supervised worker pool (worker
 panics and stalls fail over via checkpoints; full queues shed with a
 typed error); batch prints one `count<TAB>file` line per document.
 serve --chaos runs the seeded fault-injection soak and exits non-zero
-on any divergence from the recovery contract.";
+on any divergence from the recovery contract, printing each losing
+request's supervisor trace as a post-mortem.
+--metrics-out dumps the runtime metrics snapshot as JSON periodically
+(every --metrics-every ms, default 1000) and flushes it at exit.";
 
 /// Parses a query in whichever of the three syntaxes it is written.
 fn parse_query(query: &str, alphabet: &Alphabet) -> Result<PathQuery, String> {
@@ -186,7 +193,7 @@ fn warn_if_unbalanced(tags: &[st_automata::Tag]) {
 }
 
 /// Collects the `--max-depth`/`--max-bytes`/`--time-budget` guard flags
-/// of `stql select` into a [`Limits`](st_core::session::Limits).
+/// of `stql select` into a [`Limits`].
 fn select_limits(args: &[String]) -> Result<st_core::session::Limits, String> {
     let parse = |flag: &str| -> Result<Option<u64>, String> {
         match flag_value(args, flag) {
@@ -243,14 +250,52 @@ fn finish_session(
 }
 
 /// Streaming-session variant of `select` (fused engine): resource guards,
-/// checkpoint capture, resume, and lenient recovery.
+/// checkpoint capture, resume, and lenient recovery.  With `--stats`, an
+/// enabled [`ObsHandle`] rides along in the limits and the per-run
+/// metrics report is printed to stderr after the run — successful or not.
 fn select_session(
     query: &str,
     bytes: &[u8],
     args: &[String],
     count_only: bool,
 ) -> Result<(), String> {
-    let limits = select_limits(args)?;
+    let stats = args.iter().any(|a| a == "--stats");
+    let obs = if stats {
+        ObsHandle::new()
+    } else {
+        ObsHandle::disabled()
+    };
+    let limits = select_limits(args)?.with_obs(obs.clone());
+    let result = select_session_run(query, bytes, args, count_only, limits);
+    if stats {
+        print_run_report(&obs);
+    }
+    result
+}
+
+/// One-shot per-run metrics report (stderr): every counter and gauge the
+/// run recorded, plus histogram totals.
+fn print_run_report(obs: &ObsHandle) {
+    let snap = obs.snapshot();
+    eprintln!("-- run metrics --");
+    for (name, value) in &snap.counters {
+        eprintln!("{name:<34} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        eprintln!("{name:<34} {value}");
+    }
+    for (name, h) in &snap.histograms {
+        eprintln!("{name:<34} count={} sum={}", h.count, h.sum);
+    }
+}
+
+fn select_session_run(
+    query: &str,
+    bytes: &[u8],
+    args: &[String],
+    count_only: bool,
+    limits: Limits,
+) -> Result<(), String> {
     let checkpoint_out = flag_value(args, "--checkpoint-out");
     let recover = args.iter().any(|a| a == "--recover");
 
@@ -263,14 +308,12 @@ fn select_session(
         let alphabet = Alphabet::from_symbols(cp.alphabet_symbols().iter().map(String::as_str))
             .map_err(|e| format!("{cp_path}: bad alphabet: {e}"))?;
         let q = parse_query(query, &alphabet)?;
-        let plan = CompiledQuery::compile(&q.dfa);
-        let engine = plan
-            .fused(&alphabet)
-            .map_err(|e| format!("cannot fuse query: {e}"))?;
-        let mut session = engine.resume(&cp, limits).map_err(|e| e.to_string())?;
+        let compiled =
+            Query::from_dfa(&q.dfa, &alphabet).map_err(|e| format!("cannot fuse query: {e}"))?;
+        let mut session = compiled.resume(&cp, limits).map_err(|e| e.to_string())?;
         eprintln!(
             "resumed {:?} session at byte {}",
-            plan.strategy(),
+            compiled.strategy(),
             session.offset()
         );
         session.feed(bytes).map_err(|e| e.to_string())?;
@@ -292,18 +335,16 @@ fn select_session(
         }
     };
     let q = parse_query(query, &alphabet)?;
-    let plan = CompiledQuery::compile(&q.dfa);
-    let engine = plan
-        .fused(&alphabet)
-        .map_err(|e| format!("cannot fuse query: {e}"))?;
+    let compiled =
+        Query::from_dfa(&q.dfa, &alphabet).map_err(|e| format!("cannot fuse query: {e}"))?;
     eprintln!(
         "strategy {:?} ({} registers), fused session engine",
-        plan.strategy(),
-        plan.n_registers()
+        compiled.strategy(),
+        compiled.plan().n_registers()
     );
 
     if recover {
-        let rec = engine.select_bytes_recovering(bytes);
+        let rec = compiled.select_recovering(bytes, &limits);
         for d in &rec.diagnostics {
             eprintln!(
                 "diagnostic: {:?} at byte {} (depth {})",
@@ -323,7 +364,7 @@ fn select_session(
         return Ok(());
     }
 
-    let mut session = engine.session(limits);
+    let mut session = compiled.session(limits);
     session.feed(bytes).map_err(|e| e.to_string())?;
     finish_session(session, checkpoint_out, count_only)
 }
@@ -337,7 +378,8 @@ fn cmd_select(args: &[String]) -> Result<(), String> {
     let session_mode = !limits.is_unbounded()
         || flag_value(args, "--resume").is_some()
         || flag_value(args, "--checkpoint-out").is_some()
-        || args.iter().any(|a| a == "--recover");
+        || args.iter().any(|a| a == "--recover")
+        || args.iter().any(|a| a == "--stats");
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
 
     let kind = doc_kind(path)?;
@@ -362,14 +404,13 @@ fn cmd_select(args: &[String]) -> Result<(), String> {
             );
             if fused {
                 // Single pass over the raw bytes — no event buffer.
-                let engine = plan
-                    .fused(&alphabet)
+                let compiled = Query::from_dfa(&q.dfa, &alphabet)
                     .map_err(|e| format!("cannot fuse query: {e}"))?;
                 if count_only {
-                    let n = engine.count_bytes(&bytes).map_err(|e| e.to_string())?;
+                    let n = compiled.count(&bytes).map_err(|e| e.to_string())?;
                     println!("{n}");
                 } else {
-                    for id in engine.select_bytes(&bytes).map_err(|e| e.to_string())? {
+                    for id in compiled.select(&bytes).map_err(|e| e.to_string())? {
                         println!("{id}");
                     }
                 }

@@ -9,13 +9,15 @@
 //! * `batch` is the tabular variant: one `count<TAB>file` line per
 //!   document, errors inline, for piping into sort/awk.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
 
-use st_automata::Alphabet;
-use st_core::planner::CompiledQuery;
 use st_serve::{
     run_soak, JobSpec, ServeConfig, ServeRuntime, ServeStats, ServiceBudget, SoakConfig,
 };
+use stackless_streamed_trees::prelude::{Alphabet, ObsHandle, Query};
 
 use crate::{flag_value, parse_query, select_limits};
 
@@ -39,6 +41,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--stall-ms",
     "--stall-timeout",
     "--reproducer",
+    "--metrics-out",
+    "--metrics-every",
 ];
 
 fn positionals(args: &[String]) -> Vec<&String> {
@@ -66,25 +70,85 @@ fn parse_num(args: &[String], flag: &str, default: u64) -> Result<u64, String> {
 }
 
 /// Builds the pool configuration shared by `serve` and `batch`.
-fn serve_config(args: &[String]) -> Result<ServeConfig, String> {
+fn serve_config(args: &[String], obs: &ObsHandle) -> Result<ServeConfig, String> {
     let d = ServeConfig::default();
-    let mut cfg = d
-        .clone()
+    let mut budget = ServiceBudget::default().with_session_limits(select_limits(args)?);
+    if let Some(v) = flag_value(args, "--max-in-flight") {
+        budget = budget.with_max_in_flight_bytes(
+            v.parse()
+                .map_err(|e| format!("bad --max-in-flight {v:?}: {e}"))?,
+        );
+    }
+    Ok(d.clone()
         .with_workers(parse_num(args, "--workers", d.workers as u64)? as usize)
         .with_queue_capacity(parse_num(args, "--queue", d.queue_capacity as u64)? as usize)
         .with_checkpoint_every(parse_num(args, "--cadence", d.checkpoint_every as u64)? as usize)
-        .with_max_retries(parse_num(args, "--retries", d.max_retries as u64)? as u32);
-    let budget = ServiceBudget {
-        max_in_flight_bytes: flag_value(args, "--max-in-flight")
-            .map(|v| {
-                v.parse()
-                    .map_err(|e| format!("bad --max-in-flight {v:?}: {e}"))
+        .with_max_retries(parse_num(args, "--retries", d.max_retries as u64)? as u32)
+        .with_budget(budget)
+        .with_obs(obs.clone()))
+}
+
+/// The `--metrics-out` sink: an enabled handle whose snapshot is dumped
+/// periodically (every `--metrics-every` ms) and flushed at exit; or a
+/// disabled no-op handle when the flag is absent.
+struct MetricsSink {
+    obs: ObsHandle,
+    path: Option<String>,
+    stop: Arc<AtomicBool>,
+    dumper: Option<JoinHandle<()>>,
+}
+
+impl MetricsSink {
+    fn from_args(args: &[String]) -> Result<MetricsSink, String> {
+        let Some(path) = flag_value(args, "--metrics-out") else {
+            return Ok(MetricsSink {
+                obs: ObsHandle::disabled(),
+                path: None,
+                stop: Arc::new(AtomicBool::new(true)),
+                dumper: None,
+            });
+        };
+        let every_ms = parse_num(args, "--metrics-every", 1000)?.max(10);
+        let obs = ObsHandle::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let (obs2, path2, stop2) = (obs.clone(), path.to_owned(), stop.clone());
+        let dumper = std::thread::Builder::new()
+            .name("stql-metrics-dump".to_owned())
+            .spawn(move || {
+                // Tick in short steps so exit (stop flag) is prompt even
+                // with a long dump interval.
+                let mut since_dump = 0u64;
+                while !stop2.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(10));
+                    since_dump += 10;
+                    if since_dump >= every_ms {
+                        since_dump = 0;
+                        let _ = std::fs::write(&path2, obs2.snapshot().to_json());
+                    }
+                }
             })
-            .transpose()?,
-        session_limits: select_limits(args)?,
-    };
-    cfg = cfg.with_budget(budget);
-    Ok(cfg)
+            .expect("spawn metrics dump thread");
+        Ok(MetricsSink {
+            obs,
+            path: Some(path.to_owned()),
+            stop,
+            dumper: Some(dumper),
+        })
+    }
+
+    /// Stops the periodic dumper and writes the final snapshot.
+    fn flush(mut self) -> Result<(), String> {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.dumper.take() {
+            let _ = h.join();
+        }
+        if let Some(path) = &self.path {
+            std::fs::write(path, self.obs.snapshot().to_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("metrics snapshot written to {path}");
+        }
+        Ok(())
+    }
 }
 
 /// Compiles `query` against `path`'s document into a pool request.  Each
@@ -105,10 +169,9 @@ fn prepare(query: &str, path: &str, args: &[String]) -> Result<JobSpec, String> 
         }
     };
     let q = parse_query(query, &alphabet)?;
-    let engine = CompiledQuery::compile(&q.dfa)
-        .fused(&alphabet)
-        .map_err(|e| format!("cannot fuse query: {e}"))?;
-    Ok(JobSpec::new(Arc::new(engine), bytes))
+    let compiled =
+        Query::from_dfa(&q.dfa, &alphabet).map_err(|e| format!("cannot fuse query: {e}"))?;
+    Ok(JobSpec::new(Arc::new(compiled.into_fused()), bytes))
 }
 
 fn print_stats(stats: &ServeStats) {
@@ -125,7 +188,8 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<(), String> {
         .filter(|(_, files)| !files.is_empty())
         .ok_or("serve needs a query and at least one file (or --chaos)")?;
     let count_only = args.iter().any(|a| a == "--count");
-    let runtime = ServeRuntime::start(serve_config(args)?);
+    let sink = MetricsSink::from_args(args)?;
+    let runtime = ServeRuntime::start(serve_config(args, &sink.obs)?);
 
     // Admit everything first (blocking on queue space, so nothing is
     // shed), then collect reports in submission order.
@@ -174,6 +238,7 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
     }
     print_stats(&runtime.shutdown());
+    sink.flush()?;
     if failed > 0 {
         Err(format!("{failed} request(s) failed"))
     } else {
@@ -187,7 +252,8 @@ pub(crate) fn cmd_batch(args: &[String]) -> Result<(), String> {
         .split_first()
         .filter(|(_, files)| !files.is_empty())
         .ok_or("batch needs a query and at least one file")?;
-    let runtime = ServeRuntime::start(serve_config(args)?);
+    let sink = MetricsSink::from_args(args)?;
+    let runtime = ServeRuntime::start(serve_config(args, &sink.obs)?);
     let mut admitted = Vec::new();
     for path in files {
         let outcome = prepare(query, path, args)
@@ -215,6 +281,7 @@ pub(crate) fn cmd_batch(args: &[String]) -> Result<(), String> {
         println!("{cell}\t{path}");
     }
     print_stats(&runtime.shutdown());
+    sink.flush()?;
     if failed > 0 {
         Err(format!("{failed} request(s) failed"))
     } else {
@@ -225,22 +292,35 @@ pub(crate) fn cmd_batch(args: &[String]) -> Result<(), String> {
 /// `stql serve --chaos`: the deterministic fault-injection soak.  Every
 /// completed request must match a clean (fault-free) run and the DOM
 /// oracle; every failed request must carry a typed, chaos-attributable
-/// error.  Any violation exits non-zero and writes a reproducer.
+/// error.  Any violation exits non-zero, writes a reproducer, and prints
+/// the supervisor-decision trace of each losing request as a post-mortem.
 fn cmd_chaos(args: &[String]) -> Result<(), String> {
     let seed = parse_num(args, "--seed", 42)?;
-    let d = SoakConfig::new(seed);
-    let cfg = SoakConfig {
-        requests: parse_num(args, "--requests", d.requests)?,
-        workers: parse_num(args, "--workers", d.workers as u64)? as usize,
-        checkpoint_every: parse_num(args, "--cadence", d.checkpoint_every as u64)? as usize,
-        max_retries: parse_num(args, "--retries", d.max_retries as u64)? as u32,
-        panic_per_mille: parse_num(args, "--panic", d.panic_per_mille as u64)? as u16,
-        stall_per_mille: parse_num(args, "--stall", d.stall_per_mille as u64)? as u16,
-        corrupt_per_mille: parse_num(args, "--corrupt", d.corrupt_per_mille as u64)? as u16,
-        stall_ms: parse_num(args, "--stall-ms", d.stall_ms)?,
-        stall_timeout_ms: parse_num(args, "--stall-timeout", d.stall_timeout_ms)?,
-        ..d
+    // Chaos always records: the trace ring is the post-mortem on a
+    // divergence, and the counters feed --metrics-out when requested.
+    let sink = MetricsSink::from_args(args)?;
+    let obs = if sink.obs.is_enabled() {
+        sink.obs.clone()
+    } else {
+        ObsHandle::new()
     };
+    let d = SoakConfig::new(seed);
+    let cfg = d
+        .clone()
+        .with_requests(parse_num(args, "--requests", d.requests)?)
+        .with_workers(parse_num(args, "--workers", d.workers as u64)? as usize)
+        .with_checkpoint_every(parse_num(args, "--cadence", d.checkpoint_every as u64)? as usize)
+        .with_max_retries(parse_num(args, "--retries", d.max_retries as u64)? as u32)
+        .with_fault_rates(
+            parse_num(args, "--panic", d.panic_per_mille as u64)? as u16,
+            parse_num(args, "--stall", d.stall_per_mille as u64)? as u16,
+            parse_num(args, "--corrupt", d.corrupt_per_mille as u64)? as u16,
+        )
+        .with_stall_profile(
+            parse_num(args, "--stall-ms", d.stall_ms)?,
+            parse_num(args, "--stall-timeout", d.stall_timeout_ms)?,
+        )
+        .with_obs(obs.clone());
     eprintln!(
         "chaos soak: seed {seed}, {} request(s), {} worker(s), cadence {} byte(s), \
          rates {}/{}/{} per mille (panic/stall/corrupt)",
@@ -257,6 +337,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
         report.completed, report.chaos_casualties, report.clean_rejections, report.skipped
     );
     print_stats(&report.stats);
+    sink.flush()?;
     if report.ok() {
         println!(
             "contract holds: {}/{} completed requests match the fault-free runs",
@@ -264,6 +345,18 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
             report.outcomes.len()
         );
         return Ok(());
+    }
+    // Post-mortem: the structured trace of every losing request — what
+    // the supervisor saw and decided, attempt by attempt.
+    for div in &report.divergences {
+        let Some(job) = div.job else { continue };
+        eprintln!(
+            "--- trace of losing request {} (job {job}) ---",
+            div.request
+        );
+        for record in obs.trace_for_job(job) {
+            eprintln!("  {record}");
+        }
     }
     let text = report.reproducer(seed);
     match flag_value(args, "--reproducer") {

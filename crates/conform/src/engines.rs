@@ -37,9 +37,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use st_automata::{compile_regex, Alphabet, Dfa, Tag};
 use st_baseline::{dom, stack::StackEvaluator};
-use st_core::engine::FusedQuery;
-use st_core::planner::CompiledQuery;
-use st_core::session::{EngineCheckpoint, Limits, SessionError, SessionOutcome};
+use st_core::prelude::{EngineCheckpoint, FusedQuery, Limits, Query, SessionError, SessionOutcome};
 use st_trees::{encode::markup_decode, xml::Scanner, TreeError};
 
 use crate::gen::Case;
@@ -333,14 +331,12 @@ pub fn run_case(case: &Case, mutation: Mutation) -> CaseOutcome {
             well_formed: false,
         };
     };
-    let plan = CompiledQuery::compile(&dfa);
-
     let scanned = scanner_tags(&case.doc, &g);
     let tokenizable = scanned.is_ok();
 
     // --- Byte-level paths -------------------------------------------------
-    let fused = match plan.fused(&g) {
-        Ok(f) => f,
+    let query = match Query::from_dfa(&dfa, &g) {
+        Ok(q) => q,
         Err(_) => {
             // Composite table over budget: byte paths are unavailable by
             // design, nothing to differentiate.
@@ -352,6 +348,8 @@ pub fn run_case(case: &Case, mutation: Mutation) -> CaseOutcome {
             };
         }
     };
+    let plan = query.plan();
+    let fused = query.fused();
     let fused_sel = match catching(AssertUnwindSafe(|| fused.select_bytes(&case.doc))) {
         Ok(r) => Outcome::from_result(r),
         Err(m) => Outcome::Panicked(m),
@@ -390,7 +388,7 @@ pub fn run_case(case: &Case, mutation: Mutation) -> CaseOutcome {
     for &s in &case.chunk_sizes {
         let cuts = cuts_for(s, case.doc.len());
         let o = match catching(AssertUnwindSafe(|| {
-            run_resumed(&fused, &case.doc, &cuts, mutation)
+            run_resumed(fused, &case.doc, &cuts, mutation)
         })) {
             Ok(r) => session_outcome(r),
             Err(m) => Outcome::Panicked(m),

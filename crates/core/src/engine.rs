@@ -1528,9 +1528,14 @@ pub struct FusedQuery {
 impl FusedQuery {
     /// Fuses a registerless query DFA (over Γ ∪ Γ̄) with the byte lexer.
     ///
+    /// Prefer [`crate::query::Query::compile`], which lets the planner
+    /// choose the backend; this constructor stays public for callers
+    /// that already hold a markup DFA.
+    ///
     /// # Errors
     ///
     /// See [`ByteDfa::new`].
+    #[doc(hidden)]
     pub fn registerless(dfa: &Dfa, alphabet: &Alphabet) -> Result<FusedQuery, CoreError> {
         Ok(FusedQuery {
             alphabet: alphabet.clone(),
@@ -1539,6 +1544,8 @@ impl FusedQuery {
     }
 
     /// Fuses a Lemma 3.8 depth-register program with the byte lexer.
+    /// Prefer [`crate::query::Query::compile`].
+    #[doc(hidden)]
     pub fn stackless(program: HarMarkupProgram, alphabet: &Alphabet) -> FusedQuery {
         FusedQuery {
             alphabet: alphabet.clone(),
@@ -1550,7 +1557,8 @@ impl FusedQuery {
     }
 
     /// Fuses the pushdown fallback (over the minimal automaton of L) with
-    /// the byte lexer.
+    /// the byte lexer.  Prefer [`crate::query::Query::compile`].
+    #[doc(hidden)]
     pub fn stack(dfa: &Dfa, alphabet: &Alphabet) -> FusedQuery {
         FusedQuery {
             alphabet: alphabet.clone(),
@@ -1665,6 +1673,98 @@ impl FusedQuery {
         match &self.backend {
             FusedBackend::Registerless(b) => b.select_bytes_chunked(bytes, n_threads),
             _ => self.select_bytes(bytes).map_err(SessionError::Parse),
+        }
+    }
+
+    /// Records one completed engine run into `obs`.  The byte loops
+    /// themselves stay untouched — metrics are tallied once per run, so
+    /// the no-op handle's cost is a handful of branches per document.
+    fn record_run(&self, obs: &st_obs::ObsHandle, bytes: usize, matches: Option<usize>) {
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.counter("engine_runs_total").incr();
+        obs.counter("engine_bytes_total").add(bytes as u64);
+        match matches {
+            Some(n) => obs.counter("engine_matches_total").add(n as u64),
+            None => obs.counter("engine_failed_runs_total").incr(),
+        }
+    }
+
+    /// [`Self::count_bytes`] with per-run metrics (`engine_runs_total`,
+    /// `engine_bytes_total`, `engine_matches_total`,
+    /// `engine_failed_runs_total`) recorded into `obs`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::count_bytes`].
+    pub fn count_bytes_observed(
+        &self,
+        bytes: &[u8],
+        obs: &st_obs::ObsHandle,
+    ) -> Result<usize, TreeError> {
+        let res = self.count_bytes(bytes);
+        self.record_run(obs, bytes.len(), res.as_ref().ok().copied());
+        res
+    }
+
+    /// [`Self::select_bytes`] with per-run metrics recorded into `obs`;
+    /// see [`Self::count_bytes_observed`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::select_bytes`].
+    pub fn select_bytes_observed(
+        &self,
+        bytes: &[u8],
+        obs: &st_obs::ObsHandle,
+    ) -> Result<Vec<usize>, TreeError> {
+        let res = self.select_bytes(bytes);
+        self.record_run(obs, bytes.len(), res.as_ref().ok().map(Vec::len));
+        res
+    }
+
+    /// [`Self::count_bytes_parallel`] with per-run metrics recorded into
+    /// `obs`, plus the chunked-path tallies `engine_chunked_runs_total`
+    /// and `engine_chunks_total` when the data-parallel path ran.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::count_bytes_parallel`].
+    pub fn count_bytes_parallel_observed(
+        &self,
+        bytes: &[u8],
+        n_threads: usize,
+        obs: &st_obs::ObsHandle,
+    ) -> Result<usize, SessionError> {
+        let res = self.count_bytes_parallel(bytes, n_threads);
+        self.record_run(obs, bytes.len(), res.as_ref().ok().copied());
+        self.record_chunked(obs, n_threads);
+        res
+    }
+
+    /// [`Self::select_bytes_parallel`] with per-run metrics recorded into
+    /// `obs`; see [`Self::count_bytes_parallel_observed`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::select_bytes_parallel`].
+    pub fn select_bytes_parallel_observed(
+        &self,
+        bytes: &[u8],
+        n_threads: usize,
+        obs: &st_obs::ObsHandle,
+    ) -> Result<Vec<usize>, SessionError> {
+        let res = self.select_bytes_parallel(bytes, n_threads);
+        self.record_run(obs, bytes.len(), res.as_ref().ok().map(Vec::len));
+        self.record_chunked(obs, n_threads);
+        res
+    }
+
+    fn record_chunked(&self, obs: &st_obs::ObsHandle, n_threads: usize) {
+        if obs.is_enabled() && matches!(&self.backend, FusedBackend::Registerless(_)) {
+            obs.counter("engine_chunked_runs_total").incr();
+            obs.counter("engine_chunks_total").add(n_threads as u64);
         }
     }
 }

@@ -76,6 +76,7 @@ pub mod model;
 pub mod papers;
 pub mod pattern;
 pub mod planner;
+pub mod query;
 pub mod registerless;
 pub mod restricted;
 pub mod rpqness;
@@ -89,8 +90,30 @@ pub use engine::{ByteDfa, FusedQuery, TagLexer};
 pub use error::CoreError;
 pub use model::{DraProgram, DraRunner, LoadMask, StreamSymbol};
 pub use planner::{CompiledQuery, CompiledTermQuery, Strategy};
+pub use query::{Query, QueryError};
 pub use session::{
     check_event_limits, monotonic_clock, CheckpointState, ClockFn, Diagnostic, EngineCheckpoint,
     EngineSession, ErrorClass, LimitExceeded, LimitKind, Limits, RecoveryOutcome, SessionError,
     SessionOutcome, DEFAULT_MAX_DIAGNOSTICS,
 };
+
+/// One coherent import surface for query evaluation: the [`Query`]
+/// builder, the streaming session machinery, resource limits, and the
+/// observability handle they all accept.
+///
+/// ```
+/// use st_core::prelude::*;
+/// # use st_automata::Alphabet;
+/// let q = Query::compile(".*a", &Alphabet::of_chars("ab")).unwrap();
+/// assert_eq!(q.count(b"<a></a>").unwrap(), 1);
+/// ```
+pub mod prelude {
+    pub use crate::engine::FusedQuery;
+    pub use crate::planner::{CompiledQuery, Strategy};
+    pub use crate::query::{Query, QueryError};
+    pub use crate::session::{
+        monotonic_clock, ClockFn, Diagnostic, EngineCheckpoint, EngineSession, ErrorClass,
+        LimitExceeded, LimitKind, Limits, RecoveryOutcome, SessionError, SessionOutcome,
+    };
+    pub use st_obs::{ObsHandle, Snapshot, TraceEvent};
+}

@@ -44,6 +44,7 @@ use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use st_automata::{Alphabet, Tag};
+use st_obs::{Counter, Histogram, ObsHandle, TraceEvent};
 use st_trees::error::TreeError;
 
 use crate::engine::{
@@ -101,6 +102,11 @@ pub struct Limits {
     /// [`monotonic_clock`]; tests inject a fake clock to make deadline
     /// breaches deterministic.
     pub clock: Option<ClockFn>,
+    /// Observability sink for the runs these limits govern.  The default
+    /// (disabled) handle records nothing and costs one branch per
+    /// session event — never one per byte; see the session metrics
+    /// taxonomy in DESIGN.
+    pub obs: ObsHandle,
 }
 
 impl Limits {
@@ -146,6 +152,14 @@ impl Limits {
         self
     }
 
+    /// Attaches an observability handle: sessions run under these limits
+    /// record their lifecycle (start/feed/checkpoint/resume), byte and
+    /// node tallies, and limit breaches through it.
+    pub fn with_obs(mut self, obs: ObsHandle) -> Limits {
+        self.obs = obs;
+        self
+    }
+
     /// Reads the configured clock (or the default monotonic clock).
     pub fn now(&self) -> Duration {
         (self.clock.unwrap_or(monotonic_clock))()
@@ -171,7 +185,9 @@ impl PartialEq for Limits {
     /// Equality covers the budgets and the diagnostics cap.  The clock is
     /// excluded: function pointers have no stable addresses to compare,
     /// and two `Limits` that enforce the same budgets are the same limits
-    /// regardless of which clock measures them.
+    /// regardless of which clock measures them.  The observability handle
+    /// is excluded for the same reason: it observes the run, it does not
+    /// constrain it.
     fn eq(&self, other: &Limits) -> bool {
         self.max_depth == other.max_depth
             && self.max_bytes == other.max_bytes
@@ -198,12 +214,18 @@ pub enum LimitKind {
 
 impl fmt::Display for LimitKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            LimitKind::Depth => "depth",
-            LimitKind::Bytes => "byte",
-            LimitKind::Imbalance => "imbalance",
-            LimitKind::Time => "time",
-        })
+        f.write_str(limit_kind_name(*self))
+    }
+}
+
+/// The stable name of a limit kind, used both by `Display` and by the
+/// [`TraceEvent::LimitBreach`] records the session emits.
+fn limit_kind_name(kind: LimitKind) -> &'static str {
+    match kind {
+        LimitKind::Depth => "depth",
+        LimitKind::Bytes => "byte",
+        LimitKind::Imbalance => "imbalance",
+        LimitKind::Time => "time",
     }
 }
 
@@ -794,6 +816,50 @@ pub struct SessionOutcome {
     pub nodes: usize,
 }
 
+/// Pre-resolved session metrics: one registry lookup per metric at
+/// session construction, pure atomics afterwards.  Absent entirely when
+/// the limits carry a disabled [`ObsHandle`], so the per-event cost of
+/// observability on an unobserved session is a single `Option` branch —
+/// and only at feed/checkpoint granularity, never per byte.
+struct SessObs {
+    obs: ObsHandle,
+    /// Session id in the handle's id space (links to serve jobs via
+    /// [`TraceEvent::JobSession`]).
+    id: u64,
+    feeds: Counter,
+    bytes: Counter,
+    checkpoints: Counter,
+    nodes: Counter,
+    matches: Counter,
+    breaches: Counter,
+    finished: Counter,
+    /// Bytes between consecutive checkpoints (the observed cadence).
+    checkpoint_interval: Histogram,
+    /// `Cell` because [`EngineSession::checkpoint`] takes `&self`.
+    last_checkpoint_offset: std::cell::Cell<u64>,
+}
+
+impl SessObs {
+    fn attach(obs: &ObsHandle, offset: u64) -> Option<SessObs> {
+        if !obs.is_enabled() {
+            return None;
+        }
+        Some(SessObs {
+            obs: obs.clone(),
+            id: obs.next_session_id(),
+            feeds: obs.counter("session_feeds_total"),
+            bytes: obs.counter("session_bytes_total"),
+            checkpoints: obs.counter("session_checkpoints_total"),
+            nodes: obs.counter("session_nodes_total"),
+            matches: obs.counter("session_matches_total"),
+            breaches: obs.counter("session_limit_breaches_total"),
+            finished: obs.counter("session_finished_total"),
+            checkpoint_interval: obs.histogram("session_checkpoint_interval_bytes"),
+            last_checkpoint_offset: std::cell::Cell::new(offset),
+        })
+    }
+}
+
 /// An incremental, checkpointable run of a [`FusedQuery`] under a set of
 /// [`Limits`].  Feed the document in arbitrary segments; freeze at any
 /// byte boundary with [`Self::checkpoint`]; close with [`Self::finish`].
@@ -804,10 +870,15 @@ pub struct EngineSession<'q> {
     started: Duration,
     offset: usize,
     node: usize,
+    /// Node counter value at session start (0 fresh, the checkpoint's
+    /// counter on resume) — so tallies reported to the metrics registry
+    /// cover only what *this* session processed.
+    node_base: usize,
     depth: i64,
     matches: Vec<usize>,
     state: SessState,
     failed: Option<SessionError>,
+    obs: Option<SessObs>,
 }
 
 impl<'q> EngineSession<'q> {
@@ -833,17 +904,27 @@ impl<'q> EngineSession<'q> {
             },
         };
         let started = limits.now();
+        let obs = SessObs::attach(&limits.obs, 0);
         EngineSession {
             query,
             limits,
             started,
             offset: 0,
             node: 0,
+            node_base: 0,
             depth: 0,
             matches: Vec::new(),
             state,
             failed: None,
+            obs,
         }
+    }
+
+    /// The id this session carries in its observability handle's trace
+    /// (0 when unobserved).  The serving runtime uses it to link a job
+    /// to the session driving it.
+    pub fn obs_session_id(&self) -> u64 {
+        self.obs.as_ref().map_or(0, |o| o.id)
     }
 
     /// Absolute byte offset consumed so far.
@@ -879,6 +960,22 @@ impl<'q> EngineSession<'q> {
         if let Some(e) = &self.failed {
             return Err(e.clone());
         }
+        let feed_start = self.offset;
+        let res = self.feed_inner(segment);
+        if let Some(o) = &self.obs {
+            let consumed = (self.offset - feed_start) as u64;
+            o.feeds.incr();
+            o.bytes.add(consumed);
+            o.obs.trace(TraceEvent::SessionFeed {
+                session: o.id,
+                offset: feed_start as u64,
+                bytes: consumed,
+            });
+        }
+        res
+    }
+
+    fn feed_inner(&mut self, segment: &[u8]) -> Result<(), SessionError> {
         let mut pos = 0usize;
         while pos < segment.len() {
             let mut end = (pos + WINDOW).min(segment.len());
@@ -911,6 +1008,16 @@ impl<'q> EngineSession<'q> {
     }
 
     fn fail(&mut self, e: SessionError) -> Result<(), SessionError> {
+        if let Some(o) = &self.obs {
+            if let SessionError::Limit(l) = &e {
+                o.breaches.incr();
+                o.obs.trace(TraceEvent::LimitBreach {
+                    session: o.id,
+                    kind: limit_kind_name(l.kind),
+                    offset: l.offset as u64,
+                });
+            }
+        }
         self.failed = Some(e.clone());
         Err(e)
     }
@@ -1168,6 +1275,16 @@ impl<'q> EngineSession<'q> {
                 frames: stack.clone(),
             },
         };
+        if let Some(o) = &self.obs {
+            o.checkpoints.incr();
+            let last = o.last_checkpoint_offset.replace(self.offset as u64);
+            o.checkpoint_interval
+                .record((self.offset as u64).saturating_sub(last));
+            o.obs.trace(TraceEvent::SessionCheckpoint {
+                session: o.id,
+                offset: self.offset as u64,
+            });
+        }
         Ok(EngineCheckpoint {
             fingerprint: query_fingerprint(self.query),
             alphabet: alphabet_symbols(&self.query.alphabet),
@@ -1203,6 +1320,11 @@ impl<'q> EngineSession<'q> {
                 position: self.offset,
                 message: "input ended inside markup".to_owned(),
             }));
+        }
+        if let Some(o) = &self.obs {
+            o.finished.incr();
+            o.nodes.add((self.node - self.node_base) as u64);
+            o.matches.add(self.matches.len() as u64);
         }
         Ok(SessionOutcome {
             matches: self.matches,
@@ -1366,7 +1488,12 @@ impl FusedQuery {
 
     /// Opens a fresh resilient session under `limits`.
     pub fn session(&self, limits: Limits) -> EngineSession<'_> {
-        EngineSession::fresh(self, limits)
+        let session = EngineSession::fresh(self, limits);
+        if let Some(o) = &session.obs {
+            o.obs.counter("session_started_total").incr();
+            o.obs.trace(TraceEvent::SessionStart { session: o.id });
+        }
+        session
     }
 
     /// Reopens a session from a checkpoint minted by the *same* query
@@ -1412,7 +1539,16 @@ impl FusedQuery {
         let mut session = EngineSession::fresh(self, limits);
         session.offset = checkpoint.offset as usize;
         session.node = checkpoint.node as usize;
+        session.node_base = checkpoint.node as usize;
         session.depth = checkpoint.depth;
+        if let Some(o) = &session.obs {
+            o.last_checkpoint_offset.set(checkpoint.offset);
+            o.obs.counter("session_resumed_total").incr();
+            o.obs.trace(TraceEvent::SessionResume {
+                session: o.id,
+                offset: checkpoint.offset,
+            });
+        }
         session.state = match (&checkpoint.state, &self.backend) {
             (CheckpointState::Registerless { composite }, FusedBackend::Registerless(b)) => {
                 let s = *composite as usize;
@@ -1566,6 +1702,7 @@ impl FusedQuery {
             return self.select_bytes(bytes).map_err(SessionError::Parse);
         }
         if self.fast_guard_applies(bytes, limits) {
+            limits.obs.counter("engine_guarded_runs_total").incr();
             let max_depth = limits.max_depth.map(|d| d as i64).unwrap_or(i64::MAX);
             let min_depth = limits
                 .max_imbalance
@@ -1608,6 +1745,7 @@ impl FusedQuery {
                 }
             }
         }
+        limits.obs.counter("engine_guard_fallbacks_total").incr();
         match self.run_session(bytes, limits) {
             Ok(outcome) => Ok(outcome.matches),
             Err(SessionError::Parse(_)) => {
@@ -1631,6 +1769,7 @@ impl FusedQuery {
             return self.count_bytes(bytes).map_err(SessionError::Parse);
         }
         if self.fast_guard_applies(bytes, limits) {
+            limits.obs.counter("engine_guarded_runs_total").incr();
             let max_depth = limits.max_depth.map(|d| d as i64).unwrap_or(i64::MAX);
             let min_depth = limits
                 .max_imbalance
@@ -1664,6 +1803,7 @@ impl FusedQuery {
                 }
             }
         }
+        limits.obs.counter("engine_guard_fallbacks_total").incr();
         match self.run_session(bytes, limits) {
             Ok(outcome) => Ok(outcome.matches.len()),
             Err(SessionError::Parse(_)) => {
@@ -1695,6 +1835,7 @@ impl FusedQuery {
         limits: &Limits,
     ) -> RecoveryOutcome {
         let cap = limits.diagnostics_cap();
+        limits.obs.counter("session_recovery_runs_total").incr();
         let lexer = self.tag_lexer();
         let k = lexer.k();
         let mut query = match &self.backend {
@@ -1782,6 +1923,10 @@ impl FusedQuery {
                 },
             );
         }
+        limits
+            .obs
+            .counter("session_recovery_diagnostics_total")
+            .add((out.diagnostics.len() + out.suppressed) as u64);
         out
     }
 }

@@ -5,6 +5,7 @@
 use std::time::Duration;
 
 use st_core::session::Limits;
+use st_obs::ObsHandle;
 
 use crate::chaos::ChaosConfig;
 
@@ -22,6 +23,42 @@ pub struct ServiceBudget {
     /// imbalance, wall clock, diagnostics cap) — see
     /// [`st_core::session::Limits`].
     pub session_limits: Limits,
+}
+
+impl ServiceBudget {
+    /// Sets the aggregate in-flight byte budget.
+    pub fn with_max_in_flight_bytes(mut self, bytes: usize) -> ServiceBudget {
+        self.max_in_flight_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the per-session limits every admitted session inherits.
+    pub fn with_session_limits(mut self, limits: Limits) -> ServiceBudget {
+        self.session_limits = limits;
+        self
+    }
+
+    /// Derives the [`Limits`] one session actually runs under.  This is
+    /// the *single* place the runtime turns a request into per-session
+    /// guards: the request's own limits if it brought any, else the
+    /// budget's `session_limits`; either way the budget's injected clock
+    /// is inherited when the request did not bring its own (so stall and
+    /// wall-clock behaviour stay testable), and the runtime's
+    /// observability handle is attached.
+    pub fn session_limits_for(&self, requested: Option<&Limits>, obs: &ObsHandle) -> Limits {
+        let mut limits = match requested {
+            Some(own) => {
+                let mut own = own.clone();
+                if own.clock.is_none() {
+                    own.clock = self.session_limits.clock;
+                }
+                own
+            }
+            None => self.session_limits.clone(),
+        };
+        limits.obs = obs.clone();
+        limits
+    }
 }
 
 /// Configuration of a [`crate::ServeRuntime`].
@@ -65,6 +102,12 @@ pub struct ServeConfig {
     /// every request runs the checkpointed session path so that every
     /// injected fault exercises checkpoint failover.
     pub chaos: Option<ChaosConfig>,
+    /// Observability sink.  The disabled default costs one branch per
+    /// recorded event; an enabled handle gives the runtime queue/budget
+    /// gauges, per-request attempt and latency histograms, counters
+    /// mirroring [`crate::ServeStats`], and a structured trace ring of
+    /// supervisor decisions.
+    pub obs: ObsHandle,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +124,7 @@ impl Default for ServeConfig {
             chunk_threads: 4,
             budget: ServiceBudget::default(),
             chaos: None,
+            obs: ObsHandle::disabled(),
         }
     }
 }
@@ -116,6 +160,30 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the exponential backoff base.
+    pub fn with_backoff_base(mut self, base: Duration) -> ServeConfig {
+        self.backoff_base = base;
+        self
+    }
+
+    /// Sets the queue-occupancy degradation threshold (percent).
+    pub fn with_degrade_at_percent(mut self, percent: usize) -> ServeConfig {
+        self.degrade_at_percent = percent;
+        self
+    }
+
+    /// Sets the minimum document size for the chunked fast path.
+    pub fn with_parallel_threshold(mut self, bytes: usize) -> ServeConfig {
+        self.parallel_threshold = bytes;
+        self
+    }
+
+    /// Sets the thread count of one chunked evaluation.
+    pub fn with_chunk_threads(mut self, threads: usize) -> ServeConfig {
+        self.chunk_threads = threads.max(1);
+        self
+    }
+
     /// Sets the service budget.
     pub fn with_budget(mut self, budget: ServiceBudget) -> ServeConfig {
         self.budget = budget;
@@ -125,6 +193,12 @@ impl ServeConfig {
     /// Arms deterministic chaos injection.
     pub fn with_chaos(mut self, chaos: ChaosConfig) -> ServeConfig {
         self.chaos = Some(chaos);
+        self
+    }
+
+    /// Attaches an observability handle.
+    pub fn with_obs(mut self, obs: ObsHandle) -> ServeConfig {
+        self.obs = obs;
         self
     }
 }

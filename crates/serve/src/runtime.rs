@@ -44,11 +44,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use st_core::engine::FusedQuery;
 use st_core::planner::Strategy;
-use st_core::session::{EngineCheckpoint, Limits};
+use st_core::session::{monotonic_clock, ClockFn, EngineCheckpoint, Limits};
+use st_obs::{Counter, Gauge, Histogram, ObsHandle, TraceEvent};
 
 use crate::chaos::Fault;
 use crate::config::ServeConfig;
@@ -216,6 +217,9 @@ struct JobState {
     status: Status,
     path: PathTaken,
     degraded: bool,
+    /// Admission timestamp (ms since runtime epoch), for the terminal
+    /// latency histogram.
+    submitted_ms: u64,
 }
 
 struct Pending {
@@ -254,9 +258,87 @@ struct WorkerHandle {
     join: Option<JoinHandle<()>>,
 }
 
+/// Pre-resolved observability instruments for the runtime's hot sites.
+///
+/// Each counter mirrors one [`ServeStats`] atomic and is incremented at
+/// *exactly* the same site, so a metrics snapshot and a stats snapshot
+/// taken after drain agree number-for-number.  With a disabled handle
+/// every instrument is inert (one branch per record, no allocation).
+struct ServeObs {
+    handle: ObsHandle,
+    submitted: Counter,
+    completed: Counter,
+    failed: Counter,
+    shed: Counter,
+    rejected: Counter,
+    retries: Counter,
+    resumes: Counter,
+    panics: Counter,
+    stalls: Counter,
+    corruptions: Counter,
+    degraded: Counter,
+    checkpoints: Counter,
+    workers_spawned: Counter,
+    /// Current submission-queue occupancy.
+    queue_depth: Gauge,
+    /// Bytes currently held against the in-flight budget.
+    in_flight_bytes: Gauge,
+    /// Attempts each finished request consumed (recorded at terminal
+    /// completion or failure).
+    request_attempts: Histogram,
+    /// Wall-clock (runtime-clock) milliseconds from admission to
+    /// terminal state, per finished request.
+    request_latency_ms: Histogram,
+}
+
+impl ServeObs {
+    fn attach(handle: &ObsHandle) -> ServeObs {
+        ServeObs {
+            submitted: handle.counter("serve_submitted_total"),
+            completed: handle.counter("serve_completed_total"),
+            failed: handle.counter("serve_failed_total"),
+            shed: handle.counter("serve_shed_total"),
+            rejected: handle.counter("serve_rejected_total"),
+            retries: handle.counter("serve_retries_total"),
+            resumes: handle.counter("serve_resumes_total"),
+            panics: handle.counter("serve_panics_total"),
+            stalls: handle.counter("serve_stalls_total"),
+            corruptions: handle.counter("serve_corruptions_total"),
+            degraded: handle.counter("serve_degraded_total"),
+            checkpoints: handle.counter("serve_checkpoints_total"),
+            workers_spawned: handle.counter("serve_workers_spawned_total"),
+            queue_depth: handle.gauge("serve_queue_depth"),
+            in_flight_bytes: handle.gauge("serve_in_flight_bytes"),
+            request_attempts: handle.histogram("serve_request_attempts"),
+            request_latency_ms: handle.histogram("serve_request_latency_ms"),
+            handle: handle.clone(),
+        }
+    }
+
+    fn trace(&self, event: TraceEvent) {
+        self.handle.trace(event);
+    }
+}
+
+/// The stable cause label carried by [`TraceEvent::JobFailed`].
+fn cause_label(cause: &FailureCause) -> &'static str {
+    match cause {
+        FailureCause::WorkerPanic { .. } => "worker_panic",
+        FailureCause::WorkerStall { .. } => "worker_stall",
+        FailureCause::SegmentCorrupted { .. } => "segment_corrupted",
+        FailureCause::Engine(_) => "engine",
+    }
+}
+
 struct Inner {
     cfg: ServeConfig,
-    epoch: Instant,
+    /// The runtime clock: the budget's injected [`ClockFn`] when one was
+    /// set (so stall detection and backoff are testable without real
+    /// time), else [`monotonic_clock`].
+    clock: ClockFn,
+    /// `clock()` at startup; all runtime timestamps are relative to it.
+    epoch: Duration,
+    obs: ServeObs,
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
     jobs: Mutex<HashMap<u64, JobState>>,
@@ -280,7 +362,7 @@ struct Inner {
 
 impl Inner {
     fn now_ms(&self) -> u64 {
-        self.epoch.elapsed().as_millis() as u64
+        (self.clock)().saturating_sub(self.epoch).as_millis() as u64
     }
 
     fn stats(&self) -> ServeStats {
@@ -321,6 +403,8 @@ impl Inner {
     /// attempt (superseded by failover) is discarded.
     fn complete(&self, job: u64, attempt: u32, matches: Vec<usize>, path: PathTaken) {
         let bytes;
+        let n_matches = matches.len() as u64;
+        let submitted_ms;
         {
             let mut jobs = lock(&self.jobs);
             let Some(st) = jobs.get_mut(&job) else { return };
@@ -330,9 +414,21 @@ impl Inner {
             st.status = Status::Done(Ok(matches));
             st.path = path;
             bytes = st.spec.doc.len();
+            submitted_ms = st.submitted_ms;
         }
-        self.in_flight_bytes.fetch_sub(bytes, Ordering::SeqCst);
+        let held = self.in_flight_bytes.fetch_sub(bytes, Ordering::SeqCst);
         self.completed.fetch_add(1, Ordering::SeqCst);
+        self.obs.completed.incr();
+        self.obs.in_flight_bytes.set((held - bytes) as i64);
+        self.obs.request_attempts.record(attempt as u64);
+        self.obs
+            .request_latency_ms
+            .record(self.now_ms().saturating_sub(submitted_ms));
+        self.obs.trace(TraceEvent::JobCompleted {
+            job,
+            attempts: attempt,
+            matches: n_matches,
+        });
         self.jobs_cv.notify_all();
         self.queue_cv.notify_all();
     }
@@ -350,6 +446,7 @@ impl Inner {
             matches,
         });
         self.checkpoints.fetch_add(1, Ordering::SeqCst);
+        self.obs.checkpoints.incr();
     }
 
     fn note_resume(&self, job: u64, attempt: u32) {
@@ -360,6 +457,7 @@ impl Inner {
             }
         }
         self.resumes.fetch_add(1, Ordering::SeqCst);
+        self.obs.resumes.incr();
     }
 
     fn mark_degraded(&self, job: u64, attempt: u32) {
@@ -370,6 +468,8 @@ impl Inner {
             }
         }
         self.degraded.fetch_add(1, Ordering::SeqCst);
+        self.obs.degraded.incr();
+        self.obs.trace(TraceEvent::Degraded { job });
     }
 
     /// Records a failed attempt: requeues with exponential backoff when
@@ -388,38 +488,76 @@ impl Inner {
             // death the worker already recorded, a zombie's late fault)
             // returned above and must not inflate the counters.
             match &cause {
-                FailureCause::WorkerPanic { .. } => self.panics.fetch_add(1, Ordering::SeqCst),
-                FailureCause::WorkerStall { .. } => self.stalls.fetch_add(1, Ordering::SeqCst),
-                FailureCause::SegmentCorrupted { .. } => {
-                    self.corruptions.fetch_add(1, Ordering::SeqCst)
+                FailureCause::WorkerPanic { .. } => {
+                    self.panics.fetch_add(1, Ordering::SeqCst);
+                    self.obs.panics.incr();
+                    self.obs.trace(TraceEvent::WorkerPanic { job, attempt });
                 }
-                FailureCause::Engine(_) => 0,
-            };
+                FailureCause::WorkerStall { stalled_ms } => {
+                    self.stalls.fetch_add(1, Ordering::SeqCst);
+                    self.obs.stalls.incr();
+                    self.obs.trace(TraceEvent::WorkerStall {
+                        job,
+                        attempt,
+                        silent_ms: *stalled_ms,
+                    });
+                }
+                FailureCause::SegmentCorrupted { .. } => {
+                    self.corruptions.fetch_add(1, Ordering::SeqCst);
+                    self.obs.corruptions.incr();
+                    self.obs
+                        .trace(TraceEvent::SegmentCorrupted { job, attempt });
+                }
+                FailureCause::Engine(_) => {}
+            }
             let retry = cause.retryable() && st.attempt <= self.cfg.max_retries;
             st.failures.push(cause.clone());
             if retry {
                 st.attempt += 1;
                 st.status = Status::Queued;
                 let exp = (attempt - 1).min(16);
-                requeue_backoff = Some(self.cfg.backoff_base * 2u32.pow(exp));
+                let backoff = self.cfg.backoff_base * 2u32.pow(exp);
+                requeue_backoff = Some(backoff);
                 self.retries.fetch_add(1, Ordering::SeqCst);
+                self.obs.retries.incr();
+                self.obs.trace(TraceEvent::Retry {
+                    job,
+                    attempt,
+                    backoff_ms: backoff.as_millis() as u64,
+                });
             } else {
+                let attempts = st.attempt;
+                let label = cause_label(&cause);
                 st.status = Status::Done(Err(ServeError::Failed {
                     attempts: st.attempt,
                     last: cause,
                 }));
                 let bytes = st.spec.doc.len();
-                self.in_flight_bytes.fetch_sub(bytes, Ordering::SeqCst);
+                let held = self.in_flight_bytes.fetch_sub(bytes, Ordering::SeqCst);
                 self.failed.fetch_add(1, Ordering::SeqCst);
+                self.obs.failed.incr();
+                self.obs.in_flight_bytes.set((held - bytes) as i64);
+                self.obs.request_attempts.record(attempts as u64);
+                self.obs
+                    .request_latency_ms
+                    .record(self.now_ms().saturating_sub(st.submitted_ms));
+                self.obs.trace(TraceEvent::JobFailed {
+                    job,
+                    attempts,
+                    cause: label,
+                });
             }
         }
         match requeue_backoff {
             Some(backoff) => {
                 let due = self.now_ms() + backoff.as_millis() as u64;
-                lock(&self.queue).q.push_back(Pending {
+                let mut q = lock(&self.queue);
+                q.q.push_back(Pending {
                     id: job,
                     not_before_ms: due,
                 });
+                self.obs.queue_depth.set(q.q.len() as i64);
+                drop(q);
                 self.queue_cv.notify_all();
             }
             None => {
@@ -510,10 +648,9 @@ fn run_job(inner: &Arc<Inner>, slot: &WorkerSlot, job: u64, attempt: u32) {
     };
     let cfg = &inner.cfg;
     let doc: &[u8] = spec.doc.as_slice();
-    let limits = spec
-        .limits
-        .clone()
-        .unwrap_or_else(|| cfg.budget.session_limits.clone());
+    let limits = cfg
+        .budget
+        .session_limits_for(spec.limits.as_ref(), &cfg.obs);
 
     // Fast path: the data-parallel chunked engine, for large registerless
     // documents on a fresh, guard-free, chaos-free attempt.  Under
@@ -547,12 +684,23 @@ fn run_job(inner: &Arc<Inner>, slot: &WorkerSlot, job: u64, attempt: u32) {
         Some(r) => match spec.query.resume(&r.checkpoint, limits) {
             Ok(s) => {
                 inner.note_resume(job, attempt);
+                inner.obs.trace(TraceEvent::Failover {
+                    job,
+                    attempt,
+                    offset: r.checkpoint.offset() as u64,
+                });
                 s
             }
             Err(e) => return inner.record_attempt_failure(job, attempt, FailureCause::Engine(e)),
         },
         None => spec.query.session(limits),
     };
+    if inner.obs.handle.is_enabled() {
+        inner.obs.trace(TraceEvent::JobSession {
+            job,
+            session: session.obs_session_id(),
+        });
+    }
     let cadence = cfg.checkpoint_every.max(1);
     let mut off = session.offset();
     while off < doc.len() {
@@ -618,6 +766,7 @@ fn spawn_worker(inner: &Arc<Inner>, index: usize) -> WorkerHandle {
         heartbeat_ms: AtomicU64::new(inner.now_ms()),
     });
     inner.workers_spawned.fetch_add(1, Ordering::SeqCst);
+    inner.obs.workers_spawned.incr();
     let inner2 = inner.clone();
     let slot2 = slot.clone();
     let join = std::thread::Builder::new()
@@ -756,6 +905,7 @@ fn dispatcher_main(inner: Arc<Inner>) {
                 }
             }
             q.q = keep;
+            inner.obs.queue_depth.set(q.q.len() as i64);
         }
         let mut leftovers: Vec<Pending> = Vec::new();
         for p in due {
@@ -768,6 +918,7 @@ fn dispatcher_main(inner: Arc<Inner>) {
             for p in leftovers.into_iter().rev() {
                 q.q.push_front(p);
             }
+            inner.obs.queue_depth.set(q.q.len() as i64);
             drop(q);
         }
 
@@ -822,9 +973,13 @@ impl ServeRuntime {
         if cfg.chaos.is_some() {
             silence_chaos_panics();
         }
+        let clock = cfg.budget.session_limits.clock.unwrap_or(monotonic_clock);
+        let obs = ServeObs::attach(&cfg.obs);
         let inner = Arc::new(Inner {
             cfg,
-            epoch: Instant::now(),
+            clock,
+            epoch: clock(),
+            obs,
             queue: Mutex::new(QueueState {
                 q: VecDeque::new(),
                 shutdown: false,
@@ -875,6 +1030,12 @@ impl ServeRuntime {
                         let cur = self.inner.in_flight_bytes.load(Ordering::SeqCst);
                         if cur + doc_len > mb {
                             self.inner.rejected.fetch_add(1, Ordering::SeqCst);
+                            self.inner.obs.rejected.incr();
+                            self.inner.obs.trace(TraceEvent::BudgetReject {
+                                requested: doc_len as u64,
+                                held: cur as u64,
+                                budget: mb as u64,
+                            });
                             return Err(ServeError::Rejected {
                                 reason: format!(
                                     "in-flight byte budget: {cur} held + {doc_len} requested > {mb}"
@@ -894,9 +1055,11 @@ impl ServeRuntime {
                             status: Status::Queued,
                             path: PathTaken::Session,
                             degraded: false,
+                            submitted_ms: self.inner.now_ms(),
                         },
                     );
-                    self.inner
+                    let held = self
+                        .inner
                         .in_flight_bytes
                         .fetch_add(doc_len, Ordering::SeqCst);
                     q.q.push_back(Pending {
@@ -904,6 +1067,13 @@ impl ServeRuntime {
                         not_before_ms: 0,
                     });
                     self.inner.submitted.fetch_add(1, Ordering::SeqCst);
+                    self.inner.obs.submitted.incr();
+                    self.inner.obs.in_flight_bytes.set((held + doc_len) as i64);
+                    self.inner.obs.queue_depth.set(q.q.len() as i64);
+                    self.inner.obs.trace(TraceEvent::JobAdmitted {
+                        job: id,
+                        bytes: doc_len as u64,
+                    });
                     drop(q);
                     drop(jobs);
                     self.inner.queue_cv.notify_all();
@@ -911,6 +1081,11 @@ impl ServeRuntime {
                 }
                 if !block {
                     self.inner.shed.fetch_add(1, Ordering::SeqCst);
+                    self.inner.obs.shed.incr();
+                    self.inner.obs.trace(TraceEvent::QueueShed {
+                        queue_len: q.q.len() as u64,
+                        capacity: self.inner.cfg.queue_capacity as u64,
+                    });
                     return Err(ServeError::Overloaded {
                         queue_len: q.q.len(),
                         capacity: self.inner.cfg.queue_capacity,

@@ -30,6 +30,8 @@ use st_core::engine::FusedQuery;
 use st_core::planner::CompiledQuery;
 use st_trees::{encode::markup_decode, xml::Scanner};
 
+use st_obs::ObsHandle;
+
 use crate::chaos::ChaosConfig;
 use crate::config::ServeConfig;
 use crate::error::{FailureCause, ServeError};
@@ -37,7 +39,7 @@ use crate::runtime::{JobSpec, ServeRuntime, ServeStats};
 
 /// Parameters of one soak run.  Everything that influences behaviour is
 /// here, so `(SoakConfig, seed)` fully reproduces a run.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct SoakConfig {
     /// Master seed: drives case generation and fault injection.
     pub seed: u64,
@@ -62,7 +64,29 @@ pub struct SoakConfig {
     pub stall_ms: u64,
     /// Supervisor stall deadline.
     pub stall_timeout_ms: u64,
+    /// Observability sink the induced runtime records into.  Excluded
+    /// from equality: it observes the run, it does not shape it.
+    pub obs: ObsHandle,
 }
+
+/// Two soak profiles are equal when they would *behave* identically:
+/// every field except the observability handle.
+impl PartialEq for SoakConfig {
+    fn eq(&self, other: &SoakConfig) -> bool {
+        self.seed == other.seed
+            && self.requests == other.requests
+            && self.workers == other.workers
+            && self.checkpoint_every == other.checkpoint_every
+            && self.max_retries == other.max_retries
+            && self.panic_per_mille == other.panic_per_mille
+            && self.stall_per_mille == other.stall_per_mille
+            && self.corrupt_per_mille == other.corrupt_per_mille
+            && self.stall_ms == other.stall_ms
+            && self.stall_timeout_ms == other.stall_timeout_ms
+    }
+}
+
+impl Eq for SoakConfig {}
 
 impl SoakConfig {
     /// A moderate soak profile for the given seed.
@@ -78,7 +102,55 @@ impl SoakConfig {
             corrupt_per_mille: 12,
             stall_ms: 250,
             stall_timeout_ms: 50,
+            obs: ObsHandle::disabled(),
         }
+    }
+
+    /// Sets the request count.
+    pub fn with_requests(mut self, requests: u64) -> SoakConfig {
+        self.requests = requests;
+        self
+    }
+
+    /// Sets the worker pool size.
+    pub fn with_workers(mut self, workers: usize) -> SoakConfig {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the checkpoint cadence in bytes.
+    pub fn with_checkpoint_every(mut self, bytes: usize) -> SoakConfig {
+        self.checkpoint_every = bytes.max(1);
+        self
+    }
+
+    /// Sets the retry budget per request.
+    pub fn with_max_retries(mut self, retries: u32) -> SoakConfig {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Sets the per-mille fault rates (panic, stall, corrupt).
+    pub fn with_fault_rates(mut self, panic: u16, stall: u16, corrupt: u16) -> SoakConfig {
+        self.panic_per_mille = panic;
+        self.stall_per_mille = stall;
+        self.corrupt_per_mille = corrupt;
+        self
+    }
+
+    /// Sets the injected stall duration and the supervisor deadline.
+    /// Keep the duration comfortably above the deadline so the
+    /// supervisor always wins the race.
+    pub fn with_stall_profile(mut self, stall_ms: u64, stall_timeout_ms: u64) -> SoakConfig {
+        self.stall_ms = stall_ms;
+        self.stall_timeout_ms = stall_timeout_ms;
+        self
+    }
+
+    /// Attaches an observability handle to the induced runtime.
+    pub fn with_obs(mut self, obs: ObsHandle) -> SoakConfig {
+        self.obs = obs;
+        self
     }
 
     /// The runtime configuration this soak profile induces.  The queue
@@ -98,6 +170,7 @@ impl SoakConfig {
                 corrupt_per_mille: self.corrupt_per_mille,
                 stall_ms: self.stall_ms,
             })
+            .with_obs(self.obs.clone())
     }
 }
 
@@ -129,6 +202,12 @@ pub struct SoakDivergence {
     pub alphabet: String,
     /// The case's document bytes.
     pub doc: Vec<u8>,
+    /// The runtime [`crate::JobId`] the request ran under (`None` for
+    /// skipped requests).  With an observability handle attached
+    /// ([`SoakConfig::with_obs`]), `ObsHandle::trace_for_job(job)` is
+    /// the post-mortem: the supervisor-decision trace of exactly this
+    /// request.
+    pub job: Option<u64>,
     /// What disagreed with what.
     pub detail: String,
 }
@@ -260,6 +339,7 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
             pattern: p.case.pattern.clone(),
             alphabet: p.case.alphabet.clone(),
             doc: p.case.doc.clone(),
+            job: id.map(|j| j.0),
             detail,
         };
         let Some(id) = id else {

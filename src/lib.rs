@@ -18,7 +18,20 @@
 //!   the persistent reproducer corpus under `testdata/corpus/`,
 //! * [`serve`] — the supervised serving runtime: a worker pool with
 //!   checkpoint failover, admission control and backpressure, and a
-//!   deterministic chaos-soak harness.
+//!   deterministic chaos-soak harness,
+//! * [`obs`] — the lock-cheap observability layer: counters, gauges,
+//!   log2 histograms, and a bounded structured trace ring, exported as
+//!   JSON or Prometheus text.
+//!
+//! Most programs only need the [`prelude`]:
+//!
+//! ```
+//! use stackless_streamed_trees::prelude::*;
+//!
+//! let gamma = Alphabet::of_chars("ab");
+//! let query = Query::compile(".*a", &gamma).unwrap();
+//! assert_eq!(query.count(b"<a><b></b></a>").unwrap(), 1);
+//! ```
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
 //! the paper-artifact-by-artifact reproduction index.
@@ -29,6 +42,21 @@ pub use st_automata as automata;
 pub use st_baseline as baseline;
 pub use st_conform as conform;
 pub use st_core as core;
+pub use st_obs as obs;
 pub use st_rpq as rpq;
 pub use st_serve as serve;
 pub use st_trees as trees;
+
+/// Everything a typical program needs: compile a [`Query`](st_core::query::Query),
+/// evaluate it over raw document bytes (one-shot, resource-guarded, or
+/// through a checkpointable session), serve it behind a
+/// [`ServeRuntime`](st_serve::ServeRuntime), and observe all of it
+/// through an [`ObsHandle`](st_obs::ObsHandle).
+pub mod prelude {
+    pub use st_automata::{compile_regex, Alphabet, Dfa};
+    pub use st_core::prelude::*;
+    pub use st_rpq::{parse_jsonpath, parse_xpath, PathQuery};
+    pub use st_serve::{
+        JobId, JobReport, JobSpec, PathTaken, ServeConfig, ServeRuntime, ServeStats, ServiceBudget,
+    };
+}

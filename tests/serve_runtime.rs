@@ -341,6 +341,80 @@ fn pressure_degrades_chunked_requests_to_the_session_path() {
     assert_eq!(stats.degraded, 1);
 }
 
+/// Fake time for [`stall_detection_runs_on_the_injected_clock`]:
+/// advanced explicitly by the test, never by wall-clock progress.
+static FAKE_NOW_MS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn fake_clock() -> Duration {
+    Duration::from_millis(FAKE_NOW_MS.load(std::sync::atomic::Ordering::SeqCst))
+}
+
+#[test]
+fn stall_detection_runs_on_the_injected_clock() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let q = fused("a.*b", "ab");
+    // Every segment stalls, and the injected sleep (ten real minutes)
+    // dwarfs the test budget: the one-hour stall deadline can only
+    // expire through the injected clock, which the test drives forward
+    // in hour-scale jumps.  Real time plays no part in the outcome.
+    let budget = ServiceBudget {
+        max_in_flight_bytes: None,
+        session_limits: Limits::none().with_clock(fake_clock),
+    };
+    let cfg = ServeConfig::default()
+        .with_workers(2)
+        .with_checkpoint_every(8)
+        .with_max_retries(1)
+        .with_stall_timeout(Duration::from_secs(3600))
+        .with_chaos(only(1, 0, 1000, 0, 600_000))
+        .with_budget(budget);
+    let serve = ServeRuntime::start(cfg);
+    let id = serve.submit(JobSpec::new(q, doc_with_leaves(6))).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let ticker = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                FAKE_NOW_MS.fetch_add(600_000, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+    let waiter = std::thread::spawn(move || {
+        let report = serve.wait(id).expect("id was issued by this runtime");
+        (report, serve.shutdown())
+    });
+
+    // Watchdog: if the supervisor consulted the real clock instead of
+    // the injected one, nothing resolves for an hour — fail fast.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while !waiter.is_finished() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "stall never detected: supervisor is not on the injected clock"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (report, stats) = waiter.join().unwrap();
+    stop.store(true, Ordering::SeqCst);
+    ticker.join().unwrap();
+
+    match &report.result {
+        Err(ServeError::Failed { attempts, last }) => {
+            assert_eq!(*attempts, 2, "1 initial + 1 retry, both stalled");
+            assert!(matches!(last, FailureCause::WorkerStall { .. }), "{last}");
+        }
+        other => panic!("expected stall-exhausted failure, got {other:?}"),
+    }
+    for f in &report.failures {
+        assert!(matches!(f, FailureCause::WorkerStall { .. }), "{f}");
+    }
+    assert_eq!(stats.stalls, 2);
+    assert!(stats.workers_spawned >= 4, "both stalled slots replaced");
+}
+
 #[test]
 fn shutdown_drains_and_then_refuses_new_work() {
     let q = fused("a.*b", "ab");
