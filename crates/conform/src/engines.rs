@@ -65,8 +65,12 @@ pub enum EngineId {
     StackBaseline,
     /// `CompiledQuery` over the scanned tag stream.
     EventPlan,
-    /// The fused byte engine, sequential.
+    /// The fused byte engine, sequential (structural-index path).
     Fused,
+    /// The fused byte engine with the scalar path forced — the oracle
+    /// twin of [`EngineId::Fused`]: the two must agree bitwise on
+    /// matches, counts, error diagnostics, and checkpoint bytes.
+    FusedScalar,
     /// The data-parallel byte engine at this chunk size.
     Chunked(usize),
     /// The fused engine run through the resilient session layer in one
@@ -84,6 +88,7 @@ impl std::fmt::Display for EngineId {
             EngineId::StackBaseline => write!(f, "stack-baseline"),
             EngineId::EventPlan => write!(f, "event-plan"),
             EngineId::Fused => write!(f, "fused"),
+            EngineId::FusedScalar => write!(f, "fused-scalar"),
             EngineId::Chunked(s) => write!(f, "chunked({s})"),
             EngineId::Session => write!(f, "session"),
             EngineId::Resumed(s) => write!(f, "resumed({s})"),
@@ -98,7 +103,11 @@ impl std::fmt::Display for EngineId {
 /// return the documented typed error.
 pub fn resume_support(id: EngineId) -> Result<(), SessionError> {
     match id {
-        EngineId::Fused | EngineId::Chunked(_) | EngineId::Session | EngineId::Resumed(_) => Ok(()),
+        EngineId::Fused
+        | EngineId::FusedScalar
+        | EngineId::Chunked(_)
+        | EngineId::Session
+        | EngineId::Resumed(_) => Ok(()),
         EngineId::DomOracle | EngineId::StackBaseline | EngineId::EventPlan => {
             Err(SessionError::ResumeUnsupported {
                 engine: id.to_string(),
@@ -314,6 +323,70 @@ fn run_resumed(
     })
 }
 
+/// Drives two sessions over `doc` in lockstep — the structural-index
+/// path and the forced-scalar path — checkpointing at every cut, and
+/// reports the first place they are not bitwise identical: a feed
+/// accepting on one side and erroring on the other, different match
+/// prefixes, or different serialized checkpoint bytes.  This is the
+/// strongest form of the simd-vs-scalar identity: not just the final
+/// answer, but every intermediate frozen state must agree.
+fn simd_scalar_lockstep(fused: &FusedQuery, doc: &[u8], cuts: &[usize]) -> Result<(), String> {
+    let mut a = fused.session(Limits::none());
+    let mut b = fused.session(Limits::none().with_force_scalar(true));
+    let mut prev = 0usize;
+    for &cut in cuts {
+        if cut <= prev || cut > doc.len() {
+            continue;
+        }
+        let ra = a.feed(&doc[prev..cut]);
+        let rb = b.feed(&doc[prev..cut]);
+        match (&ra, &rb) {
+            (Ok(()), Ok(())) => {}
+            (Err(ea), Err(eb)) => {
+                return if format!("{ea:?}") == format!("{eb:?}") {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "feed [..{cut}]: indexed error {ea:?} vs scalar error {eb:?}"
+                    ))
+                };
+            }
+            _ => {
+                return Err(format!("feed [..{cut}]: indexed {ra:?} vs scalar {rb:?}"));
+            }
+        }
+        if a.matches() != b.matches() {
+            return Err(format!(
+                "matches after [..{cut}]: indexed {:?} vs scalar {:?}",
+                a.matches(),
+                b.matches()
+            ));
+        }
+        let ca = a.checkpoint().map(|c| c.to_bytes());
+        let cb = b.checkpoint().map(|c| c.to_bytes());
+        match (&ca, &cb) {
+            (Ok(xa), Ok(xb)) if xa == xb => {}
+            _ => {
+                return Err(format!(
+                    "checkpoint bytes at {cut} differ: indexed {} vs scalar {}",
+                    ca.map(|v| v.len().to_string())
+                        .unwrap_or_else(|e| format!("{e:?}")),
+                    cb.map(|v| v.len().to_string())
+                        .unwrap_or_else(|e| format!("{e:?}")),
+                ));
+            }
+        }
+        prev = cut;
+    }
+    let fa = a.feed(&doc[prev..]).and_then(|()| a.finish());
+    let fb = b.feed(&doc[prev..]).and_then(|()| b.finish());
+    let (da, db) = (format!("{fa:?}"), format!("{fb:?}"));
+    if da != db {
+        return Err(format!("finish: indexed {da} vs scalar {db}"));
+    }
+    Ok(())
+}
+
 /// Runs every evaluation path on `case` and cross-checks the comparison
 /// groups described in the module docs.  `mutation` injects a deliberate
 /// engine fault (or [`Mutation::None`] for production behaviour).
@@ -356,6 +429,36 @@ pub fn run_case(case: &Case, mutation: Mutation) -> CaseOutcome {
     };
     let fused_cnt = catching(AssertUnwindSafe(|| fused.count_bytes(&case.doc)));
     outcomes.push((EngineId::Fused, fused_sel.clone()));
+
+    // --- simd-vs-scalar oracle pair ---------------------------------------
+    // The same query with the scalar byte path forced must be bitwise
+    // identical to the indexed run: match sets, counts, and error
+    // diagnostics here; intermediate checkpoint bytes via the lockstep
+    // below.
+    let scalar_query = Query::from_dfa(&dfa, &g)
+        .expect("scalar twin compiles iff the indexed query compiled")
+        .with_force_scalar(true);
+    let sfused = scalar_query.fused();
+    let scalar_sel = match catching(AssertUnwindSafe(|| sfused.select_bytes(&case.doc))) {
+        Ok(r) => Outcome::from_result(r),
+        Err(m) => Outcome::Panicked(m),
+    };
+    let scalar_cnt = catching(AssertUnwindSafe(|| sfused.count_bytes(&case.doc)));
+    outcomes.push((EngineId::FusedScalar, scalar_sel.clone()));
+    let mut lockstep: Option<String> = None;
+    for &s in &case.chunk_sizes {
+        let cuts = cuts_for(s, case.doc.len());
+        let r = catching(AssertUnwindSafe(|| {
+            simd_scalar_lockstep(fused, &case.doc, &cuts)
+        }));
+        match r {
+            Ok(Ok(())) => {}
+            Ok(Err(m)) | Err(m) => {
+                lockstep = Some(format!("cuts every {s}: {m}"));
+                break;
+            }
+        }
+    }
 
     let byte_dfa = fused.byte_dfa();
     let mut chunked: Vec<(usize, Outcome)> = Vec::new();
@@ -468,6 +571,9 @@ pub fn run_case(case: &Case, mutation: Mutation) -> CaseOutcome {
         scanned: &scanned,
         fused_sel: &fused_sel,
         fused_cnt,
+        scalar_sel: &scalar_sel,
+        scalar_cnt,
+        lockstep,
         chunked: &chunked,
         session_sel: &session_sel,
         resumed: &resumed,
@@ -491,6 +597,9 @@ struct DiffInput<'a> {
     scanned: &'a Result<Vec<Tag>, TreeError>,
     fused_sel: &'a Outcome,
     fused_cnt: Result<Result<usize, TreeError>, String>,
+    scalar_sel: &'a Outcome,
+    scalar_cnt: Result<Result<usize, TreeError>, String>,
+    lockstep: Option<String>,
     chunked: &'a [(usize, Outcome)],
     session_sel: &'a Outcome,
     resumed: &'a [(usize, Outcome)],
@@ -505,6 +614,9 @@ fn diff(input: DiffInput<'_>) -> Option<Divergence> {
         scanned,
         fused_sel,
         fused_cnt,
+        scalar_sel,
+        scalar_cnt,
+        lockstep,
         chunked,
         session_sel,
         resumed,
@@ -520,6 +632,42 @@ fn diff(input: DiffInput<'_>) -> Option<Divergence> {
             detail: detail.to_owned(),
         })
     };
+
+    // simd-vs-scalar oracle pair: the forced-scalar twin must be
+    // *bitwise identical* to the indexed run — same matches, same count,
+    // same error class at the same offset — on every input, including
+    // untokenizable ones (this is the only group with no well-formedness
+    // precondition at all).
+    if scalar_sel != fused_sel {
+        return mk(
+            "simd-vs-scalar: select",
+            (EngineId::FusedScalar, scalar_sel),
+            (EngineId::Fused, fused_sel),
+        );
+    }
+    {
+        let show = |r: &Result<Result<usize, TreeError>, String>| match r {
+            Ok(Ok(n)) => Outcome::Matches(vec![*n]),
+            Ok(Err(e)) => Outcome::Rejected(format!("{e:?}")),
+            Err(m) => Outcome::Panicked(m.clone()),
+        };
+        let (a, b) = (show(&scalar_cnt), show(&fused_cnt));
+        if a != b {
+            return mk(
+                "simd-vs-scalar: count",
+                (EngineId::FusedScalar, &a),
+                (EngineId::Fused, &b),
+            );
+        }
+    }
+    if let Some(m) = lockstep {
+        let o = Outcome::Rejected(m);
+        return mk(
+            "simd-vs-scalar: checkpoint lockstep",
+            (EngineId::FusedScalar, &o),
+            (EngineId::Fused, fused_sel),
+        );
+    }
 
     // Resume invariant: every resumed run must reproduce the
     // uninterrupted session exactly — same matches, or the same typed

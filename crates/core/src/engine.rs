@@ -38,6 +38,14 @@
 //! input is malformed (a dedicated error event / flag); on failure the
 //! cold path re-runs the `Scanner` to reproduce its exact diagnostic, so
 //! fused evaluation reports byte-identical errors to the event pipeline.
+//!
+//! On top of the composite tables sits the SIMD structural index
+//! ([`crate::structural`]): by default every engine strides from tag to
+//! tag over a vectorized `<`/`>`/hazard bitmap and only the certified
+//! events reach the per-event logic below; any ambiguous span falls back
+//! to the scalar lexer, so results are bitwise identical.  The scalar
+//! loops in this module are that fallback — and the whole-run path when
+//! forced via `ST_FORCE_SCALAR` / [`FusedQuery::set_force_scalar`].
 
 use std::collections::BTreeMap;
 
@@ -48,6 +56,9 @@ use st_trees::xml::Scanner;
 use crate::error::CoreError;
 use crate::har::{HarMarkupProgram, MAX_CHAIN};
 use crate::session::SessionError;
+use crate::structural::{
+    force_scalar_env, structural_scan, EventSink, NameTable, ScanEnd, ScanStats,
+};
 
 /// Converts a panic payload caught at `JoinHandle::join` into
 /// [`CoreError::WorkerFailed`].
@@ -83,13 +94,13 @@ fn join_all<T>(handles: Vec<std::thread::ScopedJoinHandle<'_, T>>) -> Result<Vec
 
 /// First byte of an element name: `[A-Za-z_:]` (as in the `Scanner`).
 #[inline]
-fn is_name_start(b: u8) -> bool {
+pub(crate) fn is_name_start(b: u8) -> bool {
     b.is_ascii_alphabetic() || b == b'_' || b == b':'
 }
 
 /// Continuation byte of an element name: `[A-Za-z0-9_.:-]`.
 #[inline]
-fn is_name_byte(b: u8) -> bool {
+pub(crate) fn is_name_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b':' | b'-')
 }
 
@@ -171,6 +182,13 @@ pub struct TagLexer {
     next: Vec<u16>,
     /// `event[s * 256 + b]`: event code fired by the transition.
     event: Vec<u16>,
+    /// Whole-name label lookup for the structural index's certified
+    /// classifier (same filtered label set as the tries).
+    names: NameTable,
+    /// Disables the structural-index fast path for every engine driven
+    /// by this lexer (seeded from `ST_FORCE_SCALAR`, overridable per
+    /// query / per session).
+    force_scalar: bool,
 }
 
 /// Row-building helper: states default to the error sink until wired.
@@ -391,7 +409,23 @@ impl TagLexer {
             n_states,
             next,
             event,
+            names: NameTable::new(&labels),
+            force_scalar: force_scalar_env(),
         }
+    }
+
+    /// The structural-index name table (complete-label lookup).
+    pub(crate) fn names(&self) -> &NameTable {
+        &self.names
+    }
+
+    /// Whether the scalar path is forced for engines on this lexer.
+    pub(crate) fn force_scalar(&self) -> bool {
+        self.force_scalar
+    }
+
+    pub(crate) fn set_force_scalar(&mut self, on: bool) {
+        self.force_scalar = on;
     }
 
     /// Number of lexer states.
@@ -490,6 +524,16 @@ impl TagLexer {
     }
 }
 
+/// Tallies structural-index window counts into `obs` under the stable
+/// counter names surfaced by `stql --stats`.
+pub(crate) fn record_scan_stats(obs: &st_obs::ObsHandle, stats: &ScanStats) {
+    if obs.is_enabled() {
+        obs.counter("engine_simd_windows").add(stats.simd_windows);
+        obs.counter("engine_scalar_fallback_windows")
+            .add(stats.fallback_windows);
+    }
+}
+
 /// Reproduces the `Scanner`'s diagnostic for an input the fused engines
 /// rejected (cold path: errors are not the throughput case).
 pub(crate) fn rescan_error(bytes: &[u8], alphabet: &Alphabet) -> TreeError {
@@ -542,6 +586,17 @@ pub struct ByteDfa {
     pub(crate) qnext: Vec<u16>,
     pub(crate) accepting: Vec<bool>,
     pub(crate) alphabet: Alphabet,
+    /// Row stride of [`Self::evtab`]: `3k + 1` (event codes are
+    /// `1..=3k`; slot 0 is padding).
+    estride: usize,
+    /// Packed per-*event* table for the structural-index stride:
+    /// `evtab[q * estride + ev]` holds the premultiplied successor row
+    /// offset (`q' * estride`, low 15 bits) and, in bit 15, whether the
+    /// event's open is selected (for self-closing events, selection of
+    /// the opened node).  One dependent load per certified tag instead
+    /// of one per byte.  `None` when `m * estride` exceeds the 15-bit
+    /// offset budget — the stride then decodes events through `qnext`.
+    evtab: Option<Vec<u16>>,
 }
 
 /// Speculative summary of one chunk, computed assuming the lexer starts
@@ -558,6 +613,241 @@ struct ChunkSummary {
     nodes: usize,
     /// The lexer hit an error transition.
     err: bool,
+}
+
+/// Sink for the packed-evtab count.  A struct with by-value scalar
+/// state rather than a closure: the certified sweep is monomorphized
+/// per sink and inlines [`EventSink::event`] into its loop, where a
+/// struct behind one `&mut` register-promotes `qoff`/`count` across
+/// iterations — closure-captured `&mut` locals round-trip through
+/// memory once per event, which doubles the per-tag cost.  The per-tag
+/// work is then the one dependent `evtab` load it is on paper, and the
+/// out-of-order core overlaps it with the next tag's certification.
+struct EvtabCount<'a> {
+    evtab: &'a [u16],
+    qoff: usize,
+    count: usize,
+}
+
+impl EventSink for EvtabCount<'_> {
+    #[inline]
+    fn event(&mut self, ev: u16, _pos: usize) -> bool {
+        let e = self.evtab[self.qoff + ev as usize];
+        self.count += (e >> 15) as usize;
+        self.qoff = (e & 0x7FFF) as usize;
+        true
+    }
+}
+
+/// [`EvtabCount`]'s twin over the factored tables, for engines whose
+/// packed offsets don't fit in 15 bits.
+struct StepCount<'a> {
+    dfa: &'a ByteDfa,
+    q: usize,
+    count: usize,
+}
+
+impl EventSink for StepCount<'_> {
+    #[inline]
+    fn event(&mut self, ev: u16, _pos: usize) -> bool {
+        let (q2, _, sel) = self.dfa.event_step(self.q, ev);
+        self.q = q2;
+        self.count += sel as usize;
+        true
+    }
+}
+
+/// Batch-draining sink for the packed-evtab select (document-order node
+/// ids of selected opens).
+struct EvtabSelect<'a> {
+    evtab: &'a [u16],
+    k: u16,
+    k2: u16,
+    qoff: usize,
+    out: Vec<usize>,
+    node: usize,
+}
+
+impl EventSink for EvtabSelect<'_> {
+    #[inline]
+    fn event(&mut self, ev: u16, _pos: usize) -> bool {
+        let e = self.evtab[self.qoff + ev as usize];
+        if e >> 15 != 0 {
+            self.out.push(self.node);
+        }
+        self.node += (ev <= self.k || ev > self.k2) as usize;
+        self.qoff = (e & 0x7FFF) as usize;
+        true
+    }
+}
+
+/// [`EvtabSelect`]'s twin over the factored tables.
+struct StepSelect<'a> {
+    dfa: &'a ByteDfa,
+    q: usize,
+    out: Vec<usize>,
+    node: usize,
+}
+
+impl EventSink for StepSelect<'_> {
+    #[inline]
+    fn event(&mut self, ev: u16, _pos: usize) -> bool {
+        let (q2, opened, sel) = self.dfa.event_step(self.q, ev);
+        self.q = q2;
+        if sel {
+            self.out.push(self.node);
+        }
+        self.node += opened as usize;
+        true
+    }
+}
+
+/// Depth-guarded count over the packed evtab: open/close are decoded
+/// branchlessly from the event number alone (`ev ≤ k` open, `ev > k`
+/// close, `ev > 2k` both), and the two breach compares are
+/// never-taken branches, so the guard costs two predictable compares on
+/// top of [`EvtabCount`]'s one dependent load.  Check order matches the
+/// scalar flag dispatch (open check before the selection tally, close
+/// check after) so a breach stops at the same event.
+struct GuardedEvtabCount<'a> {
+    evtab: &'a [u16],
+    k: u16,
+    k2: u16,
+    qoff: usize,
+    count: usize,
+    depth: i64,
+    max_depth: i64,
+    min_depth: i64,
+}
+
+impl EventSink for GuardedEvtabCount<'_> {
+    #[inline]
+    fn event(&mut self, ev: u16, _pos: usize) -> bool {
+        let e = self.evtab[self.qoff + ev as usize];
+        self.count += (e >> 15) as usize;
+        self.qoff = (e & 0x7FFF) as usize;
+        let opened = (ev <= self.k) | (ev > self.k2);
+        // Two never-taken branches (cheaper than or-ing the compares
+        // into one): a breach only has to be *detected* — the caller
+        // replays the document cold for the exact diagnostic — so the
+        // stop may trail the scalar twin's by part of an event as long
+        // as no breach is ever missed; `peak` covers the self-closing
+        // transient.
+        let peak = self.depth + i64::from(opened);
+        if peak > self.max_depth {
+            return false;
+        }
+        self.depth = peak - i64::from(ev > self.k);
+        if self.depth < self.min_depth {
+            return false;
+        }
+        true
+    }
+}
+
+/// [`GuardedEvtabCount`]'s select twin.
+struct GuardedEvtabSelect<'a> {
+    evtab: &'a [u16],
+    k: u16,
+    k2: u16,
+    qoff: usize,
+    out: Vec<usize>,
+    node: usize,
+    depth: i64,
+    max_depth: i64,
+    min_depth: i64,
+}
+
+impl EventSink for GuardedEvtabSelect<'_> {
+    #[inline]
+    fn event(&mut self, ev: u16, _pos: usize) -> bool {
+        let e = self.evtab[self.qoff + ev as usize];
+        if e >> 15 != 0 {
+            self.out.push(self.node);
+        }
+        self.qoff = (e & 0x7FFF) as usize;
+        let opened = (ev <= self.k) | (ev > self.k2);
+        self.node += opened as usize;
+        // See `GuardedEvtabCount`: detection-only, never-taken branches.
+        let peak = self.depth + i64::from(opened);
+        if peak > self.max_depth {
+            return false;
+        }
+        self.depth = peak - i64::from(ev > self.k);
+        if self.depth < self.min_depth {
+            return false;
+        }
+        true
+    }
+}
+
+/// [`GuardedEvtabCount`] over the factored tables, for engines whose
+/// packed offsets don't fit in 15 bits.
+struct GuardedCount<'a> {
+    dfa: &'a ByteDfa,
+    q: usize,
+    count: usize,
+    depth: i64,
+    max_depth: i64,
+    min_depth: i64,
+}
+
+impl EventSink for GuardedCount<'_> {
+    #[inline]
+    fn event(&mut self, ev: u16, _pos: usize) -> bool {
+        let (q2, opened, sel) = self.dfa.event_step(self.q, ev);
+        self.q = q2;
+        if opened {
+            self.depth += 1;
+            if self.depth > self.max_depth {
+                return false;
+            }
+        }
+        self.count += sel as usize;
+        if ev as usize > self.dfa.k {
+            self.depth -= 1;
+            if self.depth < self.min_depth {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// [`GuardedCount`]'s select twin.
+struct GuardedSelect<'a> {
+    dfa: &'a ByteDfa,
+    q: usize,
+    out: Vec<usize>,
+    node: usize,
+    depth: i64,
+    max_depth: i64,
+    min_depth: i64,
+}
+
+impl EventSink for GuardedSelect<'_> {
+    #[inline]
+    fn event(&mut self, ev: u16, _pos: usize) -> bool {
+        let (q2, opened, sel) = self.dfa.event_step(self.q, ev);
+        self.q = q2;
+        if opened {
+            self.depth += 1;
+            if self.depth > self.max_depth {
+                return false;
+            }
+        }
+        if sel {
+            self.out.push(self.node);
+        }
+        self.node += opened as usize;
+        if ev as usize > self.dfa.k {
+            self.depth -= 1;
+            if self.depth < self.min_depth {
+                return false;
+            }
+        }
+        true
+    }
 }
 
 impl ByteDfa {
@@ -637,6 +927,24 @@ impl ByteDfa {
                 }
             }
         }
+        let estride = 3 * k + 1;
+        let evtab = if m * estride <= 1 << 15 {
+            let mut t = vec![0u16; m * estride];
+            for q in 0..m {
+                for l in 0..k {
+                    let qo = qnext[q * 2 * k + l] as usize;
+                    let qc = qnext[q * 2 * k + k + l] as usize;
+                    let qs = qnext[qo * 2 * k + k + l] as usize;
+                    let sel = (accepting[qo] as u16) << 15;
+                    t[q * estride + 1 + l] = (qo * estride) as u16 | sel;
+                    t[q * estride + 1 + k + l] = (qc * estride) as u16;
+                    t[q * estride + 1 + 2 * k + l] = (qs * estride) as u16 | sel;
+                }
+            }
+            Some(t)
+        } else {
+            None
+        };
         Ok(ByteDfa {
             m,
             k,
@@ -646,7 +954,35 @@ impl ByteDfa {
             qnext,
             accepting,
             alphabet: alphabet.clone(),
+            estride,
+            evtab,
         })
+    }
+
+    /// Applies a lexer event code (`1..=3k`) to a query state:
+    /// `(next_q, opened, open_selected)`.  The factored-table twin of
+    /// the packed [`Self::evtab`] row, used where the packed offsets
+    /// don't fit or extra per-event state (depth guards) is tracked
+    /// anyway.
+    #[inline]
+    pub(crate) fn event_step(&self, q: usize, ev: u16) -> (usize, bool, bool) {
+        let k = self.k;
+        let k2 = 2 * k;
+        let ev = ev as usize;
+        if ev <= k2 {
+            let t = ev - 1;
+            let q2 = self.qnext[q * k2 + t] as usize;
+            if t < k {
+                (q2, true, self.accepting[q2])
+            } else {
+                (q2, false, false)
+            }
+        } else {
+            let l = ev - 1 - k2;
+            let q1 = self.qnext[q * k2 + l] as usize;
+            let q2 = self.qnext[q1 * k2 + k + l] as usize;
+            (q2, true, self.accepting[q1])
+        }
     }
 
     /// |Γ|.
@@ -664,12 +1000,87 @@ impl ByteDfa {
         &self.lexer
     }
 
-    /// Counts selected nodes in a single pass over `bytes`.
+    /// Forces (or re-enables) the scalar byte path for this engine; see
+    /// [`FusedQuery::set_force_scalar`].
+    pub fn set_force_scalar(&mut self, on: bool) {
+        self.lexer.set_force_scalar(on);
+    }
+
+    /// Counts selected nodes in a single pass over `bytes`: the
+    /// structural-index stride by default, the scalar composite-table
+    /// loop when the scalar path is forced.
     ///
     /// # Errors
     ///
     /// The `Scanner`'s diagnostic if the document is malformed.
     pub fn count_bytes(&self, bytes: &[u8]) -> Result<usize, TreeError> {
+        self.count_bytes_opts(bytes, &mut ScanStats::default(), false)
+    }
+
+    /// Dispatches between the indexed stride and the scalar loop;
+    /// `force` is the caller's (per-run) scalar override, OR-ed with the
+    /// engine's own flag.
+    pub(crate) fn count_bytes_opts(
+        &self,
+        bytes: &[u8],
+        stats: &mut ScanStats,
+        force: bool,
+    ) -> Result<usize, TreeError> {
+        if force || self.lexer.force_scalar {
+            self.count_bytes_scalar(bytes)
+        } else {
+            self.count_bytes_indexed(bytes, stats)
+        }
+    }
+
+    /// Runs the structural scan with a sink that only counts events —
+    /// the E22 probe that prices certification + striding without any
+    /// query-table work.
+    #[doc(hidden)]
+    #[inline(never)]
+    pub fn probe_events_noop(&self, bytes: &[u8]) -> usize {
+        let mut n = 0usize;
+        let mut stats = ScanStats::default();
+        structural_scan(&self.lexer, bytes, TEXT, &mut stats, &mut |_, _| {
+            n += 1;
+            true
+        });
+        n
+    }
+
+    /// The indexed two-pass count: certified tags advance the query
+    /// through one packed `evtab` load per *tag* (or the factored
+    /// tables when the packed offsets don't fit).
+    #[inline(never)]
+    fn count_bytes_indexed(&self, bytes: &[u8], stats: &mut ScanStats) -> Result<usize, TreeError> {
+        let (count, end) = if let Some(evtab) = self.evtab.as_deref() {
+            let mut sink = EvtabCount {
+                evtab,
+                qoff: self.start as usize * self.estride,
+                count: 0,
+            };
+            let end = structural_scan(&self.lexer, bytes, TEXT, stats, &mut sink);
+            (sink.count, end)
+        } else {
+            let mut sink = StepCount {
+                dfa: self,
+                q: self.start as usize,
+                count: 0,
+            };
+            let end = structural_scan(&self.lexer, bytes, TEXT, stats, &mut sink);
+            (sink.count, end)
+        };
+        match end {
+            ScanEnd::Complete { lex } if lex == TEXT => Ok(count),
+            _ => Err(rescan_error(bytes, &self.alphabet)),
+        }
+    }
+
+    /// The per-byte composite-table count (the forced-scalar path and
+    /// the reference the structural index is differentially tested
+    /// against).
+    #[doc(hidden)]
+    pub fn count_bytes_scalar(&self, bytes: &[u8]) -> Result<usize, TreeError> {
         let n = bytes.len();
         let m = self.m;
         let table = self.table.as_slice();
@@ -718,8 +1129,66 @@ impl ByteDfa {
     /// re-runs the windowed session cold to reproduce the exact
     /// diagnostic (neither is the throughput case).  `inline(never)`
     /// keeps the loop out of the caller's multi-backend dispatch body.
-    #[inline(never)]
     pub(crate) fn count_bytes_guarded(
+        &self,
+        bytes: &[u8],
+        max_depth: i64,
+        min_depth: i64,
+        stats: &mut ScanStats,
+        force: bool,
+    ) -> Option<usize> {
+        if force || self.lexer.force_scalar {
+            self.count_bytes_guarded_scalar(bytes, max_depth, min_depth)
+        } else {
+            self.count_bytes_guarded_indexed(bytes, max_depth, min_depth, stats)
+        }
+    }
+
+    /// Indexed guarded count: the depth guard rides per event exactly as
+    /// in the scalar flag-dispatch branch (open check before the
+    /// selection tally, close check after), so breach detection happens
+    /// at the same event.
+    #[inline(never)]
+    fn count_bytes_guarded_indexed(
+        &self,
+        bytes: &[u8],
+        max_depth: i64,
+        min_depth: i64,
+        stats: &mut ScanStats,
+    ) -> Option<usize> {
+        let (count, end) = if let Some(evtab) = self.evtab.as_deref() {
+            let mut sink = GuardedEvtabCount {
+                evtab,
+                k: self.k as u16,
+                k2: 2 * self.k as u16,
+                qoff: self.start as usize * self.estride,
+                count: 0,
+                depth: 0,
+                max_depth,
+                min_depth,
+            };
+            let end = structural_scan(&self.lexer, bytes, TEXT, stats, &mut sink);
+            (sink.count, end)
+        } else {
+            let mut sink = GuardedCount {
+                dfa: self,
+                q: self.start as usize,
+                count: 0,
+                depth: 0,
+                max_depth,
+                min_depth,
+            };
+            let end = structural_scan(&self.lexer, bytes, TEXT, stats, &mut sink);
+            (sink.count, end)
+        };
+        match end {
+            ScanEnd::Complete { lex } if lex == TEXT => Some(count),
+            _ => None,
+        }
+    }
+
+    #[inline(never)]
+    fn count_bytes_guarded_scalar(
         &self,
         bytes: &[u8],
         max_depth: i64,
@@ -777,8 +1246,64 @@ impl ByteDfa {
 
     /// Guarded variant of [`Self::select_bytes`]; see
     /// [`Self::count_bytes_guarded`] for the contract.
-    #[inline(never)]
     pub(crate) fn select_bytes_guarded(
+        &self,
+        bytes: &[u8],
+        max_depth: i64,
+        min_depth: i64,
+        stats: &mut ScanStats,
+        force: bool,
+    ) -> Option<Vec<usize>> {
+        if force || self.lexer.force_scalar {
+            self.select_bytes_guarded_scalar(bytes, max_depth, min_depth)
+        } else {
+            self.select_bytes_guarded_indexed(bytes, max_depth, min_depth, stats)
+        }
+    }
+
+    #[inline(never)]
+    fn select_bytes_guarded_indexed(
+        &self,
+        bytes: &[u8],
+        max_depth: i64,
+        min_depth: i64,
+        stats: &mut ScanStats,
+    ) -> Option<Vec<usize>> {
+        let (out, end) = if let Some(evtab) = self.evtab.as_deref() {
+            let mut sink = GuardedEvtabSelect {
+                evtab,
+                k: self.k as u16,
+                k2: 2 * self.k as u16,
+                qoff: self.start as usize * self.estride,
+                out: Vec::new(),
+                node: 0,
+                depth: 0,
+                max_depth,
+                min_depth,
+            };
+            let end = structural_scan(&self.lexer, bytes, TEXT, stats, &mut sink);
+            (sink.out, end)
+        } else {
+            let mut sink = GuardedSelect {
+                dfa: self,
+                q: self.start as usize,
+                out: Vec::new(),
+                node: 0,
+                depth: 0,
+                max_depth,
+                min_depth,
+            };
+            let end = structural_scan(&self.lexer, bytes, TEXT, stats, &mut sink);
+            (sink.out, end)
+        };
+        match end {
+            ScanEnd::Complete { lex } if lex == TEXT => Some(out),
+            _ => None,
+        }
+    }
+
+    #[inline(never)]
+    fn select_bytes_guarded_scalar(
         &self,
         bytes: &[u8],
         max_depth: i64,
@@ -841,11 +1366,65 @@ impl ByteDfa {
     /// Document-order ids of selected nodes, in a single pass over
     /// `bytes` (pre-selection semantics, identical to
     /// [`crate::planner::CompiledQuery::select`] over the scanned events).
+    /// Strides the structural index unless the scalar path is forced.
     ///
     /// # Errors
     ///
     /// The `Scanner`'s diagnostic if the document is malformed.
     pub fn select_bytes(&self, bytes: &[u8]) -> Result<Vec<usize>, TreeError> {
+        self.select_bytes_opts(bytes, &mut ScanStats::default(), false)
+    }
+
+    pub(crate) fn select_bytes_opts(
+        &self,
+        bytes: &[u8],
+        stats: &mut ScanStats,
+        force: bool,
+    ) -> Result<Vec<usize>, TreeError> {
+        if force || self.lexer.force_scalar {
+            self.select_bytes_scalar(bytes)
+        } else {
+            self.select_bytes_indexed(bytes, stats)
+        }
+    }
+
+    #[inline(never)]
+    fn select_bytes_indexed(
+        &self,
+        bytes: &[u8],
+        stats: &mut ScanStats,
+    ) -> Result<Vec<usize>, TreeError> {
+        let (out, end) = if let Some(evtab) = self.evtab.as_deref() {
+            let mut sink = EvtabSelect {
+                evtab,
+                k: self.k as u16,
+                k2: 2 * self.k as u16,
+                qoff: self.start as usize * self.estride,
+                out: Vec::new(),
+                node: 0,
+            };
+            let end = structural_scan(&self.lexer, bytes, TEXT, stats, &mut sink);
+            (sink.out, end)
+        } else {
+            let mut sink = StepSelect {
+                dfa: self,
+                q: self.start as usize,
+                out: Vec::new(),
+                node: 0,
+            };
+            let end = structural_scan(&self.lexer, bytes, TEXT, stats, &mut sink);
+            (sink.out, end)
+        };
+        match end {
+            ScanEnd::Complete { lex } if lex == TEXT => Ok(out),
+            _ => Err(rescan_error(bytes, &self.alphabet)),
+        }
+    }
+
+    /// Scalar twin of [`Self::select_bytes`]; see
+    /// [`Self::count_bytes_scalar`].
+    #[doc(hidden)]
+    pub fn select_bytes_scalar(&self, bytes: &[u8]) -> Result<Vec<usize>, TreeError> {
         let n = bytes.len();
         let m = self.m;
         let table = self.table.as_slice();
@@ -915,6 +1494,8 @@ impl ByteDfa {
     /// text state, while the query component is simulated from *every*
     /// state at once (`qmap`).  Sound to compose because registerless
     /// evaluation is a pure DFA and the lexer is query-independent.
+    /// Certified tags reach the O(m) per-event simulation straight from
+    /// the structural index (scalar when forced).
     fn summarize_chunk(&self, chunk: &[u8]) -> ChunkSummary {
         let m = self.m;
         let k = self.k;
@@ -925,52 +1506,68 @@ impl ByteDfa {
         let mut err = false;
         let mut end_lex = TEXT;
 
-        let mut lex = TEXT;
-        let n = chunk.len();
-        let mut i = 0usize;
-        'bytes: while i < n {
-            if lex == TEXT {
-                i = find_lt(chunk, i);
-                if i >= n {
-                    break;
-                }
-            }
-            let (lex2, ev) = self.lexer.step(lex, chunk[i]);
-            lex = lex2;
-            if ev != EV_NONE {
-                if ev == EV_ERROR {
-                    err = true;
-                    break 'bytes;
-                }
-                let (open_l, close_t) = if (ev as usize) <= 2 * k {
-                    let t = ev as usize - 1;
-                    if t < k {
-                        (Some(t), None)
-                    } else {
-                        (None, Some(t))
-                    }
+        let mut on_event = |ev: u16| {
+            let (open_l, close_t) = if (ev as usize) <= 2 * k {
+                let t = ev as usize - 1;
+                if t < k {
+                    (Some(t), None)
                 } else {
-                    let l = ev as usize - 1 - 2 * k;
-                    (Some(l), Some(k + l))
-                };
-                if let Some(l) = open_l {
-                    nodes += 1;
-                    for q in 0..m {
-                        let q2 = self.qnext[qmap[q] as usize * k2 + l];
-                        qmap[q] = q2;
-                        counts[q] += self.accepting[q2 as usize] as usize;
-                    }
+                    (None, Some(t))
                 }
-                if let Some(t) = close_t {
-                    for q in qmap.iter_mut() {
-                        *q = self.qnext[*q as usize * k2 + t];
-                    }
+            } else {
+                let l = ev as usize - 1 - 2 * k;
+                (Some(l), Some(k + l))
+            };
+            if let Some(l) = open_l {
+                nodes += 1;
+                for q in 0..m {
+                    let q2 = self.qnext[qmap[q] as usize * k2 + l];
+                    qmap[q] = q2;
+                    counts[q] += self.accepting[q2 as usize] as usize;
                 }
             }
-            i += 1;
-        }
-        if !err {
-            end_lex = lex;
+            if let Some(t) = close_t {
+                for q in qmap.iter_mut() {
+                    *q = self.qnext[*q as usize * k2 + t];
+                }
+            }
+        };
+
+        if self.lexer.force_scalar {
+            let mut lex = TEXT;
+            let n = chunk.len();
+            let mut i = 0usize;
+            'bytes: while i < n {
+                if lex == TEXT {
+                    i = find_lt(chunk, i);
+                    if i >= n {
+                        break;
+                    }
+                }
+                let (lex2, ev) = self.lexer.step(lex, chunk[i]);
+                lex = lex2;
+                if ev != EV_NONE {
+                    if ev == EV_ERROR {
+                        err = true;
+                        break 'bytes;
+                    }
+                    on_event(ev);
+                }
+                i += 1;
+            }
+            if !err {
+                end_lex = lex;
+            }
+        } else {
+            let mut stats = ScanStats::default();
+            match structural_scan(&self.lexer, chunk, TEXT, &mut stats, &mut |ev, _| {
+                on_event(ev);
+                true
+            }) {
+                ScanEnd::Complete { lex } => end_lex = lex,
+                ScanEnd::Error { .. } => err = true,
+                ScanEnd::Stopped => unreachable!("summary sink never stops"),
+            }
         }
         ChunkSummary {
             end_lex,
@@ -1130,6 +1727,42 @@ impl ByteDfa {
     /// parallel select; the chunk was already validated, so errors cannot
     /// occur here.
     fn select_chunk(&self, chunk: &[u8], entry_q: u16, node_off: usize) -> Vec<usize> {
+        if self.lexer.force_scalar {
+            return self.select_chunk_scalar(chunk, entry_q, node_off);
+        }
+        let k = self.k;
+        let k2 = 2 * k;
+        let mut out = Vec::new();
+        let mut node = node_off;
+        let mut stats = ScanStats::default();
+        if let Some(evtab) = self.evtab.as_deref() {
+            let mut qoff = entry_q as usize * self.estride;
+            structural_scan(&self.lexer, chunk, TEXT, &mut stats, &mut |ev, _| {
+                let e = evtab[qoff + ev as usize];
+                if e >> 15 != 0 {
+                    out.push(node);
+                }
+                let ev = ev as usize;
+                node += (ev <= k || ev > k2) as usize;
+                qoff = (e & 0x7FFF) as usize;
+                true
+            });
+        } else {
+            let mut q = entry_q as usize;
+            structural_scan(&self.lexer, chunk, TEXT, &mut stats, &mut |ev, _| {
+                let (q2, opened, sel) = self.event_step(q, ev);
+                q = q2;
+                if sel {
+                    out.push(node);
+                }
+                node += opened as usize;
+                true
+            });
+        }
+        out
+    }
+
+    fn select_chunk_scalar(&self, chunk: &[u8], entry_q: u16, node_off: usize) -> Vec<usize> {
         let m = self.m;
         let table = self.table.as_slice();
         let mask = table.len() - 1;
@@ -1257,7 +1890,15 @@ pub(crate) struct FusedHar {
 
 impl FusedHar {
     /// Single pass over bytes; `on_open(node, selected)` per opened node.
-    fn run(&self, bytes: &[u8], mut on_open: impl FnMut(usize, bool)) -> Result<(), ()> {
+    /// Certified tags come straight off the structural index (scalar
+    /// when forced); either driver feeds the same event closure.
+    fn run(
+        &self,
+        bytes: &[u8],
+        stats: &mut ScanStats,
+        force: bool,
+        mut on_open: impl FnMut(usize, bool),
+    ) -> Result<(), ()> {
         let core = self.program.core();
         let dfa = core.dfa();
         let component = core.component();
@@ -1273,7 +1914,7 @@ impl FusedHar {
         let mut depth: i64 = 0;
         let mut node = 0usize;
 
-        self.lexer.scan(bytes, |ev| {
+        let mut handle = |ev: u16| {
             let (open_l, close_l) = if (ev as usize) <= k2 {
                 let t = ev as usize - 1;
                 if t < k {
@@ -1315,7 +1956,18 @@ impl FusedHar {
                     }
                 }
             }
-        })
+        };
+        if force || self.lexer.force_scalar() {
+            return self.lexer.scan(bytes, &mut handle);
+        }
+        match structural_scan(&self.lexer, bytes, TEXT, stats, &mut |ev, _| {
+            handle(ev);
+            true
+        }) {
+            ScanEnd::Complete { lex } if lex == TEXT => Ok(()),
+            ScanEnd::Stopped => unreachable!("unguarded sink never stops"),
+            _ => Err(()),
+        }
     }
 
     /// [`Self::run`] with the depth and imbalance budgets checked inline.
@@ -1337,6 +1989,8 @@ impl FusedHar {
         bytes: &[u8],
         max_depth: i64,
         min_depth: i64,
+        stats: &mut ScanStats,
+        force: bool,
         mut on_open: impl FnMut(usize, bool),
     ) -> Result<bool, ()> {
         let core = self.program.core();
@@ -1355,60 +2009,66 @@ impl FusedHar {
         let mut node = 0usize;
         let mut breached = false;
 
-        self.lexer
-            .scan_ctl(bytes, |ev| {
-                let (open_l, close_l) = if (ev as usize) <= k2 {
-                    let t = ev as usize - 1;
-                    if t < k {
-                        (Some(t), None)
-                    } else {
-                        (None, Some(t - k))
-                    }
+        let mut handle = |ev: u16| {
+            let (open_l, close_l) = if (ev as usize) <= k2 {
+                let t = ev as usize - 1;
+                if t < k {
+                    (Some(t), None)
                 } else {
-                    let l = ev as usize - 1 - k2;
-                    (Some(l), Some(l))
-                };
-                if let Some(l) = open_l {
-                    depth += 1;
-                    if depth > max_depth {
-                        breached = true;
-                        return false;
+                    (None, Some(t - k))
+                }
+            } else {
+                let l = ev as usize - 1 - k2;
+                (Some(l), Some(l))
+            };
+            if let Some(l) = open_l {
+                depth += 1;
+                if depth > max_depth {
+                    breached = true;
+                    return false;
+                }
+                if !dead {
+                    let next = dfa.step(current, l);
+                    if component[next] != component[current] {
+                        chain[chain_len] = current as u16;
+                        regs[chain_len] = depth;
+                        chain_len += 1;
                     }
-                    if !dead {
-                        let next = dfa.step(current, l);
-                        if component[next] != component[current] {
-                            chain[chain_len] = current as u16;
-                            regs[chain_len] = depth;
-                            chain_len += 1;
-                        }
-                        current = next;
-                        on_open(node, dfa.is_accepting(current));
+                    current = next;
+                    on_open(node, dfa.is_accepting(current));
+                } else {
+                    on_open(node, false);
+                }
+                node += 1;
+            }
+            if let Some(l) = close_l {
+                depth -= 1;
+                if depth < min_depth {
+                    breached = true;
+                    return false;
+                }
+                if !dead {
+                    if chain_len > 0 && regs[chain_len - 1] > depth {
+                        chain_len -= 1;
+                        current = chain[chain_len] as usize;
                     } else {
-                        on_open(node, false);
-                    }
-                    node += 1;
-                }
-                if let Some(l) = close_l {
-                    depth -= 1;
-                    if depth < min_depth {
-                        breached = true;
-                        return false;
-                    }
-                    if !dead {
-                        if chain_len > 0 && regs[chain_len - 1] > depth {
-                            chain_len -= 1;
-                            current = chain[chain_len] as usize;
-                        } else {
-                            match rewind[current * k + l] {
-                                Some(p2) => current = p2,
-                                None => dead = true,
-                            }
+                        match rewind[current * k + l] {
+                            Some(p2) => current = p2,
+                            None => dead = true,
                         }
                     }
                 }
-                true
-            })
-            .map(|()| !breached)
+            }
+            true
+        };
+        if force || self.lexer.force_scalar() {
+            return self.lexer.scan_ctl(bytes, &mut handle).map(|()| !breached);
+        }
+        match structural_scan(&self.lexer, bytes, TEXT, stats, &mut |ev, _| handle(ev)) {
+            ScanEnd::Complete { lex } if lex == TEXT => Ok(!breached),
+            ScanEnd::Stopped => Ok(!breached),
+            _ => Err(()),
+        }
     }
 }
 
@@ -1423,13 +2083,19 @@ pub(crate) struct FusedStack {
 }
 
 impl FusedStack {
-    fn run(&self, bytes: &[u8], mut on_open: impl FnMut(usize, bool)) -> Result<(), ()> {
+    fn run(
+        &self,
+        bytes: &[u8],
+        stats: &mut ScanStats,
+        force: bool,
+        mut on_open: impl FnMut(usize, bool),
+    ) -> Result<(), ()> {
         let k = self.lexer.k();
         let k2 = 2 * k;
         let mut stack: Vec<usize> = Vec::new();
         let mut current = self.dfa.init();
         let mut node = 0usize;
-        self.lexer.scan(bytes, |ev| {
+        let mut handle = |ev: u16| {
             let (open_l, close) = if (ev as usize) <= k2 {
                 let t = ev as usize - 1;
                 if t < k {
@@ -1450,7 +2116,18 @@ impl FusedStack {
                 // Underflowing pop keeps the state, like the baseline.
                 current = stack.pop().unwrap_or(current);
             }
-        })
+        };
+        if force || self.lexer.force_scalar() {
+            return self.lexer.scan(bytes, &mut handle);
+        }
+        match structural_scan(&self.lexer, bytes, TEXT, stats, &mut |ev, _| {
+            handle(ev);
+            true
+        }) {
+            ScanEnd::Complete { lex } if lex == TEXT => Ok(()),
+            ScanEnd::Stopped => unreachable!("unguarded sink never stops"),
+            _ => Err(()),
+        }
     }
 
     /// Guarded variant of [`Self::run`]; see [`FusedHar::run_guarded`]
@@ -1463,6 +2140,8 @@ impl FusedStack {
         bytes: &[u8],
         max_depth: i64,
         min_depth: i64,
+        stats: &mut ScanStats,
+        force: bool,
         mut on_open: impl FnMut(usize, bool),
     ) -> Result<bool, ()> {
         let k = self.lexer.k();
@@ -1472,40 +2151,46 @@ impl FusedStack {
         let mut node = 0usize;
         let mut depth: i64 = 0;
         let mut breached = false;
-        self.lexer
-            .scan_ctl(bytes, |ev| {
-                let (open_l, close) = if (ev as usize) <= k2 {
-                    let t = ev as usize - 1;
-                    if t < k {
-                        (Some(t), false)
-                    } else {
-                        (None, true)
-                    }
+        let mut handle = |ev: u16| {
+            let (open_l, close) = if (ev as usize) <= k2 {
+                let t = ev as usize - 1;
+                if t < k {
+                    (Some(t), false)
                 } else {
-                    (Some(ev as usize - 1 - k2), true)
-                };
-                if let Some(l) = open_l {
-                    depth += 1;
-                    if depth > max_depth {
-                        breached = true;
-                        return false;
-                    }
-                    stack.push(current);
-                    current = self.dfa.step(current, l);
-                    on_open(node, self.dfa.is_accepting(current));
-                    node += 1;
+                    (None, true)
                 }
-                if close {
-                    depth -= 1;
-                    if depth < min_depth {
-                        breached = true;
-                        return false;
-                    }
-                    current = stack.pop().unwrap_or(current);
+            } else {
+                (Some(ev as usize - 1 - k2), true)
+            };
+            if let Some(l) = open_l {
+                depth += 1;
+                if depth > max_depth {
+                    breached = true;
+                    return false;
                 }
-                true
-            })
-            .map(|()| !breached)
+                stack.push(current);
+                current = self.dfa.step(current, l);
+                on_open(node, self.dfa.is_accepting(current));
+                node += 1;
+            }
+            if close {
+                depth -= 1;
+                if depth < min_depth {
+                    breached = true;
+                    return false;
+                }
+                current = stack.pop().unwrap_or(current);
+            }
+            true
+        };
+        if force || self.lexer.force_scalar() {
+            return self.lexer.scan_ctl(bytes, &mut handle).map(|()| !breached);
+        }
+        match structural_scan(&self.lexer, bytes, TEXT, stats, &mut |ev, _| handle(ev)) {
+            ScanEnd::Complete { lex } if lex == TEXT => Ok(!breached),
+            ScanEnd::Stopped => Ok(!breached),
+            _ => Err(()),
+        }
     }
 }
 
@@ -1587,17 +2272,60 @@ impl FusedQuery {
         }
     }
 
+    /// Forces (or re-enables) the scalar byte path for this query: with
+    /// `true`, every evaluation walks the composite tables per byte
+    /// instead of striding the structural index.  Defaults to the
+    /// process-wide `ST_FORCE_SCALAR` escape hatch.  Results are
+    /// bitwise identical either way; this exists as a kill switch and
+    /// for differential testing.
+    pub fn set_force_scalar(&mut self, on: bool) {
+        match &mut self.backend {
+            FusedBackend::Registerless(b) => b.set_force_scalar(on),
+            FusedBackend::Stackless(e) => e.lexer.set_force_scalar(on),
+            FusedBackend::Stack(e) => e.lexer.set_force_scalar(on),
+        }
+    }
+
+    /// Whether the scalar byte path is forced for this query.
+    pub fn force_scalar(&self) -> bool {
+        match &self.backend {
+            FusedBackend::Registerless(b) => b.lexer().force_scalar(),
+            FusedBackend::Stackless(e) => e.lexer.force_scalar(),
+            FusedBackend::Stack(e) => e.lexer.force_scalar(),
+        }
+    }
+
     /// Document-order ids of selected nodes, in one pass over raw bytes.
     ///
     /// # Errors
     ///
     /// The `Scanner`'s diagnostic if the document is malformed.
     pub fn select_bytes(&self, bytes: &[u8]) -> Result<Vec<usize>, TreeError> {
+        self.select_bytes_stats(bytes, &mut ScanStats::default())
+    }
+
+    /// [`Self::select_bytes`] exposing the structural-index window
+    /// tallies (experiment harness / obs plumbing).
+    #[doc(hidden)]
+    pub fn select_bytes_stats(
+        &self,
+        bytes: &[u8],
+        stats: &mut ScanStats,
+    ) -> Result<Vec<usize>, TreeError> {
+        self.select_bytes_opts(bytes, stats, false)
+    }
+
+    pub(crate) fn select_bytes_opts(
+        &self,
+        bytes: &[u8],
+        stats: &mut ScanStats,
+        force: bool,
+    ) -> Result<Vec<usize>, TreeError> {
         match &self.backend {
-            FusedBackend::Registerless(b) => b.select_bytes(bytes),
+            FusedBackend::Registerless(b) => b.select_bytes_opts(bytes, stats, force),
             FusedBackend::Stackless(e) => {
                 let mut out = Vec::new();
-                e.run(bytes, |node, sel| {
+                e.run(bytes, stats, force, |node, sel| {
                     if sel {
                         out.push(node);
                     }
@@ -1607,7 +2335,7 @@ impl FusedQuery {
             }
             FusedBackend::Stack(e) => {
                 let mut out = Vec::new();
-                e.run(bytes, |node, sel| {
+                e.run(bytes, stats, force, |node, sel| {
                     if sel {
                         out.push(node);
                     }
@@ -1624,17 +2352,37 @@ impl FusedQuery {
     ///
     /// The `Scanner`'s diagnostic if the document is malformed.
     pub fn count_bytes(&self, bytes: &[u8]) -> Result<usize, TreeError> {
+        self.count_bytes_stats(bytes, &mut ScanStats::default())
+    }
+
+    /// [`Self::count_bytes`] exposing the structural-index window
+    /// tallies (experiment harness / obs plumbing).
+    #[doc(hidden)]
+    pub fn count_bytes_stats(
+        &self,
+        bytes: &[u8],
+        stats: &mut ScanStats,
+    ) -> Result<usize, TreeError> {
+        self.count_bytes_opts(bytes, stats, false)
+    }
+
+    pub(crate) fn count_bytes_opts(
+        &self,
+        bytes: &[u8],
+        stats: &mut ScanStats,
+        force: bool,
+    ) -> Result<usize, TreeError> {
         match &self.backend {
-            FusedBackend::Registerless(b) => b.count_bytes(bytes),
+            FusedBackend::Registerless(b) => b.count_bytes_opts(bytes, stats, force),
             FusedBackend::Stackless(e) => {
                 let mut n = 0usize;
-                e.run(bytes, |_, sel| n += sel as usize)
+                e.run(bytes, stats, force, |_, sel| n += sel as usize)
                     .map_err(|()| rescan_error(bytes, &self.alphabet))?;
                 Ok(n)
             }
             FusedBackend::Stack(e) => {
                 let mut n = 0usize;
-                e.run(bytes, |_, sel| n += sel as usize)
+                e.run(bytes, stats, force, |_, sel| n += sel as usize)
                     .map_err(|()| rescan_error(bytes, &self.alphabet))?;
                 Ok(n)
             }
@@ -1679,7 +2427,13 @@ impl FusedQuery {
     /// Records one completed engine run into `obs`.  The byte loops
     /// themselves stay untouched — metrics are tallied once per run, so
     /// the no-op handle's cost is a handful of branches per document.
-    fn record_run(&self, obs: &st_obs::ObsHandle, bytes: usize, matches: Option<usize>) {
+    fn record_run(
+        &self,
+        obs: &st_obs::ObsHandle,
+        bytes: usize,
+        matches: Option<usize>,
+        stats: &ScanStats,
+    ) {
         if !obs.is_enabled() {
             return;
         }
@@ -1689,11 +2443,14 @@ impl FusedQuery {
             Some(n) => obs.counter("engine_matches_total").add(n as u64),
             None => obs.counter("engine_failed_runs_total").incr(),
         }
+        record_scan_stats(obs, stats);
     }
 
     /// [`Self::count_bytes`] with per-run metrics (`engine_runs_total`,
     /// `engine_bytes_total`, `engine_matches_total`,
-    /// `engine_failed_runs_total`) recorded into `obs`.
+    /// `engine_failed_runs_total`, and the structural-index tallies
+    /// `engine_simd_windows` / `engine_scalar_fallback_windows`)
+    /// recorded into `obs`.
     ///
     /// # Errors
     ///
@@ -1703,8 +2460,9 @@ impl FusedQuery {
         bytes: &[u8],
         obs: &st_obs::ObsHandle,
     ) -> Result<usize, TreeError> {
-        let res = self.count_bytes(bytes);
-        self.record_run(obs, bytes.len(), res.as_ref().ok().copied());
+        let mut stats = ScanStats::default();
+        let res = self.count_bytes_stats(bytes, &mut stats);
+        self.record_run(obs, bytes.len(), res.as_ref().ok().copied(), &stats);
         res
     }
 
@@ -1719,8 +2477,9 @@ impl FusedQuery {
         bytes: &[u8],
         obs: &st_obs::ObsHandle,
     ) -> Result<Vec<usize>, TreeError> {
-        let res = self.select_bytes(bytes);
-        self.record_run(obs, bytes.len(), res.as_ref().ok().map(Vec::len));
+        let mut stats = ScanStats::default();
+        let res = self.select_bytes_stats(bytes, &mut stats);
+        self.record_run(obs, bytes.len(), res.as_ref().ok().map(Vec::len), &stats);
         res
     }
 
@@ -1738,7 +2497,12 @@ impl FusedQuery {
         obs: &st_obs::ObsHandle,
     ) -> Result<usize, SessionError> {
         let res = self.count_bytes_parallel(bytes, n_threads);
-        self.record_run(obs, bytes.len(), res.as_ref().ok().copied());
+        self.record_run(
+            obs,
+            bytes.len(),
+            res.as_ref().ok().copied(),
+            &ScanStats::default(),
+        );
         self.record_chunked(obs, n_threads);
         res
     }
@@ -1756,7 +2520,12 @@ impl FusedQuery {
         obs: &st_obs::ObsHandle,
     ) -> Result<Vec<usize>, SessionError> {
         let res = self.select_bytes_parallel(bytes, n_threads);
-        self.record_run(obs, bytes.len(), res.as_ref().ok().map(Vec::len));
+        self.record_run(
+            obs,
+            bytes.len(),
+            res.as_ref().ok().map(Vec::len),
+            &ScanStats::default(),
+        );
         self.record_chunked(obs, n_threads);
         res
     }

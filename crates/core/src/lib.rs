@@ -58,7 +58,9 @@
 //! assert_eq!(selected.len(), plan.count(&tags));
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and re-allowed in exactly one module:
+// `simd`, the vector kernels behind runtime feature detection.
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod analysis;
@@ -81,6 +83,8 @@ pub mod registerless;
 pub mod restricted;
 pub mod rpqness;
 pub mod session;
+mod simd;
+pub mod structural;
 pub mod table;
 pub mod term;
 

@@ -116,6 +116,17 @@ impl Query {
         self.fused.strategy()
     }
 
+    /// Forces (or re-enables) the scalar byte path for every evaluation
+    /// through this query — the builder twin of the process-wide
+    /// `ST_FORCE_SCALAR` escape hatch and of
+    /// [`Limits::with_force_scalar`].  Results are bitwise identical
+    /// either way; this exists as a kill switch and for differential
+    /// testing.
+    pub fn with_force_scalar(mut self, on: bool) -> Query {
+        self.fused.set_force_scalar(on);
+        self
+    }
+
     /// The alphabet the query was compiled against.
     pub fn alphabet(&self) -> &Alphabet {
         &self.alphabet

@@ -48,12 +48,13 @@ use st_obs::{Counter, Histogram, ObsHandle, TraceEvent};
 use st_trees::error::TreeError;
 
 use crate::engine::{
-    find_lt, rescan_error, FusedBackend, FusedQuery, TagLexer, EV_ERROR, EV_NONE, FLAG_CLOSE,
-    FLAG_ERROR, FLAG_OPEN, FLAG_SELECTED, LT, TEXT,
+    find_lt, record_scan_stats, rescan_error, FusedBackend, FusedQuery, TagLexer, EV_ERROR,
+    EV_NONE, FLAG_CLOSE, FLAG_ERROR, FLAG_OPEN, FLAG_SELECTED, LT, TEXT,
 };
 use crate::error::CoreError;
 use crate::har::{HarCore, MAX_CHAIN};
 use crate::planner::Strategy;
+use crate::structural::{structural_scan, ScanEnd, ScanStats};
 
 /// Bytes processed between amortized byte-budget / wall-clock checks.
 const WINDOW: usize = 64 << 10;
@@ -107,6 +108,13 @@ pub struct Limits {
     /// session event — never one per byte; see the session metrics
     /// taxonomy in DESIGN.
     pub obs: ObsHandle,
+    /// Forces the scalar byte path for runs under these limits, without
+    /// mutating the shared query: the per-window structural index is
+    /// skipped and the composite tables walk every byte.  Results are
+    /// bitwise identical either way (that identity is what st-conform
+    /// fuzzes); this is the per-run twin of the process-wide
+    /// `ST_FORCE_SCALAR` escape hatch.
+    pub force_scalar: bool,
 }
 
 impl Limits {
@@ -160,6 +168,13 @@ impl Limits {
         self
     }
 
+    /// Forces (or re-enables) the scalar byte path for runs under these
+    /// limits; see [`Limits::force_scalar`].
+    pub fn with_force_scalar(mut self, on: bool) -> Limits {
+        self.force_scalar = on;
+        self
+    }
+
     /// Reads the configured clock (or the default monotonic clock).
     pub fn now(&self) -> Duration {
         (self.clock.unwrap_or(monotonic_clock))()
@@ -187,7 +202,11 @@ impl PartialEq for Limits {
     /// and two `Limits` that enforce the same budgets are the same limits
     /// regardless of which clock measures them.  The observability handle
     /// is excluded for the same reason: it observes the run, it does not
-    /// constrain it.
+    /// constrain it.  `force_scalar` is likewise excluded: it picks the
+    /// engine that enforces the budgets, not the budgets themselves, and
+    /// both engines produce bitwise-identical results — so a checkpoint
+    /// taken under the indexed path resumes cleanly under forced-scalar
+    /// limits and vice versa.
     fn eq(&self, other: &Limits) -> bool {
         self.max_depth == other.max_depth
             && self.max_bytes == other.max_bytes
@@ -833,6 +852,10 @@ struct SessObs {
     matches: Counter,
     breaches: Counter,
     finished: Counter,
+    /// Structural-index window tallies, shared with the one-shot engine
+    /// counters so `stql --stats` reports one fallback rate.
+    simd_windows: Counter,
+    fallback_windows: Counter,
     /// Bytes between consecutive checkpoints (the observed cadence).
     checkpoint_interval: Histogram,
     /// `Cell` because [`EngineSession::checkpoint`] takes `&self`.
@@ -854,6 +877,8 @@ impl SessObs {
             matches: obs.counter("session_matches_total"),
             breaches: obs.counter("session_limit_breaches_total"),
             finished: obs.counter("session_finished_total"),
+            simd_windows: obs.counter("engine_simd_windows"),
+            fallback_windows: obs.counter("engine_scalar_fallback_windows"),
             checkpoint_interval: obs.histogram("session_checkpoint_interval_bytes"),
             last_checkpoint_offset: std::cell::Cell::new(offset),
         })
@@ -1038,6 +1063,8 @@ impl<'q> EngineSession<'q> {
             .map(|d| -(d as i64))
             .unwrap_or(i64::MIN);
         let base = self.offset;
+        let force_scalar = self.limits.force_scalar || self.query.force_scalar();
+        let mut stats = ScanStats::default();
         let mut depth = self.depth;
         let mut node = self.node;
         let matches = &mut self.matches;
@@ -1048,50 +1075,92 @@ impl<'q> EngineSession<'q> {
                     unreachable!("state/backend agree by construction");
                 };
                 let m = b.m;
-                let table = b.table.as_slice();
-                let mask = table.len() - 1;
                 let mut st = *s;
-                let mut i = 0usize;
-                let res = 'scan: {
-                    while i < n {
-                        if st < m {
-                            i = find_lt(w, i);
-                            if i >= n {
-                                break;
-                            }
-                            st += LT as usize * m;
-                            i += 1;
-                            if i >= n {
-                                break;
-                            }
-                        }
-                        let p = table[((st << 8) | w[i] as usize) & mask];
-                        st = (p & 0xFFFF) as usize;
-                        if p >> 16 != 0 {
-                            let f = (p >> 16) as u8;
-                            if f & FLAG_ERROR != 0 {
-                                break 'scan Err(parse_error(base + i));
-                            }
-                            if f & FLAG_OPEN != 0 {
+                let res = if !force_scalar {
+                    // Indexed window: the composite state factors as
+                    // `lex·m + q`; the structural scan carries the lexer
+                    // half and the event sink carries the query half.
+                    let k = b.k();
+                    let entry_lex = (st / m) as u16;
+                    let mut q = st % m;
+                    let mut lim_err: Option<SessionError> = None;
+                    let end =
+                        structural_scan(b.lexer(), w, entry_lex, &mut stats, &mut |ev, pos| {
+                            let (q2, opened, sel) = b.event_step(q, ev);
+                            q = q2;
+                            if opened {
                                 depth += 1;
                                 if depth > max_depth {
-                                    break 'scan Err(depth_error(max_depth, base + i));
+                                    lim_err = Some(depth_error(max_depth, base + pos));
+                                    return false;
                                 }
-                                if f & FLAG_SELECTED != 0 {
+                                if sel {
                                     matches.push(node);
                                 }
                                 node += 1;
                             }
-                            if f & FLAG_CLOSE != 0 {
+                            if ev as usize > k {
                                 depth -= 1;
                                 if depth < min_depth {
-                                    break 'scan Err(imbalance_error(min_depth, base + i));
+                                    lim_err = Some(imbalance_error(min_depth, base + pos));
+                                    return false;
                                 }
                             }
+                            true
+                        });
+                    match end {
+                        ScanEnd::Complete { lex } => {
+                            st = lex as usize * m + q;
+                            Ok(())
                         }
-                        i += 1;
+                        ScanEnd::Error { pos } => Err(parse_error(base + pos)),
+                        ScanEnd::Stopped => Err(lim_err.expect("stopped sink set its error")),
                     }
-                    Ok(())
+                } else {
+                    let table = b.table.as_slice();
+                    let mask = table.len() - 1;
+                    let mut i = 0usize;
+                    'scan: {
+                        while i < n {
+                            if st < m {
+                                i = find_lt(w, i);
+                                if i >= n {
+                                    break;
+                                }
+                                st += LT as usize * m;
+                                i += 1;
+                                if i >= n {
+                                    break;
+                                }
+                            }
+                            let p = table[((st << 8) | w[i] as usize) & mask];
+                            st = (p & 0xFFFF) as usize;
+                            if p >> 16 != 0 {
+                                let f = (p >> 16) as u8;
+                                if f & FLAG_ERROR != 0 {
+                                    break 'scan Err(parse_error(base + i));
+                                }
+                                if f & FLAG_OPEN != 0 {
+                                    depth += 1;
+                                    if depth > max_depth {
+                                        break 'scan Err(depth_error(max_depth, base + i));
+                                    }
+                                    if f & FLAG_SELECTED != 0 {
+                                        matches.push(node);
+                                    }
+                                    node += 1;
+                                }
+                                if f & FLAG_CLOSE != 0 {
+                                    depth -= 1;
+                                    if depth < min_depth {
+                                        break 'scan Err(imbalance_error(min_depth, base + i));
+                                    }
+                                }
+                            }
+                            i += 1;
+                        }
+                        Ok(())
+                    }
                 };
                 *s = st;
                 res
@@ -1113,62 +1182,116 @@ impl<'q> EngineSession<'q> {
                 let mut current = run.current;
                 let mut dead = run.dead;
                 let mut chain_len = run.chain_len;
-                let mut i = 0usize;
-                let res = 'scan: {
-                    while i < n {
-                        if lx == TEXT {
-                            i = find_lt(w, i);
-                            if i >= n {
-                                break;
+                let res = if !force_scalar {
+                    let mut lim_err: Option<SessionError> = None;
+                    let end = structural_scan(lexer, w, lx, &mut stats, &mut |ev, pos| {
+                        let (open_l, close_l) = decode_event(ev, k);
+                        if let Some(l) = open_l {
+                            depth += 1;
+                            if depth > max_depth {
+                                lim_err = Some(depth_error(max_depth, base + pos));
+                                return false;
+                            }
+                            if !dead {
+                                let next = dfa.step(current, l);
+                                if component[next] != component[current] {
+                                    run.chain[chain_len] = current as u16;
+                                    run.regs[chain_len] = depth;
+                                    chain_len += 1;
+                                }
+                                current = next;
+                                if dfa.is_accepting(current) {
+                                    matches.push(node);
+                                }
+                            }
+                            node += 1;
+                        }
+                        if let Some(l) = close_l {
+                            depth -= 1;
+                            if depth < min_depth {
+                                lim_err = Some(imbalance_error(min_depth, base + pos));
+                                return false;
+                            }
+                            if !dead {
+                                if chain_len > 0 && run.regs[chain_len - 1] > depth {
+                                    chain_len -= 1;
+                                    current = run.chain[chain_len] as usize;
+                                } else {
+                                    match rewind[current * k + l] {
+                                        Some(p2) => current = p2,
+                                        None => dead = true,
+                                    }
+                                }
                             }
                         }
-                        let (lex2, ev) = lexer.step(lx, w[i]);
-                        lx = lex2;
-                        if ev != EV_NONE {
-                            if ev == EV_ERROR {
-                                break 'scan Err(parse_error(base + i));
+                        true
+                    });
+                    match end {
+                        ScanEnd::Complete { lex: l2 } => {
+                            lx = l2;
+                            Ok(())
+                        }
+                        ScanEnd::Error { pos } => Err(parse_error(base + pos)),
+                        ScanEnd::Stopped => Err(lim_err.expect("stopped sink set its error")),
+                    }
+                } else {
+                    let mut i = 0usize;
+                    'scan: {
+                        while i < n {
+                            if lx == TEXT {
+                                i = find_lt(w, i);
+                                if i >= n {
+                                    break;
+                                }
                             }
-                            let (open_l, close_l) = decode_event(ev, k);
-                            if let Some(l) = open_l {
-                                depth += 1;
-                                if depth > max_depth {
-                                    break 'scan Err(depth_error(max_depth, base + i));
+                            let (lex2, ev) = lexer.step(lx, w[i]);
+                            lx = lex2;
+                            if ev != EV_NONE {
+                                if ev == EV_ERROR {
+                                    break 'scan Err(parse_error(base + i));
                                 }
-                                if !dead {
-                                    let next = dfa.step(current, l);
-                                    if component[next] != component[current] {
-                                        run.chain[chain_len] = current as u16;
-                                        run.regs[chain_len] = depth;
-                                        chain_len += 1;
+                                let (open_l, close_l) = decode_event(ev, k);
+                                if let Some(l) = open_l {
+                                    depth += 1;
+                                    if depth > max_depth {
+                                        break 'scan Err(depth_error(max_depth, base + i));
                                     }
-                                    current = next;
-                                    if dfa.is_accepting(current) {
-                                        matches.push(node);
+                                    if !dead {
+                                        let next = dfa.step(current, l);
+                                        if component[next] != component[current] {
+                                            run.chain[chain_len] = current as u16;
+                                            run.regs[chain_len] = depth;
+                                            chain_len += 1;
+                                        }
+                                        current = next;
+                                        if dfa.is_accepting(current) {
+                                            matches.push(node);
+                                        }
                                     }
+                                    node += 1;
                                 }
-                                node += 1;
-                            }
-                            if let Some(l) = close_l {
-                                depth -= 1;
-                                if depth < min_depth {
-                                    break 'scan Err(imbalance_error(min_depth, base + i));
-                                }
-                                if !dead {
-                                    if chain_len > 0 && run.regs[chain_len - 1] > depth {
-                                        chain_len -= 1;
-                                        current = run.chain[chain_len] as usize;
-                                    } else {
-                                        match rewind[current * k + l] {
-                                            Some(p2) => current = p2,
-                                            None => dead = true,
+                                if let Some(l) = close_l {
+                                    depth -= 1;
+                                    if depth < min_depth {
+                                        break 'scan Err(imbalance_error(min_depth, base + i));
+                                    }
+                                    if !dead {
+                                        if chain_len > 0 && run.regs[chain_len - 1] > depth {
+                                            chain_len -= 1;
+                                            current = run.chain[chain_len] as usize;
+                                        } else {
+                                            match rewind[current * k + l] {
+                                                Some(p2) => current = p2,
+                                                None => dead = true,
+                                            }
                                         }
                                     }
                                 }
                             }
+                            i += 1;
                         }
-                        i += 1;
+                        Ok(())
                     }
-                    Ok(())
                 };
                 *lex = lx;
                 run.current = current;
@@ -1189,49 +1312,90 @@ impl<'q> EngineSession<'q> {
                 let k = lexer.k();
                 let mut lx = *lex;
                 let mut cur = *current;
-                let mut i = 0usize;
-                let res = 'scan: {
-                    while i < n {
-                        if lx == TEXT {
-                            i = find_lt(w, i);
-                            if i >= n {
-                                break;
+                let res = if !force_scalar {
+                    let mut lim_err: Option<SessionError> = None;
+                    let end = structural_scan(lexer, w, lx, &mut stats, &mut |ev, pos| {
+                        let (open_l, close_l) = decode_event(ev, k);
+                        if let Some(l) = open_l {
+                            depth += 1;
+                            if depth > max_depth {
+                                lim_err = Some(depth_error(max_depth, base + pos));
+                                return false;
+                            }
+                            stack.push(cur as u16);
+                            cur = dfa.step(cur, l);
+                            if dfa.is_accepting(cur) {
+                                matches.push(node);
+                            }
+                            node += 1;
+                        }
+                        if close_l.is_some() {
+                            depth -= 1;
+                            if depth < min_depth {
+                                lim_err = Some(imbalance_error(min_depth, base + pos));
+                                return false;
+                            }
+                            // Underflowing pop keeps the state, like the
+                            // baseline evaluator.
+                            if let Some(s) = stack.pop() {
+                                cur = s as usize;
                             }
                         }
-                        let (lex2, ev) = lexer.step(lx, w[i]);
-                        lx = lex2;
-                        if ev != EV_NONE {
-                            if ev == EV_ERROR {
-                                break 'scan Err(parse_error(base + i));
-                            }
-                            let (open_l, close_l) = decode_event(ev, k);
-                            if let Some(l) = open_l {
-                                depth += 1;
-                                if depth > max_depth {
-                                    break 'scan Err(depth_error(max_depth, base + i));
-                                }
-                                stack.push(cur as u16);
-                                cur = dfa.step(cur, l);
-                                if dfa.is_accepting(cur) {
-                                    matches.push(node);
-                                }
-                                node += 1;
-                            }
-                            if close_l.is_some() {
-                                depth -= 1;
-                                if depth < min_depth {
-                                    break 'scan Err(imbalance_error(min_depth, base + i));
-                                }
-                                // Underflowing pop keeps the state, like
-                                // the baseline evaluator.
-                                if let Some(s) = stack.pop() {
-                                    cur = s as usize;
-                                }
-                            }
+                        true
+                    });
+                    match end {
+                        ScanEnd::Complete { lex: l2 } => {
+                            lx = l2;
+                            Ok(())
                         }
-                        i += 1;
+                        ScanEnd::Error { pos } => Err(parse_error(base + pos)),
+                        ScanEnd::Stopped => Err(lim_err.expect("stopped sink set its error")),
                     }
-                    Ok(())
+                } else {
+                    let mut i = 0usize;
+                    'scan: {
+                        while i < n {
+                            if lx == TEXT {
+                                i = find_lt(w, i);
+                                if i >= n {
+                                    break;
+                                }
+                            }
+                            let (lex2, ev) = lexer.step(lx, w[i]);
+                            lx = lex2;
+                            if ev != EV_NONE {
+                                if ev == EV_ERROR {
+                                    break 'scan Err(parse_error(base + i));
+                                }
+                                let (open_l, close_l) = decode_event(ev, k);
+                                if let Some(l) = open_l {
+                                    depth += 1;
+                                    if depth > max_depth {
+                                        break 'scan Err(depth_error(max_depth, base + i));
+                                    }
+                                    stack.push(cur as u16);
+                                    cur = dfa.step(cur, l);
+                                    if dfa.is_accepting(cur) {
+                                        matches.push(node);
+                                    }
+                                    node += 1;
+                                }
+                                if close_l.is_some() {
+                                    depth -= 1;
+                                    if depth < min_depth {
+                                        break 'scan Err(imbalance_error(min_depth, base + i));
+                                    }
+                                    // Underflowing pop keeps the state, like
+                                    // the baseline evaluator.
+                                    if let Some(s) = stack.pop() {
+                                        cur = s as usize;
+                                    }
+                                }
+                            }
+                            i += 1;
+                        }
+                        Ok(())
+                    }
                 };
                 *lex = lx;
                 *current = cur;
@@ -1240,6 +1404,10 @@ impl<'q> EngineSession<'q> {
         };
         self.depth = depth;
         self.node = node;
+        if let Some(o) = &self.obs {
+            o.simd_windows.add(stats.simd_windows);
+            o.fallback_windows.add(stats.fallback_windows);
+        }
         res
     }
 
@@ -1699,7 +1867,12 @@ impl FusedQuery {
         limits: &Limits,
     ) -> Result<Vec<usize>, SessionError> {
         if limits.is_unbounded() {
-            return self.select_bytes(bytes).map_err(SessionError::Parse);
+            let mut stats = ScanStats::default();
+            let res = self
+                .select_bytes_opts(bytes, &mut stats, limits.force_scalar)
+                .map_err(SessionError::Parse);
+            record_scan_stats(&limits.obs, &stats);
+            return res;
         }
         if self.fast_guard_applies(bytes, limits) {
             limits.obs.counter("engine_guarded_runs_total").incr();
@@ -1708,7 +1881,9 @@ impl FusedQuery {
                 .max_imbalance
                 .map(|d| -(d as i64))
                 .unwrap_or(i64::MIN);
-            match &self.backend {
+            let force = limits.force_scalar;
+            let mut stats = ScanStats::default();
+            let fast = match &self.backend {
                 FusedBackend::Registerless(b) => {
                     // The O(1)-state engine has no depth of its own;
                     // with only a (satisfied) byte budget the guarded
@@ -1716,33 +1891,51 @@ impl FusedQuery {
                     // ride on the open/close flags in the composite
                     // table.
                     if limits.max_depth.is_none() && limits.max_imbalance.is_none() {
-                        if let Ok(out) = self.select_bytes(bytes) {
-                            return Ok(out);
-                        }
-                    } else if let Some(out) = b.select_bytes_guarded(bytes, max_depth, min_depth) {
-                        return Ok(out);
+                        self.select_bytes_opts(bytes, &mut stats, force).ok()
+                    } else {
+                        b.select_bytes_guarded(bytes, max_depth, min_depth, &mut stats, force)
                     }
                 }
                 FusedBackend::Stackless(e) => {
                     let mut out = Vec::new();
-                    if let Ok(true) = e.run_guarded(bytes, max_depth, min_depth, |node, sel| {
-                        if sel {
-                            out.push(node);
-                        }
-                    }) {
-                        return Ok(out);
+                    match e.run_guarded(
+                        bytes,
+                        max_depth,
+                        min_depth,
+                        &mut stats,
+                        force,
+                        |node, sel| {
+                            if sel {
+                                out.push(node);
+                            }
+                        },
+                    ) {
+                        Ok(true) => Some(out),
+                        _ => None,
                     }
                 }
                 FusedBackend::Stack(e) => {
                     let mut out = Vec::new();
-                    if let Ok(true) = e.run_guarded(bytes, max_depth, min_depth, |node, sel| {
-                        if sel {
-                            out.push(node);
-                        }
-                    }) {
-                        return Ok(out);
+                    match e.run_guarded(
+                        bytes,
+                        max_depth,
+                        min_depth,
+                        &mut stats,
+                        force,
+                        |node, sel| {
+                            if sel {
+                                out.push(node);
+                            }
+                        },
+                    ) {
+                        Ok(true) => Some(out),
+                        _ => None,
                     }
                 }
+            };
+            record_scan_stats(&limits.obs, &stats);
+            if let Some(out) = fast {
+                return Ok(out);
             }
         }
         limits.obs.counter("engine_guard_fallbacks_total").incr();
@@ -1766,7 +1959,12 @@ impl FusedQuery {
         limits: &Limits,
     ) -> Result<usize, SessionError> {
         if limits.is_unbounded() {
-            return self.count_bytes(bytes).map_err(SessionError::Parse);
+            let mut stats = ScanStats::default();
+            let res = self
+                .count_bytes_opts(bytes, &mut stats, limits.force_scalar)
+                .map_err(SessionError::Parse);
+            record_scan_stats(&limits.obs, &stats);
+            return res;
         }
         if self.fast_guard_applies(bytes, limits) {
             limits.obs.counter("engine_guarded_runs_total").incr();
@@ -1775,32 +1973,38 @@ impl FusedQuery {
                 .max_imbalance
                 .map(|d| -(d as i64))
                 .unwrap_or(i64::MIN);
-            match &self.backend {
+            let force = limits.force_scalar;
+            let mut stats = ScanStats::default();
+            let fast = match &self.backend {
                 FusedBackend::Registerless(b) => {
                     if limits.max_depth.is_none() && limits.max_imbalance.is_none() {
-                        if let Ok(n) = self.count_bytes(bytes) {
-                            return Ok(n);
-                        }
-                    } else if let Some(n) = b.count_bytes_guarded(bytes, max_depth, min_depth) {
-                        return Ok(n);
+                        self.count_bytes_opts(bytes, &mut stats, force).ok()
+                    } else {
+                        b.count_bytes_guarded(bytes, max_depth, min_depth, &mut stats, force)
                     }
                 }
                 FusedBackend::Stackless(e) => {
                     let mut n = 0usize;
-                    if let Ok(true) = e.run_guarded(bytes, max_depth, min_depth, |_, sel| {
+                    match e.run_guarded(bytes, max_depth, min_depth, &mut stats, force, |_, sel| {
                         n += sel as usize;
                     }) {
-                        return Ok(n);
+                        Ok(true) => Some(n),
+                        _ => None,
                     }
                 }
                 FusedBackend::Stack(e) => {
                     let mut n = 0usize;
-                    if let Ok(true) = e.run_guarded(bytes, max_depth, min_depth, |_, sel| {
+                    match e.run_guarded(bytes, max_depth, min_depth, &mut stats, force, |_, sel| {
                         n += sel as usize;
                     }) {
-                        return Ok(n);
+                        Ok(true) => Some(n),
+                        _ => None,
                     }
                 }
+            };
+            record_scan_stats(&limits.obs, &stats);
+            if let Some(n) = fast {
+                return Ok(n);
             }
         }
         limits.obs.counter("engine_guard_fallbacks_total").incr();

@@ -1,0 +1,504 @@
+//! Vectorized structural classification: the only `unsafe` module in the
+//! crate (`lib.rs` carries `#![deny(unsafe_code)]`; this module opts out
+//! locally, and nothing else does).
+//!
+//! One job: given a window of input bytes, produce three bitmaps — one
+//! bit per byte — marking the structurally interesting bytes:
+//!
+//! * `lt` — `<` (candidate tag starts),
+//! * `gt` — `>` (candidate tag ends),
+//! * `hz` — *hazard* bytes `"` `'` `!` `?` that can change what a `<`
+//!   means or hide a `>` from the tag-end rule (quoted attributes,
+//!   comments `<!--`, declarations `<!`/`<?`).
+//!
+//! The striding pass in [`crate::structural`] consumes the bitmaps; the
+//! certify-or-fallback rules live there, not here.  Every kernel below is
+//! bit-identical by construction — they compute the same three predicates
+//! per byte — and a test cross-checks all kernels available at runtime
+//! against the scalar reference on random buffers.
+//!
+//! Kernel selection is one branch per window: AVX2 when the CPU reports
+//! it (`is_x86_feature_detected!`, cached in a relaxed atomic by std),
+//! SSE2 otherwise on x86-64 (baseline, always present), NEON on aarch64
+//! (baseline), and a safe SWAR fallback everywhere else.  The unsafe
+//! surface is exactly the intrinsic calls: every load is bounded by the
+//! `&[u8; 64]` block type, and partial tail blocks are zero-padded into a
+//! stack buffer first (0x00 matches no needle), so the kernels never see
+//! an out-of-bounds length.
+#![allow(unsafe_code)]
+
+/// Bytes covered by one mask word.
+const WORD: usize = 64;
+
+/// Mask words per structural window
+/// ([`crate::structural::STRUCTURAL_WINDOW`] / 64).
+pub(crate) const WORDS: usize = crate::structural::STRUCTURAL_WINDOW / WORD;
+
+/// Structural bitmaps for one window: bit `i` of `lt[i / 64]` (shifted by
+/// `i % 64`) is set iff window byte `i` is `<`, and likewise for `gt`
+/// (`>`) and `hz` (hazards).  Bits at and beyond the window length are
+/// zero.
+pub(crate) struct MaskSet {
+    pub(crate) lt: [u64; WORDS],
+    pub(crate) gt: [u64; WORDS],
+    pub(crate) hz: [u64; WORDS],
+}
+
+impl MaskSet {
+    pub(crate) fn new() -> MaskSet {
+        MaskSet {
+            lt: [0; WORDS],
+            gt: [0; WORDS],
+            hz: [0; WORDS],
+        }
+    }
+}
+
+/// Write slack [`flatten_positions`] needs past the last real entry:
+/// positions are emitted in unconditional 8-wide batches, so up to 16
+/// garbage entries may be written beyond the returned count.
+pub(crate) const FLAT_SLACK: usize = 16;
+
+/// One flattened position buffer: holds every bit of a window's mask
+/// (≤ `STRUCTURAL_WINDOW` positions) plus the batch-write slack.
+pub(crate) type FlatBuf = [u16; crate::structural::STRUCTURAL_WINDOW + FLAT_SLACK];
+
+/// Flattens a window's mask words into sorted window-relative positions,
+/// returning how many were written.  Positions are emitted in
+/// unconditional 8-wide batches (the count, not a branch per bit,
+/// decides how many are kept), so dense words cost ~1 cycle per set bit
+/// instead of a mispredict-prone `while m != 0 { push }` loop.
+pub(crate) fn flatten_positions(words: &[u64], out: &mut FlatBuf) -> usize {
+    debug_assert!(words.len() <= WORDS);
+    let mut n = 0usize;
+    for (wi, &word) in words.iter().enumerate() {
+        let mut m = word;
+        if m == 0 {
+            continue;
+        }
+        let base = (wi * WORD) as u16;
+        let cnt = m.count_ones() as usize;
+        // SAFETY: `n + cnt` never exceeds the total popcount of ≤ WORDS
+        // words (≤ STRUCTURAL_WINDOW), and each unconditional batch
+        // writes at most FLAT_SLACK entries past `n`, which the buffer
+        // type reserves.
+        unsafe {
+            let p = out.as_mut_ptr().add(n);
+            for j in 0..8 {
+                *p.add(j) = base + m.trailing_zeros() as u16;
+                m &= m.wrapping_sub(1);
+            }
+            if cnt > 8 {
+                for j in 8..16 {
+                    *p.add(j) = base + m.trailing_zeros() as u16;
+                    m &= m.wrapping_sub(1);
+                }
+                if cnt > 16 {
+                    let mut idx = 16;
+                    while m != 0 {
+                        *p.add(idx) = base + m.trailing_zeros() as u16;
+                        idx += 1;
+                        m &= m.wrapping_sub(1);
+                    }
+                }
+            }
+        }
+        n += cnt;
+    }
+    n
+}
+
+/// Which kernel [`build_masks`] dispatches to on this machine (the
+/// experiment harness prints it next to throughput numbers).
+pub(crate) fn kernel_name() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::is_x86_feature_detected!("avx2") {
+            "avx2"
+        } else {
+            "sse2"
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        "neon"
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        "swar"
+    }
+}
+
+/// Fills `out` with the structural bitmaps of `window`
+/// (`window.len() <= STRUCTURAL_WINDOW`).  Only the first
+/// `window.len().div_ceil(64)` words are written; the caller never reads
+/// past them.
+pub(crate) fn build_masks(window: &[u8], out: &mut MaskSet) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::is_x86_feature_detected!("avx2") {
+            // SAFETY: the avx2 feature was just detected at runtime.
+            return fill(window, out, |b| unsafe { block64_avx2(b) });
+        }
+        // SSE2 is part of the x86-64 baseline: statically always present.
+        fill(window, out, |b| unsafe { block64_sse2(b) });
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // NEON is part of the aarch64 baseline.
+        return fill(window, out, |b| unsafe { block64_neon(b) });
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    fill(window, out, block64_swar)
+}
+
+/// Drives a 64-byte block kernel over the window; the last partial block
+/// is zero-padded into a stack buffer (padding matches no needle, so the
+/// tail bits come out zero).
+#[inline]
+fn fill(window: &[u8], out: &mut MaskSet, kernel: impl Fn(&[u8; 64]) -> (u64, u64, u64)) {
+    debug_assert!(window.len() <= WORDS * WORD);
+    let mut w = 0usize;
+    let mut chunks = window.chunks_exact(WORD);
+    for block in &mut chunks {
+        let block: &[u8; 64] = block.try_into().expect("chunks_exact yields 64");
+        let (lt, gt, hz) = kernel(block);
+        out.lt[w] = lt;
+        out.gt[w] = gt;
+        out.hz[w] = hz;
+        w += 1;
+    }
+    let tail = chunks.remainder();
+    if !tail.is_empty() {
+        let mut pad = [0u8; 64];
+        pad[..tail.len()].copy_from_slice(tail);
+        let (lt, gt, hz) = kernel(&pad);
+        out.lt[w] = lt;
+        out.gt[w] = gt;
+        out.hz[w] = hz;
+    }
+}
+
+/// The scalar reference all vector kernels must agree with (also the
+/// fallback on architectures without a kernel, and the cross-check oracle
+/// in tests).  SWAR over 8-byte words: the classic zero-byte trick per
+/// needle, then the high-bit-gather multiply packs the per-byte hit bits
+/// into an 8-bit mask.
+// Dead only on arches whose baseline kernel shadows it; tests always
+// cross-check it.
+#[cfg_attr(any(target_arch = "x86_64", target_arch = "aarch64"), allow(dead_code))]
+pub(crate) fn block64_swar(block: &[u8; 64]) -> (u64, u64, u64) {
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const SEVENF: u64 = 0x7F7F_7F7F_7F7F_7F7F;
+    /// Packs the per-byte high bits of `hit` (bit 7 of each byte) into
+    /// the low 8 bits of the result.
+    #[inline]
+    fn pack(hit: u64) -> u64 {
+        ((hit >> 7).wrapping_mul(0x0102_0408_1020_4080)) >> 56
+    }
+    #[inline]
+    fn eq_mask(w: u64, needle: u8) -> u64 {
+        // Exact per-byte zero detector: `(x-LO) & !x & HI` is only a
+        // *whether*-test (borrows cross byte lanes when adjacent bytes
+        // match); this form confines every carry to its own byte.
+        let x = w ^ (LO * needle as u64);
+        let y = ((x & SEVENF).wrapping_add(SEVENF)) | x;
+        pack(!(y | SEVENF))
+    }
+    let mut lt = 0u64;
+    let mut gt = 0u64;
+    let mut hz = 0u64;
+    for (i, word) in block.chunks_exact(8).enumerate() {
+        let w = u64::from_le_bytes(word.try_into().expect("chunks_exact yields 8"));
+        let sh = i * 8;
+        lt |= eq_mask(w, b'<') << sh;
+        gt |= eq_mask(w, b'>') << sh;
+        hz |= (eq_mask(w, b'"') | eq_mask(w, b'\'') | eq_mask(w, b'!') | eq_mask(w, b'?')) << sh;
+    }
+    (lt, gt, hz)
+}
+
+/// SSE2 kernel: 4 × 16-byte lanes, `_mm_movemask_epi8` per predicate.
+///
+/// # Safety
+///
+/// Requires SSE2 (statically guaranteed on x86-64).  All loads read
+/// exactly the 64 bytes of `block`.
+#[cfg(target_arch = "x86_64")]
+unsafe fn block64_sse2(block: &[u8; 64]) -> (u64, u64, u64) {
+    use std::arch::x86_64::*;
+    unsafe {
+        let vlt = _mm_set1_epi8(b'<' as i8);
+        let vgt = _mm_set1_epi8(b'>' as i8);
+        let vdq = _mm_set1_epi8(b'"' as i8);
+        let vsq = _mm_set1_epi8(b'\'' as i8);
+        let vbg = _mm_set1_epi8(b'!' as i8);
+        let vqm = _mm_set1_epi8(b'?' as i8);
+        let mut lt = 0u64;
+        let mut gt = 0u64;
+        let mut hz = 0u64;
+        for lane in 0..4 {
+            let v = _mm_loadu_si128(block.as_ptr().add(lane * 16) as *const __m128i);
+            let mlt = _mm_movemask_epi8(_mm_cmpeq_epi8(v, vlt)) as u32 as u64;
+            let mgt = _mm_movemask_epi8(_mm_cmpeq_epi8(v, vgt)) as u32 as u64;
+            let h = _mm_or_si128(
+                _mm_or_si128(_mm_cmpeq_epi8(v, vdq), _mm_cmpeq_epi8(v, vsq)),
+                _mm_or_si128(_mm_cmpeq_epi8(v, vbg), _mm_cmpeq_epi8(v, vqm)),
+            );
+            let mhz = _mm_movemask_epi8(h) as u32 as u64;
+            let sh = lane * 16;
+            lt |= mlt << sh;
+            gt |= mgt << sh;
+            hz |= mhz << sh;
+        }
+        (lt, gt, hz)
+    }
+}
+
+/// AVX2 kernel: 2 × 32-byte lanes, `_mm256_movemask_epi8` per predicate.
+///
+/// # Safety
+///
+/// Requires AVX2 (checked at runtime by [`build_masks`]).  All loads
+/// read exactly the 64 bytes of `block`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn block64_avx2(block: &[u8; 64]) -> (u64, u64, u64) {
+    use std::arch::x86_64::*;
+    unsafe {
+        let vlt = _mm256_set1_epi8(b'<' as i8);
+        let vgt = _mm256_set1_epi8(b'>' as i8);
+        let vdq = _mm256_set1_epi8(b'"' as i8);
+        let vsq = _mm256_set1_epi8(b'\'' as i8);
+        let vbg = _mm256_set1_epi8(b'!' as i8);
+        let vqm = _mm256_set1_epi8(b'?' as i8);
+        let mut lt = 0u64;
+        let mut gt = 0u64;
+        let mut hz = 0u64;
+        for lane in 0..2 {
+            let v = _mm256_loadu_si256(block.as_ptr().add(lane * 32) as *const __m256i);
+            let mlt = _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, vlt)) as u32 as u64;
+            let mgt = _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, vgt)) as u32 as u64;
+            let h = _mm256_or_si256(
+                _mm256_or_si256(_mm256_cmpeq_epi8(v, vdq), _mm256_cmpeq_epi8(v, vsq)),
+                _mm256_or_si256(_mm256_cmpeq_epi8(v, vbg), _mm256_cmpeq_epi8(v, vqm)),
+            );
+            let mhz = _mm256_movemask_epi8(h) as u32 as u64;
+            let sh = lane * 32;
+            lt |= mlt << sh;
+            gt |= mgt << sh;
+            hz |= mhz << sh;
+        }
+        (lt, gt, hz)
+    }
+}
+
+/// NEON kernel: 4 × 16-byte lanes; movemask is emulated by ANDing the
+/// comparison result with per-lane bit weights and horizontally adding
+/// each half (`vaddv_u8` sums eight distinct powers of two into the
+/// lane mask).
+///
+/// # Safety
+///
+/// Requires NEON (statically guaranteed on aarch64).  All loads read
+/// exactly the 64 bytes of `block`.
+#[cfg(target_arch = "aarch64")]
+unsafe fn block64_neon(block: &[u8; 64]) -> (u64, u64, u64) {
+    use std::arch::aarch64::*;
+    unsafe {
+        const WEIGHTS: [u8; 16] = [1, 2, 4, 8, 16, 32, 64, 128, 1, 2, 4, 8, 16, 32, 64, 128];
+        let weights = vld1q_u8(WEIGHTS.as_ptr());
+        #[inline]
+        unsafe fn movemask(eq: uint8x16_t, weights: uint8x16_t) -> u64 {
+            unsafe {
+                let t = vandq_u8(eq, weights);
+                let lo = vaddv_u8(vget_low_u8(t)) as u64;
+                let hi = vaddv_u8(vget_high_u8(t)) as u64;
+                lo | (hi << 8)
+            }
+        }
+        let vlt = vdupq_n_u8(b'<');
+        let vgt = vdupq_n_u8(b'>');
+        let vdq = vdupq_n_u8(b'"');
+        let vsq = vdupq_n_u8(b'\'');
+        let vbg = vdupq_n_u8(b'!');
+        let vqm = vdupq_n_u8(b'?');
+        let mut lt = 0u64;
+        let mut gt = 0u64;
+        let mut hz = 0u64;
+        for lane in 0..4 {
+            let v = vld1q_u8(block.as_ptr().add(lane * 16));
+            let mlt = movemask(vceqq_u8(v, vlt), weights);
+            let mgt = movemask(vceqq_u8(v, vgt), weights);
+            let h = vorrq_u8(
+                vorrq_u8(vceqq_u8(v, vdq), vceqq_u8(v, vsq)),
+                vorrq_u8(vceqq_u8(v, vbg), vceqq_u8(v, vqm)),
+            );
+            let mhz = movemask(h, weights);
+            let sh = lane * 16;
+            lt |= mlt << sh;
+            gt |= mgt << sh;
+            hz |= mhz << sh;
+        }
+        (lt, gt, hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Byte-at-a-time reference the kernels must reproduce bit-for-bit.
+    fn reference(window: &[u8]) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+        let words = window.len().div_ceil(WORD);
+        let mut lt = vec![0u64; words];
+        let mut gt = vec![0u64; words];
+        let mut hz = vec![0u64; words];
+        for (i, &b) in window.iter().enumerate() {
+            let bit = 1u64 << (i % WORD);
+            match b {
+                b'<' => lt[i / WORD] |= bit,
+                b'>' => gt[i / WORD] |= bit,
+                b'"' | b'\'' | b'!' | b'?' => hz[i / WORD] |= bit,
+                _ => {}
+            }
+        }
+        (lt, gt, hz)
+    }
+
+    fn check(window: &[u8]) {
+        let words = window.len().div_ceil(WORD);
+        let (rlt, rgt, rhz) = reference(window);
+        // The dispatched kernel (whatever this machine picks).
+        let mut out = MaskSet::new();
+        build_masks(window, &mut out);
+        assert_eq!(&out.lt[..words], &rlt[..], "dispatched lt");
+        assert_eq!(&out.gt[..words], &rgt[..], "dispatched gt");
+        assert_eq!(&out.hz[..words], &rhz[..], "dispatched hz");
+        // The SWAR fallback explicitly (bit-identical on every arch).
+        let mut swar = MaskSet::new();
+        fill(window, &mut swar, block64_swar);
+        assert_eq!(&swar.lt[..words], &rlt[..], "swar lt");
+        assert_eq!(&swar.gt[..words], &rgt[..], "swar gt");
+        assert_eq!(&swar.hz[..words], &rhz[..], "swar hz");
+        // Each x86 kernel explicitly, when the CPU has it.
+        #[cfg(target_arch = "x86_64")]
+        {
+            let mut sse = MaskSet::new();
+            fill(window, &mut sse, |b| unsafe { block64_sse2(b) });
+            assert_eq!(&sse.lt[..words], &rlt[..], "sse2 lt");
+            assert_eq!(&sse.gt[..words], &rgt[..], "sse2 gt");
+            assert_eq!(&sse.hz[..words], &rhz[..], "sse2 hz");
+            if std::is_x86_feature_detected!("avx2") {
+                let mut avx = MaskSet::new();
+                fill(window, &mut avx, |b| unsafe { block64_avx2(b) });
+                assert_eq!(&avx.lt[..words], &rlt[..], "avx2 lt");
+                assert_eq!(&avx.gt[..words], &rgt[..], "avx2 gt");
+                assert_eq!(&avx.hz[..words], &rhz[..], "avx2 hz");
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_match_reference_on_dense_markup() {
+        check(b"");
+        check(b"<");
+        check(b"<a><b></b><c/></a>");
+        check("<a x=\"1\" y='2'><!-- ? --><b/></a>".repeat(40).as_bytes());
+    }
+
+    #[test]
+    fn kernels_match_reference_on_random_buffers() {
+        // Deterministic xorshift; lengths sweep word and lane boundaries.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for len in [
+            0, 1, 7, 8, 15, 16, 17, 31, 32, 33, 63, 64, 65, 127, 128, 255, 1024, 4095, 4096,
+        ] {
+            for _ in 0..4 {
+                // Bias heavily toward structural bytes so masks are dense.
+                let buf: Vec<u8> = (0..len)
+                    .map(|_| match rand() % 8 {
+                        0 => b'<',
+                        1 => b'>',
+                        2 => b'"',
+                        3 => b'\'',
+                        4 => b'!',
+                        5 => b'?',
+                        _ => (rand() % 256) as u8,
+                    })
+                    .collect();
+                check(&buf);
+            }
+        }
+    }
+
+    /// The naive extraction `flatten_positions` must reproduce exactly.
+    fn naive_positions(words: &[u64]) -> Vec<u16> {
+        let mut out = Vec::new();
+        for (wi, &word) in words.iter().enumerate() {
+            let mut m = word;
+            while m != 0 {
+                out.push((wi * WORD) as u16 + m.trailing_zeros() as u16);
+                m &= m.wrapping_sub(1);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn flatten_positions_matches_naive_bit_extraction() {
+        let mut buf: FlatBuf = [0; crate::structural::STRUCTURAL_WINDOW + FLAT_SLACK];
+        // Hand-picked densities around the 8/16-entry batch edges.
+        let cases: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![0],
+            vec![1],
+            vec![1 << 63],
+            vec![0xFF],              // exactly one batch
+            vec![0x1FF],             // one past a batch
+            vec![0xFFFF],            // exactly two batches
+            vec![0x1_FFFF],          // one past two batches
+            vec![u64::MAX],          // every bit of a word
+            vec![0, u64::MAX, 0, 5], // gaps between dense words
+            vec![u64::MAX; WORDS],   // full window, all structural
+        ];
+        for words in cases {
+            let n = flatten_positions(&words, &mut buf);
+            assert_eq!(&buf[..n], naive_positions(&words).as_slice());
+        }
+        // Deterministic xorshift sweep over mixed densities.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for len in [1, 2, 7, WORDS] {
+            for _ in 0..16 {
+                let words: Vec<u64> = (0..len)
+                    .map(|_| match rand() % 4 {
+                        0 => 0,
+                        1 => rand(),
+                        2 => rand() & rand() & rand(), // sparse
+                        _ => rand() | rand() | rand(), // dense
+                    })
+                    .collect();
+                let n = flatten_positions(&words, &mut buf);
+                assert_eq!(&buf[..n], naive_positions(&words).as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_name_is_stable() {
+        let name = kernel_name();
+        assert!(["avx2", "sse2", "neon", "swar"].contains(&name), "{name}");
+    }
+}

@@ -424,3 +424,132 @@ fn event_level_guarded_select() {
         other => panic!("expected depth limit, got {other:?}"),
     }
 }
+
+// --- Structural-index window/feed adversaries -----------------------------
+//
+// The indexed scan runs per feed and re-enters mid-markup after a cut;
+// these tests pin the seams the vectorized sweep cannot see across: a
+// close tag `</b>` split between two feeds, a comment terminator `-->`
+// split three ways, and checkpoint/resume at every byte cut across a
+// STRUCTURAL_WINDOW edge — always bitwise against the forced-scalar twin.
+
+use stackless_streamed_trees::core::structural::STRUCTURAL_WINDOW;
+
+/// One-shot reference outcome for `doc` under `limits`.
+fn one_shot(fused: &FusedQuery, doc: &[u8], limits: &Limits) -> String {
+    format!("{:?}", fused.run_session(doc, limits))
+}
+
+/// Runs `doc` through a session split into the given feed segments.
+fn fed(fused: &FusedQuery, segments: &[&[u8]], limits: Limits) -> String {
+    let mut session = fused.session(limits);
+    for seg in segments {
+        if let Err(e) = session.feed(seg) {
+            return format!("Err({e:?})");
+        }
+    }
+    format!("{:?}", session.finish())
+}
+
+#[test]
+fn close_tag_split_across_a_feed_boundary_matches_one_shot() {
+    let (fused, _) = demo_query();
+    let doc = b"<a><b>text</b><b/></a>";
+    let want = one_shot(&fused, doc, &Limits::none());
+    // Split inside `</b>`: after the `<`, and after the `</`.
+    for cut in [10, 11, 12, 13] {
+        let got = fed(&fused, &[&doc[..cut], &doc[cut..]], Limits::none());
+        assert_eq!(got, want, "split at {cut}");
+        let scalar = fed(
+            &fused,
+            &[&doc[..cut], &doc[cut..]],
+            Limits::none().with_force_scalar(true),
+        );
+        assert_eq!(scalar, want, "forced-scalar split at {cut}");
+    }
+}
+
+#[test]
+fn comment_terminator_split_three_ways_matches_one_shot() {
+    let (fused, _) = demo_query();
+    let doc = b"<a><!-- <b> is commented out --><b/></a>";
+    let want = one_shot(&fused, doc, &Limits::none());
+    let dashes = doc.windows(3).position(|w| w == b"-->").unwrap();
+    // Every way to split `-->` into three feeds (cuts inside and around
+    // it), for both engines.
+    for c1 in dashes..dashes + 3 {
+        for c2 in c1 + 1..dashes + 4 {
+            let segs: [&[u8]; 3] = [&doc[..c1], &doc[c1..c2], &doc[c2..]];
+            assert_eq!(
+                fed(&fused, &segs, Limits::none()),
+                want,
+                "cuts at {c1},{c2}"
+            );
+            assert_eq!(
+                fed(&fused, &segs, Limits::none().with_force_scalar(true)),
+                want,
+                "forced-scalar cuts at {c1},{c2}"
+            );
+        }
+    }
+}
+
+#[test]
+fn indexed_and_scalar_checkpoint_bytes_agree_at_every_byte_cut() {
+    // A document that crosses a window edge with structure on the seam:
+    // the `</b>` begins on the last byte of window 0.  Feeding
+    // byte-by-byte snapshots both engines at every cut; the serialized
+    // checkpoints must be identical bytes (nothing about the structural
+    // index may leak into the wire state).
+    let (fused, _) = demo_query();
+    let mut doc = b"<a><b>".to_vec();
+    doc.resize(STRUCTURAL_WINDOW - 1, b'x');
+    doc.extend_from_slice(b"</b><!-- y --><b q=\"<a>\"/></a>");
+    let mut indexed = fused.session(Limits::none());
+    let mut scalar = fused.session(Limits::none().with_force_scalar(true));
+    for i in 0..doc.len() {
+        indexed.feed(&doc[i..i + 1]).unwrap();
+        scalar.feed(&doc[i..i + 1]).unwrap();
+        let a = indexed.checkpoint().unwrap().to_bytes();
+        let b = scalar.checkpoint().unwrap().to_bytes();
+        assert_eq!(a, b, "checkpoint bytes diverged after byte {}", i + 1);
+    }
+    assert_eq!(
+        format!("{:?}", indexed.finish()),
+        format!("{:?}", scalar.finish())
+    );
+}
+
+#[test]
+fn resume_at_every_cut_across_the_window_edge_matches_one_shot() {
+    // Checkpoint → serialize → deserialize → resume at every byte cut in
+    // a band across the window edge (plus a coarse sweep elsewhere),
+    // resuming the indexed run from a forced-scalar prefix and vice
+    // versa — checkpoints are engine-agnostic in both directions.
+    let (fused, _) = demo_query();
+    let w = STRUCTURAL_WINDOW;
+    let mut doc = b"<a><b>".to_vec();
+    doc.resize(w - 2, b'x');
+    doc.extend_from_slice(b"</b><!-- <b> --><b/></a>");
+    let want = {
+        let o = fused.run_session(&doc, &Limits::none()).unwrap();
+        o.matches
+    };
+    let band = (w - 8..w + 20).chain((1..doc.len()).step_by(997));
+    for cut in band {
+        for (first, second) in [(false, true), (true, false)] {
+            let mut session = fused.session(Limits::none().with_force_scalar(first));
+            session.feed(&doc[..cut]).unwrap();
+            let frozen = EngineCheckpoint::from_bytes(&session.checkpoint().unwrap().to_bytes())
+                .expect("wire round-trip");
+            let mut matches = session.matches().to_vec();
+            let mut resumed = fused
+                .resume(&frozen, Limits::none().with_force_scalar(second))
+                .unwrap();
+            resumed.feed(&doc[cut..]).unwrap();
+            let tail = resumed.finish().unwrap();
+            matches.extend_from_slice(&tail.matches);
+            assert_eq!(matches, want, "cut at {cut} (scalar-first={first})");
+        }
+    }
+}
