@@ -54,7 +54,30 @@ fn main() {
     e19_limits_overhead();
     e19c_obs_overhead(false);
     e22_structural_index();
+    e23_multi_query();
     e20_memory();
+}
+
+/// The E23 query mix: 16 almost-reversible patterns over Γ = {a,b,c}
+/// (every `x.*y` pair, the three `x.*` prefixes, `.*`, and three
+/// repeats — realistic workloads re-ask popular queries), so the set
+/// compiler lands on the shared product DFA at the default budget.
+fn multi_patterns() -> Vec<String> {
+    let mut out = Vec::new();
+    for x in ["a", "b", "c"] {
+        for y in ["a", "b", "c"] {
+            out.push(format!("{x}.*{y}"));
+        }
+    }
+    for x in ["a", "b", "c"] {
+        out.push(format!("{x}.*"));
+    }
+    out.push(".*".to_owned());
+    for p in ["a.*b", "b.*c", "c.*"] {
+        out.push(p.to_owned());
+    }
+    assert_eq!(out.len(), 16);
+    out
 }
 
 /// Throughput of one operation in gigabits per second over `bytes` of
@@ -160,6 +183,35 @@ fn write_throughput_json(path: &str) {
                 ));
             }
         }
+        // E23: one shared pass answering 16 queries vs 16 sequential
+        // fused passes, on both query-set tiers.
+        let multi = multi_patterns();
+        let product_set = st_core::QuerySet::compile(&multi, &g).unwrap();
+        let lanes_set = st_core::QuerySet::compile_with_budget(&multi, &g, 0).unwrap();
+        let singles: Vec<Query> = multi
+            .iter()
+            .map(|p| Query::compile(p, &g).unwrap())
+            .collect();
+        series.push((
+            "multi_shared_product/16q".to_owned(),
+            gbit_per_s(xml.len(), || {
+                black_box(product_set.count_all(black_box(xml)).unwrap());
+            }),
+        ));
+        series.push((
+            "multi_shared_lanes/16q".to_owned(),
+            gbit_per_s(xml.len(), || {
+                black_box(lanes_set.count_all(black_box(xml)).unwrap());
+            }),
+        ));
+        series.push((
+            "multi_sequential/16q".to_owned(),
+            gbit_per_s(xml.len(), || {
+                for q in &singles {
+                    black_box(q.fused().count_bytes(black_box(xml)).unwrap());
+                }
+            }),
+        ));
         let rates = series
             .iter()
             .map(|(k, v)| format!("        \"{k}\": {v:.4}"))
@@ -670,6 +722,73 @@ fn e22_structural_index() {
     println!(
         "(census/flatten price the bitmap passes alone; sweep adds certification and \
          striding with a no-op sink; indexed is the full fused count from raw bytes)"
+    );
+    println!();
+}
+
+/// E23: shared multi-query evaluation — one byte pass answering N=16
+/// queries vs 16 sequential fused passes over the same document, on the
+/// standard workloads.  Reports both compiler tiers (the shared product
+/// DFA at the default budget and lane-wise simulation at budget 0);
+/// the acceptance bar is shared-product ≥ 4× sequential.
+fn e23_multi_query() {
+    use st_core::{QuerySet, SetStrategy};
+    println!("## E23 — shared multi-query pass vs 16 sequential passes (Gb/s)");
+    let g = gamma();
+    let patterns = multi_patterns();
+    let product = QuerySet::compile(&patterns, &g).unwrap();
+    assert_eq!(
+        product.strategy(),
+        SetStrategy::Product,
+        "E23 query mix must land on the product tier"
+    );
+    let lanes = QuerySet::compile_with_budget(&patterns, &g, 0).unwrap();
+    assert_eq!(lanes.strategy(), SetStrategy::Lanes);
+    let singles: Vec<Query> = patterns
+        .iter()
+        .map(|p| Query::compile(p, &g).unwrap())
+        .collect();
+    println!(
+        "product: {} states over {} letter classes (compressed from {})",
+        product.product_states().unwrap_or(0),
+        product.product_classes().unwrap_or(0),
+        2 * g.len(),
+    );
+    for w in standard_workloads(6_000) {
+        // Correctness cross-check before timing anything.
+        let shared_counts = product.count_all(&w.xml).unwrap();
+        let lane_counts = lanes.count_all(&w.xml).unwrap();
+        let single_counts: Vec<usize> = singles
+            .iter()
+            .map(|q| q.fused().count_bytes(&w.xml).unwrap())
+            .collect();
+        assert_eq!(shared_counts, single_counts);
+        assert_eq!(lane_counts, single_counts);
+
+        let shared = gbit_per_s(w.xml.len(), || {
+            black_box(product.count_all(black_box(&w.xml)).unwrap());
+        });
+        let lane = gbit_per_s(w.xml.len(), || {
+            black_box(lanes.count_all(black_box(&w.xml)).unwrap());
+        });
+        let sequential = gbit_per_s(w.xml.len(), || {
+            for q in &singles {
+                black_box(q.fused().count_bytes(black_box(&w.xml)).unwrap());
+            }
+        });
+        println!(
+            "{:<6}: shared-product {:>6.2} | shared-lanes {:>6.2} | 16 sequential {:>5.2} | speedup {:>4.1}x (lanes {:>4.1}x)",
+            w.name,
+            shared,
+            lane,
+            sequential,
+            shared / sequential,
+            lane / sequential,
+        );
+    }
+    println!(
+        "(rates are per document byte: the sequential series reads the same bytes 16 \
+         times, the shared series once; speedup is wall-clock one-pass vs 16-pass)"
     );
     println!();
 }

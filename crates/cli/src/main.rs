@@ -33,6 +33,7 @@ fn main() -> ExitCode {
         Some("serve") => serving::cmd_serve(&args[1..]),
         Some("batch") => serving::cmd_batch(&args[1..]),
         Some("extract") => cmd_extract(&args[1..]),
+        Some("multi") => cmd_multi(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
@@ -67,9 +68,11 @@ const USAGE: &str = "usage:
                [--corrupt PM] [--stall-ms MS] [--stall-timeout MS]
                [--reproducer FILE] [--metrics-out FILE]
   stql batch   <query> <file.xml>... [serve pool flags]
+  stql multi   <file.xml> <query>... [--count] [--alphabet a,b,c]
+               [--budget N]
   stql fuzz    [--seed N] [--iters M] [--max-depth D] [--max-nodes K]
-               [--corpus DIR] [--mutation NAME] [--faults]
-               [--replay FILE.case]
+               [--corpus DIR] [--mutation NAME] [--faults] [--multi]
+               [--replay FILE.case|FILE.mcase]
 
 select resource guards and sessions (.xml only, fused engine):
   --max-depth/--max-bytes/--time-budget abort with a typed limit error;
@@ -87,7 +90,12 @@ serve --chaos runs the seeded fault-injection soak and exits non-zero
 on any divergence from the recovery contract, printing each losing
 request's supervisor trace as a post-mortem.
 --metrics-out dumps the runtime metrics snapshot as JSON periodically
-(every --metrics-every ms, default 1000) and flushes it at exit.";
+(every --metrics-every ms, default 1000) and flushes it at exit.
+
+multi evaluates every query in one shared byte pass (a QuerySet: a
+product DFA with alphabet compression when the combined automaton fits
+the --budget state budget, lane-wise simulation otherwise; --budget 0
+forces lanes) and prints one `count-or-ids<TAB>query` line per query.";
 
 /// Parses a query in whichever of the three syntaxes it is written.
 fn parse_query(query: &str, alphabet: &Alphabet) -> Result<PathQuery, String> {
@@ -473,6 +481,74 @@ fn cmd_extract(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Evaluates N queries over one document in a single shared byte pass
+/// via [`st_core::QuerySet`], printing per-query attribution.
+fn cmd_multi(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .ok_or("multi needs a file and at least one query")?;
+    if !matches!(doc_kind(path)?, DocKind::Xml) {
+        return Err("multi currently supports .xml documents".into());
+    }
+    let queries: Vec<&String> = args[1..]
+        .iter()
+        .take_while(|a| !a.starts_with("--"))
+        .collect();
+    if queries.is_empty() {
+        return Err("multi needs at least one query".into());
+    }
+    let count_only = args.iter().any(|a| a == "--count");
+    let budget = match flag_value(args, "--budget") {
+        None => st_core::queryset::DEFAULT_PRODUCT_BUDGET,
+        Some(v) => v.parse().map_err(|e| format!("bad --budget {v:?}: {e}"))?,
+    };
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let alphabet = match flag_value(args, "--alphabet") {
+        Some(sigma) => {
+            Alphabet::from_symbols(sigma.split(',')).map_err(|e| format!("bad alphabet: {e}"))?
+        }
+        None => {
+            st_trees::xml::parse_document(&bytes)
+                .map_err(|e| format!("cannot parse {path}: {e}"))?
+                .0
+        }
+    };
+    let dfas: Vec<st_automata::Dfa> = queries
+        .iter()
+        .map(|q| parse_query(q, &alphabet).map(|p| p.dfa))
+        .collect::<Result<_, _>>()?;
+    let set = st_core::QuerySet::from_dfas_with_budget(dfas, &alphabet, budget);
+    let tier = match set.strategy() {
+        st_core::SetStrategy::Product => format!(
+            "shared product DFA ({} states, {} letter classes{})",
+            set.product_states().unwrap_or(0),
+            set.product_classes().unwrap_or(0),
+            if set.is_compressed() {
+                ", compressed"
+            } else {
+                ""
+            },
+        ),
+        st_core::SetStrategy::Lanes => "lane-wise DFA simulation".to_owned(),
+        st_core::SetStrategy::Hybrid => "per-query native engines".to_owned(),
+    };
+    eprintln!("{} query(ies) in one pass: {tier}", set.len());
+    let results = set.select_all(&bytes).map_err(|e| e.to_string())?;
+    for (q, ids) in queries.iter().zip(&results) {
+        if count_only {
+            println!("{}\t{q}", ids.len());
+        } else {
+            let list = ids
+                .iter()
+                .map(|id| id.to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            println!("{list}\t{q}");
+        }
+    }
+    Ok(())
+}
+
 /// Streaming document statistics: everything here is computable with the
 /// depth counter alone — no stack, no tree.
 fn cmd_stats(args: &[String]) -> Result<(), String> {
@@ -565,8 +641,23 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 /// Divergences are delta-debugged to minimal reproducers and, with
 /// `--corpus`, persisted for the tier-1 replay test.
 fn cmd_fuzz(args: &[String]) -> Result<(), String> {
+    let multi = args.iter().any(|a| a == "--multi");
     if let Some(path) = flag_value(args, "--replay") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        if multi || path.ends_with(".mcase") {
+            let case =
+                st_conform::corpus::parse_multi_entry(&text).map_err(|e| format!("{path}: {e}"))?;
+            return match st_conform::run_multi_case(&case, st_conform::MultiMutation::None) {
+                None => {
+                    println!(
+                        "agreement: {} query(ies), shared pass ≡ independent runs on all variants",
+                        case.patterns.len()
+                    );
+                    Ok(())
+                }
+                Some(d) => Err(format!("divergence: {d}")),
+            };
+        }
         let case = st_conform::corpus::parse_entry(&text).map_err(|e| format!("{path}: {e}"))?;
         let outcome = st_conform::run_case(&case, st_conform::Mutation::None);
         for (engine, result) in &outcome.outcomes {
@@ -608,6 +699,33 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
         mutation,
         max_failures: 5,
     };
+    if multi {
+        let report = st_conform::fuzz_multi(&cfg, st_conform::MultiMutation::None);
+        eprintln!(
+            "fuzz --multi: seed {seed}, {} iteration(s), shared pass vs independent runs",
+            report.iters_run
+        );
+        if report.clean() {
+            println!("agreement: zero divergences across both tiers and byte paths");
+            return Ok(());
+        }
+        for f in &report.failures {
+            eprintln!("--- divergence at iteration {} ---", f.iter);
+            eprintln!("  {}", f.detail);
+            eprintln!(
+                "  shrunk: {} pattern(s) {:?}, alphabet {:?}, {} byte(s)",
+                f.shrunk.patterns.len(),
+                f.shrunk.patterns,
+                f.shrunk.alphabet,
+                f.shrunk.doc.len()
+            );
+            eprintln!("  doc: {}", String::from_utf8_lossy(&f.shrunk.doc));
+            if let Some(p) = &f.corpus_path {
+                eprintln!("  corpus: {}", p.display());
+            }
+        }
+        return Err(format!("{} divergence(s) found", report.failures.len()));
+    }
     let report = st_conform::fuzz(&cfg);
     eprintln!(
         "fuzz: seed {seed}, {} iteration(s); {} tokenizable, {} well-formed",

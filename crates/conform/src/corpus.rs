@@ -27,6 +27,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::gen::Case;
+use crate::multi::MultiCase;
 
 /// Canonical corpus entry filename for a divergence found by fuzzing
 /// stream `seed` at iteration `iter`.
@@ -117,6 +118,106 @@ pub fn parse_entry(text: &str) -> Result<Case, String> {
         doc: unhex(&doc_hex)?,
         chunk_sizes: chunks,
     })
+}
+
+/// Canonical multi-query corpus entry filename for a divergence found
+/// by fuzzing stream `seed` at iteration `iter`.
+pub fn multi_entry_name(seed: u64, iter: u64) -> String {
+    format!("seed{seed}-i{iter}.mcase")
+}
+
+/// Serializes a multi-query case to the corpus text format: same shape
+/// as the single-query format, with one `pattern:` line per query (the
+/// per-query result order is the line order).
+pub fn render_multi_entry(case: &MultiCase, note: &str) -> String {
+    let mut out = String::new();
+    out.push_str("# st-conform multi-query reproducer; replay with `stql fuzz --multi --replay <this file>`\n");
+    for p in &case.patterns {
+        out.push_str(&format!("pattern: {p}\n"));
+    }
+    out.push_str(&format!("alphabet: {}\n", case.alphabet));
+    let h = hex(&case.doc);
+    if h.is_empty() {
+        out.push_str("doc-hex:\n");
+    } else {
+        for line in h.as_bytes().chunks(96) {
+            out.push_str("doc-hex: ");
+            out.push_str(std::str::from_utf8(line).expect("hex is ascii"));
+            out.push('\n');
+        }
+    }
+    out.push_str(&format!("note: {}\n", note.replace('\n', " ")));
+    out
+}
+
+/// Parses the multi-query corpus text format back into a case.
+pub fn parse_multi_entry(text: &str) -> Result<MultiCase, String> {
+    let mut patterns = Vec::new();
+    let mut alphabet = None;
+    let mut doc_hex = String::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("line {}: expected `key: value`", lineno + 1))?;
+        let value = value.trim();
+        match key.trim() {
+            "pattern" => patterns.push(value.to_owned()),
+            "alphabet" => alphabet = Some(value.to_owned()),
+            "doc-hex" => doc_hex.push_str(value),
+            "note" => {}
+            other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
+        }
+    }
+    if patterns.is_empty() {
+        return Err("missing pattern lines".to_owned());
+    }
+    Ok(MultiCase {
+        patterns,
+        alphabet: alphabet.ok_or("missing alphabet")?,
+        doc: unhex(&doc_hex)?,
+    })
+}
+
+/// Writes one multi-query entry, creating the corpus directory if
+/// needed.  Returns the path written.
+pub fn write_multi_entry(
+    dir: &Path,
+    name: &str,
+    case: &MultiCase,
+    note: &str,
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    fs::write(&path, render_multi_entry(case, note))?;
+    Ok(path)
+}
+
+/// Loads every `*.mcase` file under `dir`, sorted by filename.  Missing
+/// directory means empty corpus.
+pub fn load_multi_corpus(dir: &Path) -> Result<Vec<(PathBuf, MultiCase)>, String> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("reading {}: {e}", dir.display())),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "mcase"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let text =
+                fs::read_to_string(&p).map_err(|e| format!("reading {}: {e}", p.display()))?;
+            let case = parse_multi_entry(&text).map_err(|e| format!("{}: {e}", p.display()))?;
+            Ok((p, case))
+        })
+        .collect()
 }
 
 /// Writes one entry, creating the corpus directory if needed.  Returns

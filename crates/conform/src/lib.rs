@@ -23,7 +23,11 @@
 //!   fuzzing stream;
 //! * [`runner`] — the generate → run → shrink → persist loop, exposed to
 //!   the CLI as `stql fuzz` and replayed from the corpus by a tier-1
-//!   test on every run.
+//!   test on every run;
+//! * [`multi`] — the multi-query oracle: every 2–8 pattern set evaluated
+//!   by one shared [`st_core::QuerySet`] pass must agree bitwise with N
+//!   independent single-query runs, on both the product-DFA tier and the
+//!   lane fallback (state-budget knob), indexed and forced-scalar alike.
 //!
 //! Deliberate engine faults ([`engines::Mutation`]) let the harness test
 //! itself: a fault must be caught *and* shrunk to a small reproducer,
@@ -35,12 +39,17 @@
 pub mod corpus;
 pub mod engines;
 pub mod gen;
+pub mod multi;
 pub mod pattern;
 pub mod runner;
 pub mod shrink;
 
 pub use engines::{resume_support, run_case, CaseOutcome, Divergence, EngineId, Mutation, Outcome};
 pub use gen::{Case, GenConfig};
+pub use multi::{
+    fuzz_multi, gen_multi_case, replay_multi_corpus, run_multi_case, shrink_multi, MultiCase,
+    MultiFuzzFailure, MultiFuzzReport, MultiMutation,
+};
 pub use pattern::Pat;
 pub use runner::{fuzz, replay_corpus, FuzzConfig, FuzzFailure, FuzzReport};
 pub use shrink::{shrink, tree_nodes};

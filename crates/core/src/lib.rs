@@ -79,6 +79,7 @@ pub mod papers;
 pub mod pattern;
 pub mod planner;
 pub mod query;
+pub mod queryset;
 pub mod registerless;
 pub mod restricted;
 pub mod rpqness;
@@ -95,6 +96,10 @@ pub use error::CoreError;
 pub use model::{DraProgram, DraRunner, LoadMask, StreamSymbol};
 pub use planner::{CompiledQuery, CompiledTermQuery, Strategy};
 pub use query::{Query, QueryError};
+pub use queryset::{
+    QuerySet, QuerySetCheckpoint, QuerySetOutcome, QuerySetSession, SetStrategy,
+    DEFAULT_PRODUCT_BUDGET,
+};
 pub use session::{
     check_event_limits, monotonic_clock, CheckpointState, ClockFn, Diagnostic, EngineCheckpoint,
     EngineSession, ErrorClass, LimitExceeded, LimitKind, Limits, RecoveryOutcome, SessionError,
@@ -115,6 +120,9 @@ pub mod prelude {
     pub use crate::engine::FusedQuery;
     pub use crate::planner::{CompiledQuery, Strategy};
     pub use crate::query::{Query, QueryError};
+    pub use crate::queryset::{
+        QuerySet, QuerySetCheckpoint, QuerySetOutcome, QuerySetSession, SetStrategy,
+    };
     pub use crate::session::{
         monotonic_clock, ClockFn, Diagnostic, EngineCheckpoint, EngineSession, ErrorClass,
         LimitExceeded, LimitKind, Limits, RecoveryOutcome, SessionError, SessionOutcome,

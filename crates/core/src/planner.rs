@@ -97,6 +97,29 @@ impl CompiledQuery {
         &self.analysis.dfa
     }
 
+    /// The Lemma 3.5 registerless markup DFA (over Γ ∪ Γ̄), when the
+    /// language is almost-reversible and the planner chose it.  This is
+    /// the artifact the query-set compiler ([`crate::queryset::QuerySet`])
+    /// builds shared products over; `None` for the stackless and
+    /// pushdown backends.
+    pub fn markup_dfa(&self) -> Option<&Dfa> {
+        match &self.backend {
+            Backend::Registerless(dfa) => Some(dfa),
+            _ => None,
+        }
+    }
+
+    /// The Lemma 3.8 HAR markup program, when the language is HAR (but
+    /// not almost-reversible) and the planner chose the stackless
+    /// depth-register evaluator.  The query-set compiler uses it to run
+    /// a stackless member natively inside a shared multi-query pass.
+    pub fn har_program(&self) -> Option<&HarMarkupProgram> {
+        match &self.backend {
+            Backend::Stackless(program) => Some(program),
+            _ => None,
+        }
+    }
+
     /// Number of depth registers the evaluator uses (0 for registerless
     /// and for the stack fallback — the stack's memory is unbounded and
     /// reported separately by the baseline's instrumentation).

@@ -57,7 +57,7 @@ use crate::planner::Strategy;
 use crate::structural::{structural_scan, ScanEnd, ScanStats};
 
 /// Bytes processed between amortized byte-budget / wall-clock checks.
-const WINDOW: usize = 64 << 10;
+pub(crate) const WINDOW: usize = 64 << 10;
 
 /// Default cap on recorded recovery diagnostics; further errors are only
 /// counted.  Override with [`Limits::with_max_diagnostics`].
@@ -239,7 +239,7 @@ impl fmt::Display for LimitKind {
 
 /// The stable name of a limit kind, used both by `Display` and by the
 /// [`TraceEvent::LimitBreach`] records the session emits.
-fn limit_kind_name(kind: LimitKind) -> &'static str {
+pub(crate) fn limit_kind_name(kind: LimitKind) -> &'static str {
     match kind {
         LimitKind::Depth => "depth",
         LimitKind::Bytes => "byte",
@@ -335,7 +335,7 @@ impl From<LimitExceeded> for SessionError {
     }
 }
 
-fn corrupt(detail: impl Into<String>) -> SessionError {
+pub(crate) fn corrupt(detail: impl Into<String>) -> SessionError {
     SessionError::Checkpoint {
         detail: detail.into(),
     }
@@ -625,26 +625,35 @@ impl EngineCheckpoint {
     }
 }
 
-fn put_u16(w: &mut Vec<u8>, v: u16) {
+pub(crate) fn put_u16(w: &mut Vec<u8>, v: u16) {
     w.extend_from_slice(&v.to_le_bytes());
 }
-fn put_u32(w: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(w: &mut Vec<u8>, v: u32) {
     w.extend_from_slice(&v.to_le_bytes());
 }
-fn put_u64(w: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(w: &mut Vec<u8>, v: u64) {
     w.extend_from_slice(&v.to_le_bytes());
 }
-fn put_i64(w: &mut Vec<u8>, v: i64) {
+pub(crate) fn put_i64(w: &mut Vec<u8>, v: i64) {
     w.extend_from_slice(&v.to_le_bytes());
 }
 
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], SessionError> {
+    pub(crate) fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+    pub(crate) fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], SessionError> {
         // Hostile length fields can be anything up to `u32::MAX`;
         // checked arithmetic keeps even `usize`-overflow-adjacent lies
         // a typed error rather than a wrap-around.
@@ -659,19 +668,19 @@ impl<'a> Reader<'a> {
         self.pos = end;
         Ok(out)
     }
-    fn u8(&mut self) -> Result<u8, SessionError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, SessionError> {
         Ok(self.take(1)?[0])
     }
-    fn u16(&mut self) -> Result<u16, SessionError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, SessionError> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
-    fn u32(&mut self) -> Result<u32, SessionError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, SessionError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
-    fn u64(&mut self) -> Result<u64, SessionError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, SessionError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
-    fn i64(&mut self) -> Result<i64, SessionError> {
+    pub(crate) fn i64(&mut self) -> Result<i64, SessionError> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 }
@@ -680,18 +689,18 @@ impl<'a> Reader<'a> {
 // Query fingerprint
 // ---------------------------------------------------------------------------
 
-fn fnv_bytes(h: &mut u64, bytes: &[u8]) {
+pub(crate) fn fnv_bytes(h: &mut u64, bytes: &[u8]) {
     for &b in bytes {
         *h ^= b as u64;
         *h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
 }
 
-fn fnv_usize(h: &mut u64, v: usize) {
+pub(crate) fn fnv_usize(h: &mut u64, v: usize) {
     fnv_bytes(h, &(v as u64).to_le_bytes());
 }
 
-fn alphabet_symbols(alphabet: &Alphabet) -> Vec<String> {
+pub(crate) fn alphabet_symbols(alphabet: &Alphabet) -> Vec<String> {
     let mut entries: Vec<(usize, String)> = alphabet
         .entries()
         .map(|(l, s)| (l.index(), s.to_owned()))
@@ -732,7 +741,7 @@ fn query_fingerprint(query: &FusedQuery) -> u64 {
     h
 }
 
-fn fnv_dfa(h: &mut u64, dfa: &st_automata::Dfa) {
+pub(crate) fn fnv_dfa(h: &mut u64, dfa: &st_automata::Dfa) {
     fnv_usize(h, dfa.n_states());
     fnv_usize(h, dfa.n_letters());
     fnv_usize(h, dfa.init());
@@ -750,18 +759,18 @@ fn fnv_dfa(h: &mut u64, dfa: &st_automata::Dfa) {
 
 /// The Lemma 3.8 run state in session form (mirrors the locals of the
 /// fused HAR loop in `engine.rs`).
-struct HarRun {
-    current: usize,
-    dead: bool,
-    chain: [u16; MAX_CHAIN],
-    regs: [i64; MAX_CHAIN],
-    chain_len: usize,
+pub(crate) struct HarRun {
+    pub(crate) current: usize,
+    pub(crate) dead: bool,
+    pub(crate) chain: [u16; MAX_CHAIN],
+    pub(crate) regs: [i64; MAX_CHAIN],
+    pub(crate) chain_len: usize,
 }
 
 impl HarRun {
     /// Applies an open event; returns the pre-selection verdict.
     #[inline]
-    fn open(&mut self, core: &HarCore, l: usize, depth: i64) -> bool {
+    pub(crate) fn open(&mut self, core: &HarCore, l: usize, depth: i64) -> bool {
         if self.dead {
             return false;
         }
@@ -778,7 +787,7 @@ impl HarRun {
 
     /// Applies a close event; `depth` is the depth *after* the close.
     #[inline]
-    fn close(&mut self, core: &HarCore, l: usize, depth: i64) {
+    pub(crate) fn close(&mut self, core: &HarCore, l: usize, depth: i64) {
         if self.dead {
             return;
         }
@@ -809,7 +818,7 @@ enum SessState {
 
 /// Decodes a lexer event code into `(open_letter, close_letter)`.
 #[inline]
-fn decode_event(ev: u16, k: usize) -> (Option<usize>, Option<usize>) {
+pub(crate) fn decode_event(ev: u16, k: usize) -> (Option<usize>, Option<usize>) {
     if (ev as usize) <= 2 * k {
         let t = ev as usize - 1;
         if t < k {
@@ -840,30 +849,30 @@ pub struct SessionOutcome {
 /// the limits carry a disabled [`ObsHandle`], so the per-event cost of
 /// observability on an unobserved session is a single `Option` branch —
 /// and only at feed/checkpoint granularity, never per byte.
-struct SessObs {
-    obs: ObsHandle,
+pub(crate) struct SessObs {
+    pub(crate) obs: ObsHandle,
     /// Session id in the handle's id space (links to serve jobs via
     /// [`TraceEvent::JobSession`]).
-    id: u64,
-    feeds: Counter,
-    bytes: Counter,
-    checkpoints: Counter,
-    nodes: Counter,
-    matches: Counter,
-    breaches: Counter,
-    finished: Counter,
+    pub(crate) id: u64,
+    pub(crate) feeds: Counter,
+    pub(crate) bytes: Counter,
+    pub(crate) checkpoints: Counter,
+    pub(crate) nodes: Counter,
+    pub(crate) matches: Counter,
+    pub(crate) breaches: Counter,
+    pub(crate) finished: Counter,
     /// Structural-index window tallies, shared with the one-shot engine
     /// counters so `stql --stats` reports one fallback rate.
-    simd_windows: Counter,
-    fallback_windows: Counter,
+    pub(crate) simd_windows: Counter,
+    pub(crate) fallback_windows: Counter,
     /// Bytes between consecutive checkpoints (the observed cadence).
-    checkpoint_interval: Histogram,
+    pub(crate) checkpoint_interval: Histogram,
     /// `Cell` because [`EngineSession::checkpoint`] takes `&self`.
-    last_checkpoint_offset: std::cell::Cell<u64>,
+    pub(crate) last_checkpoint_offset: std::cell::Cell<u64>,
 }
 
 impl SessObs {
-    fn attach(obs: &ObsHandle, offset: u64) -> Option<SessObs> {
+    pub(crate) fn attach(obs: &ObsHandle, offset: u64) -> Option<SessObs> {
         if !obs.is_enabled() {
             return None;
         }
@@ -1503,7 +1512,7 @@ impl<'q> EngineSession<'q> {
 
 #[cold]
 #[inline(never)]
-fn parse_error(offset: usize) -> SessionError {
+pub(crate) fn parse_error(offset: usize) -> SessionError {
     SessionError::Parse(TreeError::Parse {
         position: offset,
         message: "malformed markup or unknown label".to_owned(),
@@ -1512,7 +1521,7 @@ fn parse_error(offset: usize) -> SessionError {
 
 #[cold]
 #[inline(never)]
-fn depth_error(max_depth: i64, offset: usize) -> SessionError {
+pub(crate) fn depth_error(max_depth: i64, offset: usize) -> SessionError {
     SessionError::Limit(LimitExceeded {
         kind: LimitKind::Depth,
         limit: max_depth as u64,
@@ -1522,7 +1531,7 @@ fn depth_error(max_depth: i64, offset: usize) -> SessionError {
 
 #[cold]
 #[inline(never)]
-fn imbalance_error(min_depth: i64, offset: usize) -> SessionError {
+pub(crate) fn imbalance_error(min_depth: i64, offset: usize) -> SessionError {
     SessionError::Limit(LimitExceeded {
         kind: LimitKind::Imbalance,
         limit: (-min_depth) as u64,

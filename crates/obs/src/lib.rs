@@ -320,6 +320,15 @@ pub enum TraceEvent {
         /// Failure class (e.g. `"worker-panic"`).
         cause: &'static str,
     },
+    /// One shared multi-query pass served a batch of grouped requests.
+    SharedPass {
+        /// Job id of the group's lead request.
+        job: u64,
+        /// Requests served by the pass (including the lead).
+        members: u64,
+        /// Total member queries evaluated in the pass.
+        queries: u64,
+    },
 }
 
 impl TraceEvent {
@@ -336,7 +345,8 @@ impl TraceEvent {
             | SegmentCorrupted { job, .. }
             | Degraded { job }
             | JobCompleted { job, .. }
-            | JobFailed { job, .. } => Some(*job),
+            | JobFailed { job, .. }
+            | SharedPass { job, .. } => Some(*job),
             _ => None,
         }
     }
@@ -445,6 +455,14 @@ impl fmt::Display for TraceEvent {
                 attempts,
                 cause,
             } => write!(f, "job {job}: failed ({cause}) after {attempts} attempt(s)"),
+            SharedPass {
+                job,
+                members,
+                queries,
+            } => write!(
+                f,
+                "job {job}: shared pass served {members} request(s), {queries} query(ies)"
+            ),
         }
     }
 }

@@ -96,6 +96,12 @@ pub struct ServeConfig {
     pub parallel_threshold: usize,
     /// Threads given to one chunked evaluation.
     pub chunk_threads: usize,
+    /// State budget for the shared product DFA of grouped multi-query
+    /// requests (see [`st_core::queryset::QuerySet::compile_with_budget`]):
+    /// past it the set compiler falls back to lane-wise simulation, and
+    /// `0` disables the product tier outright.  A
+    /// [`crate::MultiJobSpec`] can override it per request.
+    pub product_budget: usize,
     /// Service-level budget (admission control + inherited limits).
     pub budget: ServiceBudget,
     /// Deterministic fault injection; `None` in production.  When set,
@@ -122,6 +128,7 @@ impl Default for ServeConfig {
             degrade_at_percent: 50,
             parallel_threshold: 64 << 10,
             chunk_threads: 4,
+            product_budget: st_core::queryset::DEFAULT_PRODUCT_BUDGET,
             budget: ServiceBudget::default(),
             chaos: None,
             obs: ObsHandle::disabled(),
@@ -181,6 +188,13 @@ impl ServeConfig {
     /// Sets the thread count of one chunked evaluation.
     pub fn with_chunk_threads(mut self, threads: usize) -> ServeConfig {
         self.chunk_threads = threads.max(1);
+        self
+    }
+
+    /// Sets the shared product-DFA state budget for grouped multi-query
+    /// requests (`0` forces lane-wise simulation).
+    pub fn with_product_budget(mut self, budget: usize) -> ServeConfig {
+        self.product_budget = budget;
         self
     }
 

@@ -42,7 +42,8 @@ pub use chaos::{ChaosConfig, Fault};
 pub use config::{ServeConfig, ServiceBudget};
 pub use error::{FailureCause, ServeError};
 pub use runtime::{
-    silence_chaos_panics, JobId, JobReport, JobSpec, PathTaken, ServeRuntime, ServeStats,
+    silence_chaos_panics, JobId, JobReport, JobSpec, MultiJobReport, MultiJobSpec, PathTaken,
+    ServeRuntime, ServeStats,
 };
 #[cfg(feature = "chaos")]
 pub use soak::{run_soak, RequestOutcome, SoakConfig, SoakDivergence, SoakReport};

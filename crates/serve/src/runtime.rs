@@ -46,8 +46,10 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use st_automata::{compile_regex, Alphabet};
 use st_core::engine::FusedQuery;
 use st_core::planner::Strategy;
+use st_core::queryset::QuerySet;
 use st_core::session::{monotonic_clock, ClockFn, EngineCheckpoint, Limits};
 use st_obs::{Counter, Gauge, Histogram, ObsHandle, TraceEvent};
 
@@ -101,6 +103,64 @@ impl JobSpec {
     }
 }
 
+/// One multi-query request: a set of path patterns over one alphabet,
+/// plus the document to run them all over.
+///
+/// The dispatcher *batches by document*: queued multi-query requests
+/// that target the same document (same bytes, alphabet, and product
+/// budget — compared by fingerprint) and inherit the service-level
+/// limits are claimed as one group and served by a single shared
+/// [`QuerySet`] pass; per-query results are split back out to each
+/// request ([`ServeRuntime::wait_multi`]).  A request that carries its
+/// own [`Limits`] always runs alone.  Multi-query requests take the
+/// shared-session path unconditionally — the chunked fast path and
+/// chaos injection apply only to single-query requests.
+#[derive(Clone)]
+pub struct MultiJobSpec {
+    /// The path patterns to evaluate (the per-query result order).
+    pub patterns: Vec<String>,
+    /// The label alphabet the patterns are compiled over.
+    pub alphabet: Alphabet,
+    /// The document bytes (shared with retries).
+    pub doc: Arc<Vec<u8>>,
+    /// Per-session limits; `None` inherits
+    /// [`crate::ServiceBudget::session_limits`] and makes the request
+    /// eligible for grouping.
+    pub limits: Option<Limits>,
+    /// Product-DFA state budget override; `None` inherits
+    /// [`crate::ServeConfig::product_budget`].
+    pub product_budget: Option<usize>,
+}
+
+impl MultiJobSpec {
+    /// A multi-query request with inherited limits and product budget.
+    pub fn new(
+        patterns: Vec<String>,
+        alphabet: Alphabet,
+        doc: impl Into<Arc<Vec<u8>>>,
+    ) -> MultiJobSpec {
+        MultiJobSpec {
+            patterns,
+            alphabet,
+            doc: doc.into(),
+            limits: None,
+            product_budget: None,
+        }
+    }
+
+    /// Overrides the inherited limits (and opts out of grouping).
+    pub fn with_limits(mut self, limits: Limits) -> MultiJobSpec {
+        self.limits = Some(limits);
+        self
+    }
+
+    /// Overrides the inherited product-DFA state budget.
+    pub fn with_product_budget(mut self, budget: usize) -> MultiJobSpec {
+        self.product_budget = Some(budget);
+        self
+    }
+}
+
 /// Which evaluation path ultimately served a request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PathTaken {
@@ -108,6 +168,9 @@ pub enum PathTaken {
     Chunked,
     /// The sequential guarded session path with checkpoint cadence.
     Session,
+    /// One shared multi-query pass served this request as part of a
+    /// batch-by-document group.
+    Shared,
 }
 
 /// The final record of one request.
@@ -127,6 +190,27 @@ pub struct JobReport {
     /// Whether queue/memory pressure degraded this request from the
     /// chunked path to the session path.
     pub degraded: bool,
+    /// Every non-terminal failure absorbed along the way, oldest first.
+    pub failures: Vec<FailureCause>,
+}
+
+/// The final record of one multi-query request, with per-query match
+/// attribution.  Collected with [`ServeRuntime::wait_multi`].
+#[derive(Clone, Debug)]
+pub struct MultiJobReport {
+    /// The request's id.
+    pub id: JobId,
+    /// Per-pattern match sets (document-order node ids), in the order
+    /// the [`MultiJobSpec`] listed its patterns, or the typed terminal
+    /// error.  A single-query request queried this way reports its one
+    /// match set as a one-entry list.
+    pub results: Result<Vec<Vec<usize>>, ServeError>,
+    /// Attempts spent (1 + retries).
+    pub attempts: u32,
+    /// Requests (including this one) served by the shared pass that
+    /// completed this request; 0 when the request never completed via a
+    /// shared pass.
+    pub group_size: usize,
     /// Every non-terminal failure absorbed along the way, oldest first.
     pub failures: Vec<FailureCause>,
 }
@@ -160,6 +244,10 @@ pub struct ServeStats {
     pub checkpoints: u64,
     /// Worker threads spawned (initial pool + replacements).
     pub workers_spawned: u64,
+    /// Shared multi-query passes run (each serves a whole group).
+    pub multi_groups: u64,
+    /// Requests served by shared multi-query passes.
+    pub multi_group_members: u64,
 }
 
 impl std::fmt::Display for ServeStats {
@@ -168,7 +256,8 @@ impl std::fmt::Display for ServeStats {
             f,
             "submitted {} completed {} failed {} shed {} rejected {} | \
              retries {} resumes {} panics {} stalls {} corruptions {} | \
-             degraded {} checkpoints {} workers-spawned {}",
+             degraded {} checkpoints {} workers-spawned {} | \
+             multi-groups {} multi-members {}",
             self.submitted,
             self.completed,
             self.failed,
@@ -181,7 +270,9 @@ impl std::fmt::Display for ServeStats {
             self.corruptions,
             self.degraded,
             self.checkpoints,
-            self.workers_spawned
+            self.workers_spawned,
+            self.multi_groups,
+            self.multi_group_members
         )
     }
 }
@@ -205,8 +296,58 @@ struct ResumePoint {
     matches: Vec<usize>,
 }
 
+/// A validated multi-query request as the runtime holds it.
+struct MultiWork {
+    patterns: Vec<String>,
+    alphabet: Alphabet,
+    doc: Arc<Vec<u8>>,
+    limits: Option<Limits>,
+    /// Resolved product-DFA state budget.
+    budget: usize,
+    /// Grouping key: fingerprint of (doc bytes, alphabet, budget).
+    fp: u64,
+}
+
+/// What a job evaluates: one fused query, or a query set eligible for
+/// batch-by-document grouping.
+#[derive(Clone)]
+enum Work {
+    Single(Arc<JobSpec>),
+    Multi(Arc<MultiWork>),
+}
+
+impl Work {
+    fn doc_len(&self) -> usize {
+        match self {
+            Work::Single(s) => s.doc.len(),
+            Work::Multi(m) => m.doc.len(),
+        }
+    }
+}
+
+/// FNV-1a grouping fingerprint of a multi-query request's shared-pass
+/// identity: two requests group iff document bytes, alphabet, and
+/// product budget all agree.
+fn group_fingerprint(doc: &[u8], alphabet: &Alphabet, budget: usize) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in doc {
+        h = (h ^ b as u64).wrapping_mul(PRIME);
+    }
+    for (_, symbol) in alphabet.entries() {
+        for &b in symbol.as_bytes() {
+            h = (h ^ b as u64).wrapping_mul(PRIME);
+        }
+        h = (h ^ 0xFF).wrapping_mul(PRIME);
+    }
+    for b in (budget as u64).to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(PRIME);
+    }
+    h
+}
+
 struct JobState {
-    spec: Arc<JobSpec>,
+    work: Work,
     /// Current attempt number (1-based).  Writes from older attempts —
     /// a stalled worker waking up, a panicking worker's final report
     /// racing the supervisor — are discarded by comparing against this.
@@ -220,6 +361,10 @@ struct JobState {
     /// Admission timestamp (ms since runtime epoch), for the terminal
     /// latency histogram.
     submitted_ms: u64,
+    /// Multi jobs: per-pattern match sets, set at completion.
+    multi_results: Option<Vec<Vec<usize>>>,
+    /// Multi jobs: how many requests the completing shared pass served.
+    group_size: usize,
 }
 
 struct Pending {
@@ -241,15 +386,18 @@ struct WorkerSlot {
     /// zombie's slot is replaced and its late writes are epoch-guarded.
     abandoned: AtomicBool,
     /// The assignment this worker currently runs.
-    busy: Mutex<Option<(u64, u32)>>,
+    busy: Mutex<Option<Assignment>>,
     /// Last liveness signal (ms since runtime epoch); ticks once per
     /// checkpoint cadence.
     heartbeat_ms: AtomicU64,
 }
 
+/// One unit of worker work: a single job, or a whole multi-query group
+/// claimed for one shared pass (every `(job, attempt)` pair is already
+/// marked Running).
+#[derive(Clone)]
 struct Assignment {
-    job: u64,
-    attempt: u32,
+    group: Vec<(u64, u32)>,
 }
 
 struct WorkerHandle {
@@ -279,6 +427,10 @@ struct ServeObs {
     degraded: Counter,
     checkpoints: Counter,
     workers_spawned: Counter,
+    multi_groups: Counter,
+    multi_group_members: Counter,
+    /// Requests per shared multi-query pass.
+    multi_group_size: Histogram,
     /// Current submission-queue occupancy.
     queue_depth: Gauge,
     /// Bytes currently held against the in-flight budget.
@@ -307,6 +459,9 @@ impl ServeObs {
             degraded: handle.counter("serve_degraded_total"),
             checkpoints: handle.counter("serve_checkpoints_total"),
             workers_spawned: handle.counter("serve_workers_spawned_total"),
+            multi_groups: handle.counter("serve_multi_groups_total"),
+            multi_group_members: handle.counter("serve_multi_group_members_total"),
+            multi_group_size: handle.histogram("serve_multi_group_size"),
             queue_depth: handle.gauge("serve_queue_depth"),
             in_flight_bytes: handle.gauge("serve_in_flight_bytes"),
             request_attempts: handle.histogram("serve_request_attempts"),
@@ -358,6 +513,8 @@ struct Inner {
     degraded: AtomicU64,
     checkpoints: AtomicU64,
     workers_spawned: AtomicU64,
+    multi_groups: AtomicU64,
+    multi_group_members: AtomicU64,
 }
 
 impl Inner {
@@ -380,6 +537,8 @@ impl Inner {
             degraded: self.degraded.load(Ordering::SeqCst),
             checkpoints: self.checkpoints.load(Ordering::SeqCst),
             workers_spawned: self.workers_spawned.load(Ordering::SeqCst),
+            multi_groups: self.multi_groups.load(Ordering::SeqCst),
+            multi_group_members: self.multi_group_members.load(Ordering::SeqCst),
         }
     }
 
@@ -413,7 +572,54 @@ impl Inner {
             }
             st.status = Status::Done(Ok(matches));
             st.path = path;
-            bytes = st.spec.doc.len();
+            bytes = st.work.doc_len();
+            submitted_ms = st.submitted_ms;
+        }
+        let held = self.in_flight_bytes.fetch_sub(bytes, Ordering::SeqCst);
+        self.completed.fetch_add(1, Ordering::SeqCst);
+        self.obs.completed.incr();
+        self.obs.in_flight_bytes.set((held - bytes) as i64);
+        self.obs.request_attempts.record(attempt as u64);
+        self.obs
+            .request_latency_ms
+            .record(self.now_ms().saturating_sub(submitted_ms));
+        self.obs.trace(TraceEvent::JobCompleted {
+            job,
+            attempts: attempt,
+            matches: n_matches,
+        });
+        self.jobs_cv.notify_all();
+        self.queue_cv.notify_all();
+    }
+
+    /// Records a multi-query completion for `(job, attempt)`: the
+    /// per-pattern attribution plus, in the plain report, the union of
+    /// the per-query match sets (document order, deduped).  A stale
+    /// attempt is discarded.
+    fn complete_multi(
+        &self,
+        job: u64,
+        attempt: u32,
+        per_query: Vec<Vec<usize>>,
+        group_size: usize,
+    ) {
+        let bytes;
+        let submitted_ms;
+        let n_matches: u64 = per_query.iter().map(|m| m.len() as u64).sum();
+        {
+            let mut jobs = lock(&self.jobs);
+            let Some(st) = jobs.get_mut(&job) else { return };
+            if st.attempt != attempt || matches!(st.status, Status::Done(_)) {
+                return;
+            }
+            let mut union: Vec<usize> = per_query.iter().flatten().copied().collect();
+            union.sort_unstable();
+            union.dedup();
+            st.multi_results = Some(per_query);
+            st.group_size = group_size;
+            st.status = Status::Done(Ok(union));
+            st.path = PathTaken::Shared;
+            bytes = st.work.doc_len();
             submitted_ms = st.submitted_ms;
         }
         let held = self.in_flight_bytes.fetch_sub(bytes, Ordering::SeqCst);
@@ -532,7 +738,7 @@ impl Inner {
                     attempts: st.attempt,
                     last: cause,
                 }));
-                let bytes = st.spec.doc.len();
+                let bytes = st.work.doc_len();
                 let held = self.in_flight_bytes.fetch_sub(bytes, Ordering::SeqCst);
                 self.failed.fetch_add(1, Ordering::SeqCst);
                 self.obs.failed.incr();
@@ -581,6 +787,25 @@ impl Inner {
             _ => None,
         }
     }
+
+    fn multi_report_of(&self, id: u64, st: &JobState) -> Option<MultiJobReport> {
+        match &st.status {
+            Status::Done(result) => Some(MultiJobReport {
+                id: JobId(id),
+                results: match (result, &st.multi_results) {
+                    (Ok(_), Some(per)) => Ok(per.clone()),
+                    // A single-query job queried through the multi API
+                    // reports its one match set as a one-entry list.
+                    (Ok(union), None) => Ok(vec![union.clone()]),
+                    (Err(e), _) => Err(e.clone()),
+                },
+                attempts: st.attempt,
+                group_size: st.group_size,
+                failures: st.failures.clone(),
+            }),
+            _ => None,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -610,26 +835,139 @@ fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
 fn worker_main(inner: Arc<Inner>, slot: Arc<WorkerSlot>, rx: Receiver<Assignment>) {
     let _sentinel = Sentinel(slot.clone());
     while let Ok(a) = rx.recv() {
-        match catch_unwind(AssertUnwindSafe(|| {
-            run_job(&inner, &slot, a.job, a.attempt)
-        })) {
+        match catch_unwind(AssertUnwindSafe(|| run_group(&inner, &slot, &a.group))) {
             Ok(()) => *lock(&slot.busy) = None,
             Err(payload) => {
-                // Report the death against the request (so failover
-                // starts immediately instead of waiting for the
-                // supervisor's sweep), then die authentically: the
-                // supervisor replaces the thread.  `busy` stays set
+                // Report the death against every request of the group
+                // (so failover starts immediately instead of waiting
+                // for the supervisor's sweep), then die authentically:
+                // the supervisor replaces the thread.  `busy` stays set
                 // through the death — clearing it here would open a
                 // window where the dispatcher assigns a request to this
                 // still-`alive`, already-unwinding thread, burning one
                 // of its attempts on a worker that will never run it.
                 let detail = payload_message(payload.as_ref());
-                inner.record_attempt_failure(
-                    a.job,
-                    a.attempt,
-                    FailureCause::WorkerPanic { detail },
-                );
+                for &(job, attempt) in &a.group {
+                    inner.record_attempt_failure(
+                        job,
+                        attempt,
+                        FailureCause::WorkerPanic {
+                            detail: detail.clone(),
+                        },
+                    );
+                }
                 resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Runs one assignment: a lone single-query job takes the existing
+/// chunked/session ladder; everything else is a multi-query group
+/// served by one shared pass.
+fn run_group(inner: &Arc<Inner>, slot: &WorkerSlot, group: &[(u64, u32)]) {
+    if let [(job, attempt)] = group {
+        let is_single = {
+            let jobs = lock(&inner.jobs);
+            matches!(jobs.get(job).map(|st| &st.work), Some(Work::Single(_)))
+        };
+        if is_single {
+            return run_job(inner, slot, *job, *attempt);
+        }
+    }
+    run_multi_group(inner, slot, group);
+}
+
+/// Serves one batch-by-document group with a single shared
+/// [`QuerySet`] pass and splits per-query results back to each member.
+fn run_multi_group(inner: &Arc<Inner>, slot: &WorkerSlot, group: &[(u64, u32)]) {
+    // Re-validate each member against its live attempt; stale members
+    // (superseded while queued for this worker) drop out of the pass.
+    let mut members: Vec<(u64, u32, Arc<MultiWork>)> = Vec::with_capacity(group.len());
+    {
+        let jobs = lock(&inner.jobs);
+        for &(job, attempt) in group {
+            if let Some(st) = jobs.get(&job) {
+                if st.attempt == attempt && matches!(st.status, Status::Running) {
+                    if let Work::Multi(w) = &st.work {
+                        members.push((job, attempt, w.clone()));
+                    }
+                }
+            }
+        }
+    }
+    if members.is_empty() {
+        return;
+    }
+    let lead = members[0].0;
+    let lead_work = members[0].2.clone();
+    let cfg = &inner.cfg;
+    let doc: &[u8] = lead_work.doc.as_slice();
+
+    // One shared compile over the union of every member's patterns;
+    // spans remember which slice of the union belongs to which member.
+    let mut all_patterns: Vec<&str> = Vec::new();
+    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(members.len());
+    for (_, _, w) in &members {
+        spans.push((all_patterns.len(), w.patterns.len()));
+        all_patterns.extend(w.patterns.iter().map(String::as_str));
+    }
+    let set = QuerySet::compile_with_budget(&all_patterns, &lead_work.alphabet, lead_work.budget)
+        .expect("multi-query patterns were validated at admission");
+
+    // A singleton group honors the request's own limits; grouping only
+    // ever batches requests that inherit the service defaults.
+    let requested = if members.len() == 1 {
+        members[0].2.limits.as_ref()
+    } else {
+        None
+    };
+    let limits = cfg.budget.session_limits_for(requested, &cfg.obs);
+    let mut session = set.session(limits);
+    if inner.obs.handle.is_enabled() {
+        for (job, _, _) in &members {
+            inner.obs.trace(TraceEvent::JobSession {
+                job: *job,
+                session: session.obs_session_id(),
+            });
+        }
+    }
+    let cadence = cfg.checkpoint_every.max(1);
+    let mut off = 0usize;
+    while off < doc.len() {
+        let end = (off + cadence).min(doc.len());
+        if let Err(e) = session.feed(&doc[off..end]) {
+            for (job, attempt, _) in &members {
+                inner.record_attempt_failure(*job, *attempt, FailureCause::Engine(e.clone()));
+            }
+            return;
+        }
+        off = end;
+        slot.heartbeat_ms.store(inner.now_ms(), Ordering::SeqCst);
+    }
+    match session.finish() {
+        Ok(out) => {
+            let n = members.len();
+            for ((job, attempt, _), &(start, len)) in members.iter().zip(&spans) {
+                let per_query = out.matches[start..start + len].to_vec();
+                inner.complete_multi(*job, *attempt, per_query, n);
+            }
+            inner.multi_groups.fetch_add(1, Ordering::SeqCst);
+            inner
+                .multi_group_members
+                .fetch_add(n as u64, Ordering::SeqCst);
+            inner.obs.multi_groups.incr();
+            inner.obs.multi_group_members.add(n as u64);
+            inner.obs.multi_group_size.record(n as u64);
+            inner.obs.trace(TraceEvent::SharedPass {
+                job: lead,
+                members: n as u64,
+                queries: all_patterns.len() as u64,
+            });
+        }
+        Err(e) => {
+            for (job, attempt, _) in &members {
+                inner.record_attempt_failure(*job, *attempt, FailureCause::Engine(e.clone()));
             }
         }
     }
@@ -641,7 +979,10 @@ fn run_job(inner: &Arc<Inner>, slot: &WorkerSlot, job: u64, attempt: u32) {
         let jobs = lock(&inner.jobs);
         match jobs.get(&job) {
             Some(st) if st.attempt == attempt && matches!(st.status, Status::Running) => {
-                (st.spec.clone(), st.resume.clone())
+                match &st.work {
+                    Work::Single(spec) => (spec.clone(), st.resume.clone()),
+                    Work::Multi(_) => return,
+                }
             }
             _ => return,
         }
@@ -790,14 +1131,16 @@ fn reap_and_replace(inner: &Arc<Inner>, workers: &mut [WorkerHandle], now_ms: u6
             // this sweep is the backstop for a worker that died without
             // reporting.
             let victim = lock(&worker.slot.busy).take();
-            if let Some((job, attempt)) = victim {
-                inner.record_attempt_failure(
-                    job,
-                    attempt,
-                    FailureCause::WorkerPanic {
-                        detail: "worker thread died".to_owned(),
-                    },
-                );
+            if let Some(a) = victim {
+                for (job, attempt) in a.group {
+                    inner.record_attempt_failure(
+                        job,
+                        attempt,
+                        FailureCause::WorkerPanic {
+                            detail: "worker thread died".to_owned(),
+                        },
+                    );
+                }
             }
             if let Some(h) = worker.join.take() {
                 let _ = h.join(); // reap; Err(panic payload) is expected
@@ -806,18 +1149,20 @@ fn reap_and_replace(inner: &Arc<Inner>, workers: &mut [WorkerHandle], now_ms: u6
             continue;
         }
         // Stalled?  Only a busy worker owes heartbeats.
-        let victim = *lock(&worker.slot.busy);
-        if let Some((job, attempt)) = victim {
+        let victim = lock(&worker.slot.busy).clone();
+        if let Some(a) = victim {
             let hb = worker.slot.heartbeat_ms.load(Ordering::SeqCst);
             let silent = now_ms.saturating_sub(hb);
             if silent > stall_ms {
                 worker.slot.abandoned.store(true, Ordering::SeqCst);
                 *lock(&worker.slot.busy) = None;
-                inner.record_attempt_failure(
-                    job,
-                    attempt,
-                    FailureCause::WorkerStall { stalled_ms: silent },
-                );
+                for &(job, attempt) in &a.group {
+                    inner.record_attempt_failure(
+                        job,
+                        attempt,
+                        FailureCause::WorkerStall { stalled_ms: silent },
+                    );
+                }
                 // Replace the slot; dropping the old sender lets the
                 // zombie exit once it wakes, and dropping the handle
                 // detaches it (joining a sleeping zombie would block
@@ -829,20 +1174,51 @@ fn reap_and_replace(inner: &Arc<Inner>, workers: &mut [WorkerHandle], now_ms: u6
     }
 }
 
-/// Hands one pending entry to an idle worker.  Returns `false` if it
-/// must go back to the queue (no healthy idle worker took it).
+/// Hands one pending entry to an idle worker.  A groupable multi-query
+/// lead pulls every other queued multi-query request with the same
+/// document fingerprint into its assignment, so one worker serves the
+/// whole batch with one shared pass.  Returns `false` if the work must
+/// go back to the queue (no healthy idle worker took it).
 fn try_assign(inner: &Arc<Inner>, workers: &[WorkerHandle], p: &Pending, now_ms: u64) -> bool {
-    let attempt = {
+    let mut group: Vec<(u64, u32)> = Vec::new();
+    {
         let mut jobs = lock(&inner.jobs);
-        match jobs.get_mut(&p.id) {
+        let group_key = match jobs.get_mut(&p.id) {
             Some(st) if matches!(st.status, Status::Queued) => {
                 st.status = Status::Running;
-                st.attempt
+                group.push((p.id, st.attempt));
+                match &st.work {
+                    Work::Multi(w) if w.limits.is_none() => Some(w.fp),
+                    _ => None,
+                }
             }
             // Vanished or already terminal: the entry is stale; drop it.
             _ => return true,
+        };
+        if let Some(fp) = group_key {
+            // Claim the rest of the batch.  Members stay Running while
+            // their own queue entries surface later as stale no-ops;
+            // deterministic ascending-id order keeps result splitting
+            // independent of queue arrival order.
+            let mut peers: Vec<u64> = jobs
+                .iter()
+                .filter(|(id, st)| {
+                    **id != p.id
+                        && matches!(st.status, Status::Queued)
+                        && matches!(&st.work,
+                            Work::Multi(w) if w.limits.is_none() && w.fp == fp)
+                })
+                .map(|(id, _)| *id)
+                .collect();
+            peers.sort_unstable();
+            for id in peers {
+                if let Some(st) = jobs.get_mut(&id) {
+                    st.status = Status::Running;
+                    group.push((id, st.attempt));
+                }
+            }
         }
-    };
+    }
     for w in workers {
         let healthy = w.slot.alive.load(Ordering::SeqCst)
             && !w.slot.abandoned.load(Ordering::SeqCst)
@@ -854,13 +1230,17 @@ fn try_assign(inner: &Arc<Inner>, workers: &[WorkerHandle], p: &Pending, now_ms:
         if busy.is_some() {
             continue;
         }
-        *busy = Some((p.id, attempt));
+        *busy = Some(Assignment {
+            group: group.clone(),
+        });
         drop(busy);
         w.slot.heartbeat_ms.store(now_ms, Ordering::SeqCst);
         let sent =
             w.tx.as_ref()
                 .expect("healthy worker has a sender")
-                .send(Assignment { job: p.id, attempt });
+                .send(Assignment {
+                    group: group.clone(),
+                });
         if sent.is_ok() {
             return true;
         }
@@ -868,11 +1248,14 @@ fn try_assign(inner: &Arc<Inner>, workers: &[WorkerHandle], p: &Pending, now_ms:
         // reaper will replace it.  Roll back and keep looking.
         *lock(&w.slot.busy) = None;
     }
-    // No healthy idle worker: back to the queue.
+    // No healthy idle worker: the whole claimed group goes back to the
+    // queue (non-lead members' queue entries are still there).
     let mut jobs = lock(&inner.jobs);
-    if let Some(st) = jobs.get_mut(&p.id) {
-        if st.attempt == attempt && matches!(st.status, Status::Running) {
-            st.status = Status::Queued;
+    for &(id, attempt) in &group {
+        if let Some(st) = jobs.get_mut(&id) {
+            if st.attempt == attempt && matches!(st.status, Status::Running) {
+                st.status = Status::Queued;
+            }
         }
     }
     false
@@ -1002,6 +1385,8 @@ impl ServeRuntime {
             degraded: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
             workers_spawned: AtomicU64::new(0),
+            multi_groups: AtomicU64::new(0),
+            multi_group_members: AtomicU64::new(0),
         });
         let inner2 = inner.clone();
         let dispatcher = std::thread::Builder::new()
@@ -1014,9 +1399,8 @@ impl ServeRuntime {
         }
     }
 
-    fn admit(&self, spec: JobSpec, block: bool) -> Result<JobId, ServeError> {
-        let doc_len = spec.doc.len();
-        let spec = Arc::new(spec);
+    fn admit(&self, work: Work, block: bool) -> Result<JobId, ServeError> {
+        let doc_len = work.doc_len();
         loop {
             {
                 // Lock order everywhere: jobs before queue.
@@ -1047,7 +1431,7 @@ impl ServeRuntime {
                     jobs.insert(
                         id,
                         JobState {
-                            spec: spec.clone(),
+                            work: work.clone(),
                             attempt: 1,
                             resume: None,
                             resumes: 0,
@@ -1056,6 +1440,8 @@ impl ServeRuntime {
                             path: PathTaken::Session,
                             degraded: false,
                             submitted_ms: self.inner.now_ms(),
+                            multi_results: None,
+                            group_size: 0,
                         },
                     );
                     let held = self
@@ -1114,7 +1500,7 @@ impl ServeRuntime {
     /// [`ServeError::Overloaded`], [`ServeError::Rejected`], or
     /// [`ServeError::ShuttingDown`].
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, ServeError> {
-        self.admit(spec, false)
+        self.admit(Work::Single(Arc::new(spec)), false)
     }
 
     /// Like [`Self::submit`] but waits for queue space instead of
@@ -1124,7 +1510,56 @@ impl ServeRuntime {
     ///
     /// [`ServeError::Rejected`] or [`ServeError::ShuttingDown`].
     pub fn submit_blocking(&self, spec: JobSpec) -> Result<JobId, ServeError> {
-        self.admit(spec, true)
+        self.admit(Work::Single(Arc::new(spec)), true)
+    }
+
+    /// Submits a multi-query request.  Every pattern is validated at
+    /// admission; requests over the same document (same bytes, alphabet,
+    /// and product budget) that carry no custom limits are grouped by the
+    /// scheduler and served by one shared [`st_core::QuerySet`] pass.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] when a pattern fails to compile or the
+    /// byte budget is blown, [`ServeError::Overloaded`], or
+    /// [`ServeError::ShuttingDown`].
+    pub fn submit_multi(&self, spec: MultiJobSpec) -> Result<JobId, ServeError> {
+        self.admit_multi(spec, false)
+    }
+
+    /// Like [`Self::submit_multi`] but waits for queue space instead of
+    /// shedding.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] or [`ServeError::ShuttingDown`].
+    pub fn submit_multi_blocking(&self, spec: MultiJobSpec) -> Result<JobId, ServeError> {
+        self.admit_multi(spec, true)
+    }
+
+    fn admit_multi(&self, spec: MultiJobSpec, block: bool) -> Result<JobId, ServeError> {
+        for (i, p) in spec.patterns.iter().enumerate() {
+            if let Err(e) = compile_regex(p, &spec.alphabet) {
+                self.inner.rejected.fetch_add(1, Ordering::SeqCst);
+                self.inner.obs.rejected.incr();
+                return Err(ServeError::Rejected {
+                    reason: format!("pattern {i} ({p:?}) failed to compile: {e}"),
+                });
+            }
+        }
+        let budget = spec.product_budget.unwrap_or(self.inner.cfg.product_budget);
+        let fp = group_fingerprint(&spec.doc, &spec.alphabet, budget);
+        self.admit(
+            Work::Multi(Arc::new(MultiWork {
+                patterns: spec.patterns,
+                alphabet: spec.alphabet,
+                doc: spec.doc,
+                limits: spec.limits,
+                budget,
+                fp,
+            })),
+            block,
+        )
     }
 
     /// Blocks until the request finishes (completes, or fails its typed
@@ -1157,6 +1592,39 @@ impl ServeRuntime {
         let jobs = lock(&self.inner.jobs);
         jobs.get(&id.0)
             .and_then(|st| self.inner.report_of(id.0, st))
+    }
+
+    /// Blocks until the request finishes and returns its report with
+    /// per-query match attribution.  For a request submitted via
+    /// [`Self::submit`] the single result set is returned as one entry.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`] for an id this runtime never issued.
+    pub fn wait_multi(&self, id: JobId) -> Result<MultiJobReport, ServeError> {
+        let mut jobs = lock(&self.inner.jobs);
+        loop {
+            let Some(st) = jobs.get(&id.0) else {
+                return Err(ServeError::UnknownJob { id: id.0 });
+            };
+            if let Some(report) = self.inner.multi_report_of(id.0, st) {
+                return Ok(report);
+            }
+            jobs = self
+                .inner
+                .jobs_cv
+                .wait_timeout(jobs, Duration::from_millis(50))
+                .unwrap_or_else(|p| p.into_inner())
+                .0;
+        }
+    }
+
+    /// The per-query report of a finished request, or `None` while it is
+    /// still queued or running.
+    pub fn try_multi_report(&self, id: JobId) -> Option<MultiJobReport> {
+        let jobs = lock(&self.inner.jobs);
+        jobs.get(&id.0)
+            .and_then(|st| self.inner.multi_report_of(id.0, st))
     }
 
     /// A snapshot of the runtime counters.

@@ -6,8 +6,8 @@
 use std::path::Path;
 
 use stackless_streamed_trees::conform::{
-    corpus::load_corpus, fuzz, replay_corpus, run_case, tree_nodes, Case, FuzzConfig, Mutation,
-    Outcome,
+    corpus::load_corpus, fuzz, fuzz_multi, replay_corpus, replay_multi_corpus, run_case,
+    run_multi_case, tree_nodes, Case, FuzzConfig, MultiMutation, Mutation, Outcome,
 };
 
 /// Every committed reproducer must replay cleanly: these are inputs on
@@ -137,6 +137,80 @@ fn truncation_at_every_prefix_is_deterministic() {
             );
         }
     }
+}
+
+/// Every committed multi-query reproducer must replay cleanly: the
+/// shared pass must agree with N independent runs on every pinned
+/// pattern set, on both compiler tiers and both byte paths.
+#[test]
+fn multi_corpus_replays_without_divergence() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata/corpus");
+    let bad = replay_multi_corpus(&dir).expect("multi corpus parses");
+    assert!(
+        bad.is_empty(),
+        "multi corpus regressions:\n{}",
+        bad.iter()
+            .map(|(p, d)| format!("  {}: {d}", p.display()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The multi corpus is not allowed to silently disappear either.
+#[test]
+fn multi_corpus_has_pinned_entries() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata/corpus");
+    let n = std::fs::read_dir(&dir)
+        .expect("testdata/corpus exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "mcase"))
+        .count();
+    assert!(n >= 1, "expected pinned multi corpus entries, found {n}");
+}
+
+/// Fixed-seed multi-query smoke fuzz: every case runs one shared
+/// QuerySet pass per (tier, byte-path) variant and compares per-query
+/// match sets bitwise against N independent single-query runs.
+#[test]
+fn fixed_seed_multi_query_smoke_fuzz_is_clean() {
+    let cfg = FuzzConfig {
+        seed: 42,
+        iters: 150,
+        ..FuzzConfig::default()
+    };
+    let report = fuzz_multi(&cfg, MultiMutation::None);
+    assert_eq!(report.iters_run, 150);
+    assert!(
+        report.clean(),
+        "multi divergences: {:?}",
+        report
+            .failures
+            .iter()
+            .map(|f| (&f.detail, &f.shrunk))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// Multi-oracle soundness: an injected attribution fault (a dropped
+/// match in the shared pass's answer) must be caught and shrunk.
+#[test]
+fn injected_multi_attribution_fault_is_caught_and_shrunk() {
+    let cfg = FuzzConfig {
+        seed: 3,
+        iters: 150,
+        max_failures: 1,
+        ..FuzzConfig::default()
+    };
+    let report = fuzz_multi(&cfg, MultiMutation::DropLastMatch);
+    let failure = report
+        .failures
+        .first()
+        .expect("injected attribution fault must be detected within 150 iterations");
+    assert!(
+        run_multi_case(&failure.shrunk, MultiMutation::DropLastMatch).is_some(),
+        "shrunk case must still reproduce"
+    );
+    assert!(failure.shrunk.doc.len() <= failure.case.doc.len());
 }
 
 /// The harness's reporting on malformed input is part of its contract:

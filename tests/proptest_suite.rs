@@ -259,4 +259,39 @@ proptest! {
         // Padding with an unreachable state changes nothing.
         prop_assert!(stackless_streamed_trees::automata::ops::equivalent(&d, &m));
     }
+
+    /// Alphabet compression preserves per-query semantics: the shared
+    /// product DFA built over letter classes classifies every document
+    /// identically, query by query, to the product built over the raw
+    /// 2k-letter markup alphabet — and both agree with N independent
+    /// single-query runs.
+    #[test]
+    fn queryset_compression_preserves_per_query_semantics(
+        t in arb_tree(2, 40),
+        picks in proptest::collection::vec(0usize..5, 2..6),
+    ) {
+        use stackless_streamed_trees::core::{Query, QuerySet, SetStrategy, DEFAULT_PRODUCT_BUDGET};
+        use stackless_streamed_trees::trees::xml;
+
+        // An all-almost-reversible pool, so both compilations land on
+        // the product tier and the compression seam is actually crossed.
+        const POOL: [&str; 5] = ["a.*b", "a.*", "b.*a", ".*", "b.*"];
+        let g = Alphabet::of_chars("ab");
+        let patterns: Vec<&str> = picks.iter().map(|&i| POOL[i]).collect();
+        let doc = xml::write_document(&t, &g).into_bytes();
+
+        let compressed = QuerySet::compile(&patterns, &g).unwrap();
+        let plain = QuerySet::compile_uncompressed(&patterns, &g, DEFAULT_PRODUCT_BUDGET).unwrap();
+        prop_assert_eq!(compressed.strategy(), SetStrategy::Product);
+        prop_assert_eq!(plain.strategy(), SetStrategy::Product);
+        prop_assert!(compressed.product_classes() <= plain.product_classes());
+
+        let a = compressed.select_all(&doc).unwrap();
+        let b = plain.select_all(&doc).unwrap();
+        prop_assert_eq!(&a, &b);
+        for (p, ids) in patterns.iter().zip(&a) {
+            let alone = Query::compile(p, &g).unwrap().select(&doc).unwrap();
+            prop_assert_eq!(&alone, ids);
+        }
+    }
 }
