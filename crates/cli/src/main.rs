@@ -15,6 +15,7 @@
 
 use std::process::ExitCode;
 
+mod netcmd;
 mod schema;
 mod serving;
 
@@ -32,6 +33,8 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("serve") => serving::cmd_serve(&args[1..]),
         Some("batch") => serving::cmd_batch(&args[1..]),
+        Some("listen") => netcmd::cmd_listen(&args[1..]),
+        Some("ask") => netcmd::cmd_ask(&args[1..]),
         Some("extract") => cmd_extract(&args[1..]),
         Some("multi") => cmd_multi(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
@@ -68,6 +71,14 @@ const USAGE: &str = "usage:
                [--corrupt PM] [--stall-ms MS] [--stall-timeout MS]
                [--reproducer FILE] [--metrics-out FILE]
   stql batch   <query> <file.xml>... [serve pool flags]
+  stql listen  <addr> [--max-conns N] [--read-timeout MS] [--write-timeout MS]
+               [--min-throughput BPS] [--grace MS] [--max-in-flight BYTES]
+               [--cadence BYTES] [--shed-wait MS] [--plan-cache N]
+               [--metrics-out FILE] [--metrics-every MS]
+  stql listen  --chaos [--seed N] [--requests N] [--connections N]
+               [--reproducer FILE] [--metrics-out FILE]
+  stql ask     <addr> <query>... <file.xml> [--count] [--chunk BYTES]
+               [--timeout MS] [--alphabet a,b,c]
   stql multi   <file.xml> <query>... [--count] [--alphabet a,b,c]
                [--budget N]
   stql fuzz    [--seed N] [--iters M] [--max-depth D] [--max-nodes K]
@@ -91,6 +102,19 @@ on any divergence from the recovery contract, printing each losing
 request's supervisor trace as a post-mortem.
 --metrics-out dumps the runtime metrics snapshot as JSON periodically
 (every --metrics-every ms, default 1000) and flushes it at exit.
+
+listen serves the length-prefixed frame protocol over TCP (plan cache,
+read/write deadlines, slow-client watchdog, in-flight byte budget with
+backpressure, graceful drain); stdin is the control channel: `stats`,
+`drain`, `quit` (EOF quits).  Bind port 0 and read the first stdout
+line for the ephemeral address.
+listen --chaos runs the seeded network fault-injection soak (torn
+frames, disconnects, stalls, duplicate uploads against a live loopback
+listener) and exits non-zero on any divergence from the DOM oracle,
+writing a reproducer.
+ask streams a local .xml document to a listener in --chunk-byte frames
+(path-regex queries; several queries share one upload) and prints
+match ids like a local select.
 
 multi evaluates every query in one shared byte pass (a QuerySet: a
 product DFA with alphabet compression when the combined automaton fits

@@ -1,0 +1,286 @@
+//! `stql listen` / `stql ask`: the TCP front-end on the command line.
+//!
+//! * `listen` binds a [`NetServer`] and serves the frame protocol until
+//!   told to stop; its control channel is stdin, one command per line
+//!   (`stats`, `drain`, `quit`), so a scripted round trip is just a
+//!   background `listen`, an `ask`, and a `quit` on the listener's
+//!   stdin.
+//! * `ask` is the line-mode client: it streams a local document to a
+//!   listener in bounded chunks and prints one match id per line
+//!   (`--count` for the total), exactly like a local `stql select`.
+
+use std::io::BufRead;
+use std::time::Duration;
+
+use st_serve::{
+    codes, run_net_soak, NetClient, NetConfig, NetResponse, NetServer, NetSoakConfig, ServiceBudget,
+};
+use stackless_streamed_trees::prelude::{Alphabet, ObsHandle};
+
+use crate::serving::MetricsSink;
+use crate::{flag_value, parse_query};
+
+fn parse_num(args: &[String], flag: &str, default: u64) -> Result<u64, String> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("bad {flag} {v:?}: {e}")),
+    }
+}
+
+/// Builds the listener configuration from the command line, starting
+/// from [`NetConfig::default`] so the CLI and the library agree on
+/// every default.
+fn net_config(args: &[String], sink: &MetricsSink) -> Result<NetConfig, String> {
+    let d = NetConfig::default();
+    let mut cfg = d
+        .clone()
+        .with_max_connections(parse_num(args, "--max-conns", d.max_connections as u64)? as usize)
+        .with_timeouts(
+            Duration::from_millis(parse_num(
+                args,
+                "--read-timeout",
+                d.read_timeout.as_millis() as u64,
+            )?),
+            Duration::from_millis(parse_num(
+                args,
+                "--write-timeout",
+                d.write_timeout.as_millis() as u64,
+            )?),
+        )
+        .with_checkpoint_every(parse_num(args, "--cadence", d.checkpoint_every as u64)? as usize)
+        .with_plan_cache_capacity(
+            parse_num(args, "--plan-cache", d.plan_cache_capacity as u64)? as usize,
+        )
+        .with_shed_wait(Duration::from_millis(parse_num(
+            args,
+            "--shed-wait",
+            d.shed_wait.as_millis() as u64,
+        )?))
+        .with_obs(sink.obs.clone());
+    if let Some(bps) = flag_value(args, "--min-throughput") {
+        let bps: u64 = bps
+            .parse()
+            .map_err(|e| format!("bad --min-throughput {bps:?}: {e}"))?;
+        let grace = parse_num(args, "--grace", 2000)?;
+        cfg = cfg.with_min_throughput(bps, Duration::from_millis(grace));
+    }
+    if let Some(v) = flag_value(args, "--max-in-flight") {
+        let bytes: usize = v
+            .parse()
+            .map_err(|e| format!("bad --max-in-flight {v:?}: {e}"))?;
+        cfg = cfg.with_budget(ServiceBudget::default().with_max_in_flight_bytes(bytes));
+    }
+    Ok(cfg)
+}
+
+/// `stql listen <addr>`: serve the frame protocol until stdin says stop.
+pub(crate) fn cmd_listen(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--chaos") {
+        return cmd_net_chaos(args);
+    }
+    let addr = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("listen needs an address, e.g. 127.0.0.1:7171")?;
+    let sink = MetricsSink::from_args(args)?;
+    let server = NetServer::bind(addr, net_config(args, &sink)?)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    // The bound address goes to stdout so scripts against `listen
+    // 127.0.0.1:0` can read the ephemeral port back.
+    println!("listening on {}", server.local_addr());
+    eprintln!("control (stdin): stats | drain | quit  (EOF quits)");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        match line.trim() {
+            "" => {}
+            "stats" => {
+                eprintln!("net: {}", server.stats());
+                eprintln!("plan cache: {:?}", server.plan_cache().stats());
+            }
+            "drain" => {
+                server.begin_drain();
+                eprintln!("draining: in-flight requests finish, new work is refused");
+            }
+            "quit" => break,
+            other => eprintln!("unknown control command {other:?} (stats | drain | quit)"),
+        }
+    }
+    server.shutdown();
+    let stats = server.stats();
+    eprintln!("net: {stats}");
+    eprintln!("plan cache: {:?}", server.plan_cache().stats());
+    sink.flush()?;
+    Ok(())
+}
+
+/// `stql listen --chaos`: the deterministic network chaos soak.  A
+/// seeded hostile-client storm (mid-stream disconnects, torn frames,
+/// read-deadline stalls, duplicate uploads) plays against a live
+/// loopback listener; every accepted-and-completed request must match
+/// the DOM oracle and the fault-free run, and every failure must carry
+/// a typed wire code.  Any violation exits non-zero and writes a
+/// reproducer.
+fn cmd_net_chaos(args: &[String]) -> Result<(), String> {
+    let seed = parse_num(args, "--seed", 42)?;
+    let sink = MetricsSink::from_args(args)?;
+    let obs = if sink.obs.is_enabled() {
+        sink.obs.clone()
+    } else {
+        ObsHandle::new()
+    };
+    let d = NetSoakConfig::new(seed);
+    let cfg = d
+        .clone()
+        .with_requests(parse_num(args, "--requests", d.requests)?)
+        .with_connections(parse_num(args, "--connections", d.connections as u64)? as usize)
+        .with_obs(obs);
+    eprintln!(
+        "network chaos soak: seed {seed}, {} request(s), {} connection slot(s), \
+         {}-byte segments, {} attempt(s) per request",
+        cfg.requests, cfg.connections, cfg.segment_bytes, cfg.max_attempts
+    );
+    let report = run_net_soak(&cfg);
+    eprintln!(
+        "outcomes: {} completed, {} typed failures, {} gave up; \
+         {} chaos retries, {} duplicate uploads",
+        report.completed,
+        report.typed_failures,
+        report.gave_up,
+        report.chaos_retries,
+        report.resends
+    );
+    eprintln!("net: {}", report.stats);
+    eprintln!("plan cache: {:?}", report.cache);
+    sink.flush()?;
+    if report.ok() {
+        println!(
+            "contract holds: {} request(s), zero divergences from the DOM oracle",
+            report.outcomes.len()
+        );
+        return Ok(());
+    }
+    let text = report.reproducer(seed);
+    match flag_value(args, "--reproducer") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("reproducer written to {path}");
+        }
+        None => eprint!("{text}"),
+    }
+    Err(format!(
+        "{} divergence(s) from the network robustness contract",
+        report.divergences.len()
+    ))
+}
+
+/// The alphabet as the comma-separated form the wire protocol carries.
+fn alphabet_csv(alphabet: &Alphabet) -> String {
+    (0..alphabet.len())
+        .map(|i| alphabet.symbol(st_automata::Letter(i as u32)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// `stql ask <addr> <query>... <file.xml>`: one client round trip.
+pub(crate) fn cmd_ask(args: &[String]) -> Result<(), String> {
+    let pos: Vec<&String> = {
+        // Flags that consume a value, so positionals can be picked out.
+        const VALUE_FLAGS: &[&str] = &["--alphabet", "--chunk", "--timeout"];
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            if VALUE_FLAGS.contains(&args[i].as_str()) {
+                i += 2;
+            } else if args[i].starts_with("--") {
+                i += 1;
+            } else {
+                out.push(&args[i]);
+                i += 1;
+            }
+        }
+        out
+    };
+    let (addr, rest) = pos
+        .split_first()
+        .ok_or("ask needs an address, a query, and a file")?;
+    let (path, queries) = rest
+        .split_last()
+        .filter(|(_, qs)| !qs.is_empty())
+        .ok_or("ask needs at least one query and a file")?;
+    if !path.ends_with(".xml") {
+        return Err(format!(
+            "{path}: the network front-end takes .xml documents"
+        ));
+    }
+    let count_only = args.iter().any(|a| a == "--count");
+    let chunk = parse_num(args, "--chunk", 64 * 1024)?.max(1) as usize;
+    let timeout = Duration::from_millis(parse_num(args, "--timeout", 10_000)?);
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let alphabet = match flag_value(args, "--alphabet") {
+        Some(sigma) => {
+            Alphabet::from_symbols(sigma.split(',')).map_err(|e| format!("bad alphabet: {e}"))?
+        }
+        None => {
+            st_trees::xml::parse_document(&bytes)
+                .map_err(|e| format!("{path}: cannot infer alphabet: {e}"))?
+                .0
+        }
+    };
+    // The wire carries the paper's path-regex syntax; parse each query
+    // locally first so a typo fails here with a real diagnostic instead
+    // of a remote BAD_QUERY.
+    for q in queries {
+        if q.starts_with('/') || q.starts_with('$') {
+            return Err(format!(
+                "the wire protocol carries path-regex patterns; rewrite {q:?} as a regex"
+            ));
+        }
+        parse_query(q, &alphabet)?;
+    }
+    let csv = alphabet_csv(&alphabet);
+
+    let mut client = NetClient::connect_with_timeouts(addr, timeout, timeout)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let response = if queries.len() == 1 {
+        client.query(queries[0].as_str(), &csv, &bytes, chunk)
+    } else {
+        client.multi_query(queries, &csv, &bytes, chunk)
+    }
+    .map_err(|e| format!("transport: {e}"))?;
+
+    let emit = |ids: &[usize]| {
+        if count_only {
+            println!("{}", ids.len());
+        } else {
+            for id in ids {
+                println!("{id}");
+            }
+        }
+    };
+    match response {
+        NetResponse::Matches(ids) => emit(&ids),
+        NetResponse::MultiMatches(per_query) => {
+            for (q, ids) in queries.iter().zip(&per_query) {
+                if count_only {
+                    println!("{}\t{q}", ids.len());
+                } else {
+                    let list = ids
+                        .iter()
+                        .map(|id| id.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    println!("{list}\t{q}");
+                }
+            }
+        }
+        NetResponse::ServerError { code, message } => {
+            return Err(format!(
+                "server error {code} ({}): {message}",
+                codes::name(code)
+            ));
+        }
+    }
+    Ok(())
+}

@@ -91,15 +91,15 @@ fn serve_config(args: &[String], obs: &ObsHandle) -> Result<ServeConfig, String>
 /// The `--metrics-out` sink: an enabled handle whose snapshot is dumped
 /// periodically (every `--metrics-every` ms) and flushed at exit; or a
 /// disabled no-op handle when the flag is absent.
-struct MetricsSink {
-    obs: ObsHandle,
+pub(crate) struct MetricsSink {
+    pub(crate) obs: ObsHandle,
     path: Option<String>,
     stop: Arc<AtomicBool>,
     dumper: Option<JoinHandle<()>>,
 }
 
 impl MetricsSink {
-    fn from_args(args: &[String]) -> Result<MetricsSink, String> {
+    pub(crate) fn from_args(args: &[String]) -> Result<MetricsSink, String> {
         let Some(path) = flag_value(args, "--metrics-out") else {
             return Ok(MetricsSink {
                 obs: ObsHandle::disabled(),
@@ -137,7 +137,7 @@ impl MetricsSink {
     }
 
     /// Stops the periodic dumper and writes the final snapshot.
-    fn flush(mut self) -> Result<(), String> {
+    pub(crate) fn flush(mut self) -> Result<(), String> {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(h) = self.dumper.take() {
             let _ = h.join();

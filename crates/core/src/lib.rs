@@ -77,6 +77,7 @@ pub mod har;
 pub mod model;
 pub mod papers;
 pub mod pattern;
+pub mod plancache;
 pub mod planner;
 pub mod query;
 pub mod queryset;
@@ -94,6 +95,7 @@ pub use classify::{classify, ClassReport, Verdict};
 pub use engine::{ByteDfa, FusedQuery, TagLexer};
 pub use error::CoreError;
 pub use model::{DraProgram, DraRunner, LoadMask, StreamSymbol};
+pub use plancache::{plan_fingerprint, PlanCache, PlanCacheStats};
 pub use planner::{CompiledQuery, CompiledTermQuery, Strategy};
 pub use query::{Query, QueryError};
 pub use queryset::{
@@ -118,6 +120,7 @@ pub use session::{
 /// ```
 pub mod prelude {
     pub use crate::engine::FusedQuery;
+    pub use crate::plancache::{PlanCache, PlanCacheStats};
     pub use crate::planner::{CompiledQuery, Strategy};
     pub use crate::query::{Query, QueryError};
     pub use crate::queryset::{

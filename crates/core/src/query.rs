@@ -93,6 +93,23 @@ impl Query {
         Ok(Query::from_dfa(&dfa, alphabet)?)
     }
 
+    /// Like [`Query::compile`], but consults (and on a miss, fills) the
+    /// given [`crate::plancache::PlanCache`], so hot patterns skip
+    /// determinization entirely.  Cached and fresh compiles are
+    /// indistinguishable — compilation is deterministic, and the cache
+    /// verifies the full `(pattern, alphabet)` key on every hit.
+    ///
+    /// # Errors
+    ///
+    /// As [`Query::compile`]; failures are never cached.
+    pub fn compile_cached(
+        pattern: &str,
+        alphabet: &Alphabet,
+        cache: &crate::plancache::PlanCache,
+    ) -> Result<std::sync::Arc<Query>, QueryError> {
+        cache.get_or_compile(pattern, alphabet)
+    }
+
     /// Plans and fuses a query given directly as a DFA over the
     /// alphabet (ancestor-string semantics, as produced by
     /// `compile_regex` or the `st-rpq` translators).

@@ -329,6 +329,19 @@ pub enum TraceEvent {
         /// Total member queries evaluated in the pass.
         queries: u64,
     },
+    /// A network connection was accepted by the TCP front-end.
+    ConnOpened {
+        /// Connection id (the front-end's own id space).
+        conn: u64,
+    },
+    /// A network connection closed.
+    ConnClosed {
+        /// Connection id.
+        conn: u64,
+        /// Why it closed (e.g. `"eof"`, `"read-timeout"`,
+        /// `"slow-client"`, `"drain"`).
+        reason: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -463,6 +476,8 @@ impl fmt::Display for TraceEvent {
                 f,
                 "job {job}: shared pass served {members} request(s), {queries} query(ies)"
             ),
+            ConnOpened { conn } => write!(f, "conn {conn}: opened"),
+            ConnClosed { conn, reason } => write!(f, "conn {conn}: closed ({reason})"),
         }
     }
 }

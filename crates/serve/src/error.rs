@@ -123,6 +123,14 @@ pub enum ServeError {
         /// The offending id.
         id: u64,
     },
+    /// The request's deadline passed while it was still queued; the pool
+    /// dropped it instead of burning a worker on an answer nobody is
+    /// waiting for.
+    DeadlineExpired {
+        /// How long the request had been queued when it was dropped
+        /// (runtime-clock milliseconds).
+        waited_ms: u64,
+    },
 }
 
 impl ServeError {
@@ -134,6 +142,95 @@ impl ServeError {
             ServeError::ShuttingDown => "shutting-down".to_owned(),
             ServeError::Failed { last, .. } => format!("failed({})", last.class()),
             ServeError::UnknownJob { .. } => "unknown-job".to_owned(),
+            ServeError::DeadlineExpired { .. } => "deadline-expired".to_owned(),
+        }
+    }
+
+    /// The stable numeric code this error travels under on the wire (the
+    /// `ERROR` frame of the network front-end; see `crate::frame`).
+    ///
+    /// The match is deliberately exhaustive — adding a [`ServeError`]
+    /// variant without assigning it a wire code is a compile error, so a
+    /// wire client can never see a stringly-typed failure.  Codes are
+    /// append-only: never renumber a released value.
+    pub fn wire_code(&self) -> u16 {
+        match self {
+            ServeError::Overloaded { .. } => codes::OVERLOADED,
+            ServeError::Rejected { .. } => codes::REJECTED,
+            ServeError::ShuttingDown => codes::SHUTTING_DOWN,
+            ServeError::Failed { .. } => codes::FAILED,
+            ServeError::UnknownJob { .. } => codes::UNKNOWN_JOB,
+            ServeError::DeadlineExpired { .. } => codes::DEADLINE_EXPIRED,
+        }
+    }
+}
+
+/// The stable numeric protocol error codes.  Service-level outcomes
+/// (mapped from [`ServeError`]) live below 100; transport/framing
+/// failures (mapped from `crate::frame::FrameError` and the connection
+/// state machine) live at 100 and above.  Append-only.
+pub mod codes {
+    /// Load shed: the service is at capacity; back off and resubmit.
+    pub const OVERLOADED: u16 = 1;
+    /// Admission control refused the request outright.
+    pub const REJECTED: u16 = 2;
+    /// The service is draining and accepts no new work.
+    pub const SHUTTING_DOWN: u16 = 3;
+    /// The request was attempted and failed with a typed terminal cause.
+    pub const FAILED: u16 = 4;
+    /// The job id is unknown.
+    pub const UNKNOWN_JOB: u16 = 5;
+    /// The request's deadline passed while it was queued.
+    pub const DEADLINE_EXPIRED: u16 = 6;
+
+    /// The connection did not open with the protocol magic.
+    pub const BAD_PREAMBLE: u16 = 100;
+    /// An unknown frame type byte.
+    pub const BAD_FRAME_TYPE: u16 = 101;
+    /// A frame length over the negotiated maximum.
+    pub const FRAME_TOO_LARGE: u16 = 102;
+    /// The stream ended (or the peer lied about a length) mid-frame.
+    pub const TRUNCATED_FRAME: u16 = 103;
+    /// A read deadline expired.
+    pub const READ_TIMEOUT: u16 = 104;
+    /// A write deadline expired (the client is not draining replies).
+    pub const WRITE_TIMEOUT: u16 = 105;
+    /// The client's sustained throughput fell below the configured floor.
+    pub const SLOW_CLIENT: u16 = 106;
+    /// The query payload was malformed or failed to compile.
+    pub const BAD_QUERY: u16 = 107;
+    /// A frame arrived that the protocol state machine does not allow
+    /// here (e.g. document bytes before any query).
+    pub const PROTOCOL: u16 = 108;
+    /// The engine rejected the document (parse error or limit breach).
+    pub const ENGINE: u16 = 109;
+    /// A frame whose payload structure is malformed (bad lengths or
+    /// counts inside the payload).
+    pub const BAD_PAYLOAD: u16 = 110;
+
+    /// The symbolic name of a wire code, for diagnostics.  Codes this
+    /// build does not know (a newer peer) come back as `"UNKNOWN"`.
+    #[must_use]
+    pub fn name(code: u16) -> &'static str {
+        match code {
+            OVERLOADED => "OVERLOADED",
+            REJECTED => "REJECTED",
+            SHUTTING_DOWN => "SHUTTING_DOWN",
+            FAILED => "FAILED",
+            UNKNOWN_JOB => "UNKNOWN_JOB",
+            DEADLINE_EXPIRED => "DEADLINE_EXPIRED",
+            BAD_PREAMBLE => "BAD_PREAMBLE",
+            BAD_FRAME_TYPE => "BAD_FRAME_TYPE",
+            FRAME_TOO_LARGE => "FRAME_TOO_LARGE",
+            TRUNCATED_FRAME => "TRUNCATED_FRAME",
+            READ_TIMEOUT => "READ_TIMEOUT",
+            WRITE_TIMEOUT => "WRITE_TIMEOUT",
+            SLOW_CLIENT => "SLOW_CLIENT",
+            BAD_QUERY => "BAD_QUERY",
+            PROTOCOL => "PROTOCOL",
+            ENGINE => "ENGINE",
+            BAD_PAYLOAD => "BAD_PAYLOAD",
+            _ => "UNKNOWN",
         }
     }
 }
@@ -154,6 +251,9 @@ impl fmt::Display for ServeError {
                 write!(f, "failed after {attempts} attempt(s): {last}")
             }
             ServeError::UnknownJob { id } => write!(f, "unknown job id {id}"),
+            ServeError::DeadlineExpired { waited_ms } => {
+                write!(f, "deadline expired after {waited_ms} ms in queue")
+            }
         }
     }
 }

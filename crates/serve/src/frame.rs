@@ -1,0 +1,689 @@
+//! The wire protocol of the network front-end: a tiny length-prefixed
+//! frame codec over any byte stream.
+//!
+//! A connection opens with the 4-byte preamble [`PREAMBLE`] (`"STN1"`),
+//! then carries a sequence of frames, each `[kind: u8][len: u32 LE]
+//! [payload: len bytes]`.  The client speaks [`FrameKind::Query`] /
+//! [`FrameKind::MultiQuery`] to open a request, streams document bytes
+//! with [`FrameKind::Chunk`], and closes the document with an empty
+//! [`FrameKind::Finish`]; the server answers with exactly one
+//! [`FrameKind::Matches`] / [`FrameKind::MultiMatches`] (success) or
+//! [`FrameKind::Error`] (a stable numeric code from
+//! [`crate::error::codes`] plus a human-readable message).
+//!
+//! The codec is deliberately paranoid — it is the outermost surface the
+//! chaos harness attacks with torn frames, length-lying headers, and
+//! garbage preambles:
+//!
+//! * frame lengths are validated against a maximum *before* any
+//!   allocation, so a length-lying header cannot balloon memory;
+//! * every partial read maps end-of-stream to a typed
+//!   [`FrameError::Truncated`] (never a panic or a hang past the socket
+//!   deadline);
+//! * read deadlines surface as [`FrameError::Timeout`];
+//! * payload decoders validate internal lengths exactly — trailing
+//!   bytes, short counts, and non-UTF-8 text are all
+//!   [`FrameError::BadPayload`].
+//!
+//! Every [`FrameError`] maps to a stable wire code
+//! ([`FrameError::wire_code`]); the match is exhaustive so a new variant
+//! without a code is a compile error.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::error::codes;
+
+/// The 4-byte connection preamble: `"STN1"` (Streamed Trees Net v1).
+pub const PREAMBLE: [u8; 4] = *b"STN1";
+
+/// Default maximum frame payload length the server accepts (1 MiB).
+pub const DEFAULT_MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Maximum response frame length a [`crate::net::NetClient`] accepts
+/// (64 MiB — a `Matches` frame carries 8 bytes per selected node).
+pub const RESPONSE_MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Frame type tags.  Client-to-server kinds live below `0x80`,
+/// server-to-client kinds at `0x80` and above.  Append-only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Opens a single-query request: `[alpha_len: u16 LE][alphabet csv]
+    /// [pattern]`.
+    Query = 0x01,
+    /// A run of document bytes (non-empty).
+    Chunk = 0x02,
+    /// Closes the document (empty payload); the server answers.
+    Finish = 0x03,
+    /// Opens a multi-query request: `[alpha_len: u16 LE][alphabet csv]
+    /// [count: u16 LE]` then `count` of `[len: u16 LE][pattern]`.
+    MultiQuery = 0x04,
+    /// Success reply to [`FrameKind::Query`]: `[count: u32 LE]` then
+    /// `count` node ids as `u64 LE`.
+    Matches = 0x81,
+    /// Success reply to [`FrameKind::MultiQuery`]: `[members: u32 LE]`
+    /// then per member `[count: u32 LE]` + ids as `u64 LE`.
+    MultiMatches = 0x82,
+    /// Failure reply: `[code: u16 LE][utf-8 message]`; codes are the
+    /// stable registry in [`crate::error::codes`].
+    Error = 0x83,
+}
+
+impl FrameKind {
+    /// Decodes a frame type byte.
+    pub fn from_byte(b: u8) -> Option<FrameKind> {
+        match b {
+            0x01 => Some(FrameKind::Query),
+            0x02 => Some(FrameKind::Chunk),
+            0x03 => Some(FrameKind::Finish),
+            0x04 => Some(FrameKind::MultiQuery),
+            0x81 => Some(FrameKind::Matches),
+            0x82 => Some(FrameKind::MultiMatches),
+            0x83 => Some(FrameKind::Error),
+            _ => None,
+        }
+    }
+
+    /// The wire byte of this kind.
+    pub fn as_byte(self) -> u8 {
+        self as u8
+    }
+}
+
+/// Everything that can go wrong reading or decoding a frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The connection did not open with [`PREAMBLE`].
+    BadPreamble {
+        /// The bytes actually received.
+        got: [u8; 4],
+    },
+    /// An unknown frame type byte.
+    BadFrameType {
+        /// The offending byte.
+        byte: u8,
+    },
+    /// A frame header declared a payload over the configured maximum.
+    /// Detected before any allocation.
+    TooLarge {
+        /// The declared length.
+        len: usize,
+        /// The configured maximum.
+        max: usize,
+    },
+    /// The stream ended mid-frame (a torn frame, a length-lying header,
+    /// or a mid-stream disconnect).
+    Truncated {
+        /// What was being read when the stream ended.
+        context: &'static str,
+    },
+    /// A read deadline expired.
+    Timeout,
+    /// A frame arrived intact but its payload structure is malformed
+    /// (bad internal lengths, trailing bytes, or non-UTF-8 text).
+    BadPayload {
+        /// What exactly is malformed.
+        detail: String,
+    },
+    /// Any other transport error (connection reset, broken pipe, ...).
+    Io {
+        /// The [`io::ErrorKind`] of the failure.
+        kind: io::ErrorKind,
+    },
+}
+
+impl FrameError {
+    /// The stable numeric code this error travels under in an `Error`
+    /// frame.  Exhaustive by design — see [`crate::error::codes`].
+    pub fn wire_code(&self) -> u16 {
+        match self {
+            FrameError::BadPreamble { .. } => codes::BAD_PREAMBLE,
+            FrameError::BadFrameType { .. } => codes::BAD_FRAME_TYPE,
+            FrameError::TooLarge { .. } => codes::FRAME_TOO_LARGE,
+            FrameError::Truncated { .. } => codes::TRUNCATED_FRAME,
+            FrameError::Timeout => codes::READ_TIMEOUT,
+            FrameError::BadPayload { .. } => codes::BAD_PAYLOAD,
+            FrameError::Io { .. } => codes::TRUNCATED_FRAME,
+        }
+    }
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadPreamble { got } => {
+                write!(f, "bad preamble {got:02x?} (expected {PREAMBLE:02x?})")
+            }
+            FrameError::BadFrameType { byte } => write!(f, "unknown frame type 0x{byte:02x}"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame of {len} byte(s) exceeds the {max}-byte maximum")
+            }
+            FrameError::Truncated { context } => {
+                write!(f, "stream ended mid-frame while reading {context}")
+            }
+            FrameError::Timeout => write!(f, "read deadline expired"),
+            FrameError::BadPayload { detail } => write!(f, "malformed payload: {detail}"),
+            FrameError::Io { kind } => write!(f, "transport error: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One decoded frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame type.
+    pub kind: FrameKind,
+    /// The raw payload.
+    pub payload: Vec<u8>,
+}
+
+fn bad_payload(detail: impl Into<String>) -> FrameError {
+    FrameError::BadPayload {
+        detail: detail.into(),
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, mapping end-of-stream to
+/// [`FrameError::Truncated`] and deadline expiry to
+/// [`FrameError::Timeout`].  Hand-rolled (rather than
+/// [`Read::read_exact`]) so a deadline that fires after partial progress
+/// still reports `Timeout`, not a generic error.
+fn read_full(r: &mut impl Read, buf: &mut [u8], context: &'static str) -> Result<(), FrameError> {
+    let mut at = 0;
+    while at < buf.len() {
+        match r.read(&mut buf[at..]) {
+            Ok(0) => return Err(FrameError::Truncated { context }),
+            Ok(n) => at += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(FrameError::Timeout)
+            }
+            Err(e) => return Err(FrameError::Io { kind: e.kind() }),
+        }
+    }
+    Ok(())
+}
+
+fn write_full(w: &mut impl Write, buf: &[u8]) -> Result<(), FrameError> {
+    match w.write_all(buf) {
+        Ok(()) => Ok(()),
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            Err(FrameError::Timeout)
+        }
+        Err(e) => Err(FrameError::Io { kind: e.kind() }),
+    }
+}
+
+/// Reads and checks the connection preamble.
+///
+/// # Errors
+///
+/// [`FrameError::BadPreamble`] on a mismatch, [`FrameError::Truncated`]
+/// if the stream ends inside it, [`FrameError::Timeout`] past the read
+/// deadline.
+pub fn read_preamble(r: &mut impl Read) -> Result<(), FrameError> {
+    let mut got = [0u8; 4];
+    read_full(r, &mut got, "preamble")?;
+    if got != PREAMBLE {
+        return Err(FrameError::BadPreamble { got });
+    }
+    Ok(())
+}
+
+/// Writes the connection preamble.
+///
+/// # Errors
+///
+/// [`FrameError::Timeout`] or [`FrameError::Io`] on transport failure.
+pub fn write_preamble(w: &mut impl Write) -> Result<(), FrameError> {
+    write_full(w, &PREAMBLE)
+}
+
+/// Reads one frame, enforcing `max_len` on the declared payload length
+/// *before* allocating.
+///
+/// # Errors
+///
+/// Any [`FrameError`]; end-of-stream anywhere inside the frame is
+/// [`FrameError::Truncated`].
+pub fn read_frame(r: &mut impl Read, max_len: usize) -> Result<Frame, FrameError> {
+    let mut kind_byte = [0u8; 1];
+    read_full(r, &mut kind_byte, "frame type")?;
+    read_frame_after_kind(r, kind_byte[0], max_len)
+}
+
+/// Like [`read_frame`], but a clean end-of-stream *before any frame
+/// byte* returns `Ok(None)` — how a connection loop tells a polite
+/// disconnect between requests from a torn frame.
+///
+/// # Errors
+///
+/// As [`read_frame`], for everything past the first byte.
+pub fn read_frame_or_eof(r: &mut impl Read, max_len: usize) -> Result<Option<Frame>, FrameError> {
+    let mut kind_byte = [0u8; 1];
+    let mut at = 0;
+    while at < 1 {
+        match r.read(&mut kind_byte[at..]) {
+            Ok(0) => return Ok(None),
+            Ok(n) => at += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(FrameError::Timeout)
+            }
+            Err(e) => return Err(FrameError::Io { kind: e.kind() }),
+        }
+    }
+    read_frame_after_kind(r, kind_byte[0], max_len).map(Some)
+}
+
+fn read_frame_after_kind(
+    r: &mut impl Read,
+    kind_byte: u8,
+    max_len: usize,
+) -> Result<Frame, FrameError> {
+    let kind =
+        FrameKind::from_byte(kind_byte).ok_or(FrameError::BadFrameType { byte: kind_byte })?;
+    let mut len_bytes = [0u8; 4];
+    read_full(r, &mut len_bytes, "frame length")?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > max_len {
+        return Err(FrameError::TooLarge { len, max: max_len });
+    }
+    let mut payload = vec![0u8; len];
+    read_full(r, &mut payload, "frame payload")?;
+    Ok(Frame { kind, payload })
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// [`FrameError::TooLarge`] if the payload does not fit a `u32` length,
+/// otherwise [`FrameError::Timeout`] / [`FrameError::Io`].
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() > u32::MAX as usize {
+        return Err(FrameError::TooLarge {
+            len: payload.len(),
+            max: u32::MAX as usize,
+        });
+    }
+    let mut header = [0u8; 5];
+    header[0] = kind.as_byte();
+    header[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    write_full(w, &header)?;
+    write_full(w, payload)?;
+    match w.flush() {
+        Ok(()) => Ok(()),
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            Err(FrameError::Timeout)
+        }
+        Err(e) => Err(FrameError::Io { kind: e.kind() }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+// ---------------------------------------------------------------------------
+
+/// Encodes a [`FrameKind::Query`] payload.
+pub fn encode_query(alphabet_csv: &str, pattern: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + alphabet_csv.len() + pattern.len());
+    out.extend_from_slice(&(alphabet_csv.len() as u16).to_le_bytes());
+    out.extend_from_slice(alphabet_csv.as_bytes());
+    out.extend_from_slice(pattern.as_bytes());
+    out
+}
+
+/// Decodes a [`FrameKind::Query`] payload into `(alphabet_csv,
+/// pattern)`.
+///
+/// # Errors
+///
+/// [`FrameError::BadPayload`] on short payloads, length lies, or
+/// non-UTF-8 text.
+pub fn decode_query(payload: &[u8]) -> Result<(String, String), FrameError> {
+    if payload.len() < 2 {
+        return Err(bad_payload("QUERY payload shorter than its header"));
+    }
+    let alpha_len = u16::from_le_bytes([payload[0], payload[1]]) as usize;
+    let rest = &payload[2..];
+    if alpha_len > rest.len() {
+        return Err(bad_payload(format!(
+            "QUERY alphabet length {alpha_len} exceeds the {} payload byte(s) present",
+            rest.len()
+        )));
+    }
+    if alpha_len == 0 {
+        return Err(bad_payload("QUERY with an empty alphabet"));
+    }
+    let csv = std::str::from_utf8(&rest[..alpha_len])
+        .map_err(|_| bad_payload("QUERY alphabet is not UTF-8"))?;
+    let pattern = std::str::from_utf8(&rest[alpha_len..])
+        .map_err(|_| bad_payload("QUERY pattern is not UTF-8"))?;
+    if pattern.is_empty() {
+        return Err(bad_payload("QUERY with an empty pattern"));
+    }
+    Ok((csv.to_owned(), pattern.to_owned()))
+}
+
+/// Encodes a [`FrameKind::MultiQuery`] payload.
+pub fn encode_multi_query<S: AsRef<str>>(alphabet_csv: &str, patterns: &[S]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(alphabet_csv.len() as u16).to_le_bytes());
+    out.extend_from_slice(alphabet_csv.as_bytes());
+    out.extend_from_slice(&(patterns.len() as u16).to_le_bytes());
+    for p in patterns {
+        let p = p.as_ref();
+        out.extend_from_slice(&(p.len() as u16).to_le_bytes());
+        out.extend_from_slice(p.as_bytes());
+    }
+    out
+}
+
+/// Decodes a [`FrameKind::MultiQuery`] payload into `(alphabet_csv,
+/// patterns)`.
+///
+/// # Errors
+///
+/// [`FrameError::BadPayload`] on any structural lie: short headers,
+/// counts past the payload, an empty pattern list, or trailing bytes.
+pub fn decode_multi_query(payload: &[u8]) -> Result<(String, Vec<String>), FrameError> {
+    if payload.len() < 2 {
+        return Err(bad_payload("MQUERY payload shorter than its header"));
+    }
+    let alpha_len = u16::from_le_bytes([payload[0], payload[1]]) as usize;
+    let mut at = 2;
+    if alpha_len == 0 || at + alpha_len > payload.len() {
+        return Err(bad_payload("MQUERY alphabet length is empty or lies"));
+    }
+    let csv = std::str::from_utf8(&payload[at..at + alpha_len])
+        .map_err(|_| bad_payload("MQUERY alphabet is not UTF-8"))?
+        .to_owned();
+    at += alpha_len;
+    if at + 2 > payload.len() {
+        return Err(bad_payload("MQUERY payload ends before its pattern count"));
+    }
+    let count = u16::from_le_bytes([payload[at], payload[at + 1]]) as usize;
+    at += 2;
+    if count == 0 {
+        return Err(bad_payload("MQUERY with zero patterns"));
+    }
+    let mut patterns = Vec::with_capacity(count);
+    for i in 0..count {
+        if at + 2 > payload.len() {
+            return Err(bad_payload(format!(
+                "MQUERY payload ends before pattern {i}'s length"
+            )));
+        }
+        let len = u16::from_le_bytes([payload[at], payload[at + 1]]) as usize;
+        at += 2;
+        if len == 0 {
+            return Err(bad_payload(format!("MQUERY pattern {i} is empty")));
+        }
+        if at + len > payload.len() {
+            return Err(bad_payload(format!(
+                "MQUERY pattern {i}'s length {len} exceeds the payload"
+            )));
+        }
+        let p = std::str::from_utf8(&payload[at..at + len])
+            .map_err(|_| bad_payload(format!("MQUERY pattern {i} is not UTF-8")))?;
+        patterns.push(p.to_owned());
+        at += len;
+    }
+    if at != payload.len() {
+        return Err(bad_payload(format!(
+            "{} trailing byte(s) after the last MQUERY pattern",
+            payload.len() - at
+        )));
+    }
+    Ok((csv, patterns))
+}
+
+/// Encodes a [`FrameKind::Matches`] payload.
+pub fn encode_matches(ids: &[usize]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 8 * ids.len());
+    out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+    for &id in ids {
+        out.extend_from_slice(&(id as u64).to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a [`FrameKind::Matches`] payload.
+///
+/// # Errors
+///
+/// [`FrameError::BadPayload`] unless the payload is exactly
+/// `4 + 8 * count` bytes.
+pub fn decode_matches(payload: &[u8]) -> Result<Vec<usize>, FrameError> {
+    let (ids, at) = decode_id_block(payload, 0)?;
+    if at != payload.len() {
+        return Err(bad_payload("trailing bytes after the MATCHES ids"));
+    }
+    Ok(ids)
+}
+
+fn decode_id_block(payload: &[u8], mut at: usize) -> Result<(Vec<usize>, usize), FrameError> {
+    if at + 4 > payload.len() {
+        return Err(bad_payload("payload ends before an id count"));
+    }
+    let count = u32::from_le_bytes([
+        payload[at],
+        payload[at + 1],
+        payload[at + 2],
+        payload[at + 3],
+    ]) as usize;
+    at += 4;
+    if payload.len().saturating_sub(at) < count.saturating_mul(8) {
+        return Err(bad_payload(format!(
+            "id count {count} exceeds the payload bytes present"
+        )));
+    }
+    let mut ids = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&payload[at..at + 8]);
+        ids.push(u64::from_le_bytes(b) as usize);
+        at += 8;
+    }
+    Ok((ids, at))
+}
+
+/// Encodes a [`FrameKind::MultiMatches`] payload.
+pub fn encode_multi_matches(members: &[Vec<usize>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(members.len() as u32).to_le_bytes());
+    for ids in members {
+        out.extend_from_slice(&encode_matches(ids));
+    }
+    out
+}
+
+/// Decodes a [`FrameKind::MultiMatches`] payload.
+///
+/// # Errors
+///
+/// [`FrameError::BadPayload`] on any structural inconsistency.
+pub fn decode_multi_matches(payload: &[u8]) -> Result<Vec<Vec<usize>>, FrameError> {
+    if payload.len() < 4 {
+        return Err(bad_payload("MULTI_MATCHES payload shorter than its header"));
+    }
+    let members = u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]) as usize;
+    let mut at = 4;
+    let mut out = Vec::with_capacity(members.min(1024));
+    for _ in 0..members {
+        let (ids, next) = decode_id_block(payload, at)?;
+        out.push(ids);
+        at = next;
+    }
+    if at != payload.len() {
+        return Err(bad_payload("trailing bytes after the last member's ids"));
+    }
+    Ok(out)
+}
+
+/// Encodes a [`FrameKind::Error`] payload.
+pub fn encode_error(code: u16, message: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + message.len());
+    out.extend_from_slice(&code.to_le_bytes());
+    out.extend_from_slice(message.as_bytes());
+    out
+}
+
+/// Decodes a [`FrameKind::Error`] payload into `(code, message)`.
+///
+/// # Errors
+///
+/// [`FrameError::BadPayload`] on a short payload (the message may be
+/// empty; non-UTF-8 text is replaced, not rejected — the code is the
+/// contract, the message is advisory).
+pub fn decode_error(payload: &[u8]) -> Result<(u16, String), FrameError> {
+    if payload.len() < 2 {
+        return Err(bad_payload("ERROR payload shorter than its code"));
+    }
+    let code = u16::from_le_bytes([payload[0], payload[1]]);
+    let message = String::from_utf8_lossy(&payload[2..]).into_owned();
+    Ok((code, message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn frame_bytes(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, kind, payload).unwrap();
+        out
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let bytes = frame_bytes(FrameKind::Chunk, b"<a></a>");
+        let f = read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert_eq!(f.kind, FrameKind::Chunk);
+        assert_eq!(f.payload, b"<a></a>");
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_before_allocation() {
+        let mut bytes = vec![FrameKind::Chunk.as_byte()];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut Cursor::new(&bytes), 1024).unwrap_err();
+        assert_eq!(
+            err,
+            FrameError::TooLarge {
+                len: u32::MAX as usize,
+                max: 1024
+            }
+        );
+    }
+
+    #[test]
+    fn torn_frame_is_truncated_not_a_hang() {
+        let bytes = frame_bytes(FrameKind::Chunk, b"payload");
+        for cut in 1..bytes.len() {
+            let err = read_frame(&mut Cursor::new(&bytes[..cut]), 1024).unwrap_err();
+            assert!(
+                matches!(err, FrameError::Truncated { .. }),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn eof_before_any_byte_is_a_polite_none() {
+        assert_eq!(
+            read_frame_or_eof(&mut Cursor::new(&[]), 1024).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn bad_frame_type_is_typed() {
+        let err = read_frame(&mut Cursor::new(&[0x7f, 0, 0, 0, 0]), 1024).unwrap_err();
+        assert_eq!(err, FrameError::BadFrameType { byte: 0x7f });
+    }
+
+    #[test]
+    fn preamble_mismatch_is_typed() {
+        let err = read_preamble(&mut Cursor::new(b"HTTP")).unwrap_err();
+        assert_eq!(err, FrameError::BadPreamble { got: *b"HTTP" });
+    }
+
+    #[test]
+    fn query_payload_round_trip_and_lies() {
+        let p = encode_query("a,b,c", ".*a");
+        assert_eq!(
+            decode_query(&p).unwrap(),
+            ("a,b,c".to_owned(), ".*a".to_owned())
+        );
+        // Length lying past the payload.
+        let mut lie = p.clone();
+        lie[0] = 0xff;
+        lie[1] = 0xff;
+        assert!(decode_query(&lie).is_err());
+        // Empty payloads and empty patterns.
+        assert!(decode_query(&[]).is_err());
+        assert!(decode_query(&encode_query("a,b", "")).is_err());
+    }
+
+    #[test]
+    fn multi_query_round_trip_and_trailing_garbage() {
+        let p = encode_multi_query("a,b", &[".*a", ".*b", ".*a.*b"]);
+        let (csv, pats) = decode_multi_query(&p).unwrap();
+        assert_eq!(csv, "a,b");
+        assert_eq!(pats, vec![".*a", ".*b", ".*a.*b"]);
+        let mut garbage = p.clone();
+        garbage.push(0);
+        assert!(decode_multi_query(&garbage).is_err());
+        assert!(decode_multi_query(&encode_multi_query::<&str>("a,b", &[])).is_err());
+    }
+
+    #[test]
+    fn matches_round_trip_and_count_lies() {
+        let p = encode_matches(&[0, 3, 17]);
+        assert_eq!(decode_matches(&p).unwrap(), vec![0, 3, 17]);
+        let mut lie = p.clone();
+        lie[0] = 200; // claims 200 ids, carries 3
+        assert!(decode_matches(&lie).is_err());
+        let multi = encode_multi_matches(&[vec![1, 2], vec![], vec![9]]);
+        assert_eq!(
+            decode_multi_matches(&multi).unwrap(),
+            vec![vec![1, 2], vec![], vec![9]]
+        );
+    }
+
+    #[test]
+    fn error_payload_round_trip() {
+        let p = encode_error(codes::SLOW_CLIENT, "too slow");
+        assert_eq!(
+            decode_error(&p).unwrap(),
+            (codes::SLOW_CLIENT, "too slow".to_owned())
+        );
+        assert!(decode_error(&[1]).is_err());
+    }
+}

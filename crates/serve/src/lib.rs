@@ -34,13 +34,27 @@
 pub mod chaos;
 pub mod config;
 pub mod error;
+pub mod frame;
+pub mod net;
+#[cfg(feature = "chaos")]
+pub mod netchaos;
+#[cfg(feature = "chaos")]
+pub mod netsoak;
 pub mod runtime;
 #[cfg(feature = "chaos")]
 pub mod soak;
 
 pub use chaos::{ChaosConfig, Fault};
 pub use config::{ServeConfig, ServiceBudget};
-pub use error::{FailureCause, ServeError};
+pub use error::{codes, FailureCause, ServeError};
+pub use frame::{Frame, FrameError, FrameKind};
+pub use net::{NetClient, NetConfig, NetError, NetResponse, NetServer, NetStats};
+#[cfg(feature = "chaos")]
+pub use netchaos::{NetChaosConfig, NetFault};
+#[cfg(feature = "chaos")]
+pub use netsoak::{
+    run_net_soak, NetRequestOutcome, NetSoakConfig, NetSoakDivergence, NetSoakReport,
+};
 pub use runtime::{
     silence_chaos_panics, JobId, JobReport, JobSpec, MultiJobReport, MultiJobSpec, PathTaken,
     ServeRuntime, ServeStats,

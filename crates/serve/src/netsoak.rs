@@ -1,0 +1,572 @@
+//! The deterministic *network* chaos-soak harness (feature `chaos`).
+//!
+//! One soak run: bind a [`NetServer`] on a loopback port, generate a
+//! seeded stream of conformance cases, compute each case's *clean*
+//! reference (an uninterrupted [`FusedQuery::select_bytes`] run, plus
+//! the DOM oracle on well-formed documents), then play each request
+//! over the wire as a hostile client — seeded mid-stream disconnects,
+//! torn frames, read-deadline stalls, and duplicate uploads
+//! ([`crate::netchaos`]) — and hold the front-end to its contract:
+//!
+//! * every request that is **accepted and completed** returns a match
+//!   set bitwise-equal to the clean run's (and the DOM oracle's, when
+//!   the document is well-formed), no matter how many faulted attempts
+//!   preceded it, and a duplicate upload of it returns the identical
+//!   reply;
+//! * every request the server **refuses or kills** dies with a *typed*
+//!   wire code from the stable registry ([`crate::error::codes`]) —
+//!   never a hang, never a panic, never a garbage frame;
+//! * the server outlives all of it: after the chaos the harness runs
+//!   one clean request and requires a correct answer.
+//!
+//! Fault rolls are pure in `(seed, request, attempt, segment)`, and
+//! requests are driven sequentially, so [`NetSoakReport::outcomes`] is
+//! identical whatever [`NetSoakConfig::connections`] capacity the
+//! server runs with — the determinism suite runs the same seed against
+//! different capacities and asserts exactly that.
+
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
+
+use st_automata::{compile_regex, Alphabet, Dfa, Tag};
+use st_baseline::dom;
+use st_conform::gen::{case_rng, gen_case, GenConfig};
+use st_core::engine::FusedQuery;
+use st_core::plancache::PlanCacheStats;
+use st_core::planner::CompiledQuery;
+use st_obs::ObsHandle;
+use st_trees::{encode::markup_decode, xml::Scanner};
+
+use crate::config::ServiceBudget;
+use crate::error::codes;
+use crate::frame::FrameKind;
+use crate::net::{NetClient, NetConfig, NetResponse, NetServer, NetStats};
+use crate::netchaos::{NetChaosConfig, NetFault};
+
+/// Parameters of one network soak run.  Everything that influences
+/// behaviour is here, so `(NetSoakConfig, seed)` fully reproduces a
+/// run.
+#[derive(Clone, Debug)]
+pub struct NetSoakConfig {
+    /// Master seed: drives case generation and fault injection.
+    pub seed: u64,
+    /// Requests to generate and play.
+    pub requests: u64,
+    /// Server connection capacity (the "pool size" of the front-end).
+    /// Outcomes must not depend on it.
+    pub connections: usize,
+    /// Client chunk size: documents are streamed in frames of this many
+    /// bytes, and fault rolls land at these boundaries.
+    pub segment_bytes: usize,
+    /// Attempts per request (first try + reconnects after faults).
+    pub max_attempts: u32,
+    /// Server read deadline in milliseconds.  Keep it comfortably below
+    /// the injected stall ([`NetChaosConfig::stall_ms`]) so the server
+    /// always wins the race and stall outcomes stay deterministic.
+    pub read_timeout_ms: u64,
+    /// Server in-flight byte budget.  The harness appends one synthetic
+    /// request larger than it, which must die with a typed `REJECTED`.
+    pub in_flight_budget: usize,
+    /// Checkpoint cadence of in-flight sessions, in bytes.
+    pub checkpoint_every: usize,
+    /// The seeded fault profile.
+    pub chaos: NetChaosConfig,
+    /// Observability sink the server records into.  Excluded from
+    /// equality: it observes the run, it does not shape it.
+    pub obs: ObsHandle,
+}
+
+/// Two soak profiles are equal when they would *behave* identically:
+/// every field except the observability handle.
+impl PartialEq for NetSoakConfig {
+    fn eq(&self, other: &NetSoakConfig) -> bool {
+        self.seed == other.seed
+            && self.requests == other.requests
+            && self.connections == other.connections
+            && self.segment_bytes == other.segment_bytes
+            && self.max_attempts == other.max_attempts
+            && self.read_timeout_ms == other.read_timeout_ms
+            && self.in_flight_budget == other.in_flight_budget
+            && self.checkpoint_every == other.checkpoint_every
+            && self.chaos == other.chaos
+    }
+}
+
+impl Eq for NetSoakConfig {}
+
+impl NetSoakConfig {
+    /// A moderate network-soak profile for the given seed.
+    pub fn new(seed: u64) -> NetSoakConfig {
+        NetSoakConfig {
+            seed,
+            requests: 40,
+            connections: 2,
+            segment_bytes: 48,
+            max_attempts: 4,
+            read_timeout_ms: 60,
+            in_flight_budget: 64 << 10,
+            checkpoint_every: 64,
+            chaos: NetChaosConfig::with_seed(seed),
+            obs: ObsHandle::disabled(),
+        }
+    }
+
+    /// Sets the request count.
+    pub fn with_requests(mut self, requests: u64) -> NetSoakConfig {
+        self.requests = requests;
+        self
+    }
+
+    /// Sets the server connection capacity.
+    pub fn with_connections(mut self, connections: usize) -> NetSoakConfig {
+        self.connections = connections.max(1);
+        self
+    }
+
+    /// Sets the seeded fault profile.
+    pub fn with_chaos(mut self, chaos: NetChaosConfig) -> NetSoakConfig {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Attaches an observability handle to the server.
+    pub fn with_obs(mut self, obs: ObsHandle) -> NetSoakConfig {
+        self.obs = obs;
+        self
+    }
+
+    /// The server configuration this soak profile induces.
+    pub fn net_config(&self) -> NetConfig {
+        NetConfig::default()
+            .with_max_connections(self.connections)
+            .with_timeouts(
+                Duration::from_millis(self.read_timeout_ms),
+                Duration::from_secs(2),
+            )
+            .with_checkpoint_every(self.checkpoint_every)
+            .with_budget(ServiceBudget::default().with_max_in_flight_bytes(self.in_flight_budget))
+            .with_obs(self.obs.clone())
+    }
+}
+
+/// How one request ended, in a form comparable across runs and server
+/// capacities: match sets verbatim, failures by stable wire code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetRequestOutcome {
+    /// Completed with these matches (document-order node ids).
+    Matches(Vec<usize>),
+    /// Refused or killed with this typed wire code.
+    Failed(u16),
+    /// Every attempt was eaten by injected chaos; the request was
+    /// abandoned (counted, not a contract violation).
+    GaveUp,
+}
+
+/// A violation of the front-end contract, with everything needed to
+/// reproduce it.
+#[derive(Clone, Debug)]
+pub struct NetSoakDivergence {
+    /// Index of the request in the generation stream (`case_rng(seed,
+    /// request)` regenerates its case).
+    pub request: u64,
+    /// The case's query pattern.
+    pub pattern: String,
+    /// The case's alphabet characters.
+    pub alphabet: String,
+    /// The case's document bytes.
+    pub doc: Vec<u8>,
+    /// What disagreed with what.
+    pub detail: String,
+}
+
+impl NetSoakDivergence {
+    /// A self-contained text reproducer (hex document, regeneration
+    /// coordinates) suitable for a CI artifact.
+    pub fn reproducer(&self, seed: u64) -> String {
+        let hex: String = self.doc.iter().map(|b| format!("{b:02x}")).collect();
+        format!(
+            "seed = {}\nrequest = {}\npattern = {}\nalphabet = {}\ndoc_hex = {}\ndetail = {}\n",
+            seed, self.request, self.pattern, self.alphabet, hex, self.detail
+        )
+    }
+}
+
+/// The result of one network soak run.
+#[derive(Clone, Debug)]
+pub struct NetSoakReport {
+    /// Per-request outcomes, in submission order.  The cross-capacity
+    /// determinism invariant is over exactly this vector.
+    pub outcomes: Vec<NetRequestOutcome>,
+    /// Requests that completed and matched the clean reference.
+    pub completed: usize,
+    /// Requests that died with an expected typed code (the clean run
+    /// rejects their document/pattern too, or the budget refused them).
+    pub typed_failures: usize,
+    /// Reconnect attempts consumed by injected faults.
+    pub chaos_retries: u64,
+    /// Requests abandoned after every attempt faulted.
+    pub gave_up: usize,
+    /// Duplicate uploads replayed (each verified bitwise against the
+    /// original reply).
+    pub resends: usize,
+    /// Contract violations.  Empty on a healthy front-end.
+    pub divergences: Vec<NetSoakDivergence>,
+    /// Final server counters.
+    pub stats: NetStats,
+    /// Final plan-cache counters (duplicate patterns and resends hit).
+    pub cache: PlanCacheStats,
+}
+
+impl NetSoakReport {
+    /// Whether the run upheld the contract.
+    pub fn ok(&self) -> bool {
+        self.divergences.is_empty()
+    }
+
+    /// Reproducers for every divergence, concatenated (empty when
+    /// [`NetSoakReport::ok`]).
+    pub fn reproducer(&self, seed: u64) -> String {
+        self.divergences
+            .iter()
+            .map(|d| d.reproducer(seed))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// One generated request with its precomputed references.
+struct Prepared {
+    pattern: String,
+    alphabet: String,
+    csv: String,
+    doc: Vec<u8>,
+    /// The uninterrupted clean run: matches, or the engine's rejection.
+    clean: Result<Vec<usize>, String>,
+    /// DOM-oracle matches, when the document is well-formed.
+    oracle: Option<Vec<usize>>,
+}
+
+fn dom_oracle(doc: &[u8], g: &Alphabet, dfa: &Dfa) -> Option<Vec<usize>> {
+    let tags: Vec<Tag> = Scanner::new(doc, g).collect::<Result<_, _>>().ok()?;
+    markup_decode(&tags).ok()?;
+    dom::evaluate(dfa, &tags).ok().map(|r| r.selected)
+}
+
+fn prepare(seed: u64, request: u64, gen_cfg: &GenConfig) -> Prepared {
+    let (case, _) = gen_case(&mut case_rng(seed, request), gen_cfg);
+    let g = Alphabet::of_chars(&case.alphabet);
+    let csv = case
+        .alphabet
+        .chars()
+        .map(String::from)
+        .collect::<Vec<_>>()
+        .join(",");
+    let compiled = compile_regex(&case.pattern, &g).ok().and_then(|dfa| {
+        let plan = CompiledQuery::compile(&dfa);
+        plan.fused(&g).ok().map(|f| (f, dfa))
+    });
+    let (clean, oracle) = match compiled {
+        Some((f, dfa)) => {
+            let f: Arc<FusedQuery> = Arc::new(f);
+            let clean = f.select_bytes(&case.doc).map_err(|e| format!("{e:?}"));
+            let oracle = dom_oracle(&case.doc, &g, &dfa);
+            (clean, oracle)
+        }
+        None => (Err("no byte-level engine".to_owned()), None),
+    };
+    Prepared {
+        pattern: case.pattern,
+        alphabet: case.alphabet,
+        csv,
+        doc: case.doc,
+        clean,
+        oracle,
+    }
+}
+
+/// Sends the header and a strict prefix of one `CHUNK` frame — a torn
+/// frame the server must answer with a typed `TRUNCATED_FRAME`.
+fn send_torn_chunk(client: &mut NetClient, seg: &[u8]) {
+    let mut raw = Vec::with_capacity(5 + seg.len() / 2);
+    raw.push(FrameKind::Chunk.as_byte());
+    raw.extend_from_slice(&(seg.len() as u32).to_le_bytes());
+    raw.extend_from_slice(&seg[..seg.len() / 2]);
+    let _ = client.stream_mut().write_all(&raw);
+    let _ = client.stream_mut().flush();
+}
+
+/// Waits until no connection is open on the server.
+///
+/// Capacity independence needs this: after a faulted attempt the
+/// client's socket is gone, but the server-side handler may linger until
+/// its read deadline notices.  Reconnecting while that zombie still
+/// counts against `max_connections` would get refused on a capacity-1
+/// server but accepted on a larger one — the outcome would depend on
+/// capacity, which is exactly what the soak exists to rule out.  The
+/// harness is the server's only client and drives requests sequentially,
+/// so quiescence is always reached within a read deadline.
+fn wait_quiesce(server: &NetServer) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.stats().open > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+enum AttemptEnd {
+    Completed(Vec<usize>),
+    TypedFailure(u16, String),
+    /// The attempt was cut by an injected fault (or its aftermath);
+    /// reconnect and retry.
+    Faulted,
+}
+
+fn play_attempt(
+    server: &NetServer,
+    addr: &str,
+    p: &Prepared,
+    cfg: &NetSoakConfig,
+    request: u64,
+    attempt: u32,
+) -> AttemptEnd {
+    let before = server.stats().connections;
+    let Ok(mut client) =
+        NetClient::connect_with_timeouts(addr, Duration::from_secs(2), Duration::from_secs(2))
+    else {
+        return AttemptEnd::Faulted;
+    };
+    // Wait for the accept loop to actually take this connection.  A
+    // faulted attempt can write and hang up entirely inside the accept
+    // loop's polling interval, leaving its socket in the kernel backlog
+    // where [`wait_quiesce`] cannot see it; the zombie would then be
+    // accepted *during* the next attempt and spuriously trip the
+    // connection cap on small-capacity servers.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.stats().connections <= before && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    if client.send_query(&p.pattern, &p.csv).is_err() {
+        return AttemptEnd::Faulted;
+    }
+    let segs: Vec<&[u8]> = p.doc.chunks(cfg.segment_bytes.max(1)).collect();
+    // One roll per segment boundary, plus one before FINISH, so faults
+    // can land anywhere in the upload including its very end.
+    for (s, seg) in segs.iter().enumerate() {
+        match cfg.chaos.roll(request, attempt, s as u64) {
+            NetFault::None => {
+                if client.send_chunk(seg).is_err() {
+                    return AttemptEnd::Faulted;
+                }
+            }
+            NetFault::Disconnect => return AttemptEnd::Faulted,
+            NetFault::Torn => {
+                send_torn_chunk(&mut client, seg);
+                return AttemptEnd::Faulted;
+            }
+            NetFault::Stall => {
+                std::thread::sleep(Duration::from_millis(cfg.chaos.stall_ms));
+                return AttemptEnd::Faulted;
+            }
+        }
+    }
+    match cfg.chaos.roll(request, attempt, segs.len() as u64) {
+        NetFault::None => {}
+        NetFault::Disconnect => return AttemptEnd::Faulted,
+        NetFault::Torn => {
+            send_torn_chunk(&mut client, b"x");
+            return AttemptEnd::Faulted;
+        }
+        NetFault::Stall => {
+            std::thread::sleep(Duration::from_millis(cfg.chaos.stall_ms));
+            return AttemptEnd::Faulted;
+        }
+    }
+    if client.send_finish().is_err() {
+        return AttemptEnd::Faulted;
+    }
+    match client.read_response() {
+        Ok(NetResponse::Matches(ids)) => AttemptEnd::Completed(ids),
+        Ok(NetResponse::MultiMatches(_)) => AttemptEnd::TypedFailure(
+            0,
+            "server answered a single query with a multi reply".into(),
+        ),
+        Ok(NetResponse::ServerError { code, message }) => {
+            // Transient service-side conditions are retried; everything
+            // else is the request's typed end.
+            if matches!(
+                code,
+                codes::READ_TIMEOUT | codes::WRITE_TIMEOUT | codes::OVERLOADED
+            ) {
+                AttemptEnd::Faulted
+            } else {
+                AttemptEnd::TypedFailure(code, message)
+            }
+        }
+        Err(_) => AttemptEnd::Faulted,
+    }
+}
+
+/// Runs one network chaos soak and checks the front-end contract.  See
+/// the module docs for the invariants.
+pub fn run_net_soak(cfg: &NetSoakConfig) -> NetSoakReport {
+    let gen_cfg = GenConfig::default();
+    let prepared: Vec<Prepared> = (0..cfg.requests)
+        .map(|i| prepare(cfg.seed, i, &gen_cfg))
+        .collect();
+
+    let server = NetServer::bind("127.0.0.1:0", cfg.net_config()).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+
+    let mut outcomes = Vec::with_capacity(prepared.len() + 1);
+    let mut divergences: Vec<NetSoakDivergence> = Vec::new();
+    let mut completed = 0usize;
+    let mut typed_failures = 0usize;
+    let mut chaos_retries = 0u64;
+    let mut gave_up = 0usize;
+    let mut resends = 0usize;
+
+    for (i, p) in prepared.iter().enumerate() {
+        let diverge = |detail: String| NetSoakDivergence {
+            request: i as u64,
+            pattern: p.pattern.clone(),
+            alphabet: p.alphabet.clone(),
+            doc: p.doc.clone(),
+            detail,
+        };
+        let mut outcome = NetRequestOutcome::GaveUp;
+        for attempt in 1..=cfg.max_attempts {
+            wait_quiesce(&server);
+            match play_attempt(&server, &addr, p, cfg, i as u64, attempt) {
+                AttemptEnd::Completed(ids) => {
+                    match &p.clean {
+                        Ok(cm) if &ids == cm => {
+                            completed += 1;
+                            if let Some(oracle) = &p.oracle {
+                                if oracle != &ids {
+                                    divergences.push(diverge(format!(
+                                        "served matches {ids:?} disagree with DOM oracle {oracle:?}"
+                                    )));
+                                }
+                            }
+                        }
+                        Ok(cm) => divergences.push(diverge(format!(
+                            "served matches {ids:?} != clean run {cm:?} (attempt {attempt})"
+                        ))),
+                        Err(e) => divergences.push(diverge(format!(
+                            "request completed with {ids:?} where the clean run rejects: {e}"
+                        ))),
+                    }
+                    // Duplicate upload: replay the whole request on a
+                    // fresh connection; the reply must be identical.
+                    if cfg.chaos.roll_resend(i as u64) {
+                        resends += 1;
+                        wait_quiesce(&server);
+                        match NetClient::connect(&addr)
+                            .map_err(|e| e.to_string())
+                            .and_then(|mut c| {
+                                c.query(&p.pattern, &p.csv, &p.doc, cfg.segment_bytes)
+                                    .map_err(|e| e.to_string())
+                            }) {
+                            Ok(NetResponse::Matches(ids2)) if ids2 == ids => {}
+                            other => divergences.push(diverge(format!(
+                                "duplicate upload diverged: first {ids:?}, then {other:?}"
+                            ))),
+                        }
+                    }
+                    outcome = NetRequestOutcome::Matches(ids);
+                    break;
+                }
+                AttemptEnd::TypedFailure(code, message) => {
+                    // A typed failure must be *expected*: the clean run
+                    // rejects this case too (engine error or a pattern
+                    // that does not compile/fuse).
+                    if p.clean.is_err() && matches!(code, codes::ENGINE | codes::BAD_QUERY) {
+                        typed_failures += 1;
+                    } else {
+                        divergences.push(diverge(format!(
+                            "unexpected typed failure {code}: {message} \
+                             (clean run: {:?})",
+                            p.clean
+                        )));
+                    }
+                    outcome = NetRequestOutcome::Failed(code);
+                    break;
+                }
+                AttemptEnd::Faulted => {
+                    chaos_retries += 1;
+                }
+            }
+        }
+        if outcome == NetRequestOutcome::GaveUp {
+            gave_up += 1;
+        }
+        outcomes.push(outcome);
+    }
+
+    // The synthetic oversized request: one chunk larger than the whole
+    // in-flight budget must die with a typed REJECTED, not a hang.
+    {
+        wait_quiesce(&server);
+        let big = vec![b'x'; cfg.in_flight_budget + 1];
+        // No FINISH after the chunk: the server rejects on the chunk
+        // itself, and the reply must be readable on a quiet connection.
+        let end = NetClient::connect(&addr)
+            .map_err(|e| e.to_string())
+            .and_then(|mut c| {
+                c.send_query(".*a", "a,b").map_err(|e| e.to_string())?;
+                c.send_chunk(&big).map_err(|e| e.to_string())?;
+                c.read_response().map_err(|e| e.to_string())
+            });
+        match end {
+            Ok(NetResponse::ServerError { code, .. }) if code == codes::REJECTED => {
+                typed_failures += 1;
+                outcomes.push(NetRequestOutcome::Failed(code));
+            }
+            other => {
+                divergences.push(NetSoakDivergence {
+                    request: cfg.requests,
+                    pattern: ".*a".to_owned(),
+                    alphabet: "ab".to_owned(),
+                    doc: Vec::new(),
+                    detail: format!("oversized request did not REJECT: {other:?}"),
+                });
+                outcomes.push(NetRequestOutcome::GaveUp);
+            }
+        }
+    }
+
+    // The server must outlive the chaos: one clean request afterwards.
+    {
+        wait_quiesce(&server);
+        let end = NetClient::connect(&addr)
+            .map_err(|e| e.to_string())
+            .and_then(|mut c| {
+                c.query(".*a", "a,b", b"<a><b></b></a>", 4)
+                    .map_err(|e| e.to_string())
+            });
+        if end != Ok(NetResponse::Matches(vec![0])) {
+            divergences.push(NetSoakDivergence {
+                request: cfg.requests + 1,
+                pattern: ".*a".to_owned(),
+                alphabet: "ab".to_owned(),
+                doc: b"<a><b></b></a>".to_vec(),
+                detail: format!("post-chaos clean request failed: {end:?}"),
+            });
+        }
+    }
+
+    let stats = server.stats();
+    let cache = server.plan_cache().stats();
+    server.shutdown();
+    NetSoakReport {
+        outcomes,
+        completed,
+        typed_failures,
+        chaos_retries,
+        gave_up,
+        resends,
+        divergences,
+        stats,
+        cache,
+    }
+}

@@ -84,6 +84,14 @@ pub struct JobSpec {
     /// Per-session limits; `None` inherits
     /// [`crate::ServiceBudget::session_limits`].
     pub limits: Option<Limits>,
+    /// Admission deadline, measured on the runtime clock from the moment
+    /// the request is admitted.  A request still *queued* when its
+    /// deadline passes is dropped with a typed
+    /// [`ServeError::DeadlineExpired`] instead of burning a worker on an
+    /// answer nobody is waiting for.  A request already dispatched runs
+    /// to completion — mid-flight work is governed by [`Limits`], not
+    /// the queue deadline.  `None` means no deadline.
+    pub deadline: Option<Duration>,
 }
 
 impl JobSpec {
@@ -93,12 +101,19 @@ impl JobSpec {
             query,
             doc: doc.into(),
             limits: None,
+            deadline: None,
         }
     }
 
     /// Overrides the inherited limits for this request.
     pub fn with_limits(mut self, limits: Limits) -> JobSpec {
         self.limits = Some(limits);
+        self
+    }
+
+    /// Sets the queueing deadline (relative to admission).
+    pub fn with_deadline(mut self, deadline: Duration) -> JobSpec {
+        self.deadline = Some(deadline);
         self
     }
 }
@@ -130,6 +145,9 @@ pub struct MultiJobSpec {
     /// Product-DFA state budget override; `None` inherits
     /// [`crate::ServeConfig::product_budget`].
     pub product_budget: Option<usize>,
+    /// Admission deadline; see [`JobSpec::deadline`].  An expired queued
+    /// request is never pulled into a shared group.
+    pub deadline: Option<Duration>,
 }
 
 impl MultiJobSpec {
@@ -145,6 +163,7 @@ impl MultiJobSpec {
             doc: doc.into(),
             limits: None,
             product_budget: None,
+            deadline: None,
         }
     }
 
@@ -157,6 +176,12 @@ impl MultiJobSpec {
     /// Overrides the inherited product-DFA state budget.
     pub fn with_product_budget(mut self, budget: usize) -> MultiJobSpec {
         self.product_budget = Some(budget);
+        self
+    }
+
+    /// Sets the queueing deadline (relative to admission).
+    pub fn with_deadline(mut self, deadline: Duration) -> MultiJobSpec {
+        self.deadline = Some(deadline);
         self
     }
 }
@@ -248,6 +273,9 @@ pub struct ServeStats {
     pub multi_groups: u64,
     /// Requests served by shared multi-query passes.
     pub multi_group_members: u64,
+    /// Queued requests dropped because their deadline passed before a
+    /// worker picked them up ([`ServeError::DeadlineExpired`]).
+    pub deadline_expired: u64,
 }
 
 impl std::fmt::Display for ServeStats {
@@ -257,7 +285,7 @@ impl std::fmt::Display for ServeStats {
             "submitted {} completed {} failed {} shed {} rejected {} | \
              retries {} resumes {} panics {} stalls {} corruptions {} | \
              degraded {} checkpoints {} workers-spawned {} | \
-             multi-groups {} multi-members {}",
+             multi-groups {} multi-members {} deadline-expired {}",
             self.submitted,
             self.completed,
             self.failed,
@@ -272,7 +300,8 @@ impl std::fmt::Display for ServeStats {
             self.checkpoints,
             self.workers_spawned,
             self.multi_groups,
-            self.multi_group_members
+            self.multi_group_members,
+            self.deadline_expired
         )
     }
 }
@@ -302,6 +331,7 @@ struct MultiWork {
     alphabet: Alphabet,
     doc: Arc<Vec<u8>>,
     limits: Option<Limits>,
+    deadline: Option<Duration>,
     /// Resolved product-DFA state budget.
     budget: usize,
     /// Grouping key: fingerprint of (doc bytes, alphabet, budget).
@@ -321,6 +351,13 @@ impl Work {
         match self {
             Work::Single(s) => s.doc.len(),
             Work::Multi(m) => m.doc.len(),
+        }
+    }
+
+    fn deadline(&self) -> Option<Duration> {
+        match self {
+            Work::Single(s) => s.deadline,
+            Work::Multi(m) => m.deadline,
         }
     }
 }
@@ -361,6 +398,10 @@ struct JobState {
     /// Admission timestamp (ms since runtime epoch), for the terminal
     /// latency histogram.
     submitted_ms: u64,
+    /// Absolute queueing deadline (ms since runtime epoch); a request
+    /// still queued past it is dropped with
+    /// [`ServeError::DeadlineExpired`].
+    deadline_ms: Option<u64>,
     /// Multi jobs: per-pattern match sets, set at completion.
     multi_results: Option<Vec<Vec<usize>>>,
     /// Multi jobs: how many requests the completing shared pass served.
@@ -429,6 +470,7 @@ struct ServeObs {
     workers_spawned: Counter,
     multi_groups: Counter,
     multi_group_members: Counter,
+    deadline_expired: Counter,
     /// Requests per shared multi-query pass.
     multi_group_size: Histogram,
     /// Current submission-queue occupancy.
@@ -461,6 +503,7 @@ impl ServeObs {
             workers_spawned: handle.counter("serve_workers_spawned_total"),
             multi_groups: handle.counter("serve_multi_groups_total"),
             multi_group_members: handle.counter("serve_multi_group_members_total"),
+            deadline_expired: handle.counter("serve_deadline_expired_total"),
             multi_group_size: handle.histogram("serve_multi_group_size"),
             queue_depth: handle.gauge("serve_queue_depth"),
             in_flight_bytes: handle.gauge("serve_in_flight_bytes"),
@@ -515,6 +558,7 @@ struct Inner {
     workers_spawned: AtomicU64,
     multi_groups: AtomicU64,
     multi_group_members: AtomicU64,
+    deadline_expired: AtomicU64,
 }
 
 impl Inner {
@@ -539,7 +583,49 @@ impl Inner {
             workers_spawned: self.workers_spawned.load(Ordering::SeqCst),
             multi_groups: self.multi_groups.load(Ordering::SeqCst),
             multi_group_members: self.multi_group_members.load(Ordering::SeqCst),
+            deadline_expired: self.deadline_expired.load(Ordering::SeqCst),
         }
+    }
+
+    /// Drops a request whose deadline passed while it was queued: a
+    /// typed terminal [`ServeError::DeadlineExpired`], no worker time
+    /// spent.  Returns whether the request was expired (false when it is
+    /// no longer queued, carries no deadline, or is not yet due).
+    fn expire_if_due(&self, job: u64, now_ms: u64) -> bool {
+        let waited_ms;
+        {
+            let mut jobs = lock(&self.jobs);
+            let Some(st) = jobs.get_mut(&job) else {
+                return false;
+            };
+            if !matches!(st.status, Status::Queued) {
+                return false;
+            }
+            match st.deadline_ms {
+                Some(d) if now_ms >= d => {}
+                _ => return false,
+            }
+            waited_ms = now_ms.saturating_sub(st.submitted_ms);
+            let attempts = st.attempt;
+            st.status = Status::Done(Err(ServeError::DeadlineExpired { waited_ms }));
+            let bytes = st.work.doc_len();
+            let held = self.in_flight_bytes.fetch_sub(bytes, Ordering::SeqCst);
+            self.obs.in_flight_bytes.set((held - bytes) as i64);
+            self.obs.request_attempts.record(attempts as u64);
+            self.obs.request_latency_ms.record(waited_ms);
+            self.obs.trace(TraceEvent::JobFailed {
+                job,
+                attempts,
+                cause: "deadline_expired",
+            });
+        }
+        self.failed.fetch_add(1, Ordering::SeqCst);
+        self.obs.failed.incr();
+        self.deadline_expired.fetch_add(1, Ordering::SeqCst);
+        self.obs.deadline_expired.incr();
+        self.jobs_cv.notify_all();
+        self.queue_cv.notify_all();
+        true
     }
 
     /// Whether the degradation ladder should step down from the chunked
@@ -1180,6 +1266,11 @@ fn reap_and_replace(inner: &Arc<Inner>, workers: &mut [WorkerHandle], now_ms: u6
 /// whole batch with one shared pass.  Returns `false` if the work must
 /// go back to the queue (no healthy idle worker took it).
 fn try_assign(inner: &Arc<Inner>, workers: &[WorkerHandle], p: &Pending, now_ms: u64) -> bool {
+    // Deadline-aware admission: a queued request whose deadline already
+    // passed is dropped here — typed error, no worker dispatch.
+    if inner.expire_if_due(p.id, now_ms) {
+        return true;
+    }
     let mut group: Vec<(u64, u32)> = Vec::new();
     {
         let mut jobs = lock(&inner.jobs);
@@ -1205,6 +1296,7 @@ fn try_assign(inner: &Arc<Inner>, workers: &[WorkerHandle], p: &Pending, now_ms:
                 .filter(|(id, st)| {
                     **id != p.id
                         && matches!(st.status, Status::Queued)
+                        && st.deadline_ms.is_none_or(|d| now_ms < d)
                         && matches!(&st.work,
                             Work::Multi(w) if w.limits.is_none() && w.fp == fp)
                 })
@@ -1387,6 +1479,7 @@ impl ServeRuntime {
             workers_spawned: AtomicU64::new(0),
             multi_groups: AtomicU64::new(0),
             multi_group_members: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
         });
         let inner2 = inner.clone();
         let dispatcher = std::thread::Builder::new()
@@ -1428,10 +1521,10 @@ impl ServeRuntime {
                         }
                     }
                     let id = self.inner.next_id.fetch_add(1, Ordering::SeqCst);
+                    let submitted_ms = self.inner.now_ms();
                     jobs.insert(
                         id,
                         JobState {
-                            work: work.clone(),
                             attempt: 1,
                             resume: None,
                             resumes: 0,
@@ -1439,9 +1532,13 @@ impl ServeRuntime {
                             status: Status::Queued,
                             path: PathTaken::Session,
                             degraded: false,
-                            submitted_ms: self.inner.now_ms(),
+                            submitted_ms,
+                            deadline_ms: work
+                                .deadline()
+                                .map(|d| submitted_ms.saturating_add(d.as_millis() as u64)),
                             multi_results: None,
                             group_size: 0,
+                            work: work.clone(),
                         },
                     );
                     let held = self
@@ -1555,6 +1652,7 @@ impl ServeRuntime {
                 alphabet: spec.alphabet,
                 doc: spec.doc,
                 limits: spec.limits,
+                deadline: spec.deadline,
                 budget,
                 fp,
             })),

@@ -1,0 +1,273 @@
+//! Behavioural tests of the TCP front-end: request round trips
+//! (single, multi, keep-alive), the shared compiled-plan cache,
+//! connection deadlines, the slow-client watchdog on the injectable
+//! clock, backpressure and load shedding against the in-flight byte
+//! budget, and graceful drain.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use stackless_streamed_trees::core::session::Limits;
+use stackless_streamed_trees::prelude::Query;
+use stackless_streamed_trees::serve::{
+    codes, NetClient, NetConfig, NetResponse, NetServer, ServiceBudget,
+};
+
+use stackless_streamed_trees::automata::Alphabet;
+
+/// The reference answer for `pattern` over `alphabet` on `doc`.
+fn clean(pattern: &str, alphabet: &str, doc: &[u8]) -> Vec<usize> {
+    let g = Alphabet::of_chars(alphabet);
+    Query::compile(pattern, &g)
+        .expect("pattern compiles")
+        .select(doc)
+        .expect("document parses")
+}
+
+#[test]
+fn single_query_round_trip_matches_the_clean_run() {
+    let server = NetServer::bind("127.0.0.1:0", NetConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    let doc = b"<a><b></b><b><a></a></b></a>";
+    for chunk in [1, 3, 7, doc.len()] {
+        let mut c = NetClient::connect(&addr).unwrap();
+        let got = c.query(".*a", "a,b", doc, chunk).unwrap();
+        assert_eq!(
+            got,
+            NetResponse::Matches(clean(".*a", "ab", doc)),
+            "chunk size {chunk}"
+        );
+    }
+    let stats = server.stats();
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.in_flight_bytes, 0, "budget bytes leaked: {stats}");
+}
+
+#[test]
+fn multi_query_round_trip_matches_per_pattern_clean_runs() {
+    let server = NetServer::bind("127.0.0.1:0", NetConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    let doc = b"<a><b></b><b><a></a></b></a>";
+    let patterns = [".*a", ".*b", "a.*"];
+    let mut c = NetClient::connect(&addr).unwrap();
+    let got = c.multi_query(&patterns, "a,b", doc, 5).unwrap();
+    let want: Vec<Vec<usize>> = patterns.iter().map(|p| clean(p, "ab", doc)).collect();
+    assert_eq!(got, NetResponse::MultiMatches(want));
+}
+
+#[test]
+fn keep_alive_connection_serves_many_requests_and_hits_the_plan_cache() {
+    let server = NetServer::bind("127.0.0.1:0", NetConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    let doc = b"<a><b></b></a>";
+    let want = NetResponse::Matches(clean(".*a", "ab", doc));
+    let mut c = NetClient::connect(&addr).unwrap();
+    for _ in 0..3 {
+        assert_eq!(c.query(".*a", "a,b", doc, 4).unwrap(), want);
+    }
+    // A second connection replaying the same pattern shares the plan.
+    let mut c2 = NetClient::connect(&addr).unwrap();
+    assert_eq!(c2.query(".*a", "a,b", doc, 4).unwrap(), want);
+
+    let cache = server.plan_cache().stats();
+    assert_eq!(cache.misses, 1, "one compile for four requests: {cache:?}");
+    assert_eq!(cache.hits, 3);
+    assert_eq!(server.stats().completed, 4);
+}
+
+#[test]
+fn read_deadline_kills_a_silent_request_with_a_typed_code() {
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        NetConfig::default().with_timeouts(Duration::from_millis(60), Duration::from_secs(2)),
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let mut c = NetClient::connect(&addr).unwrap();
+    c.send_query(".*a", "a,b").unwrap();
+    // ... and then silence: the server must not wait past its deadline.
+    match c.read_response().unwrap() {
+        NetResponse::ServerError { code, .. } => assert_eq!(code, codes::READ_TIMEOUT),
+        other => panic!("expected READ_TIMEOUT, got {other:?}"),
+    }
+    assert_eq!(server.stats().read_timeouts, 1);
+    assert_eq!(server.stats().in_flight_bytes, 0);
+}
+
+static SLOW_CLOCK_MS: AtomicU64 = AtomicU64::new(0);
+
+fn slow_clock() -> Duration {
+    Duration::from_millis(SLOW_CLOCK_MS.load(Ordering::SeqCst))
+}
+
+#[test]
+fn slow_client_watchdog_fires_on_the_injected_clock() {
+    // The watchdog is pure virtual time: the test advances an injected
+    // clock by "five seconds" in an instant, and the trickling upload
+    // dies with SLOW_CLIENT without the test ever actually waiting.
+    SLOW_CLOCK_MS.store(0, Ordering::SeqCst);
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        NetConfig::default()
+            .with_min_throughput(1000, Duration::from_millis(10))
+            .with_budget(
+                ServiceBudget::default()
+                    .with_session_limits(Limits::default().with_clock(slow_clock)),
+            ),
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let mut c = NetClient::connect(&addr).unwrap();
+    c.send_query(".*a", "a,b").unwrap();
+    c.send_chunk(b"<a>").unwrap();
+    // Let the server open the upload and admit the first chunk while the
+    // clock still reads zero.
+    std::thread::sleep(Duration::from_millis(150));
+    SLOW_CLOCK_MS.store(5000, Ordering::SeqCst);
+    // 5 virtual seconds for ~5 bytes is far below the 1000 B/s floor.
+    c.send_chunk(b"<b").unwrap();
+    match c.read_response().unwrap() {
+        NetResponse::ServerError { code, .. } => assert_eq!(code, codes::SLOW_CLIENT),
+        other => panic!("expected SLOW_CLIENT, got {other:?}"),
+    }
+    assert_eq!(server.stats().slow_clients, 1);
+    assert_eq!(server.stats().in_flight_bytes, 0);
+}
+
+#[test]
+fn backpressure_sheds_past_the_byte_budget_and_recovers() {
+    // Budget of 100 bytes.  Connection A parks 80 bytes in flight
+    // (chunk admitted, no FINISH); connection B's 50-byte chunk cannot
+    // fit, waits out shed_wait, and is shed with OVERLOADED.  A then
+    // finishes normally: shedding B must not corrupt A.
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        NetConfig::default()
+            .with_budget(ServiceBudget::default().with_max_in_flight_bytes(100))
+            .with_shed_wait(Duration::from_millis(80)),
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+
+    let mut doc = b"<a>".to_vec();
+    doc.extend_from_slice(&[b'x'; 73]);
+    doc.extend_from_slice(b"</a>"); // 80 bytes total
+    let mut a = NetClient::connect(&addr).unwrap();
+    a.send_query(".*a", "a").unwrap();
+    a.send_chunk(&doc).unwrap();
+    // Wait until A's bytes are actually charged against the budget.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while server.stats().in_flight_bytes < 80 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.stats().in_flight_bytes, 80);
+
+    let mut b = NetClient::connect(&addr).unwrap();
+    b.send_query(".*a", "a").unwrap();
+    b.send_chunk(&[b'y'; 50]).unwrap();
+    match b.read_response().unwrap() {
+        NetResponse::ServerError { code, .. } => assert_eq!(code, codes::OVERLOADED),
+        other => panic!("expected OVERLOADED, got {other:?}"),
+    }
+    assert_eq!(server.stats().shed, 1);
+
+    a.send_finish().unwrap();
+    assert_eq!(
+        a.read_response().unwrap(),
+        NetResponse::Matches(clean(".*a", "a", &doc))
+    );
+    assert_eq!(server.stats().in_flight_bytes, 0);
+}
+
+#[test]
+fn a_chunk_that_can_never_fit_the_budget_is_rejected_outright() {
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        NetConfig::default().with_budget(ServiceBudget::default().with_max_in_flight_bytes(100)),
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let mut c = NetClient::connect(&addr).unwrap();
+    c.send_query(".*a", "a,b").unwrap();
+    c.send_chunk(&[b'x'; 200]).unwrap();
+    match c.read_response().unwrap() {
+        NetResponse::ServerError { code, .. } => assert_eq!(code, codes::REJECTED),
+        other => panic!("expected REJECTED, got {other:?}"),
+    }
+    assert_eq!(server.stats().rejected, 1);
+    assert_eq!(server.stats().in_flight_bytes, 0);
+}
+
+#[test]
+fn graceful_drain_finishes_in_flight_work_and_refuses_new() {
+    let server = NetServer::bind("127.0.0.1:0", NetConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // A is mid-request when the drain begins.
+    let mut a = NetClient::connect(&addr).unwrap();
+    a.send_query(".*a", "a,b").unwrap();
+    a.send_chunk(b"<a><b>").unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while server.stats().requests < 1 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    server.begin_drain();
+    assert!(server.is_draining());
+
+    // New connections are turned away with a typed SHUTTING_DOWN.
+    let mut b = NetClient::connect(&addr).unwrap();
+    match b.read_response().unwrap() {
+        NetResponse::ServerError { code, .. } => assert_eq!(code, codes::SHUTTING_DOWN),
+        other => panic!("expected SHUTTING_DOWN, got {other:?}"),
+    }
+
+    // A's in-flight request checkpoints and finishes normally.
+    a.send_chunk(b"</b></a>").unwrap();
+    a.send_finish().unwrap();
+    assert_eq!(
+        a.read_response().unwrap(),
+        NetResponse::Matches(clean(".*a", "ab", b"<a><b></b></a>"))
+    );
+    // ... but the drained server refuses a *new* request on the same
+    // connection.
+    match a.read_response().unwrap() {
+        NetResponse::ServerError { code, .. } => assert_eq!(code, codes::SHUTTING_DOWN),
+        other => panic!("expected SHUTTING_DOWN, got {other:?}"),
+    }
+
+    server.shutdown();
+    let stats = server.stats();
+    assert_eq!(stats.completed, 1);
+    assert!(stats.refused >= 1, "{stats}");
+    assert_eq!(stats.open, 0);
+}
+
+#[test]
+fn shutdown_cuts_through_a_connection_blocked_on_its_socket() {
+    // A client that opens a request and goes silent is blocked inside
+    // the server's socket read; shutdown must not wait for the (long)
+    // read deadline.
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        NetConfig::default()
+            .with_timeouts(Duration::from_secs(30), Duration::from_secs(2))
+            .with_drain_timeout(Duration::from_millis(100)),
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let mut c = NetClient::connect(&addr).unwrap();
+    c.send_query(".*a", "a,b").unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while server.stats().requests < 1 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let started = std::time::Instant::now();
+    server.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shutdown waited on a dead client: {:?}",
+        started.elapsed()
+    );
+    assert_eq!(server.stats().open, 0);
+}

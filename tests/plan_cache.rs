@@ -1,0 +1,134 @@
+//! Correctness tests of the shared compiled-plan cache: a cached plan
+//! must be indistinguishable from a freshly compiled one (bitwise-equal
+//! match sets across the conformance corpus), eviction must respect the
+//! capacity bound, and the hit/miss counters must agree exactly with a
+//! reference map replaying the same request stream.
+
+use std::collections::HashSet;
+
+use stackless_streamed_trees::automata::Alphabet;
+use stackless_streamed_trees::conform::gen::{case_rng, gen_case, GenConfig};
+use stackless_streamed_trees::core::plancache::{plan_fingerprint, PlanCache};
+use stackless_streamed_trees::prelude::Query;
+
+#[test]
+fn cached_plans_answer_bitwise_identically_to_fresh_compiles() {
+    // A deliberately tiny capacity, so the corpus churns the cache and
+    // every replay mixes hits, misses, and re-compiles after eviction.
+    let cache = PlanCache::new(4);
+    let gen_cfg = GenConfig::default();
+    let seed = 0xCAC4Eu64;
+    for i in 0..80u64 {
+        let (case, _) = gen_case(&mut case_rng(seed, i), &gen_cfg);
+        let g = Alphabet::of_chars(&case.alphabet);
+        let fresh = Query::compile(&case.pattern, &g);
+        let cached = cache.get_or_compile(&case.pattern, &g);
+        match (fresh, cached) {
+            (Ok(f), Ok(c)) => {
+                assert_eq!(
+                    f.select(&case.doc).ok(),
+                    c.select(&case.doc).ok(),
+                    "case {i}: pattern {:?} over {:?}",
+                    case.pattern,
+                    case.alphabet
+                );
+            }
+            (Err(_), Err(_)) => {}
+            (fresh, cached) => panic!(
+                "case {i}: fresh {:?} and cached {:?} disagree on compilability \
+                 for pattern {:?} over {:?}",
+                fresh.map(|_| ()),
+                cached.map(|_| ()),
+                case.pattern,
+                case.alphabet
+            ),
+        }
+    }
+    let stats = cache.stats();
+    assert!(stats.entries <= 4, "capacity overrun: {stats:?}");
+    assert!(
+        stats.evictions > 0,
+        "corpus never churned the cache: {stats:?}"
+    );
+}
+
+#[test]
+fn eviction_respects_capacity_and_keeps_the_most_recent_plans() {
+    let cache = PlanCache::new(4);
+    let g = Alphabet::of_chars("a");
+    let patterns: Vec<String> = (1..=10).map(|n| "a".repeat(n)).collect();
+    for p in &patterns {
+        cache.get_or_compile(p, &g).expect("compiles");
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 10);
+    assert_eq!(stats.hits, 0);
+    assert_eq!(stats.entries, 4);
+    assert_eq!(stats.evictions, 6);
+    // LRU: the four most recently compiled plans survived.
+    for p in &patterns[6..] {
+        cache.get_or_compile(p, &g).expect("compiles");
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.hits, 4, "{stats:?}");
+    assert_eq!(stats.misses, 10);
+    assert_eq!(stats.evictions, 6);
+}
+
+#[test]
+fn hit_and_miss_counters_agree_exactly_with_a_reference_map() {
+    // Replay a duplicate-heavy request stream through a cache large
+    // enough that nothing is ever evicted; a reference set then predicts
+    // every hit and miss exactly.
+    let cache = PlanCache::new(64);
+    let g = Alphabet::of_chars("ab");
+    let pool = [".*a", ".*b", "a.*b", ".*a.*b", "b.*", ".*"];
+    let mut seen: HashSet<u64> = HashSet::new();
+    let (mut want_hits, mut want_misses) = (0u64, 0u64);
+    let mut state = 0x5EEDu64;
+    for _ in 0..200 {
+        // SplitMix64 steps a deterministic pattern choice.
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let p = pool[(z ^ (z >> 31)) as usize % pool.len()];
+        if seen.insert(plan_fingerprint(p, &g)) {
+            want_misses += 1;
+        } else {
+            want_hits += 1;
+        }
+        cache.get_or_compile(p, &g).expect("compiles");
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.hits, want_hits, "{stats:?}");
+    assert_eq!(stats.misses, want_misses, "{stats:?}");
+    assert_eq!(stats.evictions, 0);
+    assert_eq!(stats.collisions, 0);
+    assert_eq!(stats.entries as u64, want_misses);
+}
+
+#[test]
+fn capacity_zero_disables_caching_but_still_compiles() {
+    let cache = PlanCache::new(0);
+    let g = Alphabet::of_chars("ab");
+    for _ in 0..3 {
+        cache.get_or_compile(".*a", &g).expect("compiles");
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.hits, 0, "{stats:?}");
+    assert_eq!(stats.entries, 0);
+}
+
+#[test]
+fn uncompilable_patterns_are_not_cached_as_poison() {
+    let cache = PlanCache::new(8);
+    let g = Alphabet::of_chars("ab");
+    assert!(cache.get_or_compile("(", &g).is_err());
+    assert!(cache.get_or_compile("(", &g).is_err());
+    // A failure occupies no entry and a later good pattern is unaffected.
+    assert!(cache.get_or_compile(".*a", &g).is_ok());
+    let stats = cache.stats();
+    assert_eq!(stats.hits, 0, "{stats:?}");
+    assert_eq!(stats.entries, 1);
+}

@@ -436,3 +436,71 @@ fn shutdown_drains_and_then_refuses_new_work() {
     }
     serve.shutdown();
 }
+
+#[test]
+fn zero_deadline_expires_in_queue_with_a_typed_error() {
+    let q = fused("a.*b", "ab");
+    let serve = ServeRuntime::start(ServeConfig::default().with_workers(1));
+    // A deadline of zero is due the instant the dispatcher looks at the
+    // queue, whatever the timing — the head-of-queue check runs before
+    // any worker assignment.
+    let id = serve
+        .submit(JobSpec::new(q, doc_with_leaves(3)).with_deadline(Duration::ZERO))
+        .unwrap();
+    let report = serve.wait(id).unwrap();
+    match &report.result {
+        Err(ServeError::DeadlineExpired { .. }) => {}
+        other => panic!("expected DeadlineExpired, got {other:?}"),
+    }
+    let stats = serve.shutdown();
+    assert_eq!(stats.deadline_expired, 1);
+    assert_eq!(stats.completed, 0);
+}
+
+#[test]
+fn zero_deadline_expires_multi_requests_too() {
+    use stackless_streamed_trees::serve::MultiJobSpec;
+    let g = Alphabet::of_chars("ab");
+    let serve = ServeRuntime::start(ServeConfig::default().with_workers(1));
+    let spec = MultiJobSpec::new(
+        vec!["a.*b".to_string(), ".*a".to_string()],
+        g,
+        doc_with_leaves(3),
+    )
+    .with_deadline(Duration::ZERO);
+    let id = serve.submit_multi(spec).unwrap();
+    let report = serve.wait_multi(id).unwrap();
+    match &report.results {
+        Err(ServeError::DeadlineExpired { .. }) => {}
+        other => panic!("expected DeadlineExpired, got {other:?}"),
+    }
+    let stats = serve.shutdown();
+    assert_eq!(stats.deadline_expired, 1);
+}
+
+#[test]
+fn generous_deadline_does_not_expire() {
+    let q = fused("a.*b", "ab");
+    let serve = ServeRuntime::start(ServeConfig::default().with_workers(2));
+    let doc = doc_with_leaves(5);
+    let id = serve
+        .submit(JobSpec::new(q.clone(), doc.clone()).with_deadline(Duration::from_secs(60)))
+        .unwrap();
+    let report = serve.wait(id).unwrap();
+    assert_eq!(
+        report.result.as_ref().unwrap(),
+        &q.select_bytes(&doc).unwrap()
+    );
+    let stats = serve.shutdown();
+    assert_eq!(stats.deadline_expired, 0);
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn deadline_expiry_has_a_stable_class_and_wire_code() {
+    use stackless_streamed_trees::serve::codes;
+    let e = ServeError::DeadlineExpired { waited_ms: 7 };
+    assert_eq!(e.class(), "deadline-expired");
+    assert_eq!(e.wire_code(), codes::DEADLINE_EXPIRED);
+    assert!(e.to_string().contains("7 ms"));
+}
