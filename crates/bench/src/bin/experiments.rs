@@ -9,7 +9,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use st_automata::pairs::MeetMode;
-use st_automata::{compile_regex, Alphabet, Tag};
+use st_automata::{compile_regex, Alphabet, Letter, Tag};
 use st_baseline::{scan, StackEvaluator};
 use st_bench::{chain_workload, gamma, records_workload, standard_workloads};
 use st_core::analysis::Analysis;
@@ -19,6 +19,7 @@ use st_core::planner::{CompiledQuery, Strategy};
 use st_core::{classify, dtd, fooling, har, papers, registerless, term};
 use st_trees::xml::Scanner;
 use stackless_streamed_trees::prelude::{ObsHandle, Query};
+use stackless_streamed_trees::serve::{NetClient, NetConfig, NetResponse, NetServer};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +56,8 @@ fn main() {
     e19c_obs_overhead(false);
     e22_structural_index();
     e23_multi_query();
+    e24_net_throughput();
+    e24b_emission_latency();
     e20_memory();
 }
 
@@ -102,6 +105,132 @@ fn gbit_per_s(bytes: usize, mut f: impl FnMut()) -> f64 {
         best = best.max(rate);
     }
     best
+}
+
+/// The alphabet in the comma-separated form the wire protocol carries.
+fn net_alphabet_csv(g: &Alphabet) -> String {
+    (0..g.len())
+        .map(|i| g.symbol(Letter(i as u32)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// E24 measurement core: one loopback listener, one document, and one
+/// rate per service mode.  Each closure iteration is a complete request
+/// (upload in 16 KiB chunks, evaluate, reply), so the rates price the
+/// whole front end — framing, plan lookup, the checkpointed session,
+/// and the reply — not just the engine.  Returns the series in Gb/s of
+/// document bytes uploaded, plus the plan-cache counters from the
+/// hit-path and miss-path servers.
+fn net_series(
+    xml: &[u8],
+    csv: &str,
+) -> (
+    Vec<(String, f64)>,
+    st_core::plancache::PlanCacheStats,
+    st_core::plancache::PlanCacheStats,
+) {
+    let chunk = 16 * 1024;
+    let mut out: Vec<(String, f64)> = Vec::new();
+
+    let server = NetServer::bind("127.0.0.1:0", NetConfig::default()).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+
+    // Correctness before timing: the plain reply, the streamed parts,
+    // and the local fused engine must agree on this document.
+    {
+        let g = gamma();
+        let mut warm = NetClient::connect(&addr).expect("connect");
+        let plain = match warm.query("a.*b", csv, xml, chunk).unwrap() {
+            NetResponse::Matches(ids) => ids,
+            other => panic!("unexpected plain reply: {other:?}"),
+        };
+        let streamed = match warm.stream_query("a.*b", csv, xml, chunk, |_| {}).unwrap() {
+            NetResponse::StreamMatches { ids, .. } => ids,
+            other => panic!("unexpected stream reply: {other:?}"),
+        };
+        assert_eq!(plain, streamed, "streamed ids must equal the plain reply");
+        let local = Query::compile("a.*b", &g).unwrap();
+        assert_eq!(plain.len(), local.fused().count_bytes(xml).unwrap());
+    }
+
+    // Keep-alive connection re-asking one hot pattern: the steady state
+    // of a monitoring client, and all plan-cache hits after the first.
+    {
+        let mut c = NetClient::connect(&addr).expect("connect");
+        out.push((
+            "net_keepalive_hit/a.*b".to_owned(),
+            gbit_per_s(xml.len(), || {
+                black_box(c.query("a.*b", csv, black_box(xml), chunk).unwrap());
+            }),
+        ));
+        // The earliest-emission protocol on the same connection: one
+        // MATCH_PART read in lock step with every uploaded chunk, the
+        // final reply verified against the delivered parts.
+        out.push((
+            "net_stream/a.*b".to_owned(),
+            gbit_per_s(xml.len(), || {
+                let r = c
+                    .stream_query("a.*b", csv, black_box(xml), chunk, |batch| {
+                        black_box(batch);
+                    })
+                    .unwrap();
+                black_box(r);
+            }),
+        ));
+    }
+    // A fresh TCP connect per request: what ephemeral clients pay.
+    out.push((
+        "net_cold_connect/a.*b".to_owned(),
+        gbit_per_s(xml.len(), || {
+            let mut c = NetClient::connect(&addr).expect("connect");
+            black_box(c.query("a.*b", csv, black_box(xml), chunk).unwrap());
+        }),
+    ));
+    // Four keep-alive connections uploading concurrently; the rate is
+    // aggregate bytes across all four.
+    {
+        let mut pool: Vec<NetClient> = (0..4)
+            .map(|_| NetClient::connect(&addr).expect("connect"))
+            .collect();
+        out.push((
+            "net_parallel_4/a.*b".to_owned(),
+            gbit_per_s(4 * xml.len(), || {
+                std::thread::scope(|s| {
+                    for c in &mut pool {
+                        s.spawn(move || {
+                            black_box(c.query("a.*b", csv, black_box(xml), chunk).unwrap());
+                        });
+                    }
+                });
+            }),
+        ));
+    }
+    let hit_stats = server.plan_cache().stats();
+
+    // Plan-cache misses: a capacity-one cache with two alternating
+    // patterns evicts on every lookup, so each request pays a full
+    // compile (parse, determinize, classify, build the byte engine).
+    let miss_server = NetServer::bind(
+        "127.0.0.1:0",
+        NetConfig::default().with_plan_cache_capacity(1),
+    )
+    .expect("bind loopback");
+    let miss_addr = miss_server.local_addr().to_string();
+    {
+        let mut c = NetClient::connect(&miss_addr).expect("connect");
+        let mut flip = false;
+        out.push((
+            "net_keepalive_miss/alternating".to_owned(),
+            gbit_per_s(xml.len(), || {
+                flip = !flip;
+                let p = if flip { "a.*b" } else { ".*a.*b" };
+                black_box(c.query(p, csv, black_box(xml), chunk).unwrap());
+            }),
+        ));
+    }
+    let miss_stats = miss_server.plan_cache().stats();
+    (out, hit_stats, miss_stats)
 }
 
 fn strategy_slug(s: Strategy) -> &'static str {
@@ -232,8 +361,25 @@ fn write_throughput_json(path: &str) {
     let chain = chain_workload(100_000);
     measure_workload("deep_chain", chain.nodes, chain.depth, &chain.xml);
 
+    // E24: the same artifact records the network front-end on loopback
+    // (one ~40 KB standard workload; Gb/s of document bytes uploaded
+    // per complete request through the frame protocol).
+    let net_workload = standard_workloads(6_000).remove(1);
+    let csv = net_alphabet_csv(&g);
+    let (net, _, _) = net_series(&net_workload.xml, &csv);
+    let net_rates = net
+        .iter()
+        .map(|(k, v)| format!("      \"{k}\": {v:.4}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let net_object = format!(
+        "  \"net\": {{\n    \"workload\": \"{}\",\n    \"bytes\": {},\n    \"gbit_per_s\": {{\n{net_rates}\n    }}\n  }},",
+        net_workload.name,
+        net_workload.xml.len(),
+    );
+
     let json = format!(
-        "{{\n  \"experiment\": \"throughput\",\n  \"unit\": \"gigabits per second of XML input\",\n  \"threads\": {threads},\n  \"workload_seeds\": [101, 202, 303],\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"throughput\",\n  \"unit\": \"gigabits per second of XML input\",\n  \"threads\": {threads},\n  \"workload_seeds\": [101, 202, 303],\n{net_object}\n  \"workloads\": [\n{}\n  ]\n}}\n",
         workload_objects.join(",\n")
     );
     std::fs::write(path, &json).expect("write throughput json");
@@ -789,6 +935,139 @@ fn e23_multi_query() {
     println!(
         "(rates are per document byte: the sequential series reads the same bytes 16 \
          times, the shared series once; speedup is wall-clock one-pass vs 16-pass)"
+    );
+    println!();
+}
+
+/// E24: the TCP front-end on loopback — sustained MB/s through the
+/// frame protocol under every service mode: a keep-alive connection
+/// with plan-cache hits, the same connection on the earliest-emission
+/// streaming protocol, a fresh connect per request, four connections
+/// in parallel, and a keep-alive connection whose every request misses
+/// the plan cache (capacity one, alternating patterns).
+fn e24_net_throughput() {
+    println!("## E24 — network front-end on loopback: MB/s through the frame protocol");
+    let g = gamma();
+    let csv = net_alphabet_csv(&g);
+    let mb = |gbit: f64| gbit * 1000.0 / 8.0;
+    let mut last_hit = None;
+    let mut last_miss = None;
+    for w in standard_workloads(6_000) {
+        let (series, hit, miss) = net_series(&w.xml, &csv);
+        let rate = |key: &str| {
+            series
+                .iter()
+                .find(|(k, _)| k.starts_with(key))
+                .map(|(_, v)| mb(*v))
+                .unwrap()
+        };
+        println!(
+            "{:<6}: keep-alive {:>6.1} | stream {:>6.1} | cold {:>6.1} | 4-conn {:>6.1} | cache-miss {:>6.1}",
+            w.name,
+            rate("net_keepalive_hit"),
+            rate("net_stream"),
+            rate("net_cold_connect"),
+            rate("net_parallel_4"),
+            rate("net_keepalive_miss"),
+        );
+        last_hit = Some(hit);
+        last_miss = Some(miss);
+    }
+    let (hit, miss) = (last_hit.unwrap(), last_miss.unwrap());
+    println!(
+        "(each request uploads the whole document in 16 KiB chunks and waits for the \
+         verified reply; 4-conn counts aggregate bytes across four keep-alive \
+         connections; hit server cache {} hit(s)/{} miss(es), miss server {} hit(s)/{} \
+         miss(es))",
+        hit.hits, hit.misses, miss.hits, miss.misses,
+    );
+    println!();
+}
+
+/// The index of the log2 bucket holding a histogram's median
+/// observation (bucket `i > 0` covers `2^(i-1) ..= 2^i - 1`).
+fn median_bucket(h: &stackless_streamed_trees::obs::HistogramSnapshot) -> usize {
+    let half = h.count.div_ceil(2).max(1);
+    let mut acc = 0u64;
+    for (i, b) in h.buckets.iter().enumerate() {
+        acc += b;
+        if acc >= half {
+            return i;
+        }
+    }
+    0
+}
+
+/// The inclusive upper bound of log2 bucket `i`.
+fn bucket_hi(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// E24b: emission latency at the certainty frontier vs end-of-document
+/// reporting, in bytes, read from the st-obs
+/// `session_emission_latency_bytes` histogram.  A session fed in 16 KiB
+/// chunks (the E24 wire chunk) records, per emitted match, the distance
+/// from its deciding open event to the window boundary that released
+/// it; the alternative — holding every match until the reply at end of
+/// document — would pay `doc_len - match_offset` instead.  Both go
+/// through the same log2 bucketing; the robustness bar is the frontier
+/// median strictly below the end-of-document median.
+fn e24b_emission_latency() {
+    println!("## E24b — emission latency: certainty frontier vs end-of-document (bytes)");
+    let g = gamma();
+    let chunk = 16 * 1024;
+    for w in standard_workloads(6_000) {
+        let obs = ObsHandle::new();
+        // `.*b` matches whatever label the seeded root drew, so every
+        // workload contributes a populated histogram.
+        let query = Query::compile(".*b", &g).unwrap();
+        let limits = st_core::session::Limits::none().with_obs(obs.clone());
+        let mut session = query.fused().session(limits);
+        let mut emitted = Vec::new();
+        for seg in w.xml.chunks(chunk) {
+            session.feed(seg).unwrap();
+            emitted.extend(session.drain_emitted());
+        }
+        let outcome = session.finish().unwrap();
+        assert_eq!(emitted.len(), outcome.matches.len(), "emitted ≡ collected");
+        assert!(!emitted.is_empty(), "{}: workload must match", w.name);
+
+        // The counterfactual: every match held back to the final byte.
+        let eod = obs.histogram("eod_latency_bytes");
+        for m in &emitted {
+            eod.record(w.xml.len() as u64 - m.offset as u64);
+        }
+        let snap = obs.snapshot();
+        let frontier = &snap.histograms["session_emission_latency_bytes"];
+        let end = &snap.histograms["eod_latency_bytes"];
+        assert_eq!(frontier.count, emitted.len() as u64);
+        let (fb, eb) = (median_bucket(frontier), median_bucket(end));
+        assert!(
+            fb < eb,
+            "{}: frontier median bucket {fb} must sit strictly below the \
+             end-of-document bucket {eb}",
+            w.name,
+        );
+        println!(
+            "{:<6}: {:>5} matches | frontier median ≤ {:>6} B (mean {:>6.0}) | \
+             end-of-document median ≤ {:>6} B (mean {:>6.0})",
+            w.name,
+            emitted.len(),
+            bucket_hi(fb),
+            frontier.sum as f64 / frontier.count as f64,
+            bucket_hi(eb),
+            end.sum as f64 / end.count as f64,
+        );
+    }
+    println!(
+        "(16 KiB feed windows; a match's frontier latency is bounded by its window, \
+         while end-of-document latency grows with the bytes still to come — the \
+         asserted invariant is frontier median strictly below the end-of-document \
+         median, bucket to bucket)"
     );
     println!();
 }

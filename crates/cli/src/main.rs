@@ -78,12 +78,12 @@ const USAGE: &str = "usage:
   stql listen  --chaos [--seed N] [--requests N] [--connections N]
                [--reproducer FILE] [--metrics-out FILE]
   stql ask     <addr> <query>... <file.xml> [--count] [--chunk BYTES]
-               [--timeout MS] [--alphabet a,b,c]
+               [--timeout MS] [--alphabet a,b,c] [--stream]
   stql multi   <file.xml> <query>... [--count] [--alphabet a,b,c]
                [--budget N]
   stql fuzz    [--seed N] [--iters M] [--max-depth D] [--max-nodes K]
                [--corpus DIR] [--mutation NAME] [--faults] [--multi]
-               [--replay FILE.case|FILE.mcase]
+               [--stream] [--replay FILE.case|FILE.mcase]
 
 select resource guards and sessions (.xml only, fused engine):
   --max-depth/--max-bytes/--time-budget abort with a typed limit error;
@@ -666,8 +666,26 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 /// `--corpus`, persisted for the tier-1 replay test.
 fn cmd_fuzz(args: &[String]) -> Result<(), String> {
     let multi = args.iter().any(|a| a == "--multi");
+    let stream = args.iter().any(|a| a == "--stream");
+    if multi && stream {
+        return Err("--multi and --stream are separate oracles; pick one".into());
+    }
     if let Some(path) = flag_value(args, "--replay") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        if stream {
+            let case =
+                st_conform::corpus::parse_entry(&text).map_err(|e| format!("{path}: {e}"))?;
+            return match st_conform::run_stream_case(&case, st_conform::StreamMutation::None) {
+                None => {
+                    println!(
+                        "agreement: streamed emission ≡ collect-at-end ≡ DOM oracle \
+                         on all chunkings"
+                    );
+                    Ok(())
+                }
+                Some(d) => Err(format!("divergence: {d}")),
+            };
+        }
         if multi || path.ends_with(".mcase") {
             let case =
                 st_conform::corpus::parse_multi_entry(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -723,6 +741,34 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
         mutation,
         max_failures: 5,
     };
+    if stream {
+        let report = st_conform::fuzz_stream(&cfg, st_conform::StreamMutation::None);
+        eprintln!(
+            "fuzz --stream: seed {seed}, {} iteration(s), streamed emission vs \
+             collect-at-end vs DOM oracle",
+            report.iters_run
+        );
+        if report.clean() {
+            println!("agreement: every chunking streams the collect-at-end answer in order");
+            return Ok(());
+        }
+        for f in &report.failures {
+            eprintln!("--- divergence at iteration {} ---", f.iter);
+            eprintln!("  {}", f.detail);
+            eprintln!(
+                "  shrunk: pattern {:?}, alphabet {:?}, {} byte(s), chunks {:?}",
+                f.shrunk.pattern,
+                f.shrunk.alphabet,
+                f.shrunk.doc.len(),
+                f.shrunk.chunk_sizes
+            );
+            eprintln!("  doc: {}", String::from_utf8_lossy(&f.shrunk.doc));
+            if let Some(p) = &f.corpus_path {
+                eprintln!("  corpus: {}", p.display());
+            }
+        }
+        return Err(format!("{} divergence(s) found", report.failures.len()));
+    }
     if multi {
         let report = st_conform::fuzz_multi(&cfg, st_conform::MultiMutation::None);
         eprintln!(

@@ -215,6 +215,7 @@ pub(crate) fn cmd_ask(args: &[String]) -> Result<(), String> {
         ));
     }
     let count_only = args.iter().any(|a| a == "--count");
+    let stream = args.iter().any(|a| a == "--stream");
     let chunk = parse_num(args, "--chunk", 64 * 1024)?.max(1) as usize;
     let timeout = Duration::from_millis(parse_num(args, "--timeout", 10_000)?);
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -243,7 +244,22 @@ pub(crate) fn cmd_ask(args: &[String]) -> Result<(), String> {
 
     let mut client = NetClient::connect_with_timeouts(addr, timeout, timeout)
         .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    let response = if queries.len() == 1 {
+    let response = if stream {
+        // Earliest delivery: one line per match the moment its MATCH_PART
+        // lands, each with the byte offset at which it became certain.
+        // The client verifies the final reply against the delivered parts
+        // (tiling, node ids, cursor digest) before returning.
+        if queries.len() != 1 {
+            return Err("--stream delivers a single query; drop it or the extra queries".into());
+        }
+        client.stream_query(queries[0].as_str(), &csv, &bytes, chunk, |batch| {
+            if !count_only {
+                for m in batch {
+                    println!("{}\t@{}", m.node, m.offset);
+                }
+            }
+        })
+    } else if queries.len() == 1 {
         client.query(queries[0].as_str(), &csv, &bytes, chunk)
     } else {
         client.multi_query(queries, &csv, &bytes, chunk)
@@ -261,6 +277,13 @@ pub(crate) fn cmd_ask(args: &[String]) -> Result<(), String> {
     };
     match response {
         NetResponse::Matches(ids) => emit(&ids),
+        NetResponse::StreamMatches { ids, .. } => {
+            // Per-match lines already went out as the parts arrived;
+            // only the count summary remains.
+            if count_only {
+                println!("{}", ids.len());
+            }
+        }
         NetResponse::MultiMatches(per_query) => {
             for (q, ids) in queries.iter().zip(&per_query) {
                 if count_only {

@@ -317,9 +317,12 @@ fn run_resumed(
     session.feed(&doc[prev..])?;
     let tail = session.finish()?;
     matches.extend_from_slice(&tail.matches);
+    // The cursor rides inside every checkpoint, so the tail session's
+    // cursor covers the whole resumed stream.
     Ok(SessionOutcome {
         matches,
         nodes: tail.nodes,
+        cursor: tail.cursor,
     })
 }
 

@@ -43,6 +43,7 @@ pub mod multi;
 pub mod pattern;
 pub mod runner;
 pub mod shrink;
+pub mod stream;
 
 pub use engines::{resume_support, run_case, CaseOutcome, Divergence, EngineId, Mutation, Outcome};
 pub use gen::{Case, GenConfig};
@@ -53,3 +54,7 @@ pub use multi::{
 pub use pattern::Pat;
 pub use runner::{fuzz, replay_corpus, FuzzConfig, FuzzFailure, FuzzReport};
 pub use shrink::{shrink, tree_nodes};
+pub use stream::{
+    fuzz_stream, replay_stream_corpus, run_stream_case, shrink_stream, StreamFuzzFailure,
+    StreamFuzzReport, StreamMutation,
+};

@@ -68,6 +68,7 @@ pub mod classify;
 pub mod closure;
 pub mod dtd;
 pub mod eflat;
+pub mod emit;
 pub mod engine;
 pub mod error;
 pub mod extensions;
@@ -92,6 +93,7 @@ pub mod term;
 
 pub use analysis::Analysis;
 pub use classify::{classify, ClassReport, Verdict};
+pub use emit::{EmissionCursor, EmitSink, MatchStream, StreamedMatch};
 pub use engine::{ByteDfa, FusedQuery, TagLexer};
 pub use error::CoreError;
 pub use model::{DraProgram, DraRunner, LoadMask, StreamSymbol};
@@ -119,6 +121,7 @@ pub use session::{
 /// assert_eq!(q.count(b"<a></a>").unwrap(), 1);
 /// ```
 pub mod prelude {
+    pub use crate::emit::{EmissionCursor, EmitSink, MatchStream, StreamedMatch};
     pub use crate::engine::FusedQuery;
     pub use crate::plancache::{PlanCache, PlanCacheStats};
     pub use crate::planner::{CompiledQuery, Strategy};

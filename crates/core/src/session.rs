@@ -44,9 +44,10 @@ use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use st_automata::{Alphabet, Tag};
-use st_obs::{Counter, Histogram, ObsHandle, TraceEvent};
+use st_obs::{Counter, Gauge, Histogram, ObsHandle, TraceEvent};
 use st_trees::error::TreeError;
 
+use crate::emit::{EmissionCursor, StreamedMatch};
 use crate::engine::{
     find_lt, record_scan_stats, rescan_error, FusedBackend, FusedQuery, TagLexer, EV_ERROR,
     EV_NONE, FLAG_CLOSE, FLAG_ERROR, FLAG_OPEN, FLAG_SELECTED, LT, TEXT,
@@ -393,8 +394,11 @@ pub fn check_event_limits(tags: &[Tag], limits: &Limits) -> Result<(), LimitExce
 // Checkpoint
 // ---------------------------------------------------------------------------
 
-/// Version tag written into every serialized checkpoint.
-pub const CHECKPOINT_VERSION: u16 = 1;
+/// Version tag written into every serialized checkpoint.  Version 2
+/// added the emission cursor (count + digest of the emitted match
+/// prefix); version-1 checkpoints predate streaming emission and are
+/// rejected rather than resumed with a silently empty cursor.
+pub const CHECKPOINT_VERSION: u16 = 2;
 
 const CHECKPOINT_MAGIC: [u8; 4] = *b"STCK";
 
@@ -449,6 +453,12 @@ pub struct EngineCheckpoint {
     /// Current depth (opens minus closes; may be negative on unbalanced
     /// but tokenizable inputs).
     depth: i64,
+    /// Matches emitted (past the certainty frontier) before the
+    /// checkpoint was minted.
+    emit_count: u64,
+    /// FNV-1a digest of the emitted prefix; see
+    /// [`crate::emit::EmissionCursor`].
+    emit_digest: u64,
     /// Engine-specific state.
     state: CheckpointState,
 }
@@ -484,6 +494,17 @@ impl EngineCheckpoint {
         &self.alphabet
     }
 
+    /// The emission cursor at the checkpoint: how many matches had been
+    /// emitted when it was minted, and the digest of that prefix.  A
+    /// resuming consumer uses it to dedup the replay window — and to
+    /// verify its own ledger against the digest before trusting either.
+    pub fn emission_cursor(&self) -> EmissionCursor {
+        EmissionCursor {
+            count: self.emit_count,
+            digest: self.emit_digest,
+        }
+    }
+
     /// Serializes the checkpoint (little-endian, versioned, magic-tagged).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Vec::with_capacity(64);
@@ -498,6 +519,8 @@ impl EngineCheckpoint {
         put_u64(&mut w, self.offset);
         put_u64(&mut w, self.node);
         put_i64(&mut w, self.depth);
+        put_u64(&mut w, self.emit_count);
+        put_u64(&mut w, self.emit_digest);
         match &self.state {
             CheckpointState::Registerless { composite } => {
                 w.push(0);
@@ -566,6 +589,8 @@ impl EngineCheckpoint {
         let offset = r.u64()?;
         let node = r.u64()?;
         let depth = r.i64()?;
+        let emit_count = r.u64()?;
+        let emit_digest = r.u64()?;
         let state = match r.u8()? {
             0 => CheckpointState::Registerless {
                 composite: r.u16()?,
@@ -620,6 +645,8 @@ impl EngineCheckpoint {
             offset,
             node,
             depth,
+            emit_count,
+            emit_digest,
             state,
         })
     }
@@ -842,6 +869,11 @@ pub struct SessionOutcome {
     pub matches: Vec<usize>,
     /// Total nodes opened from the start of the document.
     pub nodes: usize,
+    /// Final emission cursor: count + digest of every match emitted
+    /// from the start of the document (pre-resume history included).
+    /// For a successful run this covers exactly the full match list —
+    /// the invariant that streamed delivery never retracts.
+    pub cursor: EmissionCursor,
 }
 
 /// Pre-resolved session metrics: one registry lookup per metric at
@@ -867,6 +899,14 @@ pub(crate) struct SessObs {
     pub(crate) fallback_windows: Counter,
     /// Bytes between consecutive checkpoints (the observed cadence).
     pub(crate) checkpoint_interval: Histogram,
+    /// Matches emitted past the certainty frontier.
+    pub(crate) emissions: Counter,
+    /// Per-match emission latency: bytes from the deciding open event to
+    /// the window boundary that released the match (log2 buckets).
+    pub(crate) emission_latency: Histogram,
+    /// Matches currently held back at the certainty frontier (sampled at
+    /// each flush).
+    pub(crate) frontier_depth: Gauge,
     /// `Cell` because [`EngineSession::checkpoint`] takes `&self`.
     pub(crate) last_checkpoint_offset: std::cell::Cell<u64>,
 }
@@ -889,6 +929,9 @@ impl SessObs {
             simd_windows: obs.counter("engine_simd_windows"),
             fallback_windows: obs.counter("engine_scalar_fallback_windows"),
             checkpoint_interval: obs.histogram("session_checkpoint_interval_bytes"),
+            emissions: obs.counter("session_emissions_total"),
+            emission_latency: obs.histogram("session_emission_latency_bytes"),
+            frontier_depth: obs.gauge("session_frontier_depth"),
             last_checkpoint_offset: std::cell::Cell::new(offset),
         })
     }
@@ -910,6 +953,20 @@ pub struct EngineSession<'q> {
     node_base: usize,
     depth: i64,
     matches: Vec<usize>,
+    /// Absolute byte offset of the open event that decided each match —
+    /// parallel to `matches`.  Selection is decided *at the open* in all
+    /// three engine classes, so this is the earliest certain offset.
+    match_offsets: Vec<usize>,
+    /// Matches `[..flushed]` have crossed the certainty frontier (their
+    /// window completed) and are folded into `cursor`; the tail is still
+    /// tentative — a failing window retracts it invisibly.
+    flushed: usize,
+    /// Matches `[..drained]` were already handed out by
+    /// [`Self::drain_emitted`].
+    drained: usize,
+    /// Count + digest of everything emitted since document start
+    /// (resume restores the checkpoint's cursor and keeps folding).
+    cursor: EmissionCursor,
     state: SessState,
     failed: Option<SessionError>,
     obs: Option<SessObs>,
@@ -948,6 +1005,10 @@ impl<'q> EngineSession<'q> {
             node_base: 0,
             depth: 0,
             matches: Vec::new(),
+            match_offsets: Vec::new(),
+            flushed: 0,
+            drained: 0,
+            cursor: EmissionCursor::new(),
             state,
             failed: None,
             obs,
@@ -1037,8 +1098,63 @@ impl<'q> EngineSession<'q> {
             }
             self.offset += end - pos;
             pos = end;
+            self.flush_emitted();
         }
         Ok(())
+    }
+
+    /// Advances the certainty frontier past every match decided in the
+    /// window that just completed: folds each into the emission cursor
+    /// and records its emission latency (bytes from the deciding open
+    /// event to this frontier).  A window that *failed* never reaches
+    /// here, so its tentative matches stay unemitted — exactly the
+    /// prefix every successful re-run of the same bytes would emit.
+    fn flush_emitted(&mut self) {
+        if let Some(o) = &self.obs {
+            o.frontier_depth
+                .set((self.matches.len() - self.flushed) as i64);
+        }
+        for i in self.flushed..self.matches.len() {
+            self.cursor.push(StreamedMatch {
+                node: self.matches[i],
+                offset: self.match_offsets[i],
+            });
+            if let Some(o) = &self.obs {
+                o.emissions.incr();
+                o.emission_latency
+                    .record((self.offset - self.match_offsets[i]) as u64);
+            }
+        }
+        self.flushed = self.matches.len();
+    }
+
+    /// Hands out the matches that crossed the certainty frontier since
+    /// the previous drain, in emission order.  Calling this after every
+    /// [`Self::feed`] yields the full emitted stream incrementally; a
+    /// caller that never drains still gets everything in
+    /// [`Self::finish`]'s outcome.
+    pub fn drain_emitted(&mut self) -> Vec<StreamedMatch> {
+        let out = (self.drained..self.flushed)
+            .map(|i| StreamedMatch {
+                node: self.matches[i],
+                offset: self.match_offsets[i],
+            })
+            .collect();
+        self.drained = self.flushed;
+        out
+    }
+
+    /// The emission cursor: count + FNV digest of every match emitted
+    /// since document start (a resumed session continues the
+    /// checkpoint's cursor rather than restarting it).
+    pub fn emission_cursor(&self) -> EmissionCursor {
+        self.cursor
+    }
+
+    /// Matches decided but still held back at the certainty frontier
+    /// (only ever nonzero transiently — every completed feed flushes).
+    pub fn frontier_pending(&self) -> usize {
+        self.matches.len() - self.flushed
     }
 
     fn fail(&mut self, e: SessionError) -> Result<(), SessionError> {
@@ -1077,6 +1193,7 @@ impl<'q> EngineSession<'q> {
         let mut depth = self.depth;
         let mut node = self.node;
         let matches = &mut self.matches;
+        let offsets = &mut self.match_offsets;
         let n = w.len();
         let res = match &mut self.state {
             SessState::Registerless { s } => {
@@ -1105,6 +1222,7 @@ impl<'q> EngineSession<'q> {
                                 }
                                 if sel {
                                     matches.push(node);
+                                    offsets.push(base + pos);
                                 }
                                 node += 1;
                             }
@@ -1156,6 +1274,7 @@ impl<'q> EngineSession<'q> {
                                     }
                                     if f & FLAG_SELECTED != 0 {
                                         matches.push(node);
+                                        offsets.push(base + i);
                                     }
                                     node += 1;
                                 }
@@ -1211,6 +1330,7 @@ impl<'q> EngineSession<'q> {
                                 current = next;
                                 if dfa.is_accepting(current) {
                                     matches.push(node);
+                                    offsets.push(base + pos);
                                 }
                             }
                             node += 1;
@@ -1275,6 +1395,7 @@ impl<'q> EngineSession<'q> {
                                         current = next;
                                         if dfa.is_accepting(current) {
                                             matches.push(node);
+                                            offsets.push(base + i);
                                         }
                                     }
                                     node += 1;
@@ -1335,6 +1456,7 @@ impl<'q> EngineSession<'q> {
                             cur = dfa.step(cur, l);
                             if dfa.is_accepting(cur) {
                                 matches.push(node);
+                                offsets.push(base + pos);
                             }
                             node += 1;
                         }
@@ -1386,6 +1508,7 @@ impl<'q> EngineSession<'q> {
                                     cur = dfa.step(cur, l);
                                     if dfa.is_accepting(cur) {
                                         matches.push(node);
+                                        offsets.push(base + i);
                                     }
                                     node += 1;
                                 }
@@ -1468,6 +1591,8 @@ impl<'q> EngineSession<'q> {
             offset: self.offset as u64,
             node: self.node as u64,
             depth: self.depth,
+            emit_count: self.cursor.count,
+            emit_digest: self.cursor.digest,
             state,
         })
     }
@@ -1506,6 +1631,7 @@ impl<'q> EngineSession<'q> {
         Ok(SessionOutcome {
             matches: self.matches,
             nodes: self.node,
+            cursor: self.cursor,
         })
     }
 }
@@ -1713,11 +1839,19 @@ impl FusedQuery {
         if checkpoint.depth.unsigned_abs() > checkpoint.offset {
             return Err(corrupt("depth exceeds bytes consumed"));
         }
+        // Every emitted match is a selected *node*, so the emission
+        // cursor can never claim more deliveries than nodes opened — a
+        // forged count is rejected here rather than silently creating a
+        // gap the replay dedup would never close.
+        if checkpoint.emit_count > checkpoint.node {
+            return Err(corrupt("emission cursor exceeds nodes opened"));
+        }
         let mut session = EngineSession::fresh(self, limits);
         session.offset = checkpoint.offset as usize;
         session.node = checkpoint.node as usize;
         session.node_base = checkpoint.node as usize;
         session.depth = checkpoint.depth;
+        session.cursor = checkpoint.emission_cursor();
         if let Some(o) = &session.obs {
             o.last_checkpoint_offset.set(checkpoint.offset);
             o.obs.counter("session_resumed_total").incr();

@@ -102,6 +102,14 @@ pub struct ServeConfig {
     /// `0` disables the product tier outright.  A
     /// [`crate::MultiJobSpec`] can override it per request.
     pub product_budget: usize,
+    /// Assumed shared-pass throughput, in bytes per runtime-clock
+    /// millisecond, used to project a grouped multi-query pass's finish
+    /// time for deadline-aware grouping *before* any pass has completed.
+    /// Once passes complete, a measured moving average replaces it.  A
+    /// member whose deadline is projected to expire before the shared
+    /// pass finishes is not adopted into the group (it runs its own pass
+    /// or expires at dispatch as before).
+    pub group_rate_hint: u64,
     /// Service-level budget (admission control + inherited limits).
     pub budget: ServiceBudget,
     /// Deterministic fault injection; `None` in production.  When set,
@@ -129,6 +137,7 @@ impl Default for ServeConfig {
             parallel_threshold: 64 << 10,
             chunk_threads: 4,
             product_budget: st_core::queryset::DEFAULT_PRODUCT_BUDGET,
+            group_rate_hint: 100_000,
             budget: ServiceBudget::default(),
             chaos: None,
             obs: ObsHandle::disabled(),
@@ -195,6 +204,13 @@ impl ServeConfig {
     /// requests (`0` forces lane-wise simulation).
     pub fn with_product_budget(mut self, budget: usize) -> ServeConfig {
         self.product_budget = budget;
+        self
+    }
+
+    /// Sets the assumed shared-pass throughput (bytes per millisecond)
+    /// for deadline-aware grouping projections.
+    pub fn with_group_rate_hint(mut self, bytes_per_ms: u64) -> ServeConfig {
+        self.group_rate_hint = bytes_per_ms.max(1);
         self
     }
 

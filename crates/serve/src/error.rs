@@ -35,6 +35,16 @@ pub enum FailureCause {
     /// The engine returned a typed error: a parse error, a resource
     /// budget breach, or an engine-internal failure.
     Engine(SessionError),
+    /// The request's emission ledger was violated: a resumed attempt
+    /// replayed a match that disagrees with what was already delivered,
+    /// claimed deliveries the supervisor never saw (forged cursor), or
+    /// finished with a stream that does not equal its match list.
+    /// Exactly-once delivery cannot be preserved past this point, so the
+    /// request fails rather than risk a silent duplicate or gap.
+    EmissionLedger {
+        /// What disagreed.
+        detail: String,
+    },
 }
 
 impl FailureCause {
@@ -55,6 +65,9 @@ impl FailureCause {
             FailureCause::Engine(e) => {
                 matches!(e, SessionError::Parse(_) | SessionError::Engine(_))
             }
+            // Deterministic state corruption: a retry would re-derive the
+            // same divergent stream and could deliver duplicates.
+            FailureCause::EmissionLedger { .. } => false,
         }
     }
 
@@ -70,6 +83,7 @@ impl FailureCause {
             FailureCause::Engine(SessionError::Limit(_)) => "engine-limit",
             FailureCause::Engine(SessionError::Engine(_)) => "engine-internal",
             FailureCause::Engine(_) => "engine-other",
+            FailureCause::EmissionLedger { .. } => "emission-ledger",
         }
     }
 }
@@ -85,6 +99,9 @@ impl fmt::Display for FailureCause {
                 write!(f, "segment at byte {offset} failed its integrity check")
             }
             FailureCause::Engine(e) => write!(f, "{e}"),
+            FailureCause::EmissionLedger { detail } => {
+                write!(f, "emission ledger violated: {detail}")
+            }
         }
     }
 }

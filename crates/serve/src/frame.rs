@@ -32,6 +32,8 @@
 use std::fmt;
 use std::io::{self, Read, Write};
 
+use st_core::emit::{EmissionCursor, StreamedMatch};
+
 use crate::error::codes;
 
 /// The 4-byte connection preamble: `"STN1"` (Streamed Trees Net v1).
@@ -59,8 +61,18 @@ pub enum FrameKind {
     /// Opens a multi-query request: `[alpha_len: u16 LE][alphabet csv]
     /// [count: u16 LE]` then `count` of `[len: u16 LE][pattern]`.
     MultiQuery = 0x04,
+    /// Opens a *streaming* single-query request (same payload as
+    /// [`FrameKind::Query`]).  The server answers each `Chunk` with one
+    /// [`FrameKind::MatchPart`] carrying the matches that crossed the
+    /// certainty frontier during it (possibly zero), in lock step —
+    /// request, reply, request, reply — so neither side ever blocks on a
+    /// full socket buffer.  `Finish` is answered with a final
+    /// cursor-carrying `Matches` (see [`encode_matches_with_cursor`]).
+    StreamQuery = 0x05,
     /// Success reply to [`FrameKind::Query`]: `[count: u32 LE]` then
-    /// `count` node ids as `u64 LE`.
+    /// `count` node ids as `u64 LE`.  In a streaming request the final
+    /// `Matches` additionally carries the emission cursor (count +
+    /// digest) after the ids.
     Matches = 0x81,
     /// Success reply to [`FrameKind::MultiQuery`]: `[members: u32 LE]`
     /// then per member `[count: u32 LE]` + ids as `u64 LE`.
@@ -68,6 +80,11 @@ pub enum FrameKind {
     /// Failure reply: `[code: u16 LE][utf-8 message]`; codes are the
     /// stable registry in [`crate::error::codes`].
     Error = 0x83,
+    /// Incremental streaming reply: `[start: u64 LE][count: u32 LE]`
+    /// then `count` of `[node: u64 LE][offset: u64 LE]` — the matches at
+    /// stream positions `start..start + count`, emitted at the earliest
+    /// byte offset at which each is certain.
+    MatchPart = 0x84,
 }
 
 impl FrameKind {
@@ -78,9 +95,11 @@ impl FrameKind {
             0x02 => Some(FrameKind::Chunk),
             0x03 => Some(FrameKind::Finish),
             0x04 => Some(FrameKind::MultiQuery),
+            0x05 => Some(FrameKind::StreamQuery),
             0x81 => Some(FrameKind::Matches),
             0x82 => Some(FrameKind::MultiMatches),
             0x83 => Some(FrameKind::Error),
+            0x84 => Some(FrameKind::MatchPart),
             _ => None,
         }
     }
@@ -545,6 +564,80 @@ pub fn decode_multi_matches(payload: &[u8]) -> Result<Vec<Vec<usize>>, FrameErro
     Ok(out)
 }
 
+/// Encodes a [`FrameKind::MatchPart`] payload: the matches at stream
+/// positions `start..start + matches.len()`.
+pub fn encode_match_part(start: u64, matches: &[StreamedMatch]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + 16 * matches.len());
+    out.extend_from_slice(&start.to_le_bytes());
+    out.extend_from_slice(&(matches.len() as u32).to_le_bytes());
+    for m in matches {
+        out.extend_from_slice(&(m.node as u64).to_le_bytes());
+        out.extend_from_slice(&(m.offset as u64).to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a [`FrameKind::MatchPart`] payload into `(start, matches)`.
+///
+/// # Errors
+///
+/// [`FrameError::BadPayload`] unless the payload is exactly
+/// `12 + 16 * count` bytes.
+pub fn decode_match_part(payload: &[u8]) -> Result<(u64, Vec<StreamedMatch>), FrameError> {
+    if payload.len() < 12 {
+        return Err(bad_payload("MATCH_PART payload shorter than its header"));
+    }
+    let start = u64::from_le_bytes(payload[..8].try_into().expect("length checked"));
+    let count = u32::from_le_bytes(payload[8..12].try_into().expect("length checked")) as usize;
+    let body = &payload[12..];
+    if body.len() != count.saturating_mul(16) {
+        return Err(bad_payload(format!(
+            "MATCH_PART claims {count} match(es) but carries {} body byte(s)",
+            body.len()
+        )));
+    }
+    let mut matches = Vec::with_capacity(count);
+    for pair in body.chunks_exact(16) {
+        matches.push(StreamedMatch {
+            node: u64::from_le_bytes(pair[..8].try_into().expect("chunk is 16 bytes")) as usize,
+            offset: u64::from_le_bytes(pair[8..].try_into().expect("chunk is 16 bytes")) as usize,
+        });
+    }
+    Ok((start, matches))
+}
+
+/// Encodes the final [`FrameKind::Matches`] payload of a *streaming*
+/// request: the plain id block followed by the emission cursor, so the
+/// client can verify that the parts it accumulated are exactly the
+/// stream the server delivered (count and FNV-1a digest both).
+pub fn encode_matches_with_cursor(ids: &[usize], cursor: EmissionCursor) -> Vec<u8> {
+    let mut out = encode_matches(ids);
+    out.extend_from_slice(&cursor.count.to_le_bytes());
+    out.extend_from_slice(&cursor.digest.to_le_bytes());
+    out
+}
+
+/// Decodes a final streaming [`FrameKind::Matches`] payload into
+/// `(ids, cursor)`.
+///
+/// # Errors
+///
+/// [`FrameError::BadPayload`] unless the payload is exactly the id
+/// block plus 16 cursor bytes.
+pub fn decode_matches_with_cursor(
+    payload: &[u8],
+) -> Result<(Vec<usize>, EmissionCursor), FrameError> {
+    let (ids, at) = decode_id_block(payload, 0)?;
+    if payload.len() != at + 16 {
+        return Err(bad_payload(
+            "streaming MATCHES payload is not ids + a 16-byte cursor",
+        ));
+    }
+    let count = u64::from_le_bytes(payload[at..at + 8].try_into().expect("length checked"));
+    let digest = u64::from_le_bytes(payload[at + 8..at + 16].try_into().expect("length checked"));
+    Ok((ids, EmissionCursor { count, digest }))
+}
+
 /// Encodes a [`FrameKind::Error`] payload.
 pub fn encode_error(code: u16, message: &str) -> Vec<u8> {
     let mut out = Vec::with_capacity(2 + message.len());
@@ -674,6 +767,59 @@ mod tests {
         assert_eq!(
             decode_multi_matches(&multi).unwrap(),
             vec![vec![1, 2], vec![], vec![9]]
+        );
+    }
+
+    #[test]
+    fn match_part_round_trip_and_lies() {
+        let ms = vec![
+            StreamedMatch {
+                node: 3,
+                offset: 17,
+            },
+            StreamedMatch {
+                node: 9,
+                offset: 140,
+            },
+        ];
+        let p = encode_match_part(5, &ms);
+        assert_eq!(decode_match_part(&p).unwrap(), (5, ms.clone()));
+        // Empty parts are legal (a chunk that decided nothing).
+        let empty = encode_match_part(7, &[]);
+        assert_eq!(decode_match_part(&empty).unwrap(), (7, vec![]));
+        // Count lies and torn bodies are typed, never panics.
+        let mut lie = p.clone();
+        lie[8] = 200;
+        assert!(decode_match_part(&lie).is_err());
+        assert!(decode_match_part(&p[..p.len() - 1]).is_err());
+        assert!(decode_match_part(&[0; 11]).is_err());
+    }
+
+    #[test]
+    fn matches_with_cursor_round_trip_and_lies() {
+        let cursor = EmissionCursor::over(&[StreamedMatch { node: 1, offset: 4 }]);
+        let p = encode_matches_with_cursor(&[1], cursor);
+        let (ids, c) = decode_matches_with_cursor(&p).unwrap();
+        assert_eq!(ids, vec![1]);
+        assert_eq!(c, cursor);
+        // A plain MATCHES payload (no cursor) is rejected by the
+        // streaming decoder, and the cursor-carrying payload is rejected
+        // by the plain decoder — the two response shapes cannot be
+        // silently confused.
+        assert!(decode_matches_with_cursor(&encode_matches(&[1])).is_err());
+        assert!(decode_matches(&p).is_err());
+        assert!(decode_matches_with_cursor(&p[..p.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn stream_frame_kinds_round_trip_their_bytes() {
+        assert_eq!(
+            FrameKind::from_byte(FrameKind::StreamQuery.as_byte()),
+            Some(FrameKind::StreamQuery)
+        );
+        assert_eq!(
+            FrameKind::from_byte(FrameKind::MatchPart.as_byte()),
+            Some(FrameKind::MatchPart)
         );
     }
 

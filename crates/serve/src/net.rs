@@ -49,13 +49,16 @@ use st_core::queryset::{QuerySet, DEFAULT_PRODUCT_BUDGET};
 use st_core::session::{monotonic_clock, ClockFn, SessionError};
 use st_obs::{Counter, Gauge, Histogram, ObsHandle, TraceEvent};
 
+use st_core::emit::{EmissionCursor, StreamedMatch};
+
 use crate::config::ServiceBudget;
 use crate::error::codes;
 use crate::frame::{
-    decode_error, decode_matches, decode_multi_matches, decode_multi_query, decode_query,
-    encode_error, encode_matches, encode_multi_matches, encode_multi_query, encode_query,
-    read_frame, read_frame_or_eof, read_preamble, write_frame, write_preamble, Frame, FrameError,
-    FrameKind, DEFAULT_MAX_FRAME_LEN, RESPONSE_MAX_FRAME_LEN,
+    decode_error, decode_match_part, decode_matches, decode_matches_with_cursor,
+    decode_multi_matches, decode_multi_query, decode_query, encode_error, encode_match_part,
+    encode_matches, encode_matches_with_cursor, encode_multi_matches, encode_multi_query,
+    encode_query, read_frame, read_frame_or_eof, read_preamble, write_frame, write_preamble, Frame,
+    FrameError, FrameKind, DEFAULT_MAX_FRAME_LEN, RESPONSE_MAX_FRAME_LEN,
 };
 
 // ---------------------------------------------------------------------------
@@ -811,6 +814,24 @@ fn conn_loop(
                 inner.o.requests.incr();
                 serve_single(inner, stream, conn, &query)?;
             }
+            FrameKind::StreamQuery => {
+                let (csv, pattern) = decode_query(&frame.payload)?;
+                let compiled = parse_alphabet(&csv).and_then(|alphabet| {
+                    inner
+                        .cache
+                        .get_or_compile(&pattern, &alphabet)
+                        .map_err(|e| NetError::BadQuery {
+                            detail: e.to_string(),
+                        })
+                });
+                let query = match compiled {
+                    Ok(q) => q,
+                    Err(e) => return Err(drain_then_fail(inner, stream, e)),
+                };
+                inner.c.requests.fetch_add(1, Ordering::SeqCst);
+                inner.o.requests.incr();
+                serve_single_stream(inner, stream, conn, &query)?;
+            }
             FrameKind::MultiQuery => {
                 let (csv, patterns) = decode_multi_query(&frame.payload)?;
                 let compiled = parse_alphabet(&csv).and_then(|alphabet| {
@@ -1017,6 +1038,71 @@ fn serve_single(
     }
 }
 
+/// The streaming variant of [`serve_single`]: every `Chunk` is answered
+/// with exactly one `MatchPart` carrying the matches that crossed the
+/// certainty frontier during it (possibly zero), and the final `Matches`
+/// reply carries the emission cursor so the client can verify that the
+/// parts it accumulated are bitwise the stream the server delivered.
+///
+/// The strict lock step — the client must read each part before sending
+/// its next chunk — is what makes the path deadlock-free under every
+/// deadline/backpressure interaction: neither side ever has more than
+/// one frame in flight toward a peer that is not reading.
+fn serve_single_stream(
+    inner: &NetInner,
+    stream: &mut TcpStream,
+    _conn: u64,
+    query: &st_core::Query,
+) -> Result<(), NetError> {
+    let limits = inner.cfg.budget.session_limits_for(None, &inner.cfg.obs);
+    let mut session = query.session(limits);
+    let mut upload = Upload::new(inner);
+    loop {
+        let frame = read_frame(stream, inner.cfg.max_frame_len)?;
+        match frame.kind {
+            FrameKind::Chunk => {
+                upload.admit_chunk(&frame.payload)?;
+                if let Err(e) = session.feed(&frame.payload) {
+                    return Err(drain_then_fail(inner, stream, NetError::Engine(e)));
+                }
+                if upload.checkpoint_due(frame.payload.len()) {
+                    let _ = session.checkpoint();
+                }
+                let batch = session.drain_emitted();
+                let start = session.emission_cursor().count - batch.len() as u64;
+                write_frame(
+                    stream,
+                    FrameKind::MatchPart,
+                    &encode_match_part(start, &batch),
+                )
+                .map_err(|e| match e {
+                    FrameError::Timeout => NetError::WriteTimeout,
+                    other => NetError::Frame(other),
+                })?;
+            }
+            FrameKind::Finish => {
+                require_empty_finish(&frame)?;
+                let outcome = session.finish().map_err(NetError::Engine)?;
+                let (fed, latency) = upload.finish();
+                inner.o.request_bytes.record(fed);
+                inner.o.request_latency_ms.record(latency);
+                send_reply(
+                    inner,
+                    stream,
+                    FrameKind::Matches,
+                    &encode_matches_with_cursor(&outcome.matches, outcome.cursor),
+                )?;
+                return Ok(());
+            }
+            other => {
+                return Err(NetError::Protocol {
+                    detail: format!("unexpected {other:?} frame inside a request"),
+                })
+            }
+        }
+    }
+}
+
 fn serve_multi(
     inner: &NetInner,
     stream: &mut TcpStream,
@@ -1085,6 +1171,18 @@ pub enum NetResponse {
     Matches(Vec<usize>),
     /// Per-member node ids of a multi-query request.
     MultiMatches(Vec<Vec<usize>>),
+    /// The settled reply of a *streaming* request: the final match list,
+    /// the concatenation of every incremental part received before it,
+    /// and the server's emission cursor — already verified by the client
+    /// to agree with both (count, digest, and node ids).
+    StreamMatches {
+        /// Document-order node ids (the end-of-document answer).
+        ids: Vec<usize>,
+        /// Every incrementally delivered match, in emission order.
+        parts: Vec<StreamedMatch>,
+        /// The server's final emission cursor.
+        cursor: EmissionCursor,
+    },
     /// A typed failure: a stable code from [`crate::error::codes`] plus
     /// an advisory message.
     ServerError {
@@ -1205,6 +1303,114 @@ impl NetClient {
             }
             other => Err(FrameError::BadPayload {
                 detail: format!("server sent a {other:?} frame as a reply"),
+            }),
+        }
+    }
+
+    /// Opens a streaming single-query request.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as [`FrameError`].
+    pub fn send_stream_query(
+        &mut self,
+        pattern: &str,
+        alphabet_csv: &str,
+    ) -> Result<(), FrameError> {
+        write_frame(
+            &mut self.stream,
+            FrameKind::StreamQuery,
+            &encode_query(alphabet_csv, pattern),
+        )
+    }
+
+    /// One full *streaming* round trip: stream-query, then for each
+    /// `chunk`-byte document frame one `MatchPart` reply (handed to
+    /// `on_part` as it arrives — this is the earliest-delivery surface),
+    /// then finish and the final cursor-carrying reply.
+    ///
+    /// Before returning, the accumulated parts are verified against the
+    /// server's final answer three ways: their node ids must equal the
+    /// final match list, the parts must tile the stream exactly (each
+    /// starting where the previous ended), and their FNV-1a digest must
+    /// equal the server's cursor digest.  Any disagreement is a typed
+    /// [`FrameError::BadPayload`] — a corrupted or reordered stream can
+    /// never be silently accepted.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as [`FrameError`]; server-side failures come
+    /// back as `Ok(NetResponse::ServerError { .. })`.
+    pub fn stream_query(
+        &mut self,
+        pattern: &str,
+        alphabet_csv: &str,
+        doc: &[u8],
+        chunk: usize,
+        mut on_part: impl FnMut(&[StreamedMatch]),
+    ) -> Result<NetResponse, FrameError> {
+        self.send_stream_query(pattern, alphabet_csv)?;
+        let mut parts: Vec<StreamedMatch> = Vec::new();
+        for seg in doc.chunks(chunk.max(1)) {
+            self.send_chunk(seg)?;
+            // Lock step: exactly one reply per chunk, read before the
+            // next chunk goes out, so neither side blocks on a full
+            // socket buffer.
+            let frame = read_frame(&mut self.stream, RESPONSE_MAX_FRAME_LEN)?;
+            match frame.kind {
+                FrameKind::MatchPart => {
+                    let (start, batch) = decode_match_part(&frame.payload)?;
+                    if start != parts.len() as u64 {
+                        return Err(FrameError::BadPayload {
+                            detail: format!(
+                                "MATCH_PART starts at {start} but {} match(es) \
+                                 were received so far",
+                                parts.len()
+                            ),
+                        });
+                    }
+                    on_part(&batch);
+                    parts.extend_from_slice(&batch);
+                }
+                FrameKind::Error => {
+                    let (code, message) = decode_error(&frame.payload)?;
+                    return Ok(NetResponse::ServerError { code, message });
+                }
+                other => {
+                    return Err(FrameError::BadPayload {
+                        detail: format!("server sent a {other:?} frame as a stream part"),
+                    })
+                }
+            }
+        }
+        self.send_finish()?;
+        let frame = read_frame(&mut self.stream, RESPONSE_MAX_FRAME_LEN)?;
+        match frame.kind {
+            FrameKind::Matches => {
+                let (ids, cursor) = decode_matches_with_cursor(&frame.payload)?;
+                let reference = EmissionCursor::over(&parts);
+                if reference != cursor {
+                    return Err(FrameError::BadPayload {
+                        detail: format!(
+                            "stream parts (count {}, digest {:#018x}) disagree with \
+                             the final cursor (count {}, digest {:#018x})",
+                            reference.count, reference.digest, cursor.count, cursor.digest
+                        ),
+                    });
+                }
+                if parts.iter().map(|m| m.node).ne(ids.iter().copied()) {
+                    return Err(FrameError::BadPayload {
+                        detail: "stream parts do not equal the final match list".to_owned(),
+                    });
+                }
+                Ok(NetResponse::StreamMatches { ids, parts, cursor })
+            }
+            FrameKind::Error => {
+                let (code, message) = decode_error(&frame.payload)?;
+                Ok(NetResponse::ServerError { code, message })
+            }
+            other => Err(FrameError::BadPayload {
+                detail: format!("server sent a {other:?} frame as a stream reply"),
             }),
         }
     }

@@ -38,9 +38,14 @@ use st_core::planner::CompiledQuery;
 use st_obs::ObsHandle;
 use st_trees::{encode::markup_decode, xml::Scanner};
 
+use st_core::emit::{EmissionCursor, StreamedMatch};
+
 use crate::config::ServiceBudget;
 use crate::error::codes;
-use crate::frame::FrameKind;
+use crate::frame::{
+    decode_error, decode_match_part, decode_matches_with_cursor, read_frame, FrameKind,
+    RESPONSE_MAX_FRAME_LEN,
+};
 use crate::net::{NetClient, NetConfig, NetResponse, NetServer, NetStats};
 use crate::netchaos::{NetChaosConfig, NetFault};
 
@@ -321,6 +326,50 @@ enum AttemptEnd {
     Faulted,
 }
 
+/// Reads the one lock-step reply a streamed chunk owes: a `MatchPart`
+/// (appended to `parts` after its start position is verified) or an
+/// `Error` frame.  `Ok(None)` means the part was consumed and the upload
+/// continues; `Ok(Some(end))` ends the attempt; `Err(())` is a
+/// transport-level fault (reconnect and retry).
+fn read_stream_part(
+    client: &mut NetClient,
+    parts: &mut Vec<StreamedMatch>,
+) -> Result<Option<AttemptEnd>, ()> {
+    match read_frame(client.stream_mut(), RESPONSE_MAX_FRAME_LEN) {
+        Ok(f) if f.kind == FrameKind::MatchPart => match decode_match_part(&f.payload) {
+            Ok((start, batch)) if start == parts.len() as u64 => {
+                parts.extend_from_slice(&batch);
+                Ok(None)
+            }
+            Ok((start, _)) => Ok(Some(AttemptEnd::TypedFailure(
+                0,
+                format!(
+                    "MATCH_PART starts at {start}, {} part(s) received so far",
+                    parts.len()
+                ),
+            ))),
+            Err(e) => Ok(Some(AttemptEnd::TypedFailure(
+                0,
+                format!("malformed MATCH_PART: {e}"),
+            ))),
+        },
+        Ok(f) if f.kind == FrameKind::Error => match decode_error(&f.payload) {
+            Ok((code, message)) => {
+                if matches!(
+                    code,
+                    codes::READ_TIMEOUT | codes::WRITE_TIMEOUT | codes::OVERLOADED
+                ) {
+                    Err(())
+                } else {
+                    Ok(Some(AttemptEnd::TypedFailure(code, message)))
+                }
+            }
+            Err(_) => Err(()),
+        },
+        _ => Err(()),
+    }
+}
+
 fn play_attempt(
     server: &NetServer,
     addr: &str,
@@ -345,9 +394,20 @@ fn play_attempt(
     while server.stats().connections <= before && std::time::Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(1));
     }
-    if client.send_query(&p.pattern, &p.csv).is_err() {
+    // Half the requests exercise the lock-step streaming protocol, so
+    // faults land between MATCH_PART exchanges too.  The choice is a
+    // pure function of the request index: every retry of a request (and
+    // every pool capacity) replays the same protocol.
+    let stream = request.is_multiple_of(2);
+    let sent = if stream {
+        client.send_stream_query(&p.pattern, &p.csv)
+    } else {
+        client.send_query(&p.pattern, &p.csv)
+    };
+    if sent.is_err() {
         return AttemptEnd::Faulted;
     }
+    let mut parts: Vec<StreamedMatch> = Vec::new();
     let segs: Vec<&[u8]> = p.doc.chunks(cfg.segment_bytes.max(1)).collect();
     // One roll per segment boundary, plus one before FINISH, so faults
     // can land anywhere in the upload including its very end.
@@ -356,6 +416,13 @@ fn play_attempt(
             NetFault::None => {
                 if client.send_chunk(seg).is_err() {
                     return AttemptEnd::Faulted;
+                }
+                if stream {
+                    match read_stream_part(&mut client, &mut parts) {
+                        Ok(None) => {}
+                        Ok(Some(end)) => return end,
+                        Err(()) => return AttemptEnd::Faulted,
+                    }
                 }
             }
             NetFault::Disconnect => return AttemptEnd::Faulted,
@@ -384,12 +451,61 @@ fn play_attempt(
     if client.send_finish().is_err() {
         return AttemptEnd::Faulted;
     }
+    if stream {
+        // The final MATCHES reply carries the emission cursor.  The
+        // parts collected in lock-step must tile the final list exactly
+        // and hash to the server's digest — a disagreement here is a
+        // retraction or a duplicate, never something to retry away.
+        return match read_frame(client.stream_mut(), RESPONSE_MAX_FRAME_LEN) {
+            Ok(f) if f.kind == FrameKind::Matches => match decode_matches_with_cursor(&f.payload) {
+                Ok((ids, cursor)) => {
+                    if EmissionCursor::over(&parts) != cursor {
+                        AttemptEnd::TypedFailure(
+                            0,
+                            format!(
+                                "stream cursor mismatch: {} part(s) do not hash to the \
+                                     server's final cursor",
+                                parts.len()
+                            ),
+                        )
+                    } else if parts.iter().map(|m| m.node).ne(ids.iter().copied()) {
+                        AttemptEnd::TypedFailure(
+                            0,
+                            format!(
+                                "streamed parts {:?} != final matches {ids:?}",
+                                parts.iter().map(|m| m.node).collect::<Vec<_>>()
+                            ),
+                        )
+                    } else {
+                        AttemptEnd::Completed(ids)
+                    }
+                }
+                Err(e) => AttemptEnd::TypedFailure(0, format!("bad final stream reply: {e}")),
+            },
+            Ok(f) if f.kind == FrameKind::Error => match decode_error(&f.payload) {
+                Ok((code, message)) => {
+                    if matches!(
+                        code,
+                        codes::READ_TIMEOUT | codes::WRITE_TIMEOUT | codes::OVERLOADED
+                    ) {
+                        AttemptEnd::Faulted
+                    } else {
+                        AttemptEnd::TypedFailure(code, message)
+                    }
+                }
+                Err(_) => AttemptEnd::Faulted,
+            },
+            _ => AttemptEnd::Faulted,
+        };
+    }
     match client.read_response() {
         Ok(NetResponse::Matches(ids)) => AttemptEnd::Completed(ids),
-        Ok(NetResponse::MultiMatches(_)) => AttemptEnd::TypedFailure(
-            0,
-            "server answered a single query with a multi reply".into(),
-        ),
+        Ok(NetResponse::MultiMatches(_) | NetResponse::StreamMatches { .. }) => {
+            AttemptEnd::TypedFailure(
+                0,
+                "server answered a plain query with the wrong reply shape".into(),
+            )
+        }
         Ok(NetResponse::ServerError { code, message }) => {
             // Transient service-side conditions are retried; everything
             // else is the request's typed end.

@@ -47,6 +47,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use st_automata::{compile_regex, Alphabet};
+use st_core::emit::{EmissionCursor, StreamedMatch};
 use st_core::engine::FusedQuery;
 use st_core::planner::Strategy;
 use st_core::queryset::QuerySet;
@@ -92,6 +93,12 @@ pub struct JobSpec {
     /// to completion — mid-flight work is governed by [`Limits`], not
     /// the queue deadline.  `None` means no deadline.
     pub deadline: Option<Duration>,
+    /// Whether the submitter consumes the match stream incrementally
+    /// (polling [`ServeRuntime::emitted_prefix`] while the request
+    /// runs).  Streamed requests get a supervisor-side emission ledger
+    /// with exactly-once replay dedup across failovers, and skip the
+    /// chunked fast path — which only ever reports at end-of-document.
+    pub stream: bool,
 }
 
 impl JobSpec {
@@ -102,7 +109,14 @@ impl JobSpec {
             doc: doc.into(),
             limits: None,
             deadline: None,
+            stream: false,
         }
+    }
+
+    /// Opts into incremental match delivery; see [`JobSpec::stream`].
+    pub fn with_stream(mut self) -> JobSpec {
+        self.stream = true;
+        self
     }
 
     /// Overrides the inherited limits for this request.
@@ -217,6 +231,15 @@ pub struct JobReport {
     pub degraded: bool,
     /// Every non-terminal failure absorbed along the way, oldest first.
     pub failures: Vec<FailureCause>,
+    /// Streamed requests: the full delivered stream (the emission
+    /// ledger) — for a completed request its node ids equal `result`'s
+    /// match list, each paired with the byte offset that decided it.
+    /// Empty for non-streamed requests.
+    pub emitted: Vec<StreamedMatch>,
+    /// Streamed requests: replayed matches a failover re-derived that
+    /// the ledger suppressed instead of re-delivering (the exactly-once
+    /// dedup at work; 0 on an uninterrupted run).
+    pub suppressed: u64,
 }
 
 /// The final record of one multi-query request, with per-query match
@@ -276,6 +299,12 @@ pub struct ServeStats {
     /// Queued requests dropped because their deadline passed before a
     /// worker picked them up ([`ServeError::DeadlineExpired`]).
     pub deadline_expired: u64,
+    /// Matches appended to streamed requests' emission ledgers (each is
+    /// one exactly-once delivery; deterministic for a given workload).
+    pub emitted: u64,
+    /// Replayed matches suppressed by ledger dedup after failovers
+    /// (timing-dependent, like `retries`).
+    pub emission_suppressed: u64,
 }
 
 impl std::fmt::Display for ServeStats {
@@ -285,7 +314,8 @@ impl std::fmt::Display for ServeStats {
             "submitted {} completed {} failed {} shed {} rejected {} | \
              retries {} resumes {} panics {} stalls {} corruptions {} | \
              degraded {} checkpoints {} workers-spawned {} | \
-             multi-groups {} multi-members {} deadline-expired {}",
+             multi-groups {} multi-members {} deadline-expired {} | \
+             emitted {} emission-suppressed {}",
             self.submitted,
             self.completed,
             self.failed,
@@ -301,7 +331,9 @@ impl std::fmt::Display for ServeStats {
             self.workers_spawned,
             self.multi_groups,
             self.multi_group_members,
-            self.deadline_expired
+            self.deadline_expired,
+            self.emitted,
+            self.emission_suppressed
         )
     }
 }
@@ -406,6 +438,13 @@ struct JobState {
     multi_results: Option<Vec<Vec<usize>>>,
     /// Multi jobs: how many requests the completing shared pass served.
     group_size: usize,
+    /// Streamed jobs: every match delivered so far, in emission order.
+    /// Append-only — the delivery point of exactly-once.  Replays after
+    /// a failover are verified against it and suppressed, never
+    /// re-appended; entries survive retries and resumes untouched.
+    ledger: Vec<StreamedMatch>,
+    /// Streamed jobs: replayed matches the ledger suppressed.
+    suppressed: u64,
 }
 
 struct Pending {
@@ -471,6 +510,8 @@ struct ServeObs {
     multi_groups: Counter,
     multi_group_members: Counter,
     deadline_expired: Counter,
+    emitted: Counter,
+    emission_suppressed: Counter,
     /// Requests per shared multi-query pass.
     multi_group_size: Histogram,
     /// Current submission-queue occupancy.
@@ -504,6 +545,8 @@ impl ServeObs {
             multi_groups: handle.counter("serve_multi_groups_total"),
             multi_group_members: handle.counter("serve_multi_group_members_total"),
             deadline_expired: handle.counter("serve_deadline_expired_total"),
+            emitted: handle.counter("serve_emissions_total"),
+            emission_suppressed: handle.counter("serve_emission_suppressed_total"),
             multi_group_size: handle.histogram("serve_multi_group_size"),
             queue_depth: handle.gauge("serve_queue_depth"),
             in_flight_bytes: handle.gauge("serve_in_flight_bytes"),
@@ -525,6 +568,7 @@ fn cause_label(cause: &FailureCause) -> &'static str {
         FailureCause::WorkerStall { .. } => "worker_stall",
         FailureCause::SegmentCorrupted { .. } => "segment_corrupted",
         FailureCause::Engine(_) => "engine",
+        FailureCause::EmissionLedger { .. } => "emission_ledger",
     }
 }
 
@@ -559,6 +603,12 @@ struct Inner {
     multi_groups: AtomicU64,
     multi_group_members: AtomicU64,
     deadline_expired: AtomicU64,
+    emitted: AtomicU64,
+    emission_suppressed: AtomicU64,
+    /// EWMA throughput of completed shared multi-query passes, in
+    /// bytes/ms on the runtime clock (0 until the first measured pass).
+    /// Feeds the deadline-aware grouping projection in [`try_assign`].
+    group_rate_bpms: AtomicU64,
 }
 
 impl Inner {
@@ -584,7 +634,39 @@ impl Inner {
             multi_groups: self.multi_groups.load(Ordering::SeqCst),
             multi_group_members: self.multi_group_members.load(Ordering::SeqCst),
             deadline_expired: self.deadline_expired.load(Ordering::SeqCst),
+            emitted: self.emitted.load(Ordering::SeqCst),
+            emission_suppressed: self.emission_suppressed.load(Ordering::SeqCst),
         }
+    }
+
+    /// The shared-pass throughput estimate used to project a group's
+    /// finish time: the measured EWMA when at least one pass completed,
+    /// else the configured hint.  Always ≥ 1 byte/ms.
+    fn group_rate(&self) -> u64 {
+        let measured = self.group_rate_bpms.load(Ordering::SeqCst);
+        let rate = if measured > 0 {
+            measured
+        } else {
+            self.cfg.group_rate_hint
+        };
+        rate.max(1)
+    }
+
+    /// Folds a completed shared pass (`bytes` over `elapsed_ms`) into
+    /// the EWMA throughput estimate.
+    fn observe_group_rate(&self, bytes: usize, elapsed_ms: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let sample = (bytes as u64) / elapsed_ms.max(1);
+        let sample = sample.max(1);
+        let old = self.group_rate_bpms.load(Ordering::SeqCst);
+        let new = if old == 0 {
+            sample
+        } else {
+            (3 * old + sample) / 4
+        };
+        self.group_rate_bpms.store(new, Ordering::SeqCst);
     }
 
     /// Drops a request whose deadline passed while it was queued: a
@@ -741,6 +823,164 @@ impl Inner {
         self.obs.checkpoints.incr();
     }
 
+    /// Records a batch of matches a worker claims to have emitted
+    /// starting at stream position `start` (0-based index into the
+    /// emitted sequence).  This is the delivery point of exactly-once:
+    ///
+    /// * positions already in the ledger are **verified** against it —
+    ///   a replayed match must be identical to what was delivered, and a
+    ///   divergence is a typed [`FailureCause::EmissionLedger`] failure,
+    ///   never a silent duplicate;
+    /// * positions past the ledger are **appended** (delivered);
+    /// * a batch starting beyond the ledger's end claims deliveries the
+    ///   supervisor never saw (forged cursor) and fails the request.
+    ///
+    /// Stale attempts (superseded by failover) are discarded without
+    /// effect, as is a batch for a finished request.
+    fn record_emissions(
+        &self,
+        job: u64,
+        attempt: u32,
+        start: usize,
+        batch: &[StreamedMatch],
+    ) -> Result<(), FailureCause> {
+        let mut appended = 0u64;
+        let mut replayed = 0u64;
+        {
+            let mut jobs = lock(&self.jobs);
+            let Some(st) = jobs.get_mut(&job) else {
+                return Ok(());
+            };
+            if st.attempt != attempt || matches!(st.status, Status::Done(_)) {
+                return Ok(());
+            }
+            if start > st.ledger.len() {
+                return Err(FailureCause::EmissionLedger {
+                    detail: format!(
+                        "batch starts at stream position {start} but only {} \
+                         matches were ever delivered",
+                        st.ledger.len()
+                    ),
+                });
+            }
+            for (k, &m) in batch.iter().enumerate() {
+                let idx = start + k;
+                if idx < st.ledger.len() {
+                    let delivered = st.ledger[idx];
+                    if delivered != m {
+                        return Err(FailureCause::EmissionLedger {
+                            detail: format!(
+                                "replay diverged at stream position {idx}: \
+                                 delivered node {} at byte {}, replay claims \
+                                 node {} at byte {}",
+                                delivered.node, delivered.offset, m.node, m.offset
+                            ),
+                        });
+                    }
+                    replayed += 1;
+                } else {
+                    st.ledger.push(m);
+                    appended += 1;
+                }
+            }
+            st.suppressed += replayed;
+        }
+        if appended > 0 {
+            self.emitted.fetch_add(appended, Ordering::SeqCst);
+            self.obs.emitted.add(appended);
+        }
+        if replayed > 0 {
+            self.emission_suppressed
+                .fetch_add(replayed, Ordering::SeqCst);
+            self.obs.emission_suppressed.add(replayed);
+        }
+        Ok(())
+    }
+
+    /// Verifies a resumed attempt's emission cursor against the ledger
+    /// before any of its output is accepted: the cursor must not claim
+    /// more deliveries than the ledger holds, and its digest must equal
+    /// the digest of the delivered prefix it claims.  A hostile or
+    /// corrupted checkpoint fails here with a typed error instead of
+    /// poisoning the stream.
+    fn verify_resume_cursor(
+        &self,
+        job: u64,
+        attempt: u32,
+        cursor: EmissionCursor,
+    ) -> Result<(), FailureCause> {
+        let jobs = lock(&self.jobs);
+        let Some(st) = jobs.get(&job) else {
+            return Ok(());
+        };
+        if st.attempt != attempt || matches!(st.status, Status::Done(_)) {
+            return Ok(());
+        }
+        let count = cursor.count as usize;
+        if count > st.ledger.len() {
+            return Err(FailureCause::EmissionLedger {
+                detail: format!(
+                    "resume cursor claims {count} deliveries but only {} \
+                     matches were ever delivered",
+                    st.ledger.len()
+                ),
+            });
+        }
+        let reference = EmissionCursor::over(&st.ledger[..count]);
+        if reference.digest != cursor.digest {
+            return Err(FailureCause::EmissionLedger {
+                detail: format!(
+                    "resume cursor digest {:#018x} does not match the \
+                     delivered prefix of {count} matches ({:#018x})",
+                    cursor.digest, reference.digest
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Verifies, at completion time, that a streamed request's delivered
+    /// stream equals its final match list — same node ids, same order —
+    /// and that the session's final cursor equals the ledger's.
+    fn verify_final_emissions(
+        &self,
+        job: u64,
+        attempt: u32,
+        matches: &[usize],
+        cursor: EmissionCursor,
+    ) -> Result<(), FailureCause> {
+        let jobs = lock(&self.jobs);
+        let Some(st) = jobs.get(&job) else {
+            return Ok(());
+        };
+        if st.attempt != attempt || matches!(st.status, Status::Done(_)) {
+            return Ok(());
+        }
+        if st.ledger.len() != matches.len()
+            || st.ledger.iter().map(|m| m.node).ne(matches.iter().copied())
+        {
+            return Err(FailureCause::EmissionLedger {
+                detail: format!(
+                    "delivered stream ({} matches) does not equal the final \
+                     match list ({} matches)",
+                    st.ledger.len(),
+                    matches.len()
+                ),
+            });
+        }
+        let reference = EmissionCursor::over(&st.ledger);
+        if reference != cursor {
+            return Err(FailureCause::EmissionLedger {
+                detail: format!(
+                    "final cursor (count {}, digest {:#018x}) does not match \
+                     the delivered stream (count {}, digest {:#018x})",
+                    cursor.count, cursor.digest, reference.count, reference.digest
+                ),
+            });
+        }
+        Ok(())
+    }
+
     fn note_resume(&self, job: u64, attempt: u32) {
         let mut jobs = lock(&self.jobs);
         if let Some(st) = jobs.get_mut(&job) {
@@ -801,6 +1041,7 @@ impl Inner {
                         .trace(TraceEvent::SegmentCorrupted { job, attempt });
                 }
                 FailureCause::Engine(_) => {}
+                FailureCause::EmissionLedger { .. } => {}
             }
             let retry = cause.retryable() && st.attempt <= self.cfg.max_retries;
             st.failures.push(cause.clone());
@@ -869,6 +1110,8 @@ impl Inner {
                 path: st.path,
                 degraded: st.degraded,
                 failures: st.failures.clone(),
+                emitted: st.ledger.clone(),
+                suppressed: st.suppressed,
             }),
             _ => None,
         }
@@ -1019,6 +1262,7 @@ fn run_multi_group(inner: &Arc<Inner>, slot: &WorkerSlot, group: &[(u64, u32)]) 
         }
     }
     let cadence = cfg.checkpoint_every.max(1);
+    let pass_start_ms = inner.now_ms();
     let mut off = 0usize;
     while off < doc.len() {
         let end = (off + cadence).min(doc.len());
@@ -1033,6 +1277,7 @@ fn run_multi_group(inner: &Arc<Inner>, slot: &WorkerSlot, group: &[(u64, u32)]) 
     }
     match session.finish() {
         Ok(out) => {
+            inner.observe_group_rate(doc.len(), inner.now_ms().saturating_sub(pass_start_ms));
             let n = members.len();
             for ((job, attempt, _), &(start, len)) in members.iter().zip(&spans) {
                 let per_query = out.matches[start..start + len].to_vec();
@@ -1082,9 +1327,13 @@ fn run_job(inner: &Arc<Inner>, slot: &WorkerSlot, job: u64, attempt: u32) {
     // Fast path: the data-parallel chunked engine, for large registerless
     // documents on a fresh, guard-free, chaos-free attempt.  Under
     // pressure the degradation ladder steps down to the session path.
+    // Streamed requests never take the chunked path: it reports only at
+    // end-of-document, and the whole point of streaming is delivery at
+    // the certainty frontier.
     let chunk_eligible = cfg.chaos.is_none()
         && attempt == 1
         && resume.is_none()
+        && !spec.stream
         && doc.len() >= cfg.parallel_threshold
         && spec.query.strategy() == Strategy::Registerless
         && limits.is_unbounded();
@@ -1122,6 +1371,15 @@ fn run_job(inner: &Arc<Inner>, slot: &WorkerSlot, job: u64, attempt: u32) {
         },
         None => spec.query.session(limits),
     };
+    // A resumed streamed attempt's cursor is verified against the ledger
+    // before any of its output is accepted: a hostile checkpoint (forged
+    // count, tampered digest) dies here with a typed error instead of
+    // letting replay dedup silently mis-align.
+    if spec.stream {
+        if let Err(cause) = inner.verify_resume_cursor(job, attempt, session.emission_cursor()) {
+            return inner.record_attempt_failure(job, attempt, cause);
+        }
+    }
     if inner.obs.handle.is_enabled() {
         inner.obs.trace(TraceEvent::JobSession {
             job,
@@ -1161,6 +1419,17 @@ fn run_job(inner: &Arc<Inner>, slot: &WorkerSlot, job: u64, attempt: u32) {
         }
         off = end;
         slot.heartbeat_ms.store(inner.now_ms(), Ordering::SeqCst);
+        // Deliver what crossed the certainty frontier *before* storing
+        // the checkpoint: the ledger may then run ahead of the stored
+        // cursor (matches recorded after the last stored checkpoint),
+        // which is exactly the replay window failover dedup suppresses.
+        if spec.stream {
+            let batch = session.drain_emitted();
+            let start = session.emission_cursor().count as usize - batch.len();
+            if let Err(cause) = inner.record_emissions(job, attempt, start, &batch) {
+                return inner.record_attempt_failure(job, attempt, cause);
+            }
+        }
         match session.checkpoint() {
             Ok(cp) => {
                 let mut upto = prefix.clone();
@@ -1170,10 +1439,20 @@ fn run_job(inner: &Arc<Inner>, slot: &WorkerSlot, job: u64, attempt: u32) {
             Err(e) => return inner.record_attempt_failure(job, attempt, FailureCause::Engine(e)),
         }
     }
+    let stream_cursor = spec.stream.then(|| session.emission_cursor());
     match session.finish() {
         Ok(out) => {
             let mut all = prefix;
             all.extend_from_slice(&out.matches);
+            // A streamed request completes only if the delivered stream
+            // equals the final match list and the cursors agree — a gap
+            // or duplicate that survived this far is a typed failure,
+            // never a silently wrong answer.
+            if let Some(cursor) = stream_cursor {
+                if let Err(cause) = inner.verify_final_emissions(job, attempt, &all, cursor) {
+                    return inner.record_attempt_failure(job, attempt, cause);
+                }
+            }
             inner.complete(job, attempt, all, PathTaken::Session);
         }
         Err(e) => inner.record_attempt_failure(job, attempt, FailureCause::Engine(e)),
@@ -1296,7 +1575,18 @@ fn try_assign(inner: &Arc<Inner>, workers: &[WorkerHandle], p: &Pending, now_ms:
                 .filter(|(id, st)| {
                     **id != p.id
                         && matches!(st.status, Status::Queued)
-                        && st.deadline_ms.is_none_or(|d| now_ms < d)
+                        // Deadline-aware grouping: never adopt a member
+                        // whose deadline is projected to expire before
+                        // the shared pass finishes — it would ride along
+                        // only to receive an answer nobody is waiting
+                        // for.  The projection uses the measured EWMA
+                        // throughput of completed shared passes (the
+                        // configured hint until one completes).
+                        && st.deadline_ms.is_none_or(|d| {
+                            let projected_ms =
+                                st.work.doc_len() as u64 / inner.group_rate() + 1;
+                            now_ms + projected_ms <= d
+                        })
                         && matches!(&st.work,
                             Work::Multi(w) if w.limits.is_none() && w.fp == fp)
                 })
@@ -1480,6 +1770,9 @@ impl ServeRuntime {
             multi_groups: AtomicU64::new(0),
             multi_group_members: AtomicU64::new(0),
             deadline_expired: AtomicU64::new(0),
+            emitted: AtomicU64::new(0),
+            emission_suppressed: AtomicU64::new(0),
+            group_rate_bpms: AtomicU64::new(0),
         });
         let inner2 = inner.clone();
         let dispatcher = std::thread::Builder::new()
@@ -1538,6 +1831,8 @@ impl ServeRuntime {
                                 .map(|d| submitted_ms.saturating_add(d.as_millis() as u64)),
                             multi_results: None,
                             group_size: 0,
+                            ledger: Vec::new(),
+                            suppressed: 0,
                             work: work.clone(),
                         },
                     );
@@ -1690,6 +1985,28 @@ impl ServeRuntime {
         let jobs = lock(&self.inner.jobs);
         jobs.get(&id.0)
             .and_then(|st| self.inner.report_of(id.0, st))
+    }
+
+    /// The matches delivered so far to a streamed request, from stream
+    /// position `start` onward.  Usable while the request is still
+    /// running — this is how a caller consumes the stream incrementally
+    /// (poll, extend by what is new, repeat).  The returned slice is a
+    /// prefix-stable snapshot: position `i` never changes once returned,
+    /// across retries and failovers.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`] for an id this runtime never issued.
+    pub fn emitted_prefix(
+        &self,
+        id: JobId,
+        start: usize,
+    ) -> Result<Vec<StreamedMatch>, ServeError> {
+        let jobs = lock(&self.inner.jobs);
+        let Some(st) = jobs.get(&id.0) else {
+            return Err(ServeError::UnknownJob { id: id.0 });
+        };
+        Ok(st.ledger.get(start..).unwrap_or_default().to_vec())
     }
 
     /// Blocks until the request finishes and returns its report with

@@ -32,6 +32,8 @@ use st_trees::{encode::markup_decode, xml::Scanner};
 
 use st_obs::ObsHandle;
 
+use st_core::emit::StreamedMatch;
+
 use crate::chaos::ChaosConfig;
 use crate::config::ServeConfig;
 use crate::error::{FailureCause, ServeError};
@@ -230,6 +232,14 @@ pub struct SoakReport {
     /// Per-request outcomes, in submission order.  The cross-pool
     /// determinism invariant is over exactly this vector.
     pub outcomes: Vec<RequestOutcome>,
+    /// Per-request delivered emission streams, in submission order
+    /// (empty for failed or skipped requests).  Every request runs
+    /// streamed, so this is the concatenation of the emitted prefixes of
+    /// all its attempts after ledger dedup — held to equal the final
+    /// match list exactly (no retraction, duplicate, or reordering) and,
+    /// like [`SoakReport::outcomes`], bitwise identical across pool
+    /// sizes.
+    pub streams: Vec<Vec<StreamedMatch>>,
     /// Requests that completed and matched the clean reference.
     pub completed: usize,
     /// Requests that failed only because injected chaos exhausted the
@@ -315,18 +325,21 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         .collect();
 
     let serve = ServeRuntime::start(cfg.serve_config());
+    // Every request runs streamed, so each completion also proves the
+    // exactly-once emission contract under the injected faults.
     let ids: Vec<_> = prepared
         .iter()
         .map(|p| {
             p.fused.as_ref().map(|f| {
                 serve
-                    .submit(JobSpec::new(f.clone(), p.case.doc.clone()))
+                    .submit(JobSpec::new(f.clone(), p.case.doc.clone()).with_stream())
                     .expect("soak queue is sized to hold every request")
             })
         })
         .collect();
 
     let mut outcomes = Vec::with_capacity(prepared.len());
+    let mut streams = Vec::with_capacity(prepared.len());
     let mut divergences = Vec::new();
     let mut completed = 0usize;
     let mut chaos_casualties = 0usize;
@@ -345,11 +358,37 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         let Some(id) = id else {
             skipped += 1;
             outcomes.push(RequestOutcome::Skipped);
+            streams.push(Vec::new());
             continue;
         };
         let report = serve.wait(*id).expect("id was issued by this runtime");
         match &report.result {
             Ok(m) => {
+                // The exactly-once emission contract, checked against
+                // the *references*, not just the runtime's own ledger:
+                // the delivered stream must equal the final match list
+                // (hence the clean run, hence the DOM oracle) in both
+                // content and order — no retraction, no duplicate, no
+                // reordering — regardless of how many attempts died
+                // mid-stream.
+                let delivered: Vec<usize> = report.emitted.iter().map(|sm| sm.node).collect();
+                if &delivered != m {
+                    divergences.push(diverge(format!(
+                        "delivered stream {delivered:?} != final matches {m:?} \
+                         (attempts {}, suppressed {})",
+                        report.attempts, report.suppressed
+                    )));
+                }
+                if report
+                    .emitted
+                    .windows(2)
+                    .any(|w| w[0].offset >= w[1].offset)
+                {
+                    divergences.push(diverge(format!(
+                        "emitted offsets are not strictly increasing: {:?}",
+                        report.emitted
+                    )));
+                }
                 match &p.clean {
                     Ok(cm) if m == cm => {
                         completed += 1;
@@ -371,6 +410,7 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
                     ))),
                 }
                 outcomes.push(RequestOutcome::Matches(m.clone()));
+                streams.push(report.emitted.clone());
             }
             Err(err @ ServeError::Failed { last, .. }) => {
                 match &p.clean {
@@ -392,12 +432,14 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
                     }
                 }
                 outcomes.push(RequestOutcome::Failed(err.class()));
+                streams.push(Vec::new());
             }
             Err(other) => {
                 divergences.push(diverge(format!(
                     "unexpected submission-side error: {other}"
                 )));
                 outcomes.push(RequestOutcome::Failed(other.class()));
+                streams.push(Vec::new());
             }
         }
     }
@@ -405,6 +447,7 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
     let stats = serve.shutdown();
     SoakReport {
         outcomes,
+        streams,
         completed,
         chaos_casualties,
         clean_rejections,

@@ -215,3 +215,86 @@ proptest! {
         probe(fused, &grafted);
     }
 }
+
+/// Byte offset of the `emit_count` field in a serialized checkpoint:
+/// magic(4) + version(2) + fingerprint(8) + symbol count(2) + the
+/// variable-length alphabet block + offset/node/depth (8 each).
+fn emit_count_pos(wire: &[u8]) -> usize {
+    let n = u16::from_le_bytes([wire[14], wire[15]]) as usize;
+    let mut pos = 16;
+    for _ in 0..n {
+        let len = u16::from_le_bytes([wire[pos], wire[pos + 1]]) as usize;
+        pos += 2 + len;
+    }
+    pos + 24
+}
+
+#[test]
+fn forged_emission_count_is_rejected_at_resume() {
+    for (fused, doc) in corpus() {
+        let mut session = fused.session(Limits::none());
+        session.feed(&doc[..doc.len() / 2]).unwrap();
+        let wire = session.checkpoint().unwrap().to_bytes();
+        let pos = emit_count_pos(&wire);
+        let node = u64::from_le_bytes(wire[pos - 16..pos - 8].try_into().unwrap());
+        let mut forged = wire.clone();
+        forged[pos..pos + 8].copy_from_slice(&(node + 1).to_le_bytes());
+        // The shape is untouched, so the parser accepts it — the lie is
+        // semantic and must die at resume, as a typed error.
+        let cp = EngineCheckpoint::from_bytes(&forged).expect("shape is untouched");
+        assert_eq!(cp.emission_cursor().count, node + 1);
+        let err = fused
+            .resume(&cp, Limits::none())
+            .err()
+            .expect("a cursor claiming more deliveries than nodes must not resume");
+        assert!(
+            err.to_string()
+                .contains("emission cursor exceeds nodes opened"),
+            "wrong error: {err}"
+        );
+    }
+}
+
+#[test]
+fn tampered_emission_digest_is_tamper_evident() {
+    // A digest flip with a plausible count cannot be refuted by the
+    // engine alone (it has no ledger), but it must never *launder*: the
+    // forged digest is seeded into the resumed cursor, so the final
+    // cursor provably disagrees with the honest stream — any consumer
+    // holding the delivered prefix (the serve ledger, a net client)
+    // catches it on the next verification.
+    for (fused, doc) in corpus() {
+        let cut = doc.len() / 2;
+        let clean = fused.run_session(&doc, &Limits::none()).unwrap();
+        let mut session = fused.session(Limits::none());
+        session.feed(&doc[..cut]).unwrap();
+        let wire = session.checkpoint().unwrap().to_bytes();
+        let digest_pos = emit_count_pos(&wire) + 8;
+        let mut forged = wire.clone();
+        forged[digest_pos] ^= 0x01;
+        let cp = EngineCheckpoint::from_bytes(&forged).expect("shape is untouched");
+        let mut resumed = fused
+            .resume(&cp, Limits::none())
+            .expect("count is plausible");
+        resumed.feed(&doc[cut..]).unwrap();
+        let out = resumed.finish().unwrap();
+
+        let honest = EngineCheckpoint::from_bytes(&wire).expect("round-trips");
+        let mut href = fused.resume(&honest, Limits::none()).expect("resumes");
+        href.feed(&doc[cut..]).unwrap();
+        let hout = href.finish().unwrap();
+
+        assert_eq!(
+            hout.cursor, clean.cursor,
+            "honest resume converges with the uninterrupted run"
+        );
+        assert_eq!(
+            out.matches, hout.matches,
+            "matches are positional, not hashed"
+        );
+        assert_ne!(
+            out.cursor, hout.cursor,
+            "a tampered digest must never reconverge with the honest one"
+        );
+    }
+}

@@ -228,3 +228,63 @@ fn malformed_document_is_consistently_rejected() {
     assert!(outcome.tokenizable);
     assert!(!outcome.well_formed);
 }
+
+/// Every pinned reproducer must also stream cleanly: the emission
+/// frontier gets no exemption on inputs that once broke *any* engine.
+#[test]
+fn corpus_replays_through_the_streaming_oracle() {
+    use stackless_streamed_trees::conform::replay_stream_corpus;
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata/corpus");
+    let bad = replay_stream_corpus(&dir).expect("corpus parses");
+    assert!(
+        bad.is_empty(),
+        "streaming regressions:\n{}",
+        bad.iter()
+            .map(|(p, d)| format!("  {}: {d}", p.display()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Fixed-seed streaming smoke fuzz, plus the mutation self-test: an
+/// injected lost-emission fault must be caught and shrunk, or the
+/// streaming oracle has a blind spot.
+#[test]
+fn streaming_fuzz_is_clean_and_catches_injected_faults() {
+    use stackless_streamed_trees::conform::{fuzz_stream, run_stream_case, StreamMutation};
+    let cfg = FuzzConfig {
+        seed: 42,
+        iters: 200,
+        ..FuzzConfig::default()
+    };
+    let report = fuzz_stream(&cfg, StreamMutation::None);
+    assert_eq!(report.iters_run, 200);
+    assert!(
+        report.clean(),
+        "divergences: {:?}",
+        report
+            .failures
+            .iter()
+            .map(|f| (&f.detail, &f.shrunk))
+            .collect::<Vec<_>>()
+    );
+
+    let seeded = fuzz_stream(
+        &FuzzConfig {
+            seed: 42,
+            iters: 200,
+            max_failures: 1,
+            ..FuzzConfig::default()
+        },
+        StreamMutation::DropFirstEmission,
+    );
+    let caught = seeded
+        .failures
+        .first()
+        .expect("a dropped emission must diverge somewhere in 200 cases");
+    assert!(
+        run_stream_case(&caught.shrunk, StreamMutation::DropFirstEmission).is_some(),
+        "shrunk case no longer reproduces the injected fault"
+    );
+    assert!(caught.shrunk.doc.len() <= caught.case.doc.len());
+}

@@ -137,6 +137,8 @@ fn soak_snapshot_mirrors_typed_outcomes_exactly() {
         ("serve_degraded_total", s.degraded),
         ("serve_checkpoints_total", s.checkpoints),
         ("serve_workers_spawned_total", s.workers_spawned),
+        ("serve_emissions_total", s.emitted),
+        ("serve_emission_suppressed_total", s.emission_suppressed),
     ];
     for (name, stat) in mirror {
         assert_eq!(

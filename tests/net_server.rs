@@ -271,3 +271,71 @@ fn shutdown_cuts_through_a_connection_blocked_on_its_socket() {
     );
     assert_eq!(server.stats().open, 0);
 }
+
+#[test]
+fn streaming_round_trip_delivers_verified_parts_before_the_end() {
+    let server = NetServer::bind("127.0.0.1:0", NetConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut doc = Vec::new();
+    for _ in 0..12 {
+        doc.extend_from_slice(b"<a><b></b></a>");
+    }
+    let want = clean(".*a", "ab", &doc);
+    let chunk = 8usize;
+    let total_parts = doc.len().div_ceil(chunk);
+
+    let mut c = NetClient::connect(&addr).unwrap();
+    let mut part_no = 0usize;
+    let mut first_delivery = None;
+    let got = c
+        .stream_query(".*a", "a,b", &doc, chunk, |batch| {
+            if first_delivery.is_none() && !batch.is_empty() {
+                first_delivery = Some(part_no);
+            }
+            part_no += 1;
+        })
+        .unwrap();
+    match got {
+        NetResponse::StreamMatches { ids, parts, cursor } => {
+            assert_eq!(ids, want, "streamed answer ≠ clean run");
+            assert_eq!(parts.len(), want.len());
+            assert_eq!(cursor.count, want.len() as u64);
+        }
+        other => panic!("expected StreamMatches, got {other:?}"),
+    }
+    assert_eq!(part_no, total_parts, "one MATCH_PART per chunk, lock step");
+    let first = first_delivery.expect("matches were delivered");
+    assert!(
+        first + 1 < total_parts,
+        "earliest emission must beat end-of-document: first delivery in \
+         part {first} of {total_parts}"
+    );
+
+    // The same connection still answers plain queries: the two reply
+    // shapes are per-request, not per-connection.
+    assert_eq!(
+        c.query(".*a", "a,b", &doc, 16).unwrap(),
+        NetResponse::Matches(want)
+    );
+}
+
+#[test]
+fn streaming_request_hits_the_read_deadline_like_any_other() {
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        NetConfig::default().with_timeouts(Duration::from_millis(60), Duration::from_secs(2)),
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let mut c = NetClient::connect(&addr).unwrap();
+    // Open the stream and then go silent: the lock-step protocol owes
+    // the server a chunk, and the read deadline must cut the stream with
+    // the same typed code a silent plain query gets.
+    c.send_stream_query(".*a", "a,b").unwrap();
+    match c.read_response().unwrap() {
+        NetResponse::ServerError { code, .. } => assert_eq!(code, codes::READ_TIMEOUT),
+        other => panic!("expected READ_TIMEOUT, got {other:?}"),
+    }
+    assert_eq!(server.stats().read_timeouts, 1);
+    assert_eq!(server.stats().in_flight_bytes, 0);
+}

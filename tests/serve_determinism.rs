@@ -51,7 +51,18 @@ fn soak_outcomes_are_identical_across_pool_sizes() {
             report.outcomes, reference.outcomes,
             "{workers}-worker pool diverged from the 1-worker reference"
         );
+        // The emitted streams — node ids *and* deciding byte offsets —
+        // must be bitwise identical too: failover may change how many
+        // attempts a request takes, never what got delivered.
+        assert_eq!(
+            report.streams, reference.streams,
+            "{workers}-worker pool delivered a different emission stream"
+        );
     }
+    assert!(
+        reference.streams.iter().any(|s| !s.is_empty()),
+        "soak never exercised streaming delivery"
+    );
 
     // Error classes are stable strings, never debug dumps of payloads.
     for outcome in &reference.outcomes {
@@ -75,6 +86,7 @@ fn soak_is_reproducible_from_its_seed() {
     let b = run_soak(&cfg);
     assert!(a.ok(), "{}", a.reproducer(cfg.seed));
     assert_eq!(a.outcomes, b.outcomes);
+    assert_eq!(a.streams, b.streams, "emission streams drifted across runs");
     assert_eq!(
         (
             a.completed,

@@ -234,3 +234,70 @@ fn single_query_requests_answer_wait_multi_with_one_entry() {
     assert_eq!(report.group_size, 0, "no shared pass served it");
     serve.shutdown();
 }
+
+#[test]
+fn grouping_never_adopts_a_member_that_would_miss_its_deadline() {
+    let g = Alphabet::of_chars("ab");
+    let doc = Arc::new(mixed_doc(200));
+    // A throughput hint of 1 byte/ms makes the projected shared-pass
+    // finish for this ~3.7 KB document land seconds out, so a member
+    // with a tighter deadline must be left out of the group — adopting
+    // it would guarantee a missed deadline the moment the pool slows to
+    // the advertised rate.
+    let serve = ServeRuntime::start(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_group_rate_hint(1)
+            .with_chaos(stall_only(300)),
+    );
+    let blocker = submit_blocker(&serve, &g);
+    let mk = |p: &str| MultiJobSpec::new(vec![p.to_string()], g.clone(), doc.clone());
+    let a = serve.submit_multi(mk("a.*b")).expect("admitted");
+    let b = serve
+        .submit_multi(mk(".*a.*b").with_deadline(Duration::from_millis(2000)))
+        .expect("admitted");
+    let c = serve
+        .submit_multi(mk(".*ab").with_deadline(Duration::from_secs(600)))
+        .expect("admitted");
+    serve.wait(blocker).expect("blocker finishes");
+
+    let ra = serve.wait_multi(a).expect("known job");
+    let rb = serve.wait_multi(b).expect("known job");
+    let rc = serve.wait_multi(c).expect("known job");
+    assert_eq!(ra.group_size, 2, "generous peers still share the pass");
+    assert_eq!(rc.group_size, 2, "a far-out deadline is no obstacle");
+    assert_eq!(
+        rb.group_size, 1,
+        "a member whose deadline expires before the projected finish \
+         must run its own pass, not gamble on the group's"
+    );
+    // Exclusion is scheduling-only: everyone still answers correctly.
+    assert_eq!(ra.results.expect("succeeds"), oracle(&["a.*b"], &g, &doc));
+    assert_eq!(rb.results.expect("succeeds"), oracle(&[".*a.*b"], &g, &doc));
+    assert_eq!(rc.results.expect("succeeds"), oracle(&[".*ab"], &g, &doc));
+
+    // The first pass measured the *real* throughput (orders of magnitude
+    // above the pessimistic hint), so an identically tight deadline is
+    // now projected to survive and gets adopted.
+    let blocker2 = submit_blocker(&serve, &g);
+    let d = serve.submit_multi(mk("a.*b")).expect("admitted");
+    let e = serve
+        .submit_multi(mk(".*a.*b").with_deadline(Duration::from_millis(2000)))
+        .expect("admitted");
+    serve.wait(blocker2).expect("blocker finishes");
+    let rd = serve.wait_multi(d).expect("known job");
+    let re = serve.wait_multi(e).expect("known job");
+    assert_eq!(
+        (rd.group_size, re.group_size),
+        (2, 2),
+        "a measured pass rate must replace the pessimistic hint"
+    );
+
+    let stats = serve.shutdown();
+    assert_eq!(stats.completed, 7, "two blockers + five grouped requests");
+    assert_eq!(stats.failed + stats.shed + stats.rejected, 0);
+    assert_eq!(
+        stats.deadline_expired, 0,
+        "nobody actually missed a deadline"
+    );
+}

